@@ -1,0 +1,85 @@
+"""Ablation: Algorithm 2's write-back step (lines 10/14).
+
+Algorithm 2 restores each sampled word's original value after every
+reduced-latency read to keep the data pattern — and therefore every RNG
+cell's failure probability — constant.  This ablation runs the sampling
+loop against a device where failed reads *corrupt* the array
+(``corrupt_on_failure=True``) and compares the harvested streams with
+and without write-back: without it, corrupted cells stick at their
+strong value and the stream's ones-ratio collapses away from 50%.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.dram.device import DeviceFactory
+from repro.dram.failures import OperatingPoint
+from repro.experiments.common import format_table
+
+SAMPLES = 400
+TRCD_NS = 10.0
+
+
+def _sample_cell(device, bank, row, col, write_back):
+    """Repeated ACT→READ→(WRITE)→PRE of one cell's word."""
+    geometry = device.geometry
+    target = device.bank(bank)
+    word = col // geometry.word_bits
+    original = np.zeros(geometry.word_bits, dtype=np.uint8)
+    target.write_row(row, np.zeros(geometry.cols_per_row, dtype=np.uint8))
+    out = np.empty(SAMPLES, dtype=np.uint8)
+    op = OperatingPoint(trcd_ns=TRCD_NS)
+    for i in range(SAMPLES):
+        target.activate(row, trcd_ns=TRCD_NS)
+        bits = target.read(word, op=op)
+        out[i] = bits[col % geometry.word_bits]
+        if write_back:
+            target.write(word, original)
+        target.precharge()
+    return out
+
+
+def _evaluate():
+    factory = DeviceFactory(master_seed=2019, noise_seed=77)
+    device = factory.make_device("A", 0, corrupt_on_failure=True)
+    # Find a ~50% cell analytically.
+    device.write_pattern(
+        __import__("repro.dram.datapattern", fromlist=["pattern_by_name"])
+        .pattern_by_name("solid0"),
+        banks=[0],
+        rows=range(512),
+    )
+    for row in range(511, 256, -1):
+        probs = device.row_failure_probabilities(0, row, TRCD_NS)
+        cols = np.flatnonzero((probs > 0.45) & (probs < 0.55))
+        if cols.size:
+            col = int(cols[0])
+            break
+    else:
+        raise AssertionError("no ~50% cell found")
+    with_wb = _sample_cell(device, 0, row, col, write_back=True)
+    without_wb = _sample_cell(device, 0, row, col, write_back=False)
+    return with_wb, without_wb
+
+
+def test_ablation_writeback(benchmark, emit):
+    with_wb, without_wb = once(benchmark, _evaluate)
+    emit(
+        "Ablation — Algorithm 2 write-back on a corrupting device\n"
+        + format_table(
+            ["variant", "ones ratio", "bits"],
+            [
+                ["with write-back (Alg. 2)", f"{with_wb.mean():.3f}",
+                 str(with_wb.size)],
+                ["without write-back", f"{without_wb.mean():.3f}",
+                 str(without_wb.size)],
+            ],
+        )
+    )
+    # With write-back the cell keeps producing balanced output.
+    assert abs(with_wb.mean() - 0.5) < 0.1
+    # Without it, the first corrupting failure rewrites the stored value
+    # and the cell stops toggling: the stream sticks at a constant.
+    tail = without_wb[-SAMPLES // 4 :]
+    assert tail.std() == 0.0
+    assert abs(float(without_wb.mean()) - 0.5) > 0.3

@@ -1,0 +1,28 @@
+"""Extension: tRP-violation entropy (the paper's footnote-4 future work)."""
+
+from conftest import BENCH_CONFIG, once
+
+from repro.experiments import ext_trp
+
+
+def test_ext_trp_violation_entropy(benchmark, emit):
+    result = once(
+        benchmark,
+        lambda: ext_trp.run(BENCH_CONFIG, rows=64, iterations=50),
+    )
+    emit(result.format_report())
+    by_trp = {point.trp_ns: point for point in result.points}
+    # Spec-compliant precharge leaves no residual and no failures.
+    assert by_trp[18.0].failing_cells == 0
+    assert by_trp[18.0].residual == 0.0
+    # Shorter precharge → larger residual → more failures.
+    residuals = [p.residual for p in result.points]
+    failures = [p.failing_cells for p in result.points]
+    assert residuals == sorted(residuals)
+    assert failures == sorted(failures)
+    # The headline: tRP violations also mint ~50% (RNG-band) cells,
+    # even though every read here uses the spec tRCD.
+    assert result.produces_entropy
+    assert by_trp[5.0].band_cells > 100
+    # And a discovered band cell really toggles.
+    assert 0.3 < result.sample_bits_mean < 0.7

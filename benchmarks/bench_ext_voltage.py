@@ -1,0 +1,18 @@
+"""Extension: supply-voltage dependence (the intro's other robustness axis)."""
+
+from conftest import BENCH_CONFIG, once
+
+from repro.experiments import ext_voltage
+
+
+def test_ext_voltage_sweep(benchmark, emit):
+    result = once(benchmark, lambda: ext_voltage.run(BENCH_CONFIG, rows=512))
+    emit(result.format_report())
+    # Undervolting raises failure probability monotonically, mirroring
+    # the temperature direction of Figure 6.
+    assert result.undervolt_raises_fprob
+    by_vdd = {p.vdd_ratio: p for p in result.points}
+    assert by_vdd[0.90].failing_cells > by_vdd[1.10].failing_cells
+    # The RNG band persists across the whole ±10% corner set, so
+    # per-voltage identification (like per-temperature, §6.1) suffices.
+    assert all(p.band_cells > 0 for p in result.points)

@@ -1,0 +1,19 @@
+"""Figure 4: spatial distribution of activation failures (bitmap)."""
+
+from conftest import BENCH_CONFIG, once
+
+from repro.experiments import fig4_spatial
+
+
+def test_fig4_spatial_bitmap(benchmark, emit):
+    result = once(
+        benchmark,
+        lambda: fig4_spatial.run(BENCH_CONFIG, rows=1024, cols=1024),
+    )
+    emit(result.format_report())
+    # Paper shape: failures repeat down a handful of columns per
+    # subarray, with density rising toward each subarray's far rows.
+    assert result.summary.failing_cells > 0
+    assert 1 <= len(result.summary.failing_columns) < 64
+    assert all(c <= 40 for c in result.summary.columns_per_subarray)
+    assert result.summary.row_gradient_correlation > 0.05

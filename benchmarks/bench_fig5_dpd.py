@@ -1,0 +1,37 @@
+"""Figure 5: data-pattern dependence of activation failures."""
+
+from conftest import BENCH_CONFIG, once
+
+from repro.dram.datapattern import BEST_RNG_PATTERN
+from repro.experiments import fig5_dpd
+
+
+def test_fig5_data_pattern_dependence(benchmark, emit):
+    result = once(benchmark, lambda: fig5_dpd.run(BENCH_CONFIG))
+    emit(result.format_report())
+    for dpd in result.per_manufacturer:
+        best = max(dpd.coverage.values())
+        walk1_mean, walk1_low, walk1_high = dpd.walking_aggregate(1)
+        # Every walking-1s shift provides similarly high coverage.
+        assert walk1_high - walk1_low < 0.25
+        assert walk1_mean >= 0.7 * best
+        # No single pattern finds everything; every pattern finds some.
+        assert best < 1.0
+        assert min(dpd.coverage.values()) > 0.0
+        # The paper's per-manufacturer RNG pattern is at (or tied with)
+        # the top of the Fprob≈50% ranking.  Ties happen because the
+        # coupling model cannot distinguish patterns that look identical
+        # along a row (e.g. checkered 0s / checkered 1s / column stripe
+        # all alternate horizontally), so the criterion is "within 10%
+        # of the best non-walking pattern".
+        expected = BEST_RNG_PATTERN[dpd.manufacturer]
+        non_walking = {
+            name: count
+            for name, count in dpd.band_cells.items()
+            if not name.startswith(("walk0", "walk1"))
+        }
+        top = max(non_walking.values())
+        assert non_walking[expected] >= 0.9 * top, (
+            f"{dpd.manufacturer}: {expected} found "
+            f"{non_walking[expected]} band cells vs best {top}"
+        )

@@ -1,0 +1,25 @@
+"""Figure 6: effect of temperature variation on failure probability."""
+
+from conftest import SMALL_CONFIG, once
+
+from repro.experiments import fig6_temperature
+
+
+def test_fig6_temperature_effects(benchmark, emit):
+    result = once(
+        benchmark,
+        lambda: fig6_temperature.run(
+            SMALL_CONFIG, base_temps_c=(55.0, 60.0, 65.0), rows=512
+        ),
+    )
+    emit(result.format_report())
+    stds = {}
+    for pairs in result.per_manufacturer:
+        # Mass above the x=y line: Fprob generally increases with
+        # temperature, and fewer than 25% of (transition) points fall
+        # below the diagonal.
+        assert pairs.delta.mean() > 0
+        assert pairs.fraction_below_diagonal < 0.25
+        stds[pairs.manufacturer] = float(pairs.delta.std())
+    # Manufacturer A tracks the diagonal most tightly.
+    assert stds["A"] <= min(stds["B"], stds["C"])

@@ -1,0 +1,21 @@
+"""Figure 7: density of RNG cells in DRAM words per bank."""
+
+from conftest import BENCH_CONFIG, once
+
+from repro.experiments import fig7_density
+
+
+def test_fig7_rng_cell_density(benchmark, emit):
+    result = once(benchmark, lambda: fig7_density.run(BENCH_CONFIG))
+    emit(result.format_report())
+    for dist in result.distributions:
+        # Every analyzed bank holds words with RNG cells...
+        assert dist.banks_with_cells == result.banks_per_manufacturer
+        # ...single-cell words dominate, with a steeply falling tail...
+        ones = sum(dist.per_bank_counts.get(1, [0]))
+        twos = sum(dist.per_bank_counts.get(2, [0]))
+        assert ones > 2 * max(twos, 1)
+        # ...and multi-cell words (the throughput multiplier) exist.
+        assert dist.max_density >= 2
+        # The paper's maximum observed density is 4 per word.
+        assert dist.max_density <= 6

@@ -1,0 +1,23 @@
+"""Figure 8: TRNG throughput vs number of banks used."""
+
+import numpy as np
+from conftest import BENCH_CONFIG, once
+
+from repro.experiments import fig8_throughput
+
+
+def test_fig8_throughput_scaling(benchmark, emit):
+    result = once(benchmark, lambda: fig8_throughput.run(BENCH_CONFIG))
+    emit(result.format_report())
+    for manufacturer, by_banks in result.per_manufacturer.items():
+        medians = [float(np.median(by_banks[x])) for x in sorted(by_banks)]
+        # Throughput grows with bank parallelism (monotone trend; a
+        # marginal extra bank may add less data rate than loop time)...
+        assert all(b >= 0.9 * a for a, b in zip(medians, medians[1:])), manufacturer
+        assert medians[-1] > 2.0 * medians[0]
+        # ...and 8 banks clear tens of Mb/s per channel (paper: >=40).
+        assert medians[-1] > 30.0
+    # 4-channel headline numbers land within the paper's order of
+    # magnitude (717.4 / 435.7 Mb/s at full scale).
+    assert 100.0 < result.max_throughput_4ch_mbps < 1000.0
+    assert result.avg_throughput_4ch_mbps <= result.max_throughput_4ch_mbps

@@ -1,0 +1,19 @@
+"""Section 5.4: failure-probability stability over time (250 rounds)."""
+
+from conftest import SMALL_CONFIG, once
+
+from repro.experiments import sec54_time
+
+
+def test_sec54_entropy_over_time(benchmark, emit):
+    # The paper's 250 rounds over 15 days, scaled to 50 rounds (time
+    # between rounds is irrelevant by construction — the point being
+    # demonstrated: Fprob depends on frozen manufacturing variation).
+    result = once(
+        benchmark,
+        lambda: sec54_time.run(SMALL_CONFIG, rounds=50, rows=512, max_cells=300),
+    )
+    emit(result.format_report())
+    assert result.is_stable()
+    # Any apparent drift stays within binomial measurement noise.
+    assert result.max_drift <= 6 * result.binomial_expected_std

@@ -1,0 +1,18 @@
+"""Section 7.3: energy consumption per generated bit."""
+
+from conftest import BENCH_CONFIG, once
+
+from repro.experiments import sec73_energy
+
+
+def test_sec73_energy_per_bit(benchmark, emit):
+    result = once(
+        benchmark, lambda: sec73_energy.run(BENCH_CONFIG, num_bits=1024)
+    )
+    emit(result.format_report())
+    # Paper: 4.4 nJ/bit average; the reproduction's IDD tables land in
+    # the same nanojoule-per-bit regime (denser RNG words make the
+    # per-bit cost cheaper than the paper's average device).
+    assert 0.3 < result.nj_per_bit < 15.0
+    assert result.net_energy_j > 0
+    assert result.gross_energy_j > result.idle_energy_j

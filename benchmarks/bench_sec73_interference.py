@@ -1,0 +1,19 @@
+"""Section 7.3: throughput from idle DRAM bandwidth (no slowdown)."""
+
+from conftest import BENCH_CONFIG, once
+
+from repro.experiments import sec73_interference
+
+
+def test_sec73_idle_bandwidth_throughput(benchmark, emit):
+    result = once(benchmark, lambda: sec73_interference.run(BENCH_CONFIG))
+    emit(result.format_report())
+    # Paper: 83.1 (98.3, 49.1) Mb/s — same regime, same ordering.
+    assert 40.0 < result.average_mbps < 120.0
+    assert result.max_mbps < result.full_rate_mbps
+    assert result.min_mbps > 0.3 * result.max_mbps
+    # Memory-bound workloads leave the least bandwidth.
+    worst = min(result.per_workload, key=lambda w: w.throughput_mbps)
+    assert worst.workload.name in {"mcf", "lbm", "libquantum", "xalancbmk"}
+    # Storage overhead: six rows per bank ⇒ ~0.018%.
+    assert result.storage_overhead < 0.0005

@@ -1,0 +1,16 @@
+"""Section 7.3: latency to generate a 64-bit random value."""
+
+from conftest import BENCH_CONFIG, once
+
+from repro.experiments import sec73_latency
+
+
+def test_sec73_latency_scenarios(benchmark, emit):
+    result = once(benchmark, lambda: sec73_latency.run(BENCH_CONFIG))
+    emit(result.format_report())
+    worst, mid, best = result.estimates
+    # Ordering and rough magnitudes match the paper (960/220/100 ns).
+    assert result.ordering_matches_paper
+    assert worst.latency_ns > 1_000.0  # strictly serial single bank
+    assert mid.latency_ns < 500.0  # 4-channel parallel
+    assert best.latency_ns < 200.0  # 4 bits per access

@@ -1,0 +1,33 @@
+"""Table 1: NIST statistical test suite on D-RaNGe bitstreams.
+
+The paper tests 236 one-megabit streams (4 RNG cells × 59 devices);
+the benchmark scales to 4 cells from one device per manufacturer with
+256 Kb streams.  Pass ``--paper-scale`` semantics by editing
+``STREAM_BITS`` to 1_000_000 — the suite itself handles megabit streams
+in seconds.
+"""
+
+from conftest import BENCH_CONFIG, once
+
+from repro.experiments import table1_nist
+
+STREAM_BITS = 262_144
+CELLS_PER_DEVICE = 4
+
+
+def test_table1_nist_suite(benchmark, emit):
+    result = once(
+        benchmark,
+        lambda: table1_nist.run(
+            BENCH_CONFIG,
+            cells_per_device=CELLS_PER_DEVICE,
+            stream_bits=STREAM_BITS,
+        ),
+    )
+    emit(result.format_report())
+    # Paper: every test passes on every bitstream (proportion 1.0 within
+    # the acceptable range), and RNG-cell entropy stays high.
+    assert result.all_passed
+    for name, proportion in result.pass_proportion.items():
+        assert proportion == 1.0, f"{name}: {proportion}"
+    assert result.min_entropy > 0.95  # paper reports 0.9507

@@ -1,0 +1,34 @@
+"""Table 2: comparison with prior DRAM-based TRNG proposals."""
+
+import math
+
+from conftest import BENCH_CONFIG, once
+
+from repro.experiments import fig8_throughput, table2_comparison
+
+
+def test_table2_prior_work_comparison(benchmark, emit):
+    fig8 = fig8_throughput.run(BENCH_CONFIG)
+
+    result = once(
+        benchmark, lambda: table2_comparison.run(BENCH_CONFIG, fig8=fig8)
+    )
+    emit(result.format_report())
+
+    rows = {row.properties.name: row for row in result.rows}
+    # Column-by-column shape of Table 2.
+    assert not rows["Pyo+"].properties.true_random
+    assert not rows["Tehranipoor+"].properties.streaming_capable
+    assert rows["Sutar+"].latency_64bit_ns == 40e9
+    assert math.isnan(rows["Pyo+"].energy_per_bit_j)
+    assert math.isnan(rows["Tehranipoor+"].peak_throughput_mbps)
+    # D-RaNGe wins on throughput by ~two orders of magnitude and on
+    # latency by orders of magnitude (paper: 211x / 128x vs Pyo+).
+    assert result.peak_speedup > 50.0
+    assert result.average_speedup > 30.0
+    assert rows["D-RaNGe"].latency_64bit_ns < rows["Pyo+"].latency_64bit_ns / 50
+    # Retention designs cost ~six orders of magnitude more energy.
+    assert (
+        rows["Sutar+"].energy_per_bit_j
+        > rows["D-RaNGe"].energy_per_bit_j * 1e5
+    )

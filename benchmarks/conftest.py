@@ -1,0 +1,66 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper:
+it runs the corresponding experiment at benchmark scale, prints the
+same rows/series the paper reports (visible in the terminal even under
+capture, via ``emit``), asserts the qualitative shape, and times the
+experiment's hot kernel with pytest-benchmark.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+#: Set REPRO_BENCH_SCALE=paper for a larger (slower) sweep: more devices
+#: per manufacturer and deeper characterization regions.
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+#: Benchmark-scale configuration: seeded (reproducible); "bench" scale
+#: uses one device per manufacturer with 8 banks × 1024 rows.
+BENCH_CONFIG = ExperimentConfig(
+    master_seed=2019,
+    noise_seed=20190216,
+    devices_per_manufacturer=4 if _SCALE == "paper" else 1,
+    region_banks=tuple(range(8)),
+    region_rows=2048 if _SCALE == "paper" else 1024,
+    iterations=100,
+)
+
+#: Smaller configuration for the heavier sweeps.
+SMALL_CONFIG = ExperimentConfig(
+    master_seed=2019,
+    noise_seed=20190216,
+    devices_per_manufacturer=1,
+    region_banks=(0, 1),
+    region_rows=512,
+    iterations=100,
+)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a report to the real terminal, bypassing pytest capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return _emit
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under the benchmark timer.
+
+    The experiments are deterministic and heavy; one timed round is the
+    honest measurement (pytest-benchmark's calibration loop would rerun
+    multi-second sweeps dozens of times).
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

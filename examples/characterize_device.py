@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Characterization campaign: reproduce Section 5's studies on one box.
+
+Runs scaled-down versions of the paper's four characterization studies
+on devices from all three manufacturers:
+
+* spatial structure of activation failures (Figure 4),
+* data-pattern dependence (Figure 5, on a pattern subset),
+* temperature effects (Figure 6),
+* failure-probability stability over rounds (Section 5.4).
+
+Run:  python examples/characterize_device.py
+"""
+
+from repro.experiments import fig4_spatial, fig5_dpd, fig6_temperature, sec54_time
+from repro.experiments.common import ExperimentConfig
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        noise_seed=7,
+        devices_per_manufacturer=1,
+        region_banks=(0,),
+        region_rows=512,
+        iterations=100,
+    )
+
+    print("=" * 72)
+    print(fig4_spatial.run(config, rows=512, cols=512).format_report())
+
+    print("\n" + "=" * 72)
+    # A pattern subset keeps the example fast; drop pattern_names to
+    # sweep all 40 patterns like the paper.
+    subset = (
+        "solid0", "solid1", "checkered0", "checkered1",
+        "rowstripe", "colstripe",
+        "walk1_00", "walk1_07", "walk1_15", "walk0_00", "walk0_07", "walk0_15",
+    )
+    print(fig5_dpd.run(config, pattern_names=subset, rows=512).format_report())
+
+    print("\n" + "=" * 72)
+    print(
+        fig6_temperature.run(
+            config, base_temps_c=(55.0, 65.0), rows=256
+        ).format_report()
+    )
+
+    print("\n" + "=" * 72)
+    print(sec54_time.run(config, rounds=10, rows=256).format_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: generate true random numbers from a (simulated) DRAM chip.
+
+Walks the full D-RaNGe pipeline on one LPDDR4 device:
+
+1. characterize a DRAM region with reduced tRCD (Algorithm 1),
+2. identify RNG cells with the 3-bit-symbol entropy filter,
+3. sample them at high throughput (Algorithm 2),
+4. sanity-check the output with a few NIST tests.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DRange, DeviceFactory
+from repro.core.profiling import Region
+from repro.nist import run_suite
+
+
+def main() -> None:
+    # A fresh device from manufacturer A.  Omit noise_seed for OS-entropy
+    # (true random) mode; it is seeded here so the walkthrough is
+    # reproducible.
+    factory = DeviceFactory(master_seed=2019, noise_seed=42)
+    device = factory.make_device("A")
+    print(f"device: {device.serial}  ({device.timings.name}, "
+          f"{device.geometry.banks} banks)")
+
+    drange = DRange(device)
+
+    # Offline: profile two banks' first subarrays and filter RNG cells.
+    print("profiling + identifying RNG cells ...")
+    cells = drange.prepare(
+        region=Region(banks=(0, 1, 2, 3), row_start=0, row_count=512),
+        iterations=100,
+    )
+    print(f"identified {len(cells)} RNG cells; first three:")
+    for cell in cells[:3]:
+        print(f"  bank {cell.bank} row {cell.row} col {cell.col}  "
+              f"Fprob={cell.fail_probability:.2f}  H={cell.entropy:.4f}")
+
+    # Online: harvest random data.
+    bits = drange.random_bits(100_000)
+    print(f"\ngenerated {bits.size} bits,  ones ratio {bits.mean():.4f}")
+    print(f"a 256-bit key: {drange.random_bytes(32).hex()}")
+
+    # Quality check with a NIST subset (the full 15-test Table 1 run
+    # lives in benchmarks/bench_table1_nist.py).
+    report = run_suite(
+        bits, tests=("monobit", "frequency_within_block", "runs", "approximate_entropy")
+    )
+    print("\n" + report.to_table())
+
+    # Throughput this device would sustain (Figure 8's model).
+    estimate = drange.throughput_model().estimate(8)
+    print(f"\n8-bank throughput: {estimate.throughput_mbps:.1f} Mb/s "
+          f"({estimate.data_rate_bits} bits per "
+          f"{estimate.iteration_ns:.0f} ns loop iteration)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on offline hosts.
+
+The project metadata lives in pyproject.toml; this file exists so
+``pip install -e . --no-use-pep517`` works without the ``wheel`` package.
+"""
+from setuptools import setup
+
+setup()

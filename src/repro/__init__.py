@@ -1,0 +1,50 @@
+"""repro — a reproduction of D-RaNGe (Kim et al., HPCA 2019).
+
+D-RaNGe extracts true random numbers from commodity DRAM by reading
+rows with a deliberately reduced activation latency (tRCD) and
+harvesting the resulting sense-amplifier metastability.  This package
+reimplements the full system on a behavioral DRAM simulator:
+
+* :mod:`repro.dram` — the DRAM device substrate (geometry, timings,
+  manufacturer profiles, activation-failure physics);
+* :mod:`repro.memctrl` — the memory controller D-RaNGe's firmware
+  routine lives in;
+* :mod:`repro.softmc` — a SoftMC-style programmable test host;
+* :mod:`repro.sim` — command timing (mini-Ramulator) and workloads;
+* :mod:`repro.power` — command-trace energy accounting (DRAMPower);
+* :mod:`repro.nist` — the full NIST SP 800-22 test suite;
+* :mod:`repro.core` — D-RaNGe itself (profiling, RNG-cell
+  identification, sampling, throughput/latency models);
+* :mod:`repro.baselines` — prior DRAM-based TRNGs for Table 2;
+* :mod:`repro.analysis` — statistics helpers for the experiments;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quick start::
+
+    from repro import DRange, DeviceFactory
+
+    device = DeviceFactory().make_device("A")
+    drange = DRange(device)
+    drange.prepare()
+    key = drange.random_bytes(32)
+"""
+
+from repro.core.drange import DRange
+from repro.core.integration import DRangeService
+from repro.core.multichannel import MultiChannelDRange
+from repro.dram.device import DeviceFactory, DramDevice
+from repro.health import HealthMonitor
+from repro.noise import NoiseSource
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DRange",
+    "DRangeService",
+    "DeviceFactory",
+    "DramDevice",
+    "HealthMonitor",
+    "MultiChannelDRange",
+    "NoiseSource",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Statistics helpers shared by the characterization experiments."""
+
+from repro.analysis.coverage import coverage_ratios
+from repro.analysis.entropy import min_entropy, shannon_entropy
+from repro.analysis.spatial import SpatialSummary, summarize_bitmap
+from repro.analysis.stats import BoxStats, box_stats, quantize_probability
+
+__all__ = [
+    "BoxStats",
+    "SpatialSummary",
+    "box_stats",
+    "coverage_ratios",
+    "min_entropy",
+    "quantize_probability",
+    "shannon_entropy",
+    "summarize_bitmap",
+]

@@ -1,0 +1,59 @@
+"""Data-pattern coverage metrics (Figure 5's y-axis)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Set, Tuple
+
+import numpy as np
+
+Cell = Tuple[int, int, int]
+
+
+def _cell_set(coords: np.ndarray) -> Set[Cell]:
+    return {tuple(int(v) for v in row) for row in np.asarray(coords).reshape(-1, 3)}
+
+
+def coverage_ratios(
+    failures_by_pattern: Dict[str, np.ndarray]
+) -> Dict[str, float]:
+    """Per-pattern coverage: failures found / union of all failures.
+
+    ``failures_by_pattern`` maps a pattern name to the (N, 3) array of
+    failing-cell coordinates Algorithm 1 discovered with that pattern.
+    This is exactly Figure 5's metric: "the ratio of activation
+    failures discovered by a particular data pattern relative to the
+    total number of failures discovered by all patterns".
+    """
+    if not failures_by_pattern:
+        raise ValueError("need at least one pattern's failures")
+    sets = {name: _cell_set(cells) for name, cells in failures_by_pattern.items()}
+    union: Set[Cell] = set()
+    for cells in sets.values():
+        union |= cells
+    total = len(union)
+    if total == 0:
+        return {name: 0.0 for name in sets}
+    return {name: len(cells) / total for name, cells in sets.items()}
+
+
+def union_growth(per_round_failures: Sequence[np.ndarray]) -> list:
+    """Cumulative unique-failure counts across testing rounds.
+
+    Reproduces the paper's observation that the total failure count
+    keeps growing with more iterations (cells fail probabilistically,
+    Section 5.2 observation 3).
+    """
+    union: Set[Cell] = set()
+    growth = []
+    for cells in per_round_failures:
+        union |= _cell_set(cells)
+        growth.append(len(union))
+    return growth
+
+
+def jaccard(coords_a: np.ndarray, coords_b: np.ndarray) -> float:
+    """Set overlap between two failure populations."""
+    a, b = _cell_set(coords_a), _cell_set(coords_b)
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)

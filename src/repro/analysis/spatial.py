@@ -1,0 +1,83 @@
+"""Spatial-structure extraction from failure bitmaps (Figure 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpatialSummary:
+    """Structure of one bank-region failure bitmap."""
+
+    failing_cells: int
+    failing_columns: Tuple[int, ...]
+    columns_per_subarray: Tuple[int, ...]
+    row_gradient_correlation: float
+
+    @property
+    def has_column_structure(self) -> bool:
+        """True when failures concentrate into few columns (Fig. 4)."""
+        return 0 < len(self.failing_columns)
+
+
+def failing_columns(bitmap: np.ndarray, min_cells: int = 3) -> List[int]:
+    """Columns with at least ``min_cells`` failing cells."""
+    per_column = np.asarray(bitmap).astype(bool).sum(axis=0)
+    return [int(c) for c in np.flatnonzero(per_column >= min_cells)]
+
+
+def row_gradient_correlation(bitmap: np.ndarray, subarray_rows: int) -> float:
+    """Correlation between in-subarray row index and failure density.
+
+    The paper observes failure probability *increasing* toward
+    higher-numbered rows within a subarray; a positive value here
+    confirms that gradient.
+    """
+    bitmap = np.asarray(bitmap).astype(np.float64)
+    n_rows = bitmap.shape[0]
+    row_fail = bitmap.sum(axis=1)
+    row_pos = np.arange(n_rows) % subarray_rows
+    if row_fail.std() == 0 or np.asarray(row_pos, dtype=float).std() == 0:
+        return 0.0
+    return float(np.corrcoef(row_pos, row_fail)[0, 1])
+
+
+def summarize_bitmap(bitmap: np.ndarray, subarray_rows: int) -> SpatialSummary:
+    """Extract Figure 4's qualitative observations from a bitmap.
+
+    ``bitmap`` is (rows, cols) boolean/int; rows are assumed to start at
+    a subarray boundary.
+    """
+    bitmap = np.asarray(bitmap).astype(bool)
+    n_rows = bitmap.shape[0]
+    columns = failing_columns(bitmap)
+    per_subarray = []
+    for start in range(0, n_rows, subarray_rows):
+        chunk = bitmap[start : start + subarray_rows]
+        per_subarray.append(len(failing_columns(chunk)))
+    return SpatialSummary(
+        failing_cells=int(bitmap.sum()),
+        failing_columns=tuple(columns),
+        columns_per_subarray=tuple(per_subarray),
+        row_gradient_correlation=row_gradient_correlation(bitmap, subarray_rows),
+    )
+
+
+def render_bitmap(bitmap: np.ndarray, max_rows: int = 32, max_cols: int = 64) -> str:
+    """ASCII rendering of a failure bitmap (downsampled), for reports."""
+    bitmap = np.asarray(bitmap).astype(bool)
+    rows, cols = bitmap.shape
+    row_step = max(rows // max_rows, 1)
+    col_step = max(cols // max_cols, 1)
+    lines = []
+    for r in range(0, rows, row_step):
+        chunk = bitmap[r : r + row_step]
+        line = "".join(
+            "#" if chunk[:, c : c + col_step].any() else "."
+            for c in range(0, cols, col_step)
+        )
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Distribution summaries matching the paper's plotting conventions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Box-and-whiskers summary (the paper's footnote 3 definition).
+
+    The box spans the first to third quartile, the whiskers extend an
+    additional 1.5×IQR beyond the box, and anything outside is an
+    outlier.
+    """
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    n_outliers: int
+    n: int
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range (box height)."""
+        return self.q3 - self.q1
+
+
+def box_stats(values) -> BoxStats:
+    """Summarize a sample the way the paper's box plots do."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    low_limit = q1 - 1.5 * iqr
+    high_limit = q3 + 1.5 * iqr
+    inside = arr[(arr >= low_limit) & (arr <= high_limit)]
+    whisker_low = float(inside.min()) if inside.size else float(q1)
+    whisker_high = float(inside.max()) if inside.size else float(q3)
+    outliers = int(((arr < low_limit) | (arr > high_limit)).sum())
+    return BoxStats(
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        n_outliers=outliers,
+        n=int(arr.size),
+    )
+
+
+def quantize_probability(probabilities, iterations: int = 100) -> np.ndarray:
+    """Quantize probabilities to the measurement granularity.
+
+    Testing a cell ``iterations`` times can only resolve Fprob in steps
+    of 1/iterations (Figure 6 notes its 1% granularity).
+    """
+    if iterations <= 0:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    arr = np.asarray(probabilities, dtype=np.float64)
+    return np.round(arr * iterations) / iterations

@@ -1,0 +1,30 @@
+"""Prior DRAM-based TRNG designs the paper compares against (Table 2).
+
+Each baseline implements the :class:`~repro.baselines.base.DramTrng`
+interface so the comparison harness (:mod:`repro.baselines.comparison`)
+can evaluate all five designs — the four prior proposals plus D-RaNGe —
+on the same axes: true-randomness, streaming capability, 64-bit latency,
+energy per bit, and peak throughput.
+
+* :mod:`repro.baselines.pyo` — Pyo+ [116], DRAM command-schedule jitter;
+* :mod:`repro.baselines.retention_trng` — Keller+ [65] / Sutar+ [141],
+  data-retention failures hashed into random words;
+* :mod:`repro.baselines.startup_trng` — Tehranipoor+ [144] / Eckert+
+  [39], DRAM power-up values.
+"""
+
+from repro.baselines.base import DramTrng, TrngProperties
+from repro.baselines.comparison import ComparisonRow, comparison_table
+from repro.baselines.pyo import CommandScheduleTrng
+from repro.baselines.retention_trng import RetentionTrng
+from repro.baselines.startup_trng import StartupTrng
+
+__all__ = [
+    "CommandScheduleTrng",
+    "ComparisonRow",
+    "DramTrng",
+    "RetentionTrng",
+    "StartupTrng",
+    "TrngProperties",
+    "comparison_table",
+]

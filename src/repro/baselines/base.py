@@ -1,0 +1,44 @@
+"""Common interface for DRAM-based TRNG designs."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrngProperties:
+    """The Table 2 attribute columns for one design."""
+
+    name: str
+    year: int
+    entropy_source: str
+    true_random: bool
+    streaming_capable: bool
+
+
+class DramTrng(abc.ABC):
+    """A DRAM-based random number generator under evaluation."""
+
+    @property
+    @abc.abstractmethod
+    def properties(self) -> TrngProperties:
+        """Static design attributes."""
+
+    @abc.abstractmethod
+    def generate(self, num_bits: int) -> np.ndarray:
+        """Produce ``num_bits`` output bits (0/1 uint8 array)."""
+
+    @abc.abstractmethod
+    def latency_64bit_ns(self) -> float:
+        """Time to produce the first 64 bits from a cold start."""
+
+    @abc.abstractmethod
+    def energy_per_bit_j(self) -> float:
+        """Energy cost per output bit in joules."""
+
+    @abc.abstractmethod
+    def peak_throughput_mbps(self) -> float:
+        """Best-case sustained throughput in Mb/s."""

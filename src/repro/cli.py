@@ -1,0 +1,257 @@
+"""Command-line interface for the D-RaNGe reproduction.
+
+Usage (installed, or via ``python -m repro``)::
+
+    python -m repro generate --bytes 32 --manufacturer A
+    python -m repro characterize --manufacturer B --rows 512
+    python -m repro nist --bits 200000
+    python -m repro throughput --banks 8
+    python -m repro latency
+    python -m repro compare
+    python -m repro experiment fig4 fig8 table2
+
+Every subcommand accepts ``--seed`` for reproducible noise (omit for
+OS-entropy true-random mode) and ``--master-seed`` to pick the device
+population.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.drange import DRange
+from repro.core.profiling import Region
+from repro.dram.device import DeviceFactory
+from repro.experiments.common import ExperimentConfig
+
+
+def _experiment_names():
+    from repro.experiments.report import RUNNERS
+
+    return tuple(RUNNERS)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="D-RaNGe (HPCA 2019) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="noise seed (omit for OS-entropy true-random mode)",
+    )
+    parser.add_argument(
+        "--master-seed", type=int, default=2019,
+        help="device-population seed (the 'drawer of chips')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate random bytes")
+    generate.add_argument("--bytes", type=int, default=32, dest="num_bytes")
+    generate.add_argument("--manufacturer", default="A", choices=["A", "B", "C"])
+    generate.add_argument("--banks", type=int, default=4)
+    generate.add_argument("--rows", type=int, default=512)
+    generate.add_argument("--hex", action="store_true", help="print hex instead of raw")
+
+    characterize = sub.add_parser(
+        "characterize", help="run Algorithm 1 and summarize failures"
+    )
+    characterize.add_argument("--manufacturer", default="A", choices=["A", "B", "C"])
+    characterize.add_argument("--rows", type=int, default=512)
+    characterize.add_argument("--iterations", type=int, default=100)
+
+    nist = sub.add_parser("nist", help="run the NIST suite on D-RaNGe output")
+    nist.add_argument("--bits", type=int, default=262_144)
+    nist.add_argument("--manufacturer", default="A", choices=["A", "B", "C"])
+
+    throughput = sub.add_parser("throughput", help="Figure 8 for one device")
+    throughput.add_argument("--manufacturer", default="A", choices=["A", "B", "C"])
+    throughput.add_argument("--banks", type=int, default=8)
+
+    sub.add_parser("latency", help="Section 7.3 64-bit latency scenarios")
+    sub.add_parser("compare", help="Table 2 against prior DRAM TRNGs")
+
+    experiment = sub.add_parser("experiment", help="run paper experiments")
+    experiment.add_argument(
+        "names", nargs="+", choices=_experiment_names() + ("all",),
+        help="experiment ids (or 'all')",
+    )
+    experiment.add_argument(
+        "--output", default=None, help="also write the report to a file"
+    )
+
+    diehard = sub.add_parser(
+        "diehard", help="run the DIEHARD-style battery on D-RaNGe output"
+    )
+    diehard.add_argument("--bits", type=int, default=300_000)
+    diehard.add_argument("--manufacturer", default="A", choices=["A", "B", "C"])
+
+    health = sub.add_parser(
+        "health", help="stream D-RaNGe output through SP 800-90B monitors"
+    )
+    health.add_argument("--bits", type=int, default=200_000)
+    health.add_argument("--manufacturer", default="A", choices=["A", "B", "C"])
+    health.add_argument(
+        "--min-entropy", type=float, default=0.9,
+        help="claimed per-bit min-entropy for the cutoffs",
+    )
+    return parser
+
+
+def _make_drange(args, banks: int, rows: int) -> DRange:
+    factory = DeviceFactory(master_seed=args.master_seed, noise_seed=args.seed)
+    device = factory.make_device(args.manufacturer, 0)
+    drange = DRange(device)
+    drange.prepare(
+        region=Region(banks=tuple(range(banks)), row_start=0, row_count=rows),
+        iterations=100,
+    )
+    return drange
+
+
+def _cmd_generate(args) -> int:
+    drange = _make_drange(args, args.banks, args.rows)
+    data = drange.random_bytes(args.num_bytes)
+    if args.hex:
+        print(data.hex())
+    else:
+        sys.stdout.buffer.write(data)
+        sys.stdout.flush()
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    factory = DeviceFactory(master_seed=args.master_seed, noise_seed=args.seed)
+    device = factory.make_device(args.manufacturer, 0)
+    drange = DRange(device)
+    result = drange.characterize(
+        region=Region(banks=(0,), row_start=0, row_count=args.rows),
+        iterations=args.iterations,
+    )
+    from repro.analysis.spatial import summarize_bitmap
+
+    bitmap = result.counts[0] > 0
+    summary = summarize_bitmap(bitmap, device.geometry.subarray_rows)
+    print(f"device {device.serial} ({device.timings.name})")
+    print(f"pattern {result.pattern_name}, tRCD {result.trcd_ns} ns, "
+          f"{result.iterations} iterations")
+    print(f"failing cells: {summary.failing_cells}")
+    print(f"failing columns: {len(summary.failing_columns)}")
+    print(f"row-gradient correlation: {summary.row_gradient_correlation:+.3f}")
+    print(f"cells in 40-60% band: {len(result.cells_in_band())}")
+    return 0
+
+
+def _cmd_nist(args) -> int:
+    from repro.nist.suite import run_suite
+
+    drange = _make_drange(args, banks=4, rows=512)
+    bits = drange.random_bits(args.bits)
+    report = run_suite(bits)
+    print(report.to_table())
+    return 0 if report.all_passed else 1
+
+
+def _cmd_throughput(args) -> int:
+    drange = _make_drange(args, banks=args.banks, rows=512)
+    model = drange.throughput_model()
+    print("banks  data-rate(b/iter)  iteration(ns)  throughput(Mb/s)")
+    for estimate in model.sweep(args.banks):
+        print(
+            f"{estimate.num_banks:>5}  {estimate.data_rate_bits:>17}  "
+            f"{estimate.iteration_ns:>13.1f}  {estimate.throughput_mbps:>16.1f}"
+        )
+    return 0
+
+
+def _cmd_latency(args) -> int:
+    from repro.experiments import sec73_latency
+
+    print(sec73_latency.run(_config(args)).format_report())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments import table2_comparison
+
+    print(table2_comparison.run(_config(args)).format_report())
+    return 0
+
+
+def _config(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        master_seed=args.master_seed,
+        noise_seed=args.seed,
+        devices_per_manufacturer=1,
+        region_banks=(0, 1, 2, 3),
+        region_rows=512,
+    )
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.report import generate_report
+
+    names = None if "all" in args.names else args.names
+    text, _ = generate_report(config=_config(args), experiments=names)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_diehard(args) -> int:
+    from repro.diehard import run_battery
+
+    drange = _make_drange(args, banks=4, rows=512)
+    bits = drange.random_bits(args.bits)
+    results = run_battery(bits)
+    width = max(len(r.name) for r in results)
+    print(f"{'DIEHARD Test':<{width}}  P-value  Status")
+    for result in results:
+        print(f"{result.name:<{width}}  {result.p_value:7.4f}  {result.status}")
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_health(args) -> int:
+    from repro.analysis.entropy import markov_min_entropy, mcv_min_entropy
+    from repro.health import HealthMonitor
+
+    drange = _make_drange(args, banks=4, rows=512)
+    monitor = HealthMonitor(min_entropy=args.min_entropy)
+    bits = drange.random_bits(args.bits)
+    healthy = monitor.feed(bits)
+    print(f"bits inspected: {monitor.bits_seen}")
+    print(f"repetition-count / adaptive-proportion: "
+          f"{'OK' if healthy else 'ALARM'}")
+    for alarm in monitor.alarms:
+        print(f"  alarm: {alarm.test} — {alarm.detail}")
+    print(f"MCV min-entropy estimate:    {mcv_min_entropy(bits):.4f} bits/bit")
+    print(f"Markov min-entropy estimate: {markov_min_entropy(bits):.4f} bits/bit")
+    return 0 if healthy else 1
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "characterize": _cmd_characterize,
+    "nist": _cmd_nist,
+    "diehard": _cmd_diehard,
+    "health": _cmd_health,
+    "throughput": _cmd_throughput,
+    "latency": _cmd_latency,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""D-RaNGe: the paper's primary contribution.
+
+The pipeline has two halves, mirroring Section 6:
+
+1. **RNG-cell identification** (offline, Section 6.1):
+   :mod:`repro.core.profiling` runs Algorithm 1 to induce and count
+   activation failures; :mod:`repro.core.identification` reads candidate
+   cells many times and keeps those whose 3-bit-symbol distribution is
+   flat (the Shannon-entropy filter), per temperature.
+
+2. **Sampling** (online, Section 6.2):
+   :mod:`repro.core.selection` picks the two highest-density DRAM words
+   per bank; :mod:`repro.core.sampler` runs Algorithm 2 against the
+   memory controller; :mod:`repro.core.throughput`,
+   :mod:`repro.core.latency` and :mod:`repro.core.integration` model
+   Equation 1's throughput, the 64-bit latency bounds, and the
+   full-system firmware queue of Section 6.3.
+
+:class:`repro.core.drange.DRange` is the one-stop facade most users
+want.
+"""
+
+from repro.core.drange import DRange
+from repro.core.identification import (
+    RngCell,
+    RngCellRegistry,
+    identify_rng_cells,
+    verify_unbiased,
+)
+from repro.core.integration import DRangeService
+from repro.core.multichannel import MultiChannelDRange
+from repro.core.profiling import CharacterizationResult, Region, profile_region
+from repro.core.sampler import DRangeSampler
+from repro.core.selection import BankPlan, select_words
+from repro.core.throughput import ThroughputModel
+
+__all__ = [
+    "BankPlan",
+    "CharacterizationResult",
+    "DRange",
+    "DRangeSampler",
+    "DRangeService",
+    "MultiChannelDRange",
+    "Region",
+    "RngCell",
+    "RngCellRegistry",
+    "ThroughputModel",
+    "identify_rng_cells",
+    "profile_region",
+    "select_words",
+    "verify_unbiased",
+]

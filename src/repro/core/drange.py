@@ -1,0 +1,210 @@
+"""The D-RaNGe facade: profile → identify → sample in one object.
+
+Typical use::
+
+    from repro.core import DRange
+    from repro.dram import DeviceFactory
+
+    device = DeviceFactory().make_device("A")
+    drange = DRange(device)
+    drange.prepare()                  # Algorithm 1 + RNG-cell filter
+    bits = drange.random_bits(10_000)
+    data = drange.random_bytes(32)    # e.g. a 256-bit key
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.identification import (
+    RngCell,
+    RngCellRegistry,
+    identify_rng_cells,
+)
+from repro.core.profiling import CharacterizationResult, Region, profile_region
+from repro.core.sampler import DEFAULT_SAMPLING_TRCD_NS, DRangeSampler
+from repro.core.selection import BankPlan, select_words
+from repro.core.throughput import ThroughputModel
+from repro.dram.datapattern import BEST_RNG_PATTERN, DataPattern, pattern_by_name
+from repro.dram.device import DramDevice
+from repro.errors import IdentificationError
+from repro.memctrl.controller import MemoryController
+
+
+class DRange:
+    """High-level D-RaNGe TRNG over one DRAM device.
+
+    Parameters
+    ----------
+    device:
+        The DRAM chip to harvest entropy from.
+    trcd_ns:
+        Reduced activation latency used for both identification and
+        sampling (the paper's characterization value, 10 ns, within the
+        6–13 ns failure window of Section 7.3).
+    pattern:
+        Data pattern held around the RNG cells.  Defaults to the
+        manufacturer-specific pattern the paper selects in Section 5.2.
+    """
+
+    def __init__(
+        self,
+        device: DramDevice,
+        trcd_ns: float = DEFAULT_SAMPLING_TRCD_NS,
+        pattern: Optional[DataPattern] = None,
+    ) -> None:
+        self._device = device
+        self._controller = MemoryController(device)
+        self._trcd_ns = trcd_ns
+        self._pattern = pattern or pattern_by_name(
+            BEST_RNG_PATTERN[device.profile.name]
+        )
+        self._registry = RngCellRegistry(trcd_ns=trcd_ns)
+        self._plans: Optional[List[BankPlan]] = None
+        self._sampler: Optional[DRangeSampler] = None
+
+    @property
+    def device(self) -> DramDevice:
+        """The underlying DRAM device."""
+        return self._device
+
+    @property
+    def controller(self) -> MemoryController:
+        """The memory controller hosting the firmware routine."""
+        return self._controller
+
+    @property
+    def registry(self) -> RngCellRegistry:
+        """Per-temperature identified RNG cells."""
+        return self._registry
+
+    @property
+    def pattern(self) -> DataPattern:
+        """Data pattern in use around the RNG cells."""
+        return self._pattern
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+
+    def characterize(
+        self,
+        region: Optional[Region] = None,
+        iterations: int = 100,
+    ) -> CharacterizationResult:
+        """Algorithm 1 over ``region`` with the configured pattern."""
+        return profile_region(
+            self._device,
+            self._pattern,
+            region=region,
+            trcd_ns=self._trcd_ns,
+            iterations=iterations,
+        )
+
+    def identify(
+        self,
+        characterization: CharacterizationResult,
+        samples: int = 1000,
+        max_cells: Optional[int] = None,
+    ) -> List[RngCell]:
+        """Entropy-filter the ~50% cells and store them in the registry."""
+        candidates = characterization.cells_in_band()
+        cells = identify_rng_cells(
+            self._device,
+            candidates,
+            trcd_ns=self._trcd_ns,
+            samples=samples,
+            max_cells=max_cells,
+        )
+        self._registry.store(self._device.temperature_c, cells)
+        self._plans = None  # Any previous plan is stale.
+        self._sampler = None
+        return cells
+
+    def prepare(
+        self,
+        region: Optional[Region] = None,
+        iterations: int = 100,
+        samples: int = 1000,
+        max_cells: Optional[int] = None,
+    ) -> List[RngCell]:
+        """Characterize + identify in one call; returns the RNG cells."""
+        characterization = self.characterize(region=region, iterations=iterations)
+        return self.identify(characterization, samples=samples, max_cells=max_cells)
+
+    def prepare_at_temperatures(
+        self,
+        chamber,
+        temperatures_c: Sequence[float],
+        region: Optional[Region] = None,
+        iterations: int = 100,
+        samples: int = 1000,
+        max_cells: Optional[int] = None,
+    ) -> RngCellRegistry:
+        """Identify one RNG-cell set per temperature (Section 6.1).
+
+        Entropy is temperature-dependent (Section 5.3), so D-RaNGe keeps
+        a per-temperature registry and samples the set matching the DRAM
+        temperature at request time.  ``chamber`` is a
+        :class:`~repro.testbed.chamber.ThermalChamber` holding this
+        device; it is stepped through ``temperatures_c`` and an
+        identification pass runs at each step.
+        """
+        if self._device not in getattr(chamber, "_devices", [self._device]):
+            chamber.add_device(self._device)
+        for temperature in temperatures_c:
+            chamber.set_dram_temperature(temperature)
+            self.prepare(
+                region=region,
+                iterations=iterations,
+                samples=samples,
+                max_cells=max_cells,
+            )
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+
+    def plans(self, banks: Optional[Sequence[int]] = None) -> List[BankPlan]:
+        """Per-bank word plans at the current temperature."""
+        if self._plans is None:
+            cells = self._registry.cells_at(self._device.temperature_c)
+            if not cells:
+                raise IdentificationError(
+                    "identification produced no RNG cells; profile a larger "
+                    "region or loosen the tolerance"
+                )
+            self._plans = select_words(cells, self._device.geometry, banks=banks)
+        return list(self._plans)
+
+    def sampler(self) -> DRangeSampler:
+        """The Algorithm 2 sampler bound to this device's plans."""
+        if self._sampler is None:
+            self._sampler = DRangeSampler(
+                self._controller,
+                self.plans(),
+                trcd_ns=self._trcd_ns,
+                pattern=self._pattern,
+            )
+        return self._sampler
+
+    def throughput_model(self) -> ThroughputModel:
+        """Figure 8's throughput model for this device."""
+        return ThroughputModel(
+            self.plans(), self._device.timings, trcd_ns=self._trcd_ns
+        )
+
+    def random_bits(self, num_bits: int, fast: bool = True) -> np.ndarray:
+        """Generate ``num_bits`` true random bits."""
+        sampler = self.sampler()
+        if fast:
+            return sampler.generate_fast(num_bits)
+        return sampler.generate(num_bits)
+
+    def random_bytes(self, num_bytes: int, fast: bool = True) -> bytes:
+        """Generate ``num_bytes`` true random bytes."""
+        bits = self.random_bits(num_bytes * 8, fast=fast)
+        return np.packbits(bits).tobytes()

@@ -1,0 +1,200 @@
+"""RNG-cell identification (Section 6.1).
+
+The paper's procedure: read every candidate cell 1000 times with the
+reduced tRCD, approximate its Shannon entropy by counting 3-bit-symbol
+occurrences across the 1000-bit stream, and accept cells for which every
+possible 3-bit symbol appears within ±10% of its expected count.  The
+accepted cells are the *RNG cells* — unbiased, high-entropy — and their
+locations are stored per temperature in the memory controller
+(:class:`RngCellRegistry`), to be re-identified at long intervals
+(≥ 15 days, per the Section 5.4 stability study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.device import DramDevice
+from repro.dram.timing import CHARACTERIZATION_TRCD_NS
+from repro.errors import ConfigurationError, IdentificationError
+
+#: Symbol width used by the entropy filter.
+SYMBOL_BITS = 3
+
+#: Paper defaults for the identification pass.
+DEFAULT_SAMPLES = 1000
+DEFAULT_TOLERANCE = 0.10
+
+#: Re-identification interval suggested by the 15-day stability study.
+REIDENTIFY_INTERVAL_DAYS = 15.0
+
+
+@dataclass(frozen=True)
+class RngCell:
+    """One identified RNG cell and its identification-time statistics."""
+
+    bank: int
+    row: int
+    col: int
+    entropy: float
+    fail_probability: float
+
+    def word_index(self, word_bits: int) -> int:
+        """DRAM word (access granularity) this cell belongs to."""
+        return self.col // word_bits
+
+
+def symbol_counts(bits: np.ndarray, symbol_bits: int = SYMBOL_BITS) -> np.ndarray:
+    """Occurrences of each symbol over overlapping windows of the stream."""
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.size < symbol_bits:
+        raise ConfigurationError(
+            f"stream of {bits.size} bits too short for {symbol_bits}-bit symbols"
+        )
+    n_windows = bits.size - symbol_bits + 1
+    codes = np.zeros(n_windows, dtype=np.int64)
+    for k in range(symbol_bits):
+        codes = (codes << 1) | bits[k : k + n_windows]
+    return np.bincount(codes, minlength=1 << symbol_bits)
+
+
+def passes_symbol_filter(
+    bits: np.ndarray,
+    symbol_bits: int = SYMBOL_BITS,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """True when every symbol count is within ±tolerance of expected."""
+    counts = symbol_counts(bits, symbol_bits)
+    expected = (bits.size - symbol_bits + 1) / float(1 << symbol_bits)
+    return bool(np.all(np.abs(counts - expected) <= tolerance * expected))
+
+
+def stream_entropy(bits: np.ndarray) -> float:
+    """Shannon entropy (bits/bit) from the stream's ones proportion.
+
+    This is the estimate Section 7.1 reports (minimum 0.9507 across
+    RNG cells).
+    """
+    bits = np.asarray(bits)
+    if bits.size == 0:
+        raise ConfigurationError("cannot compute entropy of an empty stream")
+    p = float(bits.mean())
+    if p in (0.0, 1.0):
+        return 0.0
+    return float(-(p * np.log2(p) + (1 - p) * np.log2(1 - p)))
+
+
+def verify_unbiased(
+    device: DramDevice,
+    cells: Sequence[RngCell],
+    trcd_ns: float = CHARACTERIZATION_TRCD_NS,
+    samples: int = 100_000,
+    max_bias: float = 0.004,
+) -> List[RngCell]:
+    """Second-stage bias verification for long-stream use.
+
+    The 1000-sample symbol filter cannot resolve a residual bias of a
+    percent or two, but a megabit NIST monobit test can (it needs
+    |p − 0.5| ≲ 0.002).  For workloads that consume very long streams
+    from individual cells — the Table 1 evaluation — this stage
+    re-samples each identified cell and keeps only those whose measured
+    ones-ratio stays within ``max_bias`` of 1/2, rejecting transition
+    cells that slipped through the symbol filter.
+    """
+    if samples < 10_000:
+        raise ConfigurationError(f"samples must be >= 10000, got {samples}")
+    if not 0.0 < max_bias < 0.5:
+        raise ConfigurationError(f"max_bias must be in (0, 0.5), got {max_bias}")
+    verified: List[RngCell] = []
+    for cell in cells:
+        bits = device.sample_cell_bits(
+            cell.bank, cell.row, cell.col, samples, trcd_ns
+        )
+        if abs(float(bits.mean()) - 0.5) <= max_bias:
+            verified.append(cell)
+    return verified
+
+
+@dataclass
+class RngCellRegistry:
+    """Per-temperature RNG-cell sets stored in the memory controller.
+
+    Section 6.1: entropy changes with temperature, so D-RaNGe keeps one
+    identified set per temperature and samples the set matching the
+    DRAM temperature at request time.
+    """
+
+    trcd_ns: float = CHARACTERIZATION_TRCD_NS
+    _by_temperature: Dict[float, List[RngCell]] = field(default_factory=dict)
+
+    def store(self, temperature_c: float, cells: Sequence[RngCell]) -> None:
+        """Record the identified set for one temperature."""
+        self._by_temperature[round(float(temperature_c), 1)] = list(cells)
+
+    def cells_at(self, temperature_c: float) -> List[RngCell]:
+        """The set identified at the temperature closest to the query.
+
+        Raises :class:`IdentificationError` when the registry is empty.
+        """
+        if not self._by_temperature:
+            raise IdentificationError("no RNG cells identified yet")
+        key = min(
+            self._by_temperature, key=lambda t: abs(t - float(temperature_c))
+        )
+        return list(self._by_temperature[key])
+
+    @property
+    def temperatures(self) -> Tuple[float, ...]:
+        """Temperatures with an identified cell set."""
+        return tuple(sorted(self._by_temperature))
+
+    def __len__(self) -> int:
+        return sum(len(cells) for cells in self._by_temperature.values())
+
+
+def identify_rng_cells(
+    device: DramDevice,
+    candidates: np.ndarray,
+    trcd_ns: float = CHARACTERIZATION_TRCD_NS,
+    samples: int = DEFAULT_SAMPLES,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_cells: Optional[int] = None,
+) -> List[RngCell]:
+    """Apply the 3-bit-symbol entropy filter to candidate cells.
+
+    ``candidates`` is an (N, 3) array of (bank, row, col) coordinates —
+    typically :meth:`CharacterizationResult.cells_in_band` output, which
+    prunes the full-array scan to cells already near 50% Fprob.  Each
+    candidate is sampled ``samples`` times at the reduced tRCD and kept
+    if its symbol distribution is flat.
+    """
+    candidates = np.asarray(candidates)
+    if candidates.ndim != 2 or (candidates.size and candidates.shape[1] != 3):
+        raise ConfigurationError(
+            f"candidates must be (N, 3) coordinates, got shape {candidates.shape}"
+        )
+    if samples < 100:
+        raise ConfigurationError(f"samples must be >= 100, got {samples}")
+
+    accepted: List[RngCell] = []
+    for bank, row, col in candidates:
+        bits = device.sample_cell_bits(
+            int(bank), int(row), int(col), samples, trcd_ns
+        )
+        if not passes_symbol_filter(bits, tolerance=tolerance):
+            continue
+        accepted.append(
+            RngCell(
+                bank=int(bank),
+                row=int(row),
+                col=int(col),
+                entropy=stream_entropy(bits),
+                fail_probability=float(bits.mean()),
+            )
+        )
+        if max_cells is not None and len(accepted) >= max_cells:
+            break
+    return accepted

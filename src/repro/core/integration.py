@@ -1,0 +1,138 @@
+"""Full-system integration: the firmware random-number service.
+
+Section 6.3: D-RaNGe runs as a small firmware routine in the memory
+controller.  It keeps a queue of already-harvested bits so application
+requests are answered with low latency, refilling the queue whenever
+DRAM bandwidth is idle; the controller duty-cycles between reduced-tRCD
+sampling windows and default-timing application service.
+
+:class:`DRangeService` models that routine, including the
+throughput-vs-interference tradeoff of Section 7.3: a ``duty_cycle`` of
+0.25 means a quarter of DRAM time is spent generating random numbers,
+scaling sustained throughput accordingly while application requests see
+the remaining bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.core.sampler import DRangeSampler
+from repro.errors import ConfigurationError, HealthError
+from repro.health import HealthMonitor
+
+
+class DRangeService:
+    """Firmware-style random-number service with a harvest queue."""
+
+    def __init__(
+        self,
+        sampler: DRangeSampler,
+        queue_bits: int = 4096,
+        refill_batch_bits: int = 1024,
+        duty_cycle: float = 1.0,
+        health_monitor: Optional[HealthMonitor] = None,
+    ) -> None:
+        if queue_bits <= 0:
+            raise ConfigurationError(f"queue_bits must be positive, got {queue_bits}")
+        if refill_batch_bits <= 0 or refill_batch_bits > queue_bits:
+            raise ConfigurationError(
+                "refill_batch_bits must be in (0, queue_bits], got "
+                f"{refill_batch_bits}"
+            )
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ConfigurationError(
+                f"duty_cycle must be in (0, 1], got {duty_cycle}"
+            )
+        self._sampler = sampler
+        self._queue: Deque[int] = deque(maxlen=queue_bits)
+        self._queue_bits = queue_bits
+        self._refill_batch_bits = refill_batch_bits
+        self._duty_cycle = duty_cycle
+        self._bits_served = 0
+        self._health = health_monitor
+
+    @property
+    def queue_level(self) -> int:
+        """Bits currently buffered."""
+        return len(self._queue)
+
+    @property
+    def bits_served(self) -> int:
+        """Total bits handed to applications so far."""
+        return self._bits_served
+
+    @property
+    def health_monitor(self) -> Optional[HealthMonitor]:
+        """The attached SP 800-90B monitor, if any."""
+        return self._health
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of DRAM time allotted to random-number generation."""
+        return self._duty_cycle
+
+    def set_duty_cycle(self, duty_cycle: float) -> None:
+        """Re-balance the interference/throughput tradeoff at runtime."""
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ConfigurationError(
+                f"duty_cycle must be in (0, 1], got {duty_cycle}"
+            )
+        self._duty_cycle = duty_cycle
+
+    def _refill(self) -> None:
+        """Top the queue up to capacity with one sampling batch."""
+        space = self._queue_bits - len(self._queue)
+        if space <= 0:
+            return
+        batch = min(self._refill_batch_bits, space)
+        fresh = self._sampler.generate_fast(batch)
+        if self._health is not None and not self._health.feed(fresh):
+            alarm = self._health.alarms[-1]
+            raise HealthError(
+                f"entropy source degraded: {alarm.test} — {alarm.detail}; "
+                "re-identify RNG cells and reset the monitor"
+            )
+        self._queue.extend(int(b) for b in fresh)
+
+    def request(self, num_bits: int) -> np.ndarray:
+        """The REQUEST/RECEIVE interface: return ``num_bits`` random bits.
+
+        Serves from the queue when possible; triggers refills (the
+        firmware sampling routine) otherwise.  Requests larger than the
+        queue capacity are served across multiple refill rounds.
+        """
+        if num_bits <= 0:
+            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
+        out = np.empty(num_bits, dtype=np.uint8)
+        filled = 0
+        while filled < num_bits:
+            if not self._queue:
+                self._refill()
+            take = min(len(self._queue), num_bits - filled)
+            for i in range(take):
+                out[filled + i] = self._queue.popleft()
+            filled += take
+        self._bits_served += num_bits
+        return out
+
+    def request_bytes(self, num_bytes: int) -> bytes:
+        """Convenience: ``num_bytes`` random bytes."""
+        bits = self.request(num_bytes * 8)
+        return np.packbits(bits).tobytes()
+
+    def sustained_throughput_mbps(self, full_rate_mbps: float) -> float:
+        """Sustained rate under the configured duty cycle.
+
+        ``full_rate_mbps`` is the dedicated-mode throughput (Figure 8);
+        duty-cycling with application traffic scales it linearly, the
+        flexibility knob of Section 7.3.
+        """
+        if full_rate_mbps < 0:
+            raise ConfigurationError(
+                f"full_rate_mbps must be non-negative, got {full_rate_mbps}"
+            )
+        return full_rate_mbps * self._duty_cycle

@@ -1,0 +1,103 @@
+"""Latency to produce a 64-bit random value (Section 7.3, "Low Latency").
+
+The paper bounds D-RaNGe's latency using JEDEC LPDDR4 timings:
+
+* **maximum** — 1 RNG cell per word, a single bank in a single channel:
+  64 strictly sequential reduced-latency accesses;
+* **parallel** — 16 accesses per channel across 4 channels (64 bits at
+  1 bit/access): reported as 220 ns;
+* **minimum** — 4 RNG cells per word, all banks of 4 channels: 100 ns.
+
+This module reproduces those estimates with the timing engine.  Unlike
+the paper's idealized per-access figure, the engine enforces the full
+constraint set; ``aggressive_precharge`` controls whether the loop
+waits out tRAS before PRE (D-RaNGe may violate tRAS too — the sampled
+word's contents are rewritten every iteration anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dram.timing import TimingParameters
+from repro.errors import ConfigurationError
+from repro.sim.engine import TimingEngine
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Latency of one 64-bit generation scenario."""
+
+    scenario: str
+    channels: int
+    banks_per_channel: int
+    bits_per_access: int
+    latency_ns: float
+
+
+def _engine_timings(
+    timings: TimingParameters, aggressive_precharge: bool
+) -> TimingParameters:
+    if not aggressive_precharge:
+        return timings
+    # Allow PRE as soon as the read-to-precharge window closes instead
+    # of waiting out full restoration.
+    return replace(timings, tras_ns=max(timings.trtp_ns, 1.0))
+
+
+def sixty_four_bit_latency(
+    timings: TimingParameters,
+    trcd_ns: float,
+    channels: int,
+    banks_per_channel: int,
+    bits_per_access: int,
+    aggressive_precharge: bool = True,
+) -> LatencyEstimate:
+    """Time until 64 random bits are available in a given configuration.
+
+    Channels operate independently, so the channel-level latency is the
+    time one channel needs to complete its share of the accesses.
+    """
+    if channels <= 0 or banks_per_channel <= 0 or bits_per_access <= 0:
+        raise ConfigurationError("channels, banks and bits/access must be positive")
+    total_accesses = -(-64 // bits_per_access)  # ceil
+    per_channel = -(-total_accesses // channels)
+
+    engine = TimingEngine(
+        _engine_timings(timings, aggressive_precharge), banks=banks_per_channel
+    )
+    remaining = per_channel
+    last_data_ns = 0.0
+    row_toggle = 0
+    while remaining > 0:
+        batch = min(remaining, banks_per_channel)
+        issued = []
+        for bank in range(batch):
+            engine.activate(bank, row_toggle)
+        for bank in range(batch):
+            issued.append(engine.read(bank, trcd_ns=trcd_ns))
+        for bank in range(batch):
+            engine.precharge(bank)
+        last_data_ns = engine.read_data_available_ns(issued[-1])
+        remaining -= batch
+        row_toggle ^= 1
+
+    scenario = (
+        f"{channels}ch x {banks_per_channel}bank, {bits_per_access}b/access"
+    )
+    return LatencyEstimate(
+        scenario=scenario,
+        channels=channels,
+        banks_per_channel=banks_per_channel,
+        bits_per_access=bits_per_access,
+        latency_ns=last_data_ns,
+    )
+
+
+def paper_scenarios(timings: TimingParameters, trcd_ns: float = 10.0):
+    """The three Section 7.3 configurations, worst to best."""
+    return (
+        sixty_four_bit_latency(timings, trcd_ns, 1, 1, 1),
+        sixty_four_bit_latency(timings, trcd_ns, 4, 8, 1),
+        sixty_four_bit_latency(timings, trcd_ns, 4, 8, 4),
+    )

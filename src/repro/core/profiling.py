@@ -1,0 +1,195 @@
+"""Algorithm 1: inducing and counting activation failures over a region.
+
+``profile_region`` implements the paper's characterization loop — write
+a data pattern, reduce tRCD, probe every (row, column) with
+refresh → ACT → READ → PRE, record failures — and returns per-cell
+failure counts.
+
+Two execution paths produce statistically identical results:
+
+* ``command_level=True`` drives every probe through the behavioral bank
+  protocol, one command at a time — faithful but slow; used by tests to
+  validate the fast path.
+* the default fast path evaluates the per-cell failure probabilities
+  once (conditions are held constant across iterations, exactly as
+  Algorithm 1's per-access refresh guarantees) and draws binomial
+  counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.datapattern import DataPattern
+from repro.dram.device import DramDevice
+from repro.dram.timing import CHARACTERIZATION_TRCD_NS
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Region:
+    """A rectangular DRAM region under characterization."""
+
+    banks: Tuple[int, ...] = (0,)
+    row_start: int = 0
+    row_count: int = 512
+
+    def __post_init__(self) -> None:
+        if not self.banks:
+            raise ConfigurationError("a region needs at least one bank")
+        if self.row_count <= 0:
+            raise ConfigurationError(
+                f"row_count must be positive, got {self.row_count}"
+            )
+        if self.row_start < 0:
+            raise ConfigurationError(
+                f"row_start must be non-negative, got {self.row_start}"
+            )
+
+    @property
+    def rows(self) -> range:
+        """Rows covered by the region."""
+        return range(self.row_start, self.row_start + self.row_count)
+
+
+@dataclass
+class CharacterizationResult:
+    """Per-cell failure counts from one Algorithm 1 run.
+
+    ``counts[bank_pos, row_pos, col]`` is the number of iterations in
+    which that cell read back flipped; ``bank_pos``/``row_pos`` index
+    into ``region.banks`` / ``region.rows``.
+    """
+
+    region: Region
+    pattern_name: str
+    trcd_ns: float
+    iterations: int
+    temperature_c: float
+    counts: np.ndarray = field(repr=False)
+
+    @property
+    def fail_probabilities(self) -> np.ndarray:
+        """Empirical per-cell failure probability (counts / iterations)."""
+        return self.counts / float(self.iterations)
+
+    @property
+    def failing_cell_count(self) -> int:
+        """Cells that failed at least once."""
+        return int((self.counts > 0).sum())
+
+    def failing_cells(self) -> np.ndarray:
+        """(bank, row, col) coordinates of every cell that ever failed."""
+        bank_pos, row_pos, cols = np.nonzero(self.counts)
+        banks = np.asarray(self.region.banks)[bank_pos]
+        rows = self.region.row_start + row_pos
+        return np.stack([banks, rows, cols], axis=1)
+
+    def cells_in_band(self, low: float = 0.4, high: float = 0.6) -> np.ndarray:
+        """(bank, row, col) of cells with empirical Fprob in [low, high]."""
+        probs = self.fail_probabilities
+        bank_pos, row_pos, cols = np.nonzero((probs >= low) & (probs <= high))
+        banks = np.asarray(self.region.banks)[bank_pos]
+        rows = self.region.row_start + row_pos
+        return np.stack([banks, rows, cols], axis=1)
+
+
+def profile_region(
+    device: DramDevice,
+    pattern: DataPattern,
+    region: Optional[Region] = None,
+    trcd_ns: float = CHARACTERIZATION_TRCD_NS,
+    iterations: int = 100,
+    command_level: bool = False,
+    write_pattern: bool = True,
+) -> CharacterizationResult:
+    """Run Algorithm 1 over ``region`` and return per-cell fail counts.
+
+    Parameters mirror the paper's testing methodology (Section 4):
+    ``trcd_ns`` defaults to the characterization value of 10 ns and
+    ``iterations`` to the 100 rounds used for Fprob estimates.
+    """
+    if iterations <= 0:
+        raise ConfigurationError(f"iterations must be positive, got {iterations}")
+    if region is None:
+        region = Region()
+    geometry = device.geometry
+    for bank in region.banks:
+        geometry.validate_bank(bank)
+    if region.row_start + region.row_count > geometry.rows_per_bank:
+        raise ConfigurationError(
+            f"region rows [{region.row_start}, "
+            f"{region.row_start + region.row_count}) exceed bank size "
+            f"{geometry.rows_per_bank}"
+        )
+
+    if write_pattern:
+        device.write_pattern(pattern, banks=region.banks, rows=region.rows)
+
+    counts = np.zeros(
+        (len(region.banks), region.row_count, geometry.cols_per_row),
+        dtype=np.int64,
+    )
+    if command_level:
+        _profile_command_level(device, region, trcd_ns, iterations, counts)
+    else:
+        for bank_pos, bank in enumerate(region.banks):
+            for row_pos, row in enumerate(region.rows):
+                counts[bank_pos, row_pos] = device.sample_row_fail_counts(
+                    bank, row, trcd_ns, iterations
+                )
+
+    return CharacterizationResult(
+        region=region,
+        pattern_name=pattern.name,
+        trcd_ns=trcd_ns,
+        iterations=iterations,
+        temperature_c=device.temperature_c,
+        counts=counts,
+    )
+
+
+def _profile_command_level(
+    device: DramDevice,
+    region: Region,
+    trcd_ns: float,
+    iterations: int,
+    counts: np.ndarray,
+) -> None:
+    """Faithful per-command Algorithm 1 (column order, refresh first)."""
+    geometry = device.geometry
+    for _ in range(iterations):
+        # Column (word) order, as Algorithm 1 lines 4-5: every access
+        # goes to a closed row and therefore requires an activation.
+        for word in range(geometry.words_per_row):
+            col_slice = slice(
+                word * geometry.word_bits, (word + 1) * geometry.word_bits
+            )
+            for bank_pos, bank in enumerate(region.banks):
+                target = device.bank(bank)
+                for row_pos, row in enumerate(region.rows):
+                    target.refresh_row(row)  # lines 6-7: ACT + PRE at spec
+                    expected = target.stored_row(row)[col_slice]
+                    got = device.probe_word(bank, row, word, trcd_ns)  # 8-10
+                    counts[bank_pos, row_pos, col_slice] += expected != got
+
+
+def profile_patterns(
+    device: DramDevice,
+    patterns: Sequence[DataPattern],
+    region: Optional[Region] = None,
+    trcd_ns: float = CHARACTERIZATION_TRCD_NS,
+    iterations: int = 100,
+) -> Iterable[CharacterizationResult]:
+    """Run Algorithm 1 once per pattern (the Figure 5 sweep)."""
+    for pattern in patterns:
+        yield profile_region(
+            device,
+            pattern,
+            region=region,
+            trcd_ns=trcd_ns,
+            iterations=iterations,
+        )

@@ -1,0 +1,178 @@
+"""Algorithm 2: the online random-number sampling loop (Section 6.2).
+
+:class:`DRangeSampler` drives a :class:`~repro.memctrl.controller
+.MemoryController` through the paper's loop: write the high-entropy
+pattern around the chosen words, reserve the rows, reduce tRCD, then
+per bank alternate reduced-latency reads of the two chosen words —
+extracting the RNG cells' bits — and write the original data back.
+
+Two generation paths:
+
+* :meth:`generate` — the faithful command-level loop, timed through the
+  controller's engine (used for throughput/latency/energy accounting);
+* :meth:`generate_fast` — statistically identical vectorized sampling
+  (per-access outcomes are independent Bernoulli draws because the loop
+  restores all state between accesses); used to build the multi-megabit
+  streams the NIST suite consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.selection import BankPlan, WordChoice, require_plans
+from repro.dram.datapattern import BEST_RNG_PATTERN, DataPattern, pattern_by_name
+from repro.errors import ConfigurationError
+from repro.memctrl.controller import MemoryController
+
+#: Default reduced activation latency for sampling (Section 4).
+DEFAULT_SAMPLING_TRCD_NS = 10.0
+
+
+class DRangeSampler:
+    """Runs Algorithm 2 against one memory channel."""
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        plans: Sequence[BankPlan],
+        trcd_ns: float = DEFAULT_SAMPLING_TRCD_NS,
+        pattern: Optional[DataPattern] = None,
+    ) -> None:
+        self._controller = controller
+        self._plans = list(require_plans(plans))
+        if trcd_ns >= controller.device.timings.trcd_ns:
+            raise ConfigurationError(
+                f"sampling tRCD {trcd_ns} ns must be below spec "
+                f"{controller.device.timings.trcd_ns} ns"
+            )
+        self._trcd_ns = trcd_ns
+        if pattern is None:
+            pattern = pattern_by_name(
+                BEST_RNG_PATTERN[controller.device.profile.name]
+            )
+        self._pattern = pattern
+
+    @property
+    def plans(self) -> Sequence[BankPlan]:
+        """Per-bank word plans in use."""
+        return tuple(self._plans)
+
+    @property
+    def data_rate_bits_per_iteration(self) -> int:
+        """Random bits one loop iteration yields across all banks."""
+        return sum(plan.data_rate_bits for plan in self._plans)
+
+    @property
+    def pattern(self) -> DataPattern:
+        """The high-entropy data pattern kept around the RNG cells."""
+        return self._pattern
+
+    # ------------------------------------------------------------------
+    # Setup / teardown (Alg. 2 lines 2-6 and 18-19)
+    # ------------------------------------------------------------------
+
+    def _rows_with_neighbors(self) -> List[Tuple[int, int]]:
+        geometry = self._controller.device.geometry
+        rows: List[Tuple[int, int]] = []
+        for plan in self._plans:
+            for _, row in plan.reserved_rows:
+                for neighbor in (row - 1, row, row + 1):
+                    if 0 <= neighbor < geometry.rows_per_bank:
+                        rows.append((plan.bank, neighbor))
+        return rows
+
+    def setup(self) -> None:
+        """Write the pattern, reserve rows, reduce tRCD (lines 2-6)."""
+        device = self._controller.device
+        rows = self._rows_with_neighbors()
+        for bank, row in rows:
+            device.bank(bank).write_row(
+                row, self._pattern.row_values(row, device.geometry.cols_per_row)
+            )
+        self._controller.reserve_rows(rows)
+        self._controller.set_reduced_trcd(self._trcd_ns)
+
+    def teardown(self) -> None:
+        """Restore spec timings and release the rows (lines 18-19)."""
+        self._controller.restore_timings()
+        self._controller.release_rows()
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    def _harvest_word(self, choice: WordChoice) -> List[int]:
+        """Lines 8-11 / 12-15 for one chosen word."""
+        device = self._controller.device
+        word_bits = device.geometry.word_bits
+        read = self._controller.reduced_read(choice.bank, choice.row, choice.word)
+        harvested = [int(read[cell.col % word_bits]) for cell in choice.cells]
+        original = self._pattern.values(
+            np.int64(choice.row), np.asarray(device.geometry.word_cols(choice.word))
+        )
+        self._controller.writeback(choice.bank, choice.word, original)
+        # The memory barrier of lines 11/15: the next ACT to this bank
+        # (the alternation partner) cannot issue before the write
+        # completes, which the timing engine's write-recovery + tRP
+        # constraints already enforce.
+        self._controller.precharge(choice.bank)
+        return harvested
+
+    def generate(self, num_bits: int) -> np.ndarray:
+        """Faithful Algorithm 2: returns ``num_bits`` random bits.
+
+        The controller's engine trace accumulates the command stream,
+        so wrapping this call with trace inspection yields the paper's
+        throughput and energy measurements.
+        """
+        if num_bits <= 0:
+            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
+        self.setup()
+        bitstream: List[int] = []
+        try:
+            while len(bitstream) < num_bits:
+                for plan in self._plans:
+                    bitstream.extend(self._harvest_word(plan.word1))
+                    bitstream.extend(self._harvest_word(plan.word2))
+                if not self.data_rate_bits_per_iteration:
+                    raise ConfigurationError("selected words contain no RNG cells")
+        finally:
+            self.teardown()
+        return np.asarray(bitstream[:num_bits], dtype=np.uint8)
+
+    def generate_fast(self, num_bits: int) -> np.ndarray:
+        """Vectorized, statistically identical generation.
+
+        Valid because Algorithm 2 restores every piece of state between
+        accesses (pattern write-back, precharge, constant temperature),
+        making each access an independent Bernoulli draw per RNG cell.
+        """
+        if num_bits <= 0:
+            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
+        self.setup()
+        try:
+            device = self._controller.device
+            cells = [
+                cell
+                for plan in self._plans
+                for choice in (plan.word1, plan.word2)
+                for cell in choice.cells
+            ]
+            if not cells:
+                raise ConfigurationError("selected words contain no RNG cells")
+            per_cell = -(-num_bits // len(cells))  # ceil
+            streams = [
+                device.sample_cell_bits(
+                    cell.bank, cell.row, cell.col, per_cell, self._trcd_ns
+                )
+                for cell in cells
+            ]
+            # Interleave in loop order: iteration-major, cell-minor,
+            # matching the order Algorithm 2 appends bits.
+            interleaved = np.stack(streams, axis=1).reshape(-1)
+        finally:
+            self.teardown()
+        return interleaved[:num_bits].astype(np.uint8)

@@ -1,0 +1,117 @@
+"""DRAM-word selection for Algorithm 2 (Section 6.2, lines 3-5).
+
+For each bank, D-RaNGe picks the two DRAM words with the highest RNG-
+cell density, *in distinct rows* so alternating accesses always hit a
+closed row (bank conflicts by construction — only the first access
+after an ACT can fail).  The per-bank RNG-cell sum of the two chosen
+words is that bank's TRNG data rate in bits per Algorithm 2 iteration.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.identification import RngCell
+from repro.dram.geometry import DeviceGeometry
+from repro.errors import IdentificationError
+
+
+@dataclass(frozen=True)
+class WordChoice:
+    """One chosen DRAM word and the RNG cells it contains."""
+
+    bank: int
+    row: int
+    word: int
+    cells: Tuple[RngCell, ...]
+
+    @property
+    def data_rate_bits(self) -> int:
+        """Random bits one reduced-latency access of this word yields."""
+        return len(self.cells)
+
+
+@dataclass(frozen=True)
+class BankPlan:
+    """The two alternating words Algorithm 2 uses in one bank."""
+
+    word1: WordChoice
+    word2: WordChoice
+
+    def __post_init__(self) -> None:
+        if self.word1.bank != self.word2.bank:
+            raise ValueError("a bank plan must stay within one bank")
+        if self.word1.row == self.word2.row:
+            raise ValueError(
+                "the two words must sit in distinct rows (bank-conflict "
+                "alternation, Alg. 2 lines 8/12)"
+            )
+
+    @property
+    def bank(self) -> int:
+        """Bank this plan drives."""
+        return self.word1.bank
+
+    @property
+    def data_rate_bits(self) -> int:
+        """Bank TRNG data rate: RNG cells across both words."""
+        return self.word1.data_rate_bits + self.word2.data_rate_bits
+
+    @property
+    def reserved_rows(self) -> Tuple[Tuple[int, int], ...]:
+        """(bank, row) pairs Algorithm 2 must reserve (plus neighbors,
+        which the caller expands using the device geometry)."""
+        return ((self.bank, self.word1.row), (self.bank, self.word2.row))
+
+
+def select_words(
+    cells: Sequence[RngCell],
+    geometry: DeviceGeometry,
+    banks: Optional[Sequence[int]] = None,
+) -> List[BankPlan]:
+    """Build per-bank plans from an identified RNG-cell set.
+
+    Returns a plan for every requested bank that has RNG cells in at
+    least two distinct rows; banks without enough cells are skipped
+    (the paper's Figure 7 shows every real bank qualifies, but small
+    simulated regions may not).
+    """
+    by_word: Dict[Tuple[int, int, int], List[RngCell]] = defaultdict(list)
+    for cell in cells:
+        by_word[(cell.bank, cell.row, cell.word_index(geometry.word_bits))].append(
+            cell
+        )
+
+    words_by_bank: Dict[int, List[WordChoice]] = defaultdict(list)
+    for (bank, row, word), word_cells in by_word.items():
+        words_by_bank[bank].append(
+            WordChoice(bank=bank, row=row, word=word, cells=tuple(word_cells))
+        )
+
+    wanted = sorted(words_by_bank) if banks is None else list(banks)
+    plans: List[BankPlan] = []
+    for bank in wanted:
+        choices = sorted(
+            words_by_bank.get(bank, ()),
+            key=lambda w: (-w.data_rate_bits, w.row, w.word),
+        )
+        if not choices:
+            continue
+        best = choices[0]
+        second = next((w for w in choices[1:] if w.row != best.row), None)
+        if second is None:
+            continue
+        plans.append(BankPlan(word1=best, word2=second))
+    return plans
+
+
+def require_plans(plans: Sequence[BankPlan]) -> Sequence[BankPlan]:
+    """Raise a helpful error when selection produced no usable banks."""
+    if not plans:
+        raise IdentificationError(
+            "no bank has RNG cells in two distinct rows; profile a larger "
+            "region or relax the identification tolerance"
+        )
+    return plans

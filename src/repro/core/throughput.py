@@ -1,0 +1,148 @@
+"""TRNG throughput model (Section 7.2 / Figure 8 / Equation 1).
+
+Equation 1 of the paper::
+
+    TRNG_Throughput(x banks) = Σ_bank TRNG_data_rate(bank)
+                               / Alg2_Runtime(x banks)
+
+The per-bank data rate comes from word selection
+(:mod:`repro.core.selection`); the Algorithm 2 core-loop runtime comes
+from replaying the loop's command stream through the timing engine —
+the role Ramulator plays in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.selection import BankPlan
+from repro.dram.timing import TimingParameters
+from repro.errors import ConfigurationError
+from repro.sim.engine import TimingEngine
+from repro.units import mbps
+
+
+def refresh_overhead_factor(timings: TimingParameters) -> float:
+    """Fraction of time lost to mandatory refresh (tRFC per tREFI).
+
+    Algorithm 2 must still let REF through (Section 6.3: sampling runs
+    when DRAM "is not servicing other requests or maintenance
+    commands"), so sustained throughput scales by ``1 − tRFC/tREFI``.
+    """
+    return 1.0 - timings.trfc_ns / timings.trefi_ns
+
+
+def alg2_iteration_time_ns(
+    timings: TimingParameters,
+    num_banks: int,
+    trcd_ns: float,
+    measured_iterations: int = 8,
+    warmup_iterations: int = 2,
+    include_refresh: bool = False,
+) -> float:
+    """Steady-state time of one Algorithm 2 core-loop iteration.
+
+    One iteration covers, for each of ``num_banks`` banks, both chosen
+    words: ACT → reduced READ → write-back WRITE → PRE, twice.  Commands
+    are interleaved across banks the way the paper's firmware exploits
+    bank parallelism; the engine serializes them only where JEDEC
+    constraints (tRRD, tFAW, bus occupancy, turnarounds) require.
+    """
+    if num_banks <= 0:
+        raise ConfigurationError(f"num_banks must be positive, got {num_banks}")
+    engine = TimingEngine(timings, banks=num_banks)
+
+    # Software-pipelined schedule: reads of all banks, then write-backs
+    # of all banks (grouping column commands minimizes bus turnarounds),
+    # then per-bank PRE immediately chased by the next phase's ACT so
+    # row cycles of consecutive phases overlap across banks.
+    for bank in range(num_banks):
+        engine.activate(bank, 0)
+
+    def half_iteration(next_row: int) -> None:
+        for bank in range(num_banks):
+            engine.read(bank, trcd_ns=trcd_ns)
+        for bank in range(num_banks):
+            engine.write(bank)
+        for bank in range(num_banks):
+            engine.precharge(bank)
+        for bank in range(num_banks):
+            engine.activate(bank, next_row)
+
+    for i in range(2 * warmup_iterations):
+        half_iteration((i + 1) % 2)
+    start = engine.now_ns
+    for i in range(2 * measured_iterations):
+        half_iteration(i % 2)
+    iteration_ns = (engine.now_ns - start) / measured_iterations
+    if include_refresh:
+        iteration_ns /= refresh_overhead_factor(timings)
+    return iteration_ns
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """Throughput of one device at one bank count."""
+
+    num_banks: int
+    data_rate_bits: int
+    iteration_ns: float
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Equation 1 in Mb/s."""
+        if self.data_rate_bits == 0:
+            return 0.0
+        return mbps(self.data_rate_bits, self.iteration_ns)
+
+
+class ThroughputModel:
+    """Per-device Figure 8 evaluation: throughput vs banks used."""
+
+    def __init__(
+        self,
+        plans: Sequence[BankPlan],
+        timings: TimingParameters,
+        trcd_ns: float = 10.0,
+    ) -> None:
+        if trcd_ns <= 0:
+            raise ConfigurationError(f"trcd_ns must be positive, got {trcd_ns}")
+        self._plans = sorted(plans, key=lambda p: -p.data_rate_bits)
+        self._timings = timings
+        self._trcd_ns = trcd_ns
+
+    @property
+    def available_banks(self) -> int:
+        """Banks with a usable word plan."""
+        return len(self._plans)
+
+    def best_plans(self, num_banks: int) -> List[BankPlan]:
+        """The ``num_banks`` plans with the greatest RNG-cell sums
+        (Section 7.3's selection rule)."""
+        if num_banks <= 0:
+            raise ConfigurationError(f"num_banks must be positive, got {num_banks}")
+        return list(self._plans[:num_banks])
+
+    def estimate(self, num_banks: int) -> ThroughputEstimate:
+        """Equation 1 for the best ``num_banks`` banks of this device."""
+        chosen = self.best_plans(num_banks)
+        data_rate = sum(plan.data_rate_bits for plan in chosen)
+        iteration = alg2_iteration_time_ns(
+            self._timings, max(len(chosen), 1), self._trcd_ns
+        )
+        return ThroughputEstimate(
+            num_banks=len(chosen), data_rate_bits=data_rate, iteration_ns=iteration
+        )
+
+    def sweep(self, max_banks: int = 8) -> List[ThroughputEstimate]:
+        """Figure 8's x-axis: estimates for 1..max_banks banks."""
+        top = min(max_banks, self.available_banks)
+        return [self.estimate(x) for x in range(1, top + 1)]
+
+    @staticmethod
+    def channel_scaled_mbps(per_channel_mbps: float, channels: int) -> float:
+        """Multiply by channel count (the 717.4 Mb/s headline is 4×)."""
+        if channels <= 0:
+            raise ConfigurationError(f"channels must be positive, got {channels}")
+        return per_channel_mbps * channels

@@ -1,0 +1,34 @@
+"""A DIEHARD-style statistical battery (Marsaglia [97]).
+
+The paper names DIEHARD alongside NIST as the standard validation
+suites for TRNGs (Section 2.2).  This package implements a compact
+battery of the classic DIEHARD-family tests adapted to bitstreams, each
+returning the same :class:`~repro.nist.result.TestResult` record as the
+NIST tests so reports can mix both suites:
+
+* birthday spacings,
+* overlapping 5-bit patterns (a bit-level OPSO analogue),
+* binary rank of 6×8 matrices,
+* count-the-1s (chi-square over byte popcounts),
+* runs up-and-down (of the byte stream).
+"""
+
+from repro.diehard.battery import (
+    DIEHARD_TESTS,
+    binary_rank_6x8,
+    birthday_spacings,
+    count_the_ones,
+    overlapping_5bit,
+    run_battery,
+    runs_up_down,
+)
+
+__all__ = [
+    "DIEHARD_TESTS",
+    "binary_rank_6x8",
+    "birthday_spacings",
+    "count_the_ones",
+    "overlapping_5bit",
+    "run_battery",
+    "runs_up_down",
+]

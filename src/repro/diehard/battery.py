@@ -1,0 +1,213 @@
+"""The DIEHARD-style tests.
+
+Each test consumes a 0/1 bitstream and returns a
+:class:`~repro.nist.result.TestResult`.  Statistics follow the classic
+Marsaglia battery, adapted where necessary to operate on bitstreams
+(the original operated on 32-bit integer files).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Callable, List, Tuple
+
+import numpy as np
+from scipy.special import erfc, gammaincc
+from scipy.stats import poisson
+
+from repro.errors import InsufficientDataError
+from repro.nist.bits import BitsLike, as_bits, require_length
+from repro.nist.gf2 import rank_gf2
+from repro.nist.result import DEFAULT_ALPHA, TestResult
+from repro.nist.serial import _psi_squared
+
+#: Birthday-spacings parameters: m birthdays in a 2**day_bits-day year.
+BDAY_BITS = 24
+BDAY_PER_SAMPLE = 512
+#: λ = m³ / (4·n) — the Poisson rate of duplicate spacings per sample.
+BDAY_LAMBDA = BDAY_PER_SAMPLE**3 / (4.0 * 2.0**BDAY_BITS)
+
+
+def birthday_spacings(data: BitsLike) -> TestResult:
+    """Duplicate spacings between random "birthdays" are Poisson.
+
+    Draw 512 birthdays of a 2^24-day year from 24-bit words, sort, and
+    count duplicated spacings; per sample the count is Poisson(λ=2).
+    The total over all samples is tested against Poisson(k·λ).
+    """
+    bits = as_bits(data)
+    sample_bits = BDAY_BITS * BDAY_PER_SAMPLE
+    require_length(bits, 2 * sample_bits, "birthday_spacings")
+    k_samples = bits.size // sample_bits
+
+    total_duplicates = 0
+    for s in range(k_samples):
+        chunk = bits[s * sample_bits : (s + 1) * sample_bits]
+        words = chunk.reshape(BDAY_PER_SAMPLE, BDAY_BITS)
+        weights = 1 << np.arange(BDAY_BITS, dtype=np.int64)[::-1]
+        birthdays = (words * weights).sum(axis=1)
+        spacings = np.sort(np.diff(np.sort(birthdays)))
+        total_duplicates += int(
+            (np.diff(spacings) == 0).sum()
+        )
+
+    expected = k_samples * BDAY_LAMBDA
+    # Two-sided Poisson tail probability.
+    lower = poisson.cdf(total_duplicates, expected)
+    upper = poisson.sf(total_duplicates - 1, expected)
+    p = float(min(1.0, 2.0 * min(lower, upper)))
+    return TestResult(
+        "birthday_spacings",
+        p,
+        statistics={
+            "duplicates": float(total_duplicates),
+            "expected": expected,
+            "samples": float(k_samples),
+        },
+    )
+
+
+def overlapping_5bit(data: BitsLike) -> TestResult:
+    """Overlapping 5-bit pattern frequencies (an OPSO-style monkey test).
+
+    Uses the ψ² difference statistic over overlapping 5-bit windows,
+    which is chi-square distributed for a random stream.
+    """
+    bits = as_bits(data)
+    require_length(bits, 4096, "overlapping_5bit")
+    m = 5
+    delta = _psi_squared(bits, m) - _psi_squared(bits, m - 1)
+    p = float(gammaincc(2.0 ** (m - 2), delta / 2.0))
+    return TestResult(
+        "overlapping_5bit", p, statistics={"delta_psi2": float(delta)}
+    )
+
+
+@lru_cache(maxsize=None)
+def _rank_probability(rows: int, cols: int, rank: int) -> float:
+    """Probability of a random GF(2) rows×cols matrix having ``rank``."""
+    if rank < 0 or rank > min(rows, cols):
+        return 0.0
+    exponent = rank * (rows + cols - rank) - rows * cols
+    product = 1.0
+    for i in range(rank):
+        product *= (
+            (1.0 - 2.0 ** (i - rows))
+            * (1.0 - 2.0 ** (i - cols))
+            / (1.0 - 2.0 ** (i - rank))
+        )
+    return 2.0**exponent * product
+
+
+def binary_rank_6x8(data: BitsLike) -> TestResult:
+    """Rank distribution of 6×8 GF(2) matrices cut from the stream."""
+    bits = as_bits(data)
+    matrix_bits = 48
+    require_length(bits, 100 * matrix_bits, "binary_rank_6x8")
+    n_matrices = bits.size // matrix_bits
+    matrices = bits[: n_matrices * matrix_bits].reshape(n_matrices, 6, 8)
+
+    counts = np.zeros(3, dtype=np.float64)  # rank 6, 5, <=4
+    for i in range(n_matrices):
+        rank = rank_gf2(matrices[i])
+        if rank == 6:
+            counts[0] += 1
+        elif rank == 5:
+            counts[1] += 1
+        else:
+            counts[2] += 1
+
+    p6 = _rank_probability(6, 8, 6)
+    p5 = _rank_probability(6, 8, 5)
+    probabilities = np.array([p6, p5, 1.0 - p6 - p5])
+    expected = n_matrices * probabilities
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    p = float(gammaincc(1.0, chi2 / 2.0))
+    return TestResult(
+        "binary_rank_6x8",
+        p,
+        statistics={"chi2": chi2, "n_matrices": float(n_matrices)},
+    )
+
+
+def count_the_ones(data: BitsLike) -> TestResult:
+    """Chi-square of byte popcounts against Binomial(8, 1/2)."""
+    bits = as_bits(data)
+    require_length(bits, 8 * 256, "count_the_ones")
+    n_bytes = bits.size // 8
+    popcounts = bits[: n_bytes * 8].reshape(n_bytes, 8).sum(axis=1)
+    counts = np.bincount(popcounts, minlength=9).astype(np.float64)
+    probabilities = np.array(
+        [math.comb(8, k) / 256.0 for k in range(9)]
+    )
+    expected = n_bytes * probabilities
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    p = float(gammaincc(4.0, chi2 / 2.0))
+    return TestResult(
+        "count_the_ones", p, statistics={"chi2": chi2, "n_bytes": float(n_bytes)}
+    )
+
+
+def runs_up_down(data: BitsLike) -> TestResult:
+    """Runs up-and-down over the byte sequence.
+
+    For n distinct values the total number of ascending/descending runs
+    is asymptotically N((2n−1)/3, (16n−29)/90); ties (equal adjacent
+    bytes) are dropped first.
+    """
+    bits = as_bits(data)
+    require_length(bits, 8 * 1000, "runs_up_down")
+    n_bytes = bits.size // 8
+    weights = 1 << np.arange(8, dtype=np.int64)[::-1]
+    values = (bits[: n_bytes * 8].reshape(n_bytes, 8) * weights).sum(axis=1)
+    # Drop ties so the up/down direction is always defined.
+    keep = np.concatenate([[True], np.diff(values) != 0])
+    values = values[keep]
+    n = values.size
+    if n < 100:
+        raise InsufficientDataError(
+            f"runs_up_down has only {n} tie-free values, needs >= 100"
+        )
+    directions = np.sign(np.diff(values))
+    n_runs = 1 + int((np.diff(directions) != 0).sum())
+    mean = (2.0 * n - 1.0) / 3.0
+    var = (16.0 * n - 29.0) / 90.0
+    z = (n_runs - mean) / math.sqrt(var)
+    p = float(erfc(abs(z) / math.sqrt(2.0)))
+    return TestResult(
+        "runs_up_down",
+        p,
+        statistics={"runs": float(n_runs), "expected": mean, "z": float(z)},
+    )
+
+
+#: The battery, in canonical order.
+DIEHARD_TESTS: Tuple[Tuple[str, Callable[[BitsLike], TestResult]], ...] = (
+    ("birthday_spacings", birthday_spacings),
+    ("overlapping_5bit", overlapping_5bit),
+    ("binary_rank_6x8", binary_rank_6x8),
+    ("count_the_ones", count_the_ones),
+    ("runs_up_down", runs_up_down),
+)
+
+
+def run_battery(data: BitsLike, alpha: float = DEFAULT_ALPHA) -> List[TestResult]:
+    """Run the full battery; skips tests the stream is too short for."""
+    bits = as_bits(data)
+    results: List[TestResult] = []
+    for _, test in DIEHARD_TESTS:
+        try:
+            result = test(bits)
+        except InsufficientDataError:
+            continue
+        if result.alpha != alpha:
+            result = TestResult(
+                result.name,
+                result.p_value,
+                p_values=result.p_values,
+                statistics=result.statistics,
+                alpha=alpha,
+            )
+        results.append(result)
+    return results

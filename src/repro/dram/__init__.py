@@ -1,0 +1,45 @@
+"""Behavioral model of commodity DRAM devices.
+
+This package is the reproduction's substitute for the paper's physical
+LPDDR4/DDR3 test infrastructure.  It models:
+
+* the device hierarchy (channel → rank → chip → bank → subarray → row →
+  cell) in :mod:`repro.dram.geometry` and :mod:`repro.dram.topology`,
+* JEDEC timing parameters and presets in :mod:`repro.dram.timing`,
+* frozen manufacturing variation in :mod:`repro.dram.variation`,
+* the analytic bitline-development / activation-failure model in
+  :mod:`repro.dram.cell` and :mod:`repro.dram.failures`,
+* per-manufacturer behavior (A/B/C) in :mod:`repro.dram.manufacturer`,
+* the 40 characterization data patterns in :mod:`repro.dram.datapattern`,
+* command-level bank and device behavior in :mod:`repro.dram.bank` and
+  :mod:`repro.dram.device`, and
+* retention/startup failure models used by prior-work baselines in
+  :mod:`repro.dram.retention` and :mod:`repro.dram.startup`.
+"""
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.datapattern import DataPattern, all_characterization_patterns
+from repro.dram.device import DeviceFactory, DramDevice
+from repro.dram.geometry import CellCoord, DeviceGeometry
+from repro.dram.manufacturer import MANUFACTURERS, Manufacturer, ManufacturerProfile
+from repro.dram.timing import DDR3_1600, LPDDR4_3200, TimingParameters
+from repro.dram.topology import Channel, Rank
+
+__all__ = [
+    "CellCoord",
+    "Channel",
+    "Command",
+    "CommandKind",
+    "DDR3_1600",
+    "DataPattern",
+    "DeviceFactory",
+    "DeviceGeometry",
+    "DramDevice",
+    "LPDDR4_3200",
+    "MANUFACTURERS",
+    "Manufacturer",
+    "ManufacturerProfile",
+    "Rank",
+    "TimingParameters",
+    "all_characterization_patterns",
+]

@@ -1,0 +1,262 @@
+"""Behavioral model of one DRAM bank.
+
+A :class:`Bank` holds stored data (lazily initialized from the startup
+model, sparsely by row) and executes the ACT / READ / WRITE / PRE
+protocol.  Timing is *not* simulated here — commands are behavioral and
+instantaneous; the cycle-accurate consequences of a command stream are
+the business of :mod:`repro.sim.engine`.  What the bank does model is
+the paper's failure semantics:
+
+* A READ issued under a reduced tRCD can return flipped bits, but only
+  for the **first** word accessed after the ACT (Section 5.1: no
+  subsequent access to an already-open row fails, because the row has
+  had time to restore).
+* Optionally (``corrupt_on_failure``), a failed read also corrupts the
+  stored array value — the hazard that motivates Algorithm 2's
+  write-back step.  The default is off, matching the paper's observation
+  that per-cell failure probabilities stay stable across Algorithm 1
+  iterations without rewriting the pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.dram.failures import ActivationFailureModel, OperatingPoint
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.startup import StartupModel
+from repro.errors import ProtocolError
+from repro.noise import NoiseSource
+
+
+class Bank:
+    """One DRAM bank: open-row state machine plus stored data."""
+
+    def __init__(
+        self,
+        index: int,
+        geometry: DeviceGeometry,
+        failure_model: ActivationFailureModel,
+        startup_model: StartupModel,
+        noise: NoiseSource,
+        corrupt_on_failure: bool = False,
+        spec_trcd_ns: float = 18.0,
+        spec_trp_ns: float = 18.0,
+    ) -> None:
+        geometry.validate_bank(index)
+        if spec_trcd_ns <= 0:
+            raise ValueError(f"spec_trcd_ns must be positive, got {spec_trcd_ns}")
+        if spec_trp_ns <= 0:
+            raise ValueError(f"spec_trp_ns must be positive, got {spec_trp_ns}")
+        self._spec_trcd_ns = spec_trcd_ns
+        self._spec_trp_ns = spec_trp_ns
+        self._index = index
+        self._geometry = geometry
+        self._failure_model = failure_model
+        self._startup_model = startup_model
+        self._noise = noise
+        self._corrupt_on_failure = corrupt_on_failure
+        self._rows: Dict[int, np.ndarray] = {}
+        self._open_row: Optional[int] = None
+        self._activation_trcd_ns: Optional[float] = None
+        self._first_access_pending = False
+        # Precharge-residual state (the tRP-violation extension): the
+        # last latched row's data and the magnitude left un-equalized.
+        self._last_latched: Optional[np.ndarray] = None
+        self._residual_magnitude = 0.0
+
+    @property
+    def index(self) -> int:
+        """This bank's index within its device."""
+        return self._index
+
+    @property
+    def open_row(self) -> Optional[int]:
+        """Currently open row, or ``None`` when precharged."""
+        return self._open_row
+
+    @property
+    def geometry(self) -> DeviceGeometry:
+        """Geometry shared with the owning device."""
+        return self._geometry
+
+    def stored_row(self, row: int) -> np.ndarray:
+        """The stored bits of ``row`` (lazily powered up), as a copy."""
+        return self._row_bits(row).copy()
+
+    def _row_bits(self, row: int) -> np.ndarray:
+        self._geometry.validate_row(row)
+        bits = self._rows.get(row)
+        if bits is None:
+            bits = self._startup_model.power_up_row(self._index, row, self._noise)
+            self._rows[row] = bits
+        return bits
+
+    def activate(self, row: int, trcd_ns: Optional[float] = None) -> None:
+        """Open ``row``; ``trcd_ns`` is the ACT→READ gap the controller
+        will honor, carried here so the first READ knows whether it is a
+        reduced-latency (failure-prone) access."""
+        if self._open_row is not None:
+            raise ProtocolError(
+                f"bank {self._index}: ACT to row {row} while row "
+                f"{self._open_row} is open (missing PRE)"
+            )
+        self._geometry.validate_row(row)
+        self._open_row = row
+        self._activation_trcd_ns = trcd_ns
+        self._first_access_pending = True
+
+    def precharge(self, trp_ns: Optional[float] = None) -> None:
+        """Close the open row (idempotent, as PRE to an idle bank is a nop).
+
+        ``trp_ns`` below the spec value models a deliberately truncated
+        precharge: the bitlines keep a residual bias toward the row that
+        was just latched, which perturbs the *next* activation — the
+        tRP-violation entropy source of the paper's footnote 4.
+        """
+        if self._open_row is not None:
+            latched = self._rows.get(self._open_row)
+            effective_trp = self._spec_trp_ns if trp_ns is None else trp_ns
+            magnitude = self._failure_model.precharge_residual(
+                effective_trp, self._spec_trp_ns
+            )
+            if magnitude > 0.0 and latched is not None:
+                self._last_latched = latched.copy()
+                self._residual_magnitude = magnitude
+            else:
+                self._last_latched = None
+                self._residual_magnitude = 0.0
+        self._open_row = None
+        self._activation_trcd_ns = None
+        self._first_access_pending = False
+
+    def read(
+        self,
+        word: int,
+        op: Optional[OperatingPoint] = None,
+    ) -> np.ndarray:
+        """Read one DRAM word from the open row.
+
+        ``op`` describes the access conditions; when ``op.trcd_ns`` is
+        below the device's spec *and* this is the first access after the
+        ACT, the returned bits are drawn through the activation-failure
+        model.  Returns a fresh uint8 array of length ``word_bits``.
+        """
+        if self._open_row is None:
+            raise ProtocolError(f"bank {self._index}: READ with no open row")
+        self._geometry.validate_word(word)
+        row = self._open_row
+        row_bits = self._row_bits(row)
+        cols = np.arange(
+            word * self._geometry.word_bits, (word + 1) * self._geometry.word_bits
+        )
+        stored = row_bits[cols].copy()
+
+        effective_op = self._effective_op(op)
+        has_residual = self._residual_magnitude > 0.0
+        failure_eligible = self._first_access_pending and (
+            (effective_op is not None and effective_op.trcd_ns < self._spec_trcd_ns)
+            or has_residual
+        )
+        self._first_access_pending = False
+        if not failure_eligible:
+            return stored
+
+        if effective_op is None:
+            effective_op = OperatingPoint(trcd_ns=self._spec_trcd_ns)
+        residual = None
+        if has_residual:
+            # + where the residual agrees with the stored value (helps
+            # development), − where it fights it.
+            agrees = self._last_latched[cols] == stored
+            residual = np.where(
+                agrees, self._residual_magnitude, -self._residual_magnitude
+            )
+        probs = self._failure_model.failure_probabilities(
+            self._index, row, cols, row_bits, effective_op, residual=residual
+        )
+        flips = self._noise.bernoulli(probs)
+        read_bits = np.where(flips, 1 - stored, stored).astype(np.uint8)
+        if self._corrupt_on_failure and flips.any():
+            row_bits[cols[flips]] = read_bits[flips]
+        return read_bits
+
+    def write(self, word: int, bits: np.ndarray) -> None:
+        """Write one DRAM word into the open row."""
+        if self._open_row is None:
+            raise ProtocolError(f"bank {self._index}: WRITE with no open row")
+        self._geometry.validate_word(word)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self._geometry.word_bits,):
+            raise ValueError(
+                f"word data must have shape ({self._geometry.word_bits},), "
+                f"got {bits.shape}"
+            )
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("word data must be 0/1 bits")
+        row_bits = self._row_bits(self._open_row)
+        start = word * self._geometry.word_bits
+        row_bits[start : start + self._geometry.word_bits] = bits
+        # A write lands after the row is fully restored, so it cannot be
+        # the failure-prone first access anymore.
+        self._first_access_pending = False
+
+    def write_row(self, row: int, bits: np.ndarray) -> None:
+        """Directly replace a whole row's stored bits (test/bench setup).
+
+        This bypasses the open-row protocol the way a test host writes a
+        pattern at full latency before an experiment.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self._geometry.cols_per_row,):
+            raise ValueError(
+                f"row data must have shape ({self._geometry.cols_per_row},), "
+                f"got {bits.shape}"
+            )
+        self._geometry.validate_row(row)
+        self._rows[row] = bits.copy()
+
+    def power_cycle(self) -> None:
+        """Drop all stored state, as a power loss would.
+
+        The next read of any row re-latches power-up values (with fresh
+        randomness for the metastable startup cells) — the behavior the
+        startup-value TRNG baseline harvests.
+        """
+        self._rows.clear()
+        self._open_row = None
+        self._activation_trcd_ns = None
+        self._first_access_pending = False
+        self._last_latched = None
+        self._residual_magnitude = 0.0
+
+    def refresh_row(self, row: int) -> None:
+        """Full-latency ACT+PRE pair restoring the row's charge.
+
+        Charge decay itself is only modeled by the retention baseline,
+        so behaviorally this just validates the protocol state.
+        """
+        if self._open_row is not None:
+            raise ProtocolError(
+                f"bank {self._index}: refresh while row {self._open_row} is open"
+            )
+        self._geometry.validate_row(row)
+        # Materialize the row so its contents are pinned from now on.
+        self._row_bits(row)
+
+    def _effective_op(self, op: Optional[OperatingPoint]) -> Optional[OperatingPoint]:
+        """Fold the ACT-time tRCD override into the access conditions.
+
+        If the ACT carried an explicit tRCD (the controller reduced the
+        timing register before activating), that value governs the first
+        READ regardless of what the READ-side caller believes.
+        """
+        if self._activation_trcd_ns is None:
+            return op
+        if op is None:
+            return OperatingPoint(trcd_ns=self._activation_trcd_ns)
+        return OperatingPoint(
+            trcd_ns=self._activation_trcd_ns, temperature_c=op.temperature_c
+        )

@@ -1,0 +1,86 @@
+"""Analytic DRAM cell / sense-amplifier electrical model.
+
+This module holds the pure math of the reduced-tRCD failure mechanism,
+in normalized units where 1.0 is the full bitline swing from Vdd/2 to a
+rail.  The story (Section 2.1.4 and Section 6 of the paper):
+
+1. ACT connects the cell to its bitline; after a charge-sharing dead
+   time the sense amplifier develops the bitline exponentially toward
+   the stored value's rail.
+2. A READ issued ``tRCD`` after ACT samples the datapath.  If the
+   developed swing has not yet cleared the cell's required sensing
+   margin, the sampled value is decided by sensing noise — the entropy
+   source.
+3. The probability of sampling the wrong value is therefore
+   ``Phi((margin - development) / sigma_noise)``.
+
+Cells whose margin sits within a noise-width of the development level at
+the chosen tRCD fail ~50% of the time: those are D-RaNGe's RNG cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ndtr
+
+#: Smallest effective sensing time; prevents division blowups when the
+#: applied tRCD is at or below the charge-sharing dead time.
+MIN_SENSE_TIME_NS = 0.05
+
+#: Smallest admissible development time constant.
+MIN_TAU_NS = 0.05
+
+
+def effective_sense_time(trcd_ns: float, charge_share_ns: float) -> float:
+    """Time the sense amp has to develop the bitline before the READ."""
+    return max(trcd_ns - charge_share_ns, MIN_SENSE_TIME_NS)
+
+
+def bitline_development(t_sense_ns, tau_ns) -> np.ndarray:
+    """Normalized bitline swing after ``t_sense_ns`` of amplification.
+
+    Exponential settling: ``1 - exp(-t / tau)``.  Accepts scalars or
+    arrays (broadcast); returns values in [0, 1).
+    """
+    tau = np.maximum(np.asarray(tau_ns, dtype=np.float64), MIN_TAU_NS)
+    t = np.maximum(np.asarray(t_sense_ns, dtype=np.float64), 0.0)
+    return -np.expm1(-t / tau)
+
+
+def failure_probability(
+    margin, development, sigma_noise: float, plateau_k: float = 2.5
+) -> np.ndarray:
+    """Probability the READ samples the wrong value.
+
+    ``margin`` is the swing the cell needs for a deterministically
+    correct read; ``development`` is the swing actually reached; noise
+    is Gaussian with std ``sigma_noise``.
+
+    ``plateau_k`` models the *metastable plateau*: when the residual
+    offset ``z = (margin − development)/sigma`` is small compared to the
+    noise, the sense amplifier's resolution is decided almost entirely
+    by symmetric thermal noise, so the outcome probability pins to 1/2
+    far more tightly than a plain ``Phi(z)`` would predict.  The
+    effective offset is compressed as ``z · exp(−k / z²)``: essentially
+    zero inside the noise floor, asymptotically ``z`` outside it.  This
+    is what makes identified RNG cells *unbiased* (Section 6.1: no
+    post-processing needed; Section 7.1: every NIST test passes).
+    ``plateau_k = 0`` recovers the plain Gaussian model.
+    """
+    if sigma_noise <= 0:
+        raise ValueError(f"sigma_noise must be positive, got {sigma_noise}")
+    z = (np.asarray(margin, dtype=np.float64) - development) / sigma_noise
+    if plateau_k > 0.0:
+        z_sq = np.maximum(z * z, 1e-12)
+        z = z * np.exp(-plateau_k / z_sq)
+    return ndtr(z)
+
+
+def shannon_entropy_bernoulli(p) -> np.ndarray:
+    """Binary Shannon entropy H(p) in bits, vectorized, H(0)=H(1)=0."""
+    p = np.asarray(p, dtype=np.float64)
+    out = np.zeros_like(p)
+    interior = (p > 0.0) & (p < 1.0)
+    pi = p[interior]
+    out[interior] = -(pi * np.log2(pi) + (1.0 - pi) * np.log2(1.0 - pi))
+    return out

@@ -1,0 +1,97 @@
+"""DRAM command vocabulary and trace records.
+
+Commands are the interface between the memory controller / SoftMC host
+and the device model, and double as the trace format consumed by the
+timing engine (:mod:`repro.sim.engine`) and the energy model
+(:mod:`repro.power.model`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class CommandKind(enum.Enum):
+    """The DRAM command set relevant to this reproduction."""
+
+    ACT = "ACT"
+    READ = "READ"
+    WRITE = "WRITE"
+    PRE = "PRE"
+    REF = "REF"
+    NOP = "NOP"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Command:
+    """One DRAM command as issued on the command bus.
+
+    ``issue_ns`` is the bus time at which the controller drove the
+    command; device models that only care about ordering may leave it 0.
+    ``trcd_override_ns`` records the activation latency in force when a
+    READ was issued (D-RaNGe's reduced-tRCD reads carry the override so
+    traces are self-describing).
+    """
+
+    kind: CommandKind
+    bank: Optional[int] = None
+    row: Optional[int] = None
+    word: Optional[int] = None
+    issue_ns: float = 0.0
+    data: Optional[Tuple[int, ...]] = field(default=None, compare=False)
+    trcd_override_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        needs_bank = self.kind in (
+            CommandKind.ACT,
+            CommandKind.READ,
+            CommandKind.WRITE,
+            CommandKind.PRE,
+        )
+        if needs_bank and self.bank is None:
+            raise ValueError(f"{self.kind} requires a bank")
+        if self.kind is CommandKind.ACT and self.row is None:
+            raise ValueError("ACT requires a row")
+        if self.kind in (CommandKind.READ, CommandKind.WRITE) and self.word is None:
+            raise ValueError(f"{self.kind} requires a word index")
+
+    @staticmethod
+    def act(bank: int, row: int, issue_ns: float = 0.0) -> "Command":
+        """Activate (open) ``row`` in ``bank``."""
+        return Command(CommandKind.ACT, bank=bank, row=row, issue_ns=issue_ns)
+
+    @staticmethod
+    def read(
+        bank: int,
+        word: int,
+        issue_ns: float = 0.0,
+        trcd_override_ns: Optional[float] = None,
+    ) -> "Command":
+        """Read one DRAM word from the open row of ``bank``."""
+        return Command(
+            CommandKind.READ,
+            bank=bank,
+            word=word,
+            issue_ns=issue_ns,
+            trcd_override_ns=trcd_override_ns,
+        )
+
+    @staticmethod
+    def write(bank: int, word: int, data: Tuple[int, ...], issue_ns: float = 0.0) -> "Command":
+        """Write one DRAM word into the open row of ``bank``."""
+        return Command(CommandKind.WRITE, bank=bank, word=word, data=data, issue_ns=issue_ns)
+
+    @staticmethod
+    def pre(bank: int, issue_ns: float = 0.0) -> "Command":
+        """Precharge (close) the open row of ``bank``."""
+        return Command(CommandKind.PRE, bank=bank, issue_ns=issue_ns)
+
+    @staticmethod
+    def ref(issue_ns: float = 0.0) -> "Command":
+        """All-bank refresh."""
+        return Command(CommandKind.REF, issue_ns=issue_ns)

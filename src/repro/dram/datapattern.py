@@ -1,0 +1,178 @@
+"""The 40 characterization data patterns of Section 5.2.
+
+Following the paper (and the retention-study methodology it cites
+[91, 112]), the pattern set is: solid 1s, checkered, row stripe, column
+stripe, 16 walking-1s shifts, and the bitwise inverses of all twenty —
+40 unique patterns in total.
+
+A :class:`DataPattern` is a pure function from cell coordinates to the
+bit written there, evaluated vectorized over NumPy row/column arrays so
+whole regions can be initialized at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Width of the repeating unit for walking patterns (16, per Section 5.2).
+WALKING_UNIT_BITS = 16
+
+_PatternFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class DataPattern:
+    """A deterministic data pattern over the DRAM cell grid."""
+
+    name: str
+    _fn: _PatternFn
+
+    def values(self, rows, cols) -> np.ndarray:
+        """Bits written at the broadcast combination of ``rows``/``cols``.
+
+        Returns a uint8 array of 0/1 with the broadcast shape of the
+        inputs.
+        """
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        cols_arr = np.asarray(cols, dtype=np.int64)
+        out = self._fn(rows_arr, cols_arr)
+        return out.astype(np.uint8)
+
+    def row_values(self, row: int, num_cols: int) -> np.ndarray:
+        """Bits for one full row of ``num_cols`` cells."""
+        return self.values(np.int64(row), np.arange(num_cols))
+
+    def grid(self, num_rows: int, num_cols: int) -> np.ndarray:
+        """Full (num_rows, num_cols) bit grid for this pattern."""
+        rows = np.arange(num_rows)[:, None]
+        cols = np.arange(num_cols)[None, :]
+        return self.values(rows, cols)
+
+    def inverse(self) -> "DataPattern":
+        """The bitwise inverse of this pattern."""
+        base_name = self.name
+        if base_name.endswith("_inv"):
+            inv_name = base_name[: -len("_inv")]
+        else:
+            inv_name = base_name + "_inv"
+        fn = self._fn
+        return DataPattern(inv_name, lambda r, c: 1 - fn(r, c))
+
+
+def _solid(value: int) -> _PatternFn:
+    return lambda rows, cols: np.broadcast_to(
+        np.uint8(value), np.broadcast_shapes(np.shape(rows), np.shape(cols))
+    ).copy()
+
+
+def solid(value: int) -> DataPattern:
+    """Solid pattern: every cell stores ``value``."""
+    if value not in (0, 1):
+        raise ConfigurationError(f"solid pattern value must be 0 or 1, got {value}")
+    return DataPattern(f"solid{value}", _solid(value))
+
+
+def checkered(phase: int = 0) -> DataPattern:
+    """Checkerboard; ``phase``=0 puts a 1 at (0, 0) ("checkered 1s")."""
+    if phase not in (0, 1):
+        raise ConfigurationError(f"checkered phase must be 0 or 1, got {phase}")
+    name = "checkered1" if phase == 0 else "checkered0"
+    return DataPattern(name, lambda rows, cols: ((rows + cols + 1 + phase) % 2))
+
+
+def row_stripe(phase: int = 0) -> DataPattern:
+    """Alternating rows of 1s and 0s; ``phase``=0 makes row 0 all 1s."""
+    if phase not in (0, 1):
+        raise ConfigurationError(f"row_stripe phase must be 0 or 1, got {phase}")
+    name = "rowstripe" if phase == 0 else "rowstripe_inv"
+
+    def fn(rows, cols):
+        stripe = (rows + 1 + phase) % 2
+        return np.broadcast_to(
+            stripe, np.broadcast_shapes(np.shape(rows), np.shape(cols))
+        ).copy()
+
+    return DataPattern(name, fn)
+
+
+def col_stripe(phase: int = 0) -> DataPattern:
+    """Alternating columns of 1s and 0s; ``phase``=0 makes col 0 all 1s."""
+    if phase not in (0, 1):
+        raise ConfigurationError(f"col_stripe phase must be 0 or 1, got {phase}")
+    name = "colstripe" if phase == 0 else "colstripe_inv"
+
+    def fn(rows, cols):
+        stripe = (cols + 1 + phase) % 2
+        return np.broadcast_to(
+            stripe, np.broadcast_shapes(np.shape(rows), np.shape(cols))
+        ).copy()
+
+    return DataPattern(name, fn)
+
+
+def walking(shift: int, walk_value: int = 1) -> DataPattern:
+    """Walking pattern: ``walk_value`` at one position per 16-bit unit.
+
+    ``walking(k, 1)`` writes a 1 wherever ``col % 16 == k`` and 0
+    elsewhere ("walking 1s", mostly-0 background); ``walking(k, 0)`` is
+    its inverse ("walking 0s", mostly-1 background).
+    """
+    if not 0 <= shift < WALKING_UNIT_BITS:
+        raise ConfigurationError(
+            f"walking shift must be in [0, {WALKING_UNIT_BITS}), got {shift}"
+        )
+    if walk_value not in (0, 1):
+        raise ConfigurationError(f"walk_value must be 0 or 1, got {walk_value}")
+    name = f"walk{walk_value}_{shift:02d}"
+
+    def fn(rows, cols):
+        at_shift = (cols % WALKING_UNIT_BITS) == shift
+        bit = np.where(at_shift, walk_value, 1 - walk_value)
+        return np.broadcast_to(
+            bit, np.broadcast_shapes(np.shape(rows), np.shape(cols))
+        ).copy()
+
+    return DataPattern(name, fn)
+
+
+def all_characterization_patterns() -> List[DataPattern]:
+    """The full 40-pattern set of Section 5.2, in a stable order."""
+    base = [
+        solid(1),
+        solid(0),
+        checkered(0),
+        checkered(1),
+        row_stripe(0),
+        row_stripe(1),
+        col_stripe(0),
+        col_stripe(1),
+    ]
+    base += [walking(k, 1) for k in range(WALKING_UNIT_BITS)]
+    base += [walking(k, 0) for k in range(WALKING_UNIT_BITS)]
+    return base
+
+
+def pattern_registry() -> Dict[str, DataPattern]:
+    """Name → pattern mapping over the characterization set."""
+    return {pattern.name: pattern for pattern in all_characterization_patterns()}
+
+
+def pattern_by_name(name: str) -> DataPattern:
+    """Look up a characterization pattern by its canonical name."""
+    registry = pattern_registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown data pattern {name!r}; known: {sorted(registry)}"
+        ) from None
+
+
+#: The per-manufacturer pattern the paper selects for RNG-cell work
+#: (Section 5.2: the pattern finding the most cells with Fprob≈50%).
+BEST_RNG_PATTERN = {"A": "solid0", "B": "checkered0", "C": "solid0"}

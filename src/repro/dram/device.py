@@ -1,0 +1,340 @@
+"""The DRAM device (chip) model and device-population factory.
+
+A :class:`DramDevice` bundles geometry, a manufacturer profile, the
+frozen variation field, the activation-failure / startup / retention
+models, a noise source, and eight banks.  It exposes both the raw
+command-level interface (via its banks) and vectorized characterization
+fast paths used by the profiling and sampling layers.
+
+A :class:`DeviceFactory` mints statistically independent devices from a
+master seed, standing in for the paper's population of 282 LPDDR4 chips
+and 4 DDR3 chips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.bank import Bank
+from repro.dram.datapattern import DataPattern
+from repro.dram.failures import ActivationFailureModel, OperatingPoint
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.manufacturer import Manufacturer, ManufacturerProfile, profile_for
+from repro.dram.retention import RetentionModel
+from repro.dram.startup import StartupModel
+from repro.dram.timing import LPDDR4_3200, TimingParameters
+from repro.dram.variation import VariationField, hash_u64
+from repro.errors import ConfigurationError
+from repro.noise import NoiseSource
+
+
+class DramDevice:
+    """One DRAM chip with frozen manufacturing variation.
+
+    Parameters
+    ----------
+    device_seed:
+        Seed of the frozen variation field — the device's "silicon".
+    manufacturer:
+        Profile (or label) selecting vendor-specific behavior.
+    geometry:
+        Optional override; defaults to a characterization-sized geometry
+        matched to the vendor's subarray height.
+    timings:
+        The spec timing preset this device was binned for.
+    noise:
+        Source of per-access randomness; pass a seeded source for
+        reproducible tests.
+    corrupt_on_failure:
+        Whether failed reads corrupt the stored array (ablation knob).
+    """
+
+    def __init__(
+        self,
+        device_seed: int,
+        manufacturer="A",
+        geometry: Optional[DeviceGeometry] = None,
+        timings: TimingParameters = LPDDR4_3200,
+        noise: Optional[NoiseSource] = None,
+        corrupt_on_failure: bool = False,
+        serial: Optional[str] = None,
+    ) -> None:
+        self._profile = profile_for(manufacturer)
+        if geometry is None:
+            geometry = DeviceGeometry(subarray_rows=self._profile.subarray_rows)
+        if geometry.subarray_rows != self._profile.subarray_rows:
+            geometry = replace(geometry, subarray_rows=self._profile.subarray_rows)
+        self._geometry = geometry
+        self._timings = timings
+        self._noise = noise if noise is not None else NoiseSource()
+        self._variation = VariationField(device_seed)
+        self._failure_model = ActivationFailureModel(
+            geometry, self._profile, self._variation
+        )
+        self._startup_model = StartupModel(geometry, self._variation)
+        self._retention_model = RetentionModel(geometry, self._variation)
+        self._temperature_c = 45.0
+        self._vdd_ratio = 1.0
+        self._serial = serial or f"{self._profile.name}-{device_seed & 0xFFFF:05d}"
+        self._banks = [
+            Bank(
+                index=i,
+                geometry=geometry,
+                failure_model=self._failure_model,
+                startup_model=self._startup_model,
+                noise=self._noise,
+                corrupt_on_failure=corrupt_on_failure,
+                spec_trcd_ns=timings.trcd_ns,
+                spec_trp_ns=timings.trp_ns,
+            )
+            for i in range(geometry.banks)
+        ]
+
+    # ------------------------------------------------------------------
+    # Identity and state
+    # ------------------------------------------------------------------
+
+    @property
+    def serial(self) -> str:
+        """Human-readable device identifier, e.g. ``"B-00042"``."""
+        return self._serial
+
+    @property
+    def manufacturer(self) -> Manufacturer:
+        """This device's vendor."""
+        return self._profile.manufacturer
+
+    @property
+    def profile(self) -> ManufacturerProfile:
+        """Vendor behavior profile."""
+        return self._profile
+
+    @property
+    def geometry(self) -> DeviceGeometry:
+        """Device geometry."""
+        return self._geometry
+
+    @property
+    def timings(self) -> TimingParameters:
+        """Spec timing preset (the reference tRCD lives here)."""
+        return self._timings
+
+    @property
+    def variation(self) -> VariationField:
+        """Frozen manufacturing-variation field."""
+        return self._variation
+
+    @property
+    def failure_model(self) -> ActivationFailureModel:
+        """Analytic activation-failure model bound to this device."""
+        return self._failure_model
+
+    @property
+    def startup_model(self) -> StartupModel:
+        """Power-up value model bound to this device."""
+        return self._startup_model
+
+    @property
+    def retention_model(self) -> RetentionModel:
+        """Retention-failure model bound to this device."""
+        return self._retention_model
+
+    @property
+    def noise(self) -> NoiseSource:
+        """This device's per-access noise source."""
+        return self._noise
+
+    @property
+    def temperature_c(self) -> float:
+        """Current DRAM temperature in °C."""
+        return self._temperature_c
+
+    def set_temperature(self, temperature_c: float) -> None:
+        """Set the device temperature (the thermal chamber's job)."""
+        if not -40.0 <= temperature_c <= 125.0:
+            raise ConfigurationError(
+                f"temperature {temperature_c}°C outside plausible operating range"
+            )
+        self._temperature_c = temperature_c
+
+    @property
+    def vdd_ratio(self) -> float:
+        """Supply voltage relative to nominal (1.0 = spec VDD)."""
+        return self._vdd_ratio
+
+    def set_vdd_ratio(self, vdd_ratio: float) -> None:
+        """Scale the supply voltage (reduced-voltage operation [30])."""
+        if not 0.7 <= vdd_ratio <= 1.2:
+            raise ConfigurationError(
+                f"vdd_ratio {vdd_ratio} outside plausible operating range"
+            )
+        self._vdd_ratio = vdd_ratio
+
+    def power_cycle(self) -> None:
+        """Power-cycle the device: every bank loses its stored state."""
+        for bank in self._banks:
+            bank.power_cycle()
+
+    def bank(self, index: int) -> Bank:
+        """Access bank ``index``."""
+        self._geometry.validate_bank(index)
+        return self._banks[index]
+
+    @property
+    def banks(self) -> Sequence[Bank]:
+        """All banks of the device."""
+        return tuple(self._banks)
+
+    def operating_point(self, trcd_ns: float) -> OperatingPoint:
+        """Access conditions at the current temperature and voltage."""
+        return OperatingPoint(
+            trcd_ns=trcd_ns,
+            temperature_c=self._temperature_c,
+            vdd_ratio=self._vdd_ratio,
+        )
+
+    # ------------------------------------------------------------------
+    # Command-level convenience
+    # ------------------------------------------------------------------
+
+    def probe_word(self, bank: int, row: int, word: int, trcd_ns: float) -> np.ndarray:
+        """Behavioral ACT → READ → PRE of one word at ``trcd_ns``.
+
+        This is what one inner-loop step of Algorithm 1 does to a closed
+        row; returns the (possibly failure-flipped) read bits.
+        """
+        target = self.bank(bank)
+        if target.open_row is not None:
+            target.precharge()
+        target.activate(row, trcd_ns=trcd_ns)
+        bits = target.read(word, op=self.operating_point(trcd_ns))
+        target.precharge()
+        return bits
+
+    def write_pattern(
+        self,
+        pattern: DataPattern,
+        banks: Optional[Iterable[int]] = None,
+        rows: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Write ``pattern`` across a region at full (safe) latency."""
+        bank_indices = list(banks) if banks is not None else range(self._geometry.banks)
+        row_indices = (
+            list(rows) if rows is not None else range(self._geometry.rows_per_bank)
+        )
+        num_cols = self._geometry.cols_per_row
+        for bank_index in bank_indices:
+            target = self.bank(bank_index)
+            for row in row_indices:
+                target.write_row(row, pattern.row_values(row, num_cols))
+
+    # ------------------------------------------------------------------
+    # Vectorized characterization fast paths
+    # ------------------------------------------------------------------
+
+    def row_failure_probabilities(
+        self, bank: int, row: int, trcd_ns: float
+    ) -> np.ndarray:
+        """Failure probability of every cell in ``row`` as currently stored.
+
+        Statistically identical to issuing many probe_word calls but
+        computed analytically in one shot; the workhorse behind the
+        characterization experiments.
+        """
+        target = self.bank(bank)
+        stored = target.stored_row(row)
+        cols = np.arange(self._geometry.cols_per_row)
+        return self._failure_model.failure_probabilities(
+            bank, row, cols, stored, self.operating_point(trcd_ns)
+        )
+
+    def sample_row_fail_counts(
+        self, bank: int, row: int, trcd_ns: float, iterations: int
+    ) -> np.ndarray:
+        """Failure counts per cell over ``iterations`` probes of ``row``.
+
+        Matches Algorithm 1's refresh-then-reduced-read loop: conditions
+        are identical each iteration, so the counts are binomial draws
+        from the per-cell probabilities.
+        """
+        probs = self.row_failure_probabilities(bank, row, trcd_ns)
+        return self._noise.binomial(iterations, probs)
+
+    def sample_cell_bits(
+        self, bank: int, row: int, col: int, count: int, trcd_ns: float
+    ) -> np.ndarray:
+        """``count`` consecutive reduced-tRCD reads of one cell.
+
+        Models Algorithm 2's steady state: the surrounding data pattern
+        is held constant (write-back after every read), so each read is
+        an independent Bernoulli flip of the stored bit.
+        """
+        self._geometry.validate_col(col)
+        target = self.bank(bank)
+        stored_row = target.stored_row(row)
+        probs = self._failure_model.failure_probabilities(
+            bank,
+            row,
+            np.asarray([col]),
+            stored_row,
+            self.operating_point(trcd_ns),
+        )
+        flips = self._noise.bernoulli(np.full(count, probs[0]))
+        stored_bit = int(stored_row[col])
+        return np.where(flips, 1 - stored_bit, stored_bit).astype(np.uint8)
+
+
+class DeviceFactory:
+    """Mints independent :class:`DramDevice` instances from a master seed.
+
+    The paper characterizes 282 LPDDR4 devices — roughly balanced across
+    manufacturers — plus 4 DDR3 devices.  ``DeviceFactory`` is the
+    reproduction's stand-in for that drawer of chips.
+    """
+
+    def __init__(
+        self,
+        master_seed: int = 2019,
+        timings: TimingParameters = LPDDR4_3200,
+        noise_seed: Optional[int] = None,
+        geometry: Optional[DeviceGeometry] = None,
+    ) -> None:
+        self._master_seed = master_seed
+        self._timings = timings
+        self._geometry = geometry
+        self._noise_root = NoiseSource(noise_seed)
+
+    def make_device(self, manufacturer, index: int = 0, **kwargs) -> DramDevice:
+        """Create device ``index`` of ``manufacturer``'s population."""
+        profile = profile_for(manufacturer)
+        seed = int(
+            hash_u64(
+                np.uint64(self._master_seed),
+                np.uint64(ord(profile.name[0])),
+                np.uint64(index),
+            )
+        )
+        return DramDevice(
+            device_seed=seed,
+            manufacturer=profile,
+            geometry=kwargs.pop("geometry", self._geometry),
+            timings=kwargs.pop("timings", self._timings),
+            noise=kwargs.pop("noise", self._noise_root.spawn()),
+            serial=f"{profile.name}-{index:05d}",
+            **kwargs,
+        )
+
+    def population(self, per_manufacturer: int, **kwargs) -> List[DramDevice]:
+        """A balanced device population across manufacturers A, B, C."""
+        if per_manufacturer <= 0:
+            raise ConfigurationError(
+                f"per_manufacturer must be positive, got {per_manufacturer}"
+            )
+        devices = []
+        for manufacturer in Manufacturer:
+            for index in range(per_manufacturer):
+                devices.append(self.make_device(manufacturer, index, **kwargs))
+        return devices

@@ -1,0 +1,322 @@
+"""The activation-failure model: process variation → failure probability.
+
+This composes the frozen variation fields (:mod:`repro.dram.variation`)
+with the analytic electrical model (:mod:`repro.dram.cell`) under a
+manufacturer profile, producing the per-cell probability that a READ at
+a given (possibly reduced) tRCD returns the wrong value.
+
+The model reproduces the structure the paper characterizes:
+
+* weak sense-amplifier *columns* repeating through a subarray (Fig. 4),
+* failure probability growing with row distance from the sense amps
+  within a subarray (Fig. 4),
+* data-pattern dependence through cell polarity and neighbor coupling
+  (Fig. 5),
+* temperature dependence with per-cell spread (Fig. 6),
+* and time-invariance — probabilities are a pure function of frozen
+  variation plus operating conditions (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram import cell as cell_model
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.manufacturer import ManufacturerProfile
+from repro.dram.variation import DomainTag, VariationField
+
+#: Ambient characterization temperature of the paper's testing chamber.
+REFERENCE_TEMP_C = 45.0
+
+#: Floor for sense-amplifier strength after variation is applied.
+MIN_SA_STRENGTH = 0.05
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Conditions under which a reduced-latency access happens.
+
+    ``vdd_ratio`` is the supply voltage relative to nominal; reduced
+    voltage slows sense amplification (the mechanism behind the
+    reduced-voltage DRAM study [30] the paper cites), raising failure
+    probabilities the same direction as higher temperature.
+    """
+
+    trcd_ns: float
+    temperature_c: float = REFERENCE_TEMP_C
+    vdd_ratio: float = 1.0
+
+
+class ActivationFailureModel:
+    """Per-cell activation-failure probabilities for one device.
+
+    The model is stateless and deterministic given ``(variation,
+    profile)``; all stochasticity lives in the noise draws made by the
+    bank when it actually performs a read.
+    """
+
+    def __init__(
+        self,
+        geometry: DeviceGeometry,
+        profile: ManufacturerProfile,
+        variation: VariationField,
+    ) -> None:
+        if geometry.subarray_rows != profile.subarray_rows:
+            raise ValueError(
+                "geometry subarray_rows "
+                f"({geometry.subarray_rows}) must match manufacturer profile "
+                f"({profile.subarray_rows})"
+            )
+        self._geometry = geometry
+        self._profile = profile
+        self._variation = variation
+        self._row_cache = {}
+
+    @property
+    def geometry(self) -> DeviceGeometry:
+        """Device geometry this model is bound to."""
+        return self._geometry
+
+    @property
+    def profile(self) -> ManufacturerProfile:
+        """Manufacturer profile this model is bound to."""
+        return self._profile
+
+    def sense_amp_strength(self, bank: int, subarray, cols) -> np.ndarray:
+        """Relative strength of the local sense amp serving each column.
+
+        Weakness *clusters*: a weak sense amp drags its immediate
+        neighbors down with decaying probability, reflecting the paper's
+        Figure 4 (groups of failing column bits inside one DRAM word)
+        and Figure 7 (words holding up to 4 RNG cells).
+        """
+        profile = self._profile
+        cols = np.asarray(cols, dtype=np.int64)
+        base = 1.0 + profile.sa_sigma * self._variation.column_normal(
+            DomainTag.SENSE_AMP, bank, subarray, cols
+        )
+
+        def seed_weak(offset: int) -> np.ndarray:
+            shifted = np.maximum(cols - offset, 0)
+            return (
+                self._variation.column_uniform(
+                    DomainTag.SA_WEAKNESS, bank, subarray, shifted
+                )
+                < profile.weak_col_fraction
+            ) & (cols - offset >= 0)
+
+        spread = self._variation.column_uniform(
+            DomainTag.SA_SPREAD, bank, subarray, cols
+        )
+        weak = seed_weak(0)
+        weak |= seed_weak(1) & (spread < 0.5)
+        weak |= seed_weak(2) & (spread < 0.25)
+        strength = np.where(weak, base * profile.weak_col_factor, base)
+        return np.maximum(strength, MIN_SA_STRENGTH)
+
+    def development_tau(
+        self,
+        bank: int,
+        row: int,
+        cols,
+        temperature_c: float,
+        vdd_ratio: float = 1.0,
+    ) -> np.ndarray:
+        """Effective development time constant for cells of one row.
+
+        ``vdd_ratio`` scales amplification strength quadratically with
+        supply voltage (regeneration current ∝ V²), so undervolting
+        lengthens τ and raises failure probabilities.
+        """
+        if vdd_ratio <= 0:
+            raise ValueError(f"vdd_ratio must be positive, got {vdd_ratio}")
+        geometry = self._geometry
+        profile = self._profile
+        subarray = geometry.subarray_of(row)
+        row_frac = (
+            geometry.row_within_subarray(row) / geometry.subarray_rows
+        ) ** profile.row_distance_exponent
+        strength = self.sense_amp_strength(bank, subarray, cols)
+        temp_coeff = profile.temp_coeff_per_c + profile.temp_sens_sigma * (
+            self._variation.cell_normal(DomainTag.CELL_TEMP_SENS, bank, row, cols)
+        )
+        temp_factor = np.maximum(
+            1.0 + temp_coeff * (temperature_c - REFERENCE_TEMP_C), 0.1
+        )
+        tau = (
+            profile.tau0_ns
+            / strength
+            * (1.0 + profile.row_distance_coeff * row_frac)
+            * temp_factor
+            / max(vdd_ratio, 0.5) ** 2
+        )
+        return np.maximum(tau, cell_model.MIN_TAU_NS)
+
+    def cell_margin(self, bank: int, row: int, cols) -> np.ndarray:
+        """Per-cell required sensing margin (frozen at manufacturing)."""
+        profile = self._profile
+        return profile.margin_mean + profile.margin_sigma * self._variation.cell_normal(
+            DomainTag.CELL_OFFSET, bank, row, cols
+        )
+
+    def weak_values(self, bank: int, row: int, cols) -> np.ndarray:
+        """The stored value (0/1) under which each cell *can* fail.
+
+        Polarity depends on the cell's severity class: cells that would
+        fail near-deterministically draw from ``severe_weak1_prob``,
+        marginal cells from ``marginal_weak1_prob``.  This is what makes
+        coverage-maximizing and RNG-cell-maximizing patterns differ per
+        manufacturer (Section 5.2).
+        """
+        profile = self._profile
+        worst_case_prob = self._polarity_free_probability(
+            bank, row, cols, OperatingPoint(trcd_ns=10.0)
+        )
+        severe = worst_case_prob > profile.severe_threshold
+        weak1_prob = np.where(
+            severe, profile.severe_weak1_prob, profile.marginal_weak1_prob
+        )
+        u = self._variation.cell_uniform(DomainTag.CELL_POLARITY, bank, row, cols)
+        return (u < weak1_prob).astype(np.uint8)
+
+    def _polarity_free_probability(
+        self, bank: int, row: int, cols, op: OperatingPoint
+    ) -> np.ndarray:
+        """Failure probability ignoring polarity, under worst-case coupling.
+
+        "Worst case" means both neighbors store the opposite value, the
+        pattern arrangement that maximizes the failure probability; this
+        is the severity yardstick for polarity assignment, safely above
+        any probability an actual pattern can realize for the cell.
+        """
+        profile = self._profile
+        t_sense = cell_model.effective_sense_time(op.trcd_ns, profile.charge_share_ns)
+        tau = self.development_tau(bank, row, cols, op.temperature_c)
+        development = cell_model.bitline_development(t_sense, tau) - profile.neigh_coeff
+        margin = self.cell_margin(bank, row, cols)
+        return cell_model.failure_probability(
+            margin, development, profile.sigma_noise, profile.plateau_k
+        )
+
+    def _row_statics(
+        self, bank: int, row: int, temperature_c: float, vdd_ratio: float = 1.0
+    ):
+        """Cached pattern-independent per-row fields.
+
+        ``tau``, ``margin`` and the weak-polarity map depend only on the
+        frozen variation and the temperature — not on the stored data —
+        so characterization sweeps over many data patterns reuse them.
+        """
+        key = (bank, row, round(float(temperature_c), 4), round(float(vdd_ratio), 4))
+        cached = self._row_cache.get(key)
+        if cached is None:
+            cols = np.arange(self._geometry.cols_per_row)
+            cached = (
+                self.development_tau(bank, row, cols, temperature_c, vdd_ratio),
+                self.cell_margin(bank, row, cols),
+                self.weak_values(bank, row, cols),
+            )
+            if len(self._row_cache) >= 8192:
+                self._row_cache.clear()
+            self._row_cache[key] = cached
+        return cached
+
+    def precharge_residual(self, trp_ns: float, spec_trp_ns: float) -> float:
+        """Residual bitline bias left by a too-short precharge.
+
+        The paper's footnote 4 leaves other timing parameters to future
+        work; this implements the natural extension for tRP: the
+        equalizer needs time to drive the bitlines back to Vdd/2, so a
+        PRE shorter than spec leaves a fraction of the previous swing —
+        ``trp_residual_max · exp(−(tRP − start)/tau)`` — biasing the
+        next activation toward (or away from) the previously latched
+        row's data.
+        """
+        if trp_ns >= spec_trp_ns:
+            return 0.0
+        profile = self._profile
+        elapsed = max(trp_ns - profile.trp_eq_start_ns, 0.0)
+        return float(
+            profile.trp_residual_max * np.exp(-elapsed / profile.trp_eq_tau_ns)
+        )
+
+    def failure_probabilities(
+        self,
+        bank: int,
+        row: int,
+        cols: np.ndarray,
+        stored_row_bits: np.ndarray,
+        op: OperatingPoint,
+        residual: np.ndarray = None,
+    ) -> np.ndarray:
+        """Probability each addressed cell reads back flipped.
+
+        Parameters
+        ----------
+        bank, row, cols:
+            Address of the cells being read (``cols`` is an int array).
+        stored_row_bits:
+            The *entire row's* stored bits (length ``cols_per_row``),
+            needed because neighbor values couple into the margin.
+        op:
+            tRCD and temperature in force for this access.
+        residual:
+            Optional signed per-column development shift from an
+            incompletely equalized precharge (+ helps the stored value,
+            − fights it); see :meth:`precharge_residual`.
+        """
+        geometry = self._geometry
+        profile = self._profile
+        cols = np.asarray(cols, dtype=np.int64)
+        stored_row_bits = np.asarray(stored_row_bits, dtype=np.uint8)
+        if stored_row_bits.shape != (geometry.cols_per_row,):
+            raise ValueError(
+                "stored_row_bits must cover the full row "
+                f"({geometry.cols_per_row} cells), got shape {stored_row_bits.shape}"
+            )
+
+        t_sense = cell_model.effective_sense_time(op.trcd_ns, profile.charge_share_ns)
+        tau_row, margin_row, weak_row = self._row_statics(
+            bank, row, op.temperature_c, op.vdd_ratio
+        )
+        tau = tau_row[cols]
+        development = cell_model.bitline_development(t_sense, tau)
+        margin = margin_row[cols]
+
+        stored = stored_row_bits[cols]
+        weak = weak_row[cols]
+        # Cells storing their strong polarity gain a large margin of
+        # safety: in practice they do not fail at the tRCD values the
+        # paper explores.
+        development = development + np.where(
+            stored == weak, 0.0, profile.strong_value_boost
+        )
+
+        # Neighbor coupling: adjacent bitlines swinging the opposite way
+        # slow this cell's development.  frac_diff in {0, 0.5, 1}.
+        left = stored_row_bits[np.maximum(cols - 1, 0)]
+        right = stored_row_bits[np.minimum(cols + 1, geometry.cols_per_row - 1)]
+        frac_diff = ((left != stored).astype(np.float64) + (right != stored)) / 2.0
+        development = development - profile.neigh_coeff * (2.0 * frac_diff - 1.0)
+
+        if residual is not None:
+            development = development + np.asarray(residual, dtype=np.float64)
+
+        return cell_model.failure_probability(
+            margin, development, profile.sigma_noise, profile.plateau_k
+        )
+
+    def word_failure_probabilities(
+        self,
+        bank: int,
+        row: int,
+        word: int,
+        stored_row_bits: np.ndarray,
+        op: OperatingPoint,
+    ) -> np.ndarray:
+        """Failure probabilities for the cells of one DRAM word."""
+        cols = np.asarray(self._geometry.word_cols(word))
+        return self.failure_probabilities(bank, row, cols, stored_row_bits, op)

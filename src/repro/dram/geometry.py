@@ -1,0 +1,160 @@
+"""DRAM device geometry: the spatial hierarchy of cells.
+
+A :class:`DeviceGeometry` captures how a chip's cells are organized —
+banks, rows, columns, subarray height and access (word) granularity —
+and provides the address arithmetic the rest of the model relies on.
+
+The paper's characterization (Section 5.1) shows that activation-failure
+structure follows the *subarray* organization: weak sense-amplifier
+columns repeat across the 512 or 1024 rows sharing a local row buffer,
+and failure probability grows with the row's distance from the sense
+amplifiers.  Subarray height is therefore a first-class geometry field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class CellCoord:
+    """Coordinate of a single DRAM cell within one device."""
+
+    bank: int
+    row: int
+    col: int
+
+    def word_index(self, word_bits: int) -> int:
+        """Index of the DRAM word (access granularity) containing this cell."""
+        return self.col // word_bits
+
+    def bit_in_word(self, word_bits: int) -> int:
+        """Bit offset of this cell within its DRAM word."""
+        return self.col % word_bits
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Static geometry of one DRAM chip.
+
+    Parameters
+    ----------
+    banks:
+        Number of independently operable banks (8 for LPDDR4/DDR3).
+    rows_per_bank:
+        Rows per bank.  Real LPDDR4 chips have tens of thousands; tests
+        and benchmarks use smaller regions, which is legitimate because
+        the variation field is lazily generated per coordinate.
+    cols_per_row:
+        Cells (bits) per row per chip.
+    subarray_rows:
+        Rows sharing one local row buffer (512 or 1024 in the paper).
+    word_bits:
+        Bits covered by one DRAM word — the access granularity at which
+        activation failures can be induced (Section 5.1: only the first
+        word accessed after an ACT can fail).  The paper's words are
+        64-byte cache lines, i.e. 512 bits.
+    """
+
+    banks: int = 8
+    rows_per_bank: int = 4096
+    cols_per_row: int = 1024
+    subarray_rows: int = 512
+    word_bits: int = 512
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0:
+            raise ConfigurationError(f"banks must be positive, got {self.banks}")
+        if self.rows_per_bank <= 0:
+            raise ConfigurationError(
+                f"rows_per_bank must be positive, got {self.rows_per_bank}"
+            )
+        if self.cols_per_row <= 0:
+            raise ConfigurationError(
+                f"cols_per_row must be positive, got {self.cols_per_row}"
+            )
+        if self.subarray_rows <= 0:
+            raise ConfigurationError(
+                f"subarray_rows must be positive, got {self.subarray_rows}"
+            )
+        if self.word_bits <= 0:
+            raise ConfigurationError(f"word_bits must be positive, got {self.word_bits}")
+        if self.cols_per_row % self.word_bits != 0:
+            raise ConfigurationError(
+                "cols_per_row must be a multiple of word_bits: "
+                f"{self.cols_per_row} % {self.word_bits} != 0"
+            )
+        if self.rows_per_bank % self.subarray_rows != 0:
+            raise ConfigurationError(
+                "rows_per_bank must be a multiple of subarray_rows: "
+                f"{self.rows_per_bank} % {self.subarray_rows} != 0"
+            )
+
+    @property
+    def words_per_row(self) -> int:
+        """DRAM words in one row."""
+        return self.cols_per_row // self.word_bits
+
+    @property
+    def words_per_bank(self) -> int:
+        """DRAM words in one bank."""
+        return self.words_per_row * self.rows_per_bank
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        """Number of subarrays stacked in one bank."""
+        return self.rows_per_bank // self.subarray_rows
+
+    @property
+    def cells_per_bank(self) -> int:
+        """Total cells in one bank."""
+        return self.rows_per_bank * self.cols_per_row
+
+    @property
+    def cells_per_device(self) -> int:
+        """Total cells in the device."""
+        return self.cells_per_bank * self.banks
+
+    def subarray_of(self, row: int) -> int:
+        """Subarray index containing ``row``."""
+        self.validate_row(row)
+        return row // self.subarray_rows
+
+    def row_within_subarray(self, row: int) -> int:
+        """Row offset within its subarray (distance proxy to sense amps)."""
+        self.validate_row(row)
+        return row % self.subarray_rows
+
+    def validate_bank(self, bank: int) -> None:
+        """Raise :class:`AddressError` unless ``bank`` is in range."""
+        if not 0 <= bank < self.banks:
+            raise AddressError(f"bank {bank} out of range [0, {self.banks})")
+
+    def validate_row(self, row: int) -> None:
+        """Raise :class:`AddressError` unless ``row`` is in range."""
+        if not 0 <= row < self.rows_per_bank:
+            raise AddressError(f"row {row} out of range [0, {self.rows_per_bank})")
+
+    def validate_col(self, col: int) -> None:
+        """Raise :class:`AddressError` unless ``col`` is in range."""
+        if not 0 <= col < self.cols_per_row:
+            raise AddressError(f"col {col} out of range [0, {self.cols_per_row})")
+
+    def validate_word(self, word: int) -> None:
+        """Raise :class:`AddressError` unless ``word`` indexes a row word."""
+        if not 0 <= word < self.words_per_row:
+            raise AddressError(f"word {word} out of range [0, {self.words_per_row})")
+
+    def validate(self, coord: CellCoord) -> None:
+        """Raise :class:`AddressError` unless ``coord`` lies in the device."""
+        self.validate_bank(coord.bank)
+        self.validate_row(coord.row)
+        self.validate_col(coord.col)
+
+    def word_cols(self, word: int) -> range:
+        """Column range covered by word index ``word`` within a row."""
+        self.validate_word(word)
+        start = word * self.word_bits
+        return range(start, start + self.word_bits)

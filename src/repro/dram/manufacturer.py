@@ -1,0 +1,230 @@
+"""Per-manufacturer DRAM behavior profiles.
+
+The paper characterizes devices from three anonymized major manufacturers
+(A, B, C) and finds vendor-specific behavior in three places:
+
+* **Subarray height** (Section 5.1, footnote 2): 512 or 1024 rows per
+  local row buffer depending on the manufacturer.
+* **Data-pattern dependence** (Section 5.2): the pattern that *covers*
+  the most failing cells is solid 0s for A and B but walking 0s for C,
+  while the pattern that finds the most ~50%-probability (RNG) cells is
+  solid 0s for A and C and checkered 0s for B.
+* **Temperature sensitivity** (Section 5.3): A's ΔFprob under +5°C hugs
+  the x=y line; B and C show more spread, all with positive correlation.
+
+Each :class:`ManufacturerProfile` packages the electrical-model
+coefficients that reproduce those observations.  The coefficients are
+calibration constants of the reproduction, not paper-reported values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class Manufacturer(enum.Enum):
+    """The three anonymized DRAM vendors of the paper."""
+
+    A = "A"
+    B = "B"
+    C = "C"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ManufacturerProfile:
+    """Electrical-model coefficients for one vendor's devices.
+
+    Attributes
+    ----------
+    subarray_rows:
+        Rows per subarray (drives the repeating structure in Figure 4).
+    tau0_ns:
+        Nominal bitline-development time constant for a healthy sense amp.
+    charge_share_ns:
+        Dead time between ACT and the start of useful amplification.
+    sigma_noise:
+        Std. dev. of sensing noise in normalized bitline-swing units;
+        this is the physical entropy D-RaNGe harvests.
+    sa_sigma:
+        Relative spread of healthy sense-amplifier strength.
+    weak_col_fraction:
+        Fraction of (subarray, column) sense amps that are "weak" —
+        the failure-prone columns visible in Figure 4.
+    weak_col_factor:
+        Strength multiplier applied to weak sense amps (< 1).
+    margin_mean / margin_sigma:
+        Per-cell required sensing margin distribution (normalized units).
+    row_distance_coeff:
+        Extra development time for the subarray's farthest row, as a
+        fraction of tau (signal-propagation delay along the bitline).
+    row_distance_exponent:
+        Shape of the distance effect along the subarray: 1.0 is linear;
+        values < 1 saturate toward the far end (vendor-specific bitline
+        architecture).
+    strong_value_boost:
+        Margin headroom a cell gains when storing its *strong* polarity;
+        large enough that strong-polarity reads essentially never fail.
+    neigh_coeff:
+        Margin penalty when adjacent cells store the opposite value
+        (bitline–bitline coupling); large for B, which is why checkered
+        patterns surface B's RNG cells.
+    severe_weak1_prob:
+        Probability that a *severely* failing cell (deterministic-ish
+        failure) is weak when storing 1 rather than 0.  High for C, so
+        1-rich patterns (walking 0s) cover C's failures.
+    marginal_weak1_prob:
+        Same, for *marginal* (~50%) cells.  Low for A and C, so solid 0s
+        finds their RNG cells.
+    temp_coeff_per_c:
+        Relative increase of the development time constant per °C —
+        hotter devices fail more (Section 5.3).
+    temp_sens_sigma:
+        Per-cell spread of the temperature coefficient; controls how
+        tightly ΔFprob tracks the x=y line in Figure 6.
+    severe_threshold:
+        Reference failure probability above which a cell counts as
+        "severe" for polarity assignment.  C's is lower, pushing more of
+        its failure population into the heavily weak-1 severe class.
+    plateau_k:
+        Metastable-plateau strength passed to the electrical model: how
+        tightly near-crossing cells pin to a 50% outcome (see
+        :func:`repro.dram.cell.failure_probability`).
+    trp_residual_max / trp_eq_start_ns / trp_eq_tau_ns:
+        Precharge-equalization model (the paper's footnote-4 future
+        work): a PRE shorter than spec leaves the bitlines biased toward
+        the previously latched row by
+        ``trp_residual_max · exp(−(tRP − start)/tau)`` of full swing.
+    """
+
+    manufacturer: Manufacturer
+    subarray_rows: int
+    tau0_ns: float = 2.2
+    charge_share_ns: float = 3.0
+    sigma_noise: float = 0.05
+    sa_sigma: float = 0.10
+    weak_col_fraction: float = 0.008
+    weak_col_factor: float = 0.35
+    margin_mean: float = 0.55
+    margin_sigma: float = 0.05
+    row_distance_coeff: float = 0.5
+    row_distance_exponent: float = 1.0
+    strong_value_boost: float = 0.5
+    neigh_coeff: float = 0.012
+    severe_weak1_prob: float = 0.2
+    marginal_weak1_prob: float = 0.2
+    temp_coeff_per_c: float = 0.008
+    temp_sens_sigma: float = 0.002
+    severe_threshold: float = 0.8
+    plateau_k: float = 2.5
+    trp_residual_max: float = 0.5
+    trp_eq_start_ns: float = 5.0
+    trp_eq_tau_ns: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.subarray_rows not in (512, 1024):
+            raise ConfigurationError(
+                f"subarray_rows must be 512 or 1024, got {self.subarray_rows}"
+            )
+        if not 0.0 < self.weak_col_fraction < 1.0:
+            raise ConfigurationError(
+                f"weak_col_fraction must be in (0, 1), got {self.weak_col_fraction}"
+            )
+        if not 0.0 < self.weak_col_factor < 1.0:
+            raise ConfigurationError(
+                f"weak_col_factor must be in (0, 1), got {self.weak_col_factor}"
+            )
+        if not 0.0 < self.severe_threshold < 1.0:
+            raise ConfigurationError(
+                f"severe_threshold must be in (0, 1), got {self.severe_threshold}"
+            )
+        for probability_name in ("severe_weak1_prob", "marginal_weak1_prob"):
+            value = getattr(self, probability_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{probability_name} must be in [0, 1], got {value}"
+                )
+        for positive_name in (
+            "tau0_ns",
+            "charge_share_ns",
+            "sigma_noise",
+            "sa_sigma",
+            "margin_sigma",
+        ):
+            value = getattr(self, positive_name)
+            if value <= 0:
+                raise ConfigurationError(f"{positive_name} must be positive, got {value}")
+
+    @property
+    def name(self) -> str:
+        """Short vendor label ("A", "B" or "C")."""
+        return self.manufacturer.value
+
+
+#: Vendor A: 512-row subarrays, mild coupling, tight temperature behavior.
+PROFILE_A = ManufacturerProfile(
+    manufacturer=Manufacturer.A,
+    subarray_rows=512,
+    neigh_coeff=0.008,
+    severe_weak1_prob=0.20,
+    marginal_weak1_prob=0.20,
+    temp_coeff_per_c=0.005,
+    temp_sens_sigma=0.0015,
+)
+
+#: Vendor B: 512-row subarrays, strong neighbor coupling (checkered
+#: patterns expose its marginal cells), looser temperature behavior.
+PROFILE_B = ManufacturerProfile(
+    manufacturer=Manufacturer.B,
+    subarray_rows=512,
+    weak_col_factor=0.35,
+    row_distance_coeff=0.283,
+    row_distance_exponent=0.4,
+    neigh_coeff=0.030,
+    severe_weak1_prob=0.10,
+    marginal_weak1_prob=0.50,
+    severe_threshold=0.52,
+    temp_coeff_per_c=0.009,
+    temp_sens_sigma=0.005,
+)
+
+#: Vendor C: 1024-row subarrays; severe failures are weak-when-storing-1
+#: (1-rich walking-0 patterns cover them) while marginal cells are
+#: weak-when-storing-0 (solid 0s finds its RNG cells).
+PROFILE_C = ManufacturerProfile(
+    manufacturer=Manufacturer.C,
+    subarray_rows=1024,
+    row_distance_coeff=0.9,
+    neigh_coeff=0.008,
+    severe_weak1_prob=0.90,
+    marginal_weak1_prob=0.15,
+    severe_threshold=0.52,
+    temp_coeff_per_c=0.010,
+    temp_sens_sigma=0.006,
+)
+
+#: Lookup from :class:`Manufacturer` to its profile.
+MANUFACTURERS = {
+    Manufacturer.A: PROFILE_A,
+    Manufacturer.B: PROFILE_B,
+    Manufacturer.C: PROFILE_C,
+}
+
+
+def profile_for(manufacturer) -> ManufacturerProfile:
+    """Resolve a :class:`ManufacturerProfile` from an enum member or label."""
+    if isinstance(manufacturer, ManufacturerProfile):
+        return manufacturer
+    if isinstance(manufacturer, Manufacturer):
+        return MANUFACTURERS[manufacturer]
+    if isinstance(manufacturer, str):
+        try:
+            return MANUFACTURERS[Manufacturer(manufacturer.upper())]
+        except ValueError:
+            raise ConfigurationError(f"unknown manufacturer {manufacturer!r}") from None
+    raise ConfigurationError(f"cannot interpret {manufacturer!r} as a manufacturer")

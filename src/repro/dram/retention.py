@@ -1,0 +1,93 @@
+"""DRAM data-retention failure behavior.
+
+This substrate exists for the retention-based TRNG baselines the paper
+compares against (Keller+ [65], Sutar+ [141], Section 8.2): disable
+refresh for tens of seconds, read back, and harvest entropy from cells
+whose charge decayed past the sensing threshold.
+
+Model: each cell's retention time is log-normally distributed (the
+standard empirical finding of retention studies [91, 112] cited by the
+paper), halving roughly every 10°C.  Cells decay toward a frozen
+"discharge value" set by their true-/anti-cell orientation.  A small
+population of variable-retention-time (VRT) cells adds per-trial jitter,
+which is where the (slow) entropy of retention TRNGs comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.variation import DomainTag, VariationField
+from repro.noise import NoiseSource
+
+#: Median retention time at the reference temperature, seconds.
+MEDIAN_RETENTION_S = 64.0
+
+#: Log10 standard deviation of per-cell retention times.
+RETENTION_LOG10_SIGMA = 0.45
+
+#: Retention halves every this many °C above reference.
+RETENTION_HALVING_C = 10.0
+
+#: Reference temperature for the retention distribution.
+RETENTION_REFERENCE_C = 45.0
+
+#: Fraction of cells with variable retention time (per-trial jitter).
+VRT_FRACTION = 0.01
+
+#: Relative per-trial jitter applied to a VRT cell's retention time.
+VRT_JITTER_REL = 0.35
+
+
+class RetentionModel:
+    """Per-cell retention times and refresh-pause decay for one device."""
+
+    def __init__(self, geometry: DeviceGeometry, variation: VariationField) -> None:
+        self._geometry = geometry
+        self._variation = variation
+
+    def retention_times_s(self, bank: int, row: int, cols, temperature_c: float) -> np.ndarray:
+        """Nominal per-cell retention time in seconds at ``temperature_c``."""
+        z = self._variation.cell_normal(DomainTag.RETENTION, bank, row, cols)
+        log10_t = np.log10(MEDIAN_RETENTION_S) + RETENTION_LOG10_SIGMA * z
+        temp_shift = (temperature_c - RETENTION_REFERENCE_C) / RETENTION_HALVING_C
+        return np.power(10.0, log10_t) / np.power(2.0, temp_shift)
+
+    def discharge_values(self, bank: int, row: int, cols) -> np.ndarray:
+        """Value each cell decays toward (true-cell → 0, anti-cell → 1)."""
+        u = self._variation.cell_uniform(DomainTag.CELL_POLARITY, bank, row, cols)
+        return (u < 0.5).astype(np.uint8)
+
+    def is_vrt_cell(self, bank: int, row: int, cols) -> np.ndarray:
+        """Mask of variable-retention-time cells."""
+        u = self._variation.cell_uniform(DomainTag.RETENTION_VRT, bank, row, cols)
+        return u < VRT_FRACTION
+
+    def decay_row(
+        self,
+        bank: int,
+        row: int,
+        stored_bits: np.ndarray,
+        pause_s: float,
+        temperature_c: float,
+        noise: NoiseSource,
+    ) -> np.ndarray:
+        """Row contents after ``pause_s`` seconds without refresh.
+
+        Cells whose (jittered, for VRT cells) retention time elapsed flip
+        to their discharge value; others keep their stored bits.
+        """
+        if pause_s < 0:
+            raise ValueError(f"pause_s must be non-negative, got {pause_s}")
+        stored_bits = np.asarray(stored_bits, dtype=np.uint8)
+        cols = np.arange(self._geometry.cols_per_row)
+        retention = self.retention_times_s(bank, row, cols, temperature_c)
+        vrt = self.is_vrt_cell(bank, row, cols)
+        if vrt.any():
+            jitter = 1.0 + noise.gaussian(int(vrt.sum()), VRT_JITTER_REL)
+            retention = retention.copy()
+            retention[vrt] = retention[vrt] * np.maximum(jitter, 0.05)
+        decayed = retention < pause_s
+        discharge = self.discharge_values(bank, row, cols)
+        return np.where(decayed, discharge, stored_bits).astype(np.uint8)

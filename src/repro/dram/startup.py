@@ -1,0 +1,72 @@
+"""DRAM power-up (startup-value) behavior.
+
+Used in two places:
+
+* lazily initializing bank contents that are read before ever being
+  written (real DRAM powers up into process-variation-determined state);
+* the Tehranipoor+ [144] / Eckert+ [39] startup-value TRNG baseline
+  (Section 8.3), which harvests entropy from the subset of cells whose
+  power-up value is *not* reproducible.
+
+Model: each cell has a frozen power-up bias.  Most cells latch the same
+value on every power cycle; a small fraction (``random_fraction``) sit
+near the metastable point and latch a fresh random value each cycle.
+Tehranipoor+ report roughly 420 Kbit of harvestable entropy per MiB,
+i.e. ~5% of cells, which is the default here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.variation import DomainTag, VariationField
+from repro.noise import NoiseSource
+
+#: Default fraction of cells whose startup value is random per cycle
+#: (≈ 420 Kbit per MiB, Section 8.3).
+DEFAULT_RANDOM_FRACTION = 0.05
+
+
+class StartupModel:
+    """Per-cell power-up values for one device."""
+
+    def __init__(
+        self,
+        geometry: DeviceGeometry,
+        variation: VariationField,
+        random_fraction: float = DEFAULT_RANDOM_FRACTION,
+    ) -> None:
+        if not 0.0 <= random_fraction <= 1.0:
+            raise ValueError(
+                f"random_fraction must be in [0, 1], got {random_fraction}"
+            )
+        self._geometry = geometry
+        self._variation = variation
+        self._random_fraction = random_fraction
+
+    @property
+    def random_fraction(self) -> float:
+        """Fraction of cells that power up to a fresh random value."""
+        return self._random_fraction
+
+    def bias_bits(self, bank: int, row: int, cols) -> np.ndarray:
+        """The frozen value a stable cell latches on every power-up."""
+        u = self._variation.cell_uniform(DomainTag.STARTUP_BIAS, bank, row, cols)
+        return (u < 0.5).astype(np.uint8)
+
+    def is_random_cell(self, bank: int, row: int, cols) -> np.ndarray:
+        """Boolean mask of cells whose power-up value is per-cycle random."""
+        u = self._variation.cell_uniform(DomainTag.STARTUP_NOISE, bank, row, cols)
+        return u < self._random_fraction
+
+    def power_up_row(self, bank: int, row: int, noise: NoiseSource) -> np.ndarray:
+        """Values of one whole row immediately after a power cycle."""
+        cols = np.arange(self._geometry.cols_per_row)
+        bits = self.bias_bits(bank, row, cols)
+        random_mask = self.is_random_cell(bank, row, cols)
+        if random_mask.any():
+            flips = noise.bernoulli(np.full(int(random_mask.sum()), 0.5))
+            bits = bits.copy()
+            bits[random_mask] = flips.astype(np.uint8)
+        return bits

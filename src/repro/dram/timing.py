@@ -1,0 +1,197 @@
+"""JEDEC-style DRAM timing parameters and standard presets.
+
+Only the parameters that matter for this reproduction are modeled: the
+row-activation chain (tRCD, tRAS, tRP), bank-group/rank-level pacing
+(tRRD, tFAW), the read/write data path (tCL, tCWL, tCCD, tRTP, tWR,
+tWTR, burst length) and refresh (tREFI, tRFC).  Values follow the JEDEC
+LPDDR4 [63] and DDR3 [62] specifications cited by the paper.
+
+The memory controller applies these in whole clock cycles; the presets
+carry the I/O clock so conversions stay attached to the standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import ns_to_cycles
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """One complete set of DRAM timing constraints, in nanoseconds.
+
+    ``clock_mhz`` is the command-bus clock used to quantize constraints
+    into cycles.  ``data_rate_mtps`` is the data-bus transfer rate in
+    mega-transfers/s (double data rate ⇒ 2× the data clock).
+    """
+
+    name: str
+    clock_mhz: float
+    data_rate_mtps: float
+    burst_length: int
+    trcd_ns: float
+    tras_ns: float
+    trp_ns: float
+    tcl_ns: float
+    tcwl_ns: float
+    tccd_ns: float
+    trtp_ns: float
+    twr_ns: float
+    twtr_ns: float
+    trrd_ns: float
+    tfaw_ns: float
+    trefi_ns: float
+    trfc_ns: float
+    #: Long (same-bank-group) variants; None disables bank-group rules
+    #: (LPDDR4/DDR3 have no bank groups).
+    tccd_l_ns: float = None
+    trrd_l_ns: float = None
+    bank_groups: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "clock_mhz",
+            "data_rate_mtps",
+            "trcd_ns",
+            "tras_ns",
+            "trp_ns",
+            "tcl_ns",
+            "tcwl_ns",
+            "tccd_ns",
+            "trtp_ns",
+            "twr_ns",
+            "twtr_ns",
+            "trrd_ns",
+            "tfaw_ns",
+            "trefi_ns",
+            "trfc_ns",
+        ):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ConfigurationError(f"{field_name} must be positive, got {value}")
+        if self.burst_length <= 0:
+            raise ConfigurationError(
+                f"burst_length must be positive, got {self.burst_length}"
+            )
+        if self.bank_groups <= 0:
+            raise ConfigurationError(
+                f"bank_groups must be positive, got {self.bank_groups}"
+            )
+        if self.bank_groups > 1:
+            if self.tccd_l_ns is None or self.trrd_l_ns is None:
+                raise ConfigurationError(
+                    "bank-grouped devices need tccd_l_ns and trrd_l_ns"
+                )
+            if self.tccd_l_ns < self.tccd_ns or self.trrd_l_ns < self.trrd_ns:
+                raise ConfigurationError(
+                    "long (same-group) constraints cannot be shorter than "
+                    "the short (cross-group) ones"
+                )
+
+    @property
+    def trc_ns(self) -> float:
+        """Row cycle time: minimum ACT-to-ACT delay to the same bank."""
+        return self.tras_ns + self.trp_ns
+
+    @property
+    def burst_ns(self) -> float:
+        """Time to transfer one burst on the data bus."""
+        return self.burst_length * 1e3 / self.data_rate_mtps
+
+    def cycles(self, field_name: str) -> int:
+        """Constraint ``field_name`` quantized to command-clock cycles."""
+        return ns_to_cycles(getattr(self, field_name), self.clock_mhz)
+
+    def with_trcd(self, trcd_ns: float) -> "TimingParameters":
+        """Copy of these timings with ``tRCD`` overridden.
+
+        This is the knob D-RaNGe turns: the returned set is *below spec*
+        whenever ``trcd_ns`` is below the preset value, which the device
+        model answers with probabilistic activation failures rather than
+        an error.
+        """
+        if trcd_ns <= 0:
+            raise ConfigurationError(f"trcd_ns must be positive, got {trcd_ns}")
+        return replace(self, trcd_ns=trcd_ns)
+
+    def is_reduced_trcd(self, reference: "TimingParameters") -> bool:
+        """True when this set's tRCD is below ``reference``'s spec value."""
+        return self.trcd_ns < reference.trcd_ns
+
+
+#: LPDDR4-3200 — the paper's primary device class (JEDEC [63]).
+LPDDR4_3200 = TimingParameters(
+    name="LPDDR4-3200",
+    clock_mhz=1600.0,
+    data_rate_mtps=3200.0,
+    burst_length=16,
+    trcd_ns=18.0,
+    tras_ns=42.0,
+    trp_ns=18.0,
+    tcl_ns=18.0,
+    tcwl_ns=9.0,
+    tccd_ns=5.0,
+    trtp_ns=7.5,
+    twr_ns=18.0,
+    twtr_ns=10.0,
+    trrd_ns=10.0,
+    tfaw_ns=40.0,
+    trefi_ns=3904.0,
+    trfc_ns=180.0,
+)
+
+#: DDR3-1600 — used for the paper's cross-validation devices (JEDEC [62]).
+DDR3_1600 = TimingParameters(
+    name="DDR3-1600",
+    clock_mhz=800.0,
+    data_rate_mtps=1600.0,
+    burst_length=8,
+    trcd_ns=13.75,
+    tras_ns=35.0,
+    trp_ns=13.75,
+    tcl_ns=13.75,
+    tcwl_ns=10.0,
+    tccd_ns=5.0,
+    trtp_ns=7.5,
+    twr_ns=15.0,
+    twtr_ns=7.5,
+    trrd_ns=6.0,
+    tfaw_ns=30.0,
+    trefi_ns=7800.0,
+    trfc_ns=160.0,
+)
+
+#: DDR4-2400 — a common desktop part, for cross-technology studies.
+#: DDR4 introduces bank groups: consecutive column commands (tCCD) and
+#: activations (tRRD) within one group pay the *long* constraint.
+DDR4_2400 = TimingParameters(
+    name="DDR4-2400",
+    clock_mhz=1200.0,
+    data_rate_mtps=2400.0,
+    burst_length=8,
+    trcd_ns=14.16,
+    tras_ns=32.0,
+    trp_ns=14.16,
+    tcl_ns=14.16,
+    tcwl_ns=10.0,
+    tccd_ns=3.33,
+    trtp_ns=7.5,
+    twr_ns=15.0,
+    twtr_ns=7.5,
+    trrd_ns=3.3,
+    tfaw_ns=21.0,
+    trefi_ns=7800.0,
+    trfc_ns=350.0,
+    tccd_l_ns=5.0,
+    trrd_l_ns=4.9,
+    bank_groups=4,
+)
+
+#: The tRCD window in which the paper observed activation failures
+#: (Section 7.3: 6 ns to 13 ns, reduced from the default 18 ns).
+FAILURE_TRCD_WINDOW_NS = (6.0, 13.0)
+
+#: tRCD used for all characterization experiments (Section 4).
+CHARACTERIZATION_TRCD_NS = 10.0

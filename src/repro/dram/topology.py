@@ -1,0 +1,133 @@
+"""DRAM system topology: ranks and channels built from chips.
+
+A rank is a set of chips operated in lock-step (Section 2.1.1): one
+logical command goes to every chip, and the data bus concatenates each
+chip's word.  A channel hosts one or more ranks behind a shared command
+and data bus.  D-RaNGe's throughput scales with channel-level
+parallelism (Figure 8's per-channel numbers are multiplied by the
+channel count for the headline 717.4 Mb/s), so the topology layer is
+what the throughput model enumerates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.device import DramDevice
+from repro.errors import ConfigurationError
+
+
+class Rank:
+    """Chips operated in lock-step behind one chip-select."""
+
+    def __init__(self, devices: Sequence[DramDevice]) -> None:
+        if not devices:
+            raise ConfigurationError("a rank requires at least one device")
+        first = devices[0]
+        for device in devices[1:]:
+            if device.geometry != first.geometry:
+                raise ConfigurationError(
+                    "all devices in a rank must share a geometry"
+                )
+            if device.timings != first.timings:
+                raise ConfigurationError(
+                    "all devices in a rank must share timing parameters"
+                )
+        self._devices = list(devices)
+
+    @property
+    def devices(self) -> Sequence[DramDevice]:
+        """Chips of this rank, in data-bus order."""
+        return tuple(self._devices)
+
+    @property
+    def geometry(self):
+        """Per-chip geometry (identical across the rank)."""
+        return self._devices[0].geometry
+
+    @property
+    def timings(self):
+        """Timing preset (identical across the rank)."""
+        return self._devices[0].timings
+
+    @property
+    def data_bits(self) -> int:
+        """Width of one rank-level word on the data bus."""
+        return self.geometry.word_bits * len(self._devices)
+
+    def activate(self, bank: int, row: int, trcd_ns: Optional[float] = None) -> None:
+        """Lock-step ACT across every chip."""
+        for device in self._devices:
+            device.bank(bank).activate(row, trcd_ns=trcd_ns)
+
+    def precharge(self, bank: int) -> None:
+        """Lock-step PRE across every chip."""
+        for device in self._devices:
+            device.bank(bank).precharge()
+
+    def read(self, bank: int, word: int, trcd_ns: Optional[float] = None) -> np.ndarray:
+        """Lock-step READ; returns the concatenated rank-level word."""
+        parts = []
+        for device in self._devices:
+            op = device.operating_point(trcd_ns) if trcd_ns is not None else None
+            parts.append(device.bank(bank).read(word, op=op))
+        return np.concatenate(parts)
+
+    def write(self, bank: int, word: int, bits: np.ndarray) -> None:
+        """Lock-step WRITE of a rank-level word split across chips."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.data_bits,):
+            raise ValueError(
+                f"rank word must have shape ({self.data_bits},), got {bits.shape}"
+            )
+        chip_bits = self.geometry.word_bits
+        for i, device in enumerate(self._devices):
+            device.bank(bank).write(word, bits[i * chip_bits : (i + 1) * chip_bits])
+
+
+class Channel:
+    """One memory channel: ranks sharing a command/data bus."""
+
+    def __init__(self, ranks: Sequence[Rank], index: int = 0) -> None:
+        if not ranks:
+            raise ConfigurationError("a channel requires at least one rank")
+        self._ranks = list(ranks)
+        self._index = index
+
+    @property
+    def index(self) -> int:
+        """Channel index within the system."""
+        return self._index
+
+    @property
+    def ranks(self) -> Sequence[Rank]:
+        """Ranks behind this channel's bus."""
+        return tuple(self._ranks)
+
+    @property
+    def timings(self):
+        """Timing preset of the channel (rank 0's preset)."""
+        return self._ranks[0].timings
+
+    def rank(self, index: int) -> Rank:
+        """Access rank ``index``."""
+        if not 0 <= index < len(self._ranks):
+            raise ConfigurationError(
+                f"rank {index} out of range [0, {len(self._ranks)})"
+            )
+        return self._ranks[index]
+
+    @property
+    def devices(self) -> List[DramDevice]:
+        """All chips reachable through this channel."""
+        out: List[DramDevice] = []
+        for rank in self._ranks:
+            out.extend(rank.devices)
+        return out
+
+
+def single_device_channel(device: DramDevice, index: int = 0) -> Channel:
+    """Convenience: wrap one chip as a one-rank channel (x16 LPDDR4 style)."""
+    return Channel([Rank([device])], index=index)

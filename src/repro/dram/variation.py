@@ -1,0 +1,141 @@
+"""Frozen manufacturing-variation fields, lazily evaluated per coordinate.
+
+The paper's key stability observation (Section 5.4) is that a cell's
+activation-failure probability is fixed by process variation at
+manufacturing time and does not drift over 15 days of testing.  We model
+that by deriving every per-cell, per-column and per-subarray parameter
+from a *pure hash* of ``(device_seed, domain, coordinates)``:
+
+* the field is deterministic — re-reading a cell any number of times, in
+  any order, on any day, sees the same manufacturing parameters;
+* it needs O(1) memory — a simulated 8-bank × 64K-row device never
+  materializes its billions of cell parameters; only the cells actually
+  probed are evaluated;
+* distinct devices (seeds) get statistically independent fields.
+
+The hash is a vectorized SplitMix64 finalizer chain, a standard
+avalanche-quality mixer, applied with NumPy uint64 arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ndtri
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U64_MAX_PLUS_1 = float(2**64)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """One SplitMix64 finalization round (vectorized, uint64 in/out)."""
+    with np.errstate(over="ignore"):
+        z = (x + _GOLDEN).astype(np.uint64)
+        z = ((z ^ (z >> np.uint64(30))) * _MIX1).astype(np.uint64)
+        z = ((z ^ (z >> np.uint64(27))) * _MIX2).astype(np.uint64)
+        return z ^ (z >> np.uint64(31))
+
+
+def hash_u64(*components) -> np.ndarray:
+    """Hash broadcastable integer components into uint64 values.
+
+    Each component is absorbed with a SplitMix64 round, so the result has
+    full avalanche in every input.  Components may be scalars or arrays;
+    they broadcast together like NumPy operands.
+    """
+    state = np.uint64(0x5DEECE66D)
+    acc = None
+    for component in components:
+        arr = np.asarray(component, dtype=np.uint64)
+        if acc is None:
+            acc = _splitmix64(arr + state)
+        else:
+            with np.errstate(over="ignore"):
+                acc = _splitmix64((acc * _GOLDEN).astype(np.uint64) + arr)
+    if acc is None:
+        raise ValueError("hash_u64 requires at least one component")
+    return acc
+
+
+def uniform_field(*components) -> np.ndarray:
+    """Deterministic uniform(0, 1) field keyed by the hashed components.
+
+    The output is strictly inside (0, 1) so it can feed ``ndtri`` safely.
+    """
+    raw = hash_u64(*components)
+    u = (raw.astype(np.float64) + 0.5) / _U64_MAX_PLUS_1
+    return u
+
+
+def normal_field(*components) -> np.ndarray:
+    """Deterministic standard-normal field keyed by the hashed components.
+
+    Uses the inverse-CDF transform of :func:`uniform_field`, which keeps
+    the field a pure function of its coordinates (no stream state).
+    """
+    return ndtri(uniform_field(*components))
+
+
+class DomainTag:
+    """Namespacing constants separating independent variation fields.
+
+    Two fields over the same coordinates must not be correlated, so each
+    physical quantity hashes in its own tag.
+    """
+
+    CELL_OFFSET = 0x01
+    SENSE_AMP = 0x02
+    SA_WEAKNESS = 0x03
+    CELL_TEMP_SENS = 0x04
+    CELL_COUPLING = 0x05
+    RETENTION = 0x06
+    STARTUP_BIAS = 0x07
+    SUBARRAY_SKEW = 0x08
+    CELL_POLARITY = 0x09
+    STARTUP_NOISE = 0x0A
+    RETENTION_VRT = 0x0B
+    SA_SPREAD = 0x0C
+
+
+class VariationField:
+    """All frozen variation fields of one device, keyed by its seed.
+
+    This object is cheap to construct and stateless; it is the single
+    authority on manufacturing randomness for a device, shared by the
+    activation-failure, retention and startup models so that e.g. the
+    retention baseline and D-RaNGe see one consistent piece of silicon.
+    """
+
+    def __init__(self, device_seed: int) -> None:
+        self._seed = np.uint64(device_seed & 0xFFFFFFFFFFFFFFFF)
+
+    @property
+    def device_seed(self) -> int:
+        """The seed identifying this device's silicon."""
+        return int(self._seed)
+
+    def cell_normal(self, tag: int, bank, row, col) -> np.ndarray:
+        """Standard-normal per-cell field for domain ``tag``."""
+        return normal_field(self._seed, np.uint64(tag), bank, row, col)
+
+    def cell_uniform(self, tag: int, bank, row, col) -> np.ndarray:
+        """Uniform(0,1) per-cell field for domain ``tag``."""
+        return uniform_field(self._seed, np.uint64(tag), bank, row, col)
+
+    def column_normal(self, tag: int, bank, subarray, col) -> np.ndarray:
+        """Standard-normal per-(subarray, column) field for domain ``tag``.
+
+        Sense-amplifier strength lives here: one local sense amp serves a
+        whole column of a subarray, which is what makes failures repeat
+        down entire columns in Figure 4.
+        """
+        return normal_field(self._seed, np.uint64(tag), bank, subarray, col)
+
+    def column_uniform(self, tag: int, bank, subarray, col) -> np.ndarray:
+        """Uniform(0,1) per-(subarray, column) field for domain ``tag``."""
+        return uniform_field(self._seed, np.uint64(tag), bank, subarray, col)
+
+    def subarray_normal(self, tag: int, bank, subarray) -> np.ndarray:
+        """Standard-normal per-subarray field for domain ``tag``."""
+        return normal_field(self._seed, np.uint64(tag), bank, subarray)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the D-RaNGe reproduction library.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class AddressError(ReproError):
+    """A DRAM address is outside the geometry of the addressed device."""
+
+
+class TimingViolationError(ReproError):
+    """A DRAM command was issued in violation of a *mandatory* constraint.
+
+    Note that D-RaNGe deliberately violates ``tRCD``; the behavioral model
+    treats that as a legal-but-failure-prone access, not an error.  This
+    exception covers protocol violations the simulator cannot give meaning
+    to (e.g. reading from a bank with no open row).
+    """
+
+
+class ProtocolError(ReproError):
+    """A command sequence is illegal at the DRAM protocol level."""
+
+
+class InsufficientDataError(ReproError):
+    """A statistical test was given fewer bits than it minimally requires."""
+
+
+class IdentificationError(ReproError):
+    """RNG-cell identification could not produce a usable cell set."""
+
+
+class HealthError(ReproError):
+    """The online health tests flagged the entropy source as degraded."""

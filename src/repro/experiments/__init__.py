@@ -1,0 +1,30 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every experiment module exposes a ``run(config)`` function returning a
+structured result object with a ``format_report()`` method that prints
+the same rows/series the paper reports.  ``ExperimentConfig`` scales the
+experiments: the defaults match laptop-scale runs; crank the device
+counts and region sizes up for paper-scale sweeps.
+
+| Module                  | Paper artifact                                |
+|-------------------------|-----------------------------------------------|
+| fig4_spatial            | Fig. 4  spatial failure bitmap                |
+| fig5_dpd                | Fig. 5  data-pattern coverage                 |
+| fig6_temperature        | Fig. 6  ΔFprob under +5 °C                    |
+| sec54_time              | §5.4    Fprob stability over rounds           |
+| table1_nist             | Table 1 NIST suite on RNG-cell bitstreams     |
+| fig7_density            | Fig. 7  RNG cells per word per bank           |
+| fig8_throughput         | Fig. 8  throughput vs banks                   |
+| sec73_latency           | §7.3    64-bit latency scenarios              |
+| sec73_energy            | §7.3    energy per bit                        |
+| sec73_interference      | §7.3    idle-bandwidth throughput + slowdown  |
+| table2_comparison       | Table 2 prior DRAM TRNG comparison            |
+| sec5_ddr3               | §5      DDR3 cross-validation via SoftMC      |
+| ext_trp                 | footnote 4: tRP-violation entropy (extension) |
+| ext_voltage             | supply-voltage sweep (extension)              |
+| report                  | run everything, emit one text report          |
+"""
+
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,68 @@
+"""Shared configuration and helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.dram.device import DeviceFactory, DramDevice
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale knobs shared by the experiments.
+
+    The defaults run each experiment in seconds on a laptop while
+    keeping every qualitative shape of the paper's figures.  For
+    paper-scale runs, raise ``devices_per_manufacturer`` (the paper
+    samples 59 devices for Figures 7/8) and the region sizes.
+    """
+
+    master_seed: int = 2019
+    noise_seed: int = None  # None → OS entropy (true random mode)
+    devices_per_manufacturer: int = 3
+    region_banks: Tuple[int, ...] = tuple(range(8))
+    region_rows: int = 1024
+    iterations: int = 100
+    trcd_ns: float = 10.0
+    identification_samples: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.devices_per_manufacturer <= 0:
+            raise ConfigurationError(
+                "devices_per_manufacturer must be positive, got "
+                f"{self.devices_per_manufacturer}"
+            )
+        if self.iterations <= 0:
+            raise ConfigurationError(
+                f"iterations must be positive, got {self.iterations}"
+            )
+
+    def factory(self) -> DeviceFactory:
+        """Device factory seeded for this configuration."""
+        return DeviceFactory(
+            master_seed=self.master_seed, noise_seed=self.noise_seed
+        )
+
+    def devices(self, manufacturer: str) -> List[DramDevice]:
+        """The configured sample of one manufacturer's devices."""
+        factory = self.factory()
+        return [
+            factory.make_device(manufacturer, index)
+            for index in range(self.devices_per_manufacturer)
+        ]
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Align a small text table (header + separator + rows)."""
+    table = [list(header)] + [list(r) for r in rows]
+    widths = [max(len(str(row[i])) for row in table) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Extension: entropy from tRP violations (the paper's footnote 4).
+
+The paper: "We believe that reducing other timing parameters could be
+used to generate true random values, but we leave their exploration to
+future work."  This experiment explores the most natural candidate,
+tRP: a truncated precharge leaves the bitlines biased toward the
+previously latched row, so the *next* activation — even at spec tRCD —
+can sample metastable cells.
+
+Method: latch an *inverted* row (all bitlines end opposite to the
+target's data), precharge with a reduced tRP, then activate and read
+the target row at spec tRCD.  The residual fights every cell's
+development uniformly, so cells whose margin sits near
+``development − residual`` turn metastable — the same 50%-band
+structure reduced tRCD produces, via a different timing parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.datapattern import pattern_by_name
+from repro.dram.device import DramDevice
+from repro.experiments.common import ExperimentConfig, format_table
+
+
+@dataclass
+class TrpSweepPoint:
+    """Failure statistics at one tRP value."""
+
+    trp_ns: float
+    residual: float
+    failing_cells: int
+    band_cells: int
+
+
+@dataclass
+class TrpResult:
+    """The tRP-violation sweep for one device."""
+
+    device_serial: str
+    spec_trp_ns: float
+    points: List[TrpSweepPoint]
+    sample_bits_mean: float
+
+    @property
+    def produces_entropy(self) -> bool:
+        """Does some tRP value yield ~50% (band) cells at spec tRCD?"""
+        return any(point.band_cells > 0 for point in self.points)
+
+    def format_report(self) -> str:
+        rows = [
+            [
+                f"{point.trp_ns:.0f}",
+                f"{point.residual:.3f}",
+                str(point.failing_cells),
+                str(point.band_cells),
+            ]
+            for point in self.points
+        ]
+        return "\n".join(
+            [
+                "Extension — tRP-violation entropy "
+                f"({self.device_serial}, spec tRP {self.spec_trp_ns} ns, "
+                "reads at spec tRCD)",
+                format_table(
+                    ["tRP ns", "residual", "failing cells", "band cells"],
+                    rows,
+                ),
+                f"sampled band-cell ones-ratio: {self.sample_bits_mean:.3f}",
+            ]
+        )
+
+
+def _probe_with_trp(
+    device: DramDevice,
+    bank: int,
+    target_row: int,
+    primer_row: int,
+    trp_ns: float,
+    iterations: int,
+) -> np.ndarray:
+    """Fail counts for one row read at spec tRCD after a short PRE.
+
+    The primer row stores the target's inverse, so the residual opposes
+    every target cell's development.
+    """
+    target = device.bank(bank)
+    geometry = device.geometry
+    counts = np.zeros(geometry.cols_per_row, dtype=np.int64)
+    expected = target.stored_row(target_row)
+    for _ in range(iterations):
+        if target.open_row is not None:
+            target.precharge()
+        target.activate(primer_row)
+        target.precharge(trp_ns=trp_ns)
+        target.activate(target_row)
+        for word in range(geometry.words_per_row):
+            got = target.read(word, op=device.operating_point(
+                device.timings.trcd_ns
+            ))
+            sl = slice(word * geometry.word_bits, (word + 1) * geometry.word_bits)
+            counts[sl] += got != expected[sl]
+            break  # only the first word is failure-eligible
+        target.precharge()
+    return counts
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    manufacturer: str = "A",
+    trp_sweep_ns: Sequence[float] = (18.0, 12.0, 10.0, 8.0, 6.0, 5.0),
+    rows: int = 64,
+    row_start: int = 448,
+    iterations: int = 50,
+) -> TrpResult:
+    """Sweep tRP and measure failure/band statistics at spec tRCD."""
+    device = config.factory().make_device(manufacturer, 0)
+    geometry = device.geometry
+    target_pattern = pattern_by_name("solid0")
+    primer_pattern = pattern_by_name("solid1")
+
+    # Interleave target/primer rows so each target has a same-bank primer.
+    target_rows = list(range(row_start, row_start + rows, 2))
+    for row in target_rows:
+        device.bank(0).write_row(
+            row, target_pattern.row_values(row, geometry.cols_per_row)
+        )
+        device.bank(0).write_row(
+            row + 1, primer_pattern.row_values(row + 1, geometry.cols_per_row)
+        )
+
+    points: List[TrpSweepPoint] = []
+    band_coords: List[Tuple[int, int]] = []
+    for trp in trp_sweep_ns:
+        failing = 0
+        band = 0
+        for row in target_rows:
+            counts = _probe_with_trp(device, 0, row, row + 1, trp, iterations)
+            word_counts = counts[: geometry.word_bits]
+            failing += int((word_counts > 0).sum())
+            in_band = (word_counts >= 0.4 * iterations) & (
+                word_counts <= 0.6 * iterations
+            )
+            band += int(in_band.sum())
+            if trp == trp_sweep_ns[-1]:
+                band_coords.extend(
+                    (row, int(col)) for col in np.flatnonzero(in_band)
+                )
+        residual = device.failure_model.precharge_residual(
+            trp, device.timings.trp_ns
+        )
+        points.append(
+            TrpSweepPoint(
+                trp_ns=trp, residual=residual,
+                failing_cells=failing, band_cells=band,
+            )
+        )
+
+    # Sample one discovered band cell many times to show it is balanced.
+    sample_mean = 0.5
+    if band_coords:
+        row, col = band_coords[0]
+        bits = []
+        target = device.bank(0)
+        for _ in range(400):
+            if target.open_row is not None:
+                target.precharge()
+            target.activate(row + 1)
+            target.precharge(trp_ns=trp_sweep_ns[-1])
+            target.activate(row)
+            word = col // geometry.word_bits
+            got = target.read(
+                word, op=device.operating_point(device.timings.trcd_ns)
+            )
+            bits.append(int(got[col % geometry.word_bits]))
+            target.precharge()
+        sample_mean = float(np.mean(bits))
+
+    return TrpResult(
+        device_serial=device.serial,
+        spec_trp_ns=device.timings.trp_ns,
+        points=points,
+        sample_bits_mean=sample_mean,
+    )

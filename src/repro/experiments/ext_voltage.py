@@ -1,0 +1,109 @@
+"""Extension: supply-voltage dependence of activation failures.
+
+The paper's introduction names voltage fluctuation as a condition an
+effective TRNG must tolerate, and cites the reduced-voltage DRAM study
+[30].  This extension sweeps the supply (0.90–1.10 × nominal) and
+measures how the failure population and the RNG band shift — the
+voltage analogue of Figure 6's temperature study.  The practical
+conclusion mirrors Section 6.1's temperature handling: RNG-cell sets
+should be identified per operating voltage when a platform undervolts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.profiling import Region, profile_region
+from repro.dram.datapattern import BEST_RNG_PATTERN, pattern_by_name
+from repro.experiments.common import ExperimentConfig, format_table
+
+
+@dataclass
+class VoltagePoint:
+    """Failure statistics at one supply point."""
+
+    vdd_ratio: float
+    mean_marginal_fprob: float
+    failing_cells: int
+    band_cells: int
+
+
+@dataclass
+class VoltageResult:
+    """The voltage sweep for one device."""
+
+    device_serial: str
+    points: List[VoltagePoint]
+
+    @property
+    def undervolt_raises_fprob(self) -> bool:
+        """Marginal-cell Fprob decreases monotonically with voltage."""
+        ordered = sorted(self.points, key=lambda p: p.vdd_ratio)
+        means = [p.mean_marginal_fprob for p in ordered]
+        return all(b <= a + 1e-9 for a, b in zip(means, means[1:]))
+
+    def format_report(self) -> str:
+        rows = [
+            [
+                f"{p.vdd_ratio:.2f}",
+                f"{p.mean_marginal_fprob:.3f}",
+                str(p.failing_cells),
+                str(p.band_cells),
+            ]
+            for p in self.points
+        ]
+        return "\n".join(
+            [
+                f"Extension — supply-voltage sweep ({self.device_serial}, "
+                "tRCD 10 ns)",
+                format_table(
+                    ["VDD ratio", "marginal Fprob", "failing cells",
+                     "band cells"],
+                    rows,
+                ),
+            ]
+        )
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    manufacturer: str = "A",
+    vdd_sweep: Sequence[float] = (1.10, 1.05, 1.00, 0.95, 0.90),
+    rows: int = 512,
+) -> VoltageResult:
+    """Profile the same region at each supply point."""
+    device = config.factory().make_device(manufacturer, 0)
+    pattern = pattern_by_name(BEST_RNG_PATTERN[manufacturer])
+    region = Region(banks=(0,), row_start=0, row_count=rows)
+
+    # Marginal reference population at nominal voltage.
+    nominal = profile_region(
+        device, pattern, region=region,
+        trcd_ns=config.trcd_ns, iterations=config.iterations,
+    ).fail_probabilities
+    marginal = (nominal > 0.01) & (nominal < 0.99)
+
+    points: List[VoltagePoint] = []
+    for vdd in vdd_sweep:
+        device.set_vdd_ratio(vdd)
+        result = profile_region(
+            device, pattern, region=region,
+            trcd_ns=config.trcd_ns, iterations=config.iterations,
+            write_pattern=False,
+        )
+        probs = result.fail_probabilities
+        points.append(
+            VoltagePoint(
+                vdd_ratio=vdd,
+                mean_marginal_fprob=float(probs[marginal].mean())
+                if marginal.any()
+                else 0.0,
+                failing_cells=result.failing_cell_count,
+                band_cells=len(result.cells_in_band()),
+            )
+        )
+    device.set_vdd_ratio(1.0)
+    return VoltageResult(device_serial=device.serial, points=points)

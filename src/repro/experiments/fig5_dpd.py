@@ -1,0 +1,129 @@
+"""Figure 5: data-pattern dependence of activation failures.
+
+For a representative device of each manufacturer, run Algorithm 1 with
+all 40 characterization patterns and report each pattern's *coverage*
+(fraction of the union of discovered failures it finds), plus the
+walking-pattern aggregate (mean/min/max over the 16 shifts) and the
+count of ~50%-probability cells each pattern surfaces (the paper's
+second analysis, which picks the per-manufacturer RNG pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.coverage import coverage_ratios
+from repro.core.profiling import Region, profile_region
+from repro.dram.datapattern import all_characterization_patterns
+from repro.experiments.common import ExperimentConfig, format_table
+
+
+@dataclass
+class ManufacturerDpd:
+    """Fig. 5 data for one manufacturer's representative device."""
+
+    manufacturer: str
+    device_serial: str
+    coverage: Dict[str, float]
+    band_cells: Dict[str, int]
+
+    def walking_aggregate(self, walk_value: int) -> Tuple[float, float, float]:
+        """(mean, min, max) coverage across the 16 walking shifts."""
+        values = [
+            ratio
+            for name, ratio in self.coverage.items()
+            if name.startswith(f"walk{walk_value}_")
+        ]
+        return float(np.mean(values)), float(min(values)), float(max(values))
+
+    @property
+    def best_band_pattern(self) -> str:
+        """Pattern finding the most cells with Fprob in the 40–60% band."""
+        return max(self.band_cells, key=lambda name: self.band_cells[name])
+
+
+@dataclass
+class Fig5Result:
+    """Fig. 5 across manufacturers."""
+
+    per_manufacturer: List[ManufacturerDpd]
+
+    def format_report(self) -> str:
+        lines = ["Figure 5 — data-pattern dependence (coverage ratios)"]
+        for dpd in self.per_manufacturer:
+            lines.append(f"\nManufacturer {dpd.manufacturer} ({dpd.device_serial}):")
+            rows = []
+            scalar = [
+                n
+                for n in dpd.coverage
+                if not n.startswith(("walk0_", "walk1_"))
+            ]
+            for name in sorted(scalar, key=lambda n: -dpd.coverage[n]):
+                rows.append(
+                    [name, f"{dpd.coverage[name]:.3f}", str(dpd.band_cells[name])]
+                )
+            for walk_value in (1, 0):
+                mean, low, high = dpd.walking_aggregate(walk_value)
+                band = int(
+                    np.mean(
+                        [
+                            count
+                            for name, count in dpd.band_cells.items()
+                            if name.startswith(f"walk{walk_value}_")
+                        ]
+                    )
+                )
+                rows.append(
+                    [
+                        f"WALK{walk_value} (16 shifts)",
+                        f"{mean:.3f} [{low:.3f}, {high:.3f}]",
+                        str(band),
+                    ]
+                )
+            lines.append(format_table(["pattern", "coverage", "Fprob40-60 cells"], rows))
+            lines.append(f"best RNG-cell pattern: {dpd.best_band_pattern}")
+        return "\n".join(lines)
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    manufacturers: Sequence[str] = ("A", "B", "C"),
+    pattern_names: Optional[Sequence[str]] = None,
+    rows: Optional[int] = None,
+) -> Fig5Result:
+    """Run the pattern sweep for one device per manufacturer."""
+    patterns = all_characterization_patterns()
+    if pattern_names is not None:
+        wanted = set(pattern_names)
+        patterns = [p for p in patterns if p.name in wanted]
+    results: List[ManufacturerDpd] = []
+    for manufacturer in manufacturers:
+        device = config.factory().make_device(manufacturer, 0)
+        row_count = rows if rows is not None else min(
+            config.region_rows, device.geometry.rows_per_bank
+        )
+        region = Region(banks=(0,), row_start=0, row_count=row_count)
+        failures: Dict[str, np.ndarray] = {}
+        band: Dict[str, int] = {}
+        for pattern in patterns:
+            characterization = profile_region(
+                device,
+                pattern,
+                region=region,
+                trcd_ns=config.trcd_ns,
+                iterations=config.iterations,
+            )
+            failures[pattern.name] = characterization.failing_cells()
+            band[pattern.name] = len(characterization.cells_in_band())
+        results.append(
+            ManufacturerDpd(
+                manufacturer=manufacturer,
+                device_serial=device.serial,
+                coverage=coverage_ratios(failures),
+                band_cells=band,
+            )
+        )
+    return Fig5Result(per_manufacturer=results)

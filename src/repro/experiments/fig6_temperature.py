@@ -1,0 +1,152 @@
+"""Figure 6: effect of temperature variation on failure probability.
+
+For devices of each manufacturer, measure each cell's Fprob (100
+iterations) at temperature T and at T+5 °C across the 55–70 °C range,
+then summarize ΔFprob — the paper's box-and-whiskers of Fprob(T+5)
+conditioned on Fprob(T).  Shape targets: the mass sits above the x=y
+line (higher temperature → more failures), fewer than ~25% of points
+fall below it, and manufacturer A tracks the line most tightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import BoxStats, box_stats
+from repro.core.profiling import Region, profile_region
+from repro.dram.datapattern import BEST_RNG_PATTERN, pattern_by_name
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.testbed.chamber import ThermalChamber
+
+
+@dataclass
+class TemperaturePairs:
+    """(Fprob@T, Fprob@T+5) samples for one manufacturer."""
+
+    manufacturer: str
+    base_fprob: np.ndarray
+    stepped_fprob: np.ndarray
+
+    @property
+    def delta(self) -> np.ndarray:
+        """Per-cell Fprob change under +5 °C."""
+        return self.stepped_fprob - self.base_fprob
+
+    @property
+    def plateau_mask(self) -> np.ndarray:
+        """Cells measured inside the metastable blob (Fprob ≈ 50%).
+
+        These cells sit *on* the x=y line by construction (their outcome
+        probability is pinned to 1/2 until temperature pushes them out
+        of the plateau), so measurement noise splits them evenly across
+        the diagonal; the below-diagonal statistic is computed on the
+        transition cells instead.
+        """
+        return (self.base_fprob > 0.42) & (self.base_fprob < 0.58)
+
+    @property
+    def fraction_below_diagonal(self) -> float:
+        """Fraction of *transition* cells whose Fprob decreased."""
+        mask = ~self.plateau_mask
+        if mask.sum() == 0:
+            return 0.0
+        return float((self.delta[mask] < 0).mean())
+
+    def binned_box_stats(self, bins: int = 10) -> List[Tuple[float, BoxStats]]:
+        """Box stats of Fprob@T+5 per Fprob@T bin (the figure's boxes)."""
+        out = []
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        for i in range(bins):
+            mask = (self.base_fprob >= edges[i]) & (self.base_fprob < edges[i + 1])
+            if mask.sum() >= 3:
+                out.append(
+                    ((edges[i] + edges[i + 1]) / 2, box_stats(self.stepped_fprob[mask]))
+                )
+        return out
+
+
+@dataclass
+class Fig6Result:
+    """Fig. 6 across manufacturers."""
+
+    per_manufacturer: List[TemperaturePairs]
+    temperatures_c: Tuple[float, ...]
+
+    def format_report(self) -> str:
+        lines = [
+            "Figure 6 — Fprob at T vs T+5C "
+            f"(DRAM temperatures {self.temperatures_c} C)"
+        ]
+        for pairs in self.per_manufacturer:
+            lines.append(f"\nManufacturer {pairs.manufacturer}: "
+                         f"{pairs.base_fprob.size} marginal cells")
+            lines.append(
+                f"mean dFprob: {pairs.delta.mean():+.4f}   "
+                f"std: {pairs.delta.std():.4f}   "
+                f"below x=y (transition cells): "
+                f"{pairs.fraction_below_diagonal:.1%}   "
+                f"metastable blob: {pairs.plateau_mask.mean():.1%}"
+            )
+            rows = []
+            for center, stats in pairs.binned_box_stats():
+                rows.append(
+                    [
+                        f"{center:.2f}",
+                        f"{stats.q1:.3f}",
+                        f"{stats.median:.3f}",
+                        f"{stats.q3:.3f}",
+                        str(stats.n),
+                    ]
+                )
+            lines.append(
+                format_table(["Fprob@T bin", "q1@T+5", "median@T+5", "q3@T+5", "n"], rows)
+            )
+        return "\n".join(lines)
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    manufacturers: Sequence[str] = ("A", "B", "C"),
+    base_temps_c: Sequence[float] = (55.0, 60.0, 65.0),
+    rows: int = 512,
+) -> Fig6Result:
+    """Measure Fprob at each base temperature and +5 °C above it."""
+    results: List[TemperaturePairs] = []
+    for manufacturer in manufacturers:
+        pattern = pattern_by_name(BEST_RNG_PATTERN[manufacturer])
+        base_all: List[np.ndarray] = []
+        stepped_all: List[np.ndarray] = []
+        for device in config.devices(manufacturer):
+            chamber = ThermalChamber()
+            chamber.add_device(device)
+            region = Region(banks=(0,), row_start=0, row_count=rows)
+            for base_temp in base_temps_c:
+                chamber.set_dram_temperature(base_temp)
+                base = profile_region(
+                    device, pattern, region=region,
+                    trcd_ns=config.trcd_ns, iterations=config.iterations,
+                ).fail_probabilities
+                chamber.set_dram_temperature(base_temp + 5.0)
+                stepped = profile_region(
+                    device, pattern, region=region,
+                    trcd_ns=config.trcd_ns, iterations=config.iterations,
+                ).fail_probabilities
+                # Only marginal cells are informative (the figure's axes
+                # are percentages of 100 trials; 0%/100% cells saturate).
+                mask = (base > 0.01) & (base < 0.99)
+                base_all.append(base[mask])
+                stepped_all.append(stepped[mask])
+        results.append(
+            TemperaturePairs(
+                manufacturer=manufacturer,
+                base_fprob=np.concatenate(base_all),
+                stepped_fprob=np.concatenate(stepped_all),
+            )
+        )
+    return Fig6Result(
+        per_manufacturer=results,
+        temperatures_c=tuple(base_temps_c),
+    )

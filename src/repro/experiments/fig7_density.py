@@ -1,0 +1,134 @@
+"""Figure 7: density of RNG cells in DRAM words, per bank.
+
+The paper histograms, over 472 banks from 59 devices, how many DRAM
+words in each bank contain x RNG cells (x = 0..4), per manufacturer.
+Key shapes: every bank has words with at least one RNG cell; counts
+fall off steeply with x; the maximum observed density is 4 per word.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import BoxStats, box_stats
+from repro.core.drange import DRange
+from repro.core.profiling import Region
+from repro.experiments.common import ExperimentConfig, format_table
+
+
+@dataclass
+class DensityDistribution:
+    """Per-bank word counts by RNG-cell density for one manufacturer."""
+
+    manufacturer: str
+    #: per_bank_counts[x] = list over banks of "#words with exactly x
+    #: RNG cells" (x >= 1).
+    per_bank_counts: Dict[int, List[int]]
+
+    def box(self, x: int) -> BoxStats:
+        """Distribution over banks of words holding exactly x RNG cells."""
+        return box_stats(self.per_bank_counts.get(x, [0]))
+
+    @property
+    def max_density(self) -> int:
+        """Highest RNG-cell count observed in one word."""
+        populated = [x for x, counts in self.per_bank_counts.items() if any(counts)]
+        return max(populated) if populated else 0
+
+    @property
+    def banks_with_cells(self) -> int:
+        """Banks holding at least one RNG-cell word."""
+        ones = self.per_bank_counts.get(1, [])
+        totals = np.zeros(len(ones), dtype=np.int64)
+        for counts in self.per_bank_counts.values():
+            totals += np.asarray(counts)
+        return int((totals > 0).sum())
+
+
+@dataclass
+class Fig7Result:
+    """Fig. 7 across manufacturers."""
+
+    distributions: List[DensityDistribution]
+    banks_per_manufacturer: int
+
+    def format_report(self) -> str:
+        lines = [
+            "Figure 7 — RNG cells per DRAM word, distribution over "
+            f"{self.banks_per_manufacturer} banks per manufacturer"
+        ]
+        for dist in self.distributions:
+            lines.append(
+                f"\nManufacturer {dist.manufacturer} "
+                f"(max density {dist.max_density} cells/word, "
+                f"{dist.banks_with_cells} banks populated):"
+            )
+            rows = []
+            for x in sorted(dist.per_bank_counts):
+                stats = dist.box(x)
+                rows.append(
+                    [
+                        str(x),
+                        f"{stats.median:.0f}",
+                        f"{stats.q1:.0f}",
+                        f"{stats.q3:.0f}",
+                        f"{stats.minimum:.0f}",
+                        f"{stats.maximum:.0f}",
+                    ]
+                )
+            lines.append(
+                format_table(
+                    ["cells/word", "median", "q1", "q3", "min", "max"], rows
+                )
+            )
+        return "\n".join(lines)
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    manufacturers: Sequence[str] = ("A", "B", "C"),
+) -> Fig7Result:
+    """Identify RNG cells per device and histogram per-bank densities."""
+    distributions: List[DensityDistribution] = []
+    banks_counted = 0
+    for manufacturer in manufacturers:
+        per_bank: Dict[int, List[int]] = {}
+        banks_counted = 0
+        for device in config.devices(manufacturer):
+            drange = DRange(device, trcd_ns=config.trcd_ns)
+            cells = drange.prepare(
+                region=Region(
+                    banks=config.region_banks,
+                    row_start=0,
+                    row_count=min(
+                        config.region_rows, device.geometry.rows_per_bank
+                    ),
+                ),
+                iterations=config.iterations,
+                samples=config.identification_samples,
+            )
+            word_bits = device.geometry.word_bits
+            for bank in config.region_banks:
+                density = Counter()
+                for cell in cells:
+                    if cell.bank == bank:
+                        density[(cell.row, cell.col // word_bits)] += 1
+                by_count = Counter(density.values())
+                max_x = max(by_count) if by_count else 1
+                for x in range(1, max(max_x + 1, 5)):
+                    per_bank.setdefault(x, []).append(by_count.get(x, 0))
+                banks_counted += 1
+        # Pad shorter lists (banks appended before a new max_x appeared).
+        for x, counts in per_bank.items():
+            while len(counts) < banks_counted:
+                counts.append(0)
+        distributions.append(
+            DensityDistribution(manufacturer=manufacturer, per_bank_counts=per_bank)
+        )
+    return Fig7Result(
+        distributions=distributions, banks_per_manufacturer=banks_counted
+    )

@@ -1,0 +1,106 @@
+"""Figure 8: TRNG throughput vs number of banks used.
+
+For a sample of devices per manufacturer: identify RNG cells, select
+the two best words per bank, and evaluate Equation 1 for 1..8 banks
+through the timing engine.  Shape targets: throughput grows with bank
+count; per-manufacturer medians are similar; with all 8 banks every
+device clears tens of Mb/s; 4-channel scaling gives the paper's
+headline maximum/average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import box_stats
+from repro.core.drange import DRange
+from repro.core.profiling import Region
+from repro.core.throughput import ThroughputModel
+from repro.experiments.common import ExperimentConfig, format_table
+
+
+@dataclass
+class Fig8Result:
+    """Throughput distributions per manufacturer and bank count."""
+
+    #: per_manufacturer[mfr][x] = list over devices of Mb/s at x banks.
+    per_manufacturer: Dict[str, Dict[int, List[float]]]
+    channels: int = 4
+
+    def device_peaks_mbps(self) -> List[float]:
+        """Best per-channel throughput of every device (max banks)."""
+        peaks = []
+        for by_banks in self.per_manufacturer.values():
+            if not by_banks:
+                continue
+            top = max(by_banks)
+            peaks.extend(by_banks[top])
+        return peaks
+
+    @property
+    def max_throughput_4ch_mbps(self) -> float:
+        """Paper headline: best device × 4 channels (717.4 Mb/s)."""
+        peaks = self.device_peaks_mbps()
+        return max(peaks) * self.channels if peaks else 0.0
+
+    @property
+    def avg_throughput_4ch_mbps(self) -> float:
+        """Paper headline: average device × 4 channels (435.7 Mb/s)."""
+        peaks = self.device_peaks_mbps()
+        return float(np.mean(peaks)) * self.channels if peaks else 0.0
+
+    def format_report(self) -> str:
+        lines = ["Figure 8 — TRNG throughput (Mb/s) vs banks used"]
+        for manufacturer, by_banks in self.per_manufacturer.items():
+            lines.append(f"\nManufacturer {manufacturer}:")
+            rows = []
+            for x in sorted(by_banks):
+                stats = box_stats(by_banks[x])
+                rows.append(
+                    [
+                        str(x),
+                        f"{stats.median:.1f}",
+                        f"{stats.minimum:.1f}",
+                        f"{stats.maximum:.1f}",
+                    ]
+                )
+            lines.append(format_table(["banks", "median", "min", "max"], rows))
+        lines.append(
+            f"\n4-channel maximum: {self.max_throughput_4ch_mbps:.1f} Mb/s"
+            f"   4-channel average: {self.avg_throughput_4ch_mbps:.1f} Mb/s"
+        )
+        return "\n".join(lines)
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    manufacturers: Sequence[str] = ("A", "B", "C"),
+    max_banks: int = 8,
+) -> Fig8Result:
+    """Evaluate Equation 1 for every sampled device and bank count."""
+    per_manufacturer: Dict[str, Dict[int, List[float]]] = {}
+    for manufacturer in manufacturers:
+        by_banks: Dict[int, List[float]] = {}
+        for device in config.devices(manufacturer):
+            drange = DRange(device, trcd_ns=config.trcd_ns)
+            drange.prepare(
+                region=Region(
+                    banks=config.region_banks,
+                    row_start=0,
+                    row_count=min(
+                        config.region_rows, device.geometry.rows_per_bank
+                    ),
+                ),
+                iterations=config.iterations,
+                samples=config.identification_samples,
+            )
+            model = drange.throughput_model()
+            for estimate in model.sweep(max_banks):
+                by_banks.setdefault(estimate.num_banks, []).append(
+                    estimate.throughput_mbps
+                )
+        per_manufacturer[manufacturer] = by_banks
+    return Fig8Result(per_manufacturer=per_manufacturer)

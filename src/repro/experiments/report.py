@@ -1,0 +1,105 @@
+"""One-shot full reproduction: run every experiment, emit one report.
+
+``generate_report`` runs each paper artifact (and the two extensions)
+at the requested configuration and concatenates the per-experiment
+reports into a single text document — the programmatic counterpart of
+``pytest benchmarks/ --benchmark-only``, for embedding in notebooks,
+CI logs, or the CLI's ``experiment all``.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.experiments import (
+    ext_trp,
+    ext_voltage,
+    fig4_spatial,
+    fig5_dpd,
+    fig6_temperature,
+    fig7_density,
+    fig8_throughput,
+    sec5_ddr3,
+    sec54_time,
+    sec73_energy,
+    sec73_interference,
+    sec73_latency,
+    table1_nist,
+    table2_comparison,
+)
+from repro.experiments.common import ExperimentConfig
+
+#: Experiment id → runner, in the paper's presentation order.  Runners
+#: are scaled-down so the full sweep finishes in minutes.
+RUNNERS: Dict[str, Callable[[ExperimentConfig], object]] = {
+    "fig4": lambda c: fig4_spatial.run(c, rows=512, cols=512),
+    "fig5": lambda c: fig5_dpd.run(
+        c,
+        pattern_names=(
+            "solid0", "solid1", "checkered0", "checkered1",
+            "rowstripe", "colstripe",
+            "walk1_00", "walk1_07", "walk1_15",
+            "walk0_00", "walk0_07", "walk0_15",
+        ),
+        rows=512,
+    ),
+    "fig6": lambda c: fig6_temperature.run(
+        c, base_temps_c=(55.0, 65.0), rows=256
+    ),
+    "sec54": lambda c: sec54_time.run(c, rounds=10, rows=256),
+    "sec5_ddr3": lambda c: sec5_ddr3.run(c, num_devices=2, rows=512),
+    "table1": lambda c: table1_nist.run(
+        c, cells_per_device=2, stream_bits=100_000
+    ),
+    "fig7": fig7_density.run,
+    "fig8": fig8_throughput.run,
+    "latency": sec73_latency.run,
+    "energy": lambda c: sec73_energy.run(c, num_bits=256),
+    "interference": sec73_interference.run,
+    "table2": table2_comparison.run,
+    "ext_trp": lambda c: ext_trp.run(c, rows=32, iterations=40),
+    "ext_voltage": lambda c: ext_voltage.run(c, rows=256),
+}
+
+
+def generate_report(
+    config: Optional[ExperimentConfig] = None,
+    experiments: Optional[Sequence[str]] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Tuple[str, Dict[str, float]]:
+    """Run the selected experiments; returns (report text, timings).
+
+    ``experiments`` defaults to everything in :data:`RUNNERS`.  Each
+    section carries the experiment id, its wall time, and the same rows
+    the paper reports.
+    """
+    if config is None:
+        config = ExperimentConfig(
+            devices_per_manufacturer=1,
+            region_banks=(0, 1, 2, 3),
+            region_rows=512,
+        )
+    names = list(RUNNERS) if experiments is None else list(experiments)
+    unknown = set(names) - set(RUNNERS)
+    if unknown:
+        raise ValueError(f"unknown experiment id(s): {sorted(unknown)}")
+
+    out = io.StringIO()
+    timings: Dict[str, float] = {}
+    out.write("D-RaNGe reproduction — full experiment report\n")
+    out.write("=" * 72 + "\n")
+    for name in names:
+        start = clock()
+        result = RUNNERS[name](config)
+        elapsed = clock() - start
+        timings[name] = elapsed
+        out.write(f"\n[{name}]  ({elapsed:.1f}s)\n")
+        out.write("-" * 72 + "\n")
+        out.write(result.format_report())
+        out.write("\n")
+    total = sum(timings.values())
+    out.write("\n" + "=" * 72 + "\n")
+    out.write(f"{len(names)} experiments in {total:.1f}s\n")
+    return out.getvalue(), timings

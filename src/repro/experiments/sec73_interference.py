@@ -1,0 +1,251 @@
+"""Section 7.3 "Low System Interference": idle-bandwidth throughput.
+
+The paper runs SPEC CPU2006 workloads in simulation, measures the DRAM
+bandwidth they leave idle, and converts it into the D-RaNGe throughput
+achievable with *no significant slowdown*: 83.1 Mb/s average (98.3 max,
+49.1 min).  This experiment does the same over the synthetic workload
+catalog, plus the storage-overhead accounting (six reserved rows per
+bank ⇒ 0.018%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.throughput import alg2_iteration_time_ns
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.timing import LPDDR4_3200, TimingParameters
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.sim.workloads import Workload, spec_workloads
+from repro.units import mbps
+
+
+@dataclass
+class WorkloadThroughput:
+    """Idle-bandwidth D-RaNGe throughput under one workload."""
+
+    workload: Workload
+    idle_fraction: float
+    throughput_mbps: float
+
+
+@dataclass
+class InterferenceResult:
+    """Per-workload throughputs plus the paper's summary stats."""
+
+    per_workload: List[WorkloadThroughput]
+    full_rate_mbps: float
+    storage_overhead: float
+
+    @property
+    def average_mbps(self) -> float:
+        return float(np.mean([w.throughput_mbps for w in self.per_workload]))
+
+    @property
+    def max_mbps(self) -> float:
+        return max(w.throughput_mbps for w in self.per_workload)
+
+    @property
+    def min_mbps(self) -> float:
+        return min(w.throughput_mbps for w in self.per_workload)
+
+    def format_report(self) -> str:
+        rows = [
+            [
+                w.workload.name,
+                f"{w.workload.bandwidth_gbps:.2f}",
+                f"{w.idle_fraction:.2f}",
+                f"{w.throughput_mbps:.1f}",
+            ]
+            for w in sorted(self.per_workload, key=lambda w: -w.throughput_mbps)
+        ]
+        return "\n".join(
+            [
+                "Section 7.3 — D-RaNGe throughput from idle DRAM bandwidth",
+                format_table(
+                    ["workload", "demand GB/s", "idle frac", "Mb/s"], rows
+                ),
+                f"average (max, min): {self.average_mbps:.1f} "
+                f"({self.max_mbps:.1f}, {self.min_mbps:.1f}) Mb/s "
+                "[paper: 83.1 (98.3, 49.1)]",
+                f"DRAM storage overhead: {self.storage_overhead:.4%} "
+                "[paper: 0.018%]",
+            ]
+        )
+
+
+def storage_overhead(geometry: DeviceGeometry) -> float:
+    """Six reserved rows per bank over the whole device.
+
+    Two RNG-cell rows plus each row's two physical neighbors
+    (Section 7.3's accounting).
+    """
+    reserved_rows = 6 * geometry.banks
+    total_rows = geometry.rows_per_bank * geometry.banks
+    return reserved_rows / total_rows
+
+
+@dataclass
+class SlowdownResult:
+    """Trace-driven slowdown measurement for one workload."""
+
+    workload_name: str
+    duty_cycle: float
+    baseline_latency_ns: float
+    with_drange_latency_ns: float
+    drange_bits: int
+    duration_ns: float
+
+    @property
+    def slowdown(self) -> float:
+        """Mean request-latency ratio (1.0 = no interference)."""
+        if self.baseline_latency_ns <= 0:
+            return 1.0
+        return self.with_drange_latency_ns / self.baseline_latency_ns
+
+    @property
+    def drange_mbps(self) -> float:
+        """Random-bit rate achieved alongside the workload."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return mbps(self.drange_bits, self.duration_ns)
+
+
+def simulate_slowdown(
+    workload: Workload,
+    policy: str = "idle",
+    duty_cycle: float = 0.25,
+    duration_ns: float = 200_000.0,
+    window_ns: float = 1_000.0,
+    data_rate_bits_per_bank: int = 4,
+    banks: int = 8,
+    timings: TimingParameters = LPDDR4_3200,
+    noise_seed: int = 1,
+) -> SlowdownResult:
+    """Trace-driven interference: schedule a workload with and without
+    interleaved D-RaNGe sampling.
+
+    Application requests flow through the FR-FCFS scheduler.  Two
+    firmware policies are modeled (Section 6.3 / 7.3):
+
+    * ``"idle"`` — opportunistic: a window with no application arrivals
+      runs one Algorithm 2 core-loop iteration (the paper's
+      idle-bandwidth harvesting; "no significant impact");
+    * ``"fixed"`` — duty-cycled: every ``1/duty_cycle``-th window runs an
+      iteration regardless of traffic (the throughput/interference
+      tradeoff knob).
+    """
+    from repro.memctrl.requests import MemRequest
+    from repro.memctrl.scheduler import FrFcfsScheduler
+    from repro.noise import NoiseSource
+    from repro.sim.engine import TimingEngine
+    from repro.sim.workloads import generate_request_trace
+
+    if policy not in ("idle", "fixed"):
+        raise ValueError(f"policy must be 'idle' or 'fixed', got {policy!r}")
+    if not 0.0 < duty_cycle <= 1.0:
+        raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+    capacity = timings.data_rate_mtps * 2.0 / 1e3
+    trace = generate_request_trace(
+        workload, duration_ns, capacity, banks=banks,
+        noise=NoiseSource(seed=noise_seed),
+    )
+    arrivals = [
+        MemRequest(bank=r.bank, row=r.row, word=0, arrival_ns=r.arrival_ns)
+        for r in trace
+        if not r.is_write
+    ]
+
+    def _drange_iteration(engine) -> None:
+        for phase_row in (0, 1):
+            for bank in range(banks):
+                engine.activate(bank, phase_row)
+            for bank in range(banks):
+                engine.read(bank, trcd_ns=10.0)
+            for bank in range(banks):
+                engine.write(bank)
+            for bank in range(banks):
+                engine.precharge(bank)
+
+    def mean_latency(with_drange: bool):
+        engine = TimingEngine(timings, banks=banks)
+        scheduler = FrFcfsScheduler(engine)
+        drange_bits = 0
+        done = []
+        n_windows = int(duration_ns // window_ns) + 1
+        fixed_period = max(round(1.0 / duty_cycle), 1)
+        for window_index in range(n_windows):
+            window_start = window_index * window_ns
+            window_end = window_start + window_ns
+            batch = [
+                MemRequest(bank=r.bank, row=r.row, word=r.word,
+                           arrival_ns=r.arrival_ns)
+                for r in arrivals
+                if window_start <= r.arrival_ns < window_end
+            ]
+            sample_now = with_drange and (
+                (policy == "idle" and not batch)
+                or (policy == "fixed" and window_index % fixed_period == 0)
+            )
+            if sample_now:
+                scheduler.close_all()
+                if engine.now_ns < window_start:
+                    engine.idle_until(window_start)
+                # Fill the free window with loop iterations, leaving
+                # headroom for the tail iteration to drain.
+                while engine.now_ns + 500.0 < window_end:
+                    _drange_iteration(engine)
+                    drange_bits += data_rate_bits_per_bank * banks
+            if batch:
+                done.extend(scheduler.run(batch))
+        if not done:
+            return 0.0, drange_bits
+        return float(np.mean([r.latency_ns for r in done])), drange_bits
+
+    baseline, _ = mean_latency(False)
+    with_drange, bits = mean_latency(True)
+    return SlowdownResult(
+        workload_name=workload.name,
+        duty_cycle=duty_cycle,
+        baseline_latency_ns=baseline,
+        with_drange_latency_ns=with_drange,
+        drange_bits=bits,
+        duration_ns=duration_ns,
+    )
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    timings: TimingParameters = LPDDR4_3200,
+    data_rate_bits_per_bank: int = 4,
+    banks: int = 8,
+) -> InterferenceResult:
+    """Convert each workload's idle bus fraction into TRNG throughput.
+
+    ``data_rate_bits_per_bank`` reflects a typical device's per-bank
+    RNG-cell density (Figure 7); paper-scale rows for a full-size
+    device use 64 K rows per bank.
+    """
+    iteration_ns = alg2_iteration_time_ns(timings, banks, config.trcd_ns)
+    full_rate = mbps(data_rate_bits_per_bank * banks, iteration_ns)
+    channel_capacity_gbps = timings.data_rate_mtps * 2.0 / 1e3  # x16 bus
+
+    per_workload = []
+    for workload in spec_workloads():
+        idle = workload.idle_fraction(channel_capacity_gbps)
+        per_workload.append(
+            WorkloadThroughput(
+                workload=workload,
+                idle_fraction=idle,
+                throughput_mbps=full_rate * idle,
+            )
+        )
+    geometry = DeviceGeometry(rows_per_bank=32768, subarray_rows=512)
+    return InterferenceResult(
+        per_workload=per_workload,
+        full_rate_mbps=full_rate,
+        storage_overhead=storage_overhead(geometry),
+    )

@@ -1,0 +1,51 @@
+"""Section 7.3 "Low Latency": 64-bit generation latency scenarios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.latency import LatencyEstimate, paper_scenarios
+from repro.dram.timing import LPDDR4_3200, TimingParameters
+from repro.experiments.common import ExperimentConfig, format_table
+
+#: The paper's reported values for the three scenarios, worst to best.
+PAPER_LATENCIES_NS = (960.0, 220.0, 100.0)
+
+
+@dataclass
+class LatencyResult:
+    """Measured vs paper-reported 64-bit latencies."""
+
+    estimates: Tuple[LatencyEstimate, ...]
+
+    def format_report(self) -> str:
+        rows: List[List[str]] = []
+        for estimate, paper_ns in zip(self.estimates, PAPER_LATENCIES_NS):
+            rows.append(
+                [
+                    estimate.scenario,
+                    f"{estimate.latency_ns:.0f}",
+                    f"{paper_ns:.0f}",
+                ]
+            )
+        return "\n".join(
+            [
+                "Section 7.3 — latency to generate 64 random bits",
+                format_table(["scenario", "measured ns", "paper ns"], rows),
+            ]
+        )
+
+    @property
+    def ordering_matches_paper(self) -> bool:
+        """Latency must fall monotonically from worst to best scenario."""
+        values = [e.latency_ns for e in self.estimates]
+        return all(a > b for a, b in zip(values, values[1:]))
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    timings: TimingParameters = LPDDR4_3200,
+) -> LatencyResult:
+    """Evaluate the three paper configurations through the engine."""
+    return LatencyResult(estimates=paper_scenarios(timings, config.trcd_ns))

@@ -1,0 +1,148 @@
+"""Table 1: NIST suite results on D-RaNGe bitstreams.
+
+The paper samples 4 RNG cells from each of 59 devices one million times
+each and runs all 15 NIST tests on the resulting 1 Mb bitstreams,
+reporting the average P-value per test (all PASS at α = 1e-4) and a
+minimum per-cell Shannon entropy of 0.9507.
+
+``run`` reproduces the pipeline end-to-end: prepare (Algorithm 1 +
+identification) per device, sample each selected RNG cell into its own
+bitstream, run the suite, and aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.entropy import shannon_entropy
+from repro.core.drange import DRange
+from repro.core.identification import verify_unbiased
+from repro.core.profiling import Region
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.nist.suite import (
+    SuiteReport,
+    acceptable_proportion_range,
+    p_value_uniformity,
+    run_suite,
+)
+
+
+@dataclass
+class Table1Result:
+    """Aggregated NIST results across RNG-cell bitstreams."""
+
+    reports: List[SuiteReport]
+    entropies: List[float]
+    stream_bits: int
+    alpha: float
+
+    @property
+    def mean_p_values(self) -> Dict[str, float]:
+        """Average P-value per test over all bitstreams."""
+        sums: Dict[str, List[float]] = {}
+        for report in self.reports:
+            for result in report.results:
+                sums.setdefault(result.name, []).append(result.p_value)
+        return {name: float(np.mean(ps)) for name, ps in sums.items()}
+
+    @property
+    def pass_proportion(self) -> Dict[str, float]:
+        """Fraction of bitstreams passing each test."""
+        totals: Dict[str, List[bool]] = {}
+        for report in self.reports:
+            for result in report.results:
+                totals.setdefault(result.name, []).append(result.passed)
+        return {name: float(np.mean(oks)) for name, oks in totals.items()}
+
+    @property
+    def uniformity(self) -> Dict[str, float]:
+        """NIST final-analysis uniformity of P-values per test."""
+        per_test: Dict[str, List[float]] = {}
+        for report in self.reports:
+            for result in report.results:
+                per_test.setdefault(result.name, []).append(result.p_value)
+        return {
+            name: p_value_uniformity(ps) for name, ps in per_test.items()
+        }
+
+    @property
+    def min_entropy(self) -> float:
+        """Minimum Shannon entropy across RNG cells (paper: 0.9507)."""
+        return min(self.entropies)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(report.all_passed for report in self.reports)
+
+    def format_report(self) -> str:
+        mean_p = self.mean_p_values
+        proportion = self.pass_proportion
+        low, high = acceptable_proportion_range(self.alpha, len(self.reports))
+        rows = []
+        for name, p in mean_p.items():
+            ok = proportion[name] >= low
+            p_text = ">0.999" if p > 0.999 else f"{p:.3f}"
+            rows.append([name, p_text, "PASS" if ok else "FAIL"])
+        lines = [
+            f"Table 1 — NIST suite over {len(self.reports)} bitstreams of "
+            f"{self.stream_bits} bits (alpha={self.alpha})",
+            format_table(["NIST Test Name", "P-value", "Status"], rows),
+            f"acceptable pass proportion: [{low:.3f}, {high:.3f}]",
+            f"minimum RNG-cell Shannon entropy: {self.min_entropy:.4f}",
+        ]
+        return "\n".join(lines)
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(devices_per_manufacturer=1),
+    manufacturers: Sequence[str] = ("A", "B", "C"),
+    cells_per_device: int = 4,
+    stream_bits: int = 262_144,
+    alpha: float = 1e-4,
+    verify_samples: int = 100_000,
+) -> Table1Result:
+    """Generate per-RNG-cell bitstreams and run the full NIST suite.
+
+    ``stream_bits`` defaults to 256 Kb (minutes-scale); pass 1_000_000
+    for the paper's exact stream length.  Identified cells go through a
+    second-stage bias verification (:func:`verify_unbiased`) sized for
+    the stream length before NIST testing.
+    """
+    reports: List[SuiteReport] = []
+    entropies: List[float] = []
+    for manufacturer in manufacturers:
+        for index in range(config.devices_per_manufacturer):
+            device = config.factory().make_device(manufacturer, index)
+            drange = DRange(device, trcd_ns=config.trcd_ns)
+            cells = drange.prepare(
+                region=Region(
+                    banks=config.region_banks,
+                    row_start=0,
+                    row_count=min(
+                        config.region_rows, device.geometry.rows_per_bank
+                    ),
+                ),
+                iterations=config.iterations,
+                samples=config.identification_samples,
+                max_cells=4 * cells_per_device,
+            )
+            cells = verify_unbiased(
+                device, cells, trcd_ns=config.trcd_ns, samples=verify_samples
+            )
+            for cell in cells[:cells_per_device]:
+                bits = device.sample_cell_bits(
+                    cell.bank, cell.row, cell.col, stream_bits, config.trcd_ns
+                )
+                entropies.append(shannon_entropy(bits))
+                reports.append(run_suite(bits, alpha=alpha))
+    if not reports:
+        raise ValueError("no RNG cells were identified; enlarge the region")
+    return Table1Result(
+        reports=reports,
+        entropies=entropies,
+        stream_bits=stream_bits,
+        alpha=alpha,
+    )

@@ -1,0 +1,197 @@
+"""Online health tests for the entropy source (NIST SP 800-90B style).
+
+The paper argues a TRNG must stay trustworthy under "temperature/voltage
+fluctuations, manufacturing variations, malicious external attacks"
+(Section 1).  Production entropy sources meet that requirement with
+*continuous health tests* that watch the raw stream and raise an alarm
+the moment the source degrades — long before an offline NIST suite run
+would notice.  This module implements the two mandatory SP 800-90B
+tests plus a monitor that composes them:
+
+* **Repetition count test** — catches a stuck source: an alarm fires
+  when the same value repeats implausibly many times in a row.
+* **Adaptive proportion test** — catches bias drift: an alarm fires
+  when one value dominates a sampling window beyond its binomial bound.
+
+:class:`HealthMonitor` wires both into a feed-forward interface that
+:class:`~repro.core.integration.DRangeService` can consult to trigger
+RNG-cell re-identification (e.g. after a temperature excursion).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def repetition_count_cutoff(min_entropy: float, alpha_exponent: int = 20) -> int:
+    """SP 800-90B §4.4.1 cutoff: ``1 + ceil(20 / H)`` for α = 2^−20.
+
+    ``min_entropy`` is the claimed per-sample min-entropy H in bits;
+    a run of identical samples longer than the cutoff is essentially
+    impossible (probability ≤ 2^−20) for a healthy source.
+    """
+    if not 0.0 < min_entropy <= 1.0:
+        raise ConfigurationError(
+            f"min_entropy must be in (0, 1] for binary sources, got {min_entropy}"
+        )
+    return 1 + math.ceil(alpha_exponent / min_entropy)
+
+
+def adaptive_proportion_cutoff(
+    min_entropy: float, window: int = 1024, alpha_exponent: int = 20
+) -> int:
+    """SP 800-90B §4.4.2 cutoff via the binomial tail bound.
+
+    The most likely value has probability ``p = 2^−H``; the cutoff is
+    the smallest count whose binomial upper tail over ``window`` samples
+    is below 2^−alpha_exponent.  Computed by direct tail summation.
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    p = 2.0 ** (-min_entropy)
+    alpha = 2.0 ** (-alpha_exponent)
+    # Walk the binomial pmf once; find smallest c with P(X >= c) <= alpha.
+    from scipy.special import gammaln
+
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    k = np.arange(window + 1)
+    log_pmf = (
+        gammaln(window + 1)
+        - gammaln(k + 1)
+        - gammaln(window - k + 1)
+        + k * log_p
+        + (window - k) * log_q
+    )
+    pmf = np.exp(log_pmf)
+    tail = np.cumsum(pmf[::-1])[::-1]
+    cutoffs = np.flatnonzero(tail <= alpha)
+    return int(cutoffs[0]) if cutoffs.size else window + 1
+
+
+@dataclass
+class HealthAlarm:
+    """One raised alarm."""
+
+    test: str
+    detail: str
+    sample_index: int
+
+
+class RepetitionCountTest:
+    """Continuous stuck-source detector (SP 800-90B §4.4.1)."""
+
+    def __init__(self, min_entropy: float = 0.9) -> None:
+        self.cutoff = repetition_count_cutoff(min_entropy)
+        self._last: Optional[int] = None
+        self._run = 0
+        self._index = 0
+
+    def feed(self, bits: Iterable[int]) -> Optional[HealthAlarm]:
+        """Consume bits; returns an alarm on the first violation."""
+        for bit in np.asarray(bits).ravel():
+            value = int(bit)
+            if value == self._last:
+                self._run += 1
+                if self._run >= self.cutoff:
+                    return HealthAlarm(
+                        test="repetition_count",
+                        detail=f"value {value} repeated {self._run} times "
+                        f"(cutoff {self.cutoff})",
+                        sample_index=self._index,
+                    )
+            else:
+                self._last = value
+                self._run = 1
+            self._index += 1
+        return None
+
+
+class AdaptiveProportionTest:
+    """Continuous bias detector (SP 800-90B §4.4.2)."""
+
+    def __init__(self, min_entropy: float = 0.9, window: int = 1024) -> None:
+        self.window = window
+        self.cutoff = adaptive_proportion_cutoff(min_entropy, window)
+        self._reference: Optional[int] = None
+        self._count = 0
+        self._seen = 0
+        self._index = 0
+
+    def feed(self, bits: Iterable[int]) -> Optional[HealthAlarm]:
+        """Consume bits; returns an alarm on the first violation."""
+        for bit in np.asarray(bits).ravel():
+            value = int(bit)
+            if self._reference is None:
+                self._reference = value
+                self._count = 1
+                self._seen = 1
+            else:
+                self._seen += 1
+                if value == self._reference:
+                    self._count += 1
+                    if self._count >= self.cutoff:
+                        return HealthAlarm(
+                            test="adaptive_proportion",
+                            detail=f"value {self._reference} appeared "
+                            f"{self._count}/{self._seen} times "
+                            f"(cutoff {self.cutoff}/{self.window})",
+                            sample_index=self._index,
+                        )
+                if self._seen >= self.window:
+                    self._reference = None
+            self._index += 1
+        return None
+
+
+class HealthMonitor:
+    """Both mandatory SP 800-90B tests over one raw bitstream."""
+
+    def __init__(self, min_entropy: float = 0.9, window: int = 1024) -> None:
+        self._min_entropy = min_entropy
+        self._window = window
+        self._repetition = RepetitionCountTest(min_entropy)
+        self._proportion = AdaptiveProportionTest(min_entropy, window)
+        self._alarms = []
+        self._bits_seen = 0
+
+    @property
+    def alarms(self):
+        """All alarms raised so far."""
+        return list(self._alarms)
+
+    @property
+    def healthy(self) -> bool:
+        """True while no test has fired."""
+        return not self._alarms
+
+    @property
+    def bits_seen(self) -> int:
+        """Total raw bits inspected."""
+        return self._bits_seen
+
+    def feed(self, bits) -> bool:
+        """Inspect a batch of raw bits; returns current health."""
+        arr = np.asarray(bits).ravel()
+        self._bits_seen += arr.size
+        for test in (self._repetition, self._proportion):
+            alarm = test.feed(arr)
+            if alarm is not None:
+                self._alarms.append(alarm)
+        return self.healthy
+
+    def reset(self) -> None:
+        """Restart monitoring after the source has been re-identified.
+
+        Clears alarms *and* the sub-tests' windows/run counters, so the
+        repaired source starts from a clean slate.
+        """
+        self._alarms.clear()
+        self._repetition = RepetitionCountTest(self._min_entropy)
+        self._proportion = AdaptiveProportionTest(self._min_entropy, self._window)

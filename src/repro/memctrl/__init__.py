@@ -1,0 +1,29 @@
+"""Memory-controller model: the layer D-RaNGe lives in.
+
+The paper implements D-RaNGe "fully within the memory controller"
+(Section 6.3): a firmware routine manipulates the controller's timing
+registers, reserves the rows holding RNG cells, and interleaves
+reduced-tRCD sampling with normal request service.  This package models
+that controller:
+
+* :mod:`repro.memctrl.registers` — the software-visible timing-register
+  file (CSRs) whose tRCD field D-RaNGe programs;
+* :mod:`repro.memctrl.requests` — read/write request records;
+* :mod:`repro.memctrl.scheduler` — an FR-FCFS scheduler issuing
+  requests through the timing engine;
+* :mod:`repro.memctrl.controller` — the facade tying a channel of
+  devices, the registers and the scheduler together, with the row
+  reservation and per-access tRCD hooks D-RaNGe needs.
+"""
+
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.registers import TimingRegisterFile
+from repro.memctrl.requests import MemRequest
+from repro.memctrl.scheduler import FrFcfsScheduler
+
+__all__ = [
+    "FrFcfsScheduler",
+    "MemRequest",
+    "MemoryController",
+    "TimingRegisterFile",
+]

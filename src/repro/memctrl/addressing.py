@@ -1,0 +1,118 @@
+"""Physical-address ↔ DRAM-coordinate mapping.
+
+Memory controllers decompose a flat physical address into (channel,
+rank, bank, row, column) fields; the chosen interleaving determines how
+sequential accesses spread across banks and channels.  D-RaNGe's system
+integration cares about this because the rows it reserves must be
+*hidden* from normal address decoding (Section 6.2's footnote: remap to
+redundant rows or controller buffers) and because bank-interleaved
+mappings are what make its multi-bank parallelism compose with ordinary
+traffic.
+
+Two classic schemes are provided:
+
+* ``row-interleaved`` (open-page friendly): sequential addresses walk
+  through a whole row before switching banks;
+* ``bank-interleaved`` (bank-parallel): sequential cache lines rotate
+  across banks, then channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import DeviceGeometry
+from repro.errors import AddressError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """One physical address decomposed into DRAM coordinates."""
+
+    channel: int
+    bank: int
+    row: int
+    word: int
+
+
+class AddressMapper:
+    """Flat physical addresses ↔ (channel, bank, row, word)."""
+
+    SCHEMES = ("row-interleaved", "bank-interleaved")
+
+    def __init__(
+        self,
+        geometry: DeviceGeometry,
+        channels: int = 1,
+        scheme: str = "bank-interleaved",
+    ) -> None:
+        if channels <= 0:
+            raise ConfigurationError(f"channels must be positive, got {channels}")
+        if scheme not in self.SCHEMES:
+            raise ConfigurationError(
+                f"scheme must be one of {self.SCHEMES}, got {scheme!r}"
+            )
+        self._geometry = geometry
+        self._channels = channels
+        self._scheme = scheme
+
+    @property
+    def scheme(self) -> str:
+        """Interleaving scheme in use."""
+        return self._scheme
+
+    @property
+    def capacity_words(self) -> int:
+        """Total addressable DRAM words across the system."""
+        return self._geometry.words_per_bank * self._geometry.banks * self._channels
+
+    def decode(self, word_address: int) -> DecodedAddress:
+        """Decompose a flat word address into DRAM coordinates."""
+        if not 0 <= word_address < self.capacity_words:
+            raise AddressError(
+                f"word address {word_address} outside capacity "
+                f"{self.capacity_words}"
+            )
+        g = self._geometry
+        if self._scheme == "bank-interleaved":
+            # word → channel → bank → word-in-row → row
+            remaining, channel = divmod(word_address, self._channels)
+            remaining, bank = divmod(remaining, g.banks)
+            row, word = divmod(remaining, g.words_per_row)
+        else:  # row-interleaved
+            # word-in-row → row → bank → channel
+            remaining, word = divmod(word_address, g.words_per_row)
+            remaining, row = divmod(remaining, g.rows_per_bank)
+            channel, bank = divmod(remaining, g.banks)
+        return DecodedAddress(channel=channel, bank=bank, row=row, word=word)
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode`."""
+        g = self._geometry
+        if not 0 <= decoded.channel < self._channels:
+            raise AddressError(f"channel {decoded.channel} out of range")
+        g.validate_bank(decoded.bank)
+        g.validate_row(decoded.row)
+        g.validate_word(decoded.word)
+        if self._scheme == "bank-interleaved":
+            remaining = decoded.row * g.words_per_row + decoded.word
+            remaining = remaining * g.banks + decoded.bank
+            return remaining * self._channels + decoded.channel
+        remaining = decoded.channel * g.banks + decoded.bank
+        remaining = remaining * g.rows_per_bank + decoded.row
+        return remaining * g.words_per_row + decoded.word
+
+    def consecutive_banks(self, start_word: int, count: int) -> int:
+        """Distinct banks touched by ``count`` sequential word accesses.
+
+        Bank-interleaved mappings spread a burst across banks (good for
+        D-RaNGe coexistence); row-interleaved mappings keep it in one
+        row (good for open-page locality).
+        """
+        banks = {
+            (decoded.channel, decoded.bank)
+            for decoded in (
+                self.decode(start_word + i) for i in range(count)
+            )
+        }
+        return len(banks)

@@ -1,0 +1,132 @@
+"""The memory-controller facade D-RaNGe's firmware routine drives.
+
+:class:`MemoryController` ties together one channel's device, the
+programmable timing registers, the timing engine and the scheduler, and
+adds the two hooks D-RaNGe needs beyond ordinary request service
+(Algorithm 2, lines 5, 6, 18, 19):
+
+* **row reservation** — exclusive access to the rows holding RNG cells
+  and their neighbors, hidden from normal requests while reserved;
+* **reduced-tRCD accesses** — reads issued under the programmed
+  (below-spec) activation latency, which the attached device answers
+  with probabilistic activation failures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.dram.device import DramDevice
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memctrl.registers import TimingRegisterFile
+from repro.memctrl.requests import MemRequest
+from repro.memctrl.scheduler import FrFcfsScheduler
+from repro.sim.engine import TimingEngine
+
+
+class MemoryController:
+    """One channel's memory controller."""
+
+    def __init__(self, device: DramDevice) -> None:
+        self._device = device
+        self._registers = TimingRegisterFile(device.timings)
+        self._engine = TimingEngine(device.timings, banks=device.geometry.banks)
+        self._scheduler = FrFcfsScheduler(self._engine, device)
+        self._reserved_rows: Set[Tuple[int, int]] = set()
+
+    @property
+    def device(self) -> DramDevice:
+        """The attached DRAM device."""
+        return self._device
+
+    @property
+    def registers(self) -> TimingRegisterFile:
+        """Software-visible timing registers."""
+        return self._registers
+
+    @property
+    def engine(self) -> TimingEngine:
+        """Channel timing engine (exposes the command trace)."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Normal request service
+    # ------------------------------------------------------------------
+
+    def service(self, requests: Sequence[MemRequest]) -> List[MemRequest]:
+        """Schedule application requests, honoring row reservations."""
+        for request in requests:
+            if (request.bank, request.row) in self._reserved_rows:
+                raise ProtocolError(
+                    f"row (bank={request.bank}, row={request.row}) is reserved "
+                    "for random-number generation"
+                )
+        return self._scheduler.run(requests)
+
+    # ------------------------------------------------------------------
+    # D-RaNGe hooks
+    # ------------------------------------------------------------------
+
+    def reserve_rows(self, rows: Iterable[Tuple[int, int]]) -> None:
+        """Gain exclusive access to (bank, row) pairs (Alg. 2 line 5)."""
+        for bank, row in rows:
+            self._device.geometry.validate_bank(bank)
+            self._device.geometry.validate_row(row)
+            self._reserved_rows.add((bank, row))
+
+    def release_rows(self, rows: Optional[Iterable[Tuple[int, int]]] = None) -> None:
+        """Release reservations (all of them when ``rows`` is None)."""
+        if rows is None:
+            self._reserved_rows.clear()
+            return
+        for key in rows:
+            self._reserved_rows.discard(key)
+
+    @property
+    def reserved_rows(self) -> Set[Tuple[int, int]]:
+        """Currently reserved (bank, row) pairs."""
+        return set(self._reserved_rows)
+
+    def reduced_read(self, bank: int, row: int, word: int) -> np.ndarray:
+        """One ACT→READ→PRE cycle under the *programmed* timing registers.
+
+        When software has written a below-spec tRCD into the register
+        file, this is a failure-prone (entropy-producing) access; with
+        default registers it is an ordinary closed-row read.  Returns
+        the read bits; timing is accounted in the engine trace.
+        """
+        trcd_ns = self._registers.active.trcd_ns
+        target = self._device.bank(bank)
+        if target.open_row is not None:
+            self._engine.precharge(bank)
+            target.precharge()
+        self._engine.activate(bank, row)
+        target.activate(row, trcd_ns=trcd_ns)
+        self._engine.read(bank, trcd_ns=trcd_ns)
+        bits = target.read(word, op=self._device.operating_point(trcd_ns))
+        return bits
+
+    def writeback(self, bank: int, word: int, bits: np.ndarray) -> None:
+        """Write a word back into the currently open row (Alg. 2 line 10)."""
+        self._engine.write(bank)
+        self._device.bank(bank).write(word, bits)
+
+    def precharge(self, bank: int) -> None:
+        """Close a bank's open row."""
+        self._engine.precharge(bank)
+        self._device.bank(bank).precharge()
+
+    def set_reduced_trcd(self, trcd_ns: float) -> None:
+        """Program the failure-inducing activation latency (Alg. 2 line 6)."""
+        if trcd_ns >= self._registers.preset.trcd_ns:
+            raise ConfigurationError(
+                f"tRCD {trcd_ns} ns is not below the spec value "
+                f"{self._registers.preset.trcd_ns} ns"
+            )
+        self._registers.reduce_trcd(trcd_ns)
+
+    def restore_timings(self) -> None:
+        """Return every timing register to spec (Alg. 2 line 18)."""
+        self._registers.restore_defaults()

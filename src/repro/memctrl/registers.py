@@ -1,0 +1,95 @@
+"""Software-visible timing-register file (CSR interface).
+
+Memory controllers keep DRAM timing parameters in internal registers;
+on some processors those registers are software-writable [7, 8], which
+is exactly the hook D-RaNGe needs (Section 7.3, "Low Implementation
+Cost").  :class:`TimingRegisterFile` models that register file: named
+fields initialized from a JEDEC preset, a write interface with bounds
+checking, and snapshot/restore so a firmware routine can temporarily
+reduce tRCD and put everything back afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.dram.timing import TimingParameters
+from repro.errors import ConfigurationError
+
+#: Register fields software may program, with sanity bounds in ns.
+_WRITABLE_BOUNDS = {
+    "trcd_ns": (1.0, 60.0),
+    "tras_ns": (10.0, 120.0),
+    "trp_ns": (5.0, 60.0),
+    "trrd_ns": (2.0, 30.0),
+    "tfaw_ns": (10.0, 120.0),
+    "trtp_ns": (2.0, 30.0),
+    "twr_ns": (5.0, 60.0),
+}
+
+
+class TimingRegisterFile:
+    """The controller's programmable DRAM timing registers."""
+
+    def __init__(self, preset: TimingParameters) -> None:
+        self._preset = preset
+        self._active = preset
+
+    @property
+    def preset(self) -> TimingParameters:
+        """The manufacturer-recommended values (reset state)."""
+        return self._preset
+
+    @property
+    def active(self) -> TimingParameters:
+        """The timing set currently in force."""
+        return self._active
+
+    def read(self, field: str) -> float:
+        """Read one timing register by field name (e.g. ``"trcd_ns"``)."""
+        if not hasattr(self._active, field):
+            raise ConfigurationError(f"unknown timing register {field!r}")
+        return getattr(self._active, field)
+
+    def write(self, field: str, value_ns: float) -> None:
+        """Program one timing register, with bounds checking.
+
+        Writing below the preset is *allowed* — that is D-RaNGe's whole
+        mechanism — but values outside physical plausibility are
+        rejected the way a real register's bit width would.
+        """
+        bounds = _WRITABLE_BOUNDS.get(field)
+        if bounds is None:
+            raise ConfigurationError(
+                f"timing register {field!r} is not software-writable"
+            )
+        low, high = bounds
+        if not low <= value_ns <= high:
+            raise ConfigurationError(
+                f"{field} value {value_ns} ns outside writable range "
+                f"[{low}, {high}] ns"
+            )
+        self._active = replace(self._active, **{field: value_ns})
+
+    def reduce_trcd(self, trcd_ns: float) -> None:
+        """Convenience: program a reduced activation latency."""
+        self.write("trcd_ns", trcd_ns)
+
+    def restore_defaults(self) -> None:
+        """Reset every register to the manufacturer preset."""
+        self._active = self._preset
+
+    def snapshot(self) -> Dict[str, float]:
+        """Capture current writable-register values for later restore."""
+        return {field: getattr(self._active, field) for field in _WRITABLE_BOUNDS}
+
+    def restore(self, snapshot: Dict[str, float]) -> None:
+        """Restore a snapshot taken with :meth:`snapshot`."""
+        for field, value in snapshot.items():
+            self.write(field, value)
+
+    @property
+    def trcd_is_reduced(self) -> bool:
+        """True while the active tRCD is below the preset (failure mode)."""
+        return self._active.trcd_ns < self._preset.trcd_ns

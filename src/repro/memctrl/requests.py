@@ -1,0 +1,44 @@
+"""Memory-request records flowing through the controller."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemRequest:
+    """One read or write request as seen by the scheduler.
+
+    ``completion_ns`` is filled in by the scheduler: for reads it is the
+    time the last data beat arrives, for writes the issue time of the
+    WRITE command (write completion is posted).
+    """
+
+    bank: int
+    row: int
+    word: int
+    is_write: bool = False
+    arrival_ns: float = 0.0
+    data: Optional[np.ndarray] = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    issue_ns: Optional[float] = None
+    completion_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_ns < 0:
+            raise ValueError(f"arrival_ns must be non-negative, got {self.arrival_ns}")
+        if self.is_write and self.data is None:
+            raise ValueError("write requests must carry data")
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival-to-completion latency; requires a scheduled request."""
+        if self.completion_ns is None:
+            raise ValueError(f"request {self.request_id} has not completed")
+        return self.completion_ns - self.arrival_ns

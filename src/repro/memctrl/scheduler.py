@@ -1,0 +1,135 @@
+"""FR-FCFS request scheduling over the timing engine.
+
+The controller model uses the classic First-Ready, First-Come-First-
+Served policy: among queued requests, prefer ones that hit an already
+open row (no ACT needed); break ties by age.  This is the baseline
+policy of the memory-scheduling literature the paper draws on
+[74, 107, 108] and is what the interference study schedules application
+traffic with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dram.device import DramDevice
+from repro.errors import ConfigurationError
+from repro.memctrl.requests import MemRequest
+from repro.sim.engine import TimingEngine
+
+
+class FrFcfsScheduler:
+    """Schedules a request list against one channel's timing engine.
+
+    The scheduler owns the open-row bookkeeping: it issues PRE/ACT as
+    needed, exploits row hits, and records per-request issue and
+    completion times.  When a :class:`~repro.dram.device.DramDevice` is
+    attached, data actually moves through the behavioral banks.
+    """
+
+    def __init__(
+        self,
+        engine: TimingEngine,
+        device: Optional[DramDevice] = None,
+        refresh_interval_ns: Optional[float] = None,
+    ) -> None:
+        """``refresh_interval_ns`` enables periodic all-bank REF
+        insertion (tREFI); ``None`` disables refresh, which is how the
+        characterization harness runs (Algorithm 1 refreshes rows
+        itself)."""
+        if refresh_interval_ns is not None and refresh_interval_ns <= 0:
+            raise ConfigurationError(
+                f"refresh_interval_ns must be positive, got {refresh_interval_ns}"
+            )
+        self._engine = engine
+        self._device = device
+        self._refresh_interval_ns = refresh_interval_ns
+        self._next_refresh_ns = refresh_interval_ns or float("inf")
+        self._refreshes_issued = 0
+        self._open_rows: Dict[int, Optional[int]] = {}
+
+    @property
+    def engine(self) -> TimingEngine:
+        """The timing engine commands are issued through."""
+        return self._engine
+
+    @property
+    def refreshes_issued(self) -> int:
+        """All-bank REF commands issued so far."""
+        return self._refreshes_issued
+
+    def _maybe_refresh(self) -> None:
+        if self._engine.now_ns < self._next_refresh_ns:
+            return
+        self.close_all()
+        self._engine.refresh()
+        self._refreshes_issued += 1
+        self._next_refresh_ns += self._refresh_interval_ns or 0.0
+
+    def run(self, requests: Sequence[MemRequest]) -> List[MemRequest]:
+        """Schedule all requests; returns them with timings filled in.
+
+        Requests are admitted in arrival order; at each step the oldest
+        row-hit request in the ready queue is preferred, falling back to
+        the oldest request overall.
+        """
+        pending = sorted(requests, key=lambda r: (r.arrival_ns, r.request_id))
+        done: List[MemRequest] = []
+        while pending:
+            now = self._engine.now_ns
+            ready = [r for r in pending if r.arrival_ns <= now]
+            if not ready:
+                # Jump to the next arrival; the bus is idle meanwhile.
+                next_arrival = pending[0].arrival_ns
+                self._engine.idle_until(next_arrival)
+                ready = [pending[0]]
+            self._maybe_refresh()
+            chosen = self._pick(ready)
+            pending.remove(chosen)
+            self._service(chosen)
+            done.append(chosen)
+        return done
+
+    def _pick(self, ready: Sequence[MemRequest]) -> MemRequest:
+        row_hits = [
+            r for r in ready if self._open_rows.get(r.bank) == r.row
+        ]
+        candidates = row_hits if row_hits else ready
+        return min(candidates, key=lambda r: (r.arrival_ns, r.request_id))
+
+    def _service(self, request: MemRequest) -> None:
+        bank = request.bank
+        open_row = self._open_rows.get(bank)
+        if open_row != request.row:
+            if open_row is not None:
+                self._engine.precharge(bank)
+                if self._device is not None:
+                    self._device.bank(bank).precharge()
+            self._engine.activate(bank, request.row)
+            if self._device is not None:
+                self._device.bank(bank).activate(request.row)
+            self._open_rows[bank] = request.row
+
+        if request.is_write:
+            issue = self._engine.write(bank)
+            if self._device is not None:
+                if request.data is None:
+                    raise ConfigurationError("write request lost its data")
+                self._device.bank(bank).write(request.word, request.data)
+            request.issue_ns = issue
+            request.completion_ns = issue
+        else:
+            issue = self._engine.read(bank)
+            if self._device is not None:
+                request.data = self._device.bank(bank).read(request.word)
+            request.issue_ns = issue
+            request.completion_ns = self._engine.read_data_available_ns(issue)
+
+    def close_all(self) -> None:
+        """Precharge every open row (e.g. before a refresh window)."""
+        for bank, row in list(self._open_rows.items()):
+            if row is not None:
+                self._engine.precharge(bank)
+                if self._device is not None:
+                    self._device.bank(bank).precharge()
+                self._open_rows[bank] = None

@@ -1,0 +1,20 @@
+"""NIST SP 800-22 statistical test suite for randomness.
+
+The paper validates D-RaNGe's output with "the standard NIST statistical
+test suite" [122] (Table 1).  The suite's reference implementation is a
+C program; this package is a from-scratch NumPy implementation of all
+15 tests following NIST SP 800-22 rev. 1a, exposing one function per
+test plus :func:`repro.nist.suite.run_suite` which reproduces Table 1's
+rows.
+
+Every test returns a :class:`~repro.nist.result.TestResult` carrying the
+P-value(s), the PASS/FAIL decision at a significance level, and the
+intermediate statistics, and declares its minimum stream length so the
+suite can mark short-stream runs as not applicable instead of reporting
+misleading P-values.
+"""
+
+from repro.nist.result import TestResult
+from repro.nist.suite import ALL_TESTS, SuiteReport, run_suite
+
+__all__ = ["ALL_TESTS", "SuiteReport", "TestResult", "run_suite"]

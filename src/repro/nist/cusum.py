@@ -1,0 +1,55 @@
+"""Cumulative sums (cusum) test (SP 800-22 §2.13)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.nist.bits import BitsLike, as_bits, require_length, to_pm1
+from repro.nist.result import TestResult
+
+
+def _cusum_p_value(z: float, n: int) -> float:
+    """P-value of a maximum partial-sum excursion ``z`` over ``n`` steps."""
+    sqrt_n = math.sqrt(n)
+    total = 1.0
+    # Summation bounds follow the NIST reference implementation, which
+    # truncates toward zero (C integer conversion), not floor.
+    k_low = int((-n / z + 1.0) / 4.0)
+    k_high = int((n / z - 1.0) / 4.0)
+    for k in range(k_low, k_high + 1):
+        total -= norm.cdf((4.0 * k + 1.0) * z / sqrt_n) - norm.cdf(
+            (4.0 * k - 1.0) * z / sqrt_n
+        )
+    k_low2 = int((-n / z - 3.0) / 4.0)
+    for k in range(k_low2, k_high + 1):
+        total += norm.cdf((4.0 * k + 3.0) * z / sqrt_n) - norm.cdf(
+            (4.0 * k + 1.0) * z / sqrt_n
+        )
+    return float(min(max(total, 0.0), 1.0))
+
+
+def cumulative_sums(data: BitsLike) -> TestResult:
+    """Maximum excursion of the random walk, forward and backward.
+
+    Two P-values (mode 0: forward, mode 1: backward); headline is the
+    minimum, and both must clear the significance level.
+    """
+    bits = as_bits(data)
+    require_length(bits, 100, "cumulative_sums")
+    x = to_pm1(bits)
+    n = bits.size
+
+    forward = np.abs(np.cumsum(x)).max()
+    backward = np.abs(np.cumsum(x[::-1])).max()
+
+    p_forward = _cusum_p_value(float(forward), n)
+    p_backward = _cusum_p_value(float(backward), n)
+    return TestResult(
+        "cumulative_sums",
+        min(p_forward, p_backward),
+        p_values=(p_forward, p_backward),
+        statistics={"z_forward": float(forward), "z_backward": float(backward)},
+    )

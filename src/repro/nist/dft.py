@@ -1,0 +1,30 @@
+"""Discrete Fourier transform (spectral) test (SP 800-22 §2.6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.nist.bits import BitsLike, as_bits, require_length, to_pm1
+from repro.nist.result import TestResult
+
+
+def dft(data: BitsLike) -> TestResult:
+    """Detects periodic features via the peak heights of the DFT."""
+    bits = as_bits(data)
+    require_length(bits, 1000, "dft")
+    n = bits.size
+    x = to_pm1(bits)
+    spectrum = np.abs(np.fft.rfft(x))[: n // 2]
+    threshold = math.sqrt(math.log(1.0 / 0.05) * n)
+    n0 = 0.95 * n / 2.0
+    n1 = float((spectrum < threshold).sum())
+    d = (n1 - n0) / math.sqrt(n * 0.95 * 0.05 / 4.0)
+    p = float(erfc(abs(d) / math.sqrt(2.0)))
+    return TestResult(
+        "dft",
+        p,
+        statistics={"n1": n1, "n0": n0, "d": float(d), "threshold": threshold},
+    )

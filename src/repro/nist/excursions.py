@@ -1,0 +1,107 @@
+"""Random excursions (SP 800-22 §2.14) and variant (§2.15) tests."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+from scipy.special import erfc, gammaincc
+
+from repro.errors import InsufficientDataError
+from repro.nist.bits import BitsLike, as_bits, require_length, to_pm1
+from repro.nist.result import TestResult
+
+#: States examined by the random excursions test.
+_STATES = (-4, -3, -2, -1, 1, 2, 3, 4)
+
+#: States examined by the variant test.
+_VARIANT_STATES = tuple(x for x in range(-9, 10) if x != 0)
+
+#: Maximum visit-count category (0, 1, 2, 3, 4, ≥5).
+_MAX_VISITS = 5
+
+
+def _random_walk(bits: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Walk S' (zero-padded) and its cycle boundaries.
+
+    Returns ``(walk, zero_positions, J)`` where J is the cycle count.
+    """
+    partial = np.cumsum(to_pm1(bits)).astype(np.int64)
+    walk = np.concatenate([[0], partial, [0]])
+    zeros = np.flatnonzero(walk == 0)
+    j_cycles = zeros.size - 1
+    return walk, zeros, j_cycles
+
+
+def _require_cycles(j_cycles: int, n: int, test_name: str) -> None:
+    minimum = max(500, int(0.005 * math.sqrt(n)))
+    if j_cycles < minimum:
+        raise InsufficientDataError(
+            f"{test_name} requires at least {minimum} zero-crossing cycles, "
+            f"got {j_cycles} (stream too short or too biased)"
+        )
+
+
+def _state_pi(x: int) -> np.ndarray:
+    """Visit-count category probabilities π_k(x) for one state."""
+    ax = abs(x)
+    base = 1.0 - 1.0 / (2.0 * ax)
+    pi = np.zeros(_MAX_VISITS + 1)
+    pi[0] = base
+    for k in range(1, _MAX_VISITS):
+        pi[k] = base ** (k - 1) / (4.0 * ax * ax)
+    pi[_MAX_VISITS] = base ** (_MAX_VISITS - 1) / (2.0 * ax)
+    return pi
+
+
+def random_excursion(data: BitsLike) -> TestResult:
+    """Visits to states ±1..±4 per zero-crossing cycle of the walk."""
+    bits = as_bits(data)
+    require_length(bits, 10_000, "random_excursion")
+    walk, zeros, j_cycles = _random_walk(bits)
+    _require_cycles(j_cycles, bits.size, "random_excursion")
+
+    # Per-cycle visit counts per state.
+    cycle_index = np.searchsorted(zeros, np.arange(walk.size), side="right") - 1
+    p_values: List[float] = []
+    for x in _STATES:
+        at_state = walk == x
+        visits_per_cycle = np.bincount(
+            cycle_index[at_state], minlength=j_cycles
+        )[:j_cycles]
+        categories = np.minimum(visits_per_cycle, _MAX_VISITS)
+        nu = np.bincount(categories, minlength=_MAX_VISITS + 1).astype(np.float64)
+        expected = j_cycles * _state_pi(x)
+        chi2 = float(((nu - expected) ** 2 / expected).sum())
+        p_values.append(float(gammaincc(_MAX_VISITS / 2.0, chi2 / 2.0)))
+
+    p_arr = np.asarray(p_values)
+    return TestResult(
+        "random_excursion",
+        float(p_arr.min()),
+        p_values=tuple(p_values),
+        statistics={"J": float(j_cycles), "mean_p": float(p_arr.mean())},
+    )
+
+
+def random_excursion_variant(data: BitsLike) -> TestResult:
+    """Total visits to states ±1..±9 across the whole walk."""
+    bits = as_bits(data)
+    require_length(bits, 10_000, "random_excursion_variant")
+    walk, _, j_cycles = _random_walk(bits)
+    _require_cycles(j_cycles, bits.size, "random_excursion_variant")
+
+    p_values: List[float] = []
+    for x in _VARIANT_STATES:
+        xi = float((walk == x).sum())
+        denom = math.sqrt(2.0 * j_cycles * (4.0 * abs(x) - 2.0))
+        p_values.append(float(erfc(abs(xi - j_cycles) / denom)))
+
+    p_arr = np.asarray(p_values)
+    return TestResult(
+        "random_excursion_variant",
+        float(p_arr.min()),
+        p_values=tuple(p_values),
+        statistics={"J": float(j_cycles), "mean_p": float(p_arr.mean())},
+    )

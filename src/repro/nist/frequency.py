@@ -1,0 +1,53 @@
+"""Frequency tests: monobit (2.1) and frequency-within-block (2.2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erfc, gammaincc
+
+from repro.nist.bits import BitsLike, as_bits, require_length, to_pm1
+from repro.nist.result import TestResult
+
+
+def monobit(data: BitsLike) -> TestResult:
+    """SP 800-22 §2.1 — proportion of ones vs zeros over the stream."""
+    bits = as_bits(data)
+    require_length(bits, 100, "monobit")
+    s_n = to_pm1(bits).sum()
+    s_obs = abs(s_n) / math.sqrt(bits.size)
+    p = float(erfc(s_obs / math.sqrt(2.0)))
+    return TestResult(
+        "monobit",
+        p,
+        statistics={"s_n": float(s_n), "s_obs": float(s_obs), "n": float(bits.size)},
+    )
+
+
+def frequency_within_block(data: BitsLike, block_size: int = 128) -> TestResult:
+    """SP 800-22 §2.2 — proportion of ones within M-bit blocks."""
+    bits = as_bits(data)
+    require_length(bits, 100, "frequency_within_block")
+    if block_size < 2:
+        # NIST recommends M >= 20, but its own worked example uses M=3;
+        # only structurally impossible sizes are rejected.
+        raise ValueError(f"block_size must be >= 2, got {block_size}")
+    n_blocks = bits.size // block_size
+    if n_blocks < 1:
+        raise ValueError(
+            f"stream of {bits.size} bits has no {block_size}-bit blocks"
+        )
+    trimmed = bits[: n_blocks * block_size].reshape(n_blocks, block_size)
+    proportions = trimmed.mean(axis=1)
+    chi2 = 4.0 * block_size * float(((proportions - 0.5) ** 2).sum())
+    p = float(gammaincc(n_blocks / 2.0, chi2 / 2.0))
+    return TestResult(
+        "frequency_within_block",
+        p,
+        statistics={
+            "chi2": chi2,
+            "n_blocks": float(n_blocks),
+            "block_size": float(block_size),
+        },
+    )

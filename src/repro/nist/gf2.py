@@ -1,0 +1,51 @@
+"""Linear algebra over GF(2) for the binary-matrix-rank test.
+
+Matrices are held bit-packed: one Python/NumPy ``uint64`` per row holds
+up to 64 columns, so elimination steps are single XOR operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pack_rows(matrix: np.ndarray) -> np.ndarray:
+    """Pack an (r, c) 0/1 matrix into one uint64 per row (c ≤ 64)."""
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    rows, cols = matrix.shape
+    if cols > 64:
+        raise ValueError(f"at most 64 columns supported, got {cols}")
+    weights = (np.uint64(1) << np.arange(cols, dtype=np.uint64))[::-1]
+    return (matrix * weights).sum(axis=1, dtype=np.uint64)
+
+
+def rank_packed(rows: np.ndarray, cols: int) -> int:
+    """Rank of a bit-packed GF(2) matrix via Gaussian elimination."""
+    work = list(int(r) for r in rows)
+    rank = 0
+    for col in range(cols - 1, -1, -1):
+        pivot_bit = 1 << col
+        pivot_index = None
+        for i in range(rank, len(work)):
+            if work[i] & pivot_bit:
+                pivot_index = i
+                break
+        if pivot_index is None:
+            continue
+        work[rank], work[pivot_index] = work[pivot_index], work[rank]
+        pivot_row = work[rank]
+        for i in range(len(work)):
+            if i != rank and (work[i] & pivot_bit):
+                work[i] ^= pivot_row
+        rank += 1
+        if rank == len(work):
+            break
+    return rank
+
+
+def rank_gf2(matrix: np.ndarray) -> int:
+    """Rank of a dense 0/1 matrix over GF(2)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    return rank_packed(pack_rows(matrix), matrix.shape[1])

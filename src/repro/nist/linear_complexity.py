@@ -1,0 +1,95 @@
+"""Linear complexity test (SP 800-22 §2.10).
+
+The per-block linear complexity is computed with the Berlekamp–Massey
+algorithm, vectorized *across blocks*: all blocks advance through the
+bit positions in lock-step, with the data-dependent branches of the
+algorithm expressed as row masks.  The trick that keeps the update
+vectorizable is storing the previous connection polynomial pre-shifted
+(``B`` always holds ``b(x)·x^(n-m)``), so the per-row varying shift
+becomes one global shift per step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.nist.bits import BitsLike, as_bits, require_length
+from repro.nist.result import TestResult
+
+#: Category probabilities for the T statistic (SP 800-22 §2.10.4).
+_PI = (0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833)
+
+#: Category upper edges for T: (-inf,-2.5], (-2.5,-1.5], ... (2.5, inf).
+_EDGES = (-2.5, -1.5, -0.5, 0.5, 1.5, 2.5)
+
+
+def berlekamp_massey_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Linear complexity of every row of a 0/1 matrix.
+
+    Runs Berlekamp–Massey on all rows simultaneously; returns an int
+    array of per-row complexities.
+    """
+    blocks = np.asarray(blocks, dtype=np.uint8)
+    if blocks.ndim != 2:
+        raise ValueError(f"blocks must be 2-D, got shape {blocks.shape}")
+    n_blocks, m = blocks.shape
+    c = np.zeros((n_blocks, m + 1), dtype=np.uint8)
+    b = np.zeros((n_blocks, m + 1), dtype=np.uint8)
+    c[:, 0] = 1
+    b[:, 0] = 1
+    lengths = np.zeros(n_blocks, dtype=np.int64)
+
+    for n in range(m):
+        # B always holds b(x)·x^(n-m_last); advance the shift first.
+        b[:, 1:] = b[:, :-1]
+        b[:, 0] = 0
+        # Discrepancy: parity of c(x) against the reversed bit window.
+        window = blocks[:, n::-1]
+        d = (c[:, : n + 1] & window).sum(axis=1, dtype=np.int64) & 1
+        update = d == 1
+        if not update.any():
+            continue
+        promote = update & (2 * lengths <= n)
+        if promote.any():
+            old_c = c[promote].copy()
+        c[update] ^= b[update]
+        if promote.any():
+            lengths[promote] = n + 1 - lengths[promote]
+            b[promote] = old_c
+    return lengths
+
+
+def linear_complexity(data: BitsLike, block_size: int = 500) -> TestResult:
+    """Distribution of per-block linear complexity around its mean."""
+    bits = as_bits(data)
+    if not 500 <= block_size <= 5000:
+        raise ValueError(f"block_size must be in [500, 5000], got {block_size}")
+    require_length(bits, block_size, "linear_complexity")
+    n_blocks = bits.size // block_size
+    blocks = bits[: n_blocks * block_size].reshape(n_blocks, block_size)
+    lengths = berlekamp_massey_blocks(blocks).astype(np.float64)
+
+    m = float(block_size)
+    mu = (
+        m / 2.0
+        + (9.0 + (-1.0) ** (block_size + 1)) / 36.0
+        - (m / 3.0 + 2.0 / 9.0) / 2.0**m
+    )
+    t = (-1.0) ** block_size * (lengths - mu) + 2.0 / 9.0
+
+    counts = np.zeros(len(_PI), dtype=np.float64)
+    counts[0] = (t <= _EDGES[0]).sum()
+    for i in range(1, len(_EDGES)):
+        counts[i] = ((t > _EDGES[i - 1]) & (t <= _EDGES[i])).sum()
+    counts[-1] = (t > _EDGES[-1]).sum()
+
+    expected = n_blocks * np.asarray(_PI)
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    k = len(_PI) - 1
+    p = float(gammaincc(k / 2.0, chi2 / 2.0))
+    return TestResult(
+        "linear_complexity",
+        p,
+        statistics={"chi2": chi2, "n_blocks": float(n_blocks), "mu": mu},
+    )

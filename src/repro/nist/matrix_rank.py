@@ -1,0 +1,59 @@
+"""Binary matrix rank test (SP 800-22 §2.5)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nist.bits import BitsLike, as_bits, require_length
+from repro.nist.gf2 import pack_rows, rank_packed
+from repro.nist.result import TestResult
+
+#: Matrix dimensions used by the test.
+M_ROWS = 32
+Q_COLS = 32
+
+#: Asymptotic probabilities of rank 32 / 31 / ≤30 for random 32×32
+#: GF(2) matrices (SP 800-22 §2.5.4).
+P_FULL = 0.2888
+P_MINUS1 = 0.5776
+P_REST = 0.1336
+
+
+def binary_matrix_rank(data: BitsLike) -> TestResult:
+    """Rank distribution of disjoint 32×32 matrices cut from the stream."""
+    bits = as_bits(data)
+    bits_per_matrix = M_ROWS * Q_COLS
+    require_length(bits, 38 * bits_per_matrix, "binary_matrix_rank")
+    n_matrices = bits.size // bits_per_matrix
+    matrices = bits[: n_matrices * bits_per_matrix].reshape(
+        n_matrices, M_ROWS, Q_COLS
+    )
+
+    full = 0
+    minus1 = 0
+    for i in range(n_matrices):
+        rank = rank_packed(pack_rows(matrices[i]), Q_COLS)
+        if rank == M_ROWS:
+            full += 1
+        elif rank == M_ROWS - 1:
+            minus1 += 1
+    rest = n_matrices - full - minus1
+
+    chi2 = (
+        (full - P_FULL * n_matrices) ** 2 / (P_FULL * n_matrices)
+        + (minus1 - P_MINUS1 * n_matrices) ** 2 / (P_MINUS1 * n_matrices)
+        + (rest - P_REST * n_matrices) ** 2 / (P_REST * n_matrices)
+    )
+    p = float(math.exp(-chi2 / 2.0))
+    return TestResult(
+        "binary_matrix_rank",
+        p,
+        statistics={
+            "chi2": float(chi2),
+            "n_matrices": float(n_matrices),
+            "full_rank": float(full),
+            "rank_minus1": float(minus1),
+        },
+    )

@@ -1,0 +1,61 @@
+"""Result records for NIST tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Significance level the paper uses (recommended by SP 800-22).
+DEFAULT_ALPHA = 1e-4
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one NIST test on one bitstream.
+
+    ``p_value`` is the headline P-value (for multi-P tests such as
+    random excursions it is the *minimum*, the conservative choice for
+    a PASS decision); ``p_values`` carries all of them.
+    """
+
+    name: str
+    p_value: float
+    p_values: Tuple[float, ...] = ()
+    statistics: Dict[str, float] = field(default_factory=dict)
+    alpha: float = DEFAULT_ALPHA
+    family_wise: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "p_values",
+            self.p_values if self.p_values else (self.p_value,),
+        )
+        for p in self.p_values:
+            if not 0.0 <= p <= 1.0 + 1e-12:
+                raise ValueError(f"{self.name}: p-value {p} outside [0, 1]")
+
+    @property
+    def effective_alpha(self) -> float:
+        """Per-sub-test threshold.
+
+        With ``family_wise`` set (used by the 148-template
+        non-overlapping test), the threshold is Bonferroni-corrected so
+        the *family-wise* false-positive rate is ``alpha`` — matching
+        how the reference suite treats each template as its own test
+        rather than failing a stream on the minimum of 148 draws.
+        """
+        if self.family_wise and len(self.p_values) > 1:
+            return self.alpha / len(self.p_values)
+        return self.alpha
+
+    @property
+    def passed(self) -> bool:
+        """True when every P-value clears the (effective) level."""
+        threshold = self.effective_alpha
+        return all(p >= threshold for p in self.p_values)
+
+    @property
+    def status(self) -> str:
+        """"PASS" or "FAIL", as printed in Table 1."""
+        return "PASS" if self.passed else "FAIL"

@@ -1,0 +1,94 @@
+"""Runs tests: runs (2.3) and longest-run-of-ones-in-a-block (2.4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erfc, gammaincc
+
+from repro.nist.bits import BitsLike, as_bits, require_length
+from repro.nist.result import TestResult
+
+#: (min n, block size M, category lower edges, category probabilities)
+#: per SP 800-22 §2.4.4; the last edge is open-ended.
+_LONGEST_RUN_TABLES = (
+    (
+        750_000,
+        10_000,
+        (10, 11, 12, 13, 14, 15, 16),
+        (0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727),
+    ),
+    (
+        6_272,
+        128,
+        (4, 5, 6, 7, 8, 9),
+        (0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124),
+    ),
+    (
+        128,
+        8,
+        (1, 2, 3, 4),
+        (0.2148, 0.3672, 0.2305, 0.1875),
+    ),
+)
+
+
+def runs(data: BitsLike) -> TestResult:
+    """SP 800-22 §2.3 — total number of runs in the stream."""
+    bits = as_bits(data)
+    require_length(bits, 100, "runs")
+    n = bits.size
+    pi = float(bits.mean())
+    tau = 2.0 / math.sqrt(n)
+    if abs(pi - 0.5) >= tau:
+        # The prerequisite monobit condition fails; SP 800-22 sets p=0.
+        return TestResult("runs", 0.0, statistics={"pi": pi, "v_obs": 0.0})
+    v_obs = 1.0 + float((bits[1:] != bits[:-1]).sum())
+    num = abs(v_obs - 2.0 * n * pi * (1.0 - pi))
+    den = 2.0 * math.sqrt(2.0 * n) * pi * (1.0 - pi)
+    p = float(erfc(num / den))
+    return TestResult("runs", p, statistics={"pi": pi, "v_obs": v_obs})
+
+
+def _longest_run_per_block(blocks: np.ndarray) -> np.ndarray:
+    """Longest run of ones in each row of a 2-D 0/1 array."""
+    n_blocks, m = blocks.shape
+    padded = np.zeros((n_blocks, m + 2), dtype=np.int8)
+    padded[:, 1:-1] = blocks
+    diffs = np.diff(padded, axis=1)
+    longest = np.zeros(n_blocks, dtype=np.int64)
+    for i in range(n_blocks):
+        starts = np.where(diffs[i] == 1)[0]
+        ends = np.where(diffs[i] == -1)[0]
+        if starts.size:
+            longest[i] = int((ends - starts).max())
+    return longest
+
+
+def longest_run_ones_in_a_block(data: BitsLike) -> TestResult:
+    """SP 800-22 §2.4 — longest run of ones within M-bit blocks."""
+    bits = as_bits(data)
+    require_length(bits, 128, "longest_run_ones_in_a_block")
+    for min_n, block_size, edges, probabilities in _LONGEST_RUN_TABLES:
+        if bits.size >= min_n:
+            break
+    n_blocks = bits.size // block_size
+    blocks = bits[: n_blocks * block_size].reshape(n_blocks, block_size)
+    longest = _longest_run_per_block(blocks)
+
+    k = len(edges) - 1
+    counts = np.zeros(len(edges), dtype=np.float64)
+    counts[0] = (longest <= edges[0]).sum()
+    for i in range(1, k):
+        counts[i] = (longest == edges[i]).sum()
+    counts[k] = (longest >= edges[k]).sum()
+
+    expected = n_blocks * np.asarray(probabilities)
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    p = float(gammaincc(k / 2.0, chi2 / 2.0))
+    return TestResult(
+        "longest_run_ones_in_a_block",
+        p,
+        statistics={"chi2": chi2, "block_size": float(block_size), "n_blocks": float(n_blocks)},
+    )

@@ -1,0 +1,64 @@
+"""Serial test (SP 800-22 §2.11) and approximate entropy (§2.12)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.nist.bits import BitsLike, as_bits, pattern_counts, require_length
+from repro.nist.result import TestResult
+
+
+def _psi_squared(bits: np.ndarray, m: int) -> float:
+    """ψ²_m statistic over circularly-extended m-bit patterns."""
+    if m <= 0:
+        return 0.0
+    counts = pattern_counts(bits, m, wrap=True)
+    n = bits.size
+    return float((counts**2).sum() * (2.0**m) / n - n)
+
+
+def serial(data: BitsLike, m: int = 16) -> TestResult:
+    """Frequency uniformity of all overlapping m-bit patterns."""
+    bits = as_bits(data)
+    require_length(bits, 1 << (m + 2), "serial")
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    psi_m = _psi_squared(bits, m)
+    psi_m1 = _psi_squared(bits, m - 1)
+    psi_m2 = _psi_squared(bits, m - 2)
+    delta1 = psi_m - psi_m1
+    delta2 = psi_m - 2.0 * psi_m1 + psi_m2
+    p1 = float(gammaincc(2.0 ** (m - 2), delta1 / 2.0))
+    p2 = float(gammaincc(2.0 ** (m - 3), delta2 / 2.0))
+    return TestResult(
+        "serial",
+        min(p1, p2),
+        p_values=(p1, p2),
+        statistics={"delta1": delta1, "delta2": delta2, "m": float(m)},
+    )
+
+
+def approximate_entropy(data: BitsLike, m: int = 10) -> TestResult:
+    """Compares frequencies of m- and (m+1)-bit patterns (ApEn)."""
+    bits = as_bits(data)
+    require_length(bits, 1 << (m + 5), "approximate_entropy")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    n = bits.size
+
+    def phi(block: int) -> float:
+        counts = pattern_counts(bits, block, wrap=True)
+        probs = counts[counts > 0] / n
+        return float((probs * np.log(probs)).sum())
+
+    ap_en = phi(m) - phi(m + 1)
+    chi2 = 2.0 * n * (math.log(2.0) - ap_en)
+    p = float(gammaincc(2.0 ** (m - 1), chi2 / 2.0))
+    return TestResult(
+        "approximate_entropy",
+        p,
+        statistics={"ap_en": ap_en, "chi2": chi2, "m": float(m)},
+    )

@@ -1,0 +1,154 @@
+"""The full 15-test NIST suite runner (reproduces Table 1's rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.nist.bits import BitsLike, as_bits
+from repro.nist.cusum import cumulative_sums
+from repro.nist.dft import dft
+from repro.nist.excursions import random_excursion, random_excursion_variant
+from repro.nist.frequency import frequency_within_block, monobit
+from repro.nist.linear_complexity import linear_complexity
+from repro.nist.matrix_rank import binary_matrix_rank
+from repro.nist.result import DEFAULT_ALPHA, TestResult
+from repro.nist.runs import longest_run_ones_in_a_block, runs
+from repro.nist.serial import approximate_entropy, serial
+from repro.nist.templates import (
+    non_overlapping_template_matching,
+    overlapping_template_matching,
+)
+from repro.nist.universal import maurers_universal
+
+#: The 15 tests in Table 1's order.
+ALL_TESTS: Tuple[Tuple[str, Callable[[BitsLike], TestResult]], ...] = (
+    ("monobit", monobit),
+    ("frequency_within_block", frequency_within_block),
+    ("runs", runs),
+    ("longest_run_ones_in_a_block", longest_run_ones_in_a_block),
+    ("binary_matrix_rank", binary_matrix_rank),
+    ("dft", dft),
+    ("non_overlapping_template_matching", non_overlapping_template_matching),
+    ("overlapping_template_matching", overlapping_template_matching),
+    ("maurers_universal", maurers_universal),
+    ("linear_complexity", linear_complexity),
+    ("serial", serial),
+    ("approximate_entropy", approximate_entropy),
+    ("cumulative_sums", cumulative_sums),
+    ("random_excursion", random_excursion),
+    ("random_excursion_variant", random_excursion_variant),
+)
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """Results of one suite run over one bitstream."""
+
+    results: Tuple[TestResult, ...]
+    skipped: Tuple[Tuple[str, str], ...]
+    n_bits: int
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every applicable test passed."""
+        return all(result.passed for result in self.results)
+
+    def result(self, name: str) -> TestResult:
+        """Look up one test's result by name."""
+        for candidate in self.results:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no result for test {name!r}")
+
+    def to_table(self) -> str:
+        """Render the report in the shape of the paper's Table 1."""
+        width = max(len(r.name) for r in self.results) if self.results else 20
+        lines = [f"{'NIST Test Name':<{width}}  P-value  Status"]
+        for result in self.results:
+            p = result.p_value
+            p_text = ">0.999" if p > 0.999 else f"{p:.3f}"
+            lines.append(f"{result.name:<{width}}  {p_text:>7}  {result.status}")
+        for name, reason in self.skipped:
+            lines.append(f"{name:<{width}}  {'--':>7}  N/A ({reason})")
+        return "\n".join(lines)
+
+
+def run_suite(
+    data: BitsLike,
+    alpha: float = DEFAULT_ALPHA,
+    tests: Optional[Sequence[str]] = None,
+) -> SuiteReport:
+    """Run the (selected) NIST tests over one bitstream.
+
+    Tests whose minimum stream-length requirements are not met are
+    reported as skipped rather than failed, matching the reference
+    suite's "not applicable" behavior.
+    """
+    bits = as_bits(data)
+    selected = ALL_TESTS
+    if tests is not None:
+        wanted = set(tests)
+        unknown = wanted - {name for name, _ in ALL_TESTS}
+        if unknown:
+            raise ValueError(f"unknown test name(s): {sorted(unknown)}")
+        selected = tuple(t for t in ALL_TESTS if t[0] in wanted)
+
+    results: List[TestResult] = []
+    skipped: List[Tuple[str, str]] = []
+    for name, test in selected:
+        try:
+            result = test(bits)
+        except InsufficientDataError as exc:
+            skipped.append((name, str(exc)))
+            continue
+        if result.alpha != alpha:
+            result = TestResult(
+                result.name,
+                result.p_value,
+                p_values=result.p_values,
+                statistics=result.statistics,
+                alpha=alpha,
+                family_wise=result.family_wise,
+            )
+        results.append(result)
+    return SuiteReport(
+        results=tuple(results), skipped=tuple(skipped), n_bits=bits.size
+    )
+
+
+def p_value_uniformity(p_values: Sequence[float], bins: int = 10) -> float:
+    """NIST's second pass/fail criterion: uniformity of P-values.
+
+    The reference suite's final analysis histogram-bins each test's
+    P-values over the tested sequences into ten bins and chi-square
+    tests the histogram against uniformity, reporting
+    ``igamc(9/2, chi2/2)``; the distribution is considered uniform when
+    that value is at least 1e-4.
+    """
+    from scipy.special import gammaincc
+
+    values = np.asarray(list(p_values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("need at least one p-value")
+    if bins < 2:
+        raise ValueError(f"bins must be >= 2, got {bins}")
+    counts, _ = np.histogram(values, bins=bins, range=(0.0, 1.0))
+    expected = values.size / bins
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    return float(gammaincc((bins - 1) / 2.0, chi2 / 2.0))
+
+
+def acceptable_proportion_range(alpha: float, k_sequences: int) -> Tuple[float, float]:
+    """NIST's acceptable range for the proportion of passing sequences.
+
+    Section 7.1 of the paper: ``(1 − α) ± 3·sqrt(α(1−α)/k)``.
+    """
+    if k_sequences <= 0:
+        raise ValueError(f"k_sequences must be positive, got {k_sequences}")
+    center = 1.0 - alpha
+    spread = 3.0 * np.sqrt(alpha * (1.0 - alpha) / k_sequences)
+    return max(center - spread, 0.0), min(center + spread, 1.0)

@@ -1,0 +1,146 @@
+"""Template matching tests (SP 800-22 §2.7 and §2.8)."""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.nist.bits import BitsLike, as_bits, require_length
+from repro.nist.result import TestResult
+
+#: Default template length (the SP 800-22 recommendation).
+DEFAULT_M = 9
+
+#: Probabilities of 0..5+ overlapping all-ones-template matches per
+#: 1032-bit block (SP 800-22 §2.8.4, for m=9, M=1032).
+_OVERLAPPING_PI = (0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865)
+
+
+def _is_aperiodic(bits: Tuple[int, ...]) -> bool:
+    """True when no proper shift of the template matches itself."""
+    m = len(bits)
+    for shift in range(1, m):
+        if bits[shift:] == bits[: m - shift]:
+            return False
+    return True
+
+
+@lru_cache(maxsize=None)
+def aperiodic_templates(m: int) -> Tuple[Tuple[int, ...], ...]:
+    """All aperiodic m-bit templates, in ascending numeric order.
+
+    For m=9 this yields the 148 templates of the reference suite.
+    """
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    out: List[Tuple[int, ...]] = []
+    for value in range(1 << m):
+        bits = tuple((value >> (m - 1 - k)) & 1 for k in range(m))
+        if _is_aperiodic(bits):
+            out.append(bits)
+    return tuple(out)
+
+
+def _match_positions(bits: np.ndarray, template: Sequence[int]) -> np.ndarray:
+    """Boolean array: does a template match start at each position?"""
+    m = len(template)
+    n_windows = bits.size - m + 1
+    if n_windows <= 0:
+        return np.zeros(0, dtype=bool)
+    match = np.ones(n_windows, dtype=bool)
+    for k, bit in enumerate(template):
+        match &= bits[k : k + n_windows] == bit
+    return match
+
+
+def _greedy_count(match: np.ndarray, m: int) -> int:
+    """Non-overlapping occurrence count from an overlapping match mask."""
+    positions = np.flatnonzero(match)
+    count = 0
+    next_free = -1
+    for pos in positions:
+        if pos >= next_free:
+            count += 1
+            next_free = pos + m
+    return count
+
+
+def non_overlapping_template_matching(
+    data: BitsLike,
+    m: int = DEFAULT_M,
+    n_blocks: int = 8,
+    templates: Optional[Sequence[Sequence[int]]] = None,
+) -> TestResult:
+    """SP 800-22 §2.7 — too many/few occurrences of aperiodic templates.
+
+    One P-value is computed per template; the headline value is the
+    minimum (all templates must pass).  ``templates`` defaults to every
+    aperiodic template of length ``m``.
+    """
+    bits = as_bits(data)
+    require_length(bits, n_blocks * 128, "non_overlapping_template_matching")
+    block_size = bits.size // n_blocks
+    if block_size <= m:
+        raise ValueError(
+            f"blocks of {block_size} bits cannot hold {m}-bit templates"
+        )
+    if templates is None:
+        templates = aperiodic_templates(m)
+
+    mean = (block_size - m + 1) / 2.0**m
+    var = block_size * (1.0 / 2.0**m - (2.0 * m - 1.0) / 2.0 ** (2 * m))
+    blocks = [
+        bits[j * block_size : (j + 1) * block_size] for j in range(n_blocks)
+    ]
+
+    p_values = []
+    for template in templates:
+        counts = np.array(
+            [_greedy_count(_match_positions(block, template), len(template)) for block in blocks],
+            dtype=np.float64,
+        )
+        chi2 = float(((counts - mean) ** 2 / var).sum())
+        p_values.append(float(gammaincc(n_blocks / 2.0, chi2 / 2.0)))
+
+    p_arr = np.asarray(p_values)
+    return TestResult(
+        "non_overlapping_template_matching",
+        float(p_arr.min()),
+        p_values=tuple(p_values),
+        statistics={
+            "templates": float(len(p_values)),
+            "mean_p": float(p_arr.mean()),
+            "block_size": float(block_size),
+        },
+        family_wise=True,
+    )
+
+
+def overlapping_template_matching(
+    data: BitsLike, m: int = DEFAULT_M, block_size: int = 1032
+) -> TestResult:
+    """SP 800-22 §2.8 — occurrences of the all-ones template, overlapping."""
+    bits = as_bits(data)
+    require_length(bits, block_size, "overlapping_template_matching")
+    n_blocks = bits.size // block_size
+    template = [1] * m
+
+    counts = np.zeros(len(_OVERLAPPING_PI), dtype=np.float64)
+    for j in range(n_blocks):
+        block = bits[j * block_size : (j + 1) * block_size]
+        occurrences = int(_match_positions(block, template).sum())
+        counts[min(occurrences, len(_OVERLAPPING_PI) - 1)] += 1
+
+    expected = n_blocks * np.asarray(_OVERLAPPING_PI)
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    k = len(_OVERLAPPING_PI) - 1
+    p = float(gammaincc(k / 2.0, chi2 / 2.0))
+    return TestResult(
+        "overlapping_template_matching",
+        p,
+        statistics={"chi2": chi2, "n_blocks": float(n_blocks)},
+    )

@@ -1,0 +1,79 @@
+"""Maurer's "universal statistical" test (SP 800-22 §2.9)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.nist.bits import BitsLike, as_bits, pattern_codes, require_length
+from repro.nist.result import TestResult
+
+#: (L, expected value, variance) per SP 800-22 table 2-9 (L = 6..16).
+_TABLE = {
+    6: (5.2177052, 2.954),
+    7: (6.1962507, 3.125),
+    8: (7.1836656, 3.238),
+    9: (8.1764248, 3.311),
+    10: (9.1723243, 3.356),
+    11: (10.170032, 3.384),
+    12: (11.168765, 3.401),
+    13: (12.168070, 3.410),
+    14: (13.167693, 3.416),
+    15: (14.167488, 3.419),
+    16: (15.167379, 3.421),
+}
+
+#: Minimum stream length for each block size L (n ≥ (Q + K)·L with
+#: Q = 10·2^L and K ≥ 1000·2^L, per the SP 800-22 guidance).
+_MIN_N = {L: (10 + 1000) * (1 << L) * L for L in _TABLE}
+
+
+def _choose_l(n: int) -> int:
+    """Largest block size whose minimum stream length fits ``n``."""
+    usable = [L for L, minimum in _MIN_N.items() if n >= minimum]
+    if not usable:
+        return 0
+    return max(usable)
+
+
+def maurers_universal(data: BitsLike, block_size: int = None) -> TestResult:
+    """Compressibility statistic over L-bit blocks."""
+    bits = as_bits(data)
+    require_length(bits, _MIN_N[6], "maurers_universal")
+    L = block_size if block_size is not None else _choose_l(bits.size)
+    if L not in _TABLE:
+        raise ValueError(f"block_size must be in {sorted(_TABLE)}, got {L}")
+
+    q_blocks = 10 * (1 << L)
+    total_blocks = bits.size // L
+    k_blocks = total_blocks - q_blocks
+    if k_blocks <= 0:
+        raise ValueError(
+            f"stream too short for L={L}: needs more than {q_blocks} blocks"
+        )
+
+    codes = pattern_codes(bits[: total_blocks * L], L, wrap=False)[::L]
+    last_seen = np.zeros(1 << L, dtype=np.int64)
+    # Initialization segment: record last occurrence of each pattern.
+    for i in range(q_blocks):
+        last_seen[codes[i]] = i + 1
+
+    distances = np.zeros(k_blocks, dtype=np.float64)
+    for i in range(q_blocks, total_blocks):
+        code = codes[i]
+        distances[i - q_blocks] = (i + 1) - last_seen[code]
+        last_seen[code] = i + 1
+
+    fn = float(np.log2(distances).sum() / k_blocks)
+    expected, variance = _TABLE[L]
+    # Finite-sample correction factor c (SP 800-22 §2.9.4).
+    c = 0.7 - 0.8 / L + (4.0 + 32.0 / L) * k_blocks ** (-3.0 / L) / 15.0
+    sigma = c * math.sqrt(variance / k_blocks)
+    p = float(erfc(abs(fn - expected) / (math.sqrt(2.0) * sigma)))
+    return TestResult(
+        "maurers_universal",
+        p,
+        statistics={"fn": fn, "expected": expected, "L": float(L), "K": float(k_blocks)},
+    )

@@ -1,0 +1,95 @@
+"""Physical-noise abstraction: the simulator's source of true randomness.
+
+In real hardware, the entropy D-RaNGe harvests comes from thermal noise
+at the sense amplifiers during a deliberately-too-early read.  In this
+reproduction the same role is played by :class:`NoiseSource`: every
+reduced-latency read draws its marginal-cell outcomes from this source.
+
+Two operating modes exist:
+
+* ``NoiseSource()`` — seeded from OS entropy (``numpy`` default entropy
+  pool).  This is the "true random" mode used by examples and NIST runs.
+* ``NoiseSource(seed=...)`` — deterministic, for reproducible unit tests
+  and benchmarks.
+
+Keeping the noise source *separate* from the process-variation field
+(:mod:`repro.dram.variation`) mirrors the physics: manufacturing
+variation is frozen at fab time and fully deterministic per device,
+whereas read noise is drawn fresh on every access.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class NoiseSource:
+    """Source of per-access stochastic outcomes (thermal/sensing noise).
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (default) seeds from OS entropy — the non-deterministic
+        mode.  Any integer gives a reproducible stream for testing.
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def deterministic(self) -> bool:
+        """True when this source was explicitly seeded (test mode)."""
+        return self._seed is not None
+
+    def bernoulli(self, probabilities: np.ndarray) -> np.ndarray:
+        """Draw one Bernoulli outcome per entry of ``probabilities``.
+
+        Returns a boolean array of the same shape; entry ``i`` is True
+        with probability ``probabilities[i]``.  Probabilities are clipped
+        into [0, 1] to absorb floating-point spill from the analytic
+        failure model.
+        """
+        probs = np.clip(np.asarray(probabilities, dtype=np.float64), 0.0, 1.0)
+        return self._rng.random(probs.shape) < probs
+
+    def gaussian(self, shape, sigma: float = 1.0) -> np.ndarray:
+        """Draw zero-mean Gaussian noise with standard deviation ``sigma``."""
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        return self._rng.normal(0.0, sigma, size=shape)
+
+    def binomial(self, trials: int, probabilities: np.ndarray) -> np.ndarray:
+        """Draw Binomial(trials, p) per entry of ``probabilities``.
+
+        Equivalent to summing ``trials`` independent :meth:`bernoulli`
+        draws, but in one vectorized call — the fast path used when
+        characterization repeats the same access many times under
+        unchanged conditions.
+        """
+        if trials < 0:
+            raise ValueError(f"trials must be non-negative, got {trials}")
+        probs = np.clip(np.asarray(probabilities, dtype=np.float64), 0.0, 1.0)
+        return self._rng.binomial(trials, probs)
+
+    def uniform(self, shape) -> np.ndarray:
+        """Draw uniform [0, 1) samples (used by latency-jitter baselines)."""
+        return self._rng.random(shape)
+
+    def integers(self, low: int, high: int, shape=None) -> np.ndarray:
+        """Draw integers in ``[low, high)`` (used by scheduling baselines)."""
+        return self._rng.integers(low, high, size=shape)
+
+    def spawn(self) -> "NoiseSource":
+        """Create an independent child source.
+
+        Children of a seeded parent remain deterministic (derived from the
+        parent's bit generator), so a whole simulated device population
+        can be reproduced from a single seed.
+        """
+        child = NoiseSource.__new__(NoiseSource)
+        child._seed = self._seed
+        child._rng = np.random.default_rng(self._rng.integers(0, 2**63))
+        return child

@@ -1,0 +1,59 @@
+"""Post-processing (de-biasing) techniques for raw TRNG output.
+
+Section 2.2 of the paper: harvested bits may be biased or correlated,
+in which case a post-processing step — classically the von Neumann
+corrector [64] or a cryptographic hash [38, 120] — trades throughput
+for output quality.  D-RaNGe's RNG cells are unbiased enough to skip
+this step (Section 6.1), but the retention baseline (Sutar+ [141])
+hashes its failure bitmap, and the ablation benchmarks quantify the
+throughput cost the paper cites (up to 80% [81]).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.nist.bits import as_bits
+
+
+def von_neumann(bits) -> np.ndarray:
+    """Von Neumann corrector: map bit pairs 01→0, 10→1, drop 00/11.
+
+    Removes bias from independent-but-biased bits at the cost of at
+    least 75% of the throughput for unbiased input (expected output is
+    n·p·(1−p) bits from n input bits).
+    """
+    arr = as_bits(bits)
+    pairs = arr[: arr.size // 2 * 2].reshape(-1, 2)
+    keep = pairs[:, 0] != pairs[:, 1]
+    return pairs[keep, 0].astype(np.uint8)
+
+
+def von_neumann_efficiency(bias_p: float) -> float:
+    """Expected output bits per input bit for ones-probability ``bias_p``."""
+    if not 0.0 <= bias_p <= 1.0:
+        raise ValueError(f"bias_p must be in [0, 1], got {bias_p}")
+    return bias_p * (1.0 - bias_p)
+
+
+def sha256_condition(bits, output_bits: int = 256) -> np.ndarray:
+    """Hash-based conditioning: compress input entropy into output bits.
+
+    ``output_bits`` may exceed 256, in which case SHA-256 is applied in
+    counter mode over the input (each block hashes input ‖ counter) —
+    the construction retention-based TRNGs use to stretch a failure
+    bitmap into fixed-size random words.
+    """
+    if output_bits <= 0:
+        raise ValueError(f"output_bits must be positive, got {output_bits}")
+    packed = np.packbits(as_bits(bits)).tobytes()
+    out = bytearray()
+    counter = 0
+    while len(out) * 8 < output_bits:
+        digest = hashlib.sha256(packed + counter.to_bytes(8, "big")).digest()
+        out.extend(digest)
+        counter += 1
+    unpacked = np.unpackbits(np.frombuffer(bytes(out), dtype=np.uint8))
+    return unpacked[:output_bits].astype(np.uint8)

@@ -1,0 +1,13 @@
+"""DRAM energy modeling (the reproduction's DRAMPower [1, 25]).
+
+:mod:`repro.power.idd` carries the IDD current specs per device class;
+:mod:`repro.power.model` converts a timestamped command trace into
+energy using the standard current-based accounting, including the
+"active minus idle" differencing the paper uses to attribute energy to
+D-RaNGe (Section 7.3, "Low Energy Consumption": 4.4 nJ/bit).
+"""
+
+from repro.power.idd import DDR3_IDD, LPDDR4_IDD, IddSpec
+from repro.power.model import EnergyBreakdown, PowerModel
+
+__all__ = ["DDR3_IDD", "EnergyBreakdown", "IddSpec", "LPDDR4_IDD", "PowerModel"]

@@ -1,0 +1,79 @@
+"""IDD current specifications for the energy model.
+
+These follow the structure of JEDEC datasheet IDD tables (and of
+DRAMPower's input parameters [1, 25]): one quiescent current per device
+state plus burst currents for column accesses.  Values are
+representative datasheet-class numbers for each technology, not
+measurements of specific parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IddSpec:
+    """Current (mA) and voltage (V) parameters of one device class.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage.
+    idd0:
+        Average current of an ACT–PRE cycle at minimum tRC.
+    idd2n:
+        Precharge-standby current (all banks idle).
+    idd3n:
+        Active-standby current (a row open, no column traffic).
+    idd4r / idd4w:
+        Burst read / write current.
+    idd5:
+        Refresh current averaged over tRFC.
+    """
+
+    name: str
+    vdd: float
+    idd0: float
+    idd2n: float
+    idd3n: float
+    idd4r: float
+    idd4w: float
+    idd5: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("vdd", "idd0", "idd2n", "idd3n", "idd4r", "idd4w", "idd5"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ConfigurationError(f"{field_name} must be positive, got {value}")
+        if self.idd0 <= self.idd3n:
+            raise ConfigurationError("idd0 must exceed idd3n (activation adds power)")
+        if self.idd4r <= self.idd3n or self.idd4w <= self.idd3n:
+            raise ConfigurationError("burst currents must exceed active standby")
+
+
+#: Representative LPDDR4 x16 currents (datasheet class, VDD2 rail).
+LPDDR4_IDD = IddSpec(
+    name="LPDDR4",
+    vdd=1.1,
+    idd0=58.0,
+    idd2n=26.0,
+    idd3n=34.0,
+    idd4r=230.0,
+    idd4w=245.0,
+    idd5=160.0,
+)
+
+#: Representative DDR3 x8 currents.
+DDR3_IDD = IddSpec(
+    name="DDR3",
+    vdd=1.35,
+    idd0=55.0,
+    idd2n=32.0,
+    idd3n=38.0,
+    idd4r=140.0,
+    idd4w=150.0,
+    idd5=190.0,
+)

@@ -1,0 +1,109 @@
+"""Command-trace energy accounting (DRAMPower-style).
+
+Energy is attributed with the standard current-based decomposition:
+
+* every ACT(+implied PRE) pays ``vdd · (idd0 − idd3n) · tRC``;
+* every READ/WRITE burst pays ``vdd · (idd4x − idd3n) · t_burst``;
+* every REF pays ``vdd · (idd5 − idd3n) · tRFC``;
+* background pays ``vdd · idd3n`` (active standby) over the trace
+  duration — callers that want the paper's "active minus idle"
+  attribution subtract :meth:`PowerModel.idle_energy` over the same
+  window, exactly as Section 7.3 subtracts the idling trace.
+
+All energies are reported in joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import CommandKind
+from repro.dram.timing import TimingParameters
+from repro.power.idd import IddSpec
+from repro.sim.trace import CommandTrace
+
+_MA_NS_TO_COULOMB = 1e-12  # 1 mA · 1 ns = 1e-12 C
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one trace, split by contribution (joules)."""
+
+    activation_j: float
+    read_j: float
+    write_j: float
+    refresh_j: float
+    background_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Sum of all contributions."""
+        return (
+            self.activation_j
+            + self.read_j
+            + self.write_j
+            + self.refresh_j
+            + self.background_j
+        )
+
+
+class PowerModel:
+    """Converts command traces to energy under one IDD spec."""
+
+    def __init__(self, idd: IddSpec, timings: TimingParameters) -> None:
+        self._idd = idd
+        self._timings = timings
+
+    @property
+    def idd(self) -> IddSpec:
+        """Current spec in use."""
+        return self._idd
+
+    def trace_energy(self, trace: CommandTrace, duration_ns: float = None) -> EnergyBreakdown:
+        """Energy of ``trace`` over ``duration_ns`` (defaults to trace span)."""
+        idd = self._idd
+        t = self._timings
+        if duration_ns is None:
+            duration_ns = trace.duration_ns
+        if duration_ns < trace.duration_ns:
+            raise ValueError(
+                f"duration_ns {duration_ns} shorter than trace span "
+                f"{trace.duration_ns}"
+            )
+        acts = trace.count(CommandKind.ACT)
+        reads = trace.count(CommandKind.READ)
+        writes = trace.count(CommandKind.WRITE)
+        refs = trace.count(CommandKind.REF)
+        scale = idd.vdd * _MA_NS_TO_COULOMB
+        return EnergyBreakdown(
+            activation_j=acts * (idd.idd0 - idd.idd3n) * t.trc_ns * scale,
+            read_j=reads * (idd.idd4r - idd.idd3n) * t.burst_ns * scale,
+            write_j=writes * (idd.idd4w - idd.idd3n) * t.burst_ns * scale,
+            refresh_j=refs * (idd.idd5 - idd.idd3n) * t.trfc_ns * scale,
+            background_j=idd.idd3n * duration_ns * scale,
+        )
+
+    def idle_energy(self, duration_ns: float) -> float:
+        """Energy of an idle (precharge-standby) device over a window."""
+        if duration_ns < 0:
+            raise ValueError(f"duration_ns must be non-negative, got {duration_ns}")
+        return self._idd.vdd * self._idd.idd2n * duration_ns * _MA_NS_TO_COULOMB
+
+    def net_energy(self, trace: CommandTrace, duration_ns: float = None) -> float:
+        """Trace energy minus the idle energy of the same window.
+
+        This is the attribution the paper uses for D-RaNGe and the
+        retention baseline: "subtract quantity (2) [idling] from (1)
+        [generating random numbers]".
+        """
+        breakdown = self.trace_energy(trace, duration_ns)
+        window = duration_ns if duration_ns is not None else trace.duration_ns
+        return breakdown.total_j - self.idle_energy(window)
+
+    def energy_per_bit(
+        self, trace: CommandTrace, bits: int, duration_ns: float = None
+    ) -> float:
+        """Net energy divided by the random bits harvested (J/bit)."""
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        return self.net_energy(trace, duration_ns) / bits

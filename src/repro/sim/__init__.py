@@ -1,0 +1,22 @@
+"""DRAM command-timing simulation (the reproduction's mini-Ramulator).
+
+The paper uses Ramulator [2, 76] to time Algorithm 2's core loop and
+DRAMPower to convert command traces into energy.  This package provides
+the timing half: :mod:`repro.sim.engine` enforces JEDEC inter-command
+constraints and assigns issue timestamps to command streams,
+:mod:`repro.sim.trace` defines the timestamped trace records, and
+:mod:`repro.sim.workloads` synthesizes memory-intensity traces for the
+system-interference study (Section 7.3).
+"""
+
+from repro.sim.bandwidth import BusStatistics, bus_statistics
+from repro.sim.engine import TimingEngine
+from repro.sim.trace import CommandTrace, TimedCommand
+
+__all__ = [
+    "BusStatistics",
+    "CommandTrace",
+    "TimedCommand",
+    "TimingEngine",
+    "bus_statistics",
+]

@@ -1,0 +1,82 @@
+"""Data-bus bandwidth accounting over command traces.
+
+Converts a timestamped command trace into occupancy statistics: how
+long the data bus carried bursts, what fraction of the window was
+idle, and the achieved transfer rate.  This is the measurement side of
+the Section 7.3 interference study — the analytic workload model
+predicts idle fractions, and this module verifies them on the traces
+the scheduler actually produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import CommandKind
+from repro.dram.timing import TimingParameters
+from repro.sim.trace import CommandTrace
+
+
+@dataclass(frozen=True)
+class BusStatistics:
+    """Occupancy summary of one trace window."""
+
+    window_ns: float
+    read_bursts: int
+    write_bursts: int
+    busy_ns: float
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the window the data bus carried bursts."""
+        if self.window_ns <= 0:
+            return 0.0
+        return min(self.busy_ns / self.window_ns, 1.0)
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of the window available for D-RaNGe bursts."""
+        return 1.0 - self.utilization
+
+    @property
+    def transfers(self) -> int:
+        """Total bursts moved."""
+        return self.read_bursts + self.write_bursts
+
+
+def bus_statistics(
+    trace: CommandTrace,
+    timings: TimingParameters,
+    window_ns: float = None,
+) -> BusStatistics:
+    """Data-bus occupancy of ``trace`` over ``window_ns``.
+
+    Each READ/WRITE occupies the bus for one burst; bursts from a
+    well-formed trace cannot overlap (the engine enforces tCCD ≥ burst
+    pacing), so busy time is simply bursts × burst duration.
+    """
+    if window_ns is None:
+        window_ns = trace.duration_ns + timings.tcl_ns + timings.burst_ns
+    if window_ns < trace.duration_ns:
+        raise ValueError(
+            f"window {window_ns} ns shorter than the trace span "
+            f"{trace.duration_ns} ns"
+        )
+    reads = trace.count(CommandKind.READ)
+    writes = trace.count(CommandKind.WRITE)
+    busy = (reads + writes) * timings.burst_ns
+    return BusStatistics(
+        window_ns=window_ns,
+        read_bursts=reads,
+        write_bursts=writes,
+        busy_ns=busy,
+    )
+
+
+def achieved_bandwidth_gbps(
+    stats: BusStatistics, bytes_per_burst: int = 64
+) -> float:
+    """Payload bandwidth the trace achieved, in GB/s."""
+    if stats.window_ns <= 0:
+        return 0.0
+    return stats.transfers * bytes_per_burst / stats.window_ns

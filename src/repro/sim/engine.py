@@ -1,0 +1,260 @@
+"""Constraint-based DRAM command timing engine.
+
+Given a stream of commands for one channel, the engine computes the
+earliest cycle-aligned time each command may legally issue under the
+JEDEC constraints of the active :class:`~repro.dram.timing
+.TimingParameters`, and tracks the resulting bank/bus state.  It plays
+the role Ramulator [2, 76] plays in the paper: timing Algorithm 2's core
+loop (Figure 8, Equation 1), giving access latencies to the latency
+study, and emitting timestamped traces for the energy model.
+
+Supported constraints:
+
+======================= =======================================================
+ACT                     tRP after PRE (same bank), tRC after previous ACT
+                        (same bank), tRRD after any ACT (same rank), at most
+                        four ACTs per rolling tFAW window
+READ                    tRCD after ACT (reducible — D-RaNGe's knob), tCCD
+                        after any column command, write-to-read turnaround
+                        (tCWL + burst + tWTR)
+WRITE                   tRCD after ACT, tCCD, read-to-write turnaround
+                        (tCL + burst + bus turnaround − tCWL)
+PRE                     tRAS after ACT, tRTP after READ, write recovery
+                        (tCWL + burst + tWR) after WRITE
+REF                     tRP after the last PRE; occupies the rank for tRFC
+======================= =======================================================
+
+The command bus carries one command per clock; the engine serializes
+commands that would otherwise collide on the bus.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.dram.commands import CommandKind
+from repro.dram.timing import TimingParameters
+from repro.errors import ProtocolError
+from repro.sim.trace import CommandTrace
+from repro.units import cycles_to_ns, ns_to_cycles
+
+#: Data-bus turnaround dead time between a read burst and a write burst.
+BUS_TURNAROUND_NS = 2.5
+
+#: ACTs allowed inside one rolling tFAW window.
+FAW_ACTS = 4
+
+
+class _BankState:
+    """Mutable per-bank timing state."""
+
+    __slots__ = ("last_act_ns", "last_pre_ns", "last_read_ns", "last_write_ns", "open_row")
+
+    def __init__(self) -> None:
+        self.last_act_ns = float("-inf")
+        self.last_pre_ns = float("-inf")
+        self.last_read_ns = float("-inf")
+        self.last_write_ns = float("-inf")
+        self.open_row: Optional[int] = None
+
+
+class TimingEngine:
+    """Assigns legal issue times to a channel's command stream.
+
+    Parameters
+    ----------
+    timings:
+        The active timing set.  Pass a preset with a reduced tRCD (via
+        :meth:`TimingParameters.with_trcd`) to model D-RaNGe's
+        failure-inducing accesses, or give per-command overrides through
+        ``trcd_ns`` arguments.
+    banks:
+        Banks in the rank the engine models.
+    """
+
+    def __init__(self, timings: TimingParameters, banks: int = 8) -> None:
+        if banks <= 0:
+            raise ValueError(f"banks must be positive, got {banks}")
+        self._timings = timings
+        self._banks: Dict[int, _BankState] = {i: _BankState() for i in range(banks)}
+        self._now_ns = 0.0
+        self._bus_free_ns = 0.0
+        self._last_act_any_ns = float("-inf")
+        self._act_history: Deque[float] = deque(maxlen=FAW_ACTS)
+        self._last_col_ns = float("-inf")
+        self._last_read_issue_ns = float("-inf")
+        self._last_write_issue_ns = float("-inf")
+        self._ref_busy_until_ns = 0.0
+        self._trace = CommandTrace()
+        # Bank-group state (DDR4): banks are striped across groups; the
+        # last ACT / column command per group enforces the long timings.
+        self._groups = max(int(getattr(timings, "bank_groups", 1) or 1), 1)
+        self._last_act_group: Dict[int, float] = {}
+        self._last_col_group: Dict[int, float] = {}
+
+    def bank_group(self, bank: int) -> int:
+        """Bank-group index of ``bank`` (banks striped across groups)."""
+        return bank % self._groups
+
+    @property
+    def timings(self) -> TimingParameters:
+        """Timing set the engine enforces."""
+        return self._timings
+
+    @property
+    def now_ns(self) -> float:
+        """Issue time of the most recent command."""
+        return self._now_ns
+
+    @property
+    def trace(self) -> CommandTrace:
+        """Timestamped trace of everything issued so far."""
+        return self._trace
+
+    def _bank(self, bank: int) -> _BankState:
+        try:
+            return self._banks[bank]
+        except KeyError:
+            raise ProtocolError(f"bank {bank} unknown to the engine") from None
+
+    def _align(self, t_ns: float) -> float:
+        """Snap a time to the command-clock grid (round up)."""
+        cycles = ns_to_cycles(max(t_ns, 0.0), self._timings.clock_mhz)
+        return cycles_to_ns(cycles, self._timings.clock_mhz)
+
+    def _claim_bus(self, earliest_ns: float) -> float:
+        """Earliest command-bus slot at or after ``earliest_ns``."""
+        t = self._align(max(earliest_ns, self._bus_free_ns, self._ref_busy_until_ns))
+        cycle_ns = cycles_to_ns(1, self._timings.clock_mhz)
+        self._bus_free_ns = t + cycle_ns
+        return t
+
+    def activate(self, bank: int, row: int) -> float:
+        """Issue an ACT; returns its issue time in ns."""
+        state = self._bank(bank)
+        if state.open_row is not None:
+            raise ProtocolError(
+                f"bank {bank}: ACT while row {state.open_row} is open"
+            )
+        t = self._timings
+        earliest = max(
+            state.last_pre_ns + t.trp_ns,
+            state.last_act_ns + t.trc_ns,
+            self._last_act_any_ns + t.trrd_ns,
+        )
+        if self._groups > 1 and t.trrd_l_ns is not None:
+            group_last = self._last_act_group.get(self.bank_group(bank))
+            if group_last is not None:
+                earliest = max(earliest, group_last + t.trrd_l_ns)
+        if len(self._act_history) == FAW_ACTS:
+            earliest = max(earliest, self._act_history[0] + t.tfaw_ns)
+        issue = self._claim_bus(earliest)
+        state.last_act_ns = issue
+        state.open_row = row
+        self._last_act_any_ns = issue
+        self._last_act_group[self.bank_group(bank)] = issue
+        self._act_history.append(issue)
+        self._now_ns = issue
+        self._trace.append(CommandKind.ACT, bank, issue)
+        return issue
+
+    def read(self, bank: int, trcd_ns: Optional[float] = None) -> float:
+        """Issue a READ; ``trcd_ns`` overrides the ACT→READ gap."""
+        state = self._bank(bank)
+        if state.open_row is None:
+            raise ProtocolError(f"bank {bank}: READ with no open row")
+        t = self._timings
+        trcd = t.trcd_ns if trcd_ns is None else trcd_ns
+        earliest = max(
+            state.last_act_ns + trcd,
+            self._last_col_ns + t.tccd_ns,
+            # Write-to-read turnaround.
+            self._last_write_issue_ns + t.tcwl_ns + t.burst_ns + t.twtr_ns,
+        )
+        if self._groups > 1 and t.tccd_l_ns is not None:
+            group_last = self._last_col_group.get(self.bank_group(bank))
+            if group_last is not None:
+                earliest = max(earliest, group_last + t.tccd_l_ns)
+        issue = self._claim_bus(earliest)
+        state.last_read_ns = issue
+        self._last_col_ns = issue
+        self._last_col_group[self.bank_group(bank)] = issue
+        self._last_read_issue_ns = issue
+        self._now_ns = issue
+        self._trace.append(CommandKind.READ, bank, issue)
+        return issue
+
+    def write(self, bank: int) -> float:
+        """Issue a WRITE."""
+        state = self._bank(bank)
+        if state.open_row is None:
+            raise ProtocolError(f"bank {bank}: WRITE with no open row")
+        t = self._timings
+        earliest = max(
+            state.last_act_ns + t.trcd_ns,
+            self._last_col_ns + t.tccd_ns,
+            # Read-to-write: the write burst must start after the read
+            # burst drains plus bus turnaround.
+            self._last_read_issue_ns
+            + t.tcl_ns
+            + t.burst_ns
+            + BUS_TURNAROUND_NS
+            - t.tcwl_ns,
+        )
+        if self._groups > 1 and t.tccd_l_ns is not None:
+            group_last = self._last_col_group.get(self.bank_group(bank))
+            if group_last is not None:
+                earliest = max(earliest, group_last + t.tccd_l_ns)
+        issue = self._claim_bus(earliest)
+        state.last_write_ns = issue
+        self._last_col_ns = issue
+        self._last_col_group[self.bank_group(bank)] = issue
+        self._last_write_issue_ns = issue
+        self._now_ns = issue
+        self._trace.append(CommandKind.WRITE, bank, issue)
+        return issue
+
+    def precharge(self, bank: int) -> float:
+        """Issue a PRE."""
+        state = self._bank(bank)
+        t = self._timings
+        earliest = max(
+            state.last_act_ns + t.tras_ns,
+            state.last_read_ns + t.trtp_ns,
+            state.last_write_ns + t.tcwl_ns + t.burst_ns + t.twr_ns,
+        )
+        issue = self._claim_bus(earliest)
+        state.last_pre_ns = issue
+        state.open_row = None
+        self._now_ns = issue
+        self._trace.append(CommandKind.PRE, bank, issue)
+        return issue
+
+    def refresh(self) -> float:
+        """Issue an all-bank REF; the rank is busy for tRFC afterwards."""
+        t = self._timings
+        earliest = 0.0
+        for state in self._banks.values():
+            if state.open_row is not None:
+                raise ProtocolError("REF requires all banks precharged")
+            earliest = max(earliest, state.last_pre_ns + t.trp_ns)
+        issue = self._claim_bus(earliest)
+        self._ref_busy_until_ns = issue + t.trfc_ns
+        self._now_ns = issue
+        self._trace.append(CommandKind.REF, None, issue)
+        return issue
+
+    def read_data_available_ns(self, read_issue_ns: float) -> float:
+        """Time the last beat of a READ's data arrives at the controller."""
+        t = self._timings
+        return read_issue_ns + t.tcl_ns + t.burst_ns
+
+    def idle_until(self, t_ns: float) -> None:
+        """Advance the engine clock without issuing commands."""
+        if t_ns < self._now_ns:
+            raise ValueError(
+                f"cannot move time backwards: {t_ns} < {self._now_ns}"
+            )
+        self._now_ns = t_ns
+        self._bus_free_ns = max(self._bus_free_ns, t_ns)

@@ -1,0 +1,63 @@
+"""Timestamped command traces produced by the timing engine.
+
+A :class:`CommandTrace` is the interchange format between the timing
+engine (:mod:`repro.sim.engine`) and the energy model
+(:mod:`repro.power.model`), mirroring how the paper feeds Ramulator
+output traces into DRAMPower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.dram.commands import CommandKind
+
+
+@dataclass(frozen=True)
+class TimedCommand:
+    """One command with the issue time the engine assigned to it."""
+
+    kind: CommandKind
+    bank: Optional[int]
+    issue_ns: float
+
+    def __post_init__(self) -> None:
+        if self.issue_ns < 0:
+            raise ValueError(f"issue_ns must be non-negative, got {self.issue_ns}")
+
+
+class CommandTrace:
+    """An append-only, time-ordered sequence of issued commands."""
+
+    def __init__(self) -> None:
+        self._commands: List[TimedCommand] = []
+
+    def append(self, kind: CommandKind, bank: Optional[int], issue_ns: float) -> None:
+        """Record a command issued at ``issue_ns``."""
+        if self._commands and issue_ns < self._commands[-1].issue_ns:
+            raise ValueError(
+                f"trace must be time-ordered: {issue_ns} < "
+                f"{self._commands[-1].issue_ns}"
+            )
+        self._commands.append(TimedCommand(kind, bank, issue_ns))
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def __iter__(self) -> Iterator[TimedCommand]:
+        return iter(self._commands)
+
+    def __getitem__(self, index: int) -> TimedCommand:
+        return self._commands[index]
+
+    @property
+    def duration_ns(self) -> float:
+        """Time of the last command in the trace (0 for an empty trace)."""
+        if not self._commands:
+            return 0.0
+        return self._commands[-1].issue_ns
+
+    def count(self, kind: CommandKind) -> int:
+        """Number of commands of ``kind`` in the trace."""
+        return sum(1 for command in self._commands if command.kind is kind)

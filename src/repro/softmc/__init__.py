@@ -1,0 +1,17 @@
+"""SoftMC-style programmable DRAM test host.
+
+The paper validates its mechanism on DDR3 devices using SoftMC
+[52, 132], an FPGA host that executes arbitrary DRAM command programs
+with precise timing control.  This package reproduces that interface:
+
+* :mod:`repro.softmc.program` — a tiny command-program representation
+  (ACT/READ/WRITE/PRE/REF plus WAIT and bounded LOOP);
+* :mod:`repro.softmc.host` — an executor that runs programs against a
+  behavioral :class:`~repro.dram.device.DramDevice` while timing every
+  command through a :class:`~repro.sim.engine.TimingEngine`.
+"""
+
+from repro.softmc.host import ExecutionResult, SoftMCHost
+from repro.softmc.program import Instruction, Opcode, Program
+
+__all__ = ["ExecutionResult", "Instruction", "Opcode", "Program", "SoftMCHost"]

@@ -1,0 +1,150 @@
+"""Execution of SoftMC programs against a behavioral device.
+
+The host interprets a :class:`~repro.softmc.program.Program`, issuing
+each command to the device's banks while the timing engine accounts for
+when each command could really issue.  Crucially — this is SoftMC's
+selling point and the property D-RaNGe relies on — an explicit WAIT
+between ACT and READ *shorter than tRCD* is honored: the engine is told
+the reduced gap, and the device answers with failure-prone data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.device import DramDevice
+from repro.errors import ConfigurationError
+from repro.sim.engine import TimingEngine
+from repro.sim.trace import CommandTrace
+from repro.softmc.program import Instruction, Opcode, Program
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program execution."""
+
+    reads: List[Tuple[int, int, int, np.ndarray]]
+    """(bank, row, word, bits) per READ, in execution order."""
+
+    duration_ns: float
+    """Issue time of the last command."""
+
+    trace: CommandTrace
+    """Timestamped command trace (feed to the energy model)."""
+
+
+class SoftMCHost:
+    """Runs command programs with precise (violable) timing control."""
+
+    def __init__(self, device: DramDevice) -> None:
+        self._device = device
+
+    @property
+    def device(self) -> DramDevice:
+        """The device under test."""
+        return self._device
+
+    def execute(self, program: Program) -> ExecutionResult:
+        """Interpret ``program`` once; returns read data and the trace."""
+        program.validate()
+        engine = TimingEngine(self._device.timings, banks=self._device.geometry.banks)
+        reads: List[Tuple[int, int, int, np.ndarray]] = []
+        # Pending reduced-timing state per bank: the WAIT accumulated
+        # between the bank's ACT and its next READ.
+        act_wait_ns = {}
+        flat = self._flatten(program.instructions)
+        pending_wait = 0.0
+        for instruction in flat:
+            if instruction.opcode is Opcode.WAIT:
+                pending_wait += float(instruction.wait_ns or 0.0)
+                continue
+            if instruction.opcode is Opcode.ACT:
+                bank = int(instruction.bank or 0)
+                engine.idle_until(engine.now_ns + pending_wait)
+                pending_wait = 0.0
+                engine.activate(bank, int(instruction.row or 0))
+                act_wait_ns[bank] = 0.0
+                # The device-level tRCD is decided at READ time, once we
+                # know the program's actual ACT→READ gap.
+                self._device.bank(bank).activate(int(instruction.row or 0))
+            elif instruction.opcode is Opcode.READ:
+                bank = int(instruction.bank or 0)
+                gap = act_wait_ns.get(bank)
+                if gap is not None:
+                    gap += pending_wait
+                trcd = self._effective_trcd(gap)
+                engine.idle_until(engine.now_ns + pending_wait)
+                pending_wait = 0.0
+                engine.read(bank, trcd_ns=trcd)
+                act_wait_ns[bank] = None
+                bits = self._device.bank(bank).read(
+                    int(instruction.word or 0),
+                    op=self._device.operating_point(trcd),
+                )
+                row = self._device.bank(bank).open_row
+                reads.append((bank, int(row or 0), int(instruction.word or 0), bits))
+            elif instruction.opcode is Opcode.WRITE:
+                bank = int(instruction.bank or 0)
+                engine.idle_until(engine.now_ns + pending_wait)
+                pending_wait = 0.0
+                engine.write(bank)
+                self._device.bank(bank).write(
+                    int(instruction.word or 0),
+                    np.asarray(instruction.data, dtype=np.uint8),
+                )
+            elif instruction.opcode is Opcode.PRE:
+                bank = int(instruction.bank or 0)
+                engine.idle_until(engine.now_ns + pending_wait)
+                pending_wait = 0.0
+                engine.precharge(bank)
+                self._device.bank(bank).precharge()
+                act_wait_ns.pop(bank, None)
+            elif instruction.opcode is Opcode.REF:
+                engine.idle_until(engine.now_ns + pending_wait)
+                pending_wait = 0.0
+                engine.refresh()
+            else:  # pragma: no cover - flatten removes loop markers
+                raise ConfigurationError(
+                    f"unexpected opcode {instruction.opcode} after flattening"
+                )
+        return ExecutionResult(
+            reads=reads, duration_ns=engine.now_ns, trace=engine.trace
+        )
+
+    def _effective_trcd(self, act_read_gap_ns: Optional[float]) -> float:
+        """tRCD realized by the program for this READ.
+
+        An explicit WAIT shorter than spec tRCD is the SoftMC way of
+        issuing a reduced-latency read; no WAIT at all means the host
+        inserted the spec gap.
+        """
+        spec = self._device.timings.trcd_ns
+        if act_read_gap_ns is None or act_read_gap_ns <= 0.0:
+            return spec
+        return min(act_read_gap_ns, spec)
+
+    @staticmethod
+    def _flatten(instructions: List[Instruction]) -> List[Instruction]:
+        """Unroll bounded loops into a flat instruction list."""
+
+        def unroll(start: int) -> Tuple[List[Instruction], int]:
+            out: List[Instruction] = []
+            i = start
+            while i < len(instructions):
+                instruction = instructions[i]
+                if instruction.opcode is Opcode.LOOP:
+                    body, next_i = unroll(i + 1)
+                    out.extend(body * int(instruction.count or 1))
+                    i = next_i
+                elif instruction.opcode is Opcode.END_LOOP:
+                    return out, i + 1
+                else:
+                    out.append(instruction)
+                    i += 1
+            return out, i
+
+        flat, _ = unroll(0)
+        return flat

@@ -1,0 +1,127 @@
+"""Command programs for the SoftMC-style host.
+
+A :class:`Program` is a flat list of :class:`Instruction` records.  The
+instruction set mirrors what characterization needs: raw DRAM commands,
+explicit waits (to realize arbitrary — including below-spec — timing
+gaps), and a bounded loop for repetition.  Programs are data, not code:
+they can be built, inspected, and replayed deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class Opcode(enum.Enum):
+    """SoftMC host instruction set."""
+
+    ACT = "ACT"
+    READ = "READ"
+    WRITE = "WRITE"
+    PRE = "PRE"
+    REF = "REF"
+    WAIT = "WAIT"
+    LOOP = "LOOP"
+    END_LOOP = "END_LOOP"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One host instruction; operand meaning depends on the opcode."""
+
+    opcode: Opcode
+    bank: Optional[int] = None
+    row: Optional[int] = None
+    word: Optional[int] = None
+    wait_ns: Optional[float] = None
+    count: Optional[int] = None
+    data: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.opcode is Opcode.ACT and (self.bank is None or self.row is None):
+            raise ConfigurationError("ACT requires bank and row")
+        if self.opcode in (Opcode.READ, Opcode.WRITE) and (
+            self.bank is None or self.word is None
+        ):
+            raise ConfigurationError(f"{self.opcode} requires bank and word")
+        if self.opcode is Opcode.WRITE and self.data is None:
+            raise ConfigurationError("WRITE requires data")
+        if self.opcode is Opcode.PRE and self.bank is None:
+            raise ConfigurationError("PRE requires bank")
+        if self.opcode is Opcode.WAIT and (self.wait_ns is None or self.wait_ns < 0):
+            raise ConfigurationError("WAIT requires a non-negative wait_ns")
+        if self.opcode is Opcode.LOOP and (self.count is None or self.count <= 0):
+            raise ConfigurationError("LOOP requires a positive count")
+
+
+class Program:
+    """A buildable SoftMC command program."""
+
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
+        self._open_loops = 0
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        """The program's instructions (a copy)."""
+        return list(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def act(self, bank: int, row: int) -> "Program":
+        """Append an ACT."""
+        self._instructions.append(Instruction(Opcode.ACT, bank=bank, row=row))
+        return self
+
+    def read(self, bank: int, word: int) -> "Program":
+        """Append a READ of one word."""
+        self._instructions.append(Instruction(Opcode.READ, bank=bank, word=word))
+        return self
+
+    def write(self, bank: int, word: int, data: Tuple[int, ...]) -> "Program":
+        """Append a WRITE of one word."""
+        self._instructions.append(
+            Instruction(Opcode.WRITE, bank=bank, word=word, data=tuple(data))
+        )
+        return self
+
+    def pre(self, bank: int) -> "Program":
+        """Append a PRE."""
+        self._instructions.append(Instruction(Opcode.PRE, bank=bank))
+        return self
+
+    def ref(self) -> "Program":
+        """Append an all-bank REF."""
+        self._instructions.append(Instruction(Opcode.REF))
+        return self
+
+    def wait(self, wait_ns: float) -> "Program":
+        """Append an explicit idle gap."""
+        self._instructions.append(Instruction(Opcode.WAIT, wait_ns=wait_ns))
+        return self
+
+    def loop(self, count: int) -> "Program":
+        """Open a bounded loop repeated ``count`` times."""
+        self._instructions.append(Instruction(Opcode.LOOP, count=count))
+        self._open_loops += 1
+        return self
+
+    def end_loop(self) -> "Program":
+        """Close the innermost open loop."""
+        if self._open_loops == 0:
+            raise ConfigurationError("END_LOOP without a matching LOOP")
+        self._instructions.append(Instruction(Opcode.END_LOOP))
+        self._open_loops -= 1
+        return self
+
+    def validate(self) -> None:
+        """Raise unless the program is well-formed (loops balanced)."""
+        if self._open_loops != 0:
+            raise ConfigurationError(
+                f"{self._open_loops} unclosed LOOP(s) in program"
+            )

@@ -1,0 +1,11 @@
+"""Characterization test-bed infrastructure (the paper's Section 4).
+
+:mod:`repro.testbed.chamber` models the thermally controlled chamber:
+a PID loop holding ambient temperature to ±0.25 °C within a reliable
+40–55 °C range, with the DRAM devices held 15 °C above ambient by a
+local heating source.
+"""
+
+from repro.testbed.chamber import ThermalChamber
+
+__all__ = ["ThermalChamber"]

@@ -1,0 +1,111 @@
+"""PID-controlled thermal chamber (Section 4 of the paper).
+
+The paper stabilizes ambient temperature with heaters and fans under a
+microcontroller PID loop to ±0.25 °C, reliably between 40 °C and 55 °C,
+and keeps DRAM 15 °C above ambient with a local heater.  The DRAM-
+temperature experiments (55–70 °C in Figure 6) are therefore ambient
+sweeps of 40–55 °C.
+
+:class:`ThermalChamber` reproduces that control loop: a first-order
+thermal plant driven by a PID controller, with convergence checking
+before devices are declared "at temperature".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dram.device import DramDevice
+from repro.errors import ConfigurationError
+
+#: Reliable ambient range of the paper's chamber, °C.
+AMBIENT_RANGE_C = (40.0, 55.0)
+
+#: DRAM runs this much above ambient (local heating source).
+DRAM_OFFSET_C = 15.0
+
+#: Control accuracy of the paper's PID loop.
+ACCURACY_C = 0.25
+
+
+class ThermalChamber:
+    """A chamber holding devices at a PID-stabilized temperature."""
+
+    def __init__(
+        self,
+        devices: Optional[List[DramDevice]] = None,
+        kp: float = 0.8,
+        ki: float = 0.15,
+        kd: float = 0.05,
+        time_constant_s: float = 30.0,
+    ) -> None:
+        if time_constant_s <= 0:
+            raise ConfigurationError(
+                f"time_constant_s must be positive, got {time_constant_s}"
+            )
+        self._devices = list(devices) if devices else []
+        self._kp, self._ki, self._kd = kp, ki, kd
+        self._tau = time_constant_s
+        self._ambient_c = AMBIENT_RANGE_C[0]
+        self._setpoint_c = AMBIENT_RANGE_C[0]
+        self._integral = 0.0
+        self._previous_error = 0.0
+
+    @property
+    def ambient_c(self) -> float:
+        """Current chamber ambient temperature."""
+        return self._ambient_c
+
+    @property
+    def dram_temperature_c(self) -> float:
+        """Temperature of devices inside the chamber."""
+        return self._ambient_c + DRAM_OFFSET_C
+
+    def add_device(self, device: DramDevice) -> None:
+        """Place a device in the chamber (adopts the chamber temperature)."""
+        self._devices.append(device)
+        device.set_temperature(self.dram_temperature_c)
+
+    def set_dram_temperature(self, dram_temp_c: float, settle_steps: int = 500) -> float:
+        """Drive devices to ``dram_temp_c`` and wait for convergence.
+
+        Returns the achieved DRAM temperature.  Raises when the target's
+        required ambient falls outside the chamber's reliable range —
+        matching the paper's statement that 55–70 °C DRAM temperature is
+        the full reliable span of the infrastructure.
+        """
+        ambient_target = dram_temp_c - DRAM_OFFSET_C
+        low, high = AMBIENT_RANGE_C
+        if not low <= ambient_target <= high:
+            raise ConfigurationError(
+                f"DRAM target {dram_temp_c}°C needs ambient {ambient_target}°C, "
+                f"outside the chamber's reliable range [{low}, {high}]°C"
+            )
+        self._setpoint_c = ambient_target
+        self._integral = 0.0
+        self._previous_error = self._setpoint_c - self._ambient_c
+        for _ in range(settle_steps):
+            self._step(dt_s=1.0)
+            if self.is_stable():
+                break
+        if not self.is_stable():
+            raise ConfigurationError(
+                f"chamber failed to settle at {ambient_target}°C ambient"
+            )
+        for device in self._devices:
+            device.set_temperature(self.dram_temperature_c)
+        return self.dram_temperature_c
+
+    def _step(self, dt_s: float) -> None:
+        """One PID control step over a first-order thermal plant."""
+        error = self._setpoint_c - self._ambient_c
+        self._integral += error * dt_s
+        derivative = (error - self._previous_error) / dt_s
+        self._previous_error = error
+        drive = self._kp * error + self._ki * self._integral + self._kd * derivative
+        # First-order plant: the chamber moves toward ambient + drive.
+        self._ambient_c += (drive - 0.0) * dt_s / self._tau
+
+    def is_stable(self) -> bool:
+        """True when ambient is within the paper's ±0.25 °C accuracy."""
+        return abs(self._setpoint_c - self._ambient_c) <= ACCURACY_C

@@ -1,0 +1,59 @@
+"""Small unit-conversion helpers used throughout the library.
+
+The DRAM literature mixes nanoseconds, clock cycles, megabits per second
+and joules freely; these helpers keep conversions explicit and in one
+place.  All simulator-internal times are kept in **nanoseconds** (floats)
+and converted to cycles only at the memory-controller boundary.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Nanoseconds per second.
+NS_PER_S = 1e9
+
+#: Bits per megabit (decimal, as used for Mb/s figures in the paper).
+BITS_PER_MEGABIT = 1e6
+
+
+def ns_to_cycles(time_ns: float, clock_mhz: float) -> int:
+    """Return the smallest cycle count covering ``time_ns`` at ``clock_mhz``.
+
+    DRAM timing parameters are specified in nanoseconds but enforced by
+    the controller in whole clock cycles, always rounding up.
+    """
+    if clock_mhz <= 0:
+        raise ValueError(f"clock_mhz must be positive, got {clock_mhz}")
+    return max(0, math.ceil(time_ns * clock_mhz / 1e3 - 1e-9))
+
+
+def cycles_to_ns(cycles: float, clock_mhz: float) -> float:
+    """Convert a cycle count at ``clock_mhz`` into nanoseconds."""
+    if clock_mhz <= 0:
+        raise ValueError(f"clock_mhz must be positive, got {clock_mhz}")
+    return cycles * 1e3 / clock_mhz
+
+
+def bits_per_ns_to_mbps(bits_per_ns: float) -> float:
+    """Convert a rate in bits/ns into the paper's Mb/s (1e6 bits/s)."""
+    return bits_per_ns * NS_PER_S / BITS_PER_MEGABIT
+
+
+def mbps(bits: float, time_ns: float) -> float:
+    """Throughput in Mb/s for ``bits`` generated over ``time_ns``."""
+    if time_ns <= 0:
+        raise ValueError(f"time_ns must be positive, got {time_ns}")
+    return bits_per_ns_to_mbps(bits / time_ns)
+
+
+def joules_per_bit(total_joules: float, bits: int) -> float:
+    """Energy efficiency in J/bit; raises on a zero-bit denominator."""
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    return total_joules / bits
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert Celsius to Kelvin (used by the thermal-noise model)."""
+    return temp_c + 273.15

@@ -1,0 +1,247 @@
+"""Analysis helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import coverage_ratios, jaccard, union_growth
+from repro.analysis.entropy import min_entropy, shannon_entropy, symbol_entropy
+from repro.analysis.spatial import (
+    failing_columns,
+    render_bitmap,
+    row_gradient_correlation,
+    summarize_bitmap,
+)
+from repro.analysis.stats import box_stats, quantize_probability
+
+
+class TestEntropy:
+    def test_shannon_fair(self, rng):
+        bits = rng.integers(0, 2, 100_000)
+        assert shannon_entropy(bits) > 0.999
+
+    def test_shannon_biased(self):
+        bits = np.array([1] * 90 + [0] * 10)
+        assert shannon_entropy(bits) == pytest.approx(0.469, abs=0.01)
+
+    def test_min_entropy_never_exceeds_shannon(self, rng):
+        bits = (rng.random(10_000) < 0.3).astype(np.uint8)
+        assert min_entropy(bits) <= shannon_entropy(bits)
+
+    def test_symbol_entropy_fair(self, rng):
+        bits = rng.integers(0, 2, 50_000)
+        assert symbol_entropy(bits) > 0.999
+
+    def test_symbol_entropy_catches_periodicity(self):
+        bits = np.tile([0, 1], 5000)
+        # Ones ratio is perfect, but symbols reveal the structure.
+        assert shannon_entropy(bits) == pytest.approx(1.0)
+        assert symbol_entropy(bits) < 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_entropy([])
+
+
+class TestBoxStats:
+    def test_quartile_ordering(self, rng):
+        stats = box_stats(rng.normal(0, 1, 1000))
+        assert stats.minimum <= stats.whisker_low <= stats.q1
+        assert stats.q1 <= stats.median <= stats.q3
+        assert stats.q3 <= stats.whisker_high <= stats.maximum
+
+    def test_outlier_detection(self):
+        values = list(np.ones(100)) + [100.0]
+        stats = box_stats(values)
+        assert stats.n_outliers == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_invariants_hold_for_any_sample(self, values):
+        stats = box_stats(values)
+        assert stats.q1 <= stats.median <= stats.q3
+        assert stats.n == len(values)
+        assert stats.iqr >= 0
+
+    def test_quantize_probability(self):
+        assert quantize_probability([0.333], 100)[0] == pytest.approx(0.33)
+        with pytest.raises(ValueError):
+            quantize_probability([0.5], 0)
+
+
+class TestCoverage:
+    def test_ratios_relative_to_union(self):
+        a = np.array([[0, 0, 0], [0, 0, 1]])
+        b = np.array([[0, 0, 1], [0, 0, 2], [0, 0, 3]])
+        ratios = coverage_ratios({"a": a, "b": b})
+        assert ratios["a"] == pytest.approx(0.5)
+        assert ratios["b"] == pytest.approx(0.75)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            coverage_ratios({})
+
+    def test_all_empty_patterns(self):
+        ratios = coverage_ratios({"a": np.zeros((0, 3))})
+        assert ratios["a"] == 0.0
+
+    def test_union_growth_monotone(self):
+        rounds = [
+            np.array([[0, 0, 0]]),
+            np.array([[0, 0, 1]]),
+            np.array([[0, 0, 0]]),  # repeat adds nothing
+        ]
+        assert union_growth(rounds) == [1, 2, 2]
+
+    def test_jaccard(self):
+        a = np.array([[0, 0, 0], [0, 0, 1]])
+        assert jaccard(a, a) == 1.0
+        assert jaccard(a, np.zeros((0, 3))) == 0.0
+        assert jaccard(np.zeros((0, 3)), np.zeros((0, 3))) == 1.0
+
+
+class TestSpatial:
+    def _structured_bitmap(self):
+        bitmap = np.zeros((512, 64), dtype=np.uint8)
+        # Two weak columns, denser toward high rows.
+        for col in (10, 40):
+            rows = np.arange(512)
+            hot = rows[rows % 7 == 0]
+            hot = hot[hot > 200]
+            bitmap[hot, col] = 1
+        return bitmap
+
+    def test_failing_columns_found(self):
+        assert failing_columns(self._structured_bitmap()) == [10, 40]
+
+    def test_gradient_positive_for_structured(self):
+        corr = row_gradient_correlation(self._structured_bitmap(), 512)
+        assert corr > 0.15
+
+    def test_gradient_zero_for_empty(self):
+        assert row_gradient_correlation(np.zeros((64, 8)), 64) == 0.0
+
+    def test_summary(self):
+        summary = summarize_bitmap(self._structured_bitmap(), 512)
+        assert summary.failing_cells > 0
+        assert summary.has_column_structure
+        assert summary.columns_per_subarray == (2,)
+
+    def test_render_produces_compact_ascii(self):
+        art = render_bitmap(self._structured_bitmap(), max_rows=16, max_cols=32)
+        lines = art.split("\n")
+        assert len(lines) <= 16
+        assert any("#" in line for line in lines)
+
+
+class TestAutocorrelation:
+    def test_independent_stream_near_zero(self, rng):
+        from repro.analysis.entropy import autocorrelation
+
+        bits = rng.integers(0, 2, 100_000)
+        assert abs(autocorrelation(bits, lag=1)) < 0.02
+
+    def test_alternating_stream_negative(self):
+        from repro.analysis.entropy import autocorrelation
+
+        assert autocorrelation(np.tile([0, 1], 1000), lag=1) < -0.9
+
+    def test_sticky_stream_positive(self, rng):
+        from repro.analysis.entropy import autocorrelation
+
+        flips = rng.random(50_000) < 0.1
+        bits = np.cumsum(flips) % 2
+        assert autocorrelation(bits, lag=1) > 0.5
+
+    def test_constant_stream_zero(self):
+        from repro.analysis.entropy import autocorrelation
+
+        assert autocorrelation(np.ones(1000), lag=1) == 0.0
+
+    def test_validation(self):
+        from repro.analysis.entropy import autocorrelation
+
+        with pytest.raises(ValueError):
+            autocorrelation([0, 1], lag=0)
+        with pytest.raises(ValueError):
+            autocorrelation([0, 1], lag=5)
+
+    def test_drange_cells_serially_independent(self, small_device):
+        from repro.analysis.entropy import autocorrelation
+        from repro.dram.datapattern import pattern_by_name
+
+        small_device.write_pattern(
+            pattern_by_name("solid0"), banks=[0], rows=range(512)
+        )
+        probs = small_device.row_failure_probabilities(0, 509, 10.0)
+        marginal = np.flatnonzero((probs > 0.45) & (probs < 0.55))
+        if marginal.size == 0:
+            pytest.skip("no marginal cell in this seed")
+        bits = small_device.sample_cell_bits(0, 509, int(marginal[0]), 50_000, 10.0)
+        assert abs(autocorrelation(bits, lag=1)) < 0.02
+
+
+class TestMinEntropyEstimators:
+    def test_mcv_near_one_for_fair_source(self, rng):
+        from repro.analysis.entropy import mcv_min_entropy
+
+        bits = rng.integers(0, 2, 200_000)
+        assert 0.97 < mcv_min_entropy(bits) <= 1.0
+
+    def test_mcv_penalizes_bias(self, rng):
+        from repro.analysis.entropy import mcv_min_entropy
+
+        biased = (rng.random(100_000) < 0.7).astype(np.uint8)
+        estimate = mcv_min_entropy(biased)
+        assert 0.4 < estimate < 0.6  # -log2(0.7) ≈ 0.515
+
+    def test_mcv_conservative(self, rng):
+        from repro.analysis.entropy import mcv_min_entropy, min_entropy
+
+        bits = rng.integers(0, 2, 50_000)
+        assert mcv_min_entropy(bits) <= min_entropy(bits) + 1e-9
+
+    def test_markov_catches_serial_correlation(self, rng):
+        from repro.analysis.entropy import markov_min_entropy, mcv_min_entropy
+
+        # Balanced marginals but sticky transitions.
+        flips = rng.random(100_000) < 0.2
+        sticky = (np.cumsum(flips) % 2).astype(np.uint8)
+        assert abs(sticky.mean() - 0.5) < 0.05
+        assert markov_min_entropy(sticky) < 0.45
+        # The memoryless estimator is fooled; the Markov one is not.
+        assert markov_min_entropy(sticky) < mcv_min_entropy(sticky) - 0.3
+
+    def test_markov_near_one_for_fair_source(self, rng):
+        from repro.analysis.entropy import markov_min_entropy
+
+        bits = rng.integers(0, 2, 200_000)
+        assert markov_min_entropy(bits) > 0.97
+
+    def test_validation(self):
+        from repro.analysis.entropy import markov_min_entropy, mcv_min_entropy
+
+        with pytest.raises(ValueError):
+            mcv_min_entropy([])
+        with pytest.raises(ValueError):
+            markov_min_entropy([1])
+
+    def test_drange_cells_assess_near_full_entropy(self, small_device):
+        from repro.analysis.entropy import markov_min_entropy, mcv_min_entropy
+        from repro.dram.datapattern import pattern_by_name
+
+        small_device.write_pattern(
+            pattern_by_name("solid0"), banks=[0], rows=range(512)
+        )
+        probs = small_device.row_failure_probabilities(0, 508, 10.0)
+        marginal = np.flatnonzero((probs > 0.48) & (probs < 0.52))
+        if marginal.size == 0:
+            pytest.skip("no deep-metastable cell in this seed")
+        bits = small_device.sample_cell_bits(0, 508, int(marginal[0]), 100_000, 10.0)
+        assert mcv_min_entropy(bits) > 0.97
+        assert markov_min_entropy(bits) > 0.97

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+All randomness in tests is seeded: devices use deterministic variation
+fields (they always do) *and* deterministic noise sources, so failures
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.device import DeviceFactory, DramDevice
+from repro.dram.geometry import DeviceGeometry
+from repro.noise import NoiseSource
+
+
+@pytest.fixture
+def noise() -> NoiseSource:
+    """A deterministic noise source."""
+    return NoiseSource(seed=12345)
+
+
+@pytest.fixture
+def factory() -> DeviceFactory:
+    """A deterministic device factory."""
+    return DeviceFactory(master_seed=2019, noise_seed=99)
+
+
+@pytest.fixture
+def small_geometry() -> DeviceGeometry:
+    """A small geometry that keeps command-level tests fast."""
+    return DeviceGeometry(
+        banks=2,
+        rows_per_bank=1024,
+        cols_per_row=256,
+        subarray_rows=512,
+        word_bits=64,
+    )
+
+
+@pytest.fixture
+def device(factory) -> DramDevice:
+    """A deterministic manufacturer-A device at default geometry."""
+    return factory.make_device("A", 0)
+
+
+@pytest.fixture
+def small_device(factory, small_geometry) -> DramDevice:
+    """A deterministic device with the small test geometry."""
+    return factory.make_device("A", 1, geometry=small_geometry)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded NumPy generator for synthetic test data."""
+    return np.random.default_rng(777)

@@ -1,0 +1,130 @@
+"""DRange facade and DRangeService integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.drange import DRange
+from repro.core.integration import DRangeService
+from repro.core.profiling import Region
+from repro.dram.device import DeviceFactory
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def drange():
+    device = DeviceFactory(master_seed=2019, noise_seed=23).make_device("B", 0)
+    instance = DRange(device)
+    cells = instance.prepare(
+        region=Region(banks=(0, 1, 2, 3), row_start=0, row_count=512),
+        iterations=100,
+    )
+    if not cells:
+        pytest.skip("no RNG cells identified for this seed")
+    return instance
+
+
+class TestFacade:
+    def test_pattern_defaults_to_manufacturer_best(self, drange):
+        # Vendor B → checkered 0s (Section 5.2).
+        assert drange.pattern.name == "checkered0"
+
+    def test_registry_populated_at_current_temperature(self, drange):
+        assert drange.registry.temperatures == (45.0,)
+        assert len(drange.registry) > 0
+
+    def test_plans_cover_multiple_banks(self, drange):
+        plans = drange.plans()
+        assert plans
+        assert len({p.bank for p in plans}) == len(plans)
+
+    def test_random_bits_and_bytes(self, drange):
+        bits = drange.random_bits(1000)
+        assert bits.size == 1000
+        data = drange.random_bytes(16)
+        assert len(data) == 16
+
+    def test_output_is_balanced(self, drange):
+        bits = drange.random_bits(50_000)
+        assert abs(bits.mean() - 0.5) < 0.03
+
+    def test_consecutive_outputs_differ(self, drange):
+        a = drange.random_bytes(32)
+        b = drange.random_bytes(32)
+        assert a != b
+
+    def test_throughput_model_available(self, drange):
+        estimate = drange.throughput_model().estimate(2)
+        assert estimate.throughput_mbps > 0
+
+
+class TestService:
+    def test_request_serves_bits(self, drange):
+        service = DRangeService(drange.sampler(), queue_bits=2048)
+        bits = service.request(100)
+        assert bits.size == 100
+        assert service.bits_served == 100
+
+    def test_queue_buffers_between_requests(self, drange):
+        service = DRangeService(
+            drange.sampler(), queue_bits=2048, refill_batch_bits=1024
+        )
+        service.request(10)
+        assert service.queue_level > 0
+
+    def test_request_bytes(self, drange):
+        service = DRangeService(drange.sampler())
+        assert len(service.request_bytes(8)) == 8
+
+    def test_large_request_exceeding_queue(self, drange):
+        service = DRangeService(
+            drange.sampler(), queue_bits=256, refill_batch_bits=128
+        )
+        bits = service.request(1000)
+        assert bits.size == 1000
+
+    def test_duty_cycle_scales_throughput(self, drange):
+        service = DRangeService(drange.sampler(), duty_cycle=0.25)
+        assert service.sustained_throughput_mbps(100.0) == 25.0
+        service.set_duty_cycle(0.5)
+        assert service.sustained_throughput_mbps(100.0) == 50.0
+
+    def test_validation(self, drange):
+        sampler = drange.sampler()
+        with pytest.raises(ConfigurationError):
+            DRangeService(sampler, queue_bits=0)
+        with pytest.raises(ConfigurationError):
+            DRangeService(sampler, duty_cycle=0.0)
+        service = DRangeService(sampler)
+        with pytest.raises(ConfigurationError):
+            service.request(0)
+
+
+class TestTemperatureRegistry:
+    def test_per_temperature_sets(self):
+        from repro.core.profiling import Region
+        from repro.dram.device import DeviceFactory
+        from repro.testbed.chamber import ThermalChamber
+
+        device = DeviceFactory(master_seed=2019, noise_seed=29).make_device("A", 3)
+        drange = DRange(device)
+        chamber = ThermalChamber()
+        chamber.add_device(device)
+        registry = drange.prepare_at_temperatures(
+            chamber,
+            (55.0, 65.0),
+            region=Region(banks=(0,), row_start=0, row_count=512),
+        )
+        # The chamber settles within ±0.25 °C of each target.
+        assert len(registry.temperatures) == 2
+        for measured, target in zip(registry.temperatures, (55.0, 65.0)):
+            assert abs(measured - target) <= 0.3
+        # The registry answers nearest-temperature queries; the device
+        # (still at 65 °C) selects the hotter set.
+        hot = registry.cells_at(device.temperature_c)
+        cold = registry.cells_at(55.0)
+        assert hot and cold
+        # Identified sets differ with temperature (cells move in and out
+        # of the metastable window).
+        assert {(c.bank, c.row, c.col) for c in hot} != {
+            (c.bank, c.row, c.col) for c in cold
+        }

@@ -1,0 +1,133 @@
+"""Failure-injection tests: what breaks the pipeline, and how it shows.
+
+The paper's design choices (per-temperature registries, write-back,
+exclusive row access) exist to defend against specific hazards; these
+tests inject each hazard and confirm (a) it really degrades output and
+(b) the corresponding defense restores it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.drange import DRange
+from repro.core.profiling import Region
+from repro.dram.device import DeviceFactory
+from repro.errors import ProtocolError
+from repro.memctrl.requests import MemRequest
+
+
+@pytest.fixture
+def prepared():
+    device = DeviceFactory(master_seed=2019, noise_seed=43).make_device("A", 0)
+    drange = DRange(device)
+    cells = drange.prepare(
+        region=Region(banks=(0, 1), row_start=0, row_count=512),
+        iterations=100,
+    )
+    if not cells:
+        pytest.skip("no RNG cells for this seed")
+    return drange
+
+
+class TestTemperatureDrift:
+    def test_drift_degrades_identified_cells(self, prepared):
+        """Sampling cells identified at 45°C after a big temperature jump
+        skews their statistics — the hazard Section 6.1's
+        per-temperature registry exists for."""
+        device = prepared.device
+        cells = prepared.registry.cells_at(45.0)
+        baseline_dev = []
+        drifted_dev = []
+        for cell in cells[:20]:
+            base = device.sample_cell_bits(cell.bank, cell.row, cell.col, 4000, 10.0)
+            baseline_dev.append(abs(base.mean() - 0.5))
+        device.set_temperature(70.0)
+        for cell in cells[:20]:
+            hot = device.sample_cell_bits(cell.bank, cell.row, cell.col, 4000, 10.0)
+            drifted_dev.append(abs(hot.mean() - 0.5))
+        device.set_temperature(45.0)
+        assert np.mean(drifted_dev) > np.mean(baseline_dev)
+
+    def test_reidentification_restores_quality(self, prepared):
+        device = prepared.device
+        device.set_temperature(70.0)
+        try:
+            cells = prepared.prepare(
+                region=Region(banks=(0, 1), row_start=0, row_count=512),
+                iterations=100,
+            )
+            if not cells:
+                pytest.skip("no RNG cells at 70C for this seed")
+            bits = prepared.random_bits(20_000)
+            assert abs(bits.mean() - 0.5) < 0.03
+        finally:
+            device.set_temperature(45.0)
+
+
+class TestRowProtection:
+    def test_application_write_to_rng_row_is_blocked(self, prepared):
+        """Exclusive access (Alg. 2 line 5): a concurrent application
+        write into a reserved row would perturb the data pattern; the
+        controller rejects it while sampling is configured."""
+        sampler = prepared.sampler()
+        sampler.setup()
+        try:
+            plan = sampler.plans[0]
+            hostile = MemRequest(
+                bank=plan.bank,
+                row=plan.word1.row,
+                word=0,
+                is_write=True,
+                data=np.ones(
+                    prepared.device.geometry.word_bits, dtype=np.uint8
+                ),
+            )
+            with pytest.raises(ProtocolError):
+                prepared.controller.service([hostile])
+        finally:
+            sampler.teardown()
+
+    def test_pattern_perturbation_changes_probabilities(self, prepared):
+        """Why the reservation matters: flipping the neighbors of an RNG
+        cell changes its failure probability (Section 5.2)."""
+        device = prepared.device
+        cells = prepared.registry.cells_at(45.0)
+        cell = cells[0]
+        bank = device.bank(cell.bank)
+        original_row = bank.stored_row(cell.row)
+        probs_before = device.row_failure_probabilities(
+            cell.bank, cell.row, 10.0
+        )
+        hostile = 1 - original_row
+        hostile[cell.col] = original_row[cell.col]  # keep the cell itself
+        bank.write_row(cell.row, hostile)
+        probs_after = device.row_failure_probabilities(cell.bank, cell.row, 10.0)
+        bank.write_row(cell.row, original_row)
+        assert probs_after[cell.col] != pytest.approx(
+            probs_before[cell.col], abs=1e-6
+        ) or not np.allclose(probs_before, probs_after)
+
+
+class TestAdversarialTiming:
+    def test_restoring_trcd_stops_entropy(self, prepared):
+        """With registers back at spec, the same cells read
+        deterministically — no covert entropy leak after teardown."""
+        device = prepared.device
+        cells = prepared.registry.cells_at(45.0)
+        cell = cells[0]
+        stored = device.bank(cell.bank).stored_row(cell.row)[cell.col]
+        reads = set()
+        for _ in range(20):
+            bits = device.probe_word(
+                cell.bank, cell.row,
+                cell.col // device.geometry.word_bits,
+                trcd_ns=device.timings.trcd_ns,
+            )
+            reads.add(int(bits[cell.col % device.geometry.word_bits]))
+        assert reads == {int(stored)}
+
+    def test_out_of_window_trcd_yields_no_band_cells(self, prepared):
+        """Above ~13-14 ns the failure window closes (Section 7.3)."""
+        device = prepared.device
+        probs = device.row_failure_probabilities(0, 500, 16.0)
+        assert ((probs > 0.4) & (probs < 0.6)).sum() == 0

@@ -1,0 +1,49 @@
+"""64-bit latency model tests (Section 7.3)."""
+
+import pytest
+
+from repro.core.latency import paper_scenarios, sixty_four_bit_latency
+from repro.dram.timing import LPDDR4_3200
+from repro.errors import ConfigurationError
+
+
+class TestScenarios:
+    def test_paper_ordering(self):
+        worst, mid, best = paper_scenarios(LPDDR4_3200)
+        assert worst.latency_ns > mid.latency_ns > best.latency_ns
+
+    def test_worst_case_is_serial(self):
+        worst = sixty_four_bit_latency(LPDDR4_3200, 10.0, 1, 1, 1)
+        # 64 strictly sequential closed-row accesses.
+        assert worst.latency_ns > 1000.0
+
+    def test_best_case_sub_microsecond(self):
+        best = sixty_four_bit_latency(LPDDR4_3200, 10.0, 4, 8, 4)
+        assert best.latency_ns < 500.0
+
+    def test_more_channels_never_slower(self):
+        one = sixty_four_bit_latency(LPDDR4_3200, 10.0, 1, 8, 1)
+        four = sixty_four_bit_latency(LPDDR4_3200, 10.0, 4, 8, 1)
+        assert four.latency_ns <= one.latency_ns
+
+    def test_more_bits_per_access_never_slower(self):
+        one = sixty_four_bit_latency(LPDDR4_3200, 10.0, 4, 8, 1)
+        four = sixty_four_bit_latency(LPDDR4_3200, 10.0, 4, 8, 4)
+        assert four.latency_ns <= one.latency_ns
+
+    def test_aggressive_precharge_speeds_up_serial_case(self):
+        relaxed = sixty_four_bit_latency(
+            LPDDR4_3200, 10.0, 1, 1, 1, aggressive_precharge=False
+        )
+        aggressive = sixty_four_bit_latency(
+            LPDDR4_3200, 10.0, 1, 1, 1, aggressive_precharge=True
+        )
+        assert aggressive.latency_ns < relaxed.latency_ns
+
+    def test_scenario_label(self):
+        estimate = sixty_four_bit_latency(LPDDR4_3200, 10.0, 4, 8, 4)
+        assert estimate.scenario == "4ch x 8bank, 4b/access"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sixty_four_bit_latency(LPDDR4_3200, 10.0, 0, 8, 1)

@@ -1,0 +1,61 @@
+"""Multi-channel D-RaNGe tests (the ×4-channel system configuration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multichannel import MultiChannelDRange
+from repro.core.profiling import Region
+from repro.dram.device import DeviceFactory
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def system():
+    factory = DeviceFactory(master_seed=2019, noise_seed=37)
+    devices = [factory.make_device("A", index) for index in range(2)]
+    instance = MultiChannelDRange(devices)
+    total = instance.prepare(
+        region=Region(banks=(0, 1), row_start=0, row_count=512),
+        iterations=100,
+    )
+    if total == 0:
+        pytest.skip("no RNG cells for this seed")
+    return instance
+
+
+class TestSystem:
+    def test_requires_devices(self):
+        with pytest.raises(ConfigurationError):
+            MultiChannelDRange([])
+
+    def test_bits_interleave_channels(self, system):
+        bits = system.random_bits(10_000)
+        assert bits.size == 10_000
+        assert abs(bits.mean() - 0.5) < 0.05
+
+    def test_bytes(self, system):
+        assert len(system.random_bytes(16)) == 16
+
+    def test_rejects_nonpositive(self, system):
+        with pytest.raises(ConfigurationError):
+            system.random_bits(0)
+
+    def test_system_throughput_sums_channels(self, system):
+        per_channel = [
+            channel.throughput_model()
+            .estimate(min(2, channel.throughput_model().available_banks))
+            .throughput_mbps
+            for channel in system.channels
+        ]
+        total = system.system_throughput_mbps(banks_per_channel=2)
+        assert total == pytest.approx(sum(per_channel), rel=1e-6)
+        assert total > max(per_channel)
+
+    def test_system_latency_beats_single_channel(self, system):
+        from repro.core.latency import sixty_four_bit_latency
+
+        multi = system.system_latency_64bit_ns(banks_per_channel=2)
+        one = sixty_four_bit_latency(
+            system.channels[0].device.timings, 10.0, 1, 2, 1
+        ).latency_ns
+        assert multi < one

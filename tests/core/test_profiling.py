@@ -1,0 +1,107 @@
+"""Algorithm 1 profiling tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiling import Region, profile_region
+from repro.dram.datapattern import pattern_by_name
+from repro.errors import ConfigurationError
+
+
+class TestRegion:
+    def test_rows_range(self):
+        region = Region(banks=(0,), row_start=100, row_count=50)
+        assert list(region.rows) == list(range(100, 150))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Region(banks=())
+        with pytest.raises(ConfigurationError):
+            Region(row_count=0)
+        with pytest.raises(ConfigurationError):
+            Region(row_start=-1)
+
+
+class TestProfileRegion:
+    def test_counts_shape(self, small_device):
+        region = Region(banks=(0, 1), row_start=0, row_count=64)
+        result = profile_region(
+            small_device, pattern_by_name("solid0"), region=region,
+            iterations=10,
+        )
+        assert result.counts.shape == (2, 64, small_device.geometry.cols_per_row)
+        assert result.pattern_name == "solid0"
+        assert result.iterations == 10
+
+    def test_counts_bounded_by_iterations(self, small_device):
+        region = Region(banks=(0,), row_start=448, row_count=64)
+        result = profile_region(
+            small_device, pattern_by_name("solid0"), region=region,
+            iterations=20,
+        )
+        assert result.counts.max() <= 20
+        assert result.counts.min() >= 0
+
+    def test_fail_probabilities(self, small_device):
+        region = Region(banks=(0,), row_start=448, row_count=64)
+        result = profile_region(
+            small_device, pattern_by_name("solid0"), region=region,
+            iterations=50,
+        )
+        probs = result.fail_probabilities
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_failing_cells_coordinates_valid(self, small_device):
+        region = Region(banks=(1,), row_start=384, row_count=128)
+        result = profile_region(
+            small_device, pattern_by_name("solid0"), region=region,
+            iterations=50,
+        )
+        cells = result.failing_cells()
+        if cells.size:
+            assert (cells[:, 0] == 1).all()
+            assert ((cells[:, 1] >= 384) & (cells[:, 1] < 512)).all()
+            assert (cells[:, 2] < small_device.geometry.cols_per_row).all()
+
+    def test_band_cells_subset_of_failing(self, small_device):
+        region = Region(banks=(0,), row_start=384, row_count=128)
+        result = profile_region(
+            small_device, pattern_by_name("solid0"), region=region,
+            iterations=100,
+        )
+        failing = {tuple(c) for c in result.failing_cells()}
+        band = {tuple(c) for c in result.cells_in_band()}
+        assert band <= failing
+
+    def test_region_bounds_checked(self, small_device):
+        region = Region(banks=(0,), row_start=1000, row_count=100)
+        with pytest.raises(ConfigurationError):
+            profile_region(small_device, pattern_by_name("solid0"), region=region)
+
+    def test_iterations_validated(self, small_device):
+        with pytest.raises(ConfigurationError):
+            profile_region(
+                small_device, pattern_by_name("solid0"),
+                region=Region(banks=(0,), row_count=16), iterations=0,
+            )
+
+    def test_command_level_matches_fast_path_statistically(self, small_device):
+        """The slow (per-command) and fast (binomial) paths agree."""
+        region = Region(banks=(0,), row_start=496, row_count=16)
+        fast = profile_region(
+            small_device, pattern_by_name("solid0"), region=region,
+            iterations=60,
+        )
+        slow = profile_region(
+            small_device, pattern_by_name("solid0"), region=region,
+            iterations=60, command_level=True,
+        )
+        fast_probs = fast.fail_probabilities
+        slow_probs = slow.fail_probabilities
+        hot = fast_probs > 0.2
+        if not hot.any():
+            pytest.skip("no failure-prone cells in this window")
+        assert abs(fast_probs[hot].mean() - slow_probs[hot].mean()) < 0.15
+        # Cells that never fail in one path essentially never fail in
+        # the other.
+        assert slow_probs[fast_probs == 0].mean() < 0.01

@@ -1,0 +1,101 @@
+"""Algorithm 2 sampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.drange import DRange
+from repro.core.profiling import Region
+from repro.core.sampler import DRangeSampler
+from repro.errors import ConfigurationError
+from repro.memctrl.controller import MemoryController
+
+
+@pytest.fixture(scope="module")
+def prepared_drange():
+    from repro.dram.device import DeviceFactory
+
+    device = DeviceFactory(master_seed=2019, noise_seed=17).make_device("A", 0)
+    drange = DRange(device)
+    cells = drange.prepare(
+        region=Region(banks=(0, 1, 2, 3), row_start=0, row_count=512),
+        iterations=100,
+    )
+    if not cells:
+        pytest.skip("no RNG cells identified for this seed")
+    return drange
+
+
+class TestSetupTeardown:
+    def test_setup_reserves_rows_and_reduces_trcd(self, prepared_drange):
+        sampler = prepared_drange.sampler()
+        controller = prepared_drange.controller
+        sampler.setup()
+        try:
+            assert controller.registers.trcd_is_reduced
+            assert controller.reserved_rows
+            # Chosen rows plus neighbors are reserved.
+            for plan in sampler.plans:
+                for bank, row in plan.reserved_rows:
+                    assert (bank, row) in controller.reserved_rows
+        finally:
+            sampler.teardown()
+        assert not controller.registers.trcd_is_reduced
+        assert not controller.reserved_rows
+
+    def test_rejects_non_reduced_trcd(self, prepared_drange):
+        with pytest.raises(ConfigurationError):
+            DRangeSampler(
+                prepared_drange.controller,
+                prepared_drange.plans(),
+                trcd_ns=18.0,
+            )
+
+
+class TestGeneration:
+    def test_generate_returns_requested_bits(self, prepared_drange):
+        bits = prepared_drange.sampler().generate(64)
+        assert bits.size == 64
+        assert np.isin(bits, (0, 1)).all()
+
+    def test_generate_fast_matches_request(self, prepared_drange):
+        bits = prepared_drange.sampler().generate_fast(5000)
+        assert bits.size == 5000
+
+    def test_fast_path_is_balanced(self, prepared_drange):
+        bits = prepared_drange.sampler().generate_fast(60_000)
+        assert abs(bits.mean() - 0.5) < 0.03
+
+    def test_slow_path_is_balanced(self, prepared_drange):
+        bits = prepared_drange.sampler().generate(400)
+        assert abs(float(bits.mean()) - 0.5) < 0.15
+
+    def test_rejects_nonpositive(self, prepared_drange):
+        sampler = prepared_drange.sampler()
+        with pytest.raises(ConfigurationError):
+            sampler.generate(0)
+        with pytest.raises(ConfigurationError):
+            sampler.generate_fast(-5)
+
+    def test_generate_restores_pattern(self, prepared_drange):
+        """Write-back keeps the stored pattern intact across a run."""
+        sampler = prepared_drange.sampler()
+        device = prepared_drange.device
+        plan = sampler.plans[0]
+        sampler.generate(128)
+        stored = device.bank(plan.bank).stored_row(plan.word1.row)
+        expected = sampler.pattern.row_values(
+            plan.word1.row, device.geometry.cols_per_row
+        )
+        assert (stored == expected).all()
+
+    def test_data_rate_property(self, prepared_drange):
+        sampler = prepared_drange.sampler()
+        assert sampler.data_rate_bits_per_iteration == sum(
+            p.data_rate_bits for p in sampler.plans
+        )
+
+    def test_timing_trace_grows_during_generate(self, prepared_drange):
+        controller = prepared_drange.controller
+        before = len(controller.engine.trace)
+        prepared_drange.sampler().generate(32)
+        assert len(controller.engine.trace) > before

@@ -1,0 +1,87 @@
+"""Word-selection tests (Algorithm 2 setup)."""
+
+import pytest
+
+from repro.core.identification import RngCell
+from repro.core.selection import BankPlan, WordChoice, require_plans, select_words
+from repro.dram.geometry import DeviceGeometry
+from repro.errors import IdentificationError
+
+
+def cell(bank, row, col):
+    return RngCell(bank=bank, row=row, col=col, entropy=1.0, fail_probability=0.5)
+
+
+@pytest.fixture
+def geometry():
+    return DeviceGeometry(
+        banks=4, rows_per_bank=1024, cols_per_row=512, subarray_rows=512,
+        word_bits=64,
+    )
+
+
+class TestSelectWords:
+    def test_picks_densest_words_in_distinct_rows(self, geometry):
+        cells = [
+            # Word (row 10, word 0) with 3 cells — densest.
+            cell(0, 10, 0), cell(0, 10, 5), cell(0, 10, 60),
+            # Word (row 10, word 1) with 2 cells — same row, must skip.
+            cell(0, 10, 64), cell(0, 10, 70),
+            # Word (row 20, word 0) with 1 cell — second choice.
+            cell(0, 20, 0),
+        ]
+        plans = select_words(cells, geometry)
+        assert len(plans) == 1
+        plan = plans[0]
+        assert plan.word1.row == 10 and plan.word1.data_rate_bits == 3
+        assert plan.word2.row == 20 and plan.word2.data_rate_bits == 1
+        assert plan.data_rate_bits == 4
+
+    def test_bank_without_two_rows_skipped(self, geometry):
+        cells = [cell(1, 5, 0), cell(1, 5, 64)]  # one row only
+        assert select_words(cells, geometry) == []
+
+    def test_multiple_banks(self, geometry):
+        cells = [
+            cell(0, 1, 0), cell(0, 2, 0),
+            cell(2, 7, 0), cell(2, 9, 0), cell(2, 9, 1),
+        ]
+        plans = select_words(cells, geometry)
+        assert [p.bank for p in plans] == [0, 2]
+        assert plans[1].word1.data_rate_bits == 2
+
+    def test_banks_filter(self, geometry):
+        cells = [cell(0, 1, 0), cell(0, 2, 0), cell(1, 1, 0), cell(1, 2, 0)]
+        plans = select_words(cells, geometry, banks=[1])
+        assert [p.bank for p in plans] == [1]
+
+
+class TestBankPlan:
+    def test_rejects_same_row(self, geometry):
+        w1 = WordChoice(0, 5, 0, (cell(0, 5, 0),))
+        w2 = WordChoice(0, 5, 1, (cell(0, 5, 64),))
+        with pytest.raises(ValueError):
+            BankPlan(w1, w2)
+
+    def test_rejects_cross_bank(self):
+        w1 = WordChoice(0, 5, 0, (cell(0, 5, 0),))
+        w2 = WordChoice(1, 6, 0, (cell(1, 6, 0),))
+        with pytest.raises(ValueError):
+            BankPlan(w1, w2)
+
+    def test_reserved_rows(self):
+        w1 = WordChoice(2, 5, 0, (cell(2, 5, 0),))
+        w2 = WordChoice(2, 9, 0, (cell(2, 9, 0),))
+        plan = BankPlan(w1, w2)
+        assert plan.reserved_rows == ((2, 5), (2, 9))
+        assert plan.bank == 2
+
+
+class TestRequirePlans:
+    def test_passes_through_nonempty(self, geometry):
+        plans = select_words([cell(0, 1, 0), cell(0, 2, 0)], geometry)
+        assert require_plans(plans) is plans
+
+    def test_raises_on_empty(self):
+        with pytest.raises(IdentificationError):
+            require_plans([])

@@ -1,0 +1,124 @@
+"""Throughput model tests (Equation 1 / Figure 8)."""
+
+import pytest
+
+from repro.core.identification import RngCell
+from repro.core.selection import select_words
+from repro.core.throughput import ThroughputModel, alg2_iteration_time_ns
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.timing import DDR3_1600, LPDDR4_3200
+from repro.errors import ConfigurationError
+
+
+def _plans(geometry, rates):
+    """Build one plan per bank with the requested data rates (2 words)."""
+    cells = []
+    for bank, rate in enumerate(rates):
+        first = rate // 2 + rate % 2
+        for i in range(first):
+            cells.append(RngCell(bank, 1, i, 1.0, 0.5))
+        for i in range(rate - first):
+            cells.append(RngCell(bank, 2, i, 1.0, 0.5))
+        if rate - first == 0:  # need the second row populated
+            cells.append(RngCell(bank, 2, 63, 1.0, 0.5))
+    return select_words(cells, geometry)
+
+
+@pytest.fixture
+def geometry():
+    return DeviceGeometry(
+        banks=8, rows_per_bank=1024, cols_per_row=512, subarray_rows=512,
+        word_bits=64,
+    )
+
+
+class TestIterationTime:
+    def test_positive_and_stable(self):
+        t = alg2_iteration_time_ns(LPDDR4_3200, 1, 10.0)
+        assert t > 0
+        assert alg2_iteration_time_ns(LPDDR4_3200, 1, 10.0) == t
+
+    def test_grows_with_banks(self):
+        t1 = alg2_iteration_time_ns(LPDDR4_3200, 1, 10.0)
+        t8 = alg2_iteration_time_ns(LPDDR4_3200, 8, 10.0)
+        assert t8 > t1
+        # But sub-linearly: 8 banks' work overlaps.
+        assert t8 < 4 * t1
+
+    def test_bounded_below_by_row_cycle(self):
+        # Two row cycles per iteration per bank can't beat 2*tRC.
+        t = alg2_iteration_time_ns(LPDDR4_3200, 1, 10.0)
+        assert t >= 2 * LPDDR4_3200.trc_ns
+
+    def test_ddr3_slower_clock_still_works(self):
+        assert alg2_iteration_time_ns(DDR3_1600, 8, 8.0) > 0
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ConfigurationError):
+            alg2_iteration_time_ns(LPDDR4_3200, 0, 10.0)
+
+
+class TestThroughputModel:
+    def test_equation_one(self, geometry):
+        plans = _plans(geometry, [4] * 8)
+        model = ThroughputModel(plans, LPDDR4_3200, trcd_ns=10.0)
+        estimate = model.estimate(8)
+        expected = estimate.data_rate_bits / estimate.iteration_ns * 1e3
+        assert estimate.throughput_mbps == pytest.approx(expected)
+
+    def test_best_banks_chosen_first(self, geometry):
+        plans = _plans(geometry, [2, 8, 4, 2, 2, 2, 2, 2])
+        model = ThroughputModel(plans, LPDDR4_3200)
+        best = model.best_plans(2)
+        assert [p.data_rate_bits for p in best] == [8, 4]
+
+    def test_throughput_increases_with_banks(self, geometry):
+        plans = _plans(geometry, [4] * 8)
+        model = ThroughputModel(plans, LPDDR4_3200)
+        sweep = model.sweep(8)
+        rates = [e.throughput_mbps for e in sweep]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_eight_banks_in_paper_range(self, geometry):
+        # Paper: 40-180 Mb/s per channel at 8 banks depending on density.
+        plans = _plans(geometry, [4] * 8)
+        estimate = ThroughputModel(plans, LPDDR4_3200).estimate(8)
+        assert 40.0 < estimate.throughput_mbps < 200.0
+
+    def test_best_case_approaches_paper_maximum(self, geometry):
+        # 8 RNG cells per bank (the paper's densest devices) → ~179 Mb/s.
+        plans = _plans(geometry, [8] * 8)
+        estimate = ThroughputModel(plans, LPDDR4_3200).estimate(8)
+        assert 140.0 < estimate.throughput_mbps < 220.0
+
+    def test_channel_scaling(self):
+        assert ThroughputModel.channel_scaled_mbps(100.0, 4) == 400.0
+        with pytest.raises(ConfigurationError):
+            ThroughputModel.channel_scaled_mbps(100.0, 0)
+
+    def test_sweep_limited_by_available_banks(self, geometry):
+        plans = _plans(geometry, [4, 4])
+        model = ThroughputModel(plans, LPDDR4_3200)
+        assert model.available_banks == 2
+        assert len(model.sweep(8)) == 2
+
+    def test_zero_rate_estimate(self):
+        model = ThroughputModel([], LPDDR4_3200)
+        estimate = model.estimate(4)
+        assert estimate.throughput_mbps == 0.0
+
+
+class TestRefreshOverhead:
+    def test_factor_matches_spec_ratio(self):
+        from repro.core.throughput import refresh_overhead_factor
+
+        factor = refresh_overhead_factor(LPDDR4_3200)
+        assert factor == pytest.approx(1.0 - 180.0 / 3904.0)
+
+    def test_including_refresh_slows_iterations(self):
+        base = alg2_iteration_time_ns(LPDDR4_3200, 4, 10.0)
+        with_ref = alg2_iteration_time_ns(
+            LPDDR4_3200, 4, 10.0, include_refresh=True
+        )
+        assert with_ref > base
+        assert with_ref / base == pytest.approx(3904.0 / (3904.0 - 180.0))

@@ -1,0 +1,159 @@
+"""Bank protocol and failure-semantics tests."""
+
+import numpy as np
+import pytest
+
+from repro.dram.failures import OperatingPoint
+from repro.errors import ProtocolError
+
+
+@pytest.fixture
+def bank(small_device):
+    return small_device.bank(0)
+
+
+class TestProtocol:
+    def test_read_requires_open_row(self, bank):
+        with pytest.raises(ProtocolError):
+            bank.read(0)
+
+    def test_write_requires_open_row(self, bank):
+        with pytest.raises(ProtocolError):
+            bank.write(0, np.zeros(64, dtype=np.uint8))
+
+    def test_double_activate_rejected(self, bank):
+        bank.activate(5)
+        with pytest.raises(ProtocolError):
+            bank.activate(6)
+
+    def test_precharge_is_idempotent(self, bank):
+        bank.precharge()
+        bank.precharge()
+        assert bank.open_row is None
+
+    def test_activate_then_precharge(self, bank):
+        bank.activate(3)
+        assert bank.open_row == 3
+        bank.precharge()
+        assert bank.open_row is None
+
+    def test_refresh_requires_closed_bank(self, bank):
+        bank.activate(1)
+        with pytest.raises(ProtocolError):
+            bank.refresh_row(1)
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self, bank):
+        bank.activate(2)
+        data = np.tile([1, 0], 32).astype(np.uint8)
+        bank.write(1, data)
+        assert (bank.read(1) == data).all()
+
+    def test_write_rejects_bad_shape(self, bank):
+        bank.activate(0)
+        with pytest.raises(ValueError):
+            bank.write(0, np.zeros(63, dtype=np.uint8))
+
+    def test_write_rejects_non_binary(self, bank):
+        bank.activate(0)
+        with pytest.raises(ValueError):
+            bank.write(0, np.full(64, 7, dtype=np.uint8))
+
+    def test_write_row_replaces_contents(self, bank, small_geometry):
+        bits = np.ones(small_geometry.cols_per_row, dtype=np.uint8)
+        bank.write_row(9, bits)
+        assert (bank.stored_row(9) == 1).all()
+
+    def test_unwritten_row_powers_up_lazily(self, bank):
+        row = bank.stored_row(100)
+        assert np.isin(row, (0, 1)).all()
+        # Once latched, the contents are pinned.
+        assert (bank.stored_row(100) == row).all()
+
+
+class TestFailureSemantics:
+    def _write_zeros(self, bank, row, geometry):
+        bank.write_row(row, np.zeros(geometry.cols_per_row, dtype=np.uint8))
+
+    def test_spec_read_is_always_correct(self, bank, small_geometry):
+        self._write_zeros(bank, 600, small_geometry)
+        bank.activate(600, trcd_ns=18.0)
+        got = bank.read(0, op=OperatingPoint(trcd_ns=18.0))
+        assert (got == 0).all()
+
+    def test_reduced_read_flips_bits_somewhere(self, small_device):
+        # Scan the top of the subarray, where failures are dense.
+        geometry = small_device.geometry
+        bank = small_device.bank(0)
+        flips = 0
+        for row in range(480, 512):
+            self_rows = np.zeros(geometry.cols_per_row, dtype=np.uint8)
+            bank.write_row(row, self_rows)
+            for _ in range(5):
+                got = small_device.probe_word(0, row, 0, trcd_ns=8.0)
+                flips += int(got.sum())
+        assert flips > 0
+
+    def test_only_first_access_after_act_fails(self, small_device):
+        geometry = small_device.geometry
+        bank = small_device.bank(0)
+        row = 511
+        bank.write_row(row, np.zeros(geometry.cols_per_row, dtype=np.uint8))
+        op = OperatingPoint(trcd_ns=6.0)
+        bank.activate(row, trcd_ns=6.0)
+        bank.read(0, op=op)  # first access: may fail
+        for word in range(1, geometry.words_per_row):
+            assert (bank.read(word, op=op) == 0).all()
+        bank.precharge()
+
+    def test_no_corruption_by_default(self, small_device):
+        geometry = small_device.geometry
+        bank = small_device.bank(1)
+        row = 510
+        bank.write_row(row, np.zeros(geometry.cols_per_row, dtype=np.uint8))
+        for _ in range(10):
+            small_device.probe_word(1, row, 0, trcd_ns=6.0)
+        assert (bank.stored_row(row) == 0).all()
+
+    def test_corrupt_on_failure_flag(self, factory, small_geometry):
+        device = factory.make_device("A", 2, geometry=small_geometry,
+                                     corrupt_on_failure=True)
+        bank = device.bank(0)
+        geometry = device.geometry
+        corrupted = False
+        for row in range(440, 512):
+            bank.write_row(row, np.zeros(geometry.cols_per_row, dtype=np.uint8))
+            for _ in range(10):
+                device.probe_word(0, row, 0, trcd_ns=6.0)
+            if bank.stored_row(row).any():
+                corrupted = True
+                break
+        assert corrupted
+
+    def test_act_trcd_override_governs_read(self, small_device):
+        # ACT carrying a reduced tRCD makes even an op-less read
+        # failure-eligible via the recorded override.
+        geometry = small_device.geometry
+        bank = small_device.bank(0)
+        row = 509
+        bank.write_row(row, np.zeros(geometry.cols_per_row, dtype=np.uint8))
+        flipped = 0
+        for _ in range(20):
+            bank.activate(row, trcd_ns=6.0)
+            flipped += int(bank.read(0).sum())
+            bank.precharge()
+        assert flipped > 0
+
+
+class TestPowerCycle:
+    def test_power_cycle_discards_writes(self, bank, small_geometry):
+        bank.write_row(4, np.ones(small_geometry.cols_per_row, dtype=np.uint8))
+        bank.power_cycle()
+        # Startup values are mostly process-determined, not all ones.
+        assert not (bank.stored_row(4) == 1).all()
+
+    def test_power_cycle_closes_row(self, bank):
+        bank.activate(0)
+        bank.power_cycle()
+        assert bank.open_row is None

@@ -1,0 +1,83 @@
+"""Analytic cell electrical-model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram import cell
+
+
+class TestEffectiveSenseTime:
+    def test_subtracts_charge_sharing(self):
+        assert cell.effective_sense_time(10.0, 3.0) == pytest.approx(7.0)
+
+    def test_floors_at_minimum(self):
+        assert cell.effective_sense_time(2.0, 3.0) == cell.MIN_SENSE_TIME_NS
+
+
+class TestBitlineDevelopment:
+    def test_monotone_in_time(self):
+        times = np.linspace(0.1, 30.0, 50)
+        dev = cell.bitline_development(times, 5.0)
+        assert (np.diff(dev) > 0).all()
+
+    def test_monotone_decreasing_in_tau(self):
+        taus = np.linspace(1.0, 20.0, 50)
+        dev = cell.bitline_development(7.0, taus)
+        assert (np.diff(dev) < 0).all()
+
+    def test_bounded(self):
+        dev = cell.bitline_development(np.linspace(0, 100, 100), 2.0)
+        assert (dev >= 0).all() and (dev <= 1).all()
+
+    def test_known_value(self):
+        # 1 - exp(-1) at t == tau.
+        assert cell.bitline_development(5.0, 5.0) == pytest.approx(
+            1 - np.exp(-1)
+        )
+
+    def test_zero_time_no_development(self):
+        assert cell.bitline_development(0.0, 5.0) == pytest.approx(0.0)
+
+
+class TestFailureProbability:
+    def test_half_at_zero_margin_deficit(self):
+        assert cell.failure_probability(0.6, 0.6, 0.05) == pytest.approx(0.5)
+
+    def test_safe_cell_rarely_fails(self):
+        assert cell.failure_probability(0.5, 0.9, 0.05) < 1e-6
+
+    def test_hopeless_cell_always_fails(self):
+        assert cell.failure_probability(0.9, 0.5, 0.05) > 1 - 1e-6
+
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ValueError):
+            cell.failure_probability(0.5, 0.5, 0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=1e-3, max_value=0.5),
+    )
+    def test_always_a_probability(self, margin, development, sigma):
+        p = cell.failure_probability(margin, development, sigma)
+        assert 0.0 <= p <= 1.0
+
+    def test_more_development_means_fewer_failures(self):
+        developments = np.linspace(0.0, 1.0, 20)
+        probs = cell.failure_probability(0.5, developments, 0.05)
+        assert (np.diff(probs) <= 0).all()
+
+
+class TestShannonEntropyBernoulli:
+    def test_peak_at_half(self):
+        assert cell.shannon_entropy_bernoulli(0.5) == pytest.approx(1.0)
+
+    def test_zero_at_extremes(self):
+        assert cell.shannon_entropy_bernoulli(np.array([0.0, 1.0])).tolist() == [0, 0]
+
+    def test_symmetric(self):
+        assert cell.shannon_entropy_bernoulli(0.3) == pytest.approx(
+            cell.shannon_entropy_bernoulli(0.7)
+        )

@@ -1,0 +1,43 @@
+"""DRAM command record tests."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandKind
+
+
+class TestConstructors:
+    def test_act(self):
+        cmd = Command.act(2, 100, issue_ns=5.0)
+        assert cmd.kind is CommandKind.ACT
+        assert (cmd.bank, cmd.row, cmd.issue_ns) == (2, 100, 5.0)
+
+    def test_read_carries_trcd_override(self):
+        cmd = Command.read(1, 4, trcd_override_ns=10.0)
+        assert cmd.trcd_override_ns == 10.0
+
+    def test_write_carries_data(self):
+        cmd = Command.write(0, 2, (1, 0, 1))
+        assert cmd.data == (1, 0, 1)
+
+    def test_pre_and_ref(self):
+        assert Command.pre(3).kind is CommandKind.PRE
+        assert Command.ref().bank is None
+
+
+class TestValidation:
+    def test_act_requires_row(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.ACT, bank=0)
+
+    def test_read_requires_word(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.READ, bank=0)
+
+    def test_bank_commands_require_bank(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.PRE)
+
+    def test_data_excluded_from_equality(self):
+        a = Command.write(0, 0, (1, 1))
+        b = Command.write(0, 0, (0, 0))
+        assert a == b  # data is a payload, not an identity field

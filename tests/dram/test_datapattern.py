@@ -1,0 +1,114 @@
+"""Data-pattern library tests (the 40 patterns of Section 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram import datapattern as dp
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_exactly_forty_patterns(self):
+        assert len(dp.all_characterization_patterns()) == 40
+
+    def test_names_are_unique(self):
+        names = [p.name for p in dp.all_characterization_patterns()]
+        assert len(set(names)) == 40
+
+    def test_lookup_by_name(self):
+        assert dp.pattern_by_name("solid0").name == "solid0"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            dp.pattern_by_name("nonsense")
+
+    def test_best_rng_patterns_match_paper(self):
+        # Section 5.2: solid 0s for A and C, checkered 0s for B.
+        assert dp.BEST_RNG_PATTERN == {
+            "A": "solid0", "B": "checkered0", "C": "solid0",
+        }
+
+    def test_best_patterns_exist_in_registry(self):
+        for name in dp.BEST_RNG_PATTERN.values():
+            dp.pattern_by_name(name)
+
+
+class TestSolid:
+    def test_solid_values(self):
+        assert (dp.solid(1).grid(4, 8) == 1).all()
+        assert (dp.solid(0).grid(4, 8) == 0).all()
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            dp.solid(2)
+
+
+class TestCheckered:
+    def test_alternates_both_axes(self):
+        grid = dp.checkered(0).grid(4, 4)
+        assert grid[0, 0] == 1
+        assert (grid[0] == [1, 0, 1, 0]).all()
+        assert (grid[:, 0] == [1, 0, 1, 0]).all()
+
+    def test_checkered0_is_inverse_of_checkered1(self):
+        a = dp.checkered(0).grid(6, 6)
+        b = dp.checkered(1).grid(6, 6)
+        assert ((a + b) == 1).all()
+
+
+class TestStripes:
+    def test_row_stripe_constant_within_row(self):
+        grid = dp.row_stripe(0).grid(4, 8)
+        for r in range(4):
+            assert len(np.unique(grid[r])) == 1
+        assert grid[0, 0] == 1 and grid[1, 0] == 0
+
+    def test_col_stripe_constant_within_col(self):
+        grid = dp.col_stripe(0).grid(4, 8)
+        for c in range(8):
+            assert len(np.unique(grid[:, c])) == 1
+        assert grid[0, 0] == 1 and grid[0, 1] == 0
+
+
+class TestWalking:
+    def test_walking1_density(self):
+        grid = dp.walking(3, 1).grid(2, 32)
+        # Exactly one 1 per 16-bit unit.
+        assert grid.sum() == 2 * 2
+        assert (grid[:, 3] == 1).all() and (grid[:, 19] == 1).all()
+
+    def test_walking0_is_inverse(self):
+        ones = dp.walking(5, 1).grid(3, 48)
+        zeros = dp.walking(5, 0).grid(3, 48)
+        assert ((ones + zeros) == 1).all()
+
+    def test_shift_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            dp.walking(16, 1)
+
+    @given(st.integers(0, 15))
+    def test_each_shift_has_one_bit_per_unit(self, shift):
+        row = dp.walking(shift, 1).row_values(0, 64)
+        assert row.reshape(4, 16).sum(axis=1).tolist() == [1, 1, 1, 1]
+
+
+class TestInverse:
+    def test_inverse_flips_every_bit(self):
+        pattern = dp.checkered(0)
+        assert ((pattern.grid(5, 5) + pattern.inverse().grid(5, 5)) == 1).all()
+
+    def test_double_inverse_identity(self):
+        pattern = dp.solid(1)
+        double = pattern.inverse().inverse()
+        assert (double.grid(3, 3) == pattern.grid(3, 3)).all()
+        assert double.name == pattern.name
+
+    def test_values_are_binary_for_all_patterns(self):
+        rows = np.arange(8)[:, None]
+        cols = np.arange(32)[None, :]
+        for pattern in dp.all_characterization_patterns():
+            values = pattern.values(rows, cols)
+            assert values.dtype == np.uint8
+            assert np.isin(values, (0, 1)).all(), pattern.name

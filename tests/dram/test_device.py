@@ -1,0 +1,120 @@
+"""DramDevice and DeviceFactory tests."""
+
+import numpy as np
+import pytest
+
+from repro.dram.datapattern import pattern_by_name
+from repro.dram.device import DeviceFactory, DramDevice
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.timing import DDR3_1600
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_geometry_follows_manufacturer_subarray(self, factory):
+        assert factory.make_device("A").geometry.subarray_rows == 512
+        assert factory.make_device("C").geometry.subarray_rows == 1024
+
+    def test_geometry_override_coerced_to_profile(self, factory):
+        geometry = DeviceGeometry(subarray_rows=512)
+        device = factory.make_device("C", geometry=geometry)
+        assert device.geometry.subarray_rows == 1024
+
+    def test_serial_includes_manufacturer(self, factory):
+        assert factory.make_device("B", 7).serial == "B-00007"
+
+    def test_temperature_default_and_bounds(self, device):
+        assert device.temperature_c == 45.0
+        device.set_temperature(70.0)
+        assert device.temperature_c == 70.0
+        with pytest.raises(ConfigurationError):
+            device.set_temperature(300.0)
+
+
+class TestCharacterizationFastPaths:
+    def test_row_probabilities_shape_and_range(self, small_device):
+        small_device.write_pattern(
+            pattern_by_name("solid0"), banks=[0], rows=range(512)
+        )
+        probs = small_device.row_failure_probabilities(0, 500, 10.0)
+        assert probs.shape == (small_device.geometry.cols_per_row,)
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_fail_counts_match_probabilities(self, small_device):
+        small_device.write_pattern(
+            pattern_by_name("solid0"), banks=[0], rows=range(512)
+        )
+        probs = small_device.row_failure_probabilities(0, 505, 10.0)
+        counts = small_device.sample_row_fail_counts(0, 505, 10.0, 200)
+        # Counts are binomial draws of the analytic probabilities.
+        hot = probs > 0.3
+        if hot.any():
+            assert abs(counts[hot].mean() / 200 - probs[hot].mean()) < 0.1
+        assert (counts[probs < 1e-6] == 0).all()
+
+    def test_sample_cell_bits_statistics(self, small_device):
+        small_device.write_pattern(
+            pattern_by_name("solid0"), banks=[0], rows=range(512)
+        )
+        probs = small_device.row_failure_probabilities(0, 508, 10.0)
+        marginal = np.flatnonzero((probs > 0.35) & (probs < 0.65))
+        if marginal.size == 0:
+            pytest.skip("no marginal cell in this seed's region")
+        col = int(marginal[0])
+        bits = small_device.sample_cell_bits(0, 508, col, 2000, 10.0)
+        # Stored bit is 0, so ones are failures.
+        assert abs(bits.mean() - probs[col]) < 0.05
+
+    def test_probe_word_matches_statistics(self, small_device):
+        geometry = small_device.geometry
+        small_device.write_pattern(
+            pattern_by_name("solid0"), banks=[0], rows=range(512)
+        )
+        probs = small_device.row_failure_probabilities(0, 511, 10.0)
+        word_probs = probs[: geometry.word_bits]
+        trials = 200
+        fails = np.zeros(geometry.word_bits)
+        for _ in range(trials):
+            fails += small_device.probe_word(0, 511, 0, 10.0)
+        hot = word_probs > 0.2
+        if hot.any():
+            assert abs((fails[hot] / trials).mean() - word_probs[hot].mean()) < 0.12
+
+
+class TestFactory:
+    def test_same_index_same_silicon(self):
+        a = DeviceFactory(master_seed=1).make_device("A", 3)
+        b = DeviceFactory(master_seed=1).make_device("A", 3)
+        assert a.variation.device_seed == b.variation.device_seed
+
+    def test_different_indices_differ(self, factory):
+        assert (
+            factory.make_device("A", 0).variation.device_seed
+            != factory.make_device("A", 1).variation.device_seed
+        )
+
+    def test_different_manufacturers_differ(self, factory):
+        assert (
+            factory.make_device("A", 0).variation.device_seed
+            != factory.make_device("B", 0).variation.device_seed
+        )
+
+    def test_population_is_balanced(self, factory):
+        population = factory.population(2)
+        assert len(population) == 6
+        labels = [d.profile.name for d in population]
+        assert labels.count("A") == labels.count("B") == labels.count("C") == 2
+
+    def test_population_rejects_nonpositive(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory.population(0)
+
+    def test_ddr3_factory(self):
+        factory = DeviceFactory(timings=DDR3_1600)
+        device = factory.make_device("A", 0)
+        assert device.timings.name == "DDR3-1600"
+
+    def test_explicit_device_seed_constructor(self):
+        device = DramDevice(device_seed=12345, manufacturer="B")
+        assert device.variation.device_seed == 12345
+        assert device.profile.name == "B"

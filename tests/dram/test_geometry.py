@@ -1,0 +1,111 @@
+"""DeviceGeometry address-arithmetic tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.geometry import CellCoord, DeviceGeometry
+from repro.errors import AddressError, ConfigurationError
+
+
+@pytest.fixture
+def geometry():
+    return DeviceGeometry(
+        banks=4, rows_per_bank=2048, cols_per_row=512, subarray_rows=512,
+        word_bits=64,
+    )
+
+
+class TestConstruction:
+    def test_defaults_are_paper_shaped(self):
+        g = DeviceGeometry()
+        assert g.banks == 8
+        assert g.word_bits == 512  # 64-byte DRAM words
+        assert g.subarray_rows in (512, 1024)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"banks": 0},
+            {"rows_per_bank": -1},
+            {"cols_per_row": 0},
+            {"word_bits": 0},
+            {"cols_per_row": 100, "word_bits": 64},  # not a multiple
+            {"rows_per_bank": 1000, "subarray_rows": 512},  # not a multiple
+        ],
+    )
+    def test_rejects_inconsistent_geometry(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeviceGeometry(**kwargs)
+
+
+class TestDerivedQuantities:
+    def test_words_per_row(self, geometry):
+        assert geometry.words_per_row == 8
+
+    def test_words_per_bank(self, geometry):
+        assert geometry.words_per_bank == 8 * 2048
+
+    def test_subarrays_per_bank(self, geometry):
+        assert geometry.subarrays_per_bank == 4
+
+    def test_cells_per_device(self, geometry):
+        assert geometry.cells_per_device == 4 * 2048 * 512
+
+
+class TestSubarrayMapping:
+    def test_subarray_of(self, geometry):
+        assert geometry.subarray_of(0) == 0
+        assert geometry.subarray_of(511) == 0
+        assert geometry.subarray_of(512) == 1
+
+    def test_row_within_subarray(self, geometry):
+        assert geometry.row_within_subarray(512) == 0
+        assert geometry.row_within_subarray(1023) == 511
+
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_mapping_roundtrip(self, row):
+        g = DeviceGeometry(
+            banks=4, rows_per_bank=2048, cols_per_row=512,
+            subarray_rows=512, word_bits=64,
+        )
+        assert (
+            g.subarray_of(row) * g.subarray_rows + g.row_within_subarray(row)
+            == row
+        )
+
+
+class TestValidation:
+    def test_validate_accepts_interior(self, geometry):
+        geometry.validate(CellCoord(bank=3, row=2047, col=511))
+
+    @pytest.mark.parametrize(
+        "coord",
+        [
+            CellCoord(4, 0, 0),
+            CellCoord(0, 2048, 0),
+            CellCoord(0, 0, 512),
+            CellCoord(-1, 0, 0),
+        ],
+    )
+    def test_validate_rejects_out_of_range(self, geometry, coord):
+        with pytest.raises(AddressError):
+            geometry.validate(coord)
+
+    def test_validate_word(self, geometry):
+        geometry.validate_word(7)
+        with pytest.raises(AddressError):
+            geometry.validate_word(8)
+
+
+class TestWordMapping:
+    def test_word_cols_cover_row_exactly(self, geometry):
+        seen = []
+        for word in range(geometry.words_per_row):
+            seen.extend(geometry.word_cols(word))
+        assert seen == list(range(geometry.cols_per_row))
+
+    def test_cell_coord_word_index(self):
+        coord = CellCoord(bank=0, row=0, col=130)
+        assert coord.word_index(64) == 2
+        assert coord.bit_in_word(64) == 2

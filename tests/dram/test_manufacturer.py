@@ -1,0 +1,86 @@
+"""Manufacturer profile tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.manufacturer import (
+    MANUFACTURERS,
+    Manufacturer,
+    ManufacturerProfile,
+    PROFILE_A,
+    PROFILE_B,
+    PROFILE_C,
+    profile_for,
+)
+from repro.errors import ConfigurationError
+
+
+class TestProfiles:
+    def test_three_vendors(self):
+        assert set(MANUFACTURERS) == {
+            Manufacturer.A, Manufacturer.B, Manufacturer.C,
+        }
+
+    def test_subarray_heights_match_paper_footnote(self):
+        # Footnote 2: subarrays have 512 or 1024 rows by manufacturer.
+        heights = {p.subarray_rows for p in MANUFACTURERS.values()}
+        assert heights == {512, 1024}
+        assert PROFILE_C.subarray_rows == 1024
+
+    def test_b_has_strongest_coupling(self):
+        # Checkered patterns surface B's RNG cells (Section 5.2).
+        assert PROFILE_B.neigh_coeff > PROFILE_A.neigh_coeff
+        assert PROFILE_B.neigh_coeff > PROFILE_C.neigh_coeff
+
+    def test_a_has_tightest_temperature_behavior(self):
+        # Figure 6: A hugs the x=y line.
+        assert PROFILE_A.temp_coeff_per_c < PROFILE_B.temp_coeff_per_c
+        assert PROFILE_A.temp_sens_sigma < PROFILE_B.temp_sens_sigma
+
+    def test_c_severe_cells_skew_weak1(self):
+        # Walking 0s covers C's severe failures (Section 5.2).
+        assert PROFILE_C.severe_weak1_prob > 0.5
+        assert PROFILE_C.marginal_weak1_prob < 0.5
+
+
+class TestProfileFor:
+    @pytest.mark.parametrize("label", ["A", "b", "C"])
+    def test_accepts_labels(self, label):
+        assert profile_for(label).name == label.upper()
+
+    def test_accepts_enum(self):
+        assert profile_for(Manufacturer.B) is PROFILE_B
+
+    def test_accepts_profile_passthrough(self):
+        assert profile_for(PROFILE_A) is PROFILE_A
+
+    def test_rejects_unknown_label(self):
+        with pytest.raises(ConfigurationError):
+            profile_for("Z")
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError):
+            profile_for(3.14)
+
+
+class TestValidation:
+    def test_rejects_bad_subarray_rows(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(PROFILE_A, subarray_rows=256)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(PROFILE_A, weak_col_fraction=0.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(PROFILE_A, severe_weak1_prob=1.5)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(PROFILE_A, severe_threshold=0.0)
+
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(PROFILE_A, sigma_noise=0.0)

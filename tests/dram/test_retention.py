@@ -1,0 +1,78 @@
+"""Retention-model tests (substrate of the retention TRNG baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.retention import RetentionModel
+from repro.noise import NoiseSource
+
+
+@pytest.fixture
+def model(small_device):
+    return small_device.retention_model
+
+
+class TestRetentionTimes:
+    def test_deterministic_per_cell(self, model):
+        cols = np.arange(64)
+        a = model.retention_times_s(0, 0, cols, 45.0)
+        b = model.retention_times_s(0, 0, cols, 45.0)
+        assert (a == b).all()
+
+    def test_positive_and_spread(self, model):
+        times = model.retention_times_s(0, 5, np.arange(256), 45.0)
+        assert (times > 0).all()
+        assert times.max() / times.min() > 10  # log-normal spread
+
+    def test_halves_per_10c(self, model):
+        cols = np.arange(64)
+        t45 = model.retention_times_s(0, 0, cols, 45.0)
+        t55 = model.retention_times_s(0, 0, cols, 55.0)
+        assert np.allclose(t55, t45 / 2.0)
+
+    def test_most_cells_survive_normal_refresh(self, model):
+        # 64 ms refresh interval << retention of essentially every cell.
+        times = model.retention_times_s(0, 0, np.arange(256), 45.0)
+        assert (times > 0.064).all()
+
+
+class TestDecay:
+    def test_no_pause_no_decay(self, model, noise):
+        stored = np.ones(256, dtype=np.uint8)
+        out = model.decay_row(0, 0, stored, 0.0, 45.0, noise)
+        assert (out == stored).all()
+
+    def test_long_pause_decays_everything(self, model, noise):
+        stored = np.ones(256, dtype=np.uint8)
+        out = model.decay_row(0, 0, stored, 1e6, 45.0, noise)
+        discharge = model.discharge_values(0, 0, np.arange(256))
+        assert (out == discharge).all()
+
+    def test_moderate_pause_partial_decay(self, model, noise):
+        stored = np.ones(256, dtype=np.uint8)
+        out = model.decay_row(0, 3, stored, 64.0, 45.0, noise)
+        flipped = (out != stored).sum()
+        assert 0 < flipped < 256
+
+    def test_hotter_decays_more(self, model):
+        stored = np.ones(256, dtype=np.uint8)
+        cool = model.decay_row(0, 4, stored, 30.0, 45.0, NoiseSource(seed=1))
+        hot = model.decay_row(0, 4, stored, 30.0, 65.0, NoiseSource(seed=1))
+        assert (hot != stored).sum() > (cool != stored).sum()
+
+    def test_rejects_negative_pause(self, model, noise):
+        with pytest.raises(ValueError):
+            model.decay_row(0, 0, np.ones(256, dtype=np.uint8), -1.0, 45.0, noise)
+
+    def test_vrt_cells_jitter_across_trials(self, model):
+        # Near the decay boundary, VRT cells flip inconsistently.
+        stored = np.ones(256, dtype=np.uint8)
+        noise = NoiseSource(seed=2)
+        outcomes = [
+            model.decay_row(0, 6, stored, 64.0, 45.0, noise) for _ in range(30)
+        ]
+        stacked = np.stack(outcomes)
+        per_cell_variation = (stacked != stacked[0]).any(axis=0)
+        vrt = model.is_vrt_cell(0, 6, np.arange(256))
+        # Any variation must be confined to VRT cells.
+        assert (~per_cell_variation | vrt).all()

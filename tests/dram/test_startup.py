@@ -1,0 +1,68 @@
+"""Startup-value model tests (substrate of the startup TRNG baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.startup import StartupModel
+from repro.dram.variation import VariationField
+from repro.noise import NoiseSource
+
+
+@pytest.fixture
+def model(small_geometry):
+    return StartupModel(small_geometry, VariationField(42))
+
+
+class TestBiasBits:
+    def test_deterministic(self, model):
+        cols = np.arange(128)
+        assert (model.bias_bits(0, 0, cols) == model.bias_bits(0, 0, cols)).all()
+
+    def test_roughly_balanced(self, model):
+        bits = np.concatenate(
+            [model.bias_bits(0, r, np.arange(256)) for r in range(32)]
+        )
+        assert abs(bits.mean() - 0.5) < 0.05
+
+
+class TestRandomCells:
+    def test_fraction_matches_default(self, model):
+        mask = np.concatenate(
+            [model.is_random_cell(0, r, np.arange(256)) for r in range(64)]
+        )
+        assert abs(mask.mean() - model.random_fraction) < 0.01
+
+    def test_rejects_bad_fraction(self, small_geometry):
+        with pytest.raises(ValueError):
+            StartupModel(small_geometry, VariationField(1), random_fraction=1.5)
+
+
+class TestPowerUp:
+    def test_stable_cells_repeat_across_cycles(self, model):
+        noise = NoiseSource(seed=9)
+        cols = np.arange(256)
+        stable = ~model.is_random_cell(0, 3, cols)
+        first = model.power_up_row(0, 3, noise)
+        second = model.power_up_row(0, 3, noise)
+        assert (first[stable] == second[stable]).all()
+
+    def test_random_cells_eventually_differ(self, model):
+        noise = NoiseSource(seed=9)
+        cols = np.arange(256)
+        random_mask = model.is_random_cell(0, 3, cols)
+        if not random_mask.any():
+            pytest.skip("no metastable startup cell in this row")
+        rows = np.stack([model.power_up_row(0, 3, noise) for _ in range(20)])
+        varied = (rows != rows[0]).any(axis=0)
+        assert varied[random_mask].any()
+        # And stable cells never vary.
+        assert not varied[~random_mask].any()
+
+    def test_zero_fraction_fully_deterministic(self, small_geometry):
+        model = StartupModel(
+            small_geometry, VariationField(1), random_fraction=0.0
+        )
+        noise = NoiseSource(seed=1)
+        a = model.power_up_row(0, 0, noise)
+        b = model.power_up_row(0, 0, noise)
+        assert (a == b).all()

@@ -1,0 +1,119 @@
+"""Timing parameter and preset tests."""
+
+import pytest
+
+from repro.dram.timing import (
+    CHARACTERIZATION_TRCD_NS,
+    DDR3_1600,
+    DDR4_2400,
+    FAILURE_TRCD_WINDOW_NS,
+    LPDDR4_3200,
+    TimingParameters,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPresets:
+    def test_lpddr4_spec_values(self):
+        assert LPDDR4_3200.trcd_ns == 18.0
+        assert LPDDR4_3200.data_rate_mtps == 3200.0
+        assert LPDDR4_3200.burst_length == 16
+
+    def test_ddr3_spec_values(self):
+        assert DDR3_1600.trcd_ns == pytest.approx(13.75)
+        assert DDR3_1600.burst_length == 8
+
+    def test_ddr4_spec_values(self):
+        assert DDR4_2400.trcd_ns == pytest.approx(14.16)
+        assert DDR4_2400.trc_ns == pytest.approx(46.16)
+        # DDR4 BL8 at 2400 MT/s moves a burst in 10/3 ns.
+        assert DDR4_2400.burst_ns == pytest.approx(8 * 1e3 / 2400.0)
+
+    def test_characterization_trcd_in_failure_window(self):
+        low, high = FAILURE_TRCD_WINDOW_NS
+        assert low <= CHARACTERIZATION_TRCD_NS <= high
+
+    def test_trc_is_ras_plus_rp(self):
+        assert LPDDR4_3200.trc_ns == pytest.approx(
+            LPDDR4_3200.tras_ns + LPDDR4_3200.trp_ns
+        )
+
+    def test_burst_time(self):
+        # 16 beats at 3200 MT/s = 5 ns.
+        assert LPDDR4_3200.burst_ns == pytest.approx(5.0)
+        # 8 beats at 1600 MT/s = 5 ns.
+        assert DDR3_1600.burst_ns == pytest.approx(5.0)
+
+
+class TestTrcdOverride:
+    def test_with_trcd_reduces_only_trcd(self):
+        reduced = LPDDR4_3200.with_trcd(10.0)
+        assert reduced.trcd_ns == 10.0
+        assert reduced.tras_ns == LPDDR4_3200.tras_ns
+        assert reduced.name == LPDDR4_3200.name
+
+    def test_is_reduced_detection(self):
+        assert LPDDR4_3200.with_trcd(10.0).is_reduced_trcd(LPDDR4_3200)
+        assert not LPDDR4_3200.is_reduced_trcd(LPDDR4_3200)
+
+    def test_rejects_nonpositive_trcd(self):
+        with pytest.raises(ConfigurationError):
+            LPDDR4_3200.with_trcd(0.0)
+
+    def test_original_preset_untouched(self):
+        LPDDR4_3200.with_trcd(6.0)
+        assert LPDDR4_3200.trcd_ns == 18.0
+
+
+class TestCycles:
+    def test_trcd_cycles_lpddr4(self):
+        # 18 ns at 1600 MHz = 28.8 → 29 cycles.
+        assert LPDDR4_3200.cycles("trcd_ns") == 29
+
+    def test_reduced_trcd_cycles(self):
+        assert LPDDR4_3200.with_trcd(10.0).cycles("trcd_ns") == 16
+
+
+class TestValidation:
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(
+                name="bad", clock_mhz=1600, data_rate_mtps=3200,
+                burst_length=16, trcd_ns=-1, tras_ns=42, trp_ns=18,
+                tcl_ns=18, tcwl_ns=9, tccd_ns=5, trtp_ns=7.5, twr_ns=18,
+                twtr_ns=10, trrd_ns=10, tfaw_ns=40, trefi_ns=3904,
+                trfc_ns=180,
+            )
+
+    def test_rejects_zero_burst(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(
+                name="bad", clock_mhz=1600, data_rate_mtps=3200,
+                burst_length=0, trcd_ns=18, tras_ns=42, trp_ns=18,
+                tcl_ns=18, tcwl_ns=9, tccd_ns=5, trtp_ns=7.5, twr_ns=18,
+                twtr_ns=10, trrd_ns=10, tfaw_ns=40, trefi_ns=3904,
+                trfc_ns=180,
+            )
+
+
+class TestBankGroups:
+    def test_ddr4_declares_groups(self):
+        assert DDR4_2400.bank_groups == 4
+        assert DDR4_2400.tccd_l_ns > DDR4_2400.tccd_ns
+        assert DDR4_2400.trrd_l_ns > DDR4_2400.trrd_ns
+
+    def test_ungrouped_presets(self):
+        assert LPDDR4_3200.bank_groups == 1
+        assert LPDDR4_3200.tccd_l_ns is None
+
+    def test_grouped_preset_requires_long_timings(self):
+        import dataclasses
+
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(DDR3_1600, bank_groups=4)
+
+    def test_long_cannot_undershoot_short(self):
+        import dataclasses
+
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(DDR4_2400, tccd_l_ns=1.0)

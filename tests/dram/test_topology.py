@@ -1,0 +1,73 @@
+"""Rank/Channel topology tests."""
+
+import numpy as np
+import pytest
+
+from repro.dram.topology import Channel, Rank, single_device_channel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def rank(factory, small_geometry):
+    devices = [
+        factory.make_device("A", i, geometry=small_geometry) for i in (10, 11)
+    ]
+    return Rank(devices)
+
+
+class TestRank:
+    def test_requires_devices(self):
+        with pytest.raises(ConfigurationError):
+            Rank([])
+
+    def test_rejects_mixed_geometry(self, factory, small_geometry):
+        a = factory.make_device("A", 0, geometry=small_geometry)
+        b = factory.make_device("A", 1)  # default (larger) geometry
+        with pytest.raises(ConfigurationError):
+            Rank([a, b])
+
+    def test_data_bits_concatenate_chips(self, rank, small_geometry):
+        assert rank.data_bits == 2 * small_geometry.word_bits
+
+    def test_lockstep_write_read_roundtrip(self, rank):
+        rank.activate(0, 17)
+        data = np.tile([1, 0], rank.data_bits // 2).astype(np.uint8)
+        rank.write(0, 3, data)
+        got = rank.read(0, 3)
+        assert (got == data).all()
+        rank.precharge(0)
+
+    def test_write_rejects_wrong_width(self, rank):
+        rank.activate(0, 1)
+        with pytest.raises(ValueError):
+            rank.write(0, 0, np.zeros(7, dtype=np.uint8))
+
+    def test_lockstep_activate_opens_all_chips(self, rank):
+        rank.activate(1, 9)
+        for device in rank.devices:
+            assert device.bank(1).open_row == 9
+        rank.precharge(1)
+        for device in rank.devices:
+            assert device.bank(1).open_row is None
+
+
+class TestChannel:
+    def test_requires_ranks(self):
+        with pytest.raises(ConfigurationError):
+            Channel([])
+
+    def test_rank_lookup(self, rank):
+        channel = Channel([rank], index=2)
+        assert channel.index == 2
+        assert channel.rank(0) is rank
+        with pytest.raises(ConfigurationError):
+            channel.rank(1)
+
+    def test_devices_enumerates_all_chips(self, rank):
+        channel = Channel([rank])
+        assert len(channel.devices) == 2
+
+    def test_single_device_channel(self, device):
+        channel = single_device_channel(device)
+        assert channel.devices == [device]
+        assert channel.timings is device.timings

@@ -1,0 +1,113 @@
+"""Precharge-residual (tRP violation) model tests."""
+
+import numpy as np
+import pytest
+
+from repro.dram.datapattern import pattern_by_name
+from repro.dram.failures import OperatingPoint
+
+
+@pytest.fixture
+def primed(small_device):
+    """Bank with a solid-0 target row and a solid-1 primer row."""
+    geometry = small_device.geometry
+    bank = small_device.bank(0)
+    bank.write_row(100, np.zeros(geometry.cols_per_row, dtype=np.uint8))
+    bank.write_row(101, np.ones(geometry.cols_per_row, dtype=np.uint8))
+    return small_device, bank
+
+
+class TestResidualMagnitude:
+    def test_zero_at_or_above_spec(self, small_device):
+        model = small_device.failure_model
+        assert model.precharge_residual(18.0, 18.0) == 0.0
+        assert model.precharge_residual(25.0, 18.0) == 0.0
+
+    def test_monotone_in_trp(self, small_device):
+        model = small_device.failure_model
+        values = [model.precharge_residual(t, 18.0) for t in (14.0, 10.0, 7.0, 5.0)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_capped_at_profile_maximum(self, small_device):
+        model = small_device.failure_model
+        assert (
+            model.precharge_residual(1.0, 18.0)
+            <= small_device.profile.trp_residual_max
+        )
+
+
+class TestBankResidualBehavior:
+    def _cycle(self, bank, primer, target, trp_ns, op):
+        if bank.open_row is not None:
+            bank.precharge()
+        bank.activate(primer)
+        bank.precharge(trp_ns=trp_ns)
+        bank.activate(target)
+        got = bank.read(0, op=op)
+        bank.precharge()
+        return got
+
+    def test_spec_precharge_never_fails_at_spec_trcd(self, primed):
+        device, bank = primed
+        op = OperatingPoint(trcd_ns=18.0)
+        for _ in range(10):
+            got = self._cycle(bank, 101, 100, None, op)
+            assert (got == 0).all()
+
+    def test_short_precharge_fails_at_spec_trcd(self, primed):
+        device, bank = primed
+        op = OperatingPoint(trcd_ns=18.0)
+        flips = 0
+        for _ in range(30):
+            flips += int(self._cycle(bank, 101, 100, 5.0, op).sum())
+        assert flips > 0
+
+    def test_agreeing_residual_is_harmless(self, primed):
+        """Re-activating the same data after a short PRE only *helps*
+        development, so no failures appear."""
+        device, bank = primed
+        op = OperatingPoint(trcd_ns=18.0)
+        for _ in range(10):
+            if bank.open_row is not None:
+                bank.precharge()
+            bank.activate(100)
+            bank.precharge(trp_ns=5.0)
+            bank.activate(100)
+            got = bank.read(0, op=op)
+            bank.precharge()
+            assert (got == 0).all()
+
+    def test_residual_consumed_by_next_activation(self, primed):
+        """The bias perturbs only the first activation after the short
+        PRE; a subsequent full cycle is clean again."""
+        device, bank = primed
+        op = OperatingPoint(trcd_ns=18.0)
+        self._cycle(bank, 101, 100, 5.0, op)
+        # Clean full-latency cycle afterwards.
+        got = self._cycle(bank, 101, 100, None, op)
+        assert (got == 0).all()
+
+    def test_residual_composes_with_reduced_trcd(self, primed):
+        """Both violations together fail more than reduced tRCD alone."""
+        device, bank = primed
+        geometry = device.geometry
+        probs_trcd = device.failure_model.failure_probabilities(
+            0, 100, np.arange(geometry.word_bits),
+            bank.stored_row(100), OperatingPoint(trcd_ns=10.0),
+        )
+        probs_both = device.failure_model.failure_probabilities(
+            0, 100, np.arange(geometry.word_bits),
+            bank.stored_row(100), OperatingPoint(trcd_ns=10.0),
+            residual=np.full(geometry.word_bits, -0.2),
+        )
+        assert probs_both.sum() > probs_trcd.sum()
+
+    def test_power_cycle_clears_residual(self, primed):
+        device, bank = primed
+        bank.activate(101)
+        bank.precharge(trp_ns=5.0)
+        bank.power_cycle()
+        bank.write_row(100, np.zeros(device.geometry.cols_per_row, dtype=np.uint8))
+        bank.activate(100)
+        got = bank.read(0, op=OperatingPoint(trcd_ns=18.0))
+        assert (got == 0).all()

@@ -1,0 +1,100 @@
+"""Variation-field determinism and statistical tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.variation import (
+    DomainTag,
+    VariationField,
+    hash_u64,
+    normal_field,
+    uniform_field,
+)
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert hash_u64(1, 2, 3) == hash_u64(1, 2, 3)
+
+    def test_component_order_matters(self):
+        assert hash_u64(1, 2) != hash_u64(2, 1)
+
+    def test_vectorized_matches_scalar(self):
+        scalar = [int(hash_u64(7, i)) for i in range(10)]
+        vector = hash_u64(7, np.arange(10))
+        assert vector.tolist() == scalar
+
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            hash_u64()
+
+    def test_avalanche(self):
+        # Flipping one input bit flips ~half of the output bits.
+        a = int(hash_u64(1234))
+        b = int(hash_u64(1235))
+        flipped = bin(a ^ b).count("1")
+        assert 16 <= flipped <= 48
+
+
+class TestFields:
+    def test_uniform_in_open_interval(self):
+        u = uniform_field(3, np.arange(10_000))
+        assert u.min() > 0.0 and u.max() < 1.0
+
+    def test_uniform_is_uniform(self):
+        u = uniform_field(3, np.arange(50_000))
+        assert abs(u.mean() - 0.5) < 0.01
+        assert abs(u.std() - np.sqrt(1 / 12)) < 0.01
+
+    def test_normal_moments(self):
+        z = normal_field(3, np.arange(50_000))
+        assert abs(z.mean()) < 0.02
+        assert abs(z.std() - 1.0) < 0.02
+
+    def test_different_tags_are_independent(self):
+        idx = np.arange(20_000)
+        a = normal_field(3, 1, idx)
+        b = normal_field(3, 2, idx)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.03
+
+
+class TestVariationField:
+    def test_rereads_are_identical(self):
+        field = VariationField(42)
+        first = field.cell_normal(DomainTag.CELL_OFFSET, 0, 5, np.arange(100))
+        second = field.cell_normal(DomainTag.CELL_OFFSET, 0, 5, np.arange(100))
+        assert (first == second).all()
+
+    def test_devices_differ(self):
+        cols = np.arange(100)
+        a = VariationField(1).cell_normal(DomainTag.CELL_OFFSET, 0, 0, cols)
+        b = VariationField(2).cell_normal(DomainTag.CELL_OFFSET, 0, 0, cols)
+        assert (a != b).any()
+
+    def test_column_field_constant_down_subarray(self):
+        # One value per (bank, subarray, col): independent of row by
+        # construction — the property that creates weak *columns*.
+        field = VariationField(42)
+        cols = np.arange(64)
+        a = field.column_normal(DomainTag.SENSE_AMP, 0, 3, cols)
+        b = field.column_normal(DomainTag.SENSE_AMP, 0, 3, cols)
+        assert (a == b).all()
+
+    def test_column_field_changes_across_subarrays(self):
+        field = VariationField(42)
+        cols = np.arange(64)
+        a = field.column_normal(DomainTag.SENSE_AMP, 0, 0, cols)
+        b = field.column_normal(DomainTag.SENSE_AMP, 0, 1, cols)
+        assert (a != b).any()
+
+    def test_device_seed_property(self):
+        assert VariationField(1234).device_seed == 1234
+
+    @given(st.integers(min_value=0, max_value=2**62))
+    @settings(max_examples=25)
+    def test_any_seed_produces_valid_uniforms(self, seed):
+        field = VariationField(seed)
+        u = field.cell_uniform(DomainTag.CELL_OFFSET, 0, 0, np.arange(16))
+        assert ((u > 0) & (u < 1)).all()

@@ -1,0 +1,88 @@
+"""Supply-voltage axis tests (reduced-voltage operation)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.datapattern import pattern_by_name
+from repro.dram.failures import OperatingPoint
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def prepared(small_device):
+    small_device.write_pattern(
+        pattern_by_name("solid0"), banks=[0], rows=range(512)
+    )
+    return small_device
+
+
+def _row_probs(device, row, vdd):
+    stored = device.bank(0).stored_row(row)
+    cols = np.arange(device.geometry.cols_per_row)
+    op = OperatingPoint(trcd_ns=10.0, vdd_ratio=vdd)
+    return device.failure_model.failure_probabilities(0, row, cols, stored, op)
+
+
+def _marginal_row(device):
+    """First row in the subarray's top half with a marginal cell."""
+    for row in range(511, 256, -1):
+        probs = _row_probs(device, row, 1.0)
+        if ((probs > 0.01) & (probs < 0.99)).any():
+            return row
+    pytest.skip("no marginal cells in this seed's region")
+
+
+class TestVoltageEffects:
+    def test_undervolting_raises_fprob(self, prepared):
+        row = _marginal_row(prepared)
+        nominal = _row_probs(prepared, row, 1.0)
+        reduced = _row_probs(prepared, row, 0.9)
+        mask = (nominal > 0.01) & (nominal < 0.99)
+        assert (reduced[mask] - nominal[mask]).mean() > 0
+
+    def test_overvolting_lowers_fprob(self, prepared):
+        row = _marginal_row(prepared)
+        nominal = _row_probs(prepared, row, 1.0)
+        boosted = _row_probs(prepared, row, 1.1)
+        mask = (nominal > 0.01) & (nominal < 0.99)
+        assert (boosted[mask] - nominal[mask]).mean() < 0
+
+    def test_monotone_across_voltage(self, prepared):
+        row = _marginal_row(prepared)
+        means = []
+        nominal = _row_probs(prepared, row, 1.0)
+        mask = (nominal > 0.01) & (nominal < 0.99)
+        for vdd in (1.1, 1.0, 0.95, 0.9):
+            means.append(float(_row_probs(prepared, row, vdd)[mask].mean()))
+        assert all(b >= a for a, b in zip(means, means[1:]))
+
+    def test_device_state_flows_into_operating_point(self, prepared):
+        prepared.set_vdd_ratio(0.9)
+        try:
+            op = prepared.operating_point(10.0)
+            assert op.vdd_ratio == 0.9
+        finally:
+            prepared.set_vdd_ratio(1.0)
+
+    def test_voltage_bounds(self, prepared):
+        with pytest.raises(ConfigurationError):
+            prepared.set_vdd_ratio(0.5)
+        with pytest.raises(ConfigurationError):
+            prepared.set_vdd_ratio(1.5)
+
+    def test_model_rejects_nonpositive_ratio(self, prepared):
+        with pytest.raises(ValueError):
+            prepared.failure_model.development_tau(
+                0, 0, np.arange(4), 45.0, vdd_ratio=0.0
+            )
+
+    def test_spec_timing_still_safe_at_moderate_undervolt(self, prepared):
+        """Spec-tRCD reads stay reliable through a 5% droop — the
+        guardband the paper's robustness discussion presumes."""
+        stored = prepared.bank(0).stored_row(300)
+        cols = np.arange(prepared.geometry.cols_per_row)
+        op = OperatingPoint(trcd_ns=18.0, vdd_ratio=0.95)
+        probs = prepared.failure_model.failure_probabilities(
+            0, 300, cols, stored, op
+        )
+        assert probs.mean() < 1e-3

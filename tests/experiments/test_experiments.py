@@ -1,0 +1,247 @@
+"""Integration tests: every paper experiment runs and keeps its shape.
+
+Each test runs a scaled-down configuration and asserts the *qualitative*
+result the paper reports — who wins, which direction an effect goes —
+not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig4_spatial,
+    fig5_dpd,
+    fig6_temperature,
+    fig7_density,
+    fig8_throughput,
+    sec54_time,
+    sec73_energy,
+    sec73_interference,
+    sec73_latency,
+    table1_nist,
+    table2_comparison,
+)
+from repro.experiments.common import ExperimentConfig, format_table
+
+CONFIG = ExperimentConfig(
+    noise_seed=13,
+    devices_per_manufacturer=1,
+    region_banks=(0, 1),
+    region_rows=512,
+    iterations=100,
+)
+
+
+class TestFig4:
+    def test_spatial_structure(self):
+        result = fig4_spatial.run(CONFIG, rows=512, cols=512)
+        assert result.summary.failing_cells > 0
+        # Failures concentrate in few columns...
+        assert len(result.summary.failing_columns) < 30
+        # ...and density grows toward the subarray's far rows.
+        assert result.summary.row_gradient_correlation > 0.05
+        assert "#" in result.format_report()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        subset = (
+            "solid0", "solid1", "checkered0", "checkered1",
+            "walk1_00", "walk1_07", "walk0_00", "walk0_07",
+        )
+        return fig5_dpd.run(CONFIG, pattern_names=subset, rows=512)
+
+    def test_patterns_find_different_cells(self, result):
+        for dpd in result.per_manufacturer:
+            assert max(dpd.coverage.values()) < 1.0
+            assert min(dpd.coverage.values()) > 0.0
+
+    def test_walking_ones_coverage_near_best(self, result):
+        # Fig. 5: every walking-1 shift gives similarly high coverage;
+        # it lands within ~30% of the best pattern for every vendor.
+        for dpd in result.per_manufacturer:
+            mean, low, high = dpd.walking_aggregate(1)
+            best = max(dpd.coverage.values())
+            assert mean >= 0.7 * best
+            assert high - low < 0.25
+
+    def test_manufacturer_a_best_band_pattern_is_solid0(self, result):
+        a = next(d for d in result.per_manufacturer if d.manufacturer == "A")
+        assert a.best_band_pattern.startswith(("solid0", "walk1"))
+
+    def test_report_renders(self, result):
+        text = result.format_report()
+        assert "Manufacturer A" in text and "WALK1" in text
+
+
+class TestFig6:
+    def test_temperature_raises_fprob(self):
+        result = fig6_temperature.run(
+            CONFIG, manufacturers=("A", "B"), base_temps_c=(55.0,), rows=256
+        )
+        for pairs in result.per_manufacturer:
+            assert pairs.delta.mean() > 0
+            assert pairs.fraction_below_diagonal < 0.25  # paper's bound
+        assert "Manufacturer A" in result.format_report()
+
+
+class TestSec54:
+    def test_fprob_stable_over_rounds(self):
+        result = sec54_time.run(CONFIG, rounds=8, rows=256)
+        assert result.is_stable()
+        assert result.max_drift < 0.3
+        assert "stable" in result.format_report()
+
+
+class TestTable1:
+    def test_nist_passes_on_rng_cells(self):
+        result = table1_nist.run(
+            ExperimentConfig(
+                noise_seed=13, devices_per_manufacturer=1,
+                region_banks=(0, 1), region_rows=512, iterations=100,
+            ),
+            manufacturers=("A",),
+            cells_per_device=2,
+            stream_bits=40_000,
+        )
+        assert result.all_passed
+        assert result.min_entropy > 0.95  # paper: 0.9507
+        assert "NIST Test Name" in result.format_report()
+
+
+class TestFig7:
+    def test_density_distribution_shape(self):
+        result = fig7_density.run(CONFIG, manufacturers=("A",))
+        dist = result.distributions[0]
+        assert dist.max_density >= 1
+        assert dist.banks_with_cells > 0
+        # Words with 1 cell outnumber words with 2.
+        ones = sum(dist.per_bank_counts.get(1, [0]))
+        twos = sum(dist.per_bank_counts.get(2, [0]))
+        assert ones > twos
+        assert "cells/word" in result.format_report()
+
+
+class TestFig8:
+    def test_throughput_scales_with_banks(self):
+        result = fig8_throughput.run(CONFIG, manufacturers=("A",), max_banks=2)
+        by_banks = result.per_manufacturer["A"]
+        assert np.mean(by_banks[2]) > np.mean(by_banks[1])
+        assert result.max_throughput_4ch_mbps > 0
+        assert "4-channel" in result.format_report()
+
+
+class TestSec73:
+    def test_latency_ordering(self):
+        result = sec73_latency.run(CONFIG)
+        assert result.ordering_matches_paper
+        assert "960" in result.format_report()
+
+    def test_energy_order_of_magnitude(self):
+        result = sec73_energy.run(CONFIG, num_bits=64)
+        assert 0.5 < result.nj_per_bit < 50.0  # paper: 4.4 nJ/bit
+        assert result.net_energy_j > 0
+
+    def test_interference_summary(self):
+        result = sec73_interference.run(CONFIG)
+        assert result.min_mbps < result.average_mbps < result.max_mbps
+        assert 20.0 < result.average_mbps < 150.0
+        assert result.storage_overhead < 0.001  # paper: 0.018%
+        assert "idle" in result.format_report()
+
+
+class TestTable2:
+    def test_drange_dominates_priors(self):
+        result = table2_comparison.run(
+            ExperimentConfig(
+                noise_seed=13, devices_per_manufacturer=1,
+                region_banks=(0, 1, 2, 3), region_rows=512, iterations=100,
+            )
+        )
+        assert result.peak_speedup > 10.0  # paper: 211x at full scale
+        names = [row.properties.name for row in result.rows]
+        assert names == ["Pyo+", "Keller+", "Sutar+", "Tehranipoor+", "D-RaNGe"]
+        assert "211x" in result.format_report()
+
+
+class TestCommon:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["33", "4"]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            ExperimentConfig(devices_per_manufacturer=0)
+
+
+class TestSec5Ddr3:
+    def test_ddr3_devices_cross_validate(self):
+        from repro.experiments import sec5_ddr3
+
+        result = sec5_ddr3.run(CONFIG, num_devices=2, rows=512)
+        assert result.all_devices_fail_like_lpddr4
+        assert "SoftMC" in result.format_report()
+
+
+class TestSlowdownSimulation:
+    def test_idle_policy_has_low_interference(self):
+        from repro.experiments.sec73_interference import simulate_slowdown
+        from repro.sim.workloads import spec_workloads
+
+        light = next(w for w in spec_workloads() if w.name == "povray")
+        result = simulate_slowdown(light, policy="idle", duration_ns=100_000.0)
+        assert result.slowdown < 1.15  # "no significant impact"
+        assert result.drange_mbps > 10.0  # idle bandwidth harvested
+
+    def test_memory_bound_workload_yields_less(self):
+        from repro.experiments.sec73_interference import simulate_slowdown
+        from repro.sim.workloads import spec_workloads
+
+        light = next(w for w in spec_workloads() if w.name == "povray")
+        heavy = next(w for w in spec_workloads() if w.name == "mcf")
+        light_result = simulate_slowdown(light, duration_ns=100_000.0)
+        heavy_result = simulate_slowdown(heavy, duration_ns=100_000.0)
+        assert heavy_result.drange_mbps < light_result.drange_mbps
+
+    def test_fixed_policy_trades_latency_for_rate(self):
+        from repro.experiments.sec73_interference import simulate_slowdown
+        from repro.sim.workloads import spec_workloads
+
+        workload = next(w for w in spec_workloads() if w.name == "mcf")
+        fixed = simulate_slowdown(
+            workload, policy="fixed", duty_cycle=0.5, duration_ns=100_000.0
+        )
+        idle = simulate_slowdown(workload, policy="idle", duration_ns=100_000.0)
+        assert fixed.drange_mbps > idle.drange_mbps
+        assert fixed.slowdown > idle.slowdown
+
+    def test_policy_validation(self):
+        from repro.experiments.sec73_interference import simulate_slowdown
+        from repro.sim.workloads import spec_workloads
+
+        workload = spec_workloads()[0]
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            simulate_slowdown(workload, policy="bogus")
+
+
+class TestExtensions:
+    def test_trp_violation_produces_entropy(self):
+        from repro.experiments import ext_trp
+
+        result = ext_trp.run(CONFIG, rows=32, iterations=40)
+        assert result.produces_entropy
+        spec = next(p for p in result.points if p.trp_ns >= 18.0)
+        assert spec.failing_cells == 0
+        assert "tRP" in result.format_report()
+
+    def test_voltage_sweep_direction(self):
+        from repro.experiments import ext_voltage
+
+        result = ext_voltage.run(CONFIG, vdd_sweep=(1.05, 1.0, 0.92), rows=256)
+        assert result.undervolt_raises_fprob
+        assert "VDD" in result.format_report()

@@ -1,0 +1,124 @@
+"""Unit tests for the experiment result dataclasses (no heavy runs)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spatial import SpatialSummary
+from repro.experiments.fig4_spatial import Fig4Result
+from repro.experiments.fig5_dpd import ManufacturerDpd
+from repro.experiments.fig6_temperature import TemperaturePairs
+from repro.experiments.fig7_density import DensityDistribution
+from repro.experiments.fig8_throughput import Fig8Result
+from repro.experiments.sec73_interference import SlowdownResult
+from repro.experiments.sec73_latency import LatencyResult
+from repro.core.latency import LatencyEstimate
+
+
+class TestFig4Result:
+    def test_report_includes_structure(self):
+        bitmap = np.zeros((64, 64), dtype=np.uint8)
+        bitmap[40:, 5] = 1
+        summary = SpatialSummary(
+            failing_cells=24,
+            failing_columns=(5,),
+            columns_per_subarray=(1,),
+            row_gradient_correlation=0.4,
+        )
+        result = Fig4Result(
+            device_serial="A-1", bitmap=bitmap, summary=summary,
+            subarray_rows=64,
+        )
+        text = result.format_report()
+        assert "failing cells: 24" in text
+        assert "+0.400" in text
+
+
+class TestFig5Dpd:
+    def test_walking_aggregate_and_best(self):
+        dpd = ManufacturerDpd(
+            manufacturer="A",
+            device_serial="A-0",
+            coverage={
+                "solid0": 0.7, "walk1_00": 0.65, "walk1_01": 0.75,
+                "walk0_00": 0.2,
+            },
+            band_cells={"solid0": 100, "walk1_00": 90, "walk1_01": 95,
+                        "walk0_00": 10},
+        )
+        mean, low, high = dpd.walking_aggregate(1)
+        assert (low, high) == (0.65, 0.75)
+        assert mean == pytest.approx(0.7)
+        assert dpd.best_band_pattern == "solid0"
+
+
+class TestTemperaturePairs:
+    def test_plateau_and_below_fraction(self):
+        base = np.array([0.5, 0.5, 0.1, 0.2, 0.8])
+        stepped = np.array([0.45, 0.55, 0.2, 0.15, 0.9])
+        pairs = TemperaturePairs("A", base, stepped)
+        # Cells 0 and 1 are the metastable blob; of the transition
+        # cells (0.1, 0.2, 0.8) only 0.2→0.15 moved down.
+        assert pairs.plateau_mask.sum() == 2
+        assert pairs.fraction_below_diagonal == pytest.approx(1 / 3)
+        assert pairs.delta.shape == (5,)
+
+    def test_binned_box_stats_skip_sparse_bins(self):
+        base = np.full(10, 0.55)
+        stepped = np.linspace(0.5, 0.6, 10)
+        pairs = TemperaturePairs("B", base, stepped)
+        bins = pairs.binned_box_stats()
+        assert len(bins) == 1
+        center, stats = bins[0]
+        assert 0.5 <= center <= 0.6
+        assert stats.n == 10
+
+
+class TestDensityDistribution:
+    def test_max_density_and_population(self):
+        dist = DensityDistribution(
+            manufacturer="A",
+            per_bank_counts={1: [10, 20], 2: [1, 0], 3: [0, 0]},
+        )
+        assert dist.max_density == 2  # no bank ever held a 3-cell word
+        assert dist.banks_with_cells == 2
+        assert dist.box(1).median == 15.0
+
+
+class TestFig8Result:
+    def test_channel_scaling_properties(self):
+        result = Fig8Result(
+            per_manufacturer={
+                "A": {1: [10.0], 8: [100.0]},
+                "B": {1: [8.0], 8: [80.0]},
+            }
+        )
+        assert result.max_throughput_4ch_mbps == pytest.approx(400.0)
+        assert result.avg_throughput_4ch_mbps == pytest.approx(4 * 90.0)
+
+
+class TestLatencyResult:
+    def test_ordering_check(self):
+        def estimate(ns):
+            return LatencyEstimate("s", 1, 1, 1, ns)
+
+        good = LatencyResult(estimates=(estimate(900.0), estimate(200.0),
+                                        estimate(100.0)))
+        bad = LatencyResult(estimates=(estimate(100.0), estimate(200.0),
+                                       estimate(900.0)))
+        assert good.ordering_matches_paper
+        assert not bad.ordering_matches_paper
+
+
+class TestSlowdownResult:
+    def test_derived_metrics(self):
+        result = SlowdownResult(
+            workload_name="w", duty_cycle=0.25,
+            baseline_latency_ns=40.0, with_drange_latency_ns=44.0,
+            drange_bits=10_000, duration_ns=100_000.0,
+        )
+        assert result.slowdown == pytest.approx(1.1)
+        assert result.drange_mbps == pytest.approx(100.0)
+
+    def test_zero_baseline_degenerates_to_unity(self):
+        result = SlowdownResult("w", 0.25, 0.0, 10.0, 0, 100.0)
+        assert result.slowdown == 1.0

@@ -1,0 +1,92 @@
+"""Address-mapping tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError, ConfigurationError
+from repro.memctrl.addressing import AddressMapper, DecodedAddress
+
+
+@pytest.fixture
+def mapper(small_geometry):
+    return AddressMapper(small_geometry, channels=2, scheme="bank-interleaved")
+
+
+class TestDecodeEncode:
+    def test_capacity(self, mapper, small_geometry):
+        expected = (
+            small_geometry.words_per_bank * small_geometry.banks * 2
+        )
+        assert mapper.capacity_words == expected
+
+    def test_out_of_range_rejected(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.decode(mapper.capacity_words)
+        with pytest.raises(AddressError):
+            mapper.decode(-1)
+
+    def test_fields_in_range(self, mapper, small_geometry):
+        for address in range(0, mapper.capacity_words, 977):
+            decoded = mapper.decode(address)
+            assert 0 <= decoded.channel < 2
+            assert 0 <= decoded.bank < small_geometry.banks
+            assert 0 <= decoded.row < small_geometry.rows_per_bank
+            assert 0 <= decoded.word < small_geometry.words_per_row
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=60)
+    def test_roundtrip_bank_interleaved(self, address, ):
+        from repro.dram.geometry import DeviceGeometry
+
+        geometry = DeviceGeometry(
+            banks=2, rows_per_bank=1024, cols_per_row=256,
+            subarray_rows=512, word_bits=64,
+        )
+        mapper = AddressMapper(geometry, channels=2)
+        address %= mapper.capacity_words
+        assert mapper.encode(mapper.decode(address)) == address
+
+    def test_roundtrip_row_interleaved(self, small_geometry):
+        mapper = AddressMapper(
+            small_geometry, channels=2, scheme="row-interleaved"
+        )
+        for address in range(0, mapper.capacity_words, 1013):
+            assert mapper.encode(mapper.decode(address)) == address
+
+    def test_encode_validates(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.encode(DecodedAddress(channel=5, bank=0, row=0, word=0))
+
+
+class TestInterleavingBehavior:
+    def test_bank_interleaved_spreads_bursts(self, small_geometry):
+        mapper = AddressMapper(small_geometry, channels=1)
+        assert mapper.consecutive_banks(0, 8) >= 2
+
+    def test_row_interleaved_keeps_bursts_local(self, small_geometry):
+        mapper = AddressMapper(
+            small_geometry, channels=1, scheme="row-interleaved"
+        )
+        # A burst within one row touches exactly one bank.
+        assert mapper.consecutive_banks(0, small_geometry.words_per_row) == 1
+
+    def test_decode_distributes_uniformly(self, mapper, small_geometry):
+        from collections import Counter
+
+        banks = Counter(
+            (mapper.decode(a).channel, mapper.decode(a).bank)
+            for a in range(2 * small_geometry.banks * 4)
+        )
+        counts = set(banks.values())
+        assert len(counts) == 1  # perfectly balanced rotation
+
+
+class TestValidation:
+    def test_bad_scheme(self, small_geometry):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(small_geometry, scheme="diagonal")
+
+    def test_bad_channels(self, small_geometry):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(small_geometry, channels=0)

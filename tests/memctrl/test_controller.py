@@ -1,0 +1,102 @@
+"""Memory-controller facade tests (the D-RaNGe hooks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.requests import MemRequest
+
+
+@pytest.fixture
+def controller(small_device):
+    return MemoryController(small_device)
+
+
+class TestReservations:
+    def test_reserved_row_blocks_requests(self, controller):
+        controller.reserve_rows([(0, 5)])
+        with pytest.raises(ProtocolError):
+            controller.service([MemRequest(bank=0, row=5, word=0)])
+
+    def test_unreserved_rows_still_service(self, controller):
+        controller.reserve_rows([(0, 5)])
+        done = controller.service([MemRequest(bank=0, row=6, word=0)])
+        assert done[0].completion_ns is not None
+
+    def test_release_specific_and_all(self, controller):
+        controller.reserve_rows([(0, 1), (1, 2)])
+        controller.release_rows([(0, 1)])
+        assert controller.reserved_rows == {(1, 2)}
+        controller.release_rows()
+        assert controller.reserved_rows == set()
+
+    def test_reserve_validates_addresses(self, controller):
+        with pytest.raises(Exception):
+            controller.reserve_rows([(99, 0)])
+
+
+class TestReducedTiming:
+    def test_set_reduced_trcd(self, controller):
+        controller.set_reduced_trcd(10.0)
+        assert controller.registers.active.trcd_ns == 10.0
+
+    def test_rejects_spec_or_above(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.set_reduced_trcd(18.0)
+
+    def test_restore_timings(self, controller):
+        controller.set_reduced_trcd(8.0)
+        controller.restore_timings()
+        assert controller.registers.active.trcd_ns == 18.0
+
+    def test_reduced_read_uses_programmed_trcd(self, controller, small_device):
+        # Write zeros, reduce tRCD hard, and check that repeated reads
+        # of a failure-prone word eventually flip bits.
+        geometry = small_device.geometry
+        row = 511
+        small_device.bank(0).write_row(
+            row, np.zeros(geometry.cols_per_row, dtype=np.uint8)
+        )
+        controller.set_reduced_trcd(6.0)
+        flips = 0
+        for _ in range(20):
+            bits = controller.reduced_read(0, row, 0)
+            flips += int(bits.sum())
+            controller.precharge(0)
+        assert flips > 0
+
+    def test_default_registers_read_correctly(self, controller, small_device):
+        geometry = small_device.geometry
+        small_device.bank(0).write_row(
+            100, np.zeros(geometry.cols_per_row, dtype=np.uint8)
+        )
+        bits = controller.reduced_read(0, 100, 0)
+        assert (bits == 0).all()
+        controller.precharge(0)
+
+
+class TestWriteback:
+    def test_writeback_restores_word(self, controller, small_device):
+        geometry = small_device.geometry
+        row = 510
+        original = np.zeros(geometry.word_bits, dtype=np.uint8)
+        small_device.bank(0).write_row(
+            row, np.zeros(geometry.cols_per_row, dtype=np.uint8)
+        )
+        controller.set_reduced_trcd(6.0)
+        controller.reduced_read(0, row, 0)
+        controller.writeback(0, 0, original)
+        controller.precharge(0)
+        assert (small_device.bank(0).stored_row(row)[: geometry.word_bits] == 0).all()
+
+    def test_engine_traces_drange_commands(self, controller, small_device):
+        geometry = small_device.geometry
+        small_device.bank(0).write_row(
+            7, np.zeros(geometry.cols_per_row, dtype=np.uint8)
+        )
+        controller.set_reduced_trcd(10.0)
+        before = len(controller.engine.trace)
+        controller.reduced_read(0, 7, 0)
+        controller.precharge(0)
+        assert len(controller.engine.trace) >= before + 3  # ACT, READ, PRE

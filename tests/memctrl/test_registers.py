@@ -1,0 +1,61 @@
+"""Timing-register file tests."""
+
+import pytest
+
+from repro.dram.timing import LPDDR4_3200
+from repro.errors import ConfigurationError
+from repro.memctrl.registers import TimingRegisterFile
+
+
+@pytest.fixture
+def registers():
+    return TimingRegisterFile(LPDDR4_3200)
+
+
+class TestReadWrite:
+    def test_reset_state_is_preset(self, registers):
+        assert registers.read("trcd_ns") == 18.0
+        assert registers.active == registers.preset
+
+    def test_write_below_spec_allowed(self, registers):
+        registers.write("trcd_ns", 10.0)
+        assert registers.read("trcd_ns") == 10.0
+        assert registers.trcd_is_reduced
+
+    def test_reduce_trcd_convenience(self, registers):
+        registers.reduce_trcd(6.0)
+        assert registers.active.trcd_ns == 6.0
+
+    def test_write_out_of_bounds_rejected(self, registers):
+        with pytest.raises(ConfigurationError):
+            registers.write("trcd_ns", 0.5)
+        with pytest.raises(ConfigurationError):
+            registers.write("trcd_ns", 100.0)
+
+    def test_non_writable_register_rejected(self, registers):
+        with pytest.raises(ConfigurationError):
+            registers.write("tcl_ns", 10.0)
+
+    def test_unknown_register_read_rejected(self, registers):
+        with pytest.raises(ConfigurationError):
+            registers.read("bogus")
+
+
+class TestSnapshotRestore:
+    def test_restore_defaults(self, registers):
+        registers.reduce_trcd(8.0)
+        registers.write("twr_ns", 20.0)
+        registers.restore_defaults()
+        assert registers.active == registers.preset
+        assert not registers.trcd_is_reduced
+
+    def test_snapshot_roundtrip(self, registers):
+        registers.reduce_trcd(9.0)
+        snapshot = registers.snapshot()
+        registers.restore_defaults()
+        registers.restore(snapshot)
+        assert registers.read("trcd_ns") == 9.0
+
+    def test_preset_is_immutable_through_writes(self, registers):
+        registers.reduce_trcd(7.0)
+        assert registers.preset.trcd_ns == 18.0

@@ -1,0 +1,94 @@
+"""FR-FCFS scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.memctrl.requests import MemRequest
+from repro.memctrl.scheduler import FrFcfsScheduler
+from repro.sim.engine import TimingEngine
+
+
+@pytest.fixture
+def scheduler(small_device):
+    engine = TimingEngine(small_device.timings, banks=small_device.geometry.banks)
+    return FrFcfsScheduler(engine, small_device)
+
+
+def _read(bank, row, word, arrival=0.0):
+    return MemRequest(bank=bank, row=row, word=word, arrival_ns=arrival)
+
+
+class TestScheduling:
+    def test_all_requests_complete(self, scheduler):
+        requests = [_read(0, r, 0, arrival=10.0 * r) for r in range(5)]
+        done = scheduler.run(requests)
+        assert len(done) == 5
+        for request in done:
+            assert request.completion_ns is not None
+            assert request.completion_ns >= request.arrival_ns
+
+    def test_row_hit_preferred_over_older_miss(self, scheduler):
+        # Open row 5 via the first request; then a miss arrives slightly
+        # before a hit — FR-FCFS services the hit first.
+        warm = _read(0, 5, 0, arrival=0.0)
+        miss = _read(0, 9, 0, arrival=1.0)
+        hit = _read(0, 5, 1, arrival=2.0)
+        done = scheduler.run([warm, miss, hit])
+        by_id = {r.request_id: r for r in done}
+        assert by_id[hit.request_id].issue_ns < by_id[miss.request_id].issue_ns
+
+    def test_row_hits_skip_activation(self, scheduler):
+        first = _read(0, 3, 0)
+        second = _read(0, 3, 1)
+        scheduler.run([first, second])
+        # Second access is a row hit: much faster than a full row cycle.
+        gap = second.issue_ns - first.issue_ns
+        assert gap < scheduler.engine.timings.trc_ns
+
+    def test_write_data_lands_in_device(self, scheduler, small_device):
+        data = np.ones(64, dtype=np.uint8)
+        write = MemRequest(bank=0, row=2, word=0, is_write=True, data=data)
+        read = _read(0, 2, 0, arrival=1.0)
+        scheduler.run([write, read])
+        assert (read.data == 1).all()
+        scheduler.close_all()
+
+    def test_idle_gap_jumps_to_next_arrival(self, scheduler):
+        late = _read(1, 0, 0, arrival=10_000.0)
+        scheduler.run([late])
+        assert late.issue_ns >= 10_000.0
+
+    def test_latency_property_requires_completion(self):
+        request = _read(0, 0, 0)
+        with pytest.raises(ValueError):
+            _ = request.latency_ns
+
+    def test_write_requires_data(self):
+        with pytest.raises(ValueError):
+            MemRequest(bank=0, row=0, word=0, is_write=True)
+
+
+class TestRefresh:
+    def test_refreshes_issued_at_trefi(self, small_device):
+        from repro.sim.engine import TimingEngine
+
+        engine = TimingEngine(small_device.timings, banks=2)
+        scheduler = FrFcfsScheduler(
+            engine, small_device, refresh_interval_ns=3904.0
+        )
+        # Spread requests over several tREFI windows.
+        requests = [_read(0, r % 64, 0, arrival=r * 500.0) for r in range(40)]
+        scheduler.run(requests)
+        assert scheduler.refreshes_issued >= 3
+
+    def test_no_refresh_by_default(self, scheduler):
+        scheduler.run([_read(0, 1, 0)])
+        assert scheduler.refreshes_issued == 0
+
+    def test_bad_interval_rejected(self, small_device):
+        from repro.errors import ConfigurationError
+        from repro.sim.engine import TimingEngine
+
+        engine = TimingEngine(small_device.timings, banks=2)
+        with pytest.raises(ConfigurationError):
+            FrFcfsScheduler(engine, small_device, refresh_interval_ns=0.0)

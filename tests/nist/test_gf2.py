@@ -1,0 +1,77 @@
+"""GF(2) linear-algebra tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nist.gf2 import pack_rows, rank_gf2, rank_packed
+
+
+def _reference_rank(matrix: np.ndarray) -> int:
+    """Straightforward dense GF(2) elimination for cross-checking."""
+    m = matrix.copy().astype(np.uint8) % 2
+    rank = 0
+    rows, cols = m.shape
+    for col in range(cols):
+        pivot = None
+        for r in range(rank, rows):
+            if m[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        m[[rank, pivot]] = m[[pivot, rank]]
+        for r in range(rows):
+            if r != rank and m[r, col]:
+                m[r] ^= m[rank]
+        rank += 1
+    return rank
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert rank_gf2(np.eye(8, dtype=np.uint8)) == 8
+
+    def test_zero_matrix(self):
+        assert rank_gf2(np.zeros((8, 8), dtype=np.uint8)) == 0
+
+    def test_duplicate_rows_collapse(self):
+        matrix = np.ones((4, 4), dtype=np.uint8)
+        assert rank_gf2(matrix) == 1
+
+    def test_xor_dependence_detected(self):
+        matrix = np.array(
+            [[1, 0, 1, 0], [0, 1, 1, 0], [1, 1, 0, 0]], dtype=np.uint8
+        )
+        # Row 3 = row 1 XOR row 2.
+        assert rank_gf2(matrix) == 2
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            rank_gf2(np.zeros(4))
+
+    def test_pack_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            pack_rows(np.zeros((2, 65), dtype=np.uint8))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_matches_reference_on_random_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 2, (12, 12)).astype(np.uint8)
+        assert rank_gf2(matrix) == _reference_rank(matrix)
+
+    def test_packed_rank_on_32x32(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(0, 2, (32, 32)).astype(np.uint8)
+        assert rank_packed(pack_rows(matrix), 32) == _reference_rank(matrix)
+
+    def test_random_32x32_full_rank_probability(self):
+        # ~28.9% of random GF(2) 32×32 matrices are full rank.
+        rng = np.random.default_rng(4)
+        full = sum(
+            rank_gf2(rng.integers(0, 2, (32, 32)).astype(np.uint8)) == 32
+            for _ in range(300)
+        )
+        assert 0.2 < full / 300 < 0.4

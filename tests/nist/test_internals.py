@@ -1,0 +1,180 @@
+"""Per-test structural unit tests for the NIST implementations.
+
+These complement the KATs (exact spec examples) and the statistical
+suite (good-PRNG pass / defective-stream fail) with crafted inputs that
+pin down each test's internal mechanics.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nist.cusum import _cusum_p_value, cumulative_sums
+from repro.nist.dft import dft
+from repro.nist.excursions import _random_walk, _state_pi, random_excursion_variant
+from repro.nist.frequency import frequency_within_block, monobit
+from repro.nist.matrix_rank import P_FULL, P_MINUS1, P_REST, binary_matrix_rank
+from repro.nist.runs import _longest_run_per_block, runs
+from repro.nist.templates import aperiodic_templates
+
+
+class TestMonobitInternals:
+    def test_statistics_fields(self, rng):
+        bits = rng.integers(0, 2, 1000).astype(np.uint8)
+        result = monobit(bits)
+        ones = int(bits.sum())
+        assert result.statistics["s_n"] == 2 * ones - 1000
+        assert result.statistics["n"] == 1000
+
+    def test_perfectly_balanced_gives_p_one(self):
+        bits = np.tile([0, 1], 500).astype(np.uint8)
+        assert monobit(bits).p_value == pytest.approx(1.0)
+
+    def test_symmetric_in_complement(self, rng):
+        bits = rng.integers(0, 2, 5000).astype(np.uint8)
+        assert monobit(bits).p_value == pytest.approx(
+            monobit(1 - bits).p_value
+        )
+
+
+class TestBlockFrequencyInternals:
+    def test_trailing_partial_block_discarded(self, rng):
+        bits = rng.integers(0, 2, 1024).astype(np.uint8)  # exactly 8 blocks
+        full = frequency_within_block(bits, block_size=128)
+        # Appending garbage that never fills a ninth block changes
+        # neither the block count nor the statistic.
+        padded = np.concatenate([bits, np.ones(100, dtype=np.uint8)])
+        partial = frequency_within_block(padded, block_size=128)
+        assert partial.statistics["n_blocks"] == full.statistics["n_blocks"]
+        assert partial.statistics["chi2"] == pytest.approx(
+            full.statistics["chi2"]
+        )
+
+    def test_perfect_blocks_give_p_one(self):
+        block = np.tile([0, 1], 64).astype(np.uint8)  # 128 bits, 64 ones
+        bits = np.tile(block, 10)
+        result = frequency_within_block(bits, block_size=128)
+        assert result.statistics["chi2"] == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+
+
+class TestRunsInternals:
+    def test_prerequisite_failure_returns_zero(self):
+        # Heavy bias: the monobit precondition fails → p = 0 by spec.
+        bits = np.concatenate(
+            [np.ones(900, dtype=np.uint8), np.zeros(100, dtype=np.uint8)]
+        )
+        result = runs(bits)
+        assert result.p_value == 0.0
+        assert result.statistics["v_obs"] == 0.0
+
+    def test_v_obs_counts_boundaries(self):
+        bits = np.array([0, 0, 1, 1, 0, 1, 0, 0, 1, 1], dtype=np.uint8)
+        # Runs: 00|11|0|1|0|00... → transitions + 1.
+        expected = 1 + int((bits[1:] != bits[:-1]).sum())
+        import repro.nist.runs as runs_module
+
+        original = runs_module.require_length
+        runs_module.require_length = lambda *a, **k: None
+        try:
+            assert runs(bits).statistics["v_obs"] == expected
+        finally:
+            runs_module.require_length = original
+
+    def test_longest_run_per_block_exact(self):
+        blocks = np.array(
+            [
+                [1, 1, 1, 0, 1, 0, 0, 0],
+                [0, 0, 0, 0, 0, 0, 0, 0],
+                [1, 1, 1, 1, 1, 1, 1, 1],
+                [0, 1, 1, 0, 1, 1, 1, 0],
+            ],
+            dtype=np.uint8,
+        )
+        assert _longest_run_per_block(blocks).tolist() == [3, 0, 8, 3]
+
+
+class TestMatrixRankInternals:
+    def test_category_probabilities_sum_to_one(self):
+        assert P_FULL + P_MINUS1 + P_REST == pytest.approx(1.0)
+
+    def test_all_zero_matrices_fail_hard(self):
+        bits = np.zeros(38 * 1024, dtype=np.uint8)
+        result = binary_matrix_rank(bits)
+        assert result.p_value < 1e-10
+        assert result.statistics["full_rank"] == 0
+
+    def test_matrix_count_accounting(self, rng):
+        bits = rng.integers(0, 2, 40_000).astype(np.uint8)
+        result = binary_matrix_rank(bits)
+        assert result.statistics["n_matrices"] == 40_000 // 1024
+
+
+class TestDftInternals:
+    def test_threshold_formula(self, rng):
+        bits = rng.integers(0, 2, 4096).astype(np.uint8)
+        result = dft(bits)
+        assert result.statistics["threshold"] == pytest.approx(
+            math.sqrt(math.log(1 / 0.05) * 4096)
+        )
+        assert result.statistics["n0"] == pytest.approx(0.95 * 4096 / 2)
+
+    def test_n1_bounded_by_spectrum_size(self, rng):
+        bits = rng.integers(0, 2, 2048).astype(np.uint8)
+        result = dft(bits)
+        assert 0 <= result.statistics["n1"] <= 1024
+
+
+class TestCusumInternals:
+    def test_p_value_decreases_with_excursion(self):
+        values = [_cusum_p_value(z, 10_000) for z in (50.0, 150.0, 400.0)]
+        assert values[0] > values[1] > values[2]
+
+    def test_backward_mode_catches_tail_bias(self, rng):
+        # Balanced overall, but the stream *ends* with a long drift, so
+        # the backward statistic is much larger than the forward one.
+        head = rng.integers(0, 2, 8000).astype(np.uint8)
+        tail = np.concatenate(
+            [np.ones(1000, dtype=np.uint8), np.zeros(1000, dtype=np.uint8)]
+        )
+        bits = np.concatenate([head, tail[::-1]])
+        result = cumulative_sums(bits)
+        assert result.statistics["z_backward"] >= 900
+
+
+class TestExcursionInternals:
+    def test_walk_construction(self):
+        bits = np.array([1, 1, 0, 0, 0, 1], dtype=np.uint8)
+        walk, zeros, j = _random_walk(bits)
+        # S' pads a leading and a trailing zero around the partial sums.
+        assert walk.tolist() == [0, 1, 2, 1, 0, -1, 0, 0]
+        assert zeros.tolist() == [0, 4, 6, 7]
+        assert j == len(zeros) - 1 == 3
+
+    def test_state_pi_decreasing_in_visits(self):
+        for x in (1, 2, 3, 4):
+            pi = _state_pi(x)
+            assert all(b <= a for a, b in zip(pi[1:-1], pi[2:-1]))
+
+    def test_variant_p_value_formula_on_crafted_walk(self, rng):
+        # A fair long stream: every variant p-value is a valid
+        # probability and J matches the zero count.
+        bits = np.random.default_rng(2021).integers(0, 2, 1_000_000)
+        result = random_excursion_variant(bits.astype(np.uint8))
+        assert len(result.p_values) == 18
+        assert all(0.0 <= p <= 1.0 for p in result.p_values)
+        assert result.statistics["J"] > 500
+
+
+class TestTemplateLibrary:
+    @pytest.mark.parametrize("m,count", [(2, 2), (3, 4), (4, 6), (5, 12)])
+    def test_aperiodic_counts_small_m(self, m, count):
+        # Known counts of aperiodic (non-self-overlapping) templates.
+        assert len(aperiodic_templates(m)) == count
+
+    def test_templates_sorted_and_unique(self):
+        templates = aperiodic_templates(6)
+        values = [int("".join(map(str, t)), 2) for t in templates]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)

@@ -1,0 +1,101 @@
+"""Known-answer tests from the worked examples in NIST SP 800-22 rev 1a.
+
+Each case uses the exact input sequence and expected P-value printed in
+the specification's per-test "example" subsection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nist.cusum import cumulative_sums
+from repro.nist.frequency import frequency_within_block, monobit
+from repro.nist.runs import runs
+from repro.nist.serial import approximate_entropy, serial
+
+
+def bits(text: str) -> np.ndarray:
+    return np.array([int(c) for c in text], dtype=np.uint8)
+
+
+class TestMonobitExample:
+    """SP 800-22 §2.1.8: ε = 1011010101 → P-value = 0.527089."""
+
+    def test_p_value(self, monkeypatch):
+        # The spec example uses n=10; relax the length gate for the KAT.
+        import repro.nist.frequency as freq
+
+        monkeypatch.setattr(
+            freq, "require_length", lambda *args, **kwargs: None
+        )
+        result = monobit(bits("1011010101"))
+        assert result.p_value == pytest.approx(0.527089, abs=1e-6)
+        assert result.statistics["s_n"] == 2.0
+
+
+class TestBlockFrequencyExample:
+    """SP 800-22 §2.2.8: ε = 0110011010, M = 3 → P-value = 0.801252."""
+
+    def test_p_value(self, monkeypatch):
+        import repro.nist.frequency as freq
+
+        monkeypatch.setattr(
+            freq, "require_length", lambda *args, **kwargs: None
+        )
+        result = frequency_within_block(bits("0110011010"), block_size=3)
+        assert result.p_value == pytest.approx(0.801252, abs=1e-6)
+
+
+class TestRunsExample:
+    """SP 800-22 §2.3.8: ε = 1001101011 → P-value = 0.147232."""
+
+    def test_p_value(self, monkeypatch):
+        import repro.nist.runs as runs_module
+
+        monkeypatch.setattr(
+            runs_module, "require_length", lambda *args, **kwargs: None
+        )
+        result = runs(bits("1001101011"))
+        assert result.p_value == pytest.approx(0.147232, abs=1e-6)
+        assert result.statistics["v_obs"] == 7.0
+
+
+class TestSerialExample:
+    """SP 800-22 §2.11.8: ε = 0011011101, m = 3 →
+    P-value1 = 0.808792, P-value2 = 0.670320."""
+
+    def test_p_values(self, monkeypatch):
+        import repro.nist.serial as serial_module
+
+        monkeypatch.setattr(
+            serial_module, "require_length", lambda *args, **kwargs: None
+        )
+        result = serial(bits("0011011101"), m=3)
+        assert result.p_values[0] == pytest.approx(0.808792, abs=1e-6)
+        assert result.p_values[1] == pytest.approx(0.670320, abs=1e-6)
+
+
+class TestApproximateEntropyExample:
+    """SP 800-22 §2.12.8: ε = 0100110101, m = 3 → P-value = 0.261961."""
+
+    def test_p_value(self, monkeypatch):
+        import repro.nist.serial as serial_module
+
+        monkeypatch.setattr(
+            serial_module, "require_length", lambda *args, **kwargs: None
+        )
+        result = approximate_entropy(bits("0100110101"), m=3)
+        assert result.p_value == pytest.approx(0.261961, abs=1e-4)
+
+
+class TestCusumExample:
+    """SP 800-22 §2.13.8: ε = 1011010111 → forward P-value = 0.4116588."""
+
+    def test_forward_p_value(self, monkeypatch):
+        import repro.nist.cusum as cusum_module
+
+        monkeypatch.setattr(
+            cusum_module, "require_length", lambda *args, **kwargs: None
+        )
+        result = cumulative_sums(bits("1011010111"))
+        assert result.statistics["z_forward"] == 4.0
+        assert result.p_values[0] == pytest.approx(0.4116588, abs=1e-5)

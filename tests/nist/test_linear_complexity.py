@@ -1,0 +1,102 @@
+"""Linear-complexity test: vectorized Berlekamp–Massey correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.nist.linear_complexity import (
+    berlekamp_massey_blocks,
+    linear_complexity,
+)
+
+
+def _reference_bm(sequence) -> int:
+    """Textbook scalar Berlekamp–Massey over GF(2)."""
+    s = list(int(b) for b in sequence)
+    n_bits = len(s)
+    c = [0] * (n_bits + 1)
+    b = [0] * (n_bits + 1)
+    c[0] = b[0] = 1
+    length, m = 0, -1
+    for n in range(n_bits):
+        d = s[n]
+        for i in range(1, length + 1):
+            d ^= c[i] & s[n - i]
+        if d:
+            t = c[:]
+            shift = n - m
+            for i in range(0, n_bits + 1 - shift):
+                c[i + shift] ^= b[i]
+            if 2 * length <= n:
+                length = n + 1 - length
+                m = n
+                b = t
+    return length
+
+
+class TestBerlekampMassey:
+    def test_all_zeros_has_zero_complexity(self):
+        blocks = np.zeros((3, 16), dtype=np.uint8)
+        assert (berlekamp_massey_blocks(blocks) == 0).all()
+
+    def test_single_one_at_end(self):
+        block = np.zeros((1, 8), dtype=np.uint8)
+        block[0, -1] = 1
+        assert berlekamp_massey_blocks(block)[0] == 8
+
+    def test_alternating_sequence(self):
+        block = np.tile([1, 0], 8)[None, :].astype(np.uint8)
+        assert berlekamp_massey_blocks(block)[0] == _reference_bm(block[0])
+
+    def test_nist_example_sequence(self):
+        # SP 800-22 §2.10.8: ε = 1101011110001 has L = 4.
+        block = np.array(
+            [[1, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 1]], dtype=np.uint8
+        )
+        assert berlekamp_massey_blocks(block)[0] == 4
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_matches_reference_on_random_blocks(self, seed):
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(0, 2, (4, 48)).astype(np.uint8)
+        expected = [_reference_bm(blocks[i]) for i in range(4)]
+        assert berlekamp_massey_blocks(blocks).tolist() == expected
+
+    def test_random_complexity_near_half_length(self):
+        rng = np.random.default_rng(9)
+        blocks = rng.integers(0, 2, (64, 100)).astype(np.uint8)
+        lengths = berlekamp_massey_blocks(blocks)
+        assert abs(lengths.mean() - 50.0) < 2.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            berlekamp_massey_blocks(np.zeros(10, dtype=np.uint8))
+
+
+class TestLinearComplexityTest:
+    def test_passes_good_random(self, rng):
+        bits = rng.integers(0, 2, 200_000).astype(np.uint8)
+        assert linear_complexity(bits).p_value > 1e-4
+
+    def test_fails_linear_feedback_data(self):
+        # A short LFSR has tiny linear complexity in every block.
+        state = [1, 0, 0, 1]
+        out = []
+        for _ in range(100_000):
+            bit = state[0] ^ state[3]
+            out.append(state.pop())
+            state.insert(0, bit)
+        result = linear_complexity(np.array(out, dtype=np.uint8))
+        assert result.p_value < 1e-4
+
+    def test_block_size_bounds(self, rng):
+        bits = rng.integers(0, 2, 10_000).astype(np.uint8)
+        with pytest.raises(ValueError):
+            linear_complexity(bits, block_size=100)
+
+    def test_insufficient_data(self):
+        with pytest.raises(InsufficientDataError):
+            linear_complexity(np.zeros(100, dtype=np.uint8))

@@ -1,0 +1,197 @@
+"""Statistical behavior of the NIST tests.
+
+Two universal requirements: a good PRNG's output must pass every test
+(P-value ≥ α), and structurally defective streams must fail the tests
+sensitive to their defect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.nist.dft import dft
+from repro.nist.excursions import (
+    _state_pi,
+    random_excursion,
+    random_excursion_variant,
+)
+from repro.nist.frequency import frequency_within_block, monobit
+from repro.nist.matrix_rank import binary_matrix_rank
+from repro.nist.runs import longest_run_ones_in_a_block, runs
+from repro.nist.universal import _choose_l, maurers_universal
+
+ALPHA = 1e-4
+
+
+@pytest.fixture(scope="module")
+def good_bits():
+    # Seed chosen so the random walk has >500 zero-crossing cycles,
+    # keeping the excursion tests applicable.
+    return np.random.default_rng(2021).integers(0, 2, 1_000_000).astype(np.uint8)
+
+
+class TestGoodRandomPasses:
+    def test_monobit(self, good_bits):
+        assert monobit(good_bits).p_value >= ALPHA
+
+    def test_block_frequency(self, good_bits):
+        assert frequency_within_block(good_bits).p_value >= ALPHA
+
+    def test_runs(self, good_bits):
+        assert runs(good_bits).p_value >= ALPHA
+
+    def test_longest_run(self, good_bits):
+        assert longest_run_ones_in_a_block(good_bits).p_value >= ALPHA
+
+    def test_matrix_rank(self, good_bits):
+        assert binary_matrix_rank(good_bits[:200_000]).p_value >= ALPHA
+
+    def test_dft(self, good_bits):
+        assert dft(good_bits).p_value >= ALPHA
+
+    def test_universal(self, good_bits):
+        assert maurers_universal(good_bits).p_value >= ALPHA
+
+    def test_excursions(self, good_bits):
+        assert random_excursion(good_bits).passed
+        assert random_excursion_variant(good_bits).passed
+
+
+class TestDefectiveStreamsFail:
+    def test_monobit_catches_bias(self, rng):
+        biased = (rng.random(100_000) < 0.52).astype(np.uint8)
+        assert monobit(biased).p_value < ALPHA
+
+    def test_block_frequency_catches_drift(self, rng):
+        # Balanced overall but wildly unbalanced per block.
+        half = 50_000
+        bits = np.concatenate(
+            [np.ones(half, dtype=np.uint8), np.zeros(half, dtype=np.uint8)]
+        )
+        assert frequency_within_block(bits).p_value < ALPHA
+
+    def test_runs_catches_alternation(self):
+        bits = np.tile([0, 1], 50_000).astype(np.uint8)
+        assert runs(bits).p_value < ALPHA
+
+    def test_longest_run_catches_clustering(self, rng):
+        bits = rng.integers(0, 2, 100_000).astype(np.uint8)
+        bits[::200] = 1
+        for start in range(0, bits.size - 40, 400):
+            bits[start : start + 30] = 1
+        assert longest_run_ones_in_a_block(bits).p_value < ALPHA
+
+    def test_matrix_rank_catches_linear_structure(self):
+        # Repeating every 32 bits → heavily rank-deficient matrices.
+        bits = np.tile(
+            np.random.default_rng(5).integers(0, 2, 32), 2000
+        ).astype(np.uint8)
+        assert binary_matrix_rank(bits).p_value < ALPHA
+
+    def test_dft_catches_periodicity(self, rng):
+        noise_bits = rng.integers(0, 2, 100_000).astype(np.uint8)
+        period = np.tile([1, 1, 1, 1, 0, 0, 0, 0], 12_500).astype(np.uint8)
+        bits = (noise_bits & period).astype(np.uint8)
+        assert dft(bits).p_value < ALPHA
+
+    def test_excursions_catch_sticky_walk(self, rng):
+        # Markov chain with strong persistence: the walk wanders far.
+        n = 1_000_000
+        stay = rng.random(n) < 0.75
+        bits = np.empty(n, dtype=np.uint8)
+        bits[0] = 1
+        flips = ~stay
+        # bit[i] = bit[i-1] XOR flip[i]
+        bits = (np.cumsum(flips) + 1) % 2
+        try:
+            result = random_excursion_variant(bits.astype(np.uint8))
+        except InsufficientDataError:
+            return  # walk too sticky to even form cycles — also a fail
+        assert not result.passed
+
+
+class TestExcursionInternals:
+    @pytest.mark.parametrize("x", [-4, -3, -2, -1, 1, 2, 3, 4])
+    def test_state_probabilities_sum_to_one(self, x):
+        assert _state_pi(x).sum() == pytest.approx(1.0)
+
+    def test_state_pi_known_values(self):
+        pi = _state_pi(1)
+        assert pi[0] == pytest.approx(0.5)
+        assert pi[1] == pytest.approx(0.25)
+        assert pi[5] == pytest.approx(0.03125)
+
+    def test_short_stream_not_applicable(self):
+        with pytest.raises(InsufficientDataError):
+            random_excursion(np.zeros(500, dtype=np.uint8))
+
+
+class TestUniversalInternals:
+    def test_choose_l_tracks_spec_breakpoints(self):
+        assert _choose_l(387_840) == 6
+        assert _choose_l(1_000_000) == 7
+        assert _choose_l(100_000) == 0
+
+    def test_insufficient_data(self):
+        with pytest.raises(InsufficientDataError):
+            maurers_universal(np.zeros(1000, dtype=np.uint8))
+
+    def test_repetitive_data_fails(self):
+        bits = np.tile([1, 0, 1, 1, 0, 0], 70_000).astype(np.uint8)
+        assert maurers_universal(bits).p_value < ALPHA
+
+
+class TestLongestRunRegimes:
+    def test_block_size_selection_by_length(self, rng):
+        # n >= 750000 → M = 10^4; 6272 <= n < 750000 → M = 128;
+        # 128 <= n < 6272 → M = 8.
+        small = longest_run_ones_in_a_block(rng.integers(0, 2, 1000))
+        medium = longest_run_ones_in_a_block(rng.integers(0, 2, 10_000))
+        large = longest_run_ones_in_a_block(rng.integers(0, 2, 800_000))
+        assert small.statistics["block_size"] == 8
+        assert medium.statistics["block_size"] == 128
+        assert large.statistics["block_size"] == 10_000
+
+    def test_all_regimes_pass_good_random(self, rng):
+        for n in (1000, 10_000, 800_000):
+            result = longest_run_ones_in_a_block(rng.integers(0, 2, n))
+            assert result.p_value >= ALPHA
+
+
+class TestCrossTestProperties:
+    def test_apen_bounded_by_log2(self, rng):
+        from repro.nist.serial import approximate_entropy
+
+        bits = rng.integers(0, 2, 100_000).astype(np.uint8)
+        result = approximate_entropy(bits)
+        import math
+
+        assert 0.0 <= result.statistics["ap_en"] <= math.log(2.0) + 1e-9
+
+    def test_cusum_p_values_valid_over_random_streams(self):
+        from repro.nist.cusum import cumulative_sums
+
+        for seed in range(8):
+            bits = np.random.default_rng(seed).integers(0, 2, 5000)
+            result = cumulative_sums(bits.astype(np.uint8))
+            for p in result.p_values:
+                assert 0.0 <= p <= 1.0
+
+    def test_serial_deltas_non_negative(self, rng):
+        from repro.nist.serial import serial
+
+        bits = rng.integers(0, 2, 300_000).astype(np.uint8)
+        result = serial(bits)
+        assert result.statistics["delta1"] >= 0.0
+
+    def test_p_values_roughly_uniform_across_streams(self):
+        # Monobit p-values over many independent fair streams should
+        # not cluster (a smoke test of the whole p-value machinery).
+        from repro.nist.frequency import monobit
+        from repro.nist.suite import p_value_uniformity
+
+        p_values = [
+            monobit(np.random.default_rng(seed).integers(0, 2, 20_000)).p_value
+            for seed in range(120)
+        ]
+        assert p_value_uniformity(p_values) > 1e-4

@@ -1,0 +1,128 @@
+"""Suite-runner tests (Table 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.nist.result import TestResult
+from repro.nist.suite import ALL_TESTS, acceptable_proportion_range, run_suite
+
+
+class TestResultRecord:
+    def test_pass_fail_threshold(self):
+        assert TestResult("t", 0.5).passed
+        assert not TestResult("t", 1e-6).passed
+        assert TestResult("t", 1e-6, alpha=1e-7).passed
+
+    def test_multi_p_requires_all_to_pass(self):
+        result = TestResult("t", 0.5, p_values=(0.5, 1e-6))
+        assert not result.passed
+
+    def test_rejects_invalid_p(self):
+        with pytest.raises(ValueError):
+            TestResult("t", 1.5)
+
+    def test_status_strings(self):
+        assert TestResult("t", 0.5).status == "PASS"
+        assert TestResult("t", 0.0).status == "FAIL"
+
+
+class TestRunSuite:
+    def test_has_fifteen_tests(self):
+        assert len(ALL_TESTS) == 15
+
+    def test_full_suite_on_good_random(self):
+        bits = np.random.default_rng(2021).integers(0, 2, 1_000_000)
+        report = run_suite(bits.astype(np.uint8))
+        assert len(report.results) == 15
+        assert not report.skipped
+        assert report.all_passed
+
+    def test_short_stream_skips_inapplicable_tests(self, rng):
+        bits = rng.integers(0, 2, 2000).astype(np.uint8)
+        report = run_suite(bits)
+        skipped_names = {name for name, _ in report.skipped}
+        assert "maurers_universal" in skipped_names
+        assert "random_excursion" in skipped_names
+        # The always-applicable tests still ran.
+        assert report.result("monobit") is not None
+
+    def test_selected_tests_only(self, rng):
+        bits = rng.integers(0, 2, 10_000).astype(np.uint8)
+        report = run_suite(bits, tests=("monobit", "runs"))
+        assert {r.name for r in report.results} == {"monobit", "runs"}
+
+    def test_unknown_test_name_rejected(self, rng):
+        with pytest.raises(ValueError):
+            run_suite(rng.integers(0, 2, 1000).astype(np.uint8), tests=("bogus",))
+
+    def test_alpha_override_applied(self, rng):
+        bits = rng.integers(0, 2, 10_000).astype(np.uint8)
+        report = run_suite(bits, alpha=0.5, tests=("monobit",))
+        assert report.result("monobit").alpha == 0.5
+
+    def test_biased_stream_fails_suite(self, rng):
+        bits = (rng.random(100_000) < 0.6).astype(np.uint8)
+        report = run_suite(bits, tests=("monobit", "runs"))
+        assert not report.all_passed
+
+    def test_table_rendering(self, rng):
+        bits = rng.integers(0, 2, 10_000).astype(np.uint8)
+        table = run_suite(bits, tests=("monobit",)).to_table()
+        assert "NIST Test Name" in table
+        assert "monobit" in table
+
+    def test_result_lookup_missing(self, rng):
+        report = run_suite(
+            rng.integers(0, 2, 1000).astype(np.uint8), tests=("monobit",)
+        )
+        with pytest.raises(KeyError):
+            report.result("dft")
+
+
+class TestProportionRange:
+    def test_paper_configuration(self):
+        # Section 7.1: α=1e-4, k=236 → acceptable range ≈ [0.998, 1].
+        low, high = acceptable_proportion_range(1e-4, 236)
+        assert low == pytest.approx(0.998, abs=5e-4)
+        assert high == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            acceptable_proportion_range(0.01, 0)
+
+
+class TestFamilyWise:
+    def test_bonferroni_threshold_for_templates(self):
+        # 148 sub-p-values: one marginal value just below alpha passes
+        # under the family-wise correction, but a catastrophic value
+        # still fails.
+        marginal = (0.5,) * 147 + (8e-5,)
+        result = TestResult("t", 8e-5, p_values=marginal, family_wise=True)
+        assert result.effective_alpha == pytest.approx(1e-4 / 148)
+        assert result.passed
+        bad = (0.5,) * 147 + (1e-9,)
+        assert not TestResult("t", 1e-9, p_values=bad, family_wise=True).passed
+
+    def test_single_p_unaffected_by_flag(self):
+        result = TestResult("t", 5e-5, family_wise=True)
+        assert not result.passed
+
+
+class TestUniformity:
+    def test_uniform_p_values_pass(self, rng):
+        from repro.nist.suite import p_value_uniformity
+
+        assert p_value_uniformity(rng.random(500)) > 1e-4
+
+    def test_clustered_p_values_fail(self):
+        from repro.nist.suite import p_value_uniformity
+
+        assert p_value_uniformity([0.05] * 200) < 1e-4
+
+    def test_validation(self):
+        from repro.nist.suite import p_value_uniformity
+
+        with pytest.raises(ValueError):
+            p_value_uniformity([])
+        with pytest.raises(ValueError):
+            p_value_uniformity([0.5], bins=1)

@@ -1,0 +1,96 @@
+"""Template-matching test internals."""
+
+import numpy as np
+import pytest
+
+from repro.nist.templates import (
+    _greedy_count,
+    _match_positions,
+    aperiodic_templates,
+    non_overlapping_template_matching,
+    overlapping_template_matching,
+)
+
+
+class TestAperiodicTemplates:
+    def test_m9_has_148_templates(self):
+        # The count used by the reference suite for m=9.
+        assert len(aperiodic_templates(9)) == 148
+
+    def test_m2_templates(self):
+        assert aperiodic_templates(2) == ((0, 1), (1, 0))
+
+    def test_all_are_aperiodic(self):
+        for template in aperiodic_templates(5):
+            m = len(template)
+            for shift in range(1, m):
+                assert template[shift:] != template[:m - shift]
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            aperiodic_templates(0)
+
+
+class TestMatching:
+    def test_match_positions(self):
+        bits = np.array([1, 0, 1, 0, 1], dtype=np.uint8)
+        match = _match_positions(bits, (1, 0))
+        assert match.tolist() == [True, False, True, False]
+
+    def test_greedy_skips_overlaps(self):
+        # "111" contains the template "11" twice overlapping but only
+        # once without overlap.
+        bits = np.array([1, 1, 1], dtype=np.uint8)
+        match = _match_positions(bits, (1, 1))
+        assert _greedy_count(match, 2) == 1
+
+    def test_greedy_counts_disjoint(self):
+        bits = np.array([1, 1, 0, 1, 1], dtype=np.uint8)
+        match = _match_positions(bits, (1, 1))
+        assert _greedy_count(match, 2) == 2
+
+
+class TestNonOverlapping:
+    def test_spec_example(self, monkeypatch):
+        # SP 800-22 §2.7.8: ε = 10100100101110010110, B = 001, N = 2,
+        # M = 10 → W1 = 2, W2 = 1, P-value = 0.344154.  The spec example
+        # is far below the recommended length; bypass the gate.
+        import repro.nist.templates as templates_module
+
+        monkeypatch.setattr(
+            templates_module, "require_length", lambda *a, **k: None
+        )
+        bits = np.array(
+            [int(c) for c in "10100100101110010110"], dtype=np.uint8
+        )
+        result = non_overlapping_template_matching(
+            bits, m=3, n_blocks=2, templates=[(0, 0, 1)]
+        )
+        assert result.p_value == pytest.approx(0.344154, abs=1e-5)
+
+    def test_passes_good_random(self, rng):
+        bits = rng.integers(0, 2, 100_000).astype(np.uint8)
+        result = non_overlapping_template_matching(bits)
+        assert result.passed
+        assert len(result.p_values) == 148
+
+    def test_fails_on_template_spam(self, rng):
+        # Inject the template 000000001 much more often than chance.
+        bits = rng.integers(0, 2, 50_000).astype(np.uint8)
+        template = [0, 0, 0, 0, 0, 0, 0, 0, 1]
+        for start in range(0, bits.size - 9, 100):
+            bits[start : start + 9] = template
+        result = non_overlapping_template_matching(bits)
+        assert not result.passed
+
+
+class TestOverlapping:
+    def test_passes_good_random(self, rng):
+        bits = rng.integers(0, 2, 1_000_000).astype(np.uint8)
+        assert overlapping_template_matching(bits).passed
+
+    def test_fails_on_all_ones_runs(self, rng):
+        bits = rng.integers(0, 2, 200_000).astype(np.uint8)
+        for start in range(0, bits.size - 16, 500):
+            bits[start : start + 16] = 1
+        assert not overlapping_template_matching(bits).passed

@@ -1,0 +1,125 @@
+"""Energy-model tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.commands import CommandKind
+from repro.dram.timing import LPDDR4_3200
+from repro.errors import ConfigurationError
+from repro.power.idd import DDR3_IDD, LPDDR4_IDD, IddSpec
+from repro.power.model import PowerModel
+from repro.sim.trace import CommandTrace
+
+
+@pytest.fixture
+def model():
+    return PowerModel(LPDDR4_IDD, LPDDR4_3200)
+
+
+def _simple_trace():
+    trace = CommandTrace()
+    trace.append(CommandKind.ACT, 0, 0.0)
+    trace.append(CommandKind.READ, 0, 18.0)
+    trace.append(CommandKind.WRITE, 0, 60.0)
+    trace.append(CommandKind.PRE, 0, 100.0)
+    return trace
+
+
+class TestIddSpecs:
+    def test_presets_are_sane(self):
+        for spec in (LPDDR4_IDD, DDR3_IDD):
+            assert spec.idd0 > spec.idd3n > 0
+            assert spec.idd4r > spec.idd3n
+            assert spec.idd2n < spec.idd3n
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(LPDDR4_IDD, idd0=10.0)  # below idd3n
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(LPDDR4_IDD, vdd=-1.0)
+
+
+class TestTraceEnergy:
+    def test_breakdown_components_positive(self, model):
+        breakdown = model.trace_energy(_simple_trace())
+        assert breakdown.activation_j > 0
+        assert breakdown.read_j > 0
+        assert breakdown.write_j > 0
+        assert breakdown.refresh_j == 0
+        assert breakdown.background_j > 0
+        assert breakdown.total_j == pytest.approx(
+            breakdown.activation_j
+            + breakdown.read_j
+            + breakdown.write_j
+            + breakdown.refresh_j
+            + breakdown.background_j
+        )
+
+    def test_known_activation_energy(self, model):
+        trace = CommandTrace()
+        trace.append(CommandKind.ACT, 0, 0.0)
+        breakdown = model.trace_energy(trace, duration_ns=0.0)
+        expected = (
+            LPDDR4_IDD.vdd
+            * (LPDDR4_IDD.idd0 - LPDDR4_IDD.idd3n)
+            * LPDDR4_3200.trc_ns
+            * 1e-12
+        )
+        assert breakdown.activation_j == pytest.approx(expected)
+
+    def test_more_commands_more_energy(self, model):
+        single = model.trace_energy(_simple_trace()).total_j
+        double_trace = _simple_trace()
+        double_trace.append(CommandKind.ACT, 1, 150.0)
+        double_trace.append(CommandKind.READ, 1, 170.0)
+        double = model.trace_energy(double_trace, duration_ns=170.0).total_j
+        assert double > single
+
+    def test_duration_shorter_than_trace_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.trace_energy(_simple_trace(), duration_ns=50.0)
+
+
+class TestNetEnergy:
+    def test_idle_energy_scales_with_time(self, model):
+        assert model.idle_energy(2000.0) == pytest.approx(
+            2 * model.idle_energy(1000.0)
+        )
+
+    def test_net_energy_positive_for_active_trace(self, model):
+        assert model.net_energy(_simple_trace()) > 0
+
+    def test_energy_per_bit(self, model):
+        per_bit = model.energy_per_bit(_simple_trace(), bits=10)
+        assert per_bit == pytest.approx(model.net_energy(_simple_trace()) / 10)
+        with pytest.raises(ValueError):
+            model.energy_per_bit(_simple_trace(), bits=0)
+
+    def test_drange_energy_order_of_magnitude(self, model):
+        # One Algorithm 2 half-iteration (ACT+R+W+PRE) yielding ~4 bits
+        # should cost single-digit nJ/bit (the paper reports 4.4).
+        per_bit = model.energy_per_bit(_simple_trace(), bits=4)
+        assert 1e-10 < per_bit < 1e-8
+
+
+class TestRefreshEnergy:
+    def test_ref_command_costs_trfc_worth(self, model):
+        trace = CommandTrace()
+        trace.append(CommandKind.REF, None, 0.0)
+        breakdown = model.trace_energy(trace, duration_ns=LPDDR4_3200.trfc_ns)
+        expected = (
+            LPDDR4_IDD.vdd
+            * (LPDDR4_IDD.idd5 - LPDDR4_IDD.idd3n)
+            * LPDDR4_3200.trfc_ns
+            * 1e-12
+        )
+        assert breakdown.refresh_j == pytest.approx(expected)
+        assert breakdown.refresh_j > 0
+
+    def test_refresh_background_share_matches_spec(self, model):
+        # Refresh costs ~1.6% of background power at LPDDR4 cadence:
+        # (idd5-idd3n)*tRFC vs idd3n*tREFI.
+        ref = (LPDDR4_IDD.idd5 - LPDDR4_IDD.idd3n) * LPDDR4_3200.trfc_ns
+        background = LPDDR4_IDD.idd3n * LPDDR4_3200.trefi_ns
+        assert 0.05 < ref / background < 0.35

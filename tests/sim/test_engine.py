@@ -1,0 +1,201 @@
+"""Timing-engine constraint tests."""
+
+import pytest
+
+from repro.dram.commands import CommandKind
+from repro.dram.timing import LPDDR4_3200
+from repro.errors import ProtocolError
+from repro.sim.engine import BUS_TURNAROUND_NS, TimingEngine
+
+T = LPDDR4_3200
+
+
+@pytest.fixture
+def engine():
+    return TimingEngine(T, banks=8)
+
+
+class TestRowChain:
+    def test_act_read_respects_trcd(self, engine):
+        act = engine.activate(0, 10)
+        read = engine.read(0)
+        assert read - act >= T.trcd_ns - 1e-9
+
+    def test_reduced_trcd_honored(self, engine):
+        act = engine.activate(0, 10)
+        read = engine.read(0, trcd_ns=10.0)
+        assert 10.0 - 1e-9 <= read - act < T.trcd_ns
+
+    def test_pre_respects_tras(self, engine):
+        act = engine.activate(0, 10)
+        pre = engine.precharge(0)
+        assert pre - act >= T.tras_ns - 1e-9
+
+    def test_act_after_pre_respects_trp(self, engine):
+        engine.activate(0, 10)
+        pre = engine.precharge(0)
+        act = engine.activate(0, 11)
+        assert act - pre >= T.trp_ns - 1e-9
+
+    def test_same_bank_act_respects_trc(self, engine):
+        first = engine.activate(0, 10)
+        engine.precharge(0)
+        second = engine.activate(0, 11)
+        assert second - first >= T.trc_ns - 1e-9
+
+    def test_read_to_pre_respects_trtp(self, engine):
+        engine.activate(0, 10)
+        read = engine.read(0)
+        pre = engine.precharge(0)
+        assert pre - read >= T.trtp_ns - 1e-9
+
+    def test_write_recovery_before_pre(self, engine):
+        engine.activate(0, 10)
+        write = engine.write(0)
+        pre = engine.precharge(0)
+        assert pre - write >= T.tcwl_ns + T.burst_ns + T.twr_ns - 1e-9
+
+
+class TestBankParallelism:
+    def test_acts_respect_trrd(self, engine):
+        a = engine.activate(0, 1)
+        b = engine.activate(1, 1)
+        assert b - a >= T.trrd_ns - 1e-9
+
+    def test_tfaw_limits_act_bursts(self, engine):
+        times = [engine.activate(bank, 0) for bank in range(5)]
+        assert times[4] - times[0] >= T.tfaw_ns - 1e-9
+
+    def test_reads_respect_tccd(self, engine):
+        engine.activate(0, 1)
+        engine.activate(1, 1)
+        r0 = engine.read(0)
+        r1 = engine.read(1)
+        assert r1 - r0 >= T.tccd_ns - 1e-9
+
+
+class TestTurnarounds:
+    def test_read_to_write_gap(self, engine):
+        engine.activate(0, 1)
+        read = engine.read(0)
+        write = engine.write(0)
+        assert write - read >= (
+            T.tcl_ns + T.burst_ns + BUS_TURNAROUND_NS - T.tcwl_ns - 1e-9
+        )
+
+    def test_write_to_read_gap(self, engine):
+        engine.activate(0, 1)
+        write = engine.write(0)
+        read = engine.read(0)
+        assert read - write >= T.tcwl_ns + T.burst_ns + T.twtr_ns - 1e-9
+
+
+class TestProtocol:
+    def test_read_without_open_row(self, engine):
+        with pytest.raises(ProtocolError):
+            engine.read(0)
+
+    def test_double_act_same_bank(self, engine):
+        engine.activate(0, 1)
+        with pytest.raises(ProtocolError):
+            engine.activate(0, 2)
+
+    def test_refresh_requires_all_precharged(self, engine):
+        engine.activate(0, 1)
+        with pytest.raises(ProtocolError):
+            engine.refresh()
+
+    def test_refresh_blocks_following_commands(self, engine):
+        ref = engine.refresh()
+        act = engine.activate(0, 1)
+        assert act - ref >= T.trfc_ns - 1e-9
+
+    def test_unknown_bank(self, engine):
+        with pytest.raises(ProtocolError):
+            engine.activate(99, 0)
+
+
+class TestBusAndTrace:
+    def test_commands_serialize_on_bus(self, engine):
+        a = engine.activate(0, 1)
+        b = engine.activate(1, 1)
+        assert b > a  # one command per bus cycle minimum
+
+    def test_trace_records_everything_in_order(self, engine):
+        engine.activate(0, 1)
+        engine.read(0)
+        engine.precharge(0)
+        kinds = [c.kind for c in engine.trace]
+        assert kinds == [CommandKind.ACT, CommandKind.READ, CommandKind.PRE]
+        times = [c.issue_ns for c in engine.trace]
+        assert times == sorted(times)
+
+    def test_issue_times_on_clock_grid(self, engine):
+        engine.activate(0, 1)
+        engine.read(0)
+        cycle = 1e3 / T.clock_mhz
+        for command in engine.trace:
+            assert command.issue_ns / cycle == pytest.approx(
+                round(command.issue_ns / cycle), abs=1e-6
+            )
+
+    def test_idle_until_moves_clock(self, engine):
+        engine.idle_until(500.0)
+        assert engine.now_ns == 500.0
+        with pytest.raises(ValueError):
+            engine.idle_until(100.0)
+
+    def test_read_data_available_time(self, engine):
+        engine.activate(0, 1)
+        read = engine.read(0)
+        assert engine.read_data_available_ns(read) == pytest.approx(
+            read + T.tcl_ns + T.burst_ns
+        )
+
+
+class TestBankGroups:
+    """DDR4 bank-group timing rules (tCCD_L/S, tRRD_L/S)."""
+
+    def _engine(self):
+        from repro.dram.timing import DDR4_2400
+
+        return TimingEngine(DDR4_2400, banks=8), DDR4_2400
+
+    def test_same_group_reads_pay_tccd_l(self):
+        engine, t = self._engine()
+        # Banks 0 and 4 share group 0 (striped across 4 groups).
+        engine.activate(0, 1)
+        engine.activate(4, 1)
+        first = engine.read(0)
+        second = engine.read(4)
+        assert second - first >= t.tccd_l_ns - 1e-9
+
+    def test_cross_group_reads_pay_only_tccd_s(self):
+        engine, t = self._engine()
+        engine.activate(0, 1)
+        engine.activate(1, 1)  # group 1
+        first = engine.read(0)
+        second = engine.read(1)
+        assert second - first < t.tccd_l_ns
+        assert second - first >= t.tccd_ns - 1e-9
+
+    def test_same_group_acts_pay_trrd_l(self):
+        engine, t = self._engine()
+        first = engine.activate(0, 1)
+        second = engine.activate(4, 1)
+        assert second - first >= t.trrd_l_ns - 1e-9
+
+    def test_cross_group_acts_pay_only_trrd_s(self):
+        engine, t = self._engine()
+        first = engine.activate(0, 1)
+        second = engine.activate(1, 1)
+        assert second - first < t.trrd_l_ns
+
+    def test_bank_group_striping(self):
+        engine, _ = self._engine()
+        assert engine.bank_group(0) == engine.bank_group(4) == 0
+        assert engine.bank_group(1) == engine.bank_group(5) == 1
+
+    def test_lpddr4_has_no_group_rules(self):
+        engine = TimingEngine(LPDDR4_3200, banks=8)
+        assert engine.bank_group(0) == engine.bank_group(5) == 0

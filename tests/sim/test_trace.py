@@ -1,0 +1,44 @@
+"""Command-trace container tests."""
+
+import pytest
+
+from repro.dram.commands import CommandKind
+from repro.sim.trace import CommandTrace, TimedCommand
+
+
+class TestTimedCommand:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            TimedCommand(CommandKind.ACT, 0, -1.0)
+
+
+class TestCommandTrace:
+    def test_append_and_iterate(self):
+        trace = CommandTrace()
+        trace.append(CommandKind.ACT, 0, 0.0)
+        trace.append(CommandKind.READ, 0, 10.0)
+        assert len(trace) == 2
+        assert [c.kind for c in trace] == [CommandKind.ACT, CommandKind.READ]
+        assert trace[1].issue_ns == 10.0
+
+    def test_enforces_time_order(self):
+        trace = CommandTrace()
+        trace.append(CommandKind.ACT, 0, 10.0)
+        with pytest.raises(ValueError):
+            trace.append(CommandKind.PRE, 0, 5.0)
+
+    def test_duration(self):
+        trace = CommandTrace()
+        assert trace.duration_ns == 0.0
+        trace.append(CommandKind.ACT, 0, 3.0)
+        trace.append(CommandKind.PRE, 0, 45.0)
+        assert trace.duration_ns == 45.0
+
+    def test_count_by_kind(self):
+        trace = CommandTrace()
+        for t, kind in enumerate(
+            [CommandKind.ACT, CommandKind.READ, CommandKind.READ, CommandKind.PRE]
+        ):
+            trace.append(kind, 0, float(t))
+        assert trace.count(CommandKind.READ) == 2
+        assert trace.count(CommandKind.REF) == 0

@@ -1,0 +1,89 @@
+"""Synthetic workload catalog tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise import NoiseSource
+from repro.sim.workloads import (
+    Workload,
+    generate_request_trace,
+    spec_workloads,
+)
+
+
+class TestCatalog:
+    def test_has_spec_cpu2006_size(self):
+        assert len(spec_workloads()) == 29
+
+    def test_memory_intensity_ordering(self):
+        by_name = {w.name: w for w in spec_workloads()}
+        # The canonical memory-bound / compute-bound split.
+        assert by_name["mcf"].bandwidth_gbps > by_name["povray"].bandwidth_gbps
+        assert by_name["lbm"].mpki > by_name["gamess"].mpki
+
+    def test_unique_names(self):
+        names = [w.name for w in spec_workloads()]
+        assert len(set(names)) == len(names)
+
+
+class TestIdleFraction:
+    def test_bounds(self):
+        for workload in spec_workloads():
+            idle = workload.idle_fraction(6.4)
+            assert 0.0 <= idle <= 1.0
+
+    def test_compute_bound_leaves_most_idle(self):
+        povray = next(w for w in spec_workloads() if w.name == "povray")
+        assert povray.idle_fraction(6.4) > 0.95
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            spec_workloads()[0].idle_fraction(0.0)
+
+    def test_demand_above_capacity_saturates(self):
+        hog = Workload("hog", 100.0, 100.0)
+        assert hog.idle_fraction(6.4) == 0.0
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ConfigurationError):
+            Workload("bad", -1.0, 1.0)
+
+
+class TestRequestTrace:
+    def test_trace_shape_and_ordering(self):
+        workload = Workload("test", 10.0, 2.0)
+        trace = generate_request_trace(
+            workload, 100_000.0, 6.4, noise=NoiseSource(seed=1)
+        )
+        assert trace
+        arrivals = [r.arrival_ns for r in trace]
+        assert arrivals == sorted(arrivals)
+        for request in trace:
+            assert 0 <= request.bank < 8
+            assert 0 <= request.row < 4096
+            assert 0 <= request.word < 16
+
+    def test_rate_tracks_demand(self):
+        workload = Workload("test", 10.0, 3.2)
+        duration = 1_000_000.0
+        trace = generate_request_trace(
+            workload, duration, 6.4, noise=NoiseSource(seed=2)
+        )
+        expected = workload.bandwidth_gbps / 8 / 64 * duration
+        assert len(trace) == pytest.approx(expected, rel=0.2)
+
+    def test_row_locality_reuses_rows(self):
+        workload = Workload("test", 10.0, 2.0)
+        trace = generate_request_trace(
+            workload, 200_000.0, 6.4, row_locality=0.9,
+            noise=NoiseSource(seed=3),
+        )
+        rows = [(r.bank, r.row) for r in trace]
+        assert len(set(rows)) < len(rows) * 0.5
+
+    def test_validation(self):
+        workload = Workload("test", 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            generate_request_trace(workload, -1.0, 6.4)
+        with pytest.raises(ConfigurationError):
+            generate_request_trace(workload, 100.0, 6.4, write_fraction=2.0)

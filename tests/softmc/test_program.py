@@ -1,0 +1,50 @@
+"""SoftMC program construction tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.softmc.program import Instruction, Opcode, Program
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        program = (
+            Program()
+            .act(0, 5)
+            .wait(10.0)
+            .read(0, 0)
+            .pre(0)
+        )
+        assert len(program) == 4
+        assert program.instructions[0].opcode is Opcode.ACT
+
+    def test_loop_balancing(self):
+        program = Program().loop(3).act(0, 0).pre(0).end_loop()
+        program.validate()
+
+    def test_unclosed_loop_rejected(self):
+        program = Program().loop(2).act(0, 0)
+        with pytest.raises(ConfigurationError):
+            program.validate()
+
+    def test_end_without_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Program().end_loop()
+
+    def test_write_requires_data(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(Opcode.WRITE, bank=0, word=0)
+
+    def test_wait_requires_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(Opcode.WAIT, wait_ns=-1.0)
+
+    def test_loop_requires_positive_count(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(Opcode.LOOP, count=0)
+
+    def test_instructions_returns_copy(self):
+        program = Program().act(0, 0)
+        listing = program.instructions
+        listing.append("garbage")
+        assert len(program) == 1

@@ -1,0 +1,121 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_hex_output(self, capsys):
+        code = main(
+            ["--seed", "5", "generate", "--bytes", "16", "--hex",
+             "--banks", "2", "--rows", "512"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out) == 32
+        int(out, 16)  # valid hex
+
+    def test_outputs_differ_across_seeds(self, capsys):
+        main(["--seed", "5", "generate", "--bytes", "8", "--hex",
+              "--banks", "2", "--rows", "512"])
+        first = capsys.readouterr().out.strip()
+        main(["--seed", "6", "generate", "--bytes", "8", "--hex",
+              "--banks", "2", "--rows", "512"])
+        second = capsys.readouterr().out.strip()
+        assert first != second
+
+
+class TestCharacterize:
+    def test_summary_output(self, capsys):
+        code = main(
+            ["--seed", "5", "characterize", "--rows", "256",
+             "--iterations", "50"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failing cells:" in out
+        assert "row-gradient correlation:" in out
+
+
+class TestNist:
+    def test_subset_run_passes(self, capsys):
+        code = main(["--seed", "5", "nist", "--bits", "50000"])
+        out = capsys.readouterr().out
+        assert "monobit" in out
+        assert code == 0
+
+
+class TestThroughput:
+    def test_sweep_table(self, capsys):
+        code = main(["--seed", "5", "throughput", "--banks", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput(Mb/s)" in out
+        assert out.count("\n") >= 2
+
+
+class TestLatency:
+    def test_report(self, capsys):
+        code = main(["--seed", "5", "latency"])
+        assert code == 0
+        assert "64 random bits" in capsys.readouterr().out
+
+
+class TestExperimentSubcommand:
+    def test_single_experiment(self, capsys):
+        code = main(["--seed", "5", "experiment", "latency"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[latency]" in out
+        assert "64 random bits" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "bogus"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestDiehardSubcommand:
+    def test_battery_passes_on_drange_output(self, capsys):
+        code = main(["--seed", "5", "diehard", "--bits", "60000"])
+        out = capsys.readouterr().out
+        assert "DIEHARD Test" in out
+        assert code == 0
+
+
+class TestReportModule:
+    def test_generate_report_subset(self, tmp_path):
+        from repro.experiments.common import ExperimentConfig
+        from repro.experiments.report import generate_report
+
+        config = ExperimentConfig(
+            noise_seed=5, devices_per_manufacturer=1,
+            region_banks=(0,), region_rows=256,
+        )
+        text, timings = generate_report(
+            config=config, experiments=("latency", "interference")
+        )
+        assert "[latency]" in text and "[interference]" in text
+        assert set(timings) == {"latency", "interference"}
+        assert all(t >= 0 for t in timings.values())
+
+    def test_unknown_experiment_rejected(self):
+        import pytest as _pytest
+
+        from repro.experiments.report import generate_report
+
+        with _pytest.raises(ValueError):
+            generate_report(experiments=("bogus",))
+
+
+class TestHealthSubcommand:
+    def test_healthy_source_reports_ok(self, capsys):
+        code = main(["--seed", "5", "health", "--bits", "50000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out
+        assert "min-entropy estimate" in out

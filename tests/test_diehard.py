@@ -1,0 +1,109 @@
+"""DIEHARD-style battery tests."""
+
+import numpy as np
+import pytest
+
+from repro.diehard import run_battery
+from repro.diehard.battery import (
+    _rank_probability,
+    binary_rank_6x8,
+    birthday_spacings,
+    count_the_ones,
+    overlapping_5bit,
+    runs_up_down,
+)
+from repro.errors import InsufficientDataError
+
+ALPHA = 1e-4
+
+
+@pytest.fixture(scope="module")
+def good_bits():
+    return np.random.default_rng(31).integers(0, 2, 600_000).astype(np.uint8)
+
+
+class TestRankProbability:
+    def test_distribution_sums_to_one(self):
+        total = sum(_rank_probability(6, 8, r) for r in range(0, 7))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_full_rank_dominates(self):
+        assert _rank_probability(6, 8, 6) > 0.7
+
+    def test_out_of_range_is_zero(self):
+        assert _rank_probability(6, 8, 7) == 0.0
+        assert _rank_probability(6, 8, -1) == 0.0
+
+    def test_square_32_matches_nist_constant(self):
+        # The NIST matrix-rank test's 0.2888 for full-rank 32×32.
+        assert _rank_probability(32, 32, 32) == pytest.approx(0.2888, abs=1e-4)
+
+
+class TestGoodRandomPasses:
+    def test_all_tests_pass(self, good_bits):
+        results = run_battery(good_bits)
+        assert len(results) == 5
+        for result in results:
+            assert result.p_value >= ALPHA, result.name
+
+
+class TestDefectiveStreamsFail:
+    def test_bias_caught(self, rng):
+        biased = (rng.random(600_000) < 0.55).astype(np.uint8)
+        assert count_the_ones(biased).p_value < ALPHA
+        assert overlapping_5bit(biased).p_value < ALPHA
+
+    def test_repetition_caught_by_birthday(self):
+        # A tiny repeating vocabulary of 24-bit words → massive numbers
+        # of duplicate spacings.
+        word = np.random.default_rng(2).integers(0, 2, 24).astype(np.uint8)
+        bits = np.tile(word, 40_000)
+        assert birthday_spacings(bits).p_value < ALPHA
+
+    def test_linear_structure_caught_by_rank(self):
+        block = np.random.default_rng(3).integers(0, 2, 8).astype(np.uint8)
+        bits = np.tile(block, 60_000)  # every matrix row identical
+        assert binary_rank_6x8(bits).p_value < ALPHA
+
+    def test_monotone_structure_caught_by_runs(self):
+        # Sawtooth bytes: long ascending runs.
+        values = np.tile(np.arange(256, dtype=np.uint8), 400)
+        bits = np.unpackbits(values)
+        assert runs_up_down(bits).p_value < ALPHA
+
+
+class TestEdgeCases:
+    def test_short_stream_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            birthday_spacings(np.zeros(100, dtype=np.uint8))
+
+    def test_battery_skips_inapplicable(self):
+        results = run_battery(np.random.default_rng(1).integers(0, 2, 9000))
+        names = {r.name for r in results}
+        assert "birthday_spacings" not in names  # needs ~25 Kb
+        assert "overlapping_5bit" in names
+
+    def test_alpha_override(self, good_bits):
+        results = run_battery(good_bits, alpha=0.5)
+        assert all(r.alpha == 0.5 for r in results)
+
+
+class TestDRangeOutputPassesDiehard:
+    def test_drange_stream(self):
+        from repro.core.drange import DRange
+        from repro.core.profiling import Region
+        from repro.dram.device import DeviceFactory
+
+        device = DeviceFactory(master_seed=2019, noise_seed=41).make_device("A", 0)
+        drange = DRange(device)
+        cells = drange.prepare(
+            region=Region(banks=(0, 1), row_start=0, row_count=512),
+            iterations=100,
+        )
+        if not cells:
+            pytest.skip("no RNG cells for this seed")
+        bits = drange.random_bits(400_000)
+        results = run_battery(bits)
+        assert results
+        for result in results:
+            assert result.passed, result.name

@@ -1,0 +1,124 @@
+"""Hash-DRBG (SP 800-90A) tests."""
+
+import numpy as np
+import pytest
+
+from repro.drbg import (
+    DEFAULT_RESEED_INTERVAL,
+    DrangeSeededDrbg,
+    HashDrbg,
+    ReseedRequiredError,
+    _hash_df,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHashDf:
+    def test_length_exact(self):
+        assert len(_hash_df(b"seed", 55)) == 55
+        assert len(_hash_df(b"seed", 16)) == 16
+
+    def test_deterministic_and_input_sensitive(self):
+        assert _hash_df(b"a", 32) == _hash_df(b"a", 32)
+        assert _hash_df(b"a", 32) != _hash_df(b"b", 32)
+
+
+class TestHashDrbg:
+    def test_deterministic_given_seed(self):
+        a = HashDrbg(entropy=b"\x01" * 48, nonce=b"n")
+        b = HashDrbg(entropy=b"\x01" * 48, nonce=b"n")
+        assert a.generate(64) == b.generate(64)
+        assert a.generate(64) == b.generate(64)  # state advances in step
+
+    def test_different_entropy_different_stream(self):
+        a = HashDrbg(entropy=b"\x01" * 48)
+        b = HashDrbg(entropy=b"\x02" * 48)
+        assert a.generate(64) != b.generate(64)
+
+    def test_consecutive_outputs_differ(self):
+        drbg = HashDrbg(entropy=b"\x07" * 48)
+        assert drbg.generate(32) != drbg.generate(32)
+
+    def test_additional_input_perturbs(self):
+        a = HashDrbg(entropy=b"\x01" * 48)
+        b = HashDrbg(entropy=b"\x01" * 48)
+        assert a.generate(32, additional=b"x") != b.generate(32)
+
+    def test_personalization_separates_instances(self):
+        a = HashDrbg(entropy=b"\x01" * 48, personalization=b"app-a")
+        b = HashDrbg(entropy=b"\x01" * 48, personalization=b"app-b")
+        assert a.generate(32) != b.generate(32)
+
+    def test_reseed_changes_stream_and_resets_counter(self):
+        drbg = HashDrbg(entropy=b"\x01" * 48)
+        drbg.generate(16)
+        assert drbg.reseed_counter == 2
+        before = HashDrbg(entropy=b"\x01" * 48)
+        before.generate(16)
+        drbg.reseed(b"\x09" * 48)
+        assert drbg.reseed_counter == 1
+        assert drbg.generate(32) != before.generate(32)
+
+    def test_reseed_interval_enforced(self):
+        drbg = HashDrbg(entropy=b"\x01" * 48, reseed_interval=3)
+        for _ in range(3):
+            drbg.generate(8)
+        with pytest.raises(ReseedRequiredError):
+            drbg.generate(8)
+        drbg.reseed(b"\x05" * 48)
+        drbg.generate(8)
+
+    def test_entropy_length_enforced(self):
+        with pytest.raises(ConfigurationError):
+            HashDrbg(entropy=b"short")
+        drbg = HashDrbg(entropy=b"\x01" * 48)
+        with pytest.raises(ConfigurationError):
+            drbg.reseed(b"short")
+
+    def test_output_passes_nist_spot_checks(self):
+        from repro.nist.suite import run_suite
+
+        drbg = HashDrbg(entropy=b"\xa5" * 48)
+        bits = drbg.generate_bits(200_000)
+        report = run_suite(
+            bits, tests=("monobit", "runs", "approximate_entropy", "dft")
+        )
+        assert report.all_passed
+
+    def test_generate_bits_length(self):
+        drbg = HashDrbg(entropy=b"\x01" * 48)
+        assert drbg.generate_bits(100).size == 100
+
+    def test_default_interval_is_large(self):
+        assert DEFAULT_RESEED_INTERVAL >= 1 << 20
+
+
+class TestDrangeSeededDrbg:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        from repro.core.drange import DRange
+        from repro.core.profiling import Region
+        from repro.dram.device import DeviceFactory
+
+        device = DeviceFactory(master_seed=2019, noise_seed=53).make_device("A", 0)
+        drange = DRange(device)
+        cells = drange.prepare(
+            region=Region(banks=(0, 1), row_start=0, row_count=512),
+            iterations=100,
+        )
+        if not cells:
+            pytest.skip("no RNG cells for this seed")
+        return DrangeSeededDrbg(drange, reseed_interval=4)
+
+    def test_bulk_output(self, pipeline):
+        data = pipeline.random_bytes(1024)
+        assert len(data) == 1024
+
+    def test_automatic_reseeding(self, pipeline):
+        for _ in range(12):
+            pipeline.random_bytes(8)
+        assert pipeline.reseeds >= 1
+
+    def test_bits_balanced(self, pipeline):
+        bits = pipeline.random_bits(80_000)
+        assert abs(bits.mean() - 0.5) < 0.02

@@ -1,0 +1,94 @@
+"""NoiseSource behavior tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noise import NoiseSource
+
+
+class TestBernoulli:
+    def test_extremes(self, noise):
+        assert not noise.bernoulli(np.zeros(100)).any()
+        assert noise.bernoulli(np.ones(100)).all()
+
+    def test_clips_out_of_range(self, noise):
+        out = noise.bernoulli(np.array([-0.5, 1.5]))
+        assert not out[0] and out[1]
+
+    def test_half_probability_is_balanced(self, noise):
+        draws = noise.bernoulli(np.full(20_000, 0.5))
+        assert abs(draws.mean() - 0.5) < 0.02
+
+    def test_shape_preserved(self, noise):
+        assert noise.bernoulli(np.full((3, 4), 0.5)).shape == (3, 4)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_mean_tracks_probability(self, p):
+        source = NoiseSource(seed=5)
+        draws = source.bernoulli(np.full(5000, p))
+        assert abs(draws.mean() - p) < 0.05
+
+
+class TestBinomial:
+    def test_matches_bernoulli_statistics(self):
+        source = NoiseSource(seed=3)
+        counts = source.binomial(100, np.full(2000, 0.3))
+        assert abs(counts.mean() - 30.0) < 1.0
+
+    def test_zero_trials(self, noise):
+        assert (noise.binomial(0, np.full(10, 0.5)) == 0).all()
+
+    def test_rejects_negative_trials(self, noise):
+        with pytest.raises(ValueError):
+            noise.binomial(-1, np.array([0.5]))
+
+
+class TestDeterminism:
+    def test_seeded_sources_agree(self):
+        a = NoiseSource(seed=42)
+        b = NoiseSource(seed=42)
+        probs = np.full(1000, 0.5)
+        assert (a.bernoulli(probs) == b.bernoulli(probs)).all()
+
+    def test_unseeded_sources_differ(self):
+        a = NoiseSource()
+        b = NoiseSource()
+        probs = np.full(1000, 0.5)
+        assert (a.bernoulli(probs) != b.bernoulli(probs)).any()
+
+    def test_deterministic_flag(self):
+        assert NoiseSource(seed=1).deterministic
+        assert not NoiseSource().deterministic
+
+    def test_spawn_children_are_independent(self):
+        parent = NoiseSource(seed=7)
+        c1, c2 = parent.spawn(), parent.spawn()
+        probs = np.full(1000, 0.5)
+        assert (c1.bernoulli(probs) != c2.bernoulli(probs)).any()
+
+    def test_spawn_is_reproducible_from_seed(self):
+        children_a = NoiseSource(seed=7).spawn()
+        children_b = NoiseSource(seed=7).spawn()
+        probs = np.full(100, 0.5)
+        assert (children_a.bernoulli(probs) == children_b.bernoulli(probs)).all()
+
+
+class TestGaussianUniform:
+    def test_gaussian_moments(self, noise):
+        samples = noise.gaussian(50_000, sigma=2.0)
+        assert abs(samples.mean()) < 0.05
+        assert abs(samples.std() - 2.0) < 0.05
+
+    def test_gaussian_rejects_negative_sigma(self, noise):
+        with pytest.raises(ValueError):
+            noise.gaussian(10, sigma=-1.0)
+
+    def test_uniform_range(self, noise):
+        samples = noise.uniform(10_000)
+        assert samples.min() >= 0.0 and samples.max() < 1.0
+
+    def test_integers_range(self, noise):
+        samples = noise.integers(3, 9, 1000)
+        assert samples.min() >= 3 and samples.max() < 9

@@ -1,0 +1,77 @@
+"""Post-processing (von Neumann / SHA-256 conditioning) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import postprocess
+
+
+class TestVonNeumann:
+    def test_known_pairs(self):
+        # 01→0, 10→1, 00/11 dropped.
+        out = postprocess.von_neumann([0, 1, 1, 0, 0, 0, 1, 1])
+        assert out.tolist() == [0, 1]
+
+    def test_empty_input(self):
+        assert postprocess.von_neumann([]).size == 0
+
+    def test_odd_length_ignores_trailing_bit(self):
+        out = postprocess.von_neumann([0, 1, 1])
+        assert out.tolist() == [0]
+
+    def test_debias_removes_bias(self, rng):
+        biased = (rng.random(200_000) < 0.8).astype(np.uint8)
+        out = postprocess.von_neumann(biased)
+        assert abs(out.mean() - 0.5) < 0.02
+
+    def test_throughput_cost_matches_theory(self, rng):
+        p = 0.8
+        biased = (rng.random(100_000) < p).astype(np.uint8)
+        out = postprocess.von_neumann(biased)
+        expected = postprocess.von_neumann_efficiency(p)
+        assert out.size / biased.size == pytest.approx(expected, rel=0.15)
+
+    @given(st.lists(st.integers(0, 1), max_size=200))
+    @settings(max_examples=50)
+    def test_output_never_longer_than_half(self, bits):
+        out = postprocess.von_neumann(bits)
+        assert out.size <= len(bits) // 2
+
+    def test_efficiency_bounds(self):
+        assert postprocess.von_neumann_efficiency(0.5) == pytest.approx(0.25)
+        assert postprocess.von_neumann_efficiency(0.0) == 0.0
+        with pytest.raises(ValueError):
+            postprocess.von_neumann_efficiency(1.5)
+
+
+class TestSha256Condition:
+    def test_output_length(self):
+        out = postprocess.sha256_condition([1, 0, 1, 1], output_bits=256)
+        assert out.size == 256
+
+    def test_counter_mode_extends_past_one_digest(self):
+        out = postprocess.sha256_condition([1, 0, 1, 1], output_bits=1000)
+        assert out.size == 1000
+        # The two halves come from different counter blocks.
+        assert (out[:256] != out[256:512]).any()
+
+    def test_deterministic(self):
+        a = postprocess.sha256_condition([1, 1, 0, 0], 128)
+        b = postprocess.sha256_condition([1, 1, 0, 0], 128)
+        assert (a == b).all()
+
+    def test_sensitive_to_input(self):
+        a = postprocess.sha256_condition([1, 1, 0, 0], 128)
+        b = postprocess.sha256_condition([1, 1, 0, 1], 128)
+        assert (a != b).any()
+
+    def test_output_is_balanced(self, rng):
+        bits = (rng.random(4096) < 0.9).astype(np.uint8)  # heavily biased in
+        out = postprocess.sha256_condition(bits, 4096)
+        assert abs(out.mean() - 0.5) < 0.05
+
+    def test_rejects_nonpositive_output(self):
+        with pytest.raises(ValueError):
+            postprocess.sha256_condition([1, 0], 0)

@@ -1,0 +1,176 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These fuzz the core data structures and protocol machines with random
+inputs and check the invariants the rest of the system relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.datapattern import all_characterization_patterns
+from repro.dram.timing import LPDDR4_3200
+from repro.errors import ProtocolError
+from repro.sim.engine import TimingEngine
+
+T = LPDDR4_3200
+
+
+# ---------------------------------------------------------------------------
+# Timing engine: any random command sequence the protocol allows yields a
+# trace that satisfies every inter-command constraint.
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["act", "read", "write", "pre"]),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _replay(commands):
+    """Issue ops, skipping protocol-illegal ones; return engine + log."""
+    engine = TimingEngine(T, banks=4)
+    log = []
+    open_rows = {b: None for b in range(4)}
+    for op, bank in commands:
+        try:
+            if op == "act":
+                if open_rows[bank] is not None:
+                    continue
+                t = engine.activate(bank, 1)
+                open_rows[bank] = 1
+            elif op == "read":
+                if open_rows[bank] is None:
+                    continue
+                t = engine.read(bank)
+            elif op == "write":
+                if open_rows[bank] is None:
+                    continue
+                t = engine.write(bank)
+            else:
+                t = engine.precharge(bank)
+                open_rows[bank] = None
+        except ProtocolError:
+            continue
+        log.append((op, bank, t))
+    return engine, log
+
+
+class TestEngineFuzz:
+    @given(_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_constraints_hold_for_random_sequences(self, commands):
+        _, log = _replay(commands)
+        last = {}
+        last_col = None
+        times = [t for *_, t in log]
+        assert times == sorted(times)
+        for op, bank, t in log:
+            if op == "read":
+                act_t = last.get(("act", bank))
+                assert act_t is not None
+                assert t - act_t >= T.trcd_ns - 1e-9
+                if last_col is not None:
+                    assert t - last_col >= T.tccd_ns - 1e-9
+                last_col = t
+            elif op == "write":
+                if last_col is not None:
+                    assert t - last_col >= T.tccd_ns - 1e-9
+                last_col = t
+            elif op == "pre":
+                act_t = last.get(("act", bank))
+                if act_t is not None:
+                    assert t - act_t >= T.tras_ns - 1e-9
+            elif op == "act":
+                pre_t = last.get(("pre", bank))
+                if pre_t is not None:
+                    assert t - pre_t >= T.trp_ns - 1e-9
+            last[(op, bank)] = t
+
+    @given(_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_trace_length_matches_issued_commands(self, commands):
+        engine, log = _replay(commands)
+        assert len(engine.trace) == len(log)
+
+
+# ---------------------------------------------------------------------------
+# Data patterns: structural invariants over the whole 40-pattern set.
+# ---------------------------------------------------------------------------
+
+
+class TestPatternProperties:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40)
+    def test_pattern_pairs_cover_both_values(self, row, col):
+        # For every pattern, its inverse stores the complement at every
+        # coordinate — so each (pattern, inverse) pair covers both
+        # stored values for every cell.
+        for pattern in all_characterization_patterns():
+            value = int(pattern.values(row, col))
+            inverse = int(pattern.inverse().values(row, col))
+            assert value + inverse == 1
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20)
+    def test_row_values_length(self, n_cols):
+        for pattern in all_characterization_patterns()[:8]:
+            assert pattern.row_values(3, n_cols).shape == (n_cols,)
+
+
+# ---------------------------------------------------------------------------
+# Bank state machine: under any legal sequence, reads at spec timing
+# return exactly what was written.
+# ---------------------------------------------------------------------------
+
+
+class TestBankFuzz:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),  # row
+                st.integers(min_value=0, max_value=3),  # word
+                st.integers(min_value=0, max_value=255),  # data seed
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_spec_timing_storage_is_exact(self, operations):
+        from repro.dram.device import DeviceFactory
+        from repro.dram.geometry import DeviceGeometry
+
+        geometry = DeviceGeometry(
+            banks=1, rows_per_bank=512, cols_per_row=256,
+            subarray_rows=512, word_bits=64,
+        )
+        device = DeviceFactory(master_seed=5, noise_seed=5).make_device(
+            "A", 0, geometry=geometry
+        )
+        bank = device.bank(0)
+        shadow = {}
+        for row, word, seed in operations:
+            data = ((np.arange(64) * (seed + 1)) % 2).astype(np.uint8)
+            if bank.open_row != row:
+                bank.precharge()
+                bank.activate(row)
+            bank.write(word, data)
+            shadow[(row, word)] = data
+            bank.precharge()
+        for (row, word), expected in shadow.items():
+            if bank.open_row != row:
+                bank.precharge()
+                bank.activate(row)
+            assert (bank.read(word) == expected).all()
+            bank.precharge()

@@ -1,0 +1,57 @@
+"""Unit-conversion helper tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestNsToCycles:
+    def test_exact_multiple(self):
+        assert units.ns_to_cycles(10.0, 1000.0) == 10
+
+    def test_rounds_up(self):
+        assert units.ns_to_cycles(10.1, 1000.0) == 11
+
+    def test_zero_time(self):
+        assert units.ns_to_cycles(0.0, 1600.0) == 0
+
+    def test_lpddr4_trcd(self):
+        # 18 ns at 1600 MHz = 28.8 cycles → 29.
+        assert units.ns_to_cycles(18.0, 1600.0) == 29
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            units.ns_to_cycles(5.0, 0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e6),
+           st.floats(min_value=1.0, max_value=1e5))
+    def test_roundtrip_covers_time(self, time_ns, clock_mhz):
+        cycles = units.ns_to_cycles(time_ns, clock_mhz)
+        assert units.cycles_to_ns(cycles, clock_mhz) >= time_ns - 1e-6
+
+
+class TestThroughputHelpers:
+    def test_mbps(self):
+        # 100 bits in 1000 ns = 100 Mb/s.
+        assert units.mbps(100, 1000.0) == pytest.approx(100.0)
+
+    def test_mbps_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            units.mbps(10, 0.0)
+
+    def test_bits_per_ns_to_mbps(self):
+        assert units.bits_per_ns_to_mbps(1.0) == pytest.approx(1000.0)
+
+    def test_joules_per_bit(self):
+        assert units.joules_per_bit(4.4e-9 * 100, 100) == pytest.approx(4.4e-9)
+
+    def test_joules_per_bit_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            units.joules_per_bit(1.0, 0)
+
+    def test_celsius_to_kelvin(self):
+        assert units.celsius_to_kelvin(45.0) == pytest.approx(318.15)

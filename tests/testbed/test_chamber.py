@@ -1,0 +1,53 @@
+"""Thermal-chamber tests (Section 4 infrastructure)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testbed.chamber import ACCURACY_C, DRAM_OFFSET_C, ThermalChamber
+
+
+class TestChamber:
+    def test_settles_within_accuracy(self):
+        chamber = ThermalChamber()
+        achieved = chamber.set_dram_temperature(60.0)
+        assert abs(achieved - 60.0) <= ACCURACY_C
+
+    def test_devices_adopt_temperature(self, device):
+        chamber = ThermalChamber()
+        chamber.add_device(device)
+        chamber.set_dram_temperature(65.0)
+        assert abs(device.temperature_c - 65.0) <= ACCURACY_C
+
+    def test_dram_offset_above_ambient(self):
+        chamber = ThermalChamber()
+        chamber.set_dram_temperature(58.0)
+        assert chamber.dram_temperature_c == pytest.approx(
+            chamber.ambient_c + DRAM_OFFSET_C
+        )
+
+    def test_reliable_range_enforced(self):
+        chamber = ThermalChamber()
+        # DRAM 55-70C is the full reliable span (ambient 40-55C).
+        chamber.set_dram_temperature(55.0)
+        chamber.set_dram_temperature(70.0)
+        with pytest.raises(ConfigurationError):
+            chamber.set_dram_temperature(80.0)
+        with pytest.raises(ConfigurationError):
+            chamber.set_dram_temperature(40.0)
+
+    def test_sweep_up_and_down(self, device):
+        chamber = ThermalChamber()
+        chamber.add_device(device)
+        for target in (55.0, 60.0, 65.0, 70.0, 55.0):
+            achieved = chamber.set_dram_temperature(target)
+            assert abs(achieved - target) <= ACCURACY_C
+
+    def test_add_device_adopts_current_temperature(self, device):
+        chamber = ThermalChamber()
+        chamber.set_dram_temperature(62.0)
+        chamber.add_device(device)
+        assert abs(device.temperature_c - 62.0) <= ACCURACY_C
+
+    def test_bad_time_constant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalChamber(time_constant_s=0.0)
