@@ -30,9 +30,10 @@ Quick start::
 """
 
 from repro.core.drange import DRange
-from repro.core.integration import DRangeService
+from repro.core.integration import DRangeService, RecoveryPolicy
 from repro.core.multichannel import MultiChannelDRange
 from repro.dram.device import DeviceFactory, DramDevice
+from repro.faults import FaultInjector, FaultSchedule
 from repro.health import HealthMonitor
 from repro.noise import NoiseSource
 
@@ -43,8 +44,11 @@ __all__ = [
     "DRangeService",
     "DeviceFactory",
     "DramDevice",
+    "FaultInjector",
+    "FaultSchedule",
     "HealthMonitor",
     "MultiChannelDRange",
     "NoiseSource",
+    "RecoveryPolicy",
     "__version__",
 ]

@@ -5,6 +5,7 @@ Usage (installed, or via ``python -m repro``)::
     python -m repro generate --bytes 32 --manufacturer A
     python -m repro characterize --manufacturer B --rows 512
     python -m repro nist --bits 200000
+    python -m repro faults --fault bias-drift --bits 20000
     python -m repro throughput --banks 8
     python -m repro latency
     python -m repro compare
@@ -96,6 +97,29 @@ def _build_parser() -> argparse.ArgumentParser:
     health.add_argument(
         "--min-entropy", type=float, default=0.9,
         help="claimed per-bit min-entropy for the cutoffs",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="inject a fault and watch the service alarm, self-heal or fail",
+    )
+    faults.add_argument(
+        "--fault",
+        default="bias-drift",
+        choices=[
+            "stuck", "bias-drift", "temperature", "voltage", "aging", "burst",
+        ],
+    )
+    faults.add_argument("--bits", type=int, default=20_000)
+    faults.add_argument("--manufacturer", default="A", choices=["A", "B", "C"])
+    faults.add_argument("--rows", type=int, default=512)
+    faults.add_argument(
+        "--clear-after", type=int, default=None,
+        help="fault window length in bits (omit for a persistent fault)",
+    )
+    faults.add_argument(
+        "--max-retries", type=int, default=2,
+        help="recovery attempts before the service gives up",
     )
     return parser
 
@@ -234,12 +258,76 @@ def _cmd_health(args) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_faults(args) -> int:
+    from repro.core.integration import DRangeService, RecoveryPolicy
+    from repro.errors import HealthError
+    from repro.faults import (
+        BiasDriftFault,
+        CellAgingFault,
+        FaultInjector,
+        StuckCellFault,
+        TemperatureExcursionFault,
+        TransientBurstFault,
+        VoltageDroopFault,
+    )
+    from repro.health import HealthMonitor
+
+    fault_makers = {
+        "stuck": lambda: StuckCellFault(value=1),
+        "bias-drift": lambda: BiasDriftFault(target=1, rate_per_bit=1e-3),
+        "temperature": lambda: TemperatureExcursionFault(delta_c=30.0),
+        "voltage": lambda: VoltageDroopFault(droop_ratio=0.8),
+        "aging": lambda: CellAgingFault(decay_per_bit=1e-4),
+        "burst": lambda: TransientBurstFault(period=512, burst_bits=256),
+    }
+    if args.clear_after is not None and args.clear_after <= 0:
+        print("error: --clear-after must be a positive bit count")
+        return 2
+    factory = DeviceFactory(master_seed=args.master_seed, noise_seed=args.seed)
+    device = factory.make_device(args.manufacturer, 0)
+    injector = FaultInjector(device)
+    drange = DRange(injector)
+    region = Region(banks=(0, 1), row_start=0, row_count=args.rows)
+    cells = drange.prepare(region=region, iterations=100)
+    if not cells:
+        print("no RNG cells identified; try another seed")
+        return 1
+    service = DRangeService(
+        health_monitor=HealthMonitor(),
+        drange=drange,
+        recovery=RecoveryPolicy(max_retries=args.max_retries, region=region),
+    )
+    end_bit = (
+        None
+        if args.clear_after is None
+        else injector.bits_elapsed + args.clear_after
+    )
+    window = injector.inject(fault_makers[args.fault](), end_bit=end_bit)
+    span = "persistent" if window.end_bit is None else (
+        f"bits [{window.start_bit}, {window.end_bit})"
+    )
+    print(f"injected {window.fault.name} ({span}); requesting {args.bits} bits")
+    survived = True
+    try:
+        bits = service.request(args.bits)
+        print(f"served {bits.size} bits, ones-ratio {bits.mean():.4f}")
+    except HealthError as exc:
+        survived = False
+        print(f"service failed: {exc}")
+    print("event log:")
+    for event in service.events:
+        print(f"  [{event.kind}] {event.detail}")
+    print("counters:", dict(sorted(service.counters.items())))
+    return 0 if survived else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "characterize": _cmd_characterize,
     "nist": _cmd_nist,
     "diehard": _cmd_diehard,
     "health": _cmd_health,
+    "faults": _cmd_faults,
     "throughput": _cmd_throughput,
     "latency": _cmd_latency,
     "compare": _cmd_compare,

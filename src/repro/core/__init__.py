@@ -21,13 +21,14 @@ want.
 """
 
 from repro.core.drange import DRange
+from repro.core.events import EventLog, ServiceEvent
 from repro.core.identification import (
     RngCell,
     RngCellRegistry,
     identify_rng_cells,
     verify_unbiased,
 )
-from repro.core.integration import DRangeService
+from repro.core.integration import DRangeService, RecoveryPolicy
 from repro.core.multichannel import MultiChannelDRange
 from repro.core.profiling import CharacterizationResult, Region, profile_region
 from repro.core.sampler import DRangeSampler
@@ -40,10 +41,13 @@ __all__ = [
     "DRange",
     "DRangeSampler",
     "DRangeService",
+    "EventLog",
     "MultiChannelDRange",
+    "RecoveryPolicy",
     "Region",
     "RngCell",
     "RngCellRegistry",
+    "ServiceEvent",
     "ThroughputModel",
     "identify_rng_cells",
     "profile_region",

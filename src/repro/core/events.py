@@ -1,0 +1,85 @@
+"""Structured robustness event log shared by the service layers.
+
+Production entropy sources must be *auditable*: when an SP 800-90B
+alarm fires, operators need to know what degraded, what the firmware
+did about it, and how many bits were quarantined.  :class:`EventLog`
+records that history as typed events plus monotonic counters, and is
+used by both :class:`~repro.core.integration.DRangeService` (single
+channel) and :class:`~repro.core.multichannel.MultiChannelDRange`
+(per-channel failover).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One entry of the robustness audit trail.
+
+    ``kind`` is a short machine-readable tag (``"alarm"``, ``"retry"``,
+    ``"recovered"``, ``"quarantine"``, ...); ``channel`` identifies the
+    memory channel in multi-channel deployments (``None`` for a
+    single-channel service).
+    """
+
+    kind: str
+    detail: str = ""
+    channel: Optional[int] = None
+
+
+class EventLog:
+    """Bounded in-memory event history with aggregate counters.
+
+    Events beyond ``max_events`` drop the oldest entries (the counters
+    keep counting), so a long-running service cannot grow without
+    bound.
+    """
+
+    def __init__(self, max_events: int = 10_000) -> None:
+        if max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        self._max_events = max_events
+        self._events: list = []
+        self._counters: Counter = Counter()
+
+    @property
+    def events(self) -> Tuple[ServiceEvent, ...]:
+        """The retained event history, oldest first."""
+        return tuple(self._events)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Aggregate counts per event kind / named counter."""
+        return dict(self._counters)
+
+    def count(self, name: str) -> int:
+        """Current value of one counter (0 when never bumped)."""
+        return int(self._counters.get(name, 0))
+
+    def record(
+        self, kind: str, detail: str = "", channel: Optional[int] = None
+    ) -> ServiceEvent:
+        """Append an event and bump its kind's counter."""
+        event = ServiceEvent(kind=kind, detail=detail, channel=channel)
+        self._events.append(event)
+        if len(self._events) > self._max_events:
+            del self._events[: len(self._events) - self._max_events]
+        self._counters[kind] += 1
+        return event
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increase a named counter without logging an event."""
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        self._counters[counter] += amount
+
+    def of_kind(self, kind: str) -> Tuple[ServiceEvent, ...]:
+        """Retained events of one kind, oldest first."""
+        return tuple(e for e in self._events if e.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -146,6 +146,22 @@ class RngCellRegistry:
         )
         return list(self._by_temperature[key])
 
+    def discard(self, temperature_c: float) -> bool:
+        """Quarantine the stored set nearest ``temperature_c``.
+
+        Used by the self-healing service before re-identification: a
+        poisoned cell set must not survive as a fallback for
+        :meth:`cells_at` lookups.  Returns ``True`` when a set was
+        dropped, ``False`` when the registry was already empty.
+        """
+        if not self._by_temperature:
+            return False
+        key = min(
+            self._by_temperature, key=lambda t: abs(t - float(temperature_c))
+        )
+        del self._by_temperature[key]
+        return True
+
     @property
     def temperatures(self) -> Tuple[float, ...]:
         """Temperatures with an identified cell set."""

@@ -1,4 +1,4 @@
-"""Full-system integration: the firmware random-number service.
+"""Full-system integration: the self-healing firmware RNG service.
 
 Section 6.3: D-RaNGe runs as a small firmware routine in the memory
 controller.  It keeps a queue of already-harvested bits so application
@@ -7,35 +7,117 @@ DRAM bandwidth is idle; the controller duty-cycles between reduced-tRCD
 sampling windows and default-timing application service.
 
 :class:`DRangeService` models that routine, including the
-throughput-vs-interference tradeoff of Section 7.3: a ``duty_cycle`` of
-0.25 means a quarter of DRAM time is spent generating random numbers,
-scaling sustained throughput accordingly while application requests see
-the remaining bandwidth.
+throughput-vs-interference tradeoff of Section 7.3 (``duty_cycle``) and
+the robustness loop the paper's Section 1 argument demands: the
+attached SP 800-90B :class:`~repro.health.HealthMonitor` gates startup
+(§4.3) and watches every refill; on an alarm the service quarantines
+the buffered bits, re-identifies RNG cells through its
+:class:`~repro.core.drange.DRange` with bounded, exponentially
+backed-off retries (:class:`RecoveryPolicy`), re-runs startup testing
+on fresh bits, and only surfaces a
+:class:`~repro.errors.RecoveryExhaustedError` once every repair avenue
+has failed.  Every alarm, retry, recovery, and quarantined bit is
+recorded in a structured :class:`~repro.core.events.EventLog`.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 import numpy as np
 
+from repro.core.events import EventLog, ServiceEvent
+from repro.core.profiling import Region
 from repro.core.sampler import DRangeSampler
-from repro.errors import ConfigurationError, HealthError
-from repro.health import HealthMonitor
+from repro.errors import (
+    ConfigurationError,
+    HealthError,
+    RecoveryExhaustedError,
+    ReproError,
+    StartupTestError,
+)
+from repro.health import STARTUP_MIN_BITS, HealthMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.drange import DRange
+
+__all__ = ["DRangeService", "RecoveryPolicy", "ServiceEvent"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded-retry parameters for the self-healing loop.
+
+    ``region``/``iterations``/``identify_samples``/``max_cells`` are the
+    re-identification arguments passed to
+    :meth:`~repro.core.drange.DRange.prepare`; backoff between retries
+    is ``backoff_base_s * backoff_factor ** attempt`` seconds, delivered
+    through ``sleep`` (``None`` disables real waiting — the computed
+    delay is still recorded in the event log, which keeps simulations
+    and tests instantaneous).
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    startup_bits: int = STARTUP_MIN_BITS
+    region: Optional[Region] = None
+    iterations: int = 100
+    identify_samples: int = 1000
+    max_cells: Optional[int] = None
+    sleep: Optional[Callable[[float], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries <= 0:
+            raise ConfigurationError(
+                f"max_retries must be positive, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0:
+            raise ConfigurationError(
+                f"backoff_base_s must be non-negative, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.startup_bits < STARTUP_MIN_BITS:
+            raise ConfigurationError(
+                f"startup_bits must be >= {STARTUP_MIN_BITS}, "
+                f"got {self.startup_bits}"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based): exponential."""
+        return self.backoff_base_s * self.backoff_factor**attempt
 
 
 class DRangeService:
-    """Firmware-style random-number service with a harvest queue."""
+    """Firmware-style random-number service with a harvest queue.
+
+    Pass ``drange`` (and optionally a :class:`RecoveryPolicy`) to enable
+    self-healing: without them the service keeps the legacy fail-stop
+    behavior of raising :class:`~repro.errors.HealthError` on the first
+    alarm.
+    """
 
     def __init__(
         self,
-        sampler: DRangeSampler,
+        sampler: Optional[DRangeSampler] = None,
         queue_bits: int = 4096,
         refill_batch_bits: int = 1024,
         duty_cycle: float = 1.0,
         health_monitor: Optional[HealthMonitor] = None,
+        drange: Optional["DRange"] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
+        if sampler is None:
+            if drange is None:
+                raise ConfigurationError(
+                    "DRangeService needs a sampler or a DRange to build one from"
+                )
+            sampler = drange.sampler()
         if queue_bits <= 0:
             raise ConfigurationError(f"queue_bits must be positive, got {queue_bits}")
         if refill_batch_bits <= 0 or refill_batch_bits > queue_bits:
@@ -54,6 +136,16 @@ class DRangeService:
         self._duty_cycle = duty_cycle
         self._bits_served = 0
         self._health = health_monitor
+        self._drange = drange
+        if recovery is None and drange is not None:
+            recovery = RecoveryPolicy()
+        self._recovery = recovery
+        self._events = EventLog()
+        self._recoveries_this_request = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
 
     @property
     def queue_level(self) -> int:
@@ -71,6 +163,26 @@ class DRangeService:
         return self._health
 
     @property
+    def recovery_policy(self) -> Optional[RecoveryPolicy]:
+        """The self-healing policy, when recovery is enabled."""
+        return self._recovery
+
+    @property
+    def event_log(self) -> EventLog:
+        """The structured robustness audit trail."""
+        return self._events
+
+    @property
+    def events(self):
+        """Recorded robustness events, oldest first."""
+        return self._events.events
+
+    @property
+    def counters(self):
+        """Aggregate robustness counters (alarms, retries, bits discarded)."""
+        return self._events.counters
+
+    @property
     def duty_cycle(self) -> float:
         """Fraction of DRAM time allotted to random-number generation."""
         return self._duty_cycle
@@ -83,8 +195,146 @@ class DRangeService:
             )
         self._duty_cycle = duty_cycle
 
+    # ------------------------------------------------------------------
+    # Startup, refill, and the self-healing loop
+    # ------------------------------------------------------------------
+
+    def _run_startup(self) -> bool:
+        """Harvest fresh bits and run §4.3 startup testing on them.
+
+        Startup bits are never served (the spec forbids outputting
+        them); they are counted as discarded.
+        """
+        num = (
+            STARTUP_MIN_BITS
+            if self._recovery is None
+            else self._recovery.startup_bits
+        )
+        fresh = self._sampler.generate_fast(num)
+        passed = self._health.startup(fresh)
+        self._events.bump("bits_discarded", int(fresh.size))
+        if passed:
+            self._events.record("startup_passed", f"{num} bits inspected")
+        return passed
+
+    def _ensure_started(self) -> None:
+        """Gate the first output behind SP 800-90B startup testing."""
+        if self._health is None or self._health.startup_passed:
+            return
+        if self._run_startup():
+            return
+        alarm = self._health.alarms[-1]
+        self._events.record("alarm", f"startup: {alarm.test} — {alarm.detail}")
+        if self._drange is None or self._recovery is None:
+            raise StartupTestError(
+                f"startup health testing failed: {alarm.test} — {alarm.detail}"
+            )
+        self._recoveries_this_request += 1
+        self._recover()
+
+    def _quarantine_queue(self) -> None:
+        """Discard every buffered bit after an alarm (poisoned batch)."""
+        discarded = len(self._queue)
+        if discarded:
+            self._queue.clear()
+            self._events.record(
+                "quarantine", f"discarded {discarded} buffered bits"
+            )
+            self._events.bump("bits_discarded", discarded)
+
+    def _handle_degradation(self, alarm) -> None:
+        """Alarm response: fail fast (legacy) or run bounded recovery."""
+        if self._drange is None or self._recovery is None:
+            raise HealthError(
+                f"entropy source degraded: {alarm.test} — {alarm.detail}; "
+                "re-identify RNG cells and reset the monitor"
+            )
+        if self._recoveries_this_request >= self._recovery.max_retries:
+            self._events.record(
+                "recovery_failed",
+                f"source re-alarmed after {self._recoveries_this_request} "
+                "recoveries within one request",
+            )
+            raise RecoveryExhaustedError(
+                "entropy source keeps degrading: "
+                f"{self._recoveries_this_request} recoveries within a single "
+                "request did not stabilize it"
+            )
+        self._recoveries_this_request += 1
+        self._recover()
+
+    def _recover(self) -> None:
+        """Re-identify RNG cells with bounded retries and backoff.
+
+        Raises :class:`RecoveryExhaustedError` when every attempt fails;
+        on success the monitor is reset, startup testing has passed, and
+        a fresh sampler is installed.
+        """
+        policy = self._recovery
+        drange = self._drange
+        self._events.record(
+            "recovery_started",
+            f"re-identification with up to {policy.max_retries} attempts",
+        )
+        for attempt in range(policy.max_retries):
+            delay = policy.backoff_s(attempt)
+            self._events.record(
+                "retry",
+                f"attempt {attempt + 1}/{policy.max_retries} "
+                f"(backoff {delay:.3g}s)",
+            )
+            if policy.sleep is not None and delay > 0:
+                policy.sleep(delay)
+            try:
+                # Drop the poisoned cell set before re-identifying, so a
+                # failed pass cannot silently fall back to stale cells.
+                drange.registry.discard(drange.device.temperature_c)
+                cells = drange.prepare(
+                    region=policy.region,
+                    iterations=policy.iterations,
+                    samples=policy.identify_samples,
+                    max_cells=policy.max_cells,
+                )
+            except ReproError as exc:
+                self._events.record("retry_failed", f"re-identification: {exc}")
+                continue
+            if not cells:
+                self._events.record(
+                    "retry_failed", "re-identification produced no RNG cells"
+                )
+                continue
+            self._events.record("reidentified", f"{len(cells)} RNG cells")
+            try:
+                self._sampler = drange.sampler()
+            except ReproError as exc:
+                self._events.record("retry_failed", f"sampler rebuild: {exc}")
+                continue
+            self._health.reset()
+            if self._run_startup():
+                self._events.record(
+                    "recovered", f"healthy after {attempt + 1} attempt(s)"
+                )
+                return
+            alarm = self._health.alarms[-1] if self._health.alarms else None
+            self._events.record(
+                "startup_failed", alarm.detail if alarm else "startup test failed"
+            )
+        self._events.record(
+            "recovery_failed", f"{policy.max_retries} attempts exhausted"
+        )
+        raise RecoveryExhaustedError(
+            f"recovery exhausted after {policy.max_retries} "
+            "re-identification attempts; the entropy source remains degraded"
+        )
+
     def _refill(self) -> None:
-        """Top the queue up to capacity with one sampling batch."""
+        """Top the queue up to capacity with one sampling batch.
+
+        On a health alarm the freshly harvested batch *and* the buffered
+        queue are quarantined, recovery runs (or the legacy
+        :class:`HealthError` is raised), and the queue is left empty for
+        the caller to retry.
+        """
         space = self._queue_bits - len(self._queue)
         if space <= 0:
             return
@@ -92,11 +342,16 @@ class DRangeService:
         fresh = self._sampler.generate_fast(batch)
         if self._health is not None and not self._health.feed(fresh):
             alarm = self._health.alarms[-1]
-            raise HealthError(
-                f"entropy source degraded: {alarm.test} — {alarm.detail}; "
-                "re-identify RNG cells and reset the monitor"
-            )
+            self._events.record("alarm", f"{alarm.test} — {alarm.detail}")
+            self._events.bump("bits_discarded", int(fresh.size))
+            self._quarantine_queue()
+            self._handle_degradation(alarm)
+            return
         self._queue.extend(int(b) for b in fresh)
+
+    # ------------------------------------------------------------------
+    # The REQUEST/RECEIVE interface
+    # ------------------------------------------------------------------
 
     def request(self, num_bits: int) -> np.ndarray:
         """The REQUEST/RECEIVE interface: return ``num_bits`` random bits.
@@ -104,18 +359,44 @@ class DRangeService:
         Serves from the queue when possible; triggers refills (the
         firmware sampling routine) otherwise.  Requests larger than the
         queue capacity are served across multiple refill rounds.
+
+        The request path is exception-safe: if a health alarm survives
+        recovery, partially-dequeued bits are quarantined (recorded in
+        the event log) before the error propagates; on any other
+        failure they are returned to the queue, leaving the service
+        exactly as it was.  ``bits_served`` only advances on success.
         """
         if num_bits <= 0:
             raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
+        self._recoveries_this_request = 0
         out = np.empty(num_bits, dtype=np.uint8)
         filled = 0
-        while filled < num_bits:
-            if not self._queue:
-                self._refill()
-            take = min(len(self._queue), num_bits - filled)
-            for i in range(take):
-                out[filled + i] = self._queue.popleft()
-            filled += take
+        try:
+            self._ensure_started()
+            while filled < num_bits:
+                if not self._queue:
+                    self._refill()
+                    if not self._queue:
+                        # Recovery ran without enqueueing; harvest again.
+                        continue
+                take = min(len(self._queue), num_bits - filled)
+                for i in range(take):
+                    out[filled + i] = self._queue.popleft()
+                filled += take
+        except HealthError:
+            if filled:
+                self._events.record(
+                    "request_quarantined",
+                    f"{filled} partially-served bits discarded",
+                )
+                self._events.bump("bits_discarded", filled)
+            raise
+        except BaseException:
+            # Non-health failure: hand the dequeued bits back so the
+            # request leaves no trace.
+            for i in range(filled - 1, -1, -1):
+                self._queue.appendleft(int(out[i]))
+            raise
         self._bits_served += num_bits
         return out
 

@@ -7,29 +7,64 @@ firmware instance per controller.  :class:`MultiChannelDRange` builds
 that system explicitly: one :class:`~repro.core.drange.DRange` per
 channel, round-robin harvesting across them, and aggregate
 throughput/latency accounting.
+
+Channel independence is also a *redundancy* resource: each channel
+carries its own SP 800-90B :class:`~repro.health.HealthMonitor`, and
+the health-checked :meth:`MultiChannelDRange.request` path recovers a
+degraded channel in place (re-identification with bounded retries, per
+:class:`~repro.core.integration.RecoveryPolicy`) or — when recovery
+fails — quarantines it and keeps serving from the survivors, with
+throughput accounting updated.  Only when *every* channel is
+quarantined does a request fail.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.drange import DRange
+from repro.core.events import EventLog
+from repro.core.integration import RecoveryPolicy
 from repro.core.profiling import Region
 from repro.dram.device import DramDevice
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RecoveryExhaustedError, ReproError
+from repro.health import STARTUP_MIN_BITS, HealthMonitor
 
 
 class MultiChannelDRange:
-    """D-RaNGe across several independent memory channels."""
+    """D-RaNGe across several independent memory channels.
 
-    def __init__(self, devices: Sequence[DramDevice], trcd_ns: float = 10.0) -> None:
+    ``min_entropy`` tunes the per-channel health-test cutoffs;
+    ``recovery`` bounds the per-channel self-healing attempts used by
+    :meth:`request` (a default policy applies when omitted).
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[DramDevice],
+        trcd_ns: float = 10.0,
+        min_entropy: float = 0.9,
+        recovery: Optional[RecoveryPolicy] = None,
+    ) -> None:
         if not devices:
             raise ConfigurationError("need at least one channel device")
         self._channels: List[DRange] = [
             DRange(device, trcd_ns=trcd_ns) for device in devices
         ]
+        self._monitors: List[HealthMonitor] = [
+            HealthMonitor(min_entropy=min_entropy) for _ in self._channels
+        ]
+        self._active: List[bool] = [True] * len(self._channels)
+        self._recovery = recovery if recovery is not None else RecoveryPolicy()
+        self._events = EventLog()
+        self._prepare_kwargs: Dict[str, object] = {}
+        self._bits_served = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
 
     @property
     def channels(self) -> Sequence[DRange]:
@@ -38,8 +73,59 @@ class MultiChannelDRange:
 
     @property
     def num_channels(self) -> int:
-        """Number of independent channels."""
+        """Number of channels, including quarantined ones."""
         return len(self._channels)
+
+    @property
+    def monitors(self) -> Sequence[HealthMonitor]:
+        """Per-channel SP 800-90B monitors."""
+        return tuple(self._monitors)
+
+    @property
+    def active_channels(self) -> Tuple[int, ...]:
+        """Indices of channels currently serving requests."""
+        return tuple(i for i, ok in enumerate(self._active) if ok)
+
+    @property
+    def quarantined_channels(self) -> Tuple[int, ...]:
+        """Indices of channels taken out of service after failed recovery."""
+        return tuple(i for i, ok in enumerate(self._active) if not ok)
+
+    @property
+    def event_log(self) -> EventLog:
+        """The structured robustness audit trail."""
+        return self._events
+
+    @property
+    def events(self):
+        """Recorded robustness events, oldest first."""
+        return self._events.events
+
+    @property
+    def counters(self):
+        """Aggregate robustness counters across all channels."""
+        return self._events.counters
+
+    @property
+    def bits_served(self) -> int:
+        """Total health-checked bits handed out via :meth:`request`."""
+        return self._bits_served
+
+    def reinstate(self, channel: int) -> None:
+        """Return a quarantined channel to service (after manual repair).
+
+        The channel's monitor is reset, so it must re-pass startup
+        health testing on its next :meth:`request` round.
+        """
+        if not 0 <= channel < len(self._channels):
+            raise ConfigurationError(f"no channel {channel}")
+        self._active[channel] = True
+        self._monitors[channel].reset()
+        self._events.record("reinstated", "manual reinstatement", channel=channel)
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
 
     def prepare(
         self,
@@ -48,7 +134,17 @@ class MultiChannelDRange:
         samples: int = 1000,
         max_cells: Optional[int] = None,
     ) -> int:
-        """Run the offline phase on every channel; returns total cells."""
+        """Run the offline phase on every channel; returns total cells.
+
+        The arguments are remembered so channel recovery can re-identify
+        under the same characterization footprint.
+        """
+        self._prepare_kwargs = dict(
+            region=region,
+            iterations=iterations,
+            samples=samples,
+            max_cells=max_cells,
+        )
         total = 0
         for channel in self._channels:
             total += len(
@@ -61,11 +157,17 @@ class MultiChannelDRange:
             )
         return total
 
+    # ------------------------------------------------------------------
+    # Raw harvesting (no health checking)
+    # ------------------------------------------------------------------
+
     def random_bits(self, num_bits: int) -> np.ndarray:
-        """Harvest ``num_bits``, interleaving across channels.
+        """Harvest ``num_bits``, interleaving across all channels.
 
         Channels generate concurrently in hardware; the interleaving
-        models the controller-side aggregation of their queues.
+        models the controller-side aggregation of their queues.  This
+        raw path performs no health checking — use :meth:`request` for
+        the monitored, failover-capable interface.
         """
         if num_bits <= 0:
             raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
@@ -77,40 +179,195 @@ class MultiChannelDRange:
         return interleaved[:num_bits]
 
     def random_bytes(self, num_bytes: int) -> bytes:
-        """Harvest ``num_bytes`` across channels."""
+        """Harvest ``num_bytes`` across channels (raw path)."""
         return np.packbits(self.random_bits(num_bytes * 8)).tobytes()
 
+    # ------------------------------------------------------------------
+    # Health-checked service with failover
+    # ------------------------------------------------------------------
+
+    def _recovery_kwargs(self) -> Dict[str, object]:
+        """Re-identification arguments: prepare-time values, policy overrides."""
+        kwargs = dict(self._prepare_kwargs) or dict(
+            region=None, iterations=100, samples=1000, max_cells=None
+        )
+        policy = self._recovery
+        if policy.region is not None:
+            kwargs["region"] = policy.region
+            kwargs["iterations"] = policy.iterations
+            kwargs["samples"] = policy.identify_samples
+            kwargs["max_cells"] = policy.max_cells
+        return kwargs
+
+    def _recover_channel(self, index: int) -> bool:
+        """Bounded re-identification + startup retest for one channel."""
+        channel = self._channels[index]
+        monitor = self._monitors[index]
+        policy = self._recovery
+        self._events.record(
+            "recovery_started",
+            f"up to {policy.max_retries} re-identification attempts",
+            channel=index,
+        )
+        for attempt in range(policy.max_retries):
+            delay = policy.backoff_s(attempt)
+            self._events.record(
+                "retry",
+                f"attempt {attempt + 1}/{policy.max_retries} "
+                f"(backoff {delay:.3g}s)",
+                channel=index,
+            )
+            if policy.sleep is not None and delay > 0:
+                policy.sleep(delay)
+            try:
+                channel.registry.discard(channel.device.temperature_c)
+                cells = channel.prepare(**self._recovery_kwargs())
+            except ReproError as exc:
+                self._events.record(
+                    "retry_failed", f"re-identification: {exc}", channel=index
+                )
+                continue
+            if not cells:
+                self._events.record(
+                    "retry_failed",
+                    "re-identification produced no RNG cells",
+                    channel=index,
+                )
+                continue
+            self._events.record(
+                "reidentified", f"{len(cells)} RNG cells", channel=index
+            )
+            monitor.reset()
+            try:
+                fresh = channel.random_bits(
+                    max(policy.startup_bits, STARTUP_MIN_BITS)
+                )
+            except ReproError as exc:
+                self._events.record(
+                    "retry_failed", f"startup harvest: {exc}", channel=index
+                )
+                continue
+            self._events.bump("bits_discarded", int(fresh.size))
+            if monitor.startup(fresh):
+                self._events.record(
+                    "recovered", f"healthy after {attempt + 1} attempt(s)",
+                    channel=index,
+                )
+                return True
+            alarm = monitor.alarms[-1] if monitor.alarms else None
+            self._events.record(
+                "startup_failed",
+                alarm.detail if alarm else "startup test failed",
+                channel=index,
+            )
+        self._events.record(
+            "recovery_failed",
+            f"{policy.max_retries} attempts exhausted",
+            channel=index,
+        )
+        return False
+
+    def _quarantine(self, index: int) -> None:
+        self._active[index] = False
+        self._events.record(
+            "quarantine", "channel removed from service", channel=index
+        )
+
+    def request(self, num_bits: int) -> np.ndarray:
+        """Health-checked bits from the surviving channels.
+
+        Every active channel's harvest passes through its own monitor;
+        a channel that alarms is recovered in place or quarantined, the
+        whole round's bits are conservatively discarded, and the round
+        repeats with the survivors.  Raises
+        :class:`~repro.errors.RecoveryExhaustedError` only when no
+        active channel remains.
+        """
+        if num_bits <= 0:
+            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
+        recovered_this_request: set = set()
+        while True:
+            active = self.active_channels
+            if not active:
+                self._events.record(
+                    "service_failed", "all channels quarantined"
+                )
+                raise RecoveryExhaustedError(
+                    "all channels quarantined; no healthy entropy source left"
+                )
+            per_channel = -(-num_bits // len(active))
+            streams = []
+            degraded = []
+            for index in active:
+                bits = self._channels[index].random_bits(per_channel)
+                if self._monitors[index].feed(bits):
+                    streams.append(bits)
+                else:
+                    alarm = self._monitors[index].alarms[-1]
+                    self._events.record(
+                        "alarm", f"{alarm.test} — {alarm.detail}", channel=index
+                    )
+                    degraded.append(index)
+            if not degraded:
+                interleaved = np.stack(streams, axis=1).reshape(-1)
+                self._bits_served += num_bits
+                return interleaved[:num_bits]
+            # Conservative: a poisoned round is discarded wholesale.
+            self._events.bump(
+                "bits_discarded", per_channel * len(active)
+            )
+            for index in degraded:
+                if index in recovered_this_request:
+                    # Recovered once already and degraded again within
+                    # this request: the fault persists — quarantine.
+                    self._quarantine(index)
+                elif self._recover_channel(index):
+                    recovered_this_request.add(index)
+                else:
+                    self._quarantine(index)
+
+    # ------------------------------------------------------------------
+    # Aggregate accounting
+    # ------------------------------------------------------------------
+
     def system_throughput_mbps(self, banks_per_channel: int = 8) -> float:
-        """Aggregate throughput: the sum of channel estimates.
+        """Aggregate throughput: the sum over *active* channel estimates.
 
         Channels run concurrently, so the system rate is the sum — this
         is the measured counterpart of the paper's ×4 scaling.
+        Quarantined channels contribute nothing: failover costs exactly
+        their share of the headline rate.
         """
         total = 0.0
-        for channel in self._channels:
-            model = channel.throughput_model()
+        for index in self.active_channels:
+            model = self._channels[index].throughput_model()
             usable = min(banks_per_channel, model.available_banks)
             if usable:
                 total += model.estimate(usable).throughput_mbps
         return total
 
     def system_latency_64bit_ns(self, banks_per_channel: int = 8) -> float:
-        """64-bit latency with all channels working in parallel."""
+        """64-bit latency with all active channels working in parallel."""
         from repro.core.latency import sixty_four_bit_latency
 
-        first = self._channels[0].device
+        active = self.active_channels
+        if not active:
+            raise RecoveryExhaustedError(
+                "all channels quarantined; no latency to report"
+            )
+        first = self._channels[active[0]].device
         bits_per_access = max(
             (
                 plan.word1.data_rate_bits
-                for channel in self._channels
-                for plan in channel.plans()
+                for index in active
+                for plan in self._channels[index].plans()
             ),
             default=1,
         )
         return sixty_four_bit_latency(
             first.timings,
             trcd_ns=10.0,
-            channels=self.num_channels,
+            channels=len(active),
             banks_per_channel=banks_per_channel,
             bits_per_access=max(bits_per_access, 1),
         ).latency_ns

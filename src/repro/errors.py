@@ -43,3 +43,11 @@ class IdentificationError(ReproError):
 
 class HealthError(ReproError):
     """The online health tests flagged the entropy source as degraded."""
+
+
+class StartupTestError(HealthError):
+    """SP 800-90B startup testing failed; the source must not serve output."""
+
+
+class RecoveryExhaustedError(HealthError):
+    """Self-healing retries ran out without restoring a healthy source."""

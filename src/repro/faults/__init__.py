@@ -1,0 +1,39 @@
+"""Fault injection: deterministic, schedulable hazards for the TRNG.
+
+The robustness counterpart of :mod:`repro.core`: composable fault
+models (:mod:`repro.faults.models`), bit-offset activation windows
+(:mod:`repro.faults.schedule`), and drop-in device/noise wrappers that
+apply them (:mod:`repro.faults.injector`).  Together with the
+self-healing :class:`~repro.core.integration.DRangeService` and the
+failover-capable :class:`~repro.core.multichannel.MultiChannelDRange`,
+this package lets a test — or an operator — answer "what happens when
+the entropy source degrades?" with an experiment instead of a guess.
+"""
+
+from repro.faults.injector import FaultInjector, FaultyNoiseSource
+from repro.faults.models import (
+    AccessContext,
+    BiasDriftFault,
+    CellAgingFault,
+    FaultModel,
+    StuckCellFault,
+    TemperatureExcursionFault,
+    TransientBurstFault,
+    VoltageDroopFault,
+)
+from repro.faults.schedule import FaultSchedule, FaultWindow
+
+__all__ = [
+    "AccessContext",
+    "BiasDriftFault",
+    "CellAgingFault",
+    "FaultInjector",
+    "FaultModel",
+    "FaultSchedule",
+    "FaultWindow",
+    "FaultyNoiseSource",
+    "StuckCellFault",
+    "TemperatureExcursionFault",
+    "TransientBurstFault",
+    "VoltageDroopFault",
+]

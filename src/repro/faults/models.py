@@ -1,0 +1,254 @@
+"""Composable, deterministic fault models for the entropy source.
+
+The paper's deployability argument (Section 1) is that D-RaNGe keeps
+working under "temperature/voltage fluctuations, manufacturing
+variation, and malicious external attacks".  Exercising the defenses —
+SP 800-90B health tests, RNG-cell re-identification, channel failover —
+requires *injecting* those hazards on demand.  Each class here models
+one hazard as a pure transformation applied by a
+:class:`~repro.faults.injector.FaultInjector` at three interception
+points of a reduced-latency access:
+
+* the **operating point** (temperature/voltage excursions),
+* the per-access **failure probabilities** (aging, droop),
+* the harvested **bits** themselves (stuck cells, bias drift, bursts).
+
+Every model is deterministic: stochastic faults derive their randomness
+from :func:`repro.dram.variation.uniform_field` keyed by a fault seed
+and the *global bit offset*, so a fault scenario replays identically
+regardless of how the stream is chunked into calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.failures import OperatingPoint
+from repro.dram.variation import uniform_field
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """Address and timing of the access a fault is being applied to.
+
+    ``col`` is ``None`` for whole-word accesses (e.g. ``probe_word``),
+    in which case cell-targeted faults do not apply.
+    """
+
+    bank: Optional[int] = None
+    row: Optional[int] = None
+    col: Optional[int] = None
+    trcd_ns: Optional[float] = None
+
+
+class FaultModel:
+    """Base class: an identity transformation at every interception point.
+
+    ``ages`` arrays hold, per affected bit, the number of bits elapsed
+    since the fault's schedule window opened — the knob that lets drift
+    and aging models evolve monotonically and deterministically.
+    """
+
+    name = "fault"
+
+    def transform_operating_point(
+        self, op: OperatingPoint, age: int
+    ) -> OperatingPoint:
+        """Shift the access conditions (temperature, voltage)."""
+        return op
+
+    def transform_probabilities(
+        self, probs: np.ndarray, ages: np.ndarray, ctx: AccessContext
+    ) -> np.ndarray:
+        """Rescale per-access failure probabilities."""
+        return probs
+
+    def transform_bits(
+        self, bits: np.ndarray, ages: np.ndarray, ctx: AccessContext
+    ) -> np.ndarray:
+        """Corrupt already-harvested bits."""
+        return bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class StuckCellFault(FaultModel):
+    """RNG cells latch a constant — the classic stuck-at failure.
+
+    With ``cells=None`` every access is stuck; otherwise only accesses
+    whose ``(bank, row, col)`` is listed are affected.  A stuck source
+    is what the SP 800-90B repetition count test exists to catch.
+    """
+
+    name = "stuck_cell"
+
+    def __init__(
+        self,
+        value: int = 1,
+        cells: Optional[FrozenSet[Tuple[int, int, int]]] = None,
+    ) -> None:
+        if value not in (0, 1):
+            raise ConfigurationError(f"stuck value must be 0 or 1, got {value}")
+        self.value = value
+        self.cells = frozenset(cells) if cells is not None else None
+
+    def _targets(self, ctx: AccessContext) -> bool:
+        if self.cells is None:
+            return True
+        if ctx.col is None:
+            return False
+        return (ctx.bank, ctx.row, ctx.col) in self.cells
+
+    def transform_bits(self, bits, ages, ctx):
+        if not self._targets(ctx):
+            return bits
+        return np.full_like(bits, self.value)
+
+
+class BiasDriftFault(FaultModel):
+    """Entropy collapse: output drifts toward a constant over time.
+
+    Each affected bit is overwritten with ``target`` with probability
+    ``min(rate_per_bit * age, max_severity)`` — a ramp from full entropy
+    to (near-)determinism, the signature of a failing charge pump or an
+    adversarial data-pattern attack.  The adaptive proportion test is
+    the intended detector.
+    """
+
+    name = "bias_drift"
+
+    def __init__(
+        self,
+        target: int = 1,
+        rate_per_bit: float = 1e-4,
+        max_severity: float = 1.0,
+        seed: int = 2019,
+    ) -> None:
+        if target not in (0, 1):
+            raise ConfigurationError(f"drift target must be 0 or 1, got {target}")
+        if rate_per_bit <= 0:
+            raise ConfigurationError(
+                f"rate_per_bit must be positive, got {rate_per_bit}"
+            )
+        if not 0.0 < max_severity <= 1.0:
+            raise ConfigurationError(
+                f"max_severity must be in (0, 1], got {max_severity}"
+            )
+        self.target = target
+        self.rate_per_bit = rate_per_bit
+        self.max_severity = max_severity
+        self.seed = seed
+
+    def transform_bits(self, bits, ages, ctx):
+        severity = np.minimum(
+            np.asarray(ages, dtype=np.float64) * self.rate_per_bit,
+            self.max_severity,
+        )
+        u = uniform_field(np.uint64(self.seed), np.asarray(ages, dtype=np.uint64))
+        return np.where(u < severity, self.target, bits).astype(bits.dtype)
+
+
+class TemperatureExcursionFault(FaultModel):
+    """The device heats (or cools) away from its identification point.
+
+    Shifts the operating temperature by ``delta_c``, optionally ramping
+    linearly over ``ramp_bits`` — the hazard Section 6.1's
+    per-temperature registry defends against.  Because the shift acts
+    on the operating point, *re-identification through the injector
+    sees the excursed temperature too*, so recovery genuinely adapts.
+    """
+
+    name = "temperature_excursion"
+
+    def __init__(self, delta_c: float = 25.0, ramp_bits: int = 0) -> None:
+        if ramp_bits < 0:
+            raise ConfigurationError(f"ramp_bits must be >= 0, got {ramp_bits}")
+        self.delta_c = delta_c
+        self.ramp_bits = ramp_bits
+
+    def transform_operating_point(self, op, age):
+        scale = 1.0 if self.ramp_bits == 0 else min(age / self.ramp_bits, 1.0)
+        return replace(op, temperature_c=op.temperature_c + self.delta_c * scale)
+
+
+class VoltageDroopFault(FaultModel):
+    """Supply droop: reduced VDD slows sensing, scaling failure rates.
+
+    Multiplies the operating point's ``vdd_ratio`` by ``droop_ratio``
+    (< 1).  The failure model turns that into longer development time
+    constants, i.e. uniformly higher failure probabilities — exactly
+    the reduced-voltage behavior of the study the paper cites [30].
+    """
+
+    name = "voltage_droop"
+
+    def __init__(self, droop_ratio: float = 0.85) -> None:
+        if not 0.0 < droop_ratio < 1.0:
+            raise ConfigurationError(
+                f"droop_ratio must be in (0, 1), got {droop_ratio}"
+            )
+        self.droop_ratio = droop_ratio
+
+    def transform_operating_point(self, op, age):
+        return replace(op, vdd_ratio=max(op.vdd_ratio * self.droop_ratio, 0.5))
+
+
+class CellAgingFault(FaultModel):
+    """Monotonic margin decay: cells fail ever more often as they age.
+
+    Models wear-out (charge-trap accumulation) as a failure-probability
+    floor that rises with the fault's age and never recedes:
+    ``p' = p + (1 - p) * min(decay_per_bit * age, max_decay)``.
+    """
+
+    name = "cell_aging"
+
+    def __init__(self, decay_per_bit: float = 1e-6, max_decay: float = 0.5) -> None:
+        if decay_per_bit <= 0:
+            raise ConfigurationError(
+                f"decay_per_bit must be positive, got {decay_per_bit}"
+            )
+        if not 0.0 < max_decay <= 1.0:
+            raise ConfigurationError(
+                f"max_decay must be in (0, 1], got {max_decay}"
+            )
+        self.decay_per_bit = decay_per_bit
+        self.max_decay = max_decay
+
+    def transform_probabilities(self, probs, ages, ctx):
+        decay = np.minimum(
+            np.asarray(ages, dtype=np.float64) * self.decay_per_bit,
+            self.max_decay,
+        )
+        return probs + (1.0 - probs) * decay
+
+
+class TransientBurstFault(FaultModel):
+    """Periodic bursts of flipped bits — EMI / particle-strike style.
+
+    Within every ``period`` bits of the fault's lifetime, the first
+    ``burst_bits`` are inverted; the rest pass through untouched.  The
+    pattern is a pure function of the fault's age, so bursts land at
+    the same stream positions on every replay.
+    """
+
+    name = "transient_burst"
+
+    def __init__(self, period: int = 4096, burst_bits: int = 64) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if not 0 < burst_bits <= period:
+            raise ConfigurationError(
+                f"burst_bits must be in (0, period], got {burst_bits}"
+            )
+        self.period = period
+        self.burst_bits = burst_bits
+
+    def transform_bits(self, bits, ages, ctx):
+        in_burst = (np.asarray(ages, dtype=np.int64) % self.period) < self.burst_bits
+        return np.where(in_burst, 1 - bits, bits).astype(bits.dtype)

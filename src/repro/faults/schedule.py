@@ -1,0 +1,109 @@
+"""Time-schedulable fault activation windows.
+
+Faults are activated and cleared at configured *bit offsets* of the
+global sampling stream — the injector's monotonically advancing clock —
+so a whole failure scenario (heat excursion at bit 100k, cleared at
+300k; burst noise throughout) is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.models import FaultModel
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One fault active over ``[start_bit, end_bit)`` of the stream.
+
+    ``end_bit=None`` means the fault persists forever once activated.
+    """
+
+    fault: FaultModel
+    start_bit: int = 0
+    end_bit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start_bit < 0:
+            raise ConfigurationError(
+                f"start_bit must be non-negative, got {self.start_bit}"
+            )
+        if self.end_bit is not None and self.end_bit <= self.start_bit:
+            raise ConfigurationError(
+                f"end_bit ({self.end_bit}) must exceed start_bit "
+                f"({self.start_bit})"
+            )
+
+    def active_at(self, offset: int) -> bool:
+        """True when the window covers bit ``offset``."""
+        if offset < self.start_bit:
+            return False
+        return self.end_bit is None or offset < self.end_bit
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """True when the window intersects ``[lo, hi)``."""
+        if hi <= self.start_bit:
+            return False
+        return self.end_bit is None or lo < self.end_bit
+
+    def mask(self, offsets: np.ndarray) -> np.ndarray:
+        """Boolean mask of which global ``offsets`` fall in the window."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        active = offsets >= self.start_bit
+        if self.end_bit is not None:
+            active &= offsets < self.end_bit
+        return active
+
+
+class FaultSchedule:
+    """An ordered collection of :class:`FaultWindow` entries.
+
+    Windows may overlap; faults compose in insertion order (earlier
+    entries transform first).
+    """
+
+    def __init__(self, windows: Sequence[FaultWindow] = ()) -> None:
+        self._windows: List[FaultWindow] = list(windows)
+
+    @property
+    def windows(self) -> Tuple[FaultWindow, ...]:
+        """All scheduled windows, in application order."""
+        return tuple(self._windows)
+
+    def add(
+        self,
+        fault: FaultModel,
+        start_bit: int = 0,
+        end_bit: Optional[int] = None,
+    ) -> FaultWindow:
+        """Schedule ``fault`` over ``[start_bit, end_bit)``; returns the window."""
+        window = FaultWindow(fault=fault, start_bit=start_bit, end_bit=end_bit)
+        self._windows.append(window)
+        return window
+
+    def remove(self, window: FaultWindow) -> None:
+        """Deschedule a previously added window."""
+        self._windows.remove(window)
+
+    def clear(self) -> None:
+        """Drop every scheduled window (a fully healed device)."""
+        self._windows.clear()
+
+    def active_at(self, offset: int) -> Tuple[FaultWindow, ...]:
+        """Windows covering bit ``offset``."""
+        return tuple(w for w in self._windows if w.active_at(offset))
+
+    def overlapping(self, lo: int, hi: int) -> Tuple[FaultWindow, ...]:
+        """Windows intersecting the half-open offset range ``[lo, hi)``."""
+        return tuple(w for w in self._windows if w.overlaps(lo, hi))
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __bool__(self) -> bool:
+        return bool(self._windows)

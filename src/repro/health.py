@@ -15,7 +15,10 @@ tests plus a monitor that composes them:
 
 :class:`HealthMonitor` wires both into a feed-forward interface that
 :class:`~repro.core.integration.DRangeService` can consult to trigger
-RNG-cell re-identification (e.g. after a temperature excursion).
+RNG-cell re-identification (e.g. after a temperature excursion), and
+adds the §4.3 *startup test*: both continuous tests must pass over at
+least :data:`STARTUP_MIN_BITS` fresh samples before the source may
+serve its first output.
 """
 
 from __future__ import annotations
@@ -26,7 +29,10 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InsufficientDataError
+
+#: SP 800-90B §4.3: startup testing covers at least 1024 samples.
+STARTUP_MIN_BITS = 1024
 
 
 def repetition_count_cutoff(min_entropy: float, alpha_exponent: int = 20) -> int:
@@ -100,12 +106,18 @@ class RepetitionCountTest:
             if value == self._last:
                 self._run += 1
                 if self._run >= self.cutoff:
-                    return HealthAlarm(
+                    alarm = HealthAlarm(
                         test="repetition_count",
                         detail=f"value {value} repeated {self._run} times "
                         f"(cutoff {self.cutoff})",
                         sample_index=self._index,
                     )
+                    # Start a fresh run so post-alarm feeds report new
+                    # violations instead of re-reporting this one.
+                    self._last = None
+                    self._run = 0
+                    self._index += 1
+                    return alarm
             else:
                 self._last = value
                 self._run = 1
@@ -137,13 +149,19 @@ class AdaptiveProportionTest:
                 if value == self._reference:
                     self._count += 1
                     if self._count >= self.cutoff:
-                        return HealthAlarm(
+                        alarm = HealthAlarm(
                             test="adaptive_proportion",
                             detail=f"value {self._reference} appeared "
                             f"{self._count}/{self._seen} times "
                             f"(cutoff {self.cutoff}/{self.window})",
                             sample_index=self._index,
                         )
+                        # Start a fresh window: without this, every bit
+                        # fed after the alarm re-reports the same
+                        # saturated window.
+                        self._reference = None
+                        self._index += 1
+                        return alarm
                 if self._seen >= self.window:
                     self._reference = None
             self._index += 1
@@ -160,6 +178,7 @@ class HealthMonitor:
         self._proportion = AdaptiveProportionTest(min_entropy, window)
         self._alarms = []
         self._bits_seen = 0
+        self._startup_passed = False
 
     @property
     def alarms(self):
@@ -176,6 +195,40 @@ class HealthMonitor:
         """Total raw bits inspected."""
         return self._bits_seen
 
+    @property
+    def startup_passed(self) -> bool:
+        """True once :meth:`startup` has succeeded since the last reset."""
+        return self._startup_passed
+
+    def startup(self, bits) -> bool:
+        """SP 800-90B §4.3 startup testing over fresh samples.
+
+        Runs both continuous tests over at least
+        :data:`STARTUP_MIN_BITS` consecutive fresh bits.  On success the
+        monitor is marked started and the bits count toward
+        :attr:`bits_seen`; on failure the violation is recorded as an
+        alarm and the source must not serve output.  The startup bits
+        themselves should be discarded either way, per the spec.
+        """
+        arr = np.asarray(bits).ravel()
+        if arr.size < STARTUP_MIN_BITS:
+            raise InsufficientDataError(
+                f"startup testing needs >= {STARTUP_MIN_BITS} bits, "
+                f"got {arr.size}"
+            )
+        self._bits_seen += arr.size
+        passed = True
+        for test in (
+            RepetitionCountTest(self._min_entropy),
+            AdaptiveProportionTest(self._min_entropy, self._window),
+        ):
+            alarm = test.feed(arr)
+            if alarm is not None:
+                self._alarms.append(alarm)
+                passed = False
+        self._startup_passed = passed
+        return passed
+
     def feed(self, bits) -> bool:
         """Inspect a batch of raw bits; returns current health."""
         arr = np.asarray(bits).ravel()
@@ -190,8 +243,12 @@ class HealthMonitor:
         """Restart monitoring after the source has been re-identified.
 
         Clears alarms *and* the sub-tests' windows/run counters, so the
-        repaired source starts from a clean slate.
+        repaired source starts from a clean slate.  The startup gate
+        closes again: a repaired source must re-pass :meth:`startup`
+        before serving output.  ``bits_seen`` keeps accumulating — it is
+        a lifetime odometer, not per-incarnation state.
         """
         self._alarms.clear()
         self._repetition = RepetitionCountTest(self._min_entropy)
         self._proportion = AdaptiveProportionTest(self._min_entropy, self._window)
+        self._startup_passed = False

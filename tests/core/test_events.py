@@ -1,0 +1,46 @@
+"""Structured robustness event-log tests."""
+
+import pytest
+
+from repro.core.events import EventLog, ServiceEvent
+
+
+class TestEventLog:
+    def test_record_appends_and_counts(self):
+        log = EventLog()
+        event = log.record("alarm", "bias detected", channel=2)
+        assert event == ServiceEvent("alarm", "bias detected", 2)
+        assert log.events == (event,)
+        assert log.count("alarm") == 1
+        assert len(log) == 1
+
+    def test_bump_counts_without_logging(self):
+        log = EventLog()
+        log.bump("bits_discarded", 1024)
+        log.bump("bits_discarded", 100)
+        assert log.count("bits_discarded") == 1124
+        assert len(log) == 0
+        with pytest.raises(ValueError):
+            log.bump("bits_discarded", -1)
+
+    def test_history_is_bounded_but_counters_keep_counting(self):
+        log = EventLog(max_events=3)
+        for index in range(10):
+            log.record("retry", f"attempt {index}")
+        assert len(log) == 3
+        assert [e.detail for e in log.events] == [
+            "attempt 7", "attempt 8", "attempt 9",
+        ]
+        assert log.count("retry") == 10
+
+    def test_of_kind_filters(self):
+        log = EventLog()
+        log.record("alarm")
+        log.record("retry")
+        log.record("alarm")
+        assert len(log.of_kind("alarm")) == 2
+        assert len(log.of_kind("quarantine")) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(max_events=0)

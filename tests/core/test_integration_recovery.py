@@ -1,0 +1,224 @@
+"""Self-healing DRangeService tests: startup gating, recovery, failover."""
+
+import numpy as np
+import pytest
+
+from repro.core.drange import DRange
+from repro.core.integration import DRangeService, RecoveryPolicy
+from repro.core.profiling import Region
+from repro.dram.device import DeviceFactory
+from repro.errors import (
+    ConfigurationError,
+    HealthError,
+    RecoveryExhaustedError,
+    StartupTestError,
+)
+from repro.health import STARTUP_MIN_BITS, HealthMonitor
+
+RECOVERY_REGION = Region(banks=(0,), row_start=0, row_count=128)
+
+
+def _policy(**overrides):
+    defaults = dict(max_retries=2, region=RECOVERY_REGION, iterations=50)
+    defaults.update(overrides)
+    return RecoveryPolicy(**defaults)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    """A healthy prepared DRange shared by tests that do not mutate it."""
+    device = DeviceFactory(master_seed=2019, noise_seed=47).make_device("A", 0)
+    drange = DRange(device)
+    cells = drange.prepare(
+        region=Region(banks=(0, 1), row_start=0, row_count=512),
+        iterations=100,
+    )
+    if not cells:
+        pytest.skip("no RNG cells for this seed")
+    return drange
+
+
+@pytest.fixture
+def faulted():
+    """A fresh injector-wrapped service for tests that inject faults."""
+    from repro.faults import FaultInjector
+
+    device = DeviceFactory(master_seed=2019, noise_seed=47).make_device("A", 0)
+    injector = FaultInjector(device)
+    drange = DRange(injector)
+    cells = drange.prepare(
+        region=Region(banks=(0, 1), row_start=0, row_count=512),
+        iterations=100,
+    )
+    if not cells:
+        pytest.skip("no RNG cells for this seed")
+    service = DRangeService(
+        health_monitor=HealthMonitor(), drange=drange, recovery=_policy()
+    )
+    return injector, service
+
+
+class TestRecoveryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(max_retries=0)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(startup_bits=STARTUP_MIN_BITS - 1)
+
+    def test_exponential_backoff(self):
+        policy = RecoveryPolicy(backoff_base_s=0.5, backoff_factor=2.0)
+        assert policy.backoff_s(0) == pytest.approx(0.5)
+        assert policy.backoff_s(1) == pytest.approx(1.0)
+        assert policy.backoff_s(3) == pytest.approx(4.0)
+
+    def test_default_backoff_is_instant(self):
+        assert RecoveryPolicy().backoff_s(5) == 0.0
+
+
+class TestStartupGate:
+    def test_first_request_runs_startup(self, prepared):
+        service = DRangeService(
+            health_monitor=HealthMonitor(), drange=prepared
+        )
+        bits = service.request(100)
+        assert bits.size == 100
+        assert service.health_monitor.startup_passed
+        assert service.counters["startup_passed"] == 1
+        # Startup bits are discarded, never served.
+        assert service.counters["bits_discarded"] >= STARTUP_MIN_BITS
+        assert service.bits_served == 100
+
+    def test_startup_runs_once(self, prepared):
+        service = DRangeService(
+            health_monitor=HealthMonitor(), drange=prepared
+        )
+        service.request(100)
+        service.request(100)
+        assert service.counters["startup_passed"] == 1
+
+    def test_startup_failure_without_recovery_raises(self, prepared, monkeypatch):
+        service = DRangeService(
+            prepared.sampler(), health_monitor=HealthMonitor()
+        )
+        monkeypatch.setattr(
+            service._sampler,
+            "generate_fast",
+            lambda n: np.ones(n, dtype=np.uint8),
+        )
+        with pytest.raises(StartupTestError):
+            service.request(100)
+        # StartupTestError stays catchable as the legacy HealthError.
+        assert issubclass(StartupTestError, HealthError)
+
+    def test_no_monitor_means_no_gate(self, prepared):
+        service = DRangeService(prepared.sampler())
+        assert service.request(64).size == 64
+        assert service.counters == {}
+
+
+class TestSelfHealing:
+    def test_transient_fault_self_heals(self, faulted):
+        from repro.faults import BiasDriftFault
+
+        injector, service = faulted
+        # Pass startup and serve while healthy.
+        assert service.request(500).size == 500
+        # A drift that clears after 30k bits: re-identification traffic
+        # outlives the window, so recovery genuinely repairs the source.
+        injector.inject(
+            BiasDriftFault(target=1, rate_per_bit=1e-3),
+            end_bit=injector.bits_elapsed + 30_000,
+        )
+        bits = service.request(20_000)
+        assert bits.size == 20_000
+        assert abs(bits.mean() - 0.5) < 0.05
+        kinds = {event.kind for event in service.events}
+        assert {"alarm", "recovery_started", "retry", "reidentified",
+                "recovered"} <= kinds
+        assert service.health_monitor.healthy
+        assert service.bits_served == 20_500
+
+    def test_persistent_fault_exhausts_recovery(self, faulted):
+        from repro.faults import BiasDriftFault
+
+        injector, service = faulted
+        assert service.request(500).size == 500
+        served_before = service.bits_served
+        injector.inject(BiasDriftFault(target=1, rate_per_bit=1e-3))
+        with pytest.raises(RecoveryExhaustedError):
+            service.request(20_000)
+        kinds = {event.kind for event in service.events}
+        assert "recovery_failed" in kinds
+        assert service.counters["retry"] >= service.recovery_policy.max_retries
+        # Nothing from the failed request was served.
+        assert service.bits_served == served_before
+        assert service.counters["bits_discarded"] > 0
+
+    def test_recovery_exhausted_is_a_health_error(self):
+        assert issubclass(RecoveryExhaustedError, HealthError)
+
+    def test_alarm_quarantines_buffered_bits(self, prepared, monkeypatch):
+        service = DRangeService(
+            prepared.sampler(), health_monitor=HealthMonitor()
+        )
+        service.request(100)  # startup + fill the queue partially
+        service._refill()  # idle-time top-up: queue holds >1 batch
+        level = service.queue_level
+        assert level > 0
+        monkeypatch.setattr(
+            service._sampler,
+            "generate_fast",
+            lambda n: np.ones(n, dtype=np.uint8),
+        )
+        # The poisoned refill must drag the whole buffered queue down
+        # with it — none of those earlier bits can be trusted either.
+        with pytest.raises(HealthError):
+            service._refill()
+        assert service.queue_level == 0
+        quarantine = service.event_log.of_kind("quarantine")
+        assert len(quarantine) == 1
+        assert str(level) in quarantine[0].detail
+
+
+class TestExceptionSafeRequest:
+    def test_non_health_failure_restores_queue(self, prepared, monkeypatch):
+        service = DRangeService(
+            prepared.sampler(), health_monitor=HealthMonitor()
+        )
+        service.request(100)
+        level = service.queue_level
+        served = service.bits_served
+        snapshot = list(service._queue)
+
+        def boom(n):
+            raise RuntimeError("DRAM bus fell over")
+
+        monkeypatch.setattr(service._sampler, "generate_fast", boom)
+        with pytest.raises(RuntimeError):
+            service.request(level + 500)
+        # The dequeued bits went back in their original order.
+        assert service.queue_level == level
+        assert list(service._queue) == snapshot
+        assert service.bits_served == served
+
+    def test_health_failure_discards_partial_fill(self, prepared, monkeypatch):
+        service = DRangeService(
+            prepared.sampler(), health_monitor=HealthMonitor()
+        )
+        service.request(100)
+        level = service.queue_level
+        assert level > 0
+        monkeypatch.setattr(
+            service._sampler,
+            "generate_fast",
+            lambda n: np.ones(n, dtype=np.uint8),
+        )
+        with pytest.raises(HealthError):
+            service.request(level + 500)
+        quarantined = service.event_log.of_kind("request_quarantined")
+        assert len(quarantined) == 1
+        assert str(level) in quarantined[0].detail

@@ -3,10 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.core.integration import RecoveryPolicy
 from repro.core.multichannel import MultiChannelDRange
 from repro.core.profiling import Region
 from repro.dram.device import DeviceFactory
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RecoveryExhaustedError
+from repro.faults import BiasDriftFault, FaultInjector
+from repro.nist.frequency import monobit
 
 
 @pytest.fixture(scope="module")
@@ -59,3 +62,120 @@ class TestSystem:
             system.channels[0].device.timings, 10.0, 1, 2, 1
         ).latency_ns
         assert multi < one
+
+    def test_health_checked_request_serves(self, system):
+        bits = system.request(5000)
+        assert bits.size == 5000
+        assert system.quarantined_channels == ()
+        assert system.bits_served >= 5000
+
+
+class TestFailover:
+    """Acceptance scenario: persistent bias drift on one of four channels.
+
+    The poisoned channel must alarm, get re-identification retries, and
+    end up quarantined, while request() keeps serving bits that pass the
+    NIST frequency test from the three survivors.
+    """
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        factory = DeviceFactory(master_seed=2019, noise_seed=37)
+        devices = [factory.make_device("A", index) for index in range(4)]
+        injector = FaultInjector(devices[0])
+        devices[0] = injector
+        system = MultiChannelDRange(
+            devices,
+            recovery=RecoveryPolicy(
+                max_retries=2,
+                region=Region(banks=(0,), row_start=0, row_count=128),
+                iterations=50,
+            ),
+        )
+        total = system.prepare(
+            region=Region(banks=(0, 1), row_start=0, row_count=512),
+            iterations=100,
+        )
+        if total == 0:
+            pytest.skip("no RNG cells for this seed")
+        throughput_before = system.system_throughput_mbps(banks_per_channel=2)
+        injector.inject(BiasDriftFault(target=1, rate_per_bit=1e-3))
+        bits = system.request(20_000)
+        return system, bits, throughput_before
+
+    def test_survivors_keep_serving(self, outcome):
+        system, bits, _ = outcome
+        assert bits.size == 20_000
+        assert monobit(bits).passed
+
+    def test_poisoned_channel_is_quarantined(self, outcome):
+        system, _, _ = outcome
+        assert system.quarantined_channels == (0,)
+        assert system.active_channels == (1, 2, 3)
+
+    def test_event_log_records_the_incident(self, outcome):
+        system, _, _ = outcome
+        ch0 = [event for event in system.events if event.channel == 0]
+        kinds = [event.kind for event in ch0]
+        assert "alarm" in kinds
+        assert kinds.count("retry") >= system._recovery.max_retries
+        assert "quarantine" in kinds
+        assert system.counters["bits_discarded"] > 0
+
+    def test_throughput_accounting_drops_the_channel(self, outcome):
+        system, _, before = outcome
+        after = system.system_throughput_mbps(banks_per_channel=2)
+        assert after < before
+        per_channel = [
+            system.channels[i].throughput_model().estimate(2).throughput_mbps
+            for i in system.active_channels
+        ]
+        assert after == pytest.approx(sum(per_channel), rel=1e-6)
+
+    def test_latency_uses_survivors(self, outcome):
+        system, _, _ = outcome
+        assert system.system_latency_64bit_ns(banks_per_channel=2) > 0
+
+    def test_follow_up_requests_keep_working(self, outcome):
+        system, _, _ = outcome
+        served = system.bits_served
+        bits = system.request(2000)
+        assert bits.size == 2000
+        assert system.bits_served == served + 2000
+        assert system.quarantined_channels == (0,)
+
+    def test_reinstate_returns_channel_to_service(self, outcome):
+        system, _, _ = outcome
+        system.reinstate(0)
+        assert 0 in system.active_channels
+        assert system.monitors[0].healthy
+        # Put it back so other tests in the class see the quarantined state.
+        system._quarantine(0)
+        with pytest.raises(ConfigurationError):
+            system.reinstate(99)
+
+
+class TestAllChannelsLost:
+    def test_single_poisoned_channel_exhausts_service(self):
+        factory = DeviceFactory(master_seed=2019, noise_seed=37)
+        injector = FaultInjector(factory.make_device("A", 0))
+        system = MultiChannelDRange(
+            [injector],
+            recovery=RecoveryPolicy(
+                max_retries=1,
+                region=Region(banks=(0,), row_start=0, row_count=128),
+                iterations=50,
+            ),
+        )
+        total = system.prepare(
+            region=Region(banks=(0, 1), row_start=0, row_count=256),
+            iterations=100,
+        )
+        if total == 0:
+            pytest.skip("no RNG cells for this seed")
+        injector.inject(BiasDriftFault(target=1, rate_per_bit=1e-3))
+        with pytest.raises(RecoveryExhaustedError):
+            system.request(10_000)
+        assert system.active_channels == ()
+        kinds = {event.kind for event in system.events}
+        assert "service_failed" in kinds

@@ -119,3 +119,25 @@ class TestHealthSubcommand:
         assert code == 0
         assert "OK" in out
         assert "min-entropy estimate" in out
+
+
+class TestFaultsSubcommand:
+    def test_transient_bias_drift_self_heals(self, capsys):
+        code = main(
+            ["--seed", "5", "faults", "--fault", "bias-drift",
+             "--bits", "3000", "--rows", "256", "--clear-after", "30000"]
+        )
+        out = capsys.readouterr().out
+        assert "injected bias_drift" in out
+        assert "event log:" in out
+        assert "[recovered]" in out
+        assert code == 0
+
+    def test_persistent_stuck_fault_fails_the_service(self, capsys):
+        code = main(
+            ["--seed", "5", "faults", "--fault", "stuck", "--bits", "2000",
+             "--rows", "128", "--max-retries", "1"]
+        )
+        out = capsys.readouterr().out
+        assert "service failed" in out
+        assert code == 1

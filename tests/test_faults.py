@@ -1,0 +1,301 @@
+"""Fault model, schedule, and injector tests."""
+
+import numpy as np
+import pytest
+
+from repro.dram.device import DeviceFactory
+from repro.errors import ConfigurationError
+from repro.faults import (
+    BiasDriftFault,
+    CellAgingFault,
+    FaultInjector,
+    FaultSchedule,
+    FaultWindow,
+    FaultyNoiseSource,
+    StuckCellFault,
+    TemperatureExcursionFault,
+    TransientBurstFault,
+    VoltageDroopFault,
+)
+from repro.health import HealthMonitor
+
+TRCD = 10.0
+
+
+def _make_injector(noise_seed=47):
+    factory = DeviceFactory(master_seed=2019, noise_seed=noise_seed)
+    return FaultInjector(factory.make_device("A", 0))
+
+
+def _find_cell(device, lo, hi, bank=0, rows=64):
+    """First (bank, row, col) whose failure probability lies in (lo, hi)."""
+    for row in range(rows):
+        probs = device.row_failure_probabilities(bank, row, TRCD)
+        cols = np.flatnonzero((probs > lo) & (probs < hi))
+        if cols.size:
+            return bank, row, int(cols[0])
+    pytest.skip(f"no cell with failure probability in ({lo}, {hi})")
+
+
+class TestFaultWindow:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultWindow(StuckCellFault(), start_bit=-1)
+        with pytest.raises(ConfigurationError):
+            FaultWindow(StuckCellFault(), start_bit=10, end_bit=10)
+
+    def test_half_open_activation(self):
+        window = FaultWindow(StuckCellFault(), start_bit=10, end_bit=20)
+        assert not window.active_at(9)
+        assert window.active_at(10)
+        assert window.active_at(19)
+        assert not window.active_at(20)
+
+    def test_persistent_window_never_ends(self):
+        window = FaultWindow(StuckCellFault(), start_bit=5)
+        assert window.active_at(5)
+        assert window.active_at(10**12)
+
+    def test_mask(self):
+        window = FaultWindow(StuckCellFault(), start_bit=2, end_bit=5)
+        offsets = np.arange(8)
+        np.testing.assert_array_equal(
+            window.mask(offsets),
+            [False, False, True, True, True, False, False, False],
+        )
+
+    def test_overlaps(self):
+        window = FaultWindow(StuckCellFault(), start_bit=100, end_bit=200)
+        assert window.overlaps(150, 160)
+        assert window.overlaps(0, 101)
+        assert not window.overlaps(0, 100)
+        assert not window.overlaps(200, 300)
+
+
+class TestFaultSchedule:
+    def test_add_remove_clear(self):
+        schedule = FaultSchedule()
+        assert not schedule
+        window = schedule.add(StuckCellFault(), start_bit=0, end_bit=10)
+        assert len(schedule) == 1 and schedule
+        schedule.remove(window)
+        assert len(schedule) == 0
+        schedule.add(StuckCellFault())
+        schedule.clear()
+        assert not schedule
+
+    def test_active_at_and_overlapping(self):
+        schedule = FaultSchedule()
+        early = schedule.add(StuckCellFault(value=0), start_bit=0, end_bit=50)
+        late = schedule.add(StuckCellFault(value=1), start_bit=40)
+        assert schedule.active_at(10) == (early,)
+        assert schedule.active_at(45) == (early, late)
+        assert schedule.active_at(60) == (late,)
+        assert schedule.overlapping(0, 40) == (early,)
+        assert schedule.overlapping(45, 46) == (early, late)
+
+
+class TestModelValidation:
+    def test_stuck_value(self):
+        with pytest.raises(ConfigurationError):
+            StuckCellFault(value=2)
+
+    def test_bias_drift_params(self):
+        with pytest.raises(ConfigurationError):
+            BiasDriftFault(target=3)
+        with pytest.raises(ConfigurationError):
+            BiasDriftFault(rate_per_bit=0.0)
+        with pytest.raises(ConfigurationError):
+            BiasDriftFault(max_severity=1.5)
+
+    def test_temperature_ramp(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureExcursionFault(ramp_bits=-1)
+
+    def test_voltage_droop_ratio(self):
+        with pytest.raises(ConfigurationError):
+            VoltageDroopFault(droop_ratio=1.0)
+
+    def test_aging_params(self):
+        with pytest.raises(ConfigurationError):
+            CellAgingFault(decay_per_bit=-1.0)
+        with pytest.raises(ConfigurationError):
+            CellAgingFault(max_decay=0.0)
+
+    def test_burst_params(self):
+        with pytest.raises(ConfigurationError):
+            TransientBurstFault(period=0)
+        with pytest.raises(ConfigurationError):
+            TransientBurstFault(period=10, burst_bits=11)
+
+
+class TestFaultInjector:
+    def test_forwards_unintercepted_attributes(self):
+        injector = _make_injector()
+        assert injector.wrapped.serial == injector.serial
+        assert injector.geometry is injector.wrapped.geometry
+
+    def test_bit_clock_advances(self):
+        injector = _make_injector()
+        assert injector.bits_elapsed == 0
+        injector.sample_cell_bits(0, 0, 0, 100, TRCD)
+        assert injector.bits_elapsed == 100
+        injector.sample_row_fail_counts(0, 0, TRCD, 50)
+        assert injector.bits_elapsed == 150
+        injector.advance(10)
+        assert injector.bits_elapsed == 160
+        with pytest.raises(ValueError):
+            injector.advance(-1)
+
+    def test_probe_word_advances_by_word_bits(self):
+        injector = _make_injector()
+        bits = injector.probe_word(0, 0, 0, TRCD)
+        assert injector.bits_elapsed == bits.size
+
+    def test_stuck_fault_respects_window(self):
+        injector = _make_injector()
+        bank, row, col = _find_cell(injector.wrapped, -1.0, 0.01)
+        stored = int(injector.wrapped.bank(bank).stored_row(row)[col])
+        stuck = 1 - stored
+        injector.inject(StuckCellFault(value=stuck), start_bit=100, end_bit=200)
+        bits = injector.sample_cell_bits(bank, row, col, 300, TRCD)
+        assert np.all(bits[:100] == stored)
+        assert np.all(bits[100:200] == stuck)
+        assert np.all(bits[200:] == stored)
+
+    def test_targeted_stuck_fault_hits_only_listed_cells(self):
+        injector = _make_injector()
+        bank, row, col = _find_cell(injector.wrapped, -1.0, 0.01)
+        stored = int(injector.wrapped.bank(bank).stored_row(row)[col])
+        other_col = (col + 1) % injector.geometry.cols_per_row
+        other_stored = int(injector.wrapped.bank(bank).stored_row(row)[other_col])
+        injector.inject(
+            StuckCellFault(value=1 - stored, cells={(bank, row, col)})
+        )
+        hit = injector.sample_cell_bits(bank, row, col, 50, TRCD)
+        assert np.all(hit == 1 - stored)
+        if injector.wrapped.row_failure_probabilities(bank, row, TRCD)[
+            other_col
+        ] < 0.01:
+            miss = injector.sample_cell_bits(bank, row, other_col, 50, TRCD)
+            assert np.all(miss == other_stored)
+
+    def test_burst_pattern_is_pure_function_of_age(self):
+        injector = _make_injector()
+        bank, row, col = _find_cell(injector.wrapped, -1.0, 0.01)
+        stored = int(injector.wrapped.bank(bank).stored_row(row)[col])
+        injector.inject(TransientBurstFault(period=50, burst_bits=5))
+        bits = injector.sample_cell_bits(bank, row, col, 300, TRCD)
+        expected = np.where(np.arange(300) % 50 < 5, 1 - stored, stored)
+        np.testing.assert_array_equal(bits, expected)
+
+    def test_bias_drift_is_deterministic(self):
+        outputs = []
+        for _ in range(2):
+            injector = _make_injector()
+            bank, row, col = _find_cell(injector.wrapped, 0.4, 0.6)
+            injector.inject(BiasDriftFault(target=1, rate_per_bit=1e-3))
+            outputs.append(injector.sample_cell_bits(bank, row, col, 2000, TRCD))
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+
+    def test_heal_restores_nominal_behavior(self):
+        injector = _make_injector()
+        bank, row, col = _find_cell(injector.wrapped, -1.0, 0.01)
+        stored = int(injector.wrapped.bank(bank).stored_row(row)[col])
+        injector.inject(StuckCellFault(value=1 - stored))
+        assert np.all(
+            injector.sample_cell_bits(bank, row, col, 50, TRCD) == 1 - stored
+        )
+        injector.heal()
+        assert np.all(
+            injector.sample_cell_bits(bank, row, col, 50, TRCD) == stored
+        )
+
+    def test_aging_raises_failure_probabilities(self):
+        injector = _make_injector()
+        baseline = injector.wrapped.row_failure_probabilities(0, 0, TRCD)
+        injector.inject(CellAgingFault(decay_per_bit=1e-4, max_decay=0.5))
+        injector.advance(10_000)  # decay saturated at max_decay
+        aged = injector.row_failure_probabilities(0, 0, TRCD)
+        np.testing.assert_allclose(aged, baseline + (1 - baseline) * 0.5)
+
+    def test_temperature_fault_matches_real_excursion(self):
+        injector = _make_injector()
+        injector.inject(TemperatureExcursionFault(delta_c=20.0))
+        faulted = injector.row_failure_probabilities(0, 0, TRCD)
+        device = injector.wrapped
+        original = device.temperature_c
+        device.set_temperature(original + 20.0)
+        try:
+            real = device.row_failure_probabilities(0, 0, TRCD)
+        finally:
+            device.set_temperature(original)
+        np.testing.assert_allclose(faulted, real)
+
+    def test_voltage_droop_matches_real_droop(self):
+        injector = _make_injector()
+        injector.inject(VoltageDroopFault(droop_ratio=0.85))
+        faulted = injector.row_failure_probabilities(0, 0, TRCD)
+        device = injector.wrapped
+        device.set_vdd_ratio(0.85)
+        try:
+            real = device.row_failure_probabilities(0, 0, TRCD)
+        finally:
+            device.set_vdd_ratio(1.0)
+        np.testing.assert_allclose(faulted, real)
+
+
+class TestFaultsTriggerExpectedAlarms:
+    """Each fault model must trip the SP 800-90B test built to catch it."""
+
+    def test_stuck_cell_trips_repetition_count(self):
+        injector = _make_injector()
+        bank, row, col = _find_cell(injector.wrapped, 0.4, 0.6)
+        injector.inject(StuckCellFault(value=1))
+        monitor = HealthMonitor()
+        assert not monitor.feed(injector.sample_cell_bits(bank, row, col, 2000, TRCD))
+        assert "repetition_count" in {a.test for a in monitor.alarms}
+
+    def test_bias_drift_trips_adaptive_proportion(self):
+        injector = _make_injector()
+        bank, row, col = _find_cell(injector.wrapped, 0.4, 0.6)
+        injector.inject(
+            BiasDriftFault(target=1, rate_per_bit=2e-3, max_severity=0.7)
+        )
+        monitor = HealthMonitor()
+        assert not monitor.feed(injector.sample_cell_bits(bank, row, col, 4000, TRCD))
+        assert "adaptive_proportion" in {a.test for a in monitor.alarms}
+
+    def test_healthy_cell_raises_no_alarm(self):
+        injector = _make_injector()
+        bank, row, col = _find_cell(injector.wrapped, 0.45, 0.55)
+        monitor = HealthMonitor()
+        assert monitor.feed(injector.sample_cell_bits(bank, row, col, 4000, TRCD))
+        assert monitor.healthy
+
+
+class TestFaultyNoiseSource:
+    def test_aging_fault_shifts_bernoulli_draws(self):
+        source = FaultyNoiseSource(seed=1)
+        source.schedule.add(CellAgingFault(decay_per_bit=1.0, max_decay=1.0))
+        draws = source.bernoulli(np.zeros(10))
+        # Age 0 has zero decay; every later draw is forced to p = 1.
+        assert not draws[0]
+        assert np.all(draws[1:])
+        assert source.draws_elapsed == 10
+
+    def test_binomial_path_applies_faults(self):
+        source = FaultyNoiseSource(seed=1)
+        source.schedule.add(CellAgingFault(decay_per_bit=1.0, max_decay=1.0))
+        counts = source.binomial(20, np.zeros(3))
+        assert counts[0] == 0
+        assert counts[1] == 20 and counts[2] == 20
+
+    def test_matches_clean_source_without_faults(self):
+        clean = FaultyNoiseSource(seed=7)
+        probs = np.full(1000, 0.5)
+        from repro.noise import NoiseSource
+
+        np.testing.assert_array_equal(
+            clean.bernoulli(probs), NoiseSource(seed=7).bernoulli(probs)
+        )

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, HealthError
+from repro.errors import ConfigurationError, HealthError, InsufficientDataError
 from repro.health import (
+    STARTUP_MIN_BITS,
     AdaptiveProportionTest,
     HealthMonitor,
     RepetitionCountTest,
@@ -86,6 +87,27 @@ class TestAdaptiveProportion:
         assert test.feed(biased) is None
 
 
+class TestFreshWindowsAfterAlarm:
+    """Post-alarm feeds must report *new* violations, not replay the old one."""
+
+    def test_repetition_starts_a_fresh_run(self, rng):
+        test = RepetitionCountTest(min_entropy=0.9)
+        assert test.feed(np.ones(100, dtype=np.uint8)) is not None
+        # A healthy stream right after the alarm stays quiet...
+        assert test.feed(rng.integers(0, 2, 5000)) is None
+        # ...but a renewed stuck phase fires again.
+        assert test.feed(np.ones(100, dtype=np.uint8)) is not None
+
+    def test_adaptive_starts_a_fresh_window(self, rng):
+        test = AdaptiveProportionTest(min_entropy=0.9)
+        first = test.feed(np.ones(2000, dtype=np.uint8))
+        assert first is not None
+        assert test.feed(rng.integers(0, 2, 5000)) is None
+        second = test.feed(np.ones(2000, dtype=np.uint8))
+        assert second is not None
+        assert second.sample_index > first.sample_index
+
+
 class TestHealthMonitor:
     def test_healthy_flow(self, rng):
         monitor = HealthMonitor()
@@ -99,6 +121,61 @@ class TestHealthMonitor:
         assert not monitor.healthy
         assert len(monitor.alarms) >= 1
         monitor.reset()
+        assert monitor.healthy
+
+    def test_reset_clears_subtest_run_state(self):
+        monitor = HealthMonitor()  # repetition cutoff is 24 at H=0.9
+        near_cutoff = np.ones(23, dtype=np.uint8)
+        assert monitor.feed(near_cutoff)
+        monitor.reset()
+        # Without the reset the runs would join into one 46-bit violation.
+        assert monitor.feed(near_cutoff)
+        assert monitor.healthy
+
+    def test_bits_seen_survives_reset(self, rng):
+        monitor = HealthMonitor()
+        monitor.feed(rng.integers(0, 2, 1000))
+        monitor.reset()
+        monitor.feed(rng.integers(0, 2, 1000))
+        assert monitor.bits_seen == 2000
+
+
+class TestStartupTesting:
+    def test_passes_on_healthy_bits(self, rng):
+        monitor = HealthMonitor()
+        assert not monitor.startup_passed
+        assert monitor.startup(rng.integers(0, 2, 2048))
+        assert monitor.startup_passed
+        assert monitor.healthy
+        assert monitor.bits_seen == 2048
+
+    def test_fails_on_degraded_bits(self):
+        monitor = HealthMonitor()
+        assert not monitor.startup(np.ones(STARTUP_MIN_BITS, dtype=np.uint8))
+        assert not monitor.startup_passed
+        assert not monitor.healthy
+
+    def test_requires_minimum_samples(self, rng):
+        monitor = HealthMonitor()
+        with pytest.raises(InsufficientDataError):
+            monitor.startup(rng.integers(0, 2, STARTUP_MIN_BITS - 1))
+
+    def test_reset_closes_the_gate_again(self, rng):
+        monitor = HealthMonitor()
+        assert monitor.startup(rng.integers(0, 2, 2048))
+        monitor.reset()
+        assert not monitor.startup_passed
+
+    def test_startup_does_not_disturb_continuous_state(self, rng):
+        # Startup runs on throwaway test instances: the 23-bit run below
+        # must not combine with continuous-feed state afterwards.
+        monitor = HealthMonitor()
+        assert monitor.startup(
+            np.concatenate(
+                [rng.integers(0, 2, 2048), np.ones(23, dtype=np.uint8)]
+            )
+        )
+        assert monitor.feed(np.ones(23, dtype=np.uint8))
         assert monitor.healthy
 
 
