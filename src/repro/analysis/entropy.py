@@ -60,9 +60,18 @@ def autocorrelation(bits, lag: int = 1) -> float:
         raise ValueError(f"lag must be positive, got {lag}")
     if arr.size <= lag + 1:
         raise ValueError(f"stream of {arr.size} bits too short for lag {lag}")
-    x = arr - arr.mean()
+    mean = arr.mean()
+    x = arr - mean
     denom = float((x * x).sum())
-    if denom == 0.0:
+    # A constant stream has no variation to correlate.  Exact-zero
+    # comparison is not enough: when the mean is not representable
+    # (e.g. a stream of 0.1s), the residuals are pure rounding noise
+    # (~eps·|mean| each) and dividing by their tiny sum of squares
+    # reports correlations near ±1 for a zero-information input.
+    noise_floor = arr.size * (
+        np.finfo(np.float64).eps * max(1.0, abs(float(mean)))
+    ) ** 2 * 16.0
+    if denom <= noise_floor:
         return 0.0
     return float((x[:-lag] * x[lag:]).sum() / denom)
 

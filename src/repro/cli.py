@@ -121,6 +121,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=2,
         help="recovery attempts before the service gives up",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.lint entropy-hygiene/determinism analyzer",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="paths and flags forwarded to repro.lint "
+        "(default: src/repro when run from the repo root)",
+    )
     return parser
 
 
@@ -321,6 +332,39 @@ def _cmd_faults(args) -> int:
     return 0 if survived else 1
 
 
+def _forward_lint(tokens: List[str]) -> int:
+    from repro.lint.cli import main as lint_main
+
+    forwarded = list(tokens)
+    value_options = {"--format": 1, "--fail-on": 1}
+    greedy_options = ("--select", "--ignore")
+    has_paths = False
+    index = 0
+    while index < len(forwarded):
+        token = forwarded[index]
+        if token in value_options:
+            index += 1 + value_options[token]
+            continue
+        if token in greedy_options:
+            index += 1
+            while index < len(forwarded) and not forwarded[index].startswith("-"):
+                index += 1
+            continue
+        if not token.startswith("-"):
+            has_paths = True
+        index += 1
+    if not has_paths and "--list-rules" not in forwarded:
+        import os
+
+        if os.path.isdir("src/repro"):
+            forwarded.append("src/repro")
+    return lint_main(forwarded)
+
+
+def _cmd_lint(args) -> int:
+    return _forward_lint(list(args.lint_args))
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "characterize": _cmd_characterize,
@@ -332,12 +376,18 @@ _COMMANDS = {
     "latency": _cmd_latency,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    tokens = list(sys.argv[1:]) if argv is None else list(argv)
+    if tokens[:1] == ["lint"]:
+        # Forward everything verbatim: argparse's REMAINDER cannot
+        # handle a leading option token (bpo-17050).
+        return _forward_lint(tokens[1:])
+    args = _build_parser().parse_args(tokens)
     return _COMMANDS[args.command](args)
 
 

@@ -14,9 +14,10 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.identification import (
     RngCell,
@@ -31,6 +32,9 @@ from repro.dram.datapattern import BEST_RNG_PATTERN, DataPattern, pattern_by_nam
 from repro.dram.device import DramDevice
 from repro.errors import IdentificationError
 from repro.memctrl.controller import MemoryController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.testbed.chamber import ThermalChamber
 
 
 class DRange:
@@ -136,7 +140,7 @@ class DRange:
 
     def prepare_at_temperatures(
         self,
-        chamber,
+        chamber: "ThermalChamber",
         temperatures_c: Sequence[float],
         region: Optional[Region] = None,
         iterations: int = 100,
@@ -197,7 +201,9 @@ class DRange:
             self.plans(), self._device.timings, trcd_ns=self._trcd_ns
         )
 
-    def random_bits(self, num_bits: int, fast: bool = True) -> np.ndarray:
+    def random_bits(
+        self, num_bits: int, fast: bool = True
+    ) -> npt.NDArray[np.uint8]:
         """Generate ``num_bits`` true random bits."""
         sampler = self.sampler()
         if fast:

@@ -201,13 +201,15 @@ def run_battery(data: BitsLike, alpha: float = DEFAULT_ALPHA) -> List[TestResult
             result = test(bits)
         except InsufficientDataError:
             continue
-        if result.alpha != alpha:
-            result = TestResult(
+        # Rebuild unconditionally with the requested alpha: a float
+        # inequality guard here saves nothing and trips on rounding.
+        results.append(
+            TestResult(
                 result.name,
                 result.p_value,
                 p_values=result.p_values,
                 statistics=result.statistics,
                 alpha=alpha,
             )
-        results.append(result)
+        )
     return results

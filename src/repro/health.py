@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import List, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError, InsufficientDataError
 
@@ -99,7 +100,7 @@ class RepetitionCountTest:
         self._run = 0
         self._index = 0
 
-    def feed(self, bits: Iterable[int]) -> Optional[HealthAlarm]:
+    def feed(self, bits: npt.ArrayLike) -> Optional[HealthAlarm]:
         """Consume bits; returns an alarm on the first violation."""
         for bit in np.asarray(bits).ravel():
             value = int(bit)
@@ -136,7 +137,7 @@ class AdaptiveProportionTest:
         self._seen = 0
         self._index = 0
 
-    def feed(self, bits: Iterable[int]) -> Optional[HealthAlarm]:
+    def feed(self, bits: npt.ArrayLike) -> Optional[HealthAlarm]:
         """Consume bits; returns an alarm on the first violation."""
         for bit in np.asarray(bits).ravel():
             value = int(bit)
@@ -176,12 +177,12 @@ class HealthMonitor:
         self._window = window
         self._repetition = RepetitionCountTest(min_entropy)
         self._proportion = AdaptiveProportionTest(min_entropy, window)
-        self._alarms = []
+        self._alarms: List[HealthAlarm] = []
         self._bits_seen = 0
         self._startup_passed = False
 
     @property
-    def alarms(self):
+    def alarms(self) -> List[HealthAlarm]:
         """All alarms raised so far."""
         return list(self._alarms)
 
@@ -200,7 +201,7 @@ class HealthMonitor:
         """True once :meth:`startup` has succeeded since the last reset."""
         return self._startup_passed
 
-    def startup(self, bits) -> bool:
+    def startup(self, bits: npt.ArrayLike) -> bool:
         """SP 800-90B §4.3 startup testing over fresh samples.
 
         Runs both continuous tests over at least
@@ -229,7 +230,7 @@ class HealthMonitor:
         self._startup_passed = passed
         return passed
 
-    def feed(self, bits) -> bool:
+    def feed(self, bits: npt.ArrayLike) -> bool:
         """Inspect a batch of raw bits; returns current health."""
         arr = np.asarray(bits).ravel()
         self._bits_seen += arr.size

@@ -1,0 +1,66 @@
+"""repro.lint — AST-based entropy-hygiene & determinism analyzer.
+
+A plugin-architecture static analyzer encoding this repository's
+invariants as mechanical checks:
+
+* **ENT001** no module-global PRNG (``random.*`` / ``np.random.*``) in
+  library code — entropy comes from the injected NoiseSource.
+* **ENT002** no constant-seeded generators outside tests/examples.
+* **ENT003** no logging/printing of raw entropy buffers.
+* **DET001** no wall clock / OS entropy in deterministic sim paths.
+* **DET002** no unordered-set iteration in deterministic paths.
+* **COR001** no float ``==`` on p-values/probabilities.
+* **COR002** no mutable default arguments.
+
+Violations are suppressible per line with ``# repro: noqa[CODE]``;
+stale suppressions are themselves reported (NOQ001).  See
+``docs/static_analysis.md`` for the full catalogue and the suppression
+policy.
+
+Programmatic use::
+
+    from repro.lint import Linter, LintConfig
+
+    result = Linter(LintConfig()).lint_paths(["src/repro"])
+    assert result.exit_code == 0, result.violations
+"""
+
+from repro.lint.engine import PARSE_ERROR_CODE, Linter
+from repro.lint.report import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_rule_listing,
+    render_text,
+)
+from repro.lint.rules import REGISTRY, FileContext, Rule, register
+from repro.lint.suppressions import UNUSED_SUPPRESSION_CODE
+from repro.lint.types import (
+    FileReport,
+    LintConfig,
+    LintResult,
+    RuleMeta,
+    Severity,
+    Suppression,
+    Violation,
+)
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "PARSE_ERROR_CODE",
+    "REGISTRY",
+    "UNUSED_SUPPRESSION_CODE",
+    "FileContext",
+    "FileReport",
+    "LintConfig",
+    "LintResult",
+    "Linter",
+    "Rule",
+    "RuleMeta",
+    "Severity",
+    "Suppression",
+    "Violation",
+    "register",
+    "render_json",
+    "render_rule_listing",
+    "render_text",
+]

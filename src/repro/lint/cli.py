@@ -1,0 +1,150 @@
+"""Command-line front end for :mod:`repro.lint`.
+
+Invoked as ``python -m repro.lint <paths>`` or ``drange lint <paths>``.
+Project-level defaults are read from ``[tool.repro-lint]`` in
+``pyproject.toml`` (nearest one walking up from the first path), then
+overridden by command-line flags.  Exit codes: 0 clean, 1 violations at
+or above the fail threshold, 2 usage/config errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.engine import Linter
+from repro.lint.report import render_json, render_rule_listing, render_text
+from repro.lint.types import LintConfig, Severity
+
+
+def _find_pyproject(start: pathlib.Path) -> Optional[pathlib.Path]:
+    probe = start if start.is_dir() else start.parent
+    for directory in [probe, *probe.parents]:
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _load_project_config(paths: Sequence[str]) -> Dict[str, object]:
+    """``[tool.repro-lint]`` table from the nearest pyproject, or {}."""
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: project defaults are optional.
+        return {}
+    if not paths:
+        return {}
+    pyproject = _find_pyproject(pathlib.Path(paths[0]).resolve())
+    if pyproject is None:
+        return {}
+    try:
+        with pyproject.open("rb") as handle:
+            data = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError):
+        return {}
+    table = data.get("tool", {}).get("repro-lint", {})
+    return table if isinstance(table, dict) else {}
+
+
+def _build_config(
+    args: argparse.Namespace, project: Dict[str, object]
+) -> LintConfig:
+    select: Optional[Tuple[str, ...]] = None
+    if args.select:
+        select = tuple(code.upper() for code in args.select)
+    elif isinstance(project.get("select"), list):
+        select = tuple(str(code).upper() for code in project["select"])
+
+    ignore: Tuple[str, ...] = ()
+    if args.ignore:
+        ignore = tuple(code.upper() for code in args.ignore)
+    elif isinstance(project.get("ignore"), list):
+        ignore = tuple(str(code).upper() for code in project["ignore"])
+
+    fail_on = args.fail_on or str(project.get("fail-on", "warning"))
+
+    severity_overrides: Dict[str, Severity] = {}
+    raw_severity = project.get("severity", {})
+    if isinstance(raw_severity, dict):
+        for code, name in raw_severity.items():
+            severity_overrides[str(code).upper()] = Severity.parse(str(name))
+
+    return LintConfig(
+        select=select,
+        ignore=ignore,
+        severity_overrides=severity_overrides,
+        fail_on=Severity.parse(fail_on),
+        check_unused_suppressions=not args.no_unused_suppressions,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "AST-based entropy-hygiene and determinism analyzer for the "
+            "D-RaNGe reproduction"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", nargs="+", metavar="CODE", default=None,
+        help="only run these rule codes",
+    )
+    parser.add_argument(
+        "--ignore", nargs="+", metavar="CODE", default=None,
+        help="skip these rule codes",
+    )
+    parser.add_argument(
+        "--fail-on", choices=("note", "warning", "error"), default=None,
+        help="minimum severity that makes the exit code nonzero "
+        "(default: warning)",
+    )
+    parser.add_argument(
+        "--no-unused-suppressions", action="store_true",
+        help="do not report stale `# repro: noqa` comments",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_listing())
+        return 0
+    if not args.paths:
+        print("error: no paths given (try: python -m repro.lint src/repro)",
+              file=sys.stderr)
+        return 2
+    for path in args.paths:
+        if not pathlib.Path(path).exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    try:
+        config = _build_config(args, _load_project_config(args.paths))
+        linter = Linter(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = linter.lint_paths(args.paths)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""The lint engine: file discovery, rule dispatch, suppression filtering.
+
+:class:`Linter` is deliberately dumb about rules — it instantiates
+whatever the registry offers, scoped by each rule's declared paths and
+the run's :class:`~repro.lint.types.LintConfig`, then reconciles the
+findings against ``# repro: noqa[...]`` comments.  Suppressions that
+silence nothing are themselves reported (:data:`NOQ001
+<repro.lint.suppressions.UNUSED_SUPPRESSION_CODE>`), so waivers cannot
+outlive the code they excused.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterable, List, Mapping, Optional, Sequence, Type
+
+from repro.lint import rules as _rules  # noqa: F401  (registers built-ins)
+from repro.lint.rules.base import REGISTRY, FileContext, Rule
+from repro.lint.suppressions import UNUSED_SUPPRESSION_CODE, parse_suppressions
+from repro.lint.types import (
+    FileReport,
+    LintConfig,
+    LintResult,
+    Severity,
+    Violation,
+)
+
+#: Code reported when a file cannot be parsed at all.
+PARSE_ERROR_CODE = "PAR001"
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[pathlib.Path]:
+    files: List[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIR_NAMES.intersection(candidate.parts):
+                    files.append(candidate)
+        else:
+            files.append(path)
+    return files
+
+
+class Linter:
+    """Run the registered rules over sources, honouring suppressions."""
+
+    def __init__(
+        self,
+        config: Optional[LintConfig] = None,
+        registry: Optional[Mapping[str, Type[Rule]]] = None,
+    ) -> None:
+        self.config = config or LintConfig()
+        self._registry = dict(registry if registry is not None else REGISTRY)
+        unknown = [
+            code
+            for code in (self.config.select or ()) + tuple(self.config.ignore)
+            if code not in self._registry and code != UNUSED_SUPPRESSION_CODE
+        ]
+        if unknown:
+            raise ValueError(
+                f"unknown rule code(s) {unknown}; known: "
+                f"{sorted(self._registry)}"
+            )
+
+    # ------------------------------------------------------------------
+    def lint_paths(self, paths: Sequence[str]) -> LintResult:
+        reports = tuple(
+            self.lint_file(path) for path in _iter_python_files(paths)
+        )
+        return LintResult(reports=reports, config=self.config)
+
+    def lint_file(self, path: "pathlib.Path | str") -> FileReport:
+        file_path = pathlib.Path(path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            return FileReport(
+                path=file_path.as_posix(),
+                violations=(
+                    Violation(
+                        code=PARSE_ERROR_CODE,
+                        message=f"cannot read file: {exc}",
+                        path=file_path.as_posix(),
+                        line=1,
+                        col=0,
+                        severity=Severity.ERROR,
+                    ),
+                ),
+                parse_error=str(exc),
+            )
+        return self.lint_source(source, path=file_path.as_posix())
+
+    def lint_source(self, source: str, path: str = "<memory>") -> FileReport:
+        posix = pathlib.PurePath(path).as_posix()
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as exc:
+            return FileReport(
+                path=posix,
+                violations=(
+                    Violation(
+                        code=PARSE_ERROR_CODE,
+                        message=f"syntax error: {exc.msg}",
+                        path=posix,
+                        line=exc.lineno or 1,
+                        col=exc.offset or 0,
+                        severity=Severity.ERROR,
+                    ),
+                ),
+                parse_error=exc.msg,
+            )
+
+        context = FileContext(posix, source, tree)
+        raw: List[Violation] = []
+        for code in sorted(self._registry):
+            rule_cls = self._registry[code]
+            if not self.config.rule_enabled(code):
+                continue
+            if not rule_cls.meta.applies_to(posix):
+                continue
+            visitor = rule_cls(context, self.config.severity_for(rule_cls.meta))
+            visitor.visit(tree)
+            raw.extend(visitor.violations)
+
+        suppressions = parse_suppressions(source, posix)
+        kept: List[Violation] = []
+        used = [False] * len(suppressions)
+        for violation in raw:
+            suppressed = False
+            for index, suppression in enumerate(suppressions):
+                if suppression.matches(violation):
+                    used[index] = True
+                    suppressed = True
+            if not suppressed:
+                kept.append(violation)
+
+        if self.config.check_unused_suppressions and self.config.rule_enabled(
+            UNUSED_SUPPRESSION_CODE
+        ):
+            for index, suppression in enumerate(suppressions):
+                if used[index]:
+                    continue
+                listed = (
+                    ", ".join(suppression.codes)
+                    if suppression.codes
+                    else "<all rules>"
+                )
+                kept.append(
+                    Violation(
+                        code=UNUSED_SUPPRESSION_CODE,
+                        message=(
+                            f"unused suppression for {listed}: nothing on "
+                            f"this line triggers it — remove the noqa"
+                        ),
+                        path=posix,
+                        line=suppression.line,
+                        col=0,
+                        severity=Severity.WARNING,
+                    )
+                )
+
+        kept.sort(key=lambda v: (v.line, v.col, v.code))
+        return FileReport(path=posix, violations=tuple(kept))

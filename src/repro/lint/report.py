@@ -1,0 +1,74 @@
+"""Reporters: render a :class:`~repro.lint.types.LintResult`.
+
+Text output is one ``path:line:col CODE severity message`` row per
+finding (clickable anchors in most terminals/editors) plus a summary.
+JSON output is a stable, versioned schema for CI and tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.rules.base import REGISTRY
+from repro.lint.types import LintResult
+
+#: Bump when the JSON shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines: List[str] = []
+    for violation in result.violations:
+        lines.append(
+            f"{violation.anchor} {violation.code} "
+            f"[{violation.severity.name.lower()}] {violation.message}"
+        )
+    counts = result.counts_by_code()
+    total = sum(counts.values())
+    if total:
+        breakdown = ", ".join(f"{code}×{n}" for code, n in counts.items())
+        lines.append("")
+        lines.append(
+            f"{total} violation(s) in {result.files_checked} file(s): "
+            f"{breakdown}"
+        )
+    else:
+        lines.append(
+            f"ok: {result.files_checked} file(s) checked, no violations"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload: Dict[str, object] = {
+        "version": JSON_SCHEMA_VERSION,
+        "violations": [v.to_dict() for v in result.violations],
+        "summary": {
+            "files_checked": result.files_checked,
+            "total": len(result.violations),
+            "by_code": result.counts_by_code(),
+            "exit_code": result.exit_code,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_listing() -> str:
+    """Human-readable catalogue of every registered rule."""
+    lines: List[str] = []
+    for code in sorted(REGISTRY):
+        meta = REGISTRY[code].meta
+        scope = (
+            ", ".join(meta.include) if meta.include else "all paths"
+        )
+        lines.append(
+            f"{meta.code} ({meta.name}) [{meta.severity.name.lower()}]"
+        )
+        lines.append(f"  {meta.summary}")
+        lines.append(f"  scope: {scope}")
+        if meta.exclude:
+            lines.append(f"  except: {', '.join(meta.exclude)}")
+        lines.append(f"  why: {meta.rationale}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

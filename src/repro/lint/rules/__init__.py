@@ -1,0 +1,12 @@
+"""Rule registry: importing this package registers every built-in rule.
+
+Rules self-register via :func:`repro.lint.rules.base.register`; the
+imports below are what triggers that.  Third-party or experiment-local
+rules can use the same decorator before constructing a
+:class:`~repro.lint.engine.Linter`.
+"""
+
+from repro.lint.rules import correctness, determinism, entropy  # noqa: F401
+from repro.lint.rules.base import REGISTRY, FileContext, Rule, register
+
+__all__ = ["REGISTRY", "FileContext", "Rule", "register"]

@@ -1,0 +1,137 @@
+"""Rule plugin framework: base visitor, registry, import resolution.
+
+A rule is an :class:`ast.NodeVisitor` subclass with a ``meta`` class
+attribute (:class:`~repro.lint.types.RuleMeta`) registered via
+:func:`register`.  The engine instantiates one visitor per (rule, file)
+pair, hands it a :class:`FileContext`, runs ``visit`` over the module
+tree and collects ``violations``.
+
+:class:`FileContext` pre-resolves the module's import aliases so rules
+can ask "what dotted name does this call target?" without each rule
+re-implementing import tracking — ``np.random.seed(...)`` resolves to
+``numpy.random.seed`` whether numpy was imported as ``np``, via
+``import numpy.random as nr``, or ``from numpy import random``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Type
+
+from repro.lint.types import RuleMeta, Severity, Violation
+
+
+class FileContext:
+    """Everything a rule may consult about the file under analysis."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.aliases: Dict[str, str] = _collect_aliases(tree)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name a ``Name``/``Attribute`` chain refers to, if any.
+
+        Local names are rewritten through the module's import aliases;
+        returns ``None`` for expressions that are not plain dotted
+        chains (subscripts, calls, literals, ...).
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self.aliases.get(current.id, current.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted module/object they were bound to."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                aliases[local] = alias.name if alias.asname else local
+                if alias.asname is None and "." in alias.name:
+                    # ``import numpy.random`` binds ``numpy`` locally but
+                    # makes the submodule reachable as an attribute chain,
+                    # which `resolve` already handles via the base name.
+                    aliases[local] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # Relative imports stay project-local.
+            for alias in node.names:
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for all lint rules."""
+
+    meta: RuleMeta
+
+    def __init__(self, context: FileContext, severity: Severity) -> None:
+        self.context = context
+        self.severity = severity
+        self.violations: List[Violation] = []
+
+    def report(
+        self,
+        node: ast.AST,
+        message: str,
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+    ) -> None:
+        self.violations.append(
+            Violation(
+                code=self.meta.code,
+                message=message,
+                path=self.context.path,
+                line=line if line is not None else getattr(node, "lineno", 1),
+                col=col if col is not None else getattr(node, "col_offset", 0),
+                severity=self.severity,
+            )
+        )
+
+
+#: Registry of every rule class, keyed by code.  Populated at import
+#: time by the :func:`register` decorator; :mod:`repro.lint.rules`
+#: imports each rule module so importing the package fills this in.
+REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`REGISTRY`."""
+    code = cls.meta.code
+    if code in REGISTRY:
+        raise ValueError(f"duplicate rule code {code!r}")
+    REGISTRY[code] = cls
+    return cls
+
+
+def constant_seed_argument(call: ast.Call) -> Optional[ast.expr]:
+    """The literal-constant seed argument of ``call``, if one exists.
+
+    Checks the first positional argument and any ``seed=`` keyword;
+    returns the offending expression node when it is a numeric or
+    string constant (``None`` literals mean "seed from OS entropy" and
+    are fine).
+    """
+    candidates: List[ast.expr] = []
+    if call.args:
+        candidates.append(call.args[0])
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            candidates.append(keyword.value)
+    for candidate in candidates:
+        if isinstance(candidate, ast.Constant) and isinstance(
+            candidate.value, (int, float, str)
+        ) and not isinstance(candidate.value, bool):
+            return candidate
+    return None

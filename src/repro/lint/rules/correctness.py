@@ -1,0 +1,165 @@
+"""Correctness rules (COR...) for statistical code.
+
+The NIST/DIEHARD layers traffic in p-values and probabilities — floats
+produced by long chains of transcendental math.  Exact equality on such
+values is almost always a latent bug (a pass/fail branch that can never
+fire, or fires on rounding noise), and mutable default arguments are a
+classic source of cross-call state leaks in long-lived services.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.rules.base import Rule, register
+from repro.lint.types import RuleMeta, Severity
+
+#: Name components that mark a value as a probability-like float.
+_PROBABILITY_PARTS = {
+    "p",
+    "pv",
+    "pval",
+    "pvalue",
+    "pvalues",
+    "prob",
+    "probs",
+    "probability",
+    "probabilities",
+    "alpha",
+    "entropy",
+}
+
+
+def _probability_name(node: ast.expr) -> Optional[str]:
+    """The probability-ish identifier ``node`` refers to, if any."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    parts = name.lower().split("_")
+    if any(part in _PROBABILITY_PARTS for part in parts):
+        return name
+    return None
+
+
+@register
+class FloatEqualityRule(Rule):
+    """COR001 — no float ``==``/``!=`` on p-values/probabilities."""
+
+    meta = RuleMeta(
+        code="COR001",
+        name="no-float-equality",
+        summary="exact equality on a float/probability value",
+        severity=Severity.WARNING,
+        rationale=(
+            "p-values and probabilities come out of floating-point "
+            "pipelines; `p == 0.05` or `prob != 1.0` compares rounding "
+            "noise and yields branches that never (or spuriously) fire. "
+            "Use ordered comparisons against a threshold, math.isclose, "
+            "or a <= guard for degenerate-denominator checks."
+        ),
+        include=(),
+        exclude=("tests/", "benchmarks/", "repro/lint/"),
+    )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (operands[index], operands[index + 1])
+            flagged = False
+            for operand in pair:
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    self.report(
+                        node,
+                        f"exact equality against float literal "
+                        f"{operand.value!r}; use an ordered comparison or "
+                        f"math.isclose",
+                    )
+                    flagged = True
+                    break
+            if flagged:
+                continue
+            for operand in pair:
+                name = _probability_name(operand)
+                if name is not None:
+                    self.report(
+                        node,
+                        f"exact equality on probability-like value "
+                        f"`{name}`; compare against a threshold instead",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.Counter",
+    "collections.deque",
+}
+
+
+@register
+class MutableDefaultRule(Rule):
+    """COR002 — no mutable default arguments."""
+
+    meta = RuleMeta(
+        code="COR002",
+        name="no-mutable-default",
+        summary="mutable default argument",
+        severity=Severity.WARNING,
+        rationale=(
+            "Default values are evaluated once at definition time; a "
+            "list/dict/set default is shared across every call, so state "
+            "from one request bleeds into the next — fatal in a "
+            "long-lived RNG service. Default to None and construct "
+            "inside the function."
+        ),
+        include=(),
+        exclude=(),
+    )
+
+    def _check_default(self, node: ast.AST, default: ast.expr) -> None:
+        mutable = isinstance(
+            default,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        )
+        if not mutable and isinstance(default, ast.Call):
+            dotted = self.context.resolve(default.func)
+            mutable = dotted in _MUTABLE_FACTORIES
+        if mutable:
+            self.report(
+                default,
+                "mutable default argument is shared across calls; "
+                "default to None and build inside the function",
+                line=default.lineno,
+            )
+
+    def _check_args(self, node: ast.AST, args: ast.arguments) -> None:
+        for default in args.defaults:
+            self._check_default(node, default)
+        for default in args.kw_defaults:
+            if default is not None:
+                self._check_default(node, default)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_args(node, node.args)
+        self.generic_visit(node)

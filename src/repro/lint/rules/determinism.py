@@ -1,0 +1,135 @@
+"""Determinism rules (DET...) for the simulator's reproducible paths.
+
+The hash-seeded process-variation field (``repro.dram.variation``) and
+everything layered on it must be bit-reproducible: the same seed has to
+produce the same device, the same marginal cells and the same sampled
+stream on every run, or characterization results and regression tests
+stop meaning anything.  These rules keep wall-clock reads, OS entropy
+and iteration-order nondeterminism out of those paths.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, register
+from repro.lint.types import RuleMeta, Severity
+
+#: Paths that must stay bit-reproducible given (master_seed, noise_seed).
+_DETERMINISTIC_PATHS = (
+    "repro/dram/",
+    "repro/sim/",
+    "repro/faults/models.py",
+    "repro/core/",
+    "repro/memctrl/",
+)
+
+_WALL_CLOCK_AND_OS_ENTROPY = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.randbelow",
+    "secrets.choice",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """DET001 — no wall clock / OS entropy in deterministic sim paths."""
+
+    meta = RuleMeta(
+        code="DET001",
+        name="no-wall-clock",
+        summary="wall-clock or OS-entropy call in a deterministic path",
+        severity=Severity.ERROR,
+        rationale=(
+            "The simulator's contract is bit-reproducibility given "
+            "(master_seed, noise_seed). A time.time()/os.urandom() call "
+            "inside repro.dram / repro.sim / repro.core makes device "
+            "populations and sampled streams differ across runs, which "
+            "invalidates characterization results and makes regressions "
+            "undiagnosable. Model time with the timing parameters; get "
+            "nondeterminism only from NoiseSource(seed=None)."
+        ),
+        include=_DETERMINISTIC_PATHS,
+        exclude=(),
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.context.resolve(node.func)
+        if dotted in _WALL_CLOCK_AND_OS_ENTROPY:
+            self.report(
+                node,
+                f"`{dotted}()` is nondeterministic across runs; "
+                f"deterministic sim paths must derive everything from "
+                f"the injected seeds",
+            )
+        self.generic_visit(node)
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET002 — no iteration over unordered sets in deterministic paths."""
+
+    meta = RuleMeta(
+        code="DET002",
+        name="no-unordered-iteration",
+        summary="iteration over an unordered set in a deterministic path",
+        severity=Severity.WARNING,
+        rationale=(
+            "Set iteration order varies with insertion history and hash "
+            "randomization. When loop order feeds seeded draws (one "
+            "rng call per element), the same seed yields different "
+            "streams run-to-run. Iterate sorted(...) or a list/tuple; "
+            "dicts are insertion-ordered on py>=3.7 and are exempt."
+        ),
+        include=_DETERMINISTIC_PATHS,
+        exclude=(),
+    )
+
+    def _check_iterable(self, node: ast.AST, iterable: ast.expr) -> None:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            self.report(
+                iterable,
+                "iterating a set literal/comprehension has no stable "
+                "order; wrap in sorted(...)",
+            )
+            return
+        if isinstance(iterable, ast.Call):
+            dotted = self.context.resolve(iterable.func)
+            if dotted in {"set", "frozenset"}:
+                self.report(
+                    iterable,
+                    f"iterating `{dotted}(...)` has no stable order; "
+                    f"wrap in sorted(...)",
+                )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node, node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for generator in node.generators:  # type: ignore[attr-defined]
+            self._check_iterable(node, generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension

@@ -1,0 +1,254 @@
+"""Entropy-hygiene rules (ENT...).
+
+D-RaNGe's output is only as trustworthy as the entropy path feeding it.
+These rules keep that path disciplined: random bits must come from an
+injected :class:`~repro.noise.NoiseSource` or an explicit
+``numpy.random.Generator``, never from module-global PRNG state; no
+production code may freeze a constant seed; and raw entropy must never
+leak into logs or stdout, where it would hand an attacker the very bits
+a consumer is about to use as key material.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set
+
+from repro.lint.rules.base import (
+    FileContext,
+    Rule,
+    constant_seed_argument,
+    register,
+)
+from repro.lint.types import RuleMeta, Severity
+
+_LIBRARY_EXCLUDES = ("repro/lint/", "tests/", "examples/", "benchmarks/")
+
+#: numpy.random attributes that construct *local* generator objects and
+#: therefore do not touch the module-global legacy RandomState.
+_NUMPY_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+#: random-module attributes that construct local generator instances.
+_STDLIB_CONSTRUCTORS = {"Random", "SystemRandom"}
+
+
+@register
+class GlobalRngRule(Rule):
+    """ENT001 — no module-global PRNG state in library code."""
+
+    meta = RuleMeta(
+        code="ENT001",
+        name="no-global-rng",
+        summary="module-global PRNG call in library code",
+        severity=Severity.ERROR,
+        rationale=(
+            "Calls like random.random() or np.random.seed() share hidden "
+            "process-wide state; any library draw from it is invisible to "
+            "the injected NoiseSource and silently breaks both the "
+            "true-randomness claim and test reproducibility. Construct a "
+            "numpy.random.Generator (or accept a NoiseSource) instead."
+        ),
+        include=("repro/",),
+        exclude=_LIBRARY_EXCLUDES,
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.context.resolve(node.func)
+        if dotted is not None:
+            terminal = dotted.rsplit(".", 1)[-1]
+            if (
+                dotted.startswith("random.")
+                and terminal not in _STDLIB_CONSTRUCTORS
+            ):
+                self.report(
+                    node,
+                    f"call to stdlib global-state PRNG `{dotted}`; draw from "
+                    f"an injected NoiseSource or a local random.Random",
+                )
+            elif (
+                dotted.startswith("numpy.random.")
+                and terminal not in _NUMPY_CONSTRUCTORS
+            ):
+                self.report(
+                    node,
+                    f"call to numpy legacy global RNG `{dotted}`; use a "
+                    f"numpy.random.Generator from default_rng()",
+                )
+        self.generic_visit(node)
+
+
+@register
+class ConstantSeedRule(Rule):
+    """ENT002 — no constant-seeded generators outside tests/examples."""
+
+    meta = RuleMeta(
+        code="ENT002",
+        name="no-constant-seed",
+        summary="generator seeded with a literal constant",
+        severity=Severity.ERROR,
+        rationale=(
+            "A constant seed turns a TRNG path into a fixed pseudo-random "
+            "tape: every process emits the same 'random' bits. Constant "
+            "seeds belong in tests, examples and benchmarks only; "
+            "production paths must thread a caller-supplied seed or None "
+            "(OS entropy)."
+        ),
+        include=(),
+        exclude=("tests/", "examples/", "benchmarks/", "repro/lint/"),
+    )
+
+    _SEEDED_CONSTRUCTORS = {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "random.Random",
+    }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.context.resolve(node.func)
+        is_seed_method = (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "seed"
+        )
+        is_noise_source = dotted is not None and (
+            dotted == "NoiseSource" or dotted.endswith(".NoiseSource")
+        )
+        if (
+            (dotted in self._SEEDED_CONSTRUCTORS)
+            or is_seed_method
+            or is_noise_source
+        ):
+            seed = constant_seed_argument(node)
+            if seed is not None:
+                target = dotted or f"<obj>.{node.func.attr}"  # type: ignore[union-attr]
+                self.report(
+                    node,
+                    f"`{target}` seeded with literal constant "
+                    f"{seed.value!r}; accept a seed parameter "
+                    f"(None = OS entropy) instead",
+                )
+        self.generic_visit(node)
+
+
+#: Methods on DRange/samplers that produce raw entropy.
+_ENTROPY_PRODUCERS = {"random_bits", "random_bytes", "generate", "generate_fast"}
+
+#: Attribute calls on a tainted buffer that still expose its raw content.
+_FULL_CONTENT_VIEWS = {"hex", "tobytes", "tostring", "tolist", "decode"}
+
+_LOG_METHODS = {"debug", "info", "warning", "error", "critical", "exception", "log"}
+
+
+@register
+class EntropyLeakRule(Rule):
+    """ENT003 — no printing/logging of raw entropy buffers."""
+
+    meta = RuleMeta(
+        code="ENT003",
+        name="no-entropy-leak",
+        summary="raw entropy buffer printed or logged",
+        severity=Severity.ERROR,
+        rationale=(
+            "Random output that reaches a log file or terminal is burned: "
+            "an observer of the log knows the consumer's 'secret' bits. "
+            "Log aggregates (counts, means, pass/fail) instead of the "
+            "buffer itself. The CLI's generate command is the one "
+            "sanctioned emitter and is excluded by path."
+        ),
+        include=("repro/",),
+        exclude=("repro/cli.py", "repro/lint/") + ("tests/", "examples/", "benchmarks/"),
+    )
+
+    def __init__(self, context: FileContext, severity: Severity) -> None:
+        super().__init__(context, severity)
+        self._tainted: Set[str] = set()
+
+    # -- taint collection ------------------------------------------------
+    def _producer_call(self, value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        return name in _ENTROPY_PRODUCERS
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._producer_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._tainted.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and self._producer_call(node.value):
+            if isinstance(node.target, ast.Name):
+                self._tainted.add(node.target.id)
+        self.generic_visit(node)
+
+    # -- sink detection --------------------------------------------------
+    def _is_sink(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            return True
+        dotted = self.context.resolve(func)
+        if dotted is not None and dotted.startswith(("sys.stdout", "sys.stderr")):
+            return dotted.endswith(".write")
+        if isinstance(func, ast.Attribute) and func.attr in _LOG_METHODS:
+            base = func.value
+            base_name = ""
+            if isinstance(base, ast.Name):
+                base_name = base.id
+            elif isinstance(base, ast.Attribute):
+                base_name = base.attr
+            return "log" in base_name.lower()
+        return False
+
+    def _leaking_expr(self, expr: ast.AST) -> Optional[str]:
+        """Name of the tainted buffer ``expr`` exposes, if any."""
+        if isinstance(expr, ast.Name) and expr.id in self._tainted:
+            return expr.id
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _FULL_CONTENT_VIEWS
+            and isinstance(expr.func.value, ast.Name)
+            and expr.func.value.id in self._tainted
+        ):
+            return expr.func.value.id
+        if isinstance(expr, ast.JoinedStr):
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    leaked = self._leaking_expr(value.value)
+                    if leaked is not None:
+                        return leaked
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_sink(node):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                leaked = self._leaking_expr(arg)
+                if leaked is not None:
+                    self.report(
+                        node,
+                        f"raw entropy buffer `{leaked}` written to a "
+                        f"log/stdout sink; emit aggregates "
+                        f"(size, mean, pass/fail) instead",
+                    )
+                    break
+        self.generic_visit(node)

@@ -1,0 +1,59 @@
+"""Parsing of ``# repro: noqa[RULE,...]`` suppression comments.
+
+Comments are found with :mod:`tokenize`, never with substring search,
+so a string literal that merely *contains* the marker text is not a
+suppression.  A suppression applies to violations reported on the same
+physical line.  The engine tracks which suppressions actually silenced
+something; stale ones are reported as :data:`UNUSED_SUPPRESSION_CODE`
+findings so the codebase cannot accumulate dead waivers.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import List
+
+from repro.lint.types import Suppression
+
+#: Code used for the engine's own "unused suppression" finding.
+UNUSED_SUPPRESSION_CODE = "NOQ001"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+def parse_suppressions(source: str, path: str) -> List[Suppression]:
+    """Extract every suppression comment from ``source``.
+
+    Tokenization errors are swallowed (the engine reports the parse
+    failure separately via :func:`ast.parse`); suppressions found before
+    the bad token are still honoured.
+    """
+    suppressions: List[Suppression] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            raw_codes = match.group("codes")
+            codes = (
+                tuple(
+                    code.strip().upper()
+                    for code in raw_codes.split(",")
+                    if code.strip()
+                )
+                if raw_codes
+                else ()
+            )
+            suppressions.append(
+                Suppression(path=path, line=token.start[0], codes=codes)
+            )
+    except tokenize.TokenError:
+        pass
+    return suppressions

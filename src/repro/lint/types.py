@@ -1,0 +1,166 @@
+"""Typed core for :mod:`repro.lint`.
+
+Everything the analyzer passes between layers is defined here as a
+frozen dataclass or enum, so the engine, the rules and the reporters
+share one vocabulary and none of them grow ad-hoc dict payloads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """How seriously a finding should be taken.
+
+    The integer ordering is meaningful: the engine compares against
+    :attr:`LintConfig.fail_on` to decide the process exit code.
+    """
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Static description of one rule.
+
+    ``include``/``exclude`` are substring patterns matched against the
+    POSIX form of each file path; an empty ``include`` means the rule
+    applies everywhere.  This keeps path scoping declarative — rules
+    never inspect paths themselves.
+    """
+
+    code: str
+    name: str
+    summary: str
+    severity: Severity
+    rationale: str
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, posix_path: str) -> bool:
+        if any(pattern in posix_path for pattern in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(pattern in posix_path for pattern in self.include)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, anchored to ``path:line:col``."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: Severity
+
+    @property
+    def anchor(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.name.lower(),
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: noqa[...]`` comment entry.
+
+    ``codes`` is empty for a bare ``# repro: noqa`` (suppress every rule
+    on that line); otherwise it holds the specific rule codes listed.
+    """
+
+    path: str
+    line: int
+    codes: Tuple[str, ...]
+
+    def matches(self, violation: Violation) -> bool:
+        if violation.line != self.line:
+            return False
+        return not self.codes or violation.code in self.codes
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Engine configuration (rule selection, severities, exit policy)."""
+
+    select: Optional[Tuple[str, ...]] = None
+    ignore: Tuple[str, ...] = ()
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+    fail_on: Severity = Severity.WARNING
+    check_unused_suppressions: bool = True
+
+    def rule_enabled(self, code: str) -> bool:
+        if code in self.ignore:
+            return False
+        return self.select is None or code in self.select
+
+    def severity_for(self, meta: RuleMeta) -> Severity:
+        return self.severity_overrides.get(meta.code, meta.severity)
+
+
+@dataclass(frozen=True)
+class FileReport:
+    """Per-file result: findings plus parse status."""
+
+    path: str
+    violations: Tuple[Violation, ...]
+    parse_error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Aggregate result over a whole run."""
+
+    reports: Tuple[FileReport, ...]
+    config: LintConfig
+
+    @property
+    def violations(self) -> Tuple[Violation, ...]:
+        out = []
+        for report in self.reports:
+            out.extend(report.violations)
+        return tuple(
+            sorted(out, key=lambda v: (v.path, v.line, v.col, v.code))
+        )
+
+    @property
+    def files_checked(self) -> int:
+        return len(self.reports)
+
+    def counts_by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def exit_code(self) -> int:
+        threshold = self.config.fail_on
+        if any(v.severity >= threshold for v in self.violations):
+            return 1
+        return 0

@@ -105,8 +105,10 @@ def run_suite(
         except InsufficientDataError as exc:
             skipped.append((name, str(exc)))
             continue
-        if result.alpha != alpha:
-            result = TestResult(
+        # Rebuild unconditionally with the requested alpha: a float
+        # inequality guard here saves nothing and trips on rounding.
+        results.append(
+            TestResult(
                 result.name,
                 result.p_value,
                 p_values=result.p_values,
@@ -114,7 +116,7 @@ def run_suite(
                 alpha=alpha,
                 family_wise=result.family_wise,
             )
-        results.append(result)
+        )
     return SuiteReport(
         results=tuple(results), skipped=tuple(skipped), n_bits=bits.size
     )

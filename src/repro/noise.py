@@ -20,9 +20,14 @@ whereas read noise is drawn fresh on every access.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
+
+#: Shape accepted by the drawing methods: a scalar length, a full shape
+#: tuple, or ``None`` for "a single scalar draw" where supported.
+ShapeLike = Union[int, Tuple[int, ...]]
 
 
 class NoiseSource:
@@ -36,15 +41,15 @@ class NoiseSource:
     """
 
     def __init__(self, seed: Optional[int] = None) -> None:
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
+        self._seed: Optional[int] = seed
+        self._rng: np.random.Generator = np.random.default_rng(seed)
 
     @property
     def deterministic(self) -> bool:
         """True when this source was explicitly seeded (test mode)."""
         return self._seed is not None
 
-    def bernoulli(self, probabilities: np.ndarray) -> np.ndarray:
+    def bernoulli(self, probabilities: npt.ArrayLike) -> npt.NDArray[np.bool_]:
         """Draw one Bernoulli outcome per entry of ``probabilities``.
 
         Returns a boolean array of the same shape; entry ``i`` is True
@@ -55,13 +60,17 @@ class NoiseSource:
         probs = np.clip(np.asarray(probabilities, dtype=np.float64), 0.0, 1.0)
         return self._rng.random(probs.shape) < probs
 
-    def gaussian(self, shape, sigma: float = 1.0) -> np.ndarray:
+    def gaussian(
+        self, shape: ShapeLike, sigma: float = 1.0
+    ) -> npt.NDArray[np.float64]:
         """Draw zero-mean Gaussian noise with standard deviation ``sigma``."""
         if sigma < 0:
             raise ValueError(f"sigma must be non-negative, got {sigma}")
         return self._rng.normal(0.0, sigma, size=shape)
 
-    def binomial(self, trials: int, probabilities: np.ndarray) -> np.ndarray:
+    def binomial(
+        self, trials: int, probabilities: npt.ArrayLike
+    ) -> npt.NDArray[np.int64]:
         """Draw Binomial(trials, p) per entry of ``probabilities``.
 
         Equivalent to summing ``trials`` independent :meth:`bernoulli`
@@ -74,11 +83,13 @@ class NoiseSource:
         probs = np.clip(np.asarray(probabilities, dtype=np.float64), 0.0, 1.0)
         return self._rng.binomial(trials, probs)
 
-    def uniform(self, shape) -> np.ndarray:
+    def uniform(self, shape: ShapeLike) -> npt.NDArray[np.float64]:
         """Draw uniform [0, 1) samples (used by latency-jitter baselines)."""
         return self._rng.random(shape)
 
-    def integers(self, low: int, high: int, shape=None) -> np.ndarray:
+    def integers(
+        self, low: int, high: int, shape: Optional[ShapeLike] = None
+    ) -> npt.NDArray[np.int64]:
         """Draw integers in ``[low, high)`` (used by scheduling baselines)."""
         return self._rng.integers(low, high, size=shape)
 
@@ -91,5 +102,5 @@ class NoiseSource:
         """
         child = NoiseSource.__new__(NoiseSource)
         child._seed = self._seed
-        child._rng = np.random.default_rng(self._rng.integers(0, 2**63))
+        child._rng = np.random.default_rng(int(self._rng.integers(0, 2**63)))
         return child

@@ -163,6 +163,25 @@ class TestAutocorrelation:
 
         assert autocorrelation(np.ones(1000), lag=1) == 0.0
 
+    def test_constant_unrepresentable_stream_zero(self):
+        """Regression: a constant stream whose mean is not exactly
+        representable (all 0.1) used to defeat the `denom == 0.0` guard —
+        the residuals were pure rounding noise and the division reported
+        autocorrelation ≈ 1 for a zero-information input."""
+        from repro.analysis.entropy import autocorrelation
+
+        assert autocorrelation(np.full(1000, 0.1), lag=1) == 0.0
+        assert autocorrelation(np.full(999, 1 / 3), lag=2) == 0.0
+
+    def test_near_constant_stream_still_measured(self):
+        """A stream with one real flip is above the rounding-noise floor
+        and must still get a genuine estimate, not the degenerate 0."""
+        from repro.analysis.entropy import autocorrelation
+
+        bits = np.zeros(1000)
+        bits[500:] = 1.0
+        assert autocorrelation(bits, lag=1) > 0.9
+
     def test_validation(self):
         from repro.analysis.entropy import autocorrelation
 

@@ -1,0 +1,267 @@
+"""Engine behavior: suppressions, config, output formats, CLI."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    JSON_SCHEMA_VERSION,
+    PARSE_ERROR_CODE,
+    REGISTRY,
+    UNUSED_SUPPRESSION_CODE,
+    LintConfig,
+    Linter,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.lint.cli import main as lint_main
+
+SEEDED_SNIPPET = "import numpy as np\nrng = np.random.default_rng(42)\n"
+LIB_PATH = "src/repro/fake_module.py"
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint(source, path=LIB_PATH, config=None):
+    return Linter(config or LintConfig()).lint_source(
+        textwrap.dedent(source), path=path
+    )
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+def test_noqa_with_code_suppresses_matching_violation():
+    report = lint(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(42)  # repro: noqa[ENT002]\n"
+    )
+    assert [v.code for v in report.violations] == []
+
+
+def test_bare_noqa_suppresses_all_rules_on_line():
+    report = lint(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(42)  # repro: noqa\n"
+    )
+    assert [v.code for v in report.violations] == []
+
+
+def test_noqa_with_other_code_does_not_suppress():
+    report = lint(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(42)  # repro: noqa[COR001]\n"
+    )
+    codes = [v.code for v in report.violations]
+    assert "ENT002" in codes
+    # The COR001 waiver silenced nothing → reported as unused.
+    assert UNUSED_SUPPRESSION_CODE in codes
+
+
+def test_unused_suppression_is_reported():
+    report = lint("x = 1  # repro: noqa[ENT001]\n")
+    assert [v.code for v in report.violations] == [UNUSED_SUPPRESSION_CODE]
+
+
+def test_unused_suppression_check_can_be_disabled():
+    report = lint(
+        "x = 1  # repro: noqa[ENT001]\n",
+        config=LintConfig(check_unused_suppressions=False),
+    )
+    assert report.violations == ()
+
+
+def test_noqa_in_string_literal_is_not_a_suppression():
+    report = lint(
+        'marker = "# repro: noqa[ENT002]"\n'
+        "import numpy as np\n"
+        "rng = np.random.default_rng(42)\n"
+    )
+    assert "ENT002" in [v.code for v in report.violations]
+
+
+def test_multiple_codes_in_one_noqa():
+    report = lint(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(42)  # repro: noqa[ENT002, COR001]\n"
+    )
+    codes = [v.code for v in report.violations]
+    assert "ENT002" not in codes
+    # ENT002 was silenced, so the comment as a whole is used; no NOQ001.
+    assert UNUSED_SUPPRESSION_CODE not in codes
+
+
+# ---------------------------------------------------------------------------
+# Config: select / ignore / severity / fail_on
+# ---------------------------------------------------------------------------
+
+def test_select_limits_rules():
+    report = lint(
+        "import random\nrandom.seed(42)\n",
+        config=LintConfig(select=("ENT001",)),
+    )
+    assert {v.code for v in report.violations} == {"ENT001"}
+
+
+def test_ignore_disables_rule():
+    report = lint(SEEDED_SNIPPET, config=LintConfig(ignore=("ENT002",)))
+    assert "ENT002" not in {v.code for v in report.violations}
+
+
+def test_unknown_rule_code_rejected():
+    with pytest.raises(ValueError, match="unknown rule code"):
+        Linter(LintConfig(select=("NOPE99",)))
+
+
+def test_severity_override_changes_exit_code():
+    relaxed = LintConfig(
+        severity_overrides={"ENT002": Severity.NOTE}, fail_on=Severity.WARNING
+    )
+    linter = Linter(relaxed)
+    report = linter.lint_source(SEEDED_SNIPPET, path=LIB_PATH)
+    from repro.lint import LintResult
+
+    result = LintResult(reports=(report,), config=relaxed)
+    assert report.violations[0].severity == Severity.NOTE
+    assert result.exit_code == 0
+
+
+def test_parse_error_reported_with_code():
+    report = lint("def broken(:\n")
+    assert report.parse_error is not None
+    assert [v.code for v in report.violations] == [PARSE_ERROR_CODE]
+
+
+# ---------------------------------------------------------------------------
+# Registry sanity
+# ---------------------------------------------------------------------------
+
+def test_all_documented_rules_registered():
+    assert {
+        "ENT001", "ENT002", "ENT003", "DET001", "DET002", "COR001", "COR002",
+    } <= set(REGISTRY)
+
+
+def test_every_rule_has_rationale_and_summary():
+    for rule_cls in REGISTRY.values():
+        assert rule_cls.meta.rationale
+        assert rule_cls.meta.summary
+        assert rule_cls.meta.code == rule_cls.meta.code.upper()
+
+
+# ---------------------------------------------------------------------------
+# Output formats
+# ---------------------------------------------------------------------------
+
+def _result_for(source):
+    config = LintConfig()
+    linter = Linter(config)
+    from repro.lint import LintResult
+
+    return LintResult(
+        reports=(linter.lint_source(source, path=LIB_PATH),), config=config
+    )
+
+
+def test_text_output_has_file_line_anchor():
+    text = render_text(_result_for(SEEDED_SNIPPET))
+    assert f"{LIB_PATH}:2:" in text
+    assert "ENT002" in text
+
+
+def test_json_output_schema():
+    payload = json.loads(render_json(_result_for(SEEDED_SNIPPET)))
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert set(payload) == {"version", "violations", "summary"}
+    summary = payload["summary"]
+    assert set(summary) == {"files_checked", "total", "by_code", "exit_code"}
+    assert summary["total"] == 1
+    assert summary["by_code"] == {"ENT002": 1}
+    assert summary["exit_code"] == 1
+    (violation,) = payload["violations"]
+    assert set(violation) == {
+        "code", "message", "path", "line", "col", "severity",
+    }
+    assert violation["code"] == "ENT002"
+    assert violation["line"] == 2
+    assert violation["severity"] == "error"
+
+
+def test_clean_result_exit_code_zero():
+    result = _result_for("x = 1\n")
+    assert result.exit_code == 0
+    assert "no violations" in render_text(result)
+
+
+# ---------------------------------------------------------------------------
+# CLI front end
+# ---------------------------------------------------------------------------
+
+def test_cli_nonzero_on_seeded_fixture(tmp_path, capsys):
+    fixture = tmp_path / "seeded_fixture.py"
+    fixture.write_text(SEEDED_SNIPPET)
+    assert lint_main([str(fixture)]) == 1
+    out = capsys.readouterr().out
+    assert "ENT002" in out
+
+
+def test_cli_clean_on_good_fixture(tmp_path, capsys):
+    fixture = tmp_path / "clean_fixture.py"
+    fixture.write_text("import numpy as np\nrng = np.random.default_rng(seed)\n")
+    assert lint_main([str(fixture)]) == 0
+
+
+def test_cli_json_format(tmp_path, capsys):
+    fixture = tmp_path / "seeded_fixture.py"
+    fixture.write_text(SEEDED_SNIPPET)
+    assert lint_main([str(fixture), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["by_code"] == {"ENT002": 1}
+
+
+def test_cli_select_and_ignore(tmp_path, capsys):
+    fixture = tmp_path / "seeded_fixture.py"
+    fixture.write_text(SEEDED_SNIPPET)
+    assert lint_main([str(fixture), "--ignore", "ENT002"]) == 0
+    assert lint_main([str(fixture), "--select", "COR001"]) == 0
+
+
+def test_cli_usage_errors(tmp_path, capsys):
+    assert lint_main([]) == 2
+    assert lint_main(["/no/such/path.py"]) == 2
+    fixture = tmp_path / "x.py"
+    fixture.write_text("x = 1\n")
+    assert lint_main([str(fixture), "--select", "BOGUS1"]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "ENT001" in out and "COR002" in out
+
+
+def test_module_invocation_matches_acceptance_criteria(tmp_path):
+    """`python -m repro.lint src/repro` exits 0; seeded fixture exits 1."""
+    env_src = str(REPO_ROOT / "src")
+    clean = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(REPO_ROOT / "src" / "repro")],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+
+    fixture = tmp_path / "seeded_fixture.py"
+    fixture.write_text(SEEDED_SNIPPET)
+    dirty = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(fixture)],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert dirty.returncode == 1, dirty.stdout + dirty.stderr
+    assert "ENT002" in dirty.stdout

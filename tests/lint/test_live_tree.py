@@ -1,0 +1,29 @@
+"""Tier-1 gate: the live source tree satisfies its own invariants."""
+
+from pathlib import Path
+
+from repro.lint import LintConfig, Linter
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_repro_is_lint_clean():
+    """`repro.lint` runs clean over src/repro (acceptance criterion)."""
+    result = Linter(LintConfig()).lint_paths([str(REPO_ROOT / "src" / "repro")])
+    assert result.files_checked > 100
+    assert result.violations == (), "\n".join(
+        v.anchor + " " + v.code + " " + v.message for v in result.violations
+    )
+    assert result.exit_code == 0
+
+
+def test_tests_examples_benchmarks_are_lint_clean():
+    """Scoped rules (COR002 etc.) also hold outside src/."""
+    paths = [
+        str(REPO_ROOT / name) for name in ("tests", "examples", "benchmarks")
+        if (REPO_ROOT / name).is_dir()
+    ]
+    result = Linter(LintConfig()).lint_paths(paths)
+    assert result.violations == (), "\n".join(
+        v.anchor + " " + v.code + " " + v.message for v in result.violations
+    )

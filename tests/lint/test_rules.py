@@ -1,0 +1,267 @@
+"""Per-rule positive and negative fixtures for repro.lint."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, Linter
+
+LIB_PATH = "src/repro/fake_module.py"
+SIM_PATH = "src/repro/dram/fake_module.py"
+TEST_PATH = "tests/fake_test.py"
+
+
+def codes(source, path=LIB_PATH, **config_kwargs):
+    """Rule codes the linter reports for a dedented snippet."""
+    config = LintConfig(check_unused_suppressions=False, **config_kwargs)
+    report = Linter(config).lint_source(textwrap.dedent(source), path=path)
+    return [violation.code for violation in report.violations]
+
+
+# ---------------------------------------------------------------------------
+# ENT001 — module-global PRNG
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import random\nx = random.random()\n",
+        "import random\nrandom.seed(0)\n",
+        "from random import randint\nx = randint(0, 9)\n",
+        "import numpy as np\nnp.random.seed(1234)\n",
+        "import numpy as np\nx = np.random.rand(4)\n",
+        "from numpy import random\nx = random.normal(0.0, 1.0)\n",
+        "import numpy.random as nr\nx = nr.integers(0, 2)\n",
+    ],
+)
+def test_ent001_flags_global_rng(snippet):
+    assert "ENT001" in codes(snippet)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import numpy as np\nrng = np.random.default_rng(seed)\n",
+        "import numpy as np\ng = np.random.Generator(np.random.PCG64(seed))\n",
+        "import random\nr = random.Random(seed)\n",
+        "import random\nr = random.SystemRandom()\n",
+        "x = my_object.random()\n",  # not the random module
+    ],
+)
+def test_ent001_allows_local_generators(snippet):
+    assert "ENT001" not in codes(snippet)
+
+
+def test_ent001_scope_excludes_tests():
+    snippet = "import random\nx = random.random()\n"
+    assert "ENT001" not in codes(snippet, path=TEST_PATH)
+
+
+# ---------------------------------------------------------------------------
+# ENT002 — constant seeds
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import numpy as np\nrng = np.random.default_rng(42)\n",
+        "import numpy as np\nrng = np.random.default_rng(seed=7)\n",
+        "from repro.noise import NoiseSource\nsrc = NoiseSource(seed=1)\n",
+        "from repro.noise import NoiseSource\nsrc = NoiseSource(123)\n",
+        "import random\nr = random.Random(99)\n",
+        "rng.seed(2019)\n",
+        "import numpy as np\nss = np.random.SeedSequence(5)\n",
+    ],
+)
+def test_ent002_flags_constant_seeds(snippet):
+    assert "ENT002" in codes(snippet)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "import numpy as np\nrng = np.random.default_rng(None)\n",
+        "import numpy as np\nrng = np.random.default_rng(seed)\n",
+        "from repro.noise import NoiseSource\nsrc = NoiseSource()\n",
+        "from repro.noise import NoiseSource\nsrc = NoiseSource(seed=seed)\n",
+    ],
+)
+def test_ent002_allows_injected_seeds(snippet):
+    assert "ENT002" not in codes(snippet)
+
+
+def test_ent002_scope_excludes_tests_and_examples():
+    snippet = "import numpy as np\nrng = np.random.default_rng(42)\n"
+    assert "ENT002" not in codes(snippet, path=TEST_PATH)
+    assert "ENT002" not in codes(snippet, path="examples/demo.py")
+
+
+# ---------------------------------------------------------------------------
+# ENT003 — entropy leaks into logs/stdout
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "bits = drange.random_bits(100)\nprint(bits)\n",
+        "data = drange.random_bytes(32)\nprint(data.hex())\n",
+        'bits = sampler.generate_fast(64)\nlogger.info(f"got {bits}")\n',
+        "import sys\nbits = drange.random_bits(8)\nsys.stdout.write(bits)\n",
+        'data = drange.random_bytes(16)\nlog.debug("key=%s", data)\n',
+    ],
+)
+def test_ent003_flags_entropy_leaks(snippet):
+    assert "ENT003" in codes(snippet)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "bits = drange.random_bits(100)\nprint(bits.mean())\n",
+        "bits = drange.random_bits(100)\nprint(len(bits))\n",
+        'bits = drange.random_bits(100)\nprint(f"n={bits.size}")\n',
+        "stats = compute_stats()\nprint(stats)\n",
+    ],
+)
+def test_ent003_allows_aggregates(snippet):
+    assert "ENT003" not in codes(snippet)
+
+
+def test_ent003_scope_excludes_cli():
+    snippet = "data = drange.random_bytes(32)\nprint(data.hex())\n"
+    assert "ENT003" not in codes(snippet, path="src/repro/cli.py")
+
+
+# ---------------------------------------------------------------------------
+# DET001 — wall clock / OS entropy in deterministic paths
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import time\nt = time.time()\n",
+        "import time\nt = time.perf_counter()\n",
+        "from time import monotonic\nt = monotonic()\n",
+        "import os\nb = os.urandom(8)\n",
+        "from datetime import datetime\nnow = datetime.now()\n",
+        "import uuid\nu = uuid.uuid4()\n",
+        "import secrets\nx = secrets.randbits(64)\n",
+    ],
+)
+def test_det001_flags_nondeterminism_in_sim_paths(snippet):
+    assert "DET001" in codes(snippet, path=SIM_PATH)
+
+
+def test_det001_scope_is_sim_paths_only():
+    snippet = "import time\nt = time.time()\n"
+    assert "DET001" not in codes(snippet, path="src/repro/analysis/x.py")
+    assert "DET001" in codes(snippet, path="src/repro/sim/engine2.py")
+    assert "DET001" in codes(snippet, path="src/repro/faults/models.py")
+    assert "DET001" not in codes(snippet, path="src/repro/faults/other.py")
+
+
+# ---------------------------------------------------------------------------
+# DET002 — unordered-set iteration in deterministic paths
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "for x in {1, 2, 3}:\n    draw(x)\n",
+        "for x in set(items):\n    draw(x)\n",
+        "for x in frozenset(items):\n    draw(x)\n",
+        "vals = [draw(x) for x in set(items)]\n",
+        "vals = {draw(x) for x in {a, b}}\n",
+    ],
+)
+def test_det002_flags_set_iteration(snippet):
+    assert "DET002" in codes(snippet, path=SIM_PATH)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "for x in sorted(set(items)):\n    draw(x)\n",
+        "for x in [1, 2, 3]:\n    draw(x)\n",
+        "for k, v in mapping.items():\n    draw(k)\n",
+        "present = x in {1, 2, 3}\n",  # membership, not iteration
+    ],
+)
+def test_det002_allows_ordered_iteration(snippet):
+    assert "DET002" not in codes(snippet, path=SIM_PATH)
+
+
+# ---------------------------------------------------------------------------
+# COR001 — float equality
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "ok = p_value == 0.05\n",
+        "ok = result.p_value != alpha\n",
+        "ok = x == 0.5\n",
+        "ok = prob == expected\n",
+        "ok = 1.0 == y\n",
+        "ok = min_entropy != target_entropy\n",
+    ],
+)
+def test_cor001_flags_float_equality(snippet):
+    assert "COR001" in codes(snippet)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "ok = p_value >= alpha\n",
+        "ok = p_value < 0.01\n",
+        "ok = count == 3\n",
+        "ok = name == 'frequency'\n",
+        "import math\nok = math.isclose(p_value, 0.05)\n",
+    ],
+)
+def test_cor001_allows_thresholds_and_ints(snippet):
+    assert "COR001" not in codes(snippet)
+
+
+def test_cor001_scope_excludes_tests():
+    assert "COR001" not in codes("ok = x == 0.5\n", path=TEST_PATH)
+
+
+# ---------------------------------------------------------------------------
+# COR002 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def f(a=[]):\n    return a\n",
+        "def f(a={}):\n    return a\n",
+        "def f(*, a=set()):\n    return a\n",
+        "def f(a=list()):\n    return a\n",
+        "import collections\ndef f(a=collections.defaultdict(int)):\n    return a\n",
+        "g = lambda a=[]: a\n",
+    ],
+)
+def test_cor002_flags_mutable_defaults(snippet):
+    assert "COR002" in codes(snippet)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def f(a=None):\n    return a or []\n",
+        "def f(a=()):\n    return a\n",
+        "def f(a=0, b='x'):\n    return a\n",
+        "def f(a=frozenset()):\n    return a\n",
+    ],
+)
+def test_cor002_allows_immutable_defaults(snippet):
+    assert "COR002" not in codes(snippet)
+
+
+def test_cor002_applies_everywhere():
+    snippet = "def f(a=[]):\n    return a\n"
+    assert "COR002" in codes(snippet, path=TEST_PATH)
+    assert "COR002" in codes(snippet, path="examples/demo.py")

@@ -141,3 +141,39 @@ class TestFaultsSubcommand:
         out = capsys.readouterr().out
         assert "service failed" in out
         assert code == 1
+
+
+class TestLintSubcommand:
+    def test_lint_clean_tree(self, capsys):
+        code = main(["lint", "src/repro"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no violations" in out
+
+    def test_lint_defaults_to_src_repro(self, capsys):
+        code = main(["lint"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "file(s) checked" in out
+
+    def test_lint_flags_seeded_fixture(self, capsys, tmp_path):
+        fixture = tmp_path / "seeded_fixture.py"
+        fixture.write_text(
+            "import numpy as np\nrng = np.random.default_rng(42)\n"
+        )
+        code = main(["lint", str(fixture)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ENT002" in out
+
+    def test_lint_forwards_option_only_invocations(self, capsys):
+        code = main(["lint", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert '"version"' in out
+
+    def test_lint_list_rules(self, capsys):
+        code = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ENT001" in out

@@ -34,6 +34,8 @@ class TestSubpackageExports:
             "repro.analysis",
             "repro.experiments",
             "repro.testbed",
+            "repro.faults",
+            "repro.lint",
         ],
     )
     def test_all_names_resolve(self, module):
