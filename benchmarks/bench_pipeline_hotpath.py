@@ -1,0 +1,204 @@
+"""Hot-path pipeline benchmark: compiled plans vs the per-cell loop.
+
+Measures the batched probability-plane pipeline against a faithful
+replica of the pre-refactor per-cell generation path (one
+``stored_row`` fetch + one single-column ``failure_probabilities``
+call + one Bernoulli vector per RNG cell), plus absolute timings for
+the characterization and identification stages that share the plane.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_pipeline_hotpath.py --benchmark-only`` —
+  the timed harness used alongside the other ``bench_*`` files;
+* ``python benchmarks/bench_pipeline_hotpath.py [--quick]`` — a
+  standalone runner that writes ``BENCH_pipeline.json``; ``--quick``
+  is the CI smoke mode (small stream, no speedup floor asserted).
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.core.drange import DRange
+from repro.core.identification import identify_rng_cells
+from repro.core.profiling import Region, profile_region
+from repro.dram.device import DeviceFactory
+
+MASTER_SEED = 2019
+NOISE_SEED = 20190216
+TRCD_NS = 10.0
+REGION = Region(banks=(0, 1, 2, 3), row_start=0, row_count=512)
+
+#: Full-mode stream length (the acceptance target: >=10x on 1 Mb).
+FULL_BITS = 1 << 20
+QUICK_BITS = 1 << 16
+
+
+def _prepared_drange():
+    factory = DeviceFactory(master_seed=MASTER_SEED, noise_seed=NOISE_SEED)
+    drange = DRange(factory.make_device("A", 0), trcd_ns=TRCD_NS)
+    cells = drange.prepare(region=REGION, iterations=100)
+    if not cells:
+        raise RuntimeError("seeded preparation identified no RNG cells")
+    return drange
+
+
+def per_cell_reference(drange, num_bits):
+    """The pre-compiled-plan ``generate_fast``, replayed faithfully.
+
+    One ``stored_row`` + single-column ``failure_probabilities`` +
+    Bernoulli vector per cell, interleaved with ``np.stack`` — the exact
+    shape of the code the batched pipeline replaced.
+    """
+    sampler = drange.sampler()
+    device = drange.device
+    plan = sampler.compiled_plan()
+    sampler.setup()
+    try:
+        per_cell = -(-num_bits // plan.n_cells)  # ceil
+        streams = []
+        for bank, row, col in plan.cells:
+            device.geometry.validate_col(int(col))
+            stored_row = device.bank(int(bank)).stored_row(int(row))
+            probs = device.failure_model.failure_probabilities(
+                int(bank),
+                int(row),
+                np.asarray([int(col)]),
+                stored_row,
+                device.operating_point(TRCD_NS),
+            )
+            flips = device.noise.bernoulli(np.full(per_cell, probs[0]))
+            stored_bit = int(stored_row[int(col)])
+            streams.append(
+                np.where(flips, 1 - stored_bit, stored_bit).astype(np.uint8)
+            )
+        interleaved = np.stack(streams, axis=1).reshape(-1)
+    finally:
+        sampler.teardown()
+    return interleaved[:num_bits].astype(np.uint8)
+
+
+def _best_of(func, repeats):
+    """Best-of-N wall time in milliseconds, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3, result
+
+
+def run(num_bits, repeats=3):
+    """Time both generation paths plus the plane-backed offline stages."""
+    drange = _prepared_drange()
+    sampler = drange.sampler()
+    # Warm both paths once so compilation/caching is excluded from the
+    # steady-state comparison (the plan compiles once per epoch).
+    sampler.generate_fast(1024)
+    per_cell_reference(drange, 1024)
+
+    per_cell_ms, reference = _best_of(
+        lambda: per_cell_reference(drange, num_bits), repeats
+    )
+    batched_ms, batched = _best_of(
+        lambda: sampler.generate_fast(num_bits), repeats
+    )
+    assert reference.size == num_bits
+    assert batched.size == num_bits
+    assert np.isin(batched, (0, 1)).all()
+
+    profile_device = DeviceFactory(
+        master_seed=MASTER_SEED, noise_seed=NOISE_SEED
+    ).make_device("A", 0)
+    profile_region_small = Region(banks=(0, 1), row_start=0, row_count=256)
+    profile_ms, characterization = _best_of(
+        lambda: profile_region(
+            profile_device,
+            drange.pattern,
+            region=profile_region_small,
+            trcd_ns=TRCD_NS,
+            iterations=100,
+        ),
+        1,
+    )
+    candidates = characterization.cells_in_band()[:64]
+    identify_ms, _ = _best_of(
+        lambda: identify_rng_cells(
+            profile_device, candidates, trcd_ns=TRCD_NS, samples=1000
+        ),
+        1,
+    )
+
+    return {
+        "num_bits": int(num_bits),
+        "plan_cells": int(sampler.compiled_plan().n_cells),
+        "per_cell_ms": round(per_cell_ms, 3),
+        "batched_ms": round(batched_ms, 3),
+        "speedup": round(per_cell_ms / batched_ms, 2),
+        "profile_ms": round(profile_ms, 3),
+        "identify_ms": round(identify_ms, 3),
+        "identify_candidates": int(len(candidates)),
+    }
+
+
+def _format(results):
+    return (
+        f"generate_fast over {results['num_bits']} bits "
+        f"({results['plan_cells']} plan cells):\n"
+        f"  per-cell reference : {results['per_cell_ms']:9.3f} ms\n"
+        f"  batched pipeline   : {results['batched_ms']:9.3f} ms\n"
+        f"  speedup            : {results['speedup']:9.2f}x\n"
+        f"offline stages (plane-backed):\n"
+        f"  profile 2x256 rows : {results['profile_ms']:9.3f} ms\n"
+        f"  identify {results['identify_candidates']:3d} cells  : "
+        f"{results['identify_ms']:9.3f} ms"
+    )
+
+
+def test_pipeline_hotpath_speedup(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: run(FULL_BITS), rounds=1, iterations=1
+    )
+    emit(_format(results))
+    # The acceptance floor: compiled plans buy >=10x on a 1 Mb stream.
+    assert results["speedup"] >= 10.0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small stream, single repeat, no speedup floor",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_pipeline.json", help="result file path"
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        results = run(QUICK_BITS, repeats=1)
+    else:
+        results = run(FULL_BITS, repeats=3)
+    results["quick"] = bool(args.quick)
+
+    print(_format(results))
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if not args.quick and results["speedup"] < 10.0:
+        raise SystemExit(
+            f"speedup {results['speedup']}x below the 10x acceptance floor"
+        )
+    # Quick mode still guards against outright regression.
+    if results["speedup"] < 1.0:
+        raise SystemExit("batched pipeline slower than the per-cell loop")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,12 @@ from repro.core.identification import (
 )
 from repro.core.integration import DRangeService, RecoveryPolicy
 from repro.core.multichannel import MultiChannelDRange
+from repro.core.plan import (
+    CompiledSamplePlan,
+    CompiledWord,
+    compile_cells,
+    compile_sample_plan,
+)
 from repro.core.profiling import CharacterizationResult, Region, profile_region
 from repro.core.sampler import DRangeSampler
 from repro.core.selection import BankPlan, select_words
@@ -38,6 +44,8 @@ from repro.core.throughput import ThroughputModel
 __all__ = [
     "BankPlan",
     "CharacterizationResult",
+    "CompiledSamplePlan",
+    "CompiledWord",
     "DRange",
     "DRangeSampler",
     "DRangeService",
@@ -49,6 +57,8 @@ __all__ = [
     "RngCellRegistry",
     "ServiceEvent",
     "ThroughputModel",
+    "compile_cells",
+    "compile_sample_plan",
     "identify_rng_cells",
     "profile_region",
     "select_words",

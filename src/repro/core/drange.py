@@ -24,6 +24,7 @@ from repro.core.identification import (
     RngCellRegistry,
     identify_rng_cells,
 )
+from repro.core.plan import CompiledSamplePlan
 from repro.core.profiling import CharacterizationResult, Region, profile_region
 from repro.core.sampler import DEFAULT_SAMPLING_TRCD_NS, DRangeSampler
 from repro.core.selection import BankPlan, select_words
@@ -156,7 +157,7 @@ class DRange:
         device; it is stepped through ``temperatures_c`` and an
         identification pass runs at each step.
         """
-        if self._device not in getattr(chamber, "_devices", [self._device]):
+        if self._device not in chamber:
             chamber.add_device(self._device)
         for temperature in temperatures_c:
             chamber.set_dram_temperature(temperature)
@@ -194,6 +195,15 @@ class DRange:
                 pattern=self._pattern,
             )
         return self._sampler
+
+    def compiled_plan(self) -> CompiledSamplePlan:
+        """The compiled sampling plan generation executes from.
+
+        Cached per device ``state_epoch``: writes, power cycles,
+        temperature/voltage changes, and fault injections all force a
+        transparent recompile on the next generation call.
+        """
+        return self.sampler().compiled_plan()
 
     def throughput_model(self) -> ThroughputModel:
         """Figure 8's throughput model for this device."""

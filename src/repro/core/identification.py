@@ -109,12 +109,19 @@ def verify_unbiased(
     if not 0.0 < max_bias < 0.5:
         raise ConfigurationError(f"max_bias must be in (0, 0.5), got {max_bias}")
     verified: List[RngCell] = []
-    for cell in cells:
-        bits = device.sample_cell_bits(
-            cell.bank, cell.row, cell.col, samples, trcd_ns
+    # Chunked so the batched draw matrix stays bounded (~32 MB); the
+    # exact stream-order draw keeps results bit-identical to per-cell
+    # sampling for a seeded source.
+    chunk = max(1, 4_000_000 // samples)
+    for start in range(0, len(cells), chunk):
+        batch = list(cells[start : start + chunk])
+        coords = np.asarray(
+            [(cell.bank, cell.row, cell.col) for cell in batch], dtype=np.int64
         )
-        if abs(float(bits.mean()) - 0.5) <= max_bias:
-            verified.append(cell)
+        bits = device.sample_cells_bits(coords, samples, trcd_ns)
+        for j, cell in enumerate(batch):
+            if abs(float(bits[:, j].mean()) - 0.5) <= max_bias:
+                verified.append(cell)
     return verified
 
 
@@ -183,9 +190,14 @@ def identify_rng_cells(
 
     ``candidates`` is an (N, 3) array of (bank, row, col) coordinates —
     typically :meth:`CharacterizationResult.cells_in_band` output, which
-    prunes the full-array scan to cells already near 50% Fprob.  Each
-    candidate is sampled ``samples`` times at the reduced tRCD and kept
-    if its symbol distribution is flat.
+    prunes the full-array scan to cells already near 50% Fprob.  All
+    candidates are sampled ``samples`` times at the reduced tRCD in one
+    batched draw (compiled through the device's probability plane) and
+    kept if their symbol distribution is flat.  The batched draw
+    consumes the noise stream exactly as the per-candidate loop it
+    replaced, so seeded identification results are unchanged; with
+    ``max_cells`` set, sampling proceeds in chunks and stops at the
+    first chunk that fills the cap.
     """
     candidates = np.asarray(candidates)
     if candidates.ndim != 2 or (candidates.size and candidates.shape[1] != 3):
@@ -196,21 +208,45 @@ def identify_rng_cells(
         raise ConfigurationError(f"samples must be >= 100, got {samples}")
 
     accepted: List[RngCell] = []
-    for bank, row, col in candidates:
-        bits = device.sample_cell_bits(
-            int(bank), int(row), int(col), samples, trcd_ns
-        )
-        if not passes_symbol_filter(bits, tolerance=tolerance):
-            continue
-        accepted.append(
-            RngCell(
-                bank=int(bank),
-                row=int(row),
-                col=int(col),
-                entropy=stream_entropy(bits),
-                fail_probability=float(bits.mean()),
+    if not len(candidates):
+        return accepted
+    chunk = len(candidates) if max_cells is None else min(len(candidates), 128)
+    for start in range(0, len(candidates), chunk):
+        batch = np.asarray(candidates[start : start + chunk], dtype=np.int64)
+        bits = device.sample_cells_bits(batch, samples, trcd_ns)
+        for j in _passing_columns(bits, tolerance):
+            stream = bits[:, j]
+            accepted.append(
+                RngCell(
+                    bank=int(batch[j, 0]),
+                    row=int(batch[j, 1]),
+                    col=int(batch[j, 2]),
+                    entropy=stream_entropy(stream),
+                    fail_probability=float(stream.mean()),
+                )
             )
-        )
-        if max_cells is not None and len(accepted) >= max_cells:
-            break
+            if max_cells is not None and len(accepted) >= max_cells:
+                return accepted
     return accepted
+
+
+def _passing_columns(bits: np.ndarray, tolerance: float) -> np.ndarray:
+    """Columns of the (samples, N) bit matrix passing the symbol filter.
+
+    Vectorized :func:`passes_symbol_filter` over every cell at once:
+    3-bit window codes are offset by ``8 × cell`` so one ``bincount``
+    yields every cell's symbol histogram.
+    """
+    samples, n = bits.shape
+    n_windows = samples - SYMBOL_BITS + 1
+    matrix = bits.astype(np.int64)
+    codes = np.zeros((n_windows, n), dtype=np.int64)
+    for k in range(SYMBOL_BITS):
+        codes = (codes << 1) | matrix[k : k + n_windows]
+    codes += np.arange(n, dtype=np.int64)[np.newaxis, :] << SYMBOL_BITS
+    counts = np.bincount(
+        codes.ravel(), minlength=n << SYMBOL_BITS
+    ).reshape(n, 1 << SYMBOL_BITS)
+    expected = n_windows / float(1 << SYMBOL_BITS)
+    ok = (np.abs(counts - expected) <= tolerance * expected).all(axis=1)
+    return np.nonzero(ok)[0]

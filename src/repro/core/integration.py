@@ -347,7 +347,7 @@ class DRangeService:
             self._quarantine_queue()
             self._handle_degradation(alarm)
             return
-        self._queue.extend(int(b) for b in fresh)
+        self._queue.extend(fresh.tolist())
 
     # ------------------------------------------------------------------
     # The REQUEST/RECEIVE interface
@@ -380,8 +380,9 @@ class DRangeService:
                         # Recovery ran without enqueueing; harvest again.
                         continue
                 take = min(len(self._queue), num_bits - filled)
-                for i in range(take):
-                    out[filled + i] = self._queue.popleft()
+                out[filled : filled + take] = [
+                    self._queue.popleft() for _ in range(take)
+                ]
                 filled += take
         except HealthError:
             if filled:

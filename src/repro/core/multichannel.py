@@ -172,11 +172,12 @@ class MultiChannelDRange:
         if num_bits <= 0:
             raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
         per_channel = -(-num_bits // self.num_channels)
-        streams = [
-            channel.random_bits(per_channel) for channel in self._channels
-        ]
-        interleaved = np.stack(streams, axis=1).reshape(-1)
-        return interleaved[:num_bits]
+        interleaved = np.empty(
+            (per_channel, self.num_channels), dtype=np.uint8
+        )
+        for index, channel in enumerate(self._channels):
+            interleaved[:, index] = channel.random_bits(per_channel)
+        return interleaved.reshape(-1)[:num_bits]
 
     def random_bytes(self, num_bytes: int) -> bytes:
         """Harvest ``num_bytes`` across channels (raw path)."""

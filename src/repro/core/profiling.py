@@ -136,11 +136,14 @@ def profile_region(
     if command_level:
         _profile_command_level(device, region, trcd_ns, iterations, counts)
     else:
+        # One batched binomial draw per bank; row probabilities are
+        # served (and kept warm for the identification pass that
+        # follows) by the device's probability plane.  Stream
+        # consumption matches the former per-row loop exactly.
         for bank_pos, bank in enumerate(region.banks):
-            for row_pos, row in enumerate(region.rows):
-                counts[bank_pos, row_pos] = device.sample_row_fail_counts(
-                    bank, row, trcd_ns, iterations
-                )
+            counts[bank_pos] = device.sample_rows_fail_counts(
+                bank, region.rows, trcd_ns, iterations
+            )
 
     return CharacterizationResult(
         region=region,

@@ -59,6 +59,7 @@ class Bank:
         self._noise = noise
         self._corrupt_on_failure = corrupt_on_failure
         self._rows: Dict[int, np.ndarray] = {}
+        self._epoch = 0
         self._open_row: Optional[int] = None
         self._activation_trcd_ns: Optional[float] = None
         self._first_access_pending = False
@@ -81,6 +82,19 @@ class Bank:
     def geometry(self) -> DeviceGeometry:
         """Geometry shared with the owning device."""
         return self._geometry
+
+    @property
+    def state_epoch(self) -> int:
+        """Monotonic counter bumped on every stored-state mutation.
+
+        Probability caches (:class:`~repro.dram.plane.ProbabilityPlane`)
+        key their validity on this counter: any WRITE, direct row
+        replacement, failure-induced corruption, or power cycle
+        invalidates whatever was derived from the previous contents.
+        Lazy row materialization does *not* bump it — a row's contents
+        cannot have been cached before its first materialization.
+        """
+        return self._epoch
 
     def stored_row(self, row: int) -> np.ndarray:
         """The stored bits of ``row`` (lazily powered up), as a copy."""
@@ -181,6 +195,7 @@ class Bank:
         read_bits = np.where(flips, 1 - stored, stored).astype(np.uint8)
         if self._corrupt_on_failure and flips.any():
             row_bits[cols[flips]] = read_bits[flips]
+            self._epoch += 1
         return read_bits
 
     def write(self, word: int, bits: np.ndarray) -> None:
@@ -199,6 +214,7 @@ class Bank:
         row_bits = self._row_bits(self._open_row)
         start = word * self._geometry.word_bits
         row_bits[start : start + self._geometry.word_bits] = bits
+        self._epoch += 1
         # A write lands after the row is fully restored, so it cannot be
         # the failure-prone first access anymore.
         self._first_access_pending = False
@@ -217,6 +233,7 @@ class Bank:
             )
         self._geometry.validate_row(row)
         self._rows[row] = bits.copy()
+        self._epoch += 1
 
     def power_cycle(self) -> None:
         """Drop all stored state, as a power loss would.
@@ -226,6 +243,7 @@ class Bank:
         startup-value TRNG baseline harvests.
         """
         self._rows.clear()
+        self._epoch += 1
         self._open_row = None
         self._activation_trcd_ns = None
         self._first_access_pending = False

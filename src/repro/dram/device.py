@@ -23,6 +23,7 @@ from repro.dram.datapattern import DataPattern
 from repro.dram.failures import ActivationFailureModel, OperatingPoint
 from repro.dram.geometry import DeviceGeometry
 from repro.dram.manufacturer import Manufacturer, ManufacturerProfile, profile_for
+from repro.dram.plane import ProbabilityPlane
 from repro.dram.retention import RetentionModel
 from repro.dram.startup import StartupModel
 from repro.dram.timing import LPDDR4_3200, TimingParameters
@@ -78,6 +79,8 @@ class DramDevice:
         self._retention_model = RetentionModel(geometry, self._variation)
         self._temperature_c = 45.0
         self._vdd_ratio = 1.0
+        self._epoch = 0
+        self._plane: Optional[ProbabilityPlane] = None
         self._serial = serial or f"{self._profile.name}-{device_seed & 0xFFFF:05d}"
         self._banks = [
             Bank(
@@ -158,6 +161,8 @@ class DramDevice:
             raise ConfigurationError(
                 f"temperature {temperature_c}°C outside plausible operating range"
             )
+        if temperature_c != self._temperature_c:
+            self._epoch += 1
         self._temperature_c = temperature_c
 
     @property
@@ -171,12 +176,33 @@ class DramDevice:
             raise ConfigurationError(
                 f"vdd_ratio {vdd_ratio} outside plausible operating range"
             )
+        if vdd_ratio != self._vdd_ratio:
+            self._epoch += 1
         self._vdd_ratio = vdd_ratio
 
     def power_cycle(self) -> None:
         """Power-cycle the device: every bank loses its stored state."""
+        self._epoch += 1
         for bank in self._banks:
             bank.power_cycle()
+
+    @property
+    def state_epoch(self) -> int:
+        """Monotonic counter over everything probability caches depend on.
+
+        Combines the device-level epoch (temperature, voltage, power
+        cycles) with every bank's stored-state epoch.  Compiled sampling
+        plans and the :class:`~repro.dram.plane.ProbabilityPlane` record
+        the epoch they were built at and treat any difference as stale.
+        """
+        return self._epoch + sum(bank.state_epoch for bank in self._banks)
+
+    @property
+    def plane(self) -> ProbabilityPlane:
+        """The epoch-synced probability/stored-row cache for this device."""
+        if self._plane is None:
+            self._plane = ProbabilityPlane(self)
+        return self._plane
 
     def bank(self, index: int) -> Bank:
         """Access bank ``index``."""
@@ -241,15 +267,14 @@ class DramDevice:
         """Failure probability of every cell in ``row`` as currently stored.
 
         Statistically identical to issuing many probe_word calls but
-        computed analytically in one shot; the workhorse behind the
-        characterization experiments.
+        computed analytically in one shot (and served from the
+        :class:`~repro.dram.plane.ProbabilityPlane` while the stored
+        state and operating point are unchanged); the workhorse behind
+        the characterization experiments.
         """
-        target = self.bank(bank)
-        stored = target.stored_row(row)
-        cols = np.arange(self._geometry.cols_per_row)
-        return self._failure_model.failure_probabilities(
-            bank, row, cols, stored, self.operating_point(trcd_ns)
-        )
+        return self.plane.row_probabilities(
+            bank, row, self.operating_point(trcd_ns)
+        ).copy()
 
     def sample_row_fail_counts(
         self, bank: int, row: int, trcd_ns: float, iterations: int
@@ -260,7 +285,29 @@ class DramDevice:
         are identical each iteration, so the counts are binomial draws
         from the per-cell probabilities.
         """
-        probs = self.row_failure_probabilities(bank, row, trcd_ns)
+        probs = self.plane.row_probabilities(
+            bank, row, self.operating_point(trcd_ns)
+        )
+        return self._noise.binomial(iterations, probs)
+
+    def sample_rows_fail_counts(
+        self, bank: int, rows: Iterable[int], trcd_ns: float, iterations: int
+    ) -> np.ndarray:
+        """Failure counts for many rows of one bank in one binomial draw.
+
+        Returns a ``(len(rows), cols_per_row)`` count matrix.  The draw
+        consumes the noise stream exactly as per-row
+        :meth:`sample_row_fail_counts` calls would, so seeded results
+        are bit-identical to the per-row loop it replaces.
+        """
+        op = self.operating_point(trcd_ns)
+        plane = self.plane
+        row_list = list(rows)
+        if not row_list:
+            return np.zeros((0, self._geometry.cols_per_row), dtype=np.int64)
+        probs = np.stack(
+            [plane.row_probabilities(bank, row, op) for row in row_list]
+        )
         return self._noise.binomial(iterations, probs)
 
     def sample_cell_bits(
@@ -273,18 +320,124 @@ class DramDevice:
         an independent Bernoulli flip of the stored bit.
         """
         self._geometry.validate_col(col)
-        target = self.bank(bank)
-        stored_row = target.stored_row(row)
-        probs = self._failure_model.failure_probabilities(
-            bank,
-            row,
-            np.asarray([col]),
-            stored_row,
-            self.operating_point(trcd_ns),
-        )
-        flips = self._noise.bernoulli(np.full(count, probs[0]))
+        plane = self.plane
+        stored_row = plane.row_stored(bank, row)
+        probs = plane.row_probabilities(bank, row, self.operating_point(trcd_ns))
+        flips = self._noise.bernoulli(np.full(count, probs[col]))
         stored_bit = int(stored_row[col])
         return np.where(flips, 1 - stored_bit, stored_bit).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Batched (compiled-plan) fast paths
+    # ------------------------------------------------------------------
+
+    def _validated_cells(self, cells: np.ndarray) -> np.ndarray:
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.ndim != 2 or (cells.size and cells.shape[1] != 3):
+            raise ConfigurationError(
+                f"cells must be (N, 3) coordinates, got shape {cells.shape}"
+            )
+        if cells.size:
+            geometry = self._geometry
+            bounds = (geometry.banks, geometry.rows_per_bank, geometry.cols_per_row)
+            if (cells < 0).any() or (cells >= np.asarray(bounds)).any():
+                raise ConfigurationError(
+                    "cell coordinates out of range for geometry "
+                    f"({geometry.banks} banks × {geometry.rows_per_bank} rows "
+                    f"× {geometry.cols_per_row} cols)"
+                )
+        return cells
+
+    def cells_stored_bits(self, cells: np.ndarray) -> np.ndarray:
+        """Stored bit of every (bank, row, col) in ``cells``."""
+        cells = self._validated_cells(cells)
+        plane = self.plane
+        out = np.empty(len(cells), dtype=np.uint8)
+        rows: dict = {}
+        for i, (bank, row, col) in enumerate(cells):
+            key = (int(bank), int(row))
+            stored = rows.get(key)
+            if stored is None:
+                stored = plane.row_stored(*key)
+                rows[key] = stored
+            out[i] = stored[col]
+        return out
+
+    def cells_failure_probabilities(
+        self, cells: np.ndarray, trcd_ns: float
+    ) -> np.ndarray:
+        """Failure probability of every (bank, row, col) in ``cells``.
+
+        Per-row vectors come from the probability plane, so repeated
+        compilation over the same rows (the steady state of Algorithm 2)
+        costs one dictionary lookup per distinct row.
+        """
+        cells = self._validated_cells(cells)
+        op = self.operating_point(trcd_ns)
+        plane = self.plane
+        out = np.empty(len(cells), dtype=np.float64)
+        rows: dict = {}
+        for i, (bank, row, col) in enumerate(cells):
+            key = (int(bank), int(row))
+            probs = rows.get(key)
+            if probs is None:
+                probs = plane.row_probabilities(key[0], key[1], op)
+                rows[key] = probs
+            out[i] = probs[col]
+        return out
+
+    def sample_cells_bits(
+        self,
+        cells: np.ndarray,
+        count: int,
+        trcd_ns: float,
+        mixture: bool = False,
+        probabilities: Optional[np.ndarray] = None,
+        stored_bits: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``count`` reads of every cell in one batched draw.
+
+        Returns a ``(count, N)`` iteration-major bit matrix — row ``i``
+        holds iteration ``i``'s harvest across all cells, matching the
+        order Algorithm 2 emits bits; column ``j`` is cell ``j``'s
+        stream.
+
+        ``mixture=False`` consumes the noise stream exactly as ``N``
+        sequential :meth:`sample_cell_bits` calls (bit-identical for a
+        seeded source) — the identification/verification contract.
+        ``mixture=True`` uses the byte-plane mixture sampler
+        (:meth:`~repro.noise.NoiseSource.bernoulli_plane`): the same
+        exact per-cell Bernoulli distribution, an order of magnitude
+        faster, but a different (still reproducible) seeded stream.
+
+        ``probabilities``/``stored_bits`` let a caller holding a fresh
+        :class:`~repro.core.plan.CompiledSamplePlan` snapshot skip the
+        per-cell recompute; they must describe the same ``cells`` at the
+        current ``state_epoch`` (the plan's staleness check guarantees
+        this on the generation hot path).
+        """
+        cells = self._validated_cells(cells)
+        probs = (
+            probabilities
+            if probabilities is not None
+            else self.cells_failure_probabilities(cells, trcd_ns)
+        )
+        stored = (
+            stored_bits
+            if stored_bits is not None
+            else self.cells_stored_bits(cells)
+        )
+        if mixture:
+            # The stored-bit XOR is folded into the sampling threshold
+            # (``invert``), so the draw directly yields read bits.
+            flips = self._noise.bernoulli_plane(probs, count, invert=stored)
+            return flips.view(np.uint8)
+        matrix = np.broadcast_to(probs[:, np.newaxis], (len(cells), count))
+        flips = self._noise.bernoulli(matrix)
+        bits = np.where(
+            flips, (1 - stored)[:, np.newaxis], stored[:, np.newaxis]
+        ).astype(np.uint8)
+        return np.ascontiguousarray(bits.T)
 
 
 class DeviceFactory:

@@ -1,0 +1,138 @@
+"""The probability plane: epoch-synced per-row failure-probability cache.
+
+The analytic failure model is a pure function of (frozen variation,
+stored row contents, operating point) — Section 5.4's time-invariance is
+what makes D-RaNGe's offline characterization meaningful at all.  The
+per-cell sampling paths nevertheless used to re-derive a whole row's
+statics and probabilities for every single cell they touched.
+
+:class:`ProbabilityPlane` memoizes the two derived per-row artifacts the
+sampling pipeline needs —
+
+* the stored row bits (read-only), and
+* the full-row failure-probability vector at a given
+  :class:`~repro.dram.failures.OperatingPoint`
+
+— keyed on the device's monotonic ``state_epoch``.  Any stored-state
+mutation (WRITE, row replacement, corruption, power cycle) or operating
+condition change (temperature, voltage) bumps the epoch, and the next
+lookup drops the entire cache.  Fault injectors contribute their own
+epoch component (see :class:`~repro.faults.injector.FaultInjector`), so
+injecting or healing a fault busts the cache the same way.
+
+Arrays handed out by the plane are **read-only views** shared between
+callers; copy before mutating.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+import numpy as np
+
+from repro.dram.failures import OperatingPoint
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.dram.device import DramDevice
+
+#: Cached entries before the plane drops everything (memory backstop:
+#: one probability row is cols_per_row float64s, ~8 KB at default
+#: geometry, so 8192 entries cap the plane near 64 MB).
+MAX_CACHED_ROWS = 8192
+
+
+class ProbabilityPlane:
+    """Per-device cache of stored rows and row failure probabilities."""
+
+    def __init__(self, device: "DramDevice") -> None:
+        self._device = device
+        self._epoch_seen = device.state_epoch
+        self._stored: Dict[Tuple[int, int], np.ndarray] = {}
+        self._probs: Dict[Tuple[int, int, OperatingPoint], np.ndarray] = {}
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to compute."""
+        return self._misses
+
+    @property
+    def invalidations(self) -> int:
+        """Times an epoch change dropped the whole cache."""
+        return self._invalidations
+
+    @property
+    def cached_rows(self) -> int:
+        """Probability rows currently held."""
+        return len(self._probs)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def _sync(self) -> None:
+        epoch = self._device.state_epoch
+        if epoch != self._epoch_seen:
+            if self._stored or self._probs:
+                self._invalidations += 1
+            self._stored.clear()
+            self._probs.clear()
+            self._epoch_seen = epoch
+
+    def row_stored(self, bank: int, row: int) -> np.ndarray:
+        """The stored bits of one row, as a shared read-only array."""
+        self._sync()
+        key = (bank, row)
+        stored = self._stored.get(key)
+        if stored is None:
+            self._misses += 1
+            stored = self._device.bank(bank).stored_row(row)
+            stored.flags.writeable = False
+            if len(self._stored) >= MAX_CACHED_ROWS:
+                self._stored.clear()
+            self._stored[key] = stored
+            # Materializing a cold row may draw startup noise without
+            # bumping the epoch; resync so the entry we just built is
+            # keyed against the state it reflects.
+            self._epoch_seen = self._device.state_epoch
+        else:
+            self._hits += 1
+        return stored
+
+    def row_probabilities(
+        self, bank: int, row: int, op: OperatingPoint
+    ) -> np.ndarray:
+        """Full-row failure probabilities at ``op``, shared read-only.
+
+        Values are bit-identical to calling
+        ``failure_model.failure_probabilities`` over any subset of the
+        row's columns — the model is elementwise in the column axis.
+        """
+        self._sync()
+        key = (bank, row, op)
+        probs = self._probs.get(key)
+        if probs is None:
+            self._misses += 1
+            stored = self.row_stored(bank, row)
+            cols = np.arange(self._device.geometry.cols_per_row)
+            probs = self._device.failure_model.failure_probabilities(
+                bank, row, cols, stored, op
+            )
+            probs.flags.writeable = False
+            if len(self._probs) >= MAX_CACHED_ROWS:
+                self._probs.clear()
+            self._probs[key] = probs
+        else:
+            self._hits += 1
+        return probs

@@ -55,6 +55,7 @@ class FaultInjector:
         self._device = device
         self._schedule = schedule if schedule is not None else FaultSchedule()
         self._bits_elapsed = 0
+        self._fault_epoch = 0
 
     # ------------------------------------------------------------------
     # Introspection and scheduling
@@ -75,6 +76,17 @@ class FaultInjector:
         """Bit clock: total faultable accesses performed so far."""
         return self._bits_elapsed
 
+    @property
+    def state_epoch(self) -> int:
+        """The wrapped device's epoch plus a fault-schedule component.
+
+        Injecting or healing a fault bumps this, so probability planes
+        and compiled sampling plans built against the faulted view are
+        invalidated exactly like a stored-state mutation would
+        invalidate them.
+        """
+        return self._device.state_epoch + self._fault_epoch
+
     def inject(
         self,
         fault: FaultModel,
@@ -83,10 +95,12 @@ class FaultInjector:
     ) -> FaultWindow:
         """Schedule ``fault`` starting now (or at ``start_bit``)."""
         start = self._bits_elapsed if start_bit is None else start_bit
+        self._fault_epoch += 1
         return self._schedule.add(fault, start_bit=start, end_bit=end_bit)
 
     def heal(self) -> None:
         """Clear the schedule: the device behaves nominally again."""
+        self._fault_epoch += 1
         self._schedule.clear()
 
     def advance(self, bits: int) -> None:
@@ -164,12 +178,11 @@ class FaultInjector:
         ctx = AccessContext(bank=bank, row=row, col=col, trcd_ns=trcd_ns)
 
         op = self._transform_op(device.operating_point(trcd_ns), start)
-        stored_row = device.bank(bank).stored_row(row)
-        base = device.failure_model.failure_probabilities(
-            bank, row, np.asarray([col]), stored_row, op
-        )
+        plane = device.plane
+        stored_row = plane.row_stored(bank, row)
+        base = plane.row_probabilities(bank, row, op)
         probs = self._transform_probabilities(
-            np.full(count, base[0], dtype=np.float64), offsets, ctx
+            np.full(count, base[col], dtype=np.float64), offsets, ctx
         )
         flips = device.noise.bernoulli(probs)
         stored_bit = int(stored_row[col])
@@ -185,13 +198,9 @@ class FaultInjector:
         device = self._device
         offset = self._bits_elapsed
         op = self._transform_op(device.operating_point(trcd_ns), offset)
-        stored = device.bank(bank).stored_row(row)
-        cols = np.arange(device.geometry.cols_per_row)
-        probs = device.failure_model.failure_probabilities(
-            bank, row, cols, stored, op
-        )
+        probs = np.array(device.plane.row_probabilities(bank, row, op))
         ctx = AccessContext(bank=bank, row=row, trcd_ns=trcd_ns)
-        offsets = np.full(cols.size, offset, dtype=np.int64)
+        offsets = np.full(probs.size, offset, dtype=np.int64)
         return self._transform_probabilities(probs, offsets, ctx)
 
     def sample_row_fail_counts(
@@ -202,6 +211,145 @@ class FaultInjector:
         counts = self._device.noise.binomial(iterations, probs)
         self._bits_elapsed += iterations
         return counts
+
+    def sample_rows_fail_counts(
+        self, bank: int, rows, trcd_ns: float, iterations: int
+    ) -> np.ndarray:
+        """Faulted counterpart of :meth:`DramDevice.sample_rows_fail_counts`.
+
+        Per-row probabilities are transformed at the same bit-clock
+        offsets the per-row loop would have used (row ``i`` at
+        ``start + i × iterations``), then drawn in one binomial matrix
+        call — bit-identical to sequential
+        :meth:`sample_row_fail_counts` calls for a seeded source.
+        """
+        device = self._device
+        row_list = list(rows)
+        if not row_list:
+            return np.zeros(
+                (0, device.geometry.cols_per_row), dtype=np.int64
+            )
+        start = self._bits_elapsed
+        plane = device.plane
+        transformed = []
+        for i, row in enumerate(row_list):
+            offset = start + i * iterations
+            op = self._transform_op(device.operating_point(trcd_ns), offset)
+            probs = np.array(plane.row_probabilities(bank, row, op))
+            ctx = AccessContext(bank=bank, row=row, trcd_ns=trcd_ns)
+            offsets = np.full(probs.size, offset, dtype=np.int64)
+            transformed.append(
+                self._transform_probabilities(probs, offsets, ctx)
+            )
+        counts = device.noise.binomial(iterations, np.stack(transformed))
+        self._bits_elapsed = start + len(row_list) * iterations
+        return counts
+
+    def cells_failure_probabilities(
+        self, cells: np.ndarray, trcd_ns: float
+    ) -> np.ndarray:
+        """Per-cell probabilities of a coordinate batch under active faults.
+
+        Evaluated at the current bit clock without advancing it — the
+        compiled-plan snapshot contract.
+        """
+        device = self._device
+        cells = np.asarray(cells, dtype=np.int64).reshape(-1, 3)
+        offset = self._bits_elapsed
+        op = self._transform_op(device.operating_point(trcd_ns), offset)
+        plane = device.plane
+        offsets = np.asarray([offset], dtype=np.int64)
+        out = np.empty(len(cells), dtype=np.float64)
+        for i, (bank, row, col) in enumerate(cells):
+            base = plane.row_probabilities(int(bank), int(row), op)[int(col)]
+            ctx = AccessContext(
+                bank=int(bank), row=int(row), col=int(col), trcd_ns=trcd_ns
+            )
+            out[i] = self._transform_probabilities(
+                np.asarray([base], dtype=np.float64), offsets, ctx
+            )[0]
+        return out
+
+    def sample_cells_bits(
+        self,
+        cells: np.ndarray,
+        count: int,
+        trcd_ns: float,
+        mixture: bool = False,
+        probabilities: Optional[np.ndarray] = None,
+        stored_bits: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Faulted counterpart of :meth:`DramDevice.sample_cells_bits`.
+
+        With no fault window overlapping the batch, the wrapped device's
+        batched path runs unchanged (the clock still advances).  Under
+        active windows, ``mixture=False`` replays the per-cell loop —
+        cell ``j``'s draws at offsets ``start + j·count …`` — exactly as
+        sequential :meth:`sample_cell_bits` calls, keeping seeded
+        identification bit-identical; ``mixture=True`` applies faults in
+        the output's iteration-major bit order (offset ``start + i·N +
+        j`` for iteration ``i``, cell ``j``), matching where each bit
+        lands in the generated stream.
+
+        ``probabilities``/``stored_bits`` snapshots are accepted for
+        interface parity but deliberately dropped: a plan compiled while
+        a fault window covered the bit clock carries transformed values,
+        and the clock's movement is invisible to ``state_epoch`` — so
+        faulted sampling always re-derives from the live schedule.
+        """
+        del probabilities, stored_bits
+        device = self._device
+        cells = np.asarray(cells, dtype=np.int64).reshape(-1, 3)
+        start = self._bits_elapsed
+        total = count * len(cells)
+        if not self._schedule.overlapping(start, start + max(total, 1)):
+            bits = device.sample_cells_bits(
+                cells, count, trcd_ns, mixture=mixture
+            )
+            self._bits_elapsed = start + total
+            return bits
+        if not mixture:
+            columns = [
+                self.sample_cell_bits(
+                    int(bank), int(row), int(col), count, trcd_ns
+                )
+                for bank, row, col in cells
+            ]
+            return np.ascontiguousarray(np.stack(columns, axis=0).T)
+        return self._sample_cells_iteration_major(cells, count, trcd_ns)
+
+    def _sample_cells_iteration_major(
+        self, cells: np.ndarray, count: int, trcd_ns: float
+    ) -> np.ndarray:
+        """Faulted batched sampling in output (iteration-major) order."""
+        device = self._device
+        n = len(cells)
+        start = self._bits_elapsed
+        op = self._transform_op(device.operating_point(trcd_ns), start)
+        plane = device.plane
+        stored = np.empty(n, dtype=np.uint8)
+        probs = np.empty((count, n), dtype=np.float64)
+        contexts = []
+        strides = start + np.arange(count, dtype=np.int64) * n
+        for j, (bank, row, col) in enumerate(cells):
+            key = (int(bank), int(row), int(col))
+            stored[j] = plane.row_stored(key[0], key[1])[key[2]]
+            base = plane.row_probabilities(key[0], key[1], op)[key[2]]
+            ctx = AccessContext(
+                bank=key[0], row=key[1], col=key[2], trcd_ns=trcd_ns
+            )
+            contexts.append(ctx)
+            probs[:, j] = self._transform_probabilities(
+                np.full(count, base, dtype=np.float64), strides + j, ctx
+            )
+        flips = device.noise.bernoulli(probs)
+        bits = np.where(
+            flips, (1 - stored)[np.newaxis, :], stored[np.newaxis, :]
+        ).astype(np.uint8)
+        for j, ctx in enumerate(contexts):
+            bits[:, j] = self._transform_bits(bits[:, j], strides + j, ctx)
+        self._bits_elapsed = start + count * n
+        return bits
 
     def probe_word(
         self, bank: int, row: int, word: int, trcd_ns: float
@@ -276,6 +424,27 @@ class FaultyNoiseSource(NoiseSource):
         """Bernoulli draws with scheduled probability faults applied."""
         arr = np.asarray(probabilities, dtype=np.float64)
         return super().bernoulli(self._faulted(arr).reshape(arr.shape))
+
+    def bernoulli_plane(
+        self,
+        probabilities: np.ndarray,
+        count: int,
+        invert: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Faulted probability-plane draws.
+
+        The mixture decomposition assumes per-column constant
+        probabilities, which scheduled faults break (they vary with the
+        draw clock), so this falls back to the full faulted Bernoulli
+        matrix in the same iteration-major shape.  Faults transform the
+        *flip* probabilities, as in :meth:`bernoulli`; the ``invert``
+        column fold is applied on top of the faulted draws.
+        """
+        probs = np.asarray(probabilities, dtype=np.float64).ravel()
+        flips = self.bernoulli(np.broadcast_to(probs, (count, probs.size)))
+        if invert is not None:
+            flips = flips ^ np.asarray(invert).ravel().astype(bool)[np.newaxis, :]
+        return flips
 
     def binomial(self, trials: int, probabilities: np.ndarray) -> np.ndarray:
         """Binomial draws with scheduled probability faults applied."""

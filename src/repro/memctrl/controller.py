@@ -14,11 +14,14 @@ adds the two hooks D-RaNGe needs beyond ordinary request service
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.dram.device import DramDevice
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.core.plan import CompiledSamplePlan
 from repro.errors import ConfigurationError, ProtocolError
 from repro.memctrl.registers import TimingRegisterFile
 from repro.memctrl.requests import MemRequest
@@ -107,6 +110,25 @@ class MemoryController:
         self._engine.read(bank, trcd_ns=trcd_ns)
         bits = target.read(word, op=self._device.operating_point(trcd_ns))
         return bits
+
+    def reduced_read_burst(self, plan: "CompiledSamplePlan") -> np.ndarray:
+        """Play one full compiled-plan iteration through the timing engine.
+
+        Issues, for every word of the plan in order, the exact command
+        sequence of Algorithm 2 lines 8-15 — reduced read, harvest the
+        RNG-cell bits, write the pattern word back, precharge — and
+        returns the iteration's harvested bits in plan order.  One call
+        per iteration replaces ``2 × banks`` host round-trips; the
+        engine trace still records every command, so throughput/energy
+        accounting is unchanged.
+        """
+        out = np.empty(plan.n_cells, dtype=np.uint8)
+        for word in plan.words:
+            read = self.reduced_read(word.bank, word.row, word.word)
+            out[word.start : word.start + word.offsets.size] = read[word.offsets]
+            self.writeback(word.bank, word.word, word.writeback)
+            self.precharge(word.bank)
+        return out
 
     def writeback(self, bank: int, word: int, bits: np.ndarray) -> None:
         """Write a word back into the currently open row (Alg. 2 line 10)."""

@@ -60,6 +60,119 @@ class NoiseSource:
         probs = np.clip(np.asarray(probabilities, dtype=np.float64), 0.0, 1.0)
         return self._rng.random(probs.shape) < probs
 
+    def bernoulli_plane(
+        self,
+        probabilities: npt.ArrayLike,
+        count: int,
+        invert: Optional[npt.ArrayLike] = None,
+    ) -> npt.NDArray[np.bool_]:
+        """``count`` independent Bernoulli rows over a probability plane.
+
+        Returns a ``(count, n)`` boolean matrix whose column ``j`` holds
+        ``count`` independent draws at ``probabilities[j]`` — the hot
+        path behind batched cell sampling, where the same per-cell
+        probabilities are re-drawn for every Algorithm 2 iteration.
+
+        ``invert``, when given, is a per-column truthy mask: column
+        ``j`` of the result is logically negated where ``invert[j]`` —
+        i.e. a draw at ``1 − p[j]``.  The negation is folded into the
+        sampling threshold, so callers XOR-ing a stored bit on top of
+        flip draws get the fold for free instead of a full-matrix pass.
+
+        Exactness is preserved while avoiding one ``float64`` uniform
+        per bit, by mixture decomposition: each (possibly inverted) p is
+        split as ``p = q + δ`` with ``q = floor(256·p)/256`` a dyadic
+        base resolved from one uniform byte per draw (``byte < 256·q``),
+        plus a sparse correction ``Bernoulli(w)``, ``w = δ/(1−q)``,
+        OR-ed on top.  ``P(base ∪ correction) = q + (1−q)·w = p``
+        exactly.  Corrections are placed by geometric gap sampling, so
+        their cost scales with how many occur, not with ``count``.
+
+        The byte/gap draw pattern consumes the generator stream
+        differently from :meth:`bernoulli`; seeded streams are
+        reproducible per path, not across paths.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        probs = np.clip(
+            np.asarray(probabilities, dtype=np.float64).ravel(), 0.0, 1.0
+        )
+        n = probs.size
+        if count == 0 or n == 0:
+            return np.zeros((count, n), dtype=np.bool_)
+        if invert is not None:
+            flip_mask = np.asarray(invert).ravel().astype(bool)
+            probs = np.where(flip_mask, 1.0 - probs, probs)
+
+        scaled = np.floor(probs * 256.0).astype(np.int64)
+        pinned = scaled >= 256  # p == 1.0 exactly
+        threshold = np.where(pinned, 0, scaled).astype(np.uint8)
+        q = np.minimum(scaled, 256).astype(np.float64) / 256.0
+        delta = np.maximum(probs - q, 0.0)
+        w = np.zeros(n, dtype=np.float64)
+        live = (delta > 0.0) & (q < 1.0)
+        w[live] = delta[live] / (1.0 - q[live])
+
+        # Uniform bytes via full-range 64-bit words (the generator's
+        # native output — ~3x faster than a uint8 integers draw).
+        total = count * n
+        words = self._rng.integers(
+            0, 2**64, size=-(-total // 8), dtype=np.uint64
+        )
+        raw = words.view(np.uint8)[:total].reshape(count, n)
+        flips = raw < threshold[np.newaxis, :]
+        if pinned.any():
+            flips[:, pinned] = True
+        if live.any():
+            self._scatter_corrections(flips, np.nonzero(live)[0], w[live], count)
+        return flips
+
+    def _scatter_corrections(
+        self,
+        flips: npt.NDArray[np.bool_],
+        cells: npt.NDArray[np.int64],
+        w: npt.NDArray[np.float64],
+        count: int,
+    ) -> None:
+        """OR sparse ``Bernoulli(w[k])`` hits into ``flips[:, cells[k]]``.
+
+        Hit positions come from geometric inter-arrival gaps
+        ``1 + floor(log(1−u)/log(1−w))``; each cell gets an
+        8-sigma-padded gap budget, with a scalar tail loop absorbing the
+        (astronomically rare) undershoot so the result stays exact.
+        """
+        expected = count * w
+        budget = np.ceil(expected + 8.0 * np.sqrt(expected) + 16.0).astype(np.int64)
+        total = int(budget.sum())
+        u = self._rng.random(total)
+        w_flat = np.repeat(w, budget)
+        # Tiny w makes raw gaps astronomically large; clamp to ``count``
+        # before the integer cast (a gap of count+1 already lands every
+        # subsequent position past the matrix, so clamping is exact).
+        raw_gaps = np.fmin(np.floor(np.log1p(-u) / np.log1p(-w_flat)), float(count))
+        gaps = 1 + raw_gaps.astype(np.int64)
+        cum = np.cumsum(gaps)
+        seg_end = np.cumsum(budget)
+        seg_off = np.concatenate(([np.int64(0)], cum[seg_end[:-1] - 1]))
+        pos = cum - np.repeat(seg_off, budget) - 1
+        col = np.repeat(cells, budget)
+        in_range = pos < count
+        flips[pos[in_range], col[in_range]] = True
+
+        # A segment whose budget ran out before reaching ``count`` may
+        # still owe corrections; finish those cells one gap at a time.
+        last = cum[seg_end - 1] - seg_off - 1
+        for k in np.nonzero(last < count)[0]:
+            position = int(last[k])
+            log1m_w = float(np.log1p(-w[k]))
+            column = int(cells[k])
+            while True:
+                draw = float(self._rng.random())
+                position += 1 + int(np.floor(np.log1p(-draw) / log1m_w))
+                if position >= count:
+                    break
+                flips[position, column] = True
+
     def gaussian(
         self, shape: ShapeLike, sigma: float = 1.0
     ) -> npt.NDArray[np.float64]:

@@ -13,7 +13,7 @@ before devices are declared "at temperature".
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.dram.device import DramDevice
 from repro.errors import ConfigurationError
@@ -60,6 +60,15 @@ class ThermalChamber:
     def dram_temperature_c(self) -> float:
         """Temperature of devices inside the chamber."""
         return self._ambient_c + DRAM_OFFSET_C
+
+    @property
+    def devices(self) -> Tuple[DramDevice, ...]:
+        """Devices currently inside the chamber."""
+        return tuple(self._devices)
+
+    def __contains__(self, device: object) -> bool:
+        """True when ``device`` sits in the chamber (identity semantics)."""
+        return any(held is device for held in self._devices)
 
     def add_device(self, device: DramDevice) -> None:
         """Place a device in the chamber (adopts the chamber temperature)."""
