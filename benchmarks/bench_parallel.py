@@ -1,0 +1,296 @@
+"""Parallel execution engine benchmark: speedup across worker counts.
+
+Times the three rewired hot paths at 1/2/4 workers against their serial
+baselines:
+
+* ``profile_region`` — worker-sharded Algorithm 1 over (bank, row-block)
+  tiles (process workers + shared memory where fork is available);
+* ``identify_rng_cells`` — chunk-sharded symbol filtering;
+* ``MultiChannelDRange.request`` — concurrent 4-channel harvesting
+  versus a serial channel drain.
+
+Acceptance floors (enforced only on a machine with >= 4 cores, in full
+mode): ``profile_region`` >= 3x faster at 4 workers than serial, and
+the 4-channel request wall-clock <= 0.5x the serial drain.  Seeded
+parallel outputs are asserted bit-identical across worker counts
+unconditionally — that invariant does not depend on core count.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_parallel.py --benchmark-only``;
+* ``python benchmarks/bench_parallel.py [--quick]`` — standalone runner
+  that writes ``BENCH_parallel.json``; ``--quick`` is the CI smoke mode
+  (small region, no speedup floors).
+"""
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.identification import identify_rng_cells
+from repro.core.multichannel import MultiChannelDRange
+from repro.core.profiling import Region, profile_region
+from repro.dram.device import DeviceFactory
+from repro.parallel import process_backend_available
+
+MASTER_SEED = 2019
+NOISE_SEED = 20190216
+TRCD_NS = 10.0
+WORKER_COUNTS = (1, 2, 4)
+
+FULL_REGION = Region(banks=(0, 1, 2, 3), row_start=0, row_count=512)
+QUICK_REGION = Region(banks=(0, 1), row_start=0, row_count=128)
+
+FULL_REQUEST_BITS = 1 << 20
+QUICK_REQUEST_BITS = 1 << 14
+
+#: Acceptance floors, applied in full mode on >= MIN_CORES cores.
+MIN_CORES = 4
+PROFILE_SPEEDUP_FLOOR = 3.0
+REQUEST_RATIO_CEILING = 0.5
+
+
+def _device():
+    return DeviceFactory(
+        master_seed=MASTER_SEED, noise_seed=NOISE_SEED
+    ).make_device("A", 0)
+
+
+def _pattern(device):
+    from repro.dram.datapattern import BEST_RNG_PATTERN, pattern_by_name
+
+    return pattern_by_name(BEST_RNG_PATTERN[device.profile.name])
+
+
+def _timed(func):
+    start = time.perf_counter()
+    result = func()
+    return (time.perf_counter() - start) * 1e3, result
+
+
+def bench_profile(region, iterations):
+    """profile_region wall-clock, serial and at each worker count."""
+    pattern = _pattern(_device())
+    timings = {}
+    serial_ms, serial = _timed(
+        lambda: profile_region(
+            _device(), pattern, region=region, iterations=iterations
+        )
+    )
+    timings["serial"] = serial_ms
+    reference = None
+    for workers in WORKER_COUNTS:
+        ms, result = _timed(
+            lambda w=workers: profile_region(
+                _device(),
+                pattern,
+                region=region,
+                iterations=iterations,
+                max_workers=w,
+            )
+        )
+        timings[str(workers)] = ms
+        if reference is None:
+            reference = result.counts
+        elif not np.array_equal(reference, result.counts):
+            raise SystemExit(
+                f"profile_region counts diverged at {workers} workers"
+            )
+    if serial.counts.sum() <= 0:
+        raise SystemExit("profile produced no failures; benchmark invalid")
+    return timings, serial
+
+
+def bench_identify(characterization, samples=1000):
+    """identify_rng_cells wall-clock, serial and at each worker count."""
+    candidates = characterization.cells_in_band()
+    if not len(candidates):
+        raise SystemExit("no candidate cells; benchmark invalid")
+    region = characterization.region
+    pattern = _pattern(_device())
+
+    def prepared():
+        device = _device()
+        profile_region(
+            device,
+            pattern,
+            region=region,
+            iterations=characterization.iterations,
+        )
+        return device
+
+    timings = {}
+    device = prepared()
+    timings["serial"], _ = _timed(
+        lambda: identify_rng_cells(
+            device, candidates, trcd_ns=TRCD_NS, samples=samples
+        )
+    )
+    reference = None
+    for workers in WORKER_COUNTS:
+        device = prepared()
+        ms, cells = _timed(
+            lambda w=workers, d=device: identify_rng_cells(
+                d, candidates, trcd_ns=TRCD_NS, samples=samples, max_workers=w
+            )
+        )
+        timings[str(workers)] = ms
+        if reference is None:
+            reference = cells
+        elif cells != reference:
+            raise SystemExit(
+                f"identify_rng_cells diverged at {workers} workers"
+            )
+    return timings, len(candidates)
+
+
+def bench_request(num_bits, prepare_region):
+    """4-channel request wall-clock at each worker count."""
+
+    def build(workers):
+        factory = DeviceFactory(master_seed=MASTER_SEED, noise_seed=NOISE_SEED)
+        devices = [factory.make_device("A", index) for index in range(4)]
+        system = MultiChannelDRange(devices, max_workers=workers)
+        if system.prepare(region=prepare_region, iterations=100) == 0:
+            raise SystemExit("no RNG cells; benchmark invalid")
+        # Warm the compiled plans so the timing isolates harvesting.
+        system.request(1024)
+        return system
+
+    timings = {}
+    reference = None
+    for workers in (1,) + WORKER_COUNTS[1:]:
+        system = build(workers)
+        ms, bits = _timed(lambda s=system: s.request(num_bits))
+        timings[str(workers)] = ms
+        if reference is None:
+            reference = bits
+        elif not np.array_equal(reference, bits):
+            raise SystemExit(f"request bits diverged at {workers} workers")
+    throughput = {
+        workers: num_bits / (ms / 1e3) / 1e6
+        for workers, ms in timings.items()
+    }
+    return timings, throughput
+
+
+def run(quick=False):
+    region = QUICK_REGION if quick else FULL_REGION
+    request_bits = QUICK_REQUEST_BITS if quick else FULL_REQUEST_BITS
+    iterations = 50 if quick else 100
+
+    profile_timings, characterization = bench_profile(region, iterations)
+    identify_timings, n_candidates = bench_identify(characterization)
+    request_timings, request_throughput = bench_request(
+        request_bits,
+        Region(banks=(0, 1), row_start=0, row_count=128 if quick else 256),
+    )
+
+    cores = os.cpu_count() or 1
+    results = {
+        "quick": bool(quick),
+        "cores": cores,
+        "process_backend": process_backend_available(),
+        "profile_ms": {k: round(v, 3) for k, v in profile_timings.items()},
+        "identify_ms": {k: round(v, 3) for k, v in identify_timings.items()},
+        "identify_candidates": int(n_candidates),
+        "request_bits": int(request_bits),
+        "request_ms": {k: round(v, 3) for k, v in request_timings.items()},
+        "request_throughput_mbps": {
+            k: round(v, 3) for k, v in request_throughput.items()
+        },
+        "profile_speedup_4w": round(
+            profile_timings["serial"] / profile_timings["4"], 2
+        ),
+        "request_ratio_4w": round(
+            request_timings["4"] / request_timings["1"], 3
+        ),
+    }
+    return results
+
+
+def _format(results):
+    lines = [
+        f"parallel engine on {results['cores']} core(s) "
+        f"(process backend: {results['process_backend']}):",
+        "  stage        serial       1w          2w          4w",
+    ]
+    for label, key in (
+        ("profile", "profile_ms"),
+        ("identify", "identify_ms"),
+    ):
+        t = results[key]
+        lines.append(
+            f"  {label:<10} {t['serial']:9.1f}ms {t['1']:9.1f}ms "
+            f"{t['2']:9.1f}ms {t['4']:9.1f}ms"
+        )
+    t = results["request_ms"]
+    lines.append(
+        f"  request    {'':>11} {t['1']:9.1f}ms {t['2']:9.1f}ms "
+        f"{t['4']:9.1f}ms"
+    )
+    lines.append(
+        f"  profile speedup at 4 workers: {results['profile_speedup_4w']}x; "
+        f"4-channel request ratio: {results['request_ratio_4w']}"
+    )
+    return "\n".join(lines)
+
+
+def _enforce_floors(results):
+    """Apply acceptance floors when the machine can express parallelism."""
+    if results["quick"]:
+        return []
+    failures = []
+    if results["cores"] >= MIN_CORES:
+        if results["profile_speedup_4w"] < PROFILE_SPEEDUP_FLOOR:
+            failures.append(
+                f"profile speedup {results['profile_speedup_4w']}x below "
+                f"the {PROFILE_SPEEDUP_FLOOR}x floor"
+            )
+        if results["request_ratio_4w"] > REQUEST_RATIO_CEILING:
+            failures.append(
+                f"request ratio {results['request_ratio_4w']} above the "
+                f"{REQUEST_RATIO_CEILING} ceiling"
+            )
+    return failures
+
+
+def test_parallel_engine(benchmark, emit):
+    quick = (os.cpu_count() or 1) < MIN_CORES
+    results = benchmark.pedantic(
+        lambda: run(quick=quick), rounds=1, iterations=1
+    )
+    emit(_format(results))
+    failures = _enforce_floors(results)
+    assert not failures, "; ".join(failures)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small region, no speedup floors",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_parallel.json", help="result file path"
+    )
+    args = parser.parse_args()
+
+    results = run(quick=args.quick)
+    print(_format(results))
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failures = _enforce_floors(results)
+    if failures:
+        raise SystemExit("; ".join(failures))
+
+
+if __name__ == "__main__":
+    main()

@@ -212,13 +212,25 @@ class DRange:
         )
 
     def random_bits(
-        self, num_bits: int, fast: bool = True
+        self,
+        num_bits: int,
+        fast: bool = True,
+        out: Optional[npt.NDArray[np.uint8]] = None,
     ) -> npt.NDArray[np.uint8]:
-        """Generate ``num_bits`` true random bits."""
+        """Generate ``num_bits`` true random bits.
+
+        ``out`` (fast path only) receives the bits in place — used by
+        the multi-channel harvester to land each channel's stream
+        directly in its interleave column.
+        """
         sampler = self.sampler()
         if fast:
-            return sampler.generate_fast(num_bits)
-        return sampler.generate(num_bits)
+            return sampler.generate_fast(num_bits, out=out)
+        bits = sampler.generate(num_bits)
+        if out is not None:
+            out[...] = bits
+            return out
+        return bits
 
     def random_bytes(self, num_bytes: int, fast: bool = True) -> bytes:
         """Generate ``num_bytes`` true random bytes."""

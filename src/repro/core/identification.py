@@ -20,6 +20,9 @@ import numpy as np
 from repro.dram.device import DramDevice
 from repro.dram.timing import CHARACTERIZATION_TRCD_NS
 from repro.errors import ConfigurationError, IdentificationError
+from repro.noise import NoiseSource
+from repro.parallel.pool import WorkerPool
+from repro.parallel.tiles import partition_chunks
 
 #: Symbol width used by the entropy filter.
 SYMBOL_BITS = 3
@@ -178,6 +181,11 @@ class RngCellRegistry:
         return sum(len(cells) for cells in self._by_temperature.values())
 
 
+#: Chunk size for the parallel identification path: one worker task per
+#: 128-candidate slice, matching the serial ``max_cells`` chunking.
+IDENTIFY_CHUNK = 128
+
+
 def identify_rng_cells(
     device: DramDevice,
     candidates: np.ndarray,
@@ -185,6 +193,8 @@ def identify_rng_cells(
     samples: int = DEFAULT_SAMPLES,
     tolerance: float = DEFAULT_TOLERANCE,
     max_cells: Optional[int] = None,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> List[RngCell]:
     """Apply the 3-bit-symbol entropy filter to candidate cells.
 
@@ -198,6 +208,17 @@ def identify_rng_cells(
     replaced, so seeded identification results are unchanged; with
     ``max_cells`` set, sampling proceeds in chunks and stops at the
     first chunk that fills the cap.
+
+    ``parallel``/``max_workers`` select the worker-sharded path: the
+    candidate list is cut into fixed 128-cell chunks, the coordinator
+    snapshots per-cell probabilities and stored bits from the
+    probability plane, and each chunk is drawn by a worker from its own
+    index-assigned child noise stream — a pure function of small
+    arrays, so workers never touch the device.  Seeded parallel results
+    are bit-identical for any worker count; they differ from the
+    (default) serial path, which preserves the historical single-stream
+    draw order.  ``parallel=None`` enables the sharded path exactly
+    when ``max_workers`` is given.
     """
     candidates = np.asarray(candidates)
     if candidates.ndim != 2 or (candidates.size and candidates.shape[1] != 3):
@@ -206,10 +227,16 @@ def identify_rng_cells(
         )
     if samples < 100:
         raise ConfigurationError(f"samples must be >= 100, got {samples}")
+    if parallel is None:
+        parallel = max_workers is not None
 
     accepted: List[RngCell] = []
     if not len(candidates):
         return accepted
+    if parallel:
+        return _identify_parallel(
+            device, candidates, trcd_ns, samples, tolerance, max_cells, max_workers
+        )
     chunk = len(candidates) if max_cells is None else min(len(candidates), 128)
     for start in range(0, len(candidates), chunk):
         batch = np.asarray(candidates[start : start + chunk], dtype=np.int64)
@@ -223,6 +250,82 @@ def identify_rng_cells(
                     col=int(batch[j, 2]),
                     entropy=stream_entropy(stream),
                     fail_probability=float(stream.mean()),
+                )
+            )
+            if max_cells is not None and len(accepted) >= max_cells:
+                return accepted
+    return accepted
+
+
+def _draw_chunk_bits(
+    task: Tuple[np.ndarray, np.ndarray, int, NoiseSource]
+) -> np.ndarray:
+    """Worker entry: one chunk's (samples, n) bit matrix.
+
+    A pure function of the snapshotted probabilities/stored bits and the
+    chunk's own child stream — no device access, so it is safe on any
+    backend and its output depends only on the chunk index.
+    """
+    probs, stored, samples, stream = task
+    flips = stream.bernoulli_plane(probs, samples, invert=stored)
+    return flips.view(np.uint8)
+
+
+def _identify_parallel(
+    device: DramDevice,
+    candidates: np.ndarray,
+    trcd_ns: float,
+    samples: int,
+    tolerance: float,
+    max_cells: Optional[int],
+    max_workers: Optional[int],
+) -> List[RngCell]:
+    """Worker-sharded symbol filter over fixed candidate chunks.
+
+    The coordinator resolves every candidate's failure probability and
+    stored bit once (plane-backed, deterministic), fans the chunks out
+    to thread workers — the draw is numpy-bound and releases the GIL,
+    so processes would only add pickling overhead — and assembles
+    accepted cells in chunk order, truncating at ``max_cells`` exactly
+    like the serial path.
+    """
+    cells = np.asarray(candidates, dtype=np.int64)
+    probs = device.cells_failure_probabilities(cells, trcd_ns)
+    stored = device.cells_stored_bits(cells)
+    if hasattr(device, "advance"):
+        # Clocked proxies (fault injectors): the snapshot above was
+        # taken at the current bit clock; account for the reads the
+        # workers are about to perform so later fault windows line up.
+        device.advance(samples * len(cells))
+    chunks = partition_chunks(len(cells), IDENTIFY_CHUNK)
+    streams = device.noise.spawn_streams(len(chunks))
+    tasks = [
+        (probs[start:stop], stored[start:stop], samples, streams[k])
+        for k, (start, stop) in enumerate(chunks)
+    ]
+
+    pool = WorkerPool(max_workers=max_workers, backend="thread")
+    outcomes = pool.execute(_draw_chunk_bits, tasks)
+
+    accepted: List[RngCell] = []
+    for k, (start, stop) in enumerate(chunks):
+        outcome = outcomes[k]
+        if outcome.ok:
+            bits = outcome.value
+        else:
+            # Serial re-draw with the chunk's own stream — the graceful
+            # fallback when a worker failed to return its matrix.
+            bits = _draw_chunk_bits(tasks[k])
+        batch = cells[start:stop]
+        for j in _passing_columns(bits, tolerance):
+            stream_bits = bits[:, j]
+            accepted.append(
+                RngCell(
+                    bank=int(batch[j, 0]),
+                    row=int(batch[j, 1]),
+                    col=int(batch[j, 2]),
+                    entropy=stream_entropy(stream_bits),
+                    fail_probability=float(stream_bits.mean()),
                 )
             )
             if max_cells is not None and len(accepted) >= max_cells:

@@ -42,6 +42,7 @@ from repro.health import STARTUP_MIN_BITS, HealthMonitor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.drange import DRange
+    from repro.parallel.batching import BatchingFrontEnd
 
 __all__ = ["DRangeService", "RecoveryPolicy", "ServiceEvent"]
 
@@ -405,6 +406,27 @@ class DRangeService:
         """Convenience: ``num_bytes`` random bytes."""
         bits = self.request(num_bytes * 8)
         return np.packbits(bits).tobytes()
+
+    def batching_front_end(
+        self,
+        max_batch_bits: int = 1 << 16,
+        max_pending_requests: int = 64,
+    ) -> "BatchingFrontEnd":
+        """A bounded request-queue front end over this service.
+
+        Concurrent small requests park in a bounded queue and are
+        coalesced into one :meth:`request` (and therefore at most a
+        handful of compiled-plan executions) per batch — the serving
+        shape for many concurrent requesters.  See
+        :class:`~repro.parallel.batching.BatchingFrontEnd`.
+        """
+        from repro.parallel.batching import BatchingFrontEnd
+
+        return BatchingFrontEnd(
+            self,
+            max_batch_bits=max_batch_bits,
+            max_pending_requests=max_pending_requests,
+        )
 
     def sustained_throughput_mbps(self, full_rate_mbps: float) -> float:
         """Sustained rate under the configured duty cycle.

@@ -31,6 +31,7 @@ from repro.core.profiling import Region
 from repro.dram.device import DramDevice
 from repro.errors import ConfigurationError, RecoveryExhaustedError, ReproError
 from repro.health import STARTUP_MIN_BITS, HealthMonitor
+from repro.parallel.pool import WorkerPool
 
 
 class MultiChannelDRange:
@@ -39,6 +40,14 @@ class MultiChannelDRange:
     ``min_entropy`` tunes the per-channel health-test cutoffs;
     ``recovery`` bounds the per-channel self-healing attempts used by
     :meth:`request` (a default policy applies when omitted).
+
+    ``max_workers`` sizes the harvest pool: channels are issued
+    concurrently (threads — the sampling kernels are numpy-bound and
+    release the GIL), mirroring the paper's independent per-channel
+    command buses.  Each channel owns its device and noise stream, so
+    harvested bits are identical at any worker count; monitors are fed
+    by the coordinator in channel order, preserving the serial
+    quarantine/recovery semantics exactly.
     """
 
     def __init__(
@@ -47,6 +56,7 @@ class MultiChannelDRange:
         trcd_ns: float = 10.0,
         min_entropy: float = 0.9,
         recovery: Optional[RecoveryPolicy] = None,
+        max_workers: Optional[int] = None,
     ) -> None:
         if not devices:
             raise ConfigurationError("need at least one channel device")
@@ -61,6 +71,33 @@ class MultiChannelDRange:
         self._events = EventLog()
         self._prepare_kwargs: Dict[str, object] = {}
         self._bits_served = 0
+        self._max_workers = max_workers
+
+    def _harvest(
+        self, indices: Sequence[int], per_channel: int
+    ) -> List[np.ndarray]:
+        """One concurrent harvest round: ``per_channel`` bits per channel.
+
+        Returns the per-channel streams in ``indices`` order.  A worker
+        failure is re-raised for the lowest failing channel index, the
+        same error the serial loop would have surfaced first.
+        """
+        buffers = [
+            np.empty(per_channel, dtype=np.uint8) for _ in indices
+        ]
+
+        def harvest_one(pos: int) -> int:
+            index = indices[pos]
+            self._channels[index].random_bits(per_channel, out=buffers[pos])
+            return index
+
+        pool = WorkerPool(max_workers=self._max_workers, backend="thread")
+        outcomes = pool.execute(harvest_one, list(range(len(indices))))
+        for outcome in outcomes:
+            if not outcome.ok:
+                assert outcome.error is not None
+                raise outcome.error
+        return buffers
 
     # ------------------------------------------------------------------
     # Introspection
@@ -172,11 +209,8 @@ class MultiChannelDRange:
         if num_bits <= 0:
             raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
         per_channel = -(-num_bits // self.num_channels)
-        interleaved = np.empty(
-            (per_channel, self.num_channels), dtype=np.uint8
-        )
-        for index, channel in enumerate(self._channels):
-            interleaved[:, index] = channel.random_bits(per_channel)
+        streams = self._harvest(range(self.num_channels), per_channel)
+        interleaved = np.stack(streams, axis=1)
         return interleaved.reshape(-1)[:num_bits]
 
     def random_bytes(self, num_bytes: int) -> bytes:
@@ -297,10 +331,14 @@ class MultiChannelDRange:
                     "all channels quarantined; no healthy entropy source left"
                 )
             per_channel = -(-num_bits // len(active))
+            # Harvest every active channel concurrently; feed the
+            # monitors afterwards in channel order, so alarm/quarantine
+            # events fire exactly as the serial loop recorded them.
+            harvested = self._harvest(active, per_channel)
             streams = []
             degraded = []
-            for index in active:
-                bits = self._channels[index].random_bits(per_channel)
+            for pos, index in enumerate(active):
+                bits = harvested[pos]
                 if self._monitors[index].feed(bits):
                     streams.append(bits)
                 else:

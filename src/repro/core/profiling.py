@@ -19,7 +19,7 @@ Two execution paths produce statistically identical results:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,10 @@ from repro.dram.datapattern import DataPattern
 from repro.dram.device import DramDevice
 from repro.dram.timing import CHARACTERIZATION_TRCD_NS
 from repro.errors import ConfigurationError
+from repro.noise import NoiseSource
+from repro.parallel.pool import WorkerPool, process_backend_available
+from repro.parallel.shared import SharedArray
+from repro.parallel.tiles import Tile, partition_rows
 
 
 @dataclass(frozen=True)
@@ -105,15 +109,35 @@ def profile_region(
     iterations: int = 100,
     command_level: bool = False,
     write_pattern: bool = True,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> CharacterizationResult:
     """Run Algorithm 1 over ``region`` and return per-cell fail counts.
 
     Parameters mirror the paper's testing methodology (Section 4):
     ``trcd_ns`` defaults to the characterization value of 10 ns and
     ``iterations`` to the 100 rounds used for Fprob estimates.
+
+    ``parallel``/``max_workers`` select the worker-sharded path: the
+    region is cut into fixed (bank, row-block) tiles, each tile is
+    evaluated by a worker drawing from its own index-assigned child
+    noise stream (:meth:`~repro.noise.NoiseSource.spawn_streams`), and
+    the counts land in the caller's preallocated array — via shared
+    memory for process workers, direct writes for threads.  A seeded
+    parallel run is bit-identical for any worker count; it differs from
+    the (default) serial path, which preserves the historical
+    single-stream draw order.  ``parallel=None`` enables the sharded
+    path exactly when ``max_workers`` is given.
     """
     if iterations <= 0:
         raise ConfigurationError(f"iterations must be positive, got {iterations}")
+    if parallel is None:
+        parallel = max_workers is not None
+    if parallel and command_level:
+        raise ConfigurationError(
+            "command_level profiling has no parallel path; it exists to "
+            "validate the fast paths one command at a time"
+        )
     if region is None:
         region = Region()
     geometry = device.geometry
@@ -135,14 +159,17 @@ def profile_region(
     )
     if command_level:
         _profile_command_level(device, region, trcd_ns, iterations, counts)
+    elif parallel:
+        _profile_parallel(device, region, trcd_ns, iterations, counts, max_workers)
     else:
-        # One batched binomial draw per bank; row probabilities are
-        # served (and kept warm for the identification pass that
-        # follows) by the device's probability plane.  Stream
-        # consumption matches the former per-row loop exactly.
+        # One batched binomial draw per bank, written into the
+        # preallocated region array; row probabilities are served (and
+        # kept warm for the identification pass that follows) by the
+        # device's probability plane.  Stream consumption matches the
+        # former per-row loop exactly.
         for bank_pos, bank in enumerate(region.banks):
-            counts[bank_pos] = device.sample_rows_fail_counts(
-                bank, region.rows, trcd_ns, iterations
+            device.sample_rows_fail_counts(
+                bank, region.rows, trcd_ns, iterations, out=counts[bank_pos]
             )
 
     return CharacterizationResult(
@@ -178,6 +205,185 @@ def _profile_command_level(
                     expected = target.stored_row(row)[col_slice]
                     got = device.probe_word(bank, row, word, trcd_ns)  # 8-10
                     counts[bank_pos, row_pos, col_slice] += expected != got
+
+
+#: Module slot holding each process worker's device copy (installed by
+#: the pool initializer; inherited through fork, so the parent's
+#: materialized rows and warm stored-row cache come along for free).
+_WORKER_DEVICE: Optional[DramDevice] = None
+
+
+def _install_worker_device(device: DramDevice) -> None:
+    global _WORKER_DEVICE
+    _WORKER_DEVICE = device
+
+
+def _profile_tile_shared(task: Tuple) -> int:
+    """Process-worker entry: evaluate one tile into shared memory.
+
+    ``task`` is ``(shm_name, shape, tile, stream, trcd_ns, iterations)``;
+    the device comes from the per-process slot.  Returns the tile index
+    so the coordinator can account for completed work.
+    """
+    shm_name, shape, tile, stream, trcd_ns, iterations = task
+    device = _WORKER_DEVICE
+    assert device is not None, "worker initializer did not run"
+    shared = SharedArray.attach(shm_name, shape)
+    try:
+        device.sample_rows_fail_counts(
+            tile.bank,
+            tile.rows,
+            trcd_ns,
+            iterations,
+            out=shared.array[tile.bank_pos, tile.row_slice],
+            noise=stream,
+        )
+    finally:
+        shared.close()
+    return tile.index
+
+
+def _run_tile(
+    device: DramDevice,
+    counts: np.ndarray,
+    tile: Tile,
+    stream: NoiseSource,
+    trcd_ns: float,
+    iterations: int,
+) -> int:
+    """Thread-worker / fallback entry: tile counts written in place."""
+    device.sample_rows_fail_counts(
+        tile.bank,
+        tile.rows,
+        trcd_ns,
+        iterations,
+        out=counts[tile.bank_pos, tile.row_slice],
+        noise=stream,
+    )
+    return tile.index
+
+
+def _profile_parallel(
+    device: DramDevice,
+    region: Region,
+    trcd_ns: float,
+    iterations: int,
+    counts: np.ndarray,
+    max_workers: Optional[int],
+) -> None:
+    """Worker-sharded Algorithm 1 over fixed (bank, row-block) tiles.
+
+    Determinism: the tiling is a pure function of the region, tile ``k``
+    draws from child stream ``k``, and results are assembled by tile
+    position — so counts are bit-identical for any worker count, with
+    threads or processes, including the serial fallback.
+    """
+    tiles = partition_rows(region.banks, region.row_start, region.row_count)
+    plane = device.plane
+    # Materialize every stored row in canonical order *before* sharding:
+    # a cold row powers up by drawing from the device's own stream, and
+    # that draw must not race (threads) or diverge (processes).  Rows
+    # already written/materialized make this a cache warm-up.
+    for tile in tiles:
+        for row in tile.rows:
+            plane.row_stored(tile.bank, row)
+    streams = device.noise.spawn_streams(len(tiles))
+
+    if hasattr(device, "bits_elapsed"):
+        # Clocked proxies (fault injectors) carry a shared bit clock
+        # whose per-tile offsets must not depend on scheduling; run the
+        # tiles in index order so the clock advances deterministically.
+        # Results stay bit-identical across worker counts (trivially).
+        for tile, stream in zip(tiles, streams):
+            _run_tile(device, counts, tile, stream, trcd_ns, iterations)
+        return
+
+    remaining: List[Tuple[Tile, NoiseSource]] = []
+    if process_backend_available():
+        remaining = _profile_tiles_process(
+            device, tiles, streams, trcd_ns, iterations, counts, max_workers
+        )
+    else:
+        remaining = list(zip(tiles, streams))
+    if remaining:
+        _profile_tiles_thread(
+            device, remaining, trcd_ns, iterations, counts, max_workers
+        )
+
+
+def _profile_tiles_process(
+    device: DramDevice,
+    tiles: Sequence[Tile],
+    streams: Sequence[NoiseSource],
+    trcd_ns: float,
+    iterations: int,
+    counts: np.ndarray,
+    max_workers: Optional[int],
+) -> List[Tuple[Tile, NoiseSource]]:
+    """Run tiles on fork-based process workers via shared memory.
+
+    Returns the (tile, stream) pairs that did not complete — the caller
+    re-runs those on the thread/serial path, preserving each tile's
+    stream so the fallback stays bit-identical.
+    """
+    try:
+        shared = SharedArray.create(counts.shape, dtype=counts.dtype)
+    except Exception:
+        return list(zip(tiles, streams))
+    completed: set = set()
+    try:
+        pool = WorkerPool(
+            max_workers=max_workers,
+            backend="process",
+            initializer=_install_worker_device,
+            initargs=(device,),
+        )
+        tasks = [
+            (shared.name, counts.shape, tile, streams[tile.index], trcd_ns, iterations)
+            for tile in tiles
+        ]
+        outcomes = pool.execute(_profile_tile_shared, tasks)
+        for tile, outcome in zip(tiles, outcomes):
+            if outcome.ok:
+                completed.add(tile.index)
+                bank_counts = shared.array[tile.bank_pos]
+                counts[tile.bank_pos, tile.row_slice] = bank_counts[tile.row_slice]
+    finally:
+        shared.close()
+        shared.unlink()
+    return [
+        (tile, streams[tile.index])
+        for tile in tiles
+        if tile.index not in completed
+    ]
+
+
+def _profile_tiles_thread(
+    device: DramDevice,
+    work: Sequence[Tuple[Tile, NoiseSource]],
+    trcd_ns: float,
+    iterations: int,
+    counts: np.ndarray,
+    max_workers: Optional[int],
+) -> None:
+    """Run tiles on thread workers, writing the caller's array directly."""
+
+    def run(task: Tuple[Tile, NoiseSource]) -> int:
+        tile, stream = task
+        return _run_tile(device, counts, tile, stream, trcd_ns, iterations)
+
+    pool = WorkerPool(max_workers=max_workers, backend="thread")
+    outcomes = pool.execute(run, list(work))
+    for task, outcome in zip(work, outcomes):
+        if not outcome.ok:
+            if outcome.error is not None and not isinstance(
+                outcome.error, Exception
+            ):  # pragma: no cover - defensive
+                raise outcome.error
+            # Last-resort serial re-run with the tile's own stream keeps
+            # the result identical to a clean parallel pass.
+            tile, stream = task
+            _run_tile(device, counts, tile, stream, trcd_ns, iterations)
 
 
 def profile_patterns(

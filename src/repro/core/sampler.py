@@ -156,7 +156,9 @@ class DRangeSampler:
             self.teardown()
         return chunks.reshape(-1)[:num_bits]
 
-    def generate_fast(self, num_bits: int) -> np.ndarray:
+    def generate_fast(
+        self, num_bits: int, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Vectorized, statistically identical generation.
 
         Valid because Algorithm 2 restores every piece of state between
@@ -165,11 +167,19 @@ class DRangeSampler:
         The compiled plan's cells are sampled in one batched
         mixture-sampler call; bits come out iteration-major, cell-minor
         — the order Algorithm 2 appends them.
+
+        ``out``, when given, receives the bits in place (any uint8 view
+        of ``num_bits`` entries, e.g. one interleave column of a
+        multi-channel harvest buffer) and is returned.
         """
         if num_bits <= 0:
             raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
         if not self.data_rate_bits_per_iteration:
             raise ConfigurationError("selected words contain no RNG cells")
+        if out is not None and out.shape != (num_bits,):
+            raise ConfigurationError(
+                f"out must have shape ({num_bits},), got {out.shape}"
+            )
         self.setup()
         try:
             device = self._controller.device
@@ -185,4 +195,8 @@ class DRangeSampler:
             )
         finally:
             self.teardown()
-        return bits.reshape(-1)[:num_bits]
+        flat = bits.reshape(-1)[:num_bits]
+        if out is not None:
+            out[...] = flat
+            return out
+        return flat

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 from scipy.special import erfc, gammaincc
@@ -21,6 +21,7 @@ from repro.nist.bits import BitsLike, as_bits, require_length
 from repro.nist.gf2 import rank_gf2
 from repro.nist.result import DEFAULT_ALPHA, TestResult
 from repro.nist.serial import _psi_squared
+from repro.parallel.pool import WorkerPool, resolve_workers
 
 #: Birthday-spacings parameters: m birthdays in a 2**day_bits-day year.
 BDAY_BITS = 24
@@ -192,14 +193,62 @@ DIEHARD_TESTS: Tuple[Tuple[str, Callable[[BitsLike], TestResult]], ...] = (
 )
 
 
-def run_battery(data: BitsLike, alpha: float = DEFAULT_ALPHA) -> List[TestResult]:
-    """Run the full battery; skips tests the stream is too short for."""
+def run_battery(
+    data: BitsLike,
+    alpha: float = DEFAULT_ALPHA,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    test_timeout_s: Optional[float] = None,
+) -> List[TestResult]:
+    """Run the full battery; skips tests the stream is too short for.
+
+    ``parallel``/``max_workers`` run the tests concurrently on thread
+    workers; every test is a pure read-only function of the stream, so
+    results match the serial run and come back in canonical battery
+    order.  ``test_timeout_s`` bounds each test — a test that exceeds
+    it is dropped, like one the stream is too short for.  The runner
+    degrades to the serial loop when no pool can be created.
+    ``parallel=None`` enables the concurrent path exactly when
+    ``max_workers`` or ``test_timeout_s`` is given.
+    """
     bits = as_bits(data)
+    if parallel is None:
+        parallel = max_workers is not None or test_timeout_s is not None
+
+    raw: List[Optional[TestResult]] = []
+    if parallel and len(DIEHARD_TESTS) > 1:
+        workers = resolve_workers(max_workers)
+        if test_timeout_s is not None:
+            # Timeout enforcement needs a live executor; the serial
+            # fallback a 1-worker pool resolves to cannot interrupt a
+            # running test.
+            workers = max(workers, 2)
+        pool = WorkerPool(max_workers=workers, backend="thread")
+        outcomes = pool.execute(
+            lambda test: test(bits),
+            [test for _, test in DIEHARD_TESTS],
+            timeout_s=test_timeout_s,
+        )
+        for outcome in outcomes:
+            if outcome.ok:
+                raw.append(outcome.value)
+            elif outcome.timed_out or isinstance(
+                outcome.error, InsufficientDataError
+            ):
+                raw.append(None)
+            else:
+                assert outcome.error is not None
+                raise outcome.error
+    else:
+        for _, test in DIEHARD_TESTS:
+            try:
+                raw.append(test(bits))
+            except InsufficientDataError:
+                raw.append(None)
+
     results: List[TestResult] = []
-    for _, test in DIEHARD_TESTS:
-        try:
-            result = test(bits)
-        except InsufficientDataError:
+    for result in raw:
+        if result is None:
             continue
         # Rebuild unconditionally with the requested alpha: a float
         # inequality guard here saves nothing and trips on rounding.

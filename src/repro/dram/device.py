@@ -291,7 +291,13 @@ class DramDevice:
         return self._noise.binomial(iterations, probs)
 
     def sample_rows_fail_counts(
-        self, bank: int, rows: Iterable[int], trcd_ns: float, iterations: int
+        self,
+        bank: int,
+        rows: Iterable[int],
+        trcd_ns: float,
+        iterations: int,
+        out: Optional[np.ndarray] = None,
+        noise: Optional[NoiseSource] = None,
     ) -> np.ndarray:
         """Failure counts for many rows of one bank in one binomial draw.
 
@@ -299,16 +305,36 @@ class DramDevice:
         consumes the noise stream exactly as per-row
         :meth:`sample_row_fail_counts` calls would, so seeded results
         are bit-identical to the per-row loop it replaces.
+
+        ``out``, when given, receives the counts in place (it must be a
+        ``(len(rows), cols_per_row)`` integer view) — the contract that
+        lets parallel characterization workers write their tile of the
+        caller's preallocated region array directly.  ``noise``
+        substitutes a caller-owned stream (a
+        :meth:`~repro.noise.NoiseSource.spawn_streams` child) for the
+        device's own source; the device stream is left untouched.
         """
         op = self.operating_point(trcd_ns)
         plane = self.plane
+        source = self._noise if noise is None else noise
         row_list = list(rows)
+        cols = self._geometry.cols_per_row
         if not row_list:
-            return np.zeros((0, self._geometry.cols_per_row), dtype=np.int64)
-        probs = np.stack(
-            [plane.row_probabilities(bank, row, op) for row in row_list]
-        )
-        return self._noise.binomial(iterations, probs)
+            return (
+                out
+                if out is not None
+                else np.zeros((0, cols), dtype=np.int64)
+            )
+        # One preallocated probability matrix, filled row-plane by
+        # row-plane — no per-row intermediate list/stack churn.
+        probs = np.empty((len(row_list), cols), dtype=np.float64)
+        for i, row in enumerate(row_list):
+            probs[i] = plane.row_probabilities(bank, row, op)
+        counts = source.binomial(iterations, probs)
+        if out is not None:
+            out[...] = counts
+            return out
+        return counts
 
     def sample_cell_bits(
         self, bank: int, row: int, col: int, count: int, trcd_ns: float
@@ -394,6 +420,7 @@ class DramDevice:
         mixture: bool = False,
         probabilities: Optional[np.ndarray] = None,
         stored_bits: Optional[np.ndarray] = None,
+        noise: Optional[NoiseSource] = None,
     ) -> np.ndarray:
         """``count`` reads of every cell in one batched draw.
 
@@ -414,9 +441,13 @@ class DramDevice:
         :class:`~repro.core.plan.CompiledSamplePlan` snapshot skip the
         per-cell recompute; they must describe the same ``cells`` at the
         current ``state_epoch`` (the plan's staleness check guarantees
-        this on the generation hot path).
+        this on the generation hot path).  ``noise`` substitutes a
+        caller-owned stream for the device's source (the parallel
+        identification path hands each worker a
+        :meth:`~repro.noise.NoiseSource.spawn_streams` child).
         """
         cells = self._validated_cells(cells)
+        source = self._noise if noise is None else noise
         probs = (
             probabilities
             if probabilities is not None
@@ -430,10 +461,10 @@ class DramDevice:
         if mixture:
             # The stored-bit XOR is folded into the sampling threshold
             # (``invert``), so the draw directly yields read bits.
-            flips = self._noise.bernoulli_plane(probs, count, invert=stored)
+            flips = source.bernoulli_plane(probs, count, invert=stored)
             return flips.view(np.uint8)
         matrix = np.broadcast_to(probs[:, np.newaxis], (len(cells), count))
-        flips = self._noise.bernoulli(matrix)
+        flips = source.bernoulli(matrix)
         bits = np.where(
             flips, (1 - stored)[:, np.newaxis], stored[:, np.newaxis]
         ).astype(np.uint8)

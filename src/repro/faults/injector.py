@@ -213,7 +213,13 @@ class FaultInjector:
         return counts
 
     def sample_rows_fail_counts(
-        self, bank: int, rows, trcd_ns: float, iterations: int
+        self,
+        bank: int,
+        rows,
+        trcd_ns: float,
+        iterations: int,
+        out: Optional[np.ndarray] = None,
+        noise: Optional[NoiseSource] = None,
     ) -> np.ndarray:
         """Faulted counterpart of :meth:`DramDevice.sample_rows_fail_counts`.
 
@@ -222,13 +228,15 @@ class FaultInjector:
         ``start + i × iterations``), then drawn in one binomial matrix
         call — bit-identical to sequential
         :meth:`sample_row_fail_counts` calls for a seeded source.
+        ``out``/``noise`` mirror the device's signature (preallocated
+        destination; caller-owned stream for the worker-sharded path).
         """
         device = self._device
+        source = device.noise if noise is None else noise
         row_list = list(rows)
         if not row_list:
-            return np.zeros(
-                (0, device.geometry.cols_per_row), dtype=np.int64
-            )
+            empty = np.zeros((0, device.geometry.cols_per_row), dtype=np.int64)
+            return empty if out is None else out
         start = self._bits_elapsed
         plane = device.plane
         transformed = []
@@ -241,8 +249,11 @@ class FaultInjector:
             transformed.append(
                 self._transform_probabilities(probs, offsets, ctx)
             )
-        counts = device.noise.binomial(iterations, np.stack(transformed))
+        counts = source.binomial(iterations, np.stack(transformed))
         self._bits_elapsed = start + len(row_list) * iterations
+        if out is not None:
+            out[...] = counts
+            return out
         return counts
 
     def cells_failure_probabilities(
@@ -278,6 +289,7 @@ class FaultInjector:
         mixture: bool = False,
         probabilities: Optional[np.ndarray] = None,
         stored_bits: Optional[np.ndarray] = None,
+        noise: Optional[NoiseSource] = None,
     ) -> np.ndarray:
         """Faulted counterpart of :meth:`DramDevice.sample_cells_bits`.
 
@@ -296,6 +308,9 @@ class FaultInjector:
         a fault window covered the bit clock carries transformed values,
         and the clock's movement is invisible to ``state_epoch`` — so
         faulted sampling always re-derives from the live schedule.
+        ``noise`` substitutes a caller-owned stream on the no-fault fast
+        path (faulted paths draw from the device's own source, whose
+        sequential consumption the bit clock assumes).
         """
         del probabilities, stored_bits
         device = self._device
@@ -304,7 +319,7 @@ class FaultInjector:
         total = count * len(cells)
         if not self._schedule.overlapping(start, start + max(total, 1)):
             bits = device.sample_cells_bits(
-                cells, count, trcd_ns, mixture=mixture
+                cells, count, trcd_ns, mixture=mixture, noise=noise
             )
             self._bits_elapsed = start + total
             return bits

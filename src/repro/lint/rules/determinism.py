@@ -22,6 +22,7 @@ _DETERMINISTIC_PATHS = (
     "repro/faults/models.py",
     "repro/core/",
     "repro/memctrl/",
+    "repro/parallel/",
 )
 
 _WALL_CLOCK_AND_OS_ENTROPY = {

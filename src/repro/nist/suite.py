@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.errors import InsufficientDataError
 from repro.nist.bits import BitsLike, as_bits
+from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.nist.cusum import cumulative_sums
 from repro.nist.dft import dft
 from repro.nist.excursions import random_excursion, random_excursion_variant
@@ -81,12 +82,25 @@ def run_suite(
     data: BitsLike,
     alpha: float = DEFAULT_ALPHA,
     tests: Optional[Sequence[str]] = None,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    test_timeout_s: Optional[float] = None,
 ) -> SuiteReport:
     """Run the (selected) NIST tests over one bitstream.
 
     Tests whose minimum stream-length requirements are not met are
     reported as skipped rather than failed, matching the reference
     suite's "not applicable" behavior.
+
+    ``parallel``/``max_workers`` run the tests concurrently on thread
+    workers — every test is a pure read-only function of the stream, so
+    results are identical to the serial run and are assembled in
+    canonical test order regardless of completion order.
+    ``test_timeout_s`` bounds each test; a test that exceeds it is
+    reported as skipped (``"timed out"``).  If no worker pool can be
+    created the runner silently degrades to the serial loop.
+    ``parallel=None`` enables the concurrent path exactly when
+    ``max_workers`` or ``test_timeout_s`` is given.
     """
     bits = as_bits(data)
     selected = ALL_TESTS
@@ -96,30 +110,84 @@ def run_suite(
         if unknown:
             raise ValueError(f"unknown test name(s): {sorted(unknown)}")
         selected = tuple(t for t in ALL_TESTS if t[0] in wanted)
+    if parallel is None:
+        parallel = max_workers is not None or test_timeout_s is not None
 
     results: List[TestResult] = []
     skipped: List[Tuple[str, str]] = []
-    for name, test in selected:
-        try:
-            result = test(bits)
-        except InsufficientDataError as exc:
-            skipped.append((name, str(exc)))
+    for name, outcome in _evaluate_tests(
+        bits, selected, parallel, max_workers, test_timeout_s
+    ):
+        if isinstance(outcome, InsufficientDataError):
+            skipped.append((name, str(outcome)))
+            continue
+        if outcome is None:
+            skipped.append(
+                (name, f"timed out after {test_timeout_s:g}s")
+            )
             continue
         # Rebuild unconditionally with the requested alpha: a float
         # inequality guard here saves nothing and trips on rounding.
         results.append(
             TestResult(
-                result.name,
-                result.p_value,
-                p_values=result.p_values,
-                statistics=result.statistics,
+                outcome.name,
+                outcome.p_value,
+                p_values=outcome.p_values,
+                statistics=outcome.statistics,
                 alpha=alpha,
-                family_wise=result.family_wise,
+                family_wise=outcome.family_wise,
             )
         )
     return SuiteReport(
         results=tuple(results), skipped=tuple(skipped), n_bits=bits.size
     )
+
+
+def _evaluate_tests(
+    bits: np.ndarray,
+    selected: Sequence[Tuple[str, Callable[[BitsLike], TestResult]]],
+    parallel: bool,
+    max_workers: Optional[int],
+    test_timeout_s: Optional[float],
+) -> List[Tuple[str, object]]:
+    """Evaluate tests, serially or on a thread pool, in canonical order.
+
+    Each entry of the returned list is ``(name, outcome)`` where the
+    outcome is a :class:`TestResult`, an :class:`InsufficientDataError`
+    (not applicable), or ``None`` (timed out).  Any other exception
+    propagates, exactly as the serial loop would raise it.
+    """
+    evaluated: List[Tuple[str, object]] = []
+    if parallel and len(selected) > 1:
+        workers = resolve_workers(max_workers)
+        if test_timeout_s is not None:
+            # Timeout enforcement needs a live executor; the serial
+            # fallback a 1-worker pool resolves to cannot interrupt a
+            # running test.
+            workers = max(workers, 2)
+        pool = WorkerPool(max_workers=workers, backend="thread")
+        outcomes = pool.execute(
+            lambda test: test(bits),
+            [test for _, test in selected],
+            timeout_s=test_timeout_s,
+        )
+        for (name, _), outcome in zip(selected, outcomes):
+            if outcome.ok:
+                evaluated.append((name, outcome.value))
+            elif outcome.timed_out:
+                evaluated.append((name, None))
+            elif isinstance(outcome.error, InsufficientDataError):
+                evaluated.append((name, outcome.error))
+            else:
+                assert outcome.error is not None
+                raise outcome.error
+        return evaluated
+    for name, test in selected:
+        try:
+            evaluated.append((name, test(bits)))
+        except InsufficientDataError as exc:
+            evaluated.append((name, exc))
+    return evaluated
 
 
 def p_value_uniformity(p_values: Sequence[float], bins: int = 10) -> float:

@@ -1,0 +1,54 @@
+"""Parallel execution engine: worker pools, tiling, and batching.
+
+This package is the layer the paper's *system-level* numbers run on:
+characterization sweeps shard across workers
+(:func:`~repro.core.profiling.profile_region` /
+:func:`~repro.core.identification.identify_rng_cells`), the
+multi-channel system harvests its channels concurrently
+(:class:`~repro.core.multichannel.MultiChannelDRange`), statistical
+batteries run their tests in parallel, and
+:class:`~repro.parallel.batching.BatchingFrontEnd` coalesces concurrent
+service requests into batched compiled-plan executions.
+
+Everything here obeys one invariant: **worker count never changes
+results**.  Work is sharded into tiles/chunks whose layout is a pure
+function of the input, each shard draws from a child noise stream
+assigned by shard index (:meth:`~repro.noise.NoiseSource
+.spawn_streams`), and results are assembled in shard order — so a
+seeded run is bit-identical at 1, 2, or 8 workers, with threads or
+processes, and under any scheduling.
+"""
+
+from repro.parallel.batching import BatchingFrontEnd
+from repro.parallel.pool import (
+    BACKENDS,
+    DEFAULT_WORKER_CAP,
+    ENV_MAX_WORKERS,
+    TaskOutcome,
+    WorkerPool,
+    process_backend_available,
+    resolve_workers,
+)
+from repro.parallel.shared import SharedArray
+from repro.parallel.tiles import (
+    DEFAULT_TILE_ROWS,
+    Tile,
+    partition_chunks,
+    partition_rows,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BatchingFrontEnd",
+    "DEFAULT_TILE_ROWS",
+    "DEFAULT_WORKER_CAP",
+    "ENV_MAX_WORKERS",
+    "SharedArray",
+    "TaskOutcome",
+    "Tile",
+    "WorkerPool",
+    "partition_chunks",
+    "partition_rows",
+    "process_backend_available",
+    "resolve_workers",
+]

@@ -1,0 +1,196 @@
+"""Request coalescing for the firmware RNG service.
+
+:class:`~repro.core.integration.DRangeService` answers one request at a
+time, and every request that misses the harvest queue pays for a
+compiled-plan execution.  Under concurrent load from many small
+requesters (the "millions of users" serving shape), that serializes
+into one plan execution per request.  :class:`BatchingFrontEnd` fixes
+the shape of that traffic: concurrent ``request`` calls park in a
+bounded queue, one caller is elected *leader*, and the leader drains the
+queue in batches — one backing ``service.request`` (and therefore at
+most a handful of compiled-plan executions) per batch — then slices the
+returned stream back out to the waiters in arrival order.
+
+Properties:
+
+* **Bounded** — at most ``max_pending_requests`` requests may be queued;
+  further callers block (backpressure) until the leader frees space.
+* **Leader/follower** — no dedicated dispatcher thread exists; the
+  front end is purely reactive and costs nothing when idle.
+* **Exception-faithful** — a failure inside the backing service (e.g. a
+  health alarm that exhausts recovery) is delivered to every request in
+  the failed batch; later batches are attempted independently.
+
+The union of all responses is exactly the backing service's output
+stream; how it is sliced among concurrent callers follows their arrival
+order, which is inherently scheduling-dependent.  Single-threaded use
+is deterministic and equivalent to calling the service directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, Optional, Protocol
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigurationError
+
+
+class BitService(Protocol):
+    """Anything with the REQUEST/RECEIVE interface."""
+
+    def request(self, num_bits: int) -> npt.NDArray[np.uint8]:
+        """Return ``num_bits`` random bits."""
+        ...
+
+
+class _Pending:
+    """One parked request and its eventual outcome."""
+
+    __slots__ = ("num_bits", "bits", "error", "done")
+
+    def __init__(self, num_bits: int) -> None:
+        self.num_bits = num_bits
+        self.bits: Optional[npt.NDArray[np.uint8]] = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+
+
+class BatchingFrontEnd:
+    """Coalesce small concurrent requests into batched service calls."""
+
+    def __init__(
+        self,
+        service: BitService,
+        max_batch_bits: int = 1 << 16,
+        max_pending_requests: int = 64,
+    ) -> None:
+        if max_batch_bits <= 0:
+            raise ConfigurationError(
+                f"max_batch_bits must be positive, got {max_batch_bits}"
+            )
+        if max_pending_requests <= 0:
+            raise ConfigurationError(
+                f"max_pending_requests must be positive, got {max_pending_requests}"
+            )
+        self._service = service
+        self._max_batch_bits = max_batch_bits
+        self._max_pending = max_pending_requests
+        self._cond = threading.Condition()
+        self._queue: Deque[_Pending] = deque()
+        self._leader_active = False
+        self._requests_served = 0
+        self._batches_executed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def requests_served(self) -> int:
+        """Requests answered so far."""
+        return self._requests_served
+
+    @property
+    def batches_executed(self) -> int:
+        """Backing ``service.request`` calls issued so far.
+
+        ``requests_served / batches_executed`` is the coalescing factor.
+        """
+        return self._batches_executed
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently parked in the queue."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # The front-end interface
+    # ------------------------------------------------------------------
+
+    def request(self, num_bits: int) -> npt.NDArray[np.uint8]:
+        """Return ``num_bits`` random bits, batched with concurrent peers.
+
+        Safe to call from many threads; blocks while the bounded queue
+        is full.  Requests larger than ``max_batch_bits`` are served in
+        a batch of their own rather than rejected.
+        """
+        if num_bits <= 0:
+            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
+        entry = _Pending(num_bits)
+        with self._cond:
+            while len(self._queue) >= self._max_pending:
+                self._cond.wait()
+            self._queue.append(entry)
+            while not entry.done:
+                if not self._leader_active:
+                    self._leader_active = True
+                    break
+                self._cond.wait()
+        if not entry.done:
+            self._drain()
+        if entry.error is not None:
+            raise entry.error
+        assert entry.bits is not None
+        return entry.bits
+
+    def request_bytes(self, num_bytes: int) -> bytes:
+        """Convenience: ``num_bytes`` random bytes through the batcher."""
+        bits = self.request(num_bytes * 8)
+        return np.packbits(bits).tobytes()
+
+    # ------------------------------------------------------------------
+    # Leader duties
+    # ------------------------------------------------------------------
+
+    def _take_batch(self) -> List[_Pending]:
+        """Pop the next batch (holding the lock); may exceed the bit cap
+        only for a single oversized request."""
+        batch: List[_Pending] = []
+        total = 0
+        while self._queue:
+            head = self._queue[0]
+            if batch and total + head.num_bits > self._max_batch_bits:
+                break
+            batch.append(self._queue.popleft())
+            total += head.num_bits
+        return batch
+
+    def _drain(self) -> None:
+        """Serve batches until the queue is empty, then step down."""
+        try:
+            while True:
+                with self._cond:
+                    batch = self._take_batch()
+                    if not batch:
+                        return
+                    # Space was freed: unblock backpressured enqueuers.
+                    self._cond.notify_all()
+                total = sum(pending.num_bits for pending in batch)
+                bits: Optional[npt.NDArray[np.uint8]] = None
+                error: Optional[BaseException] = None
+                try:
+                    bits = self._service.request(total)
+                except Exception as exc:
+                    error = exc
+                with self._cond:
+                    offset = 0
+                    for pending in batch:
+                        if bits is not None:
+                            pending.bits = bits[
+                                offset : offset + pending.num_bits
+                            ]
+                            offset += pending.num_bits
+                        else:
+                            pending.error = error
+                        pending.done = True
+                    self._batches_executed += 1
+                    self._requests_served += len(batch)
+                    self._cond.notify_all()
+        finally:
+            with self._cond:
+                self._leader_active = False
+                self._cond.notify_all()

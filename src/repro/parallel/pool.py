@@ -1,0 +1,250 @@
+"""The worker-pool execution engine behind every parallel hot path.
+
+:class:`WorkerPool` is a thin, failure-tolerant façade over
+``concurrent.futures``: callers describe *what* to run (a task function
+and an ordered task list) and the pool decides *how* — threads,
+processes, or plain in-process execution — while guaranteeing the two
+properties the simulator's determinism contract needs:
+
+* **Order independence** — results come back as a list aligned with the
+  submitted task order, never in completion order, so assembling them is
+  deterministic regardless of scheduling.
+* **Graceful degradation** — if an executor cannot be created (spawn
+  restrictions, resource limits, missing ``fork``), the pool silently
+  runs every task serially in-process; a task that fails inside a live
+  pool is reported per-task (:class:`TaskOutcome`) so the caller can
+  re-run just that task serially.
+
+Worker-count resolution is centralized in :func:`resolve_workers`: an
+explicit ``max_workers`` wins, then the ``REPRO_MAX_WORKERS``
+environment variable, then the machine's CPU count (capped).  Note that
+the *results* of every parallel path in this repo are bit-identical
+across worker counts by construction (deterministic per-tile stream
+assignment); the worker count only decides wall-clock time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Environment variable overriding the default worker count.
+ENV_MAX_WORKERS = "REPRO_MAX_WORKERS"
+
+#: Upper bound applied when falling back to the CPU count, so a large
+#: machine does not fork dozens of copies of a simulated device.
+DEFAULT_WORKER_CAP = 8
+
+#: Recognized execution backends.
+BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_workers(max_workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count.
+
+    Priority: explicit argument, then the ``REPRO_MAX_WORKERS``
+    environment variable, then ``os.cpu_count()`` capped at
+    :data:`DEFAULT_WORKER_CAP`.  Always at least 1.
+    """
+    if max_workers is not None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        return int(max_workers)
+    env = os.environ.get(ENV_MAX_WORKERS)
+    if env is not None and env.strip():
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{ENV_MAX_WORKERS} must be an integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ConfigurationError(
+                f"{ENV_MAX_WORKERS} must be >= 1, got {value}"
+            )
+        return value
+    return max(1, min(os.cpu_count() or 1, DEFAULT_WORKER_CAP))
+
+
+def process_backend_available() -> bool:
+    """True when fork-based process workers are usable on this platform.
+
+    Without ``fork``, shipping a simulated device to process workers
+    means pickling tens of megabytes per worker; callers should prefer
+    threads there.
+    """
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - platform probing
+        return False
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one submitted task.
+
+    Exactly one of the three terminal states holds: ``value`` is set and
+    ``ok`` is True; ``error`` carries the exception the task raised; or
+    ``timed_out`` is True (the task exceeded the per-task timeout — with
+    thread workers the task keeps running detached, it is merely
+    abandoned).
+    """
+
+    index: int
+    value: Any = None
+    error: Optional[BaseException] = None
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the task completed and returned a value."""
+        return self.error is None and not self.timed_out
+
+
+class WorkerPool:
+    """Run an ordered batch of tasks across threads or processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker count; ``None`` resolves via :func:`resolve_workers`.
+    backend:
+        ``"thread"``, ``"process"``, or ``"serial"``.  ``None`` picks
+        ``"thread"`` when more than one worker is available, otherwise
+        ``"serial"``.  A ``"process"`` request silently downgrades to
+        ``"thread"`` when fork is unavailable.
+    initializer / initargs:
+        Per-worker setup hook (e.g. installing a device copy in a
+        process-global slot).  The serial fallback invokes it once
+        in-process before running tasks, so task functions can rely on
+        it unconditionally.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> None:
+        self._max_workers = resolve_workers(max_workers)
+        if backend is not None and backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if backend is None:
+            backend = "thread" if self._max_workers > 1 else "serial"
+        if backend == "process" and not process_backend_available():
+            backend = "thread"
+        if self._max_workers == 1 and backend != "serial":
+            backend = "serial"
+        self._backend = backend
+        self._initializer = initializer
+        self._initargs = initargs
+
+    @property
+    def max_workers(self) -> int:
+        """Resolved worker count."""
+        return self._max_workers
+
+    @property
+    def backend(self) -> str:
+        """Resolved execution backend."""
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        timeout_s: Optional[float] = None,
+    ) -> List[TaskOutcome]:
+        """Run ``fn`` over every task; outcomes align with task order.
+
+        ``timeout_s`` bounds each task individually (enforced only when
+        an executor backend is live — the serial path cannot interrupt a
+        running task and ignores it).  Executor-creation failures fall
+        back to serial execution; per-task failures are captured in the
+        returned :class:`TaskOutcome` entries rather than raised, so a
+        caller can re-run exactly the failed work.
+        """
+        task_list = list(tasks)
+        if not task_list:
+            return []
+        if self._backend == "serial" or len(task_list) == 1:
+            return self._execute_serial(fn, task_list)
+        executor = self._make_executor(len(task_list))
+        if executor is None:
+            return self._execute_serial(fn, task_list)
+        outcomes: List[TaskOutcome] = []
+        try:
+            futures: List[Future] = [
+                executor.submit(fn, task) for task in task_list
+            ]
+            for index, future in enumerate(futures):
+                outcomes.append(self._settle(index, future, timeout_s))
+        except Exception as exc:  # pragma: no cover - executor teardown
+            while len(outcomes) < len(task_list):
+                outcomes.append(TaskOutcome(index=len(outcomes), error=exc))
+        finally:
+            # Don't block on stragglers: a timed-out task is abandoned,
+            # not joined (its thread finishes in the background; queued
+            # work that never started is cancelled).
+            wait = all(not outcome.timed_out for outcome in outcomes)
+            executor.shutdown(wait=wait, cancel_futures=True)
+        return outcomes
+
+    def _settle(
+        self, index: int, future: Future, timeout_s: Optional[float]
+    ) -> TaskOutcome:
+        try:
+            return TaskOutcome(index=index, value=future.result(timeout=timeout_s))
+        except FuturesTimeoutError:
+            future.cancel()
+            return TaskOutcome(index=index, timed_out=True)
+        except Exception as exc:
+            return TaskOutcome(index=index, error=exc)
+
+    def _execute_serial(
+        self, fn: Callable[[Any], Any], tasks: List[Any]
+    ) -> List[TaskOutcome]:
+        if self._initializer is not None:
+            self._initializer(*self._initargs)
+        outcomes: List[TaskOutcome] = []
+        for index, task in enumerate(tasks):
+            try:
+                outcomes.append(TaskOutcome(index=index, value=fn(task)))
+            except Exception as exc:
+                outcomes.append(TaskOutcome(index=index, error=exc))
+        return outcomes
+
+    def _make_executor(self, n_tasks: int) -> Optional[Executor]:
+        workers = min(self._max_workers, n_tasks)
+        try:
+            if self._backend == "process":
+                context = multiprocessing.get_context("fork")
+                return ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                )
+            return ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-worker",
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        except Exception:
+            return None

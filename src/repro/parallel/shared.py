@@ -1,0 +1,108 @@
+"""Shared-memory result buffers for process workers.
+
+Thread workers write characterization tiles straight into the caller's
+preallocated array; process workers cannot, so :class:`SharedArray`
+gives both sides of the fork a view over one POSIX shared-memory
+segment.  The coordinator creates the segment sized for the full-region
+result, each worker attaches by name and writes only its tile's slice,
+and the coordinator copies the assembled array out before unlinking.
+
+The helper intentionally exposes numpy views rather than wrapping every
+operation: tile slicing stays identical between the thread and process
+paths, which is what keeps them bit-for-bit interchangeable.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+
+class SharedArray:
+    """A named shared-memory numpy array (int64 by default).
+
+    Use :meth:`create` in the coordinator and :meth:`attach` (with the
+    coordinator's ``name``) inside workers.  The creator is responsible
+    for :meth:`unlink`; every attacher must :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        shm: "shared_memory.SharedMemory",
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._array: Optional[npt.NDArray] = np.ndarray(
+            shape, dtype=dtype, buffer=shm.buf
+        )
+
+    @classmethod
+    def create(
+        cls, shape: Tuple[int, ...], dtype: npt.DTypeLike = np.int64
+    ) -> "SharedArray":
+        """Allocate a zero-filled shared segment for ``shape``."""
+        resolved = np.dtype(dtype)
+        size = max(1, int(np.prod(shape)) * resolved.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        instance = cls(shm, tuple(shape), resolved, owner=True)
+        assert instance._array is not None
+        instance._array.fill(0)
+        return instance
+
+    @classmethod
+    def attach(
+        cls,
+        name: str,
+        shape: Tuple[int, ...],
+        dtype: npt.DTypeLike = np.int64,
+    ) -> "SharedArray":
+        """Map an existing segment by name (worker side)."""
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, tuple(shape), np.dtype(dtype), owner=False)
+
+    @property
+    def name(self) -> str:
+        """Segment name workers attach by."""
+        return self._shm.name
+
+    @property
+    def array(self) -> npt.NDArray:
+        """The live numpy view over the segment."""
+        if self._array is None:
+            raise ValueError("shared array already closed")
+        return self._array
+
+    def copy_out(self, out: npt.NDArray) -> npt.NDArray:
+        """Copy the shared contents into ``out`` (the caller's array)."""
+        np.copyto(out, self.array)
+        return out
+
+    def close(self) -> None:
+        """Drop this mapping (every process must close its own)."""
+        self._array = None
+        try:
+            self._shm.close()
+        except OSError:  # pragma: no cover - platform-specific teardown
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; idempotent)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+        self.unlink()

@@ -1,0 +1,147 @@
+"""BatchingFrontEnd: request coalescing over a BitService."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import BatchingFrontEnd
+
+
+class CountingService:
+    """Deterministic backing service that records every request size."""
+
+    def __init__(self, fail_on_call=None):
+        self.calls = []
+        self._cursor = 0
+        self._fail_on_call = fail_on_call
+        self.lock = threading.Lock()
+
+    def request(self, num_bits):
+        with self.lock:
+            self.calls.append(num_bits)
+            if self._fail_on_call == len(self.calls):
+                raise RuntimeError("service exploded")
+            start = self._cursor
+            self._cursor += num_bits
+        return (np.arange(start, start + num_bits) % 2).astype(np.uint8)
+
+
+class TestSingleThreaded:
+    def test_equivalent_to_direct_calls(self):
+        service = CountingService()
+        front = BatchingFrontEnd(service)
+        a = front.request(10)
+        b = front.request(6)
+        assert a.tolist() == CountingService().request(10).tolist()
+        assert b.size == 6
+        assert front.requests_served == 2
+        assert front.batches_executed == 2
+
+    def test_request_bytes(self):
+        front = BatchingFrontEnd(CountingService())
+        assert len(front.request_bytes(4)) == 4
+
+    def test_oversized_request_served_alone(self):
+        service = CountingService()
+        front = BatchingFrontEnd(service, max_batch_bits=64)
+        assert front.request(1000).size == 1000
+        assert service.calls == [1000]
+
+    def test_rejects_nonpositive(self):
+        front = BatchingFrontEnd(CountingService())
+        with pytest.raises(ConfigurationError):
+            front.request(0)
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ConfigurationError):
+            BatchingFrontEnd(CountingService(), max_batch_bits=0)
+        with pytest.raises(ConfigurationError):
+            BatchingFrontEnd(CountingService(), max_pending_requests=0)
+
+
+class SlowGateService(CountingService):
+    """Blocks the first request until released, forcing a pile-up."""
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+        self.first_entered = threading.Event()
+
+    def request(self, num_bits):
+        if not self.first_entered.is_set():
+            self.first_entered.set()
+            self.gate.wait(timeout=10.0)
+        return super().request(num_bits)
+
+
+class TestConcurrent:
+    def test_concurrent_requests_coalesce(self):
+        service = SlowGateService()
+        front = BatchingFrontEnd(service, max_batch_bits=1 << 20)
+        results = {}
+
+        def requester(name, bits):
+            results[name] = front.request(bits)
+
+        leader = threading.Thread(target=requester, args=("leader", 8))
+        leader.start()
+        assert service.first_entered.wait(timeout=5.0)
+        followers = [
+            threading.Thread(target=requester, args=(f"f{i}", 10 + i))
+            for i in range(6)
+        ]
+        for thread in followers:
+            thread.start()
+        # Followers are parked in the queue while the leader is inside
+        # the service; give them a beat to enqueue, then open the gate.
+        deadline = threading.Event()
+        deadline.wait(timeout=0.3)
+        service.gate.set()
+        leader.join(timeout=10.0)
+        for thread in followers:
+            thread.join(timeout=10.0)
+
+        assert front.requests_served == 7
+        # The 6 followers were drained in at most a couple of batches,
+        # not one service call each.
+        assert front.batches_executed < 7
+        total = 8 + sum(10 + i for i in range(6))
+        assert sum(service.calls) == total
+        assert all(value.size > 0 for value in results.values())
+
+    def test_union_of_responses_is_the_service_stream(self):
+        service = SlowGateService()
+        front = BatchingFrontEnd(service)
+        results = {}
+
+        def requester(name, bits):
+            results[name] = front.request(bits)
+
+        threads = [
+            threading.Thread(target=requester, args=(f"r{i}", 16))
+            for i in range(5)
+        ]
+        threads[0].start()
+        assert service.first_entered.wait(timeout=5.0)
+        for thread in threads[1:]:
+            thread.start()
+        wait = threading.Event()
+        wait.wait(timeout=0.3)
+        service.gate.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        assert sum(bits.size for bits in results.values()) == 80
+        # Every batch slices the service's alternating 0/1 stream at an
+        # even offset, so each 16-bit response carries exactly 8 ones.
+        assert all(int(bits.sum()) == 8 for bits in results.values())
+
+    def test_service_error_delivered_to_batch(self):
+        service = CountingService(fail_on_call=1)
+        front = BatchingFrontEnd(service)
+        with pytest.raises(RuntimeError, match="service exploded"):
+            front.request(8)
+        # Later batches are attempted independently.
+        assert front.request(8).size == 8

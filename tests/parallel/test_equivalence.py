@@ -1,0 +1,267 @@
+"""Parallel/serial equivalence: worker count must never change results.
+
+The determinism contract of :mod:`repro.parallel`: a seeded run of any
+parallel path is bit-identical for ``max_workers`` in {1, 2, 4} —
+including under fault injection with a channel quarantined mid-request.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.identification import identify_rng_cells
+from repro.core.integration import RecoveryPolicy
+from repro.core.multichannel import MultiChannelDRange
+from repro.core.profiling import Region, profile_region
+from repro.dram.datapattern import pattern_by_name
+from repro.dram.device import DeviceFactory
+from repro.errors import ConfigurationError
+from repro.faults import BiasDriftFault, FaultInjector
+
+WORKER_COUNTS = (1, 2, 4)
+
+REGION = Region(banks=(0, 1), row_start=0, row_count=96)
+PATTERN = pattern_by_name("solid0")
+
+
+def make_device():
+    return DeviceFactory(master_seed=2019, noise_seed=37).make_device("A")
+
+
+class TestProfileRegion:
+    def _counts(self, max_workers):
+        result = profile_region(
+            make_device(),
+            PATTERN,
+            region=REGION,
+            iterations=50,
+            max_workers=max_workers,
+        )
+        return result.counts
+
+    def test_bit_identical_across_worker_counts(self):
+        reference = self._counts(WORKER_COUNTS[0])
+        for workers in WORKER_COUNTS[1:]:
+            assert np.array_equal(reference, self._counts(workers))
+
+    def test_parallel_true_without_workers_uses_resolved_default(self):
+        result = profile_region(
+            make_device(), PATTERN, region=REGION, iterations=50, parallel=True
+        )
+        assert np.array_equal(result.counts, self._counts(2))
+
+    def test_same_distribution_as_serial(self):
+        serial = profile_region(
+            make_device(), PATTERN, region=REGION, iterations=50
+        )
+        parallel = profile_region(
+            make_device(), PATTERN, region=REGION, iterations=50, max_workers=2
+        )
+        # Different stream order, same statistics: total failure mass
+        # within a few percent on ~1.5M draws.
+        assert parallel.counts.sum() == pytest.approx(
+            serial.counts.sum(), rel=0.05
+        )
+
+    def test_parallel_with_command_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_region(
+                make_device(),
+                PATTERN,
+                region=REGION,
+                command_level=True,
+                max_workers=2,
+            )
+
+    def test_faulted_device_profiles_deterministically(self):
+        def counts(workers):
+            injector = FaultInjector(make_device())
+            injector.inject(BiasDriftFault(target=1, rate_per_bit=1e-4))
+            return profile_region(
+                injector,
+                PATTERN,
+                region=REGION,
+                iterations=50,
+                max_workers=workers,
+            ).counts
+
+        assert np.array_equal(counts(1), counts(4))
+
+
+class TestIdentifyRngCells:
+    @pytest.fixture(scope="class")
+    def candidates(self):
+        result = profile_region(
+            make_device(), PATTERN, region=REGION, iterations=100
+        )
+        cands = result.cells_in_band()
+        if not len(cands):
+            pytest.skip("no candidate cells for this seed")
+        return cands
+
+    def _identify(self, candidates, max_workers, **kwargs):
+        device = make_device()
+        profile_region(device, PATTERN, region=REGION, iterations=100)
+        return identify_rng_cells(
+            device, candidates, max_workers=max_workers, **kwargs
+        )
+
+    def test_bit_identical_across_worker_counts(self, candidates):
+        reference = self._identify(candidates, WORKER_COUNTS[0])
+        assert reference
+        for workers in WORKER_COUNTS[1:]:
+            assert self._identify(candidates, workers) == reference
+
+    def test_max_cells_truncation_is_worker_invariant(self, candidates):
+        reference = self._identify(candidates, 1, max_cells=5)
+        assert len(reference) == 5
+        for workers in WORKER_COUNTS[1:]:
+            assert self._identify(candidates, workers, max_cells=5) == reference
+
+
+class TestMultiChannelRequest:
+    PREPARE_REGION = Region(banks=(0, 1), row_start=0, row_count=192)
+
+    def _build(self, max_workers, inject):
+        factory = DeviceFactory(master_seed=2019, noise_seed=37)
+        devices = [factory.make_device("A", index) for index in range(3)]
+        injector = FaultInjector(devices[0])
+        devices[0] = injector
+        system = MultiChannelDRange(
+            devices,
+            recovery=RecoveryPolicy(
+                max_retries=2,
+                region=Region(banks=(0,), row_start=0, row_count=96),
+                iterations=50,
+            ),
+            max_workers=max_workers,
+        )
+        total = system.prepare(region=self.PREPARE_REGION, iterations=100)
+        if total == 0:
+            pytest.skip("no RNG cells for this seed")
+        if inject:
+            injector.inject(BiasDriftFault(target=1, rate_per_bit=1e-3))
+        return system
+
+    def test_raw_bits_identical_across_worker_counts(self):
+        reference = self._build(1, inject=False).random_bits(20_000)
+        for workers in WORKER_COUNTS[1:]:
+            bits = self._build(workers, inject=False).random_bits(20_000)
+            assert np.array_equal(reference, bits)
+
+    def test_healthy_request_identical_across_worker_counts(self):
+        reference = self._build(1, inject=False).request(10_000)
+        for workers in WORKER_COUNTS[1:]:
+            assert np.array_equal(
+                reference, self._build(workers, inject=False).request(10_000)
+            )
+
+    def test_quarantine_mid_request_is_worker_invariant(self):
+        outcomes = {}
+        for workers in WORKER_COUNTS:
+            system = self._build(workers, inject=True)
+            bits = system.request(20_000)
+            outcomes[workers] = (
+                bits,
+                system.quarantined_channels,
+                tuple((event.kind, event.channel) for event in system.events),
+            )
+        ref_bits, ref_quarantined, ref_events = outcomes[1]
+        assert ref_quarantined == (0,)
+        for workers in WORKER_COUNTS[1:]:
+            bits, quarantined, events = outcomes[workers]
+            assert np.array_equal(ref_bits, bits)
+            assert quarantined == ref_quarantined
+            assert events == ref_events
+
+
+class TestStatisticalBatteries:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        rng = np.random.default_rng(99)
+        return rng.integers(0, 2, size=150_000).astype(np.uint8)
+
+    def test_nist_parallel_matches_serial(self, stream):
+        from repro.nist.suite import run_suite
+
+        serial = run_suite(stream)
+        for workers in WORKER_COUNTS[1:]:
+            parallel = run_suite(stream, max_workers=workers)
+            assert [r.name for r in parallel.results] == [
+                r.name for r in serial.results
+            ]
+            assert [r.p_value for r in parallel.results] == [
+                r.p_value for r in serial.results
+            ]
+            assert parallel.skipped == serial.skipped
+
+    def test_nist_per_test_timeout_reports_skipped(self, stream, monkeypatch):
+        import repro.nist.suite as suite_mod
+        from repro.nist.result import TestResult
+
+        def glacial(bits):
+            time.sleep(5.0)
+            return TestResult("glacial", 0.5)
+
+        monkeypatch.setattr(
+            suite_mod,
+            "ALL_TESTS",
+            suite_mod.ALL_TESTS[:2] + (("glacial", glacial),),
+        )
+        start = time.monotonic()
+        report = suite_mod.run_suite(stream[:20_000], test_timeout_s=0.2)
+        assert time.monotonic() - start < 4.0
+        assert [r.name for r in report.results] == [
+            "monobit", "frequency_within_block",
+        ]
+        assert report.skipped == (("glacial", "timed out after 0.2s"),)
+
+    def test_diehard_parallel_matches_serial(self, stream):
+        from repro.diehard.battery import run_battery
+
+        serial = run_battery(stream)
+        for workers in WORKER_COUNTS[1:]:
+            parallel = run_battery(stream, max_workers=workers)
+            assert [r.name for r in parallel] == [r.name for r in serial]
+            assert [r.p_value for r in parallel] == [
+                r.p_value for r in serial
+            ]
+
+    def test_diehard_timeout_drops_test(self, stream, monkeypatch):
+        import repro.diehard.battery as battery_mod
+        from repro.nist.result import TestResult
+
+        def glacial(bits):
+            time.sleep(5.0)
+            return TestResult("glacial", 0.5)
+
+        monkeypatch.setattr(
+            battery_mod,
+            "DIEHARD_TESTS",
+            battery_mod.DIEHARD_TESTS[:2] + (("glacial", glacial),),
+        )
+        results = battery_mod.run_battery(stream, test_timeout_s=0.2)
+        assert [r.name for r in results] == [
+            "birthday_spacings", "overlapping_5bit",
+        ]
+
+
+class TestEnvOverride:
+    def test_env_var_sizes_default_pools(self, monkeypatch):
+        from repro.parallel import ENV_MAX_WORKERS, WorkerPool
+
+        monkeypatch.setenv(ENV_MAX_WORKERS, "3")
+        assert WorkerPool().max_workers == 3
+
+    def test_env_var_does_not_change_results(self, monkeypatch):
+        from repro.parallel import ENV_MAX_WORKERS
+
+        reference = profile_region(
+            make_device(), PATTERN, region=REGION, iterations=50, max_workers=2
+        ).counts
+        monkeypatch.setenv(ENV_MAX_WORKERS, "4")
+        under_env = profile_region(
+            make_device(), PATTERN, region=REGION, iterations=50, parallel=True
+        ).counts
+        assert np.array_equal(reference, under_env)

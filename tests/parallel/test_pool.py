@@ -1,0 +1,179 @@
+"""Worker-pool, tiling, and shared-memory engine tests."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    DEFAULT_TILE_ROWS,
+    DEFAULT_WORKER_CAP,
+    ENV_MAX_WORKERS,
+    SharedArray,
+    WorkerPool,
+    partition_chunks,
+    partition_rows,
+    process_backend_available,
+    resolve_workers,
+)
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_MAX_WORKERS, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_MAX_WORKERS, "5")
+        assert resolve_workers() == 5
+
+    def test_default_is_capped_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(ENV_MAX_WORKERS, raising=False)
+        resolved = resolve_workers()
+        assert 1 <= resolved <= DEFAULT_WORKER_CAP
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+
+    def test_rejects_bad_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_MAX_WORKERS, "lots")
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+        monkeypatch.setenv(ENV_MAX_WORKERS, "0")
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_two(x):
+    if x == 2:
+        raise ValueError("boom")
+    return x
+
+
+class TestWorkerPool:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_results_align_with_task_order(self, backend):
+        pool = WorkerPool(max_workers=4, backend=backend)
+        outcomes = pool.execute(_square, list(range(20)))
+        assert [outcome.value for outcome in outcomes] == [
+            n * n for n in range(20)
+        ]
+        assert [outcome.index for outcome in outcomes] == list(range(20))
+
+    @pytest.mark.skipif(
+        not process_backend_available(), reason="fork unavailable"
+    )
+    def test_process_backend(self):
+        pool = WorkerPool(max_workers=2, backend="process")
+        outcomes = pool.execute(_square, [1, 2, 3])
+        assert [outcome.value for outcome in outcomes] == [1, 4, 9]
+
+    def test_per_task_errors_are_captured(self):
+        pool = WorkerPool(max_workers=2, backend="thread")
+        outcomes = pool.execute(_raise_on_two, [1, 2, 3])
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert isinstance(outcomes[1].error, ValueError)
+
+    def test_single_worker_resolves_to_serial(self):
+        assert WorkerPool(max_workers=1, backend="thread").backend == "serial"
+
+    def test_auto_backend(self):
+        assert WorkerPool(max_workers=4).backend == "thread"
+        assert WorkerPool(max_workers=1).backend == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(backend="gpu")
+
+    def test_serial_runs_initializer_in_process(self):
+        seen = []
+        pool = WorkerPool(
+            max_workers=1, backend="serial",
+            initializer=seen.append, initargs=("ready",),
+        )
+        pool.execute(_square, [2])
+        assert seen == ["ready"]
+
+    def test_timeout_marks_task_and_does_not_block(self):
+        def slow(x):
+            if x == 1:
+                time.sleep(5.0)
+            return x
+
+        pool = WorkerPool(max_workers=2, backend="thread")
+        start = time.monotonic()
+        outcomes = pool.execute(slow, [0, 1], timeout_s=0.2)
+        elapsed = time.monotonic() - start
+        assert outcomes[0].ok
+        assert outcomes[1].timed_out and not outcomes[1].ok
+        assert elapsed < 2.0
+
+    def test_empty_task_list(self):
+        assert WorkerPool(max_workers=2).execute(_square, []) == []
+
+
+class TestTiling:
+    def test_covers_region_exactly_once(self):
+        tiles = partition_rows((3, 5), row_start=100, row_count=150)
+        seen = set()
+        for tile in tiles:
+            for row in tile.rows:
+                key = (tile.bank, row)
+                assert key not in seen
+                seen.add(key)
+        assert seen == {
+            (bank, row) for bank in (3, 5) for row in range(100, 250)
+        }
+
+    def test_indices_are_contiguous_bank_major(self):
+        tiles = partition_rows((0, 1), row_start=0, row_count=130)
+        assert [tile.index for tile in tiles] == list(range(len(tiles)))
+        assert [tile.bank for tile in tiles] == [0, 0, 0, 1, 1, 1]
+        assert tiles[0].row_count == DEFAULT_TILE_ROWS
+        assert tiles[2].row_count == 130 - 2 * DEFAULT_TILE_ROWS
+
+    def test_layout_is_independent_of_worker_count(self):
+        # Tiling is a pure function of the region — nothing else.
+        assert partition_rows((0,), 0, 200) == partition_rows((0,), 0, 200)
+
+    def test_row_slice_is_region_relative(self):
+        tiles = partition_rows((2,), row_start=64, row_count=100, tile_rows=64)
+        assert tiles[0].row_slice == slice(0, 64)
+        assert tiles[1].row_slice == slice(64, 100)
+        assert list(tiles[1].rows) == list(range(128, 164))
+
+    def test_rejects_bad_tile_rows(self):
+        with pytest.raises(ConfigurationError):
+            partition_rows((0,), 0, 10, tile_rows=0)
+
+    def test_partition_chunks(self):
+        assert partition_chunks(5, 2) == [(0, 2), (2, 4), (4, 5)]
+        assert partition_chunks(0, 4) == []
+        with pytest.raises(ConfigurationError):
+            partition_chunks(5, 0)
+
+
+class TestSharedArray:
+    def test_roundtrip(self):
+        with SharedArray.create((3, 4), dtype=np.int64) as owner:
+            assert (owner.array == 0).all()
+            attached = SharedArray.attach(owner.name, (3, 4), dtype=np.int64)
+            attached.array[1, 2] = 42
+            attached.close()
+            assert owner.array[1, 2] == 42
+            out = np.empty((3, 4), dtype=np.int64)
+            owner.copy_out(out)
+            assert out[1, 2] == 42
+
+    def test_unlink_is_idempotent(self):
+        owner = SharedArray.create((2,), dtype=np.float64)
+        owner.close()
+        owner.unlink()
+        owner.unlink()

@@ -75,6 +75,48 @@ class TestDeterminism:
         assert (children_a.bernoulli(probs) == children_b.bernoulli(probs)).all()
 
 
+class TestSpawnStreams:
+    def test_matches_sequential_spawn_calls(self):
+        batched = NoiseSource(seed=11).spawn_streams(4)
+        sequential_parent = NoiseSource(seed=11)
+        sequential = [sequential_parent.spawn() for _ in range(4)]
+        probs = np.full(200, 0.5)
+        for child_a, child_b in zip(batched, sequential):
+            assert (child_a.bernoulli(probs) == child_b.bernoulli(probs)).all()
+
+    def test_child_k_is_order_stable(self):
+        # Child k depends only on the parent state and its index — not
+        # on whether the earlier children are ever used.
+        probs = np.full(200, 0.5)
+        used_all = NoiseSource(seed=13).spawn_streams(3)
+        draws_all = [child.bernoulli(probs) for child in used_all]
+        only_last = NoiseSource(seed=13).spawn_streams(3)[2]
+        assert (only_last.bernoulli(probs) == draws_all[2]).all()
+
+    def test_children_are_mutually_independent(self):
+        children = NoiseSource(seed=17).spawn_streams(3)
+        probs = np.full(1000, 0.5)
+        draws = [child.bernoulli(probs) for child in children]
+        assert (draws[0] != draws[1]).any()
+        assert (draws[1] != draws[2]).any()
+
+    def test_parent_advances_exactly_n_draws(self):
+        spawned = NoiseSource(seed=19)
+        spawned.spawn_streams(5)
+        burned = NoiseSource(seed=19)
+        for _ in range(5):
+            burned.spawn()
+        probs = np.full(100, 0.5)
+        assert (spawned.bernoulli(probs) == burned.bernoulli(probs)).all()
+
+    def test_zero_is_empty(self):
+        assert NoiseSource(seed=1).spawn_streams(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseSource(seed=1).spawn_streams(-1)
+
+
 class TestGaussianUniform:
     def test_gaussian_moments(self, noise):
         samples = noise.gaussian(50_000, sigma=2.0)
