@@ -7,6 +7,7 @@ Usage (installed, or via ``python -m repro``)::
     python -m repro nist --bits 200000
     python -m repro faults --fault bias-drift --bits 20000
     python -m repro throughput --banks 8
+    python -m repro --seed 7 metrics --requests 4
     python -m repro latency
     python -m repro compare
     python -m repro experiment fig4 fig8 table2
@@ -120,6 +121,30 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--max-retries", type=int, default=2,
         help="recovery attempts before the service gives up",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a seeded service exercise and render its metrics",
+    )
+    metrics.add_argument("--manufacturer", default="A", choices=["A", "B", "C"])
+    metrics.add_argument("--banks", type=int, default=2)
+    metrics.add_argument("--rows", type=int, default=512)
+    metrics.add_argument(
+        "--requests", type=int, default=4,
+        help="number of service requests to issue",
+    )
+    metrics.add_argument(
+        "--bits", type=int, default=4096, help="bits per request"
+    )
+    metrics.add_argument(
+        "--nist", action="store_true",
+        help="also run a short NIST batch so test counters populate",
+    )
+    metrics.add_argument(
+        "--format", default="prometheus",
+        choices=["prometheus", "json", "snapshot"],
+        help="exposition format (default: Prometheus text)",
     )
 
     lint = sub.add_parser(
@@ -332,6 +357,34 @@ def _cmd_faults(args) -> int:
     return 0 if survived else 1
 
 
+def _cmd_metrics(args) -> int:
+    from repro import obs
+    from repro.core.integration import DRangeService
+
+    obs.enable()
+    try:
+        drange = _make_drange(args, banks=args.banks, rows=args.rows)
+        service = DRangeService(drange.sampler())
+        for _ in range(args.requests):
+            service.request(args.bits)
+        if args.nist:
+            from repro.nist.suite import run_suite
+
+            run_suite(
+                drange.random_bits(50_000),
+                tests=("monobit", "frequency_within_block", "runs"),
+            )
+        if args.format == "prometheus":
+            print(obs.prometheus_text(), end="")
+        elif args.format == "json":
+            print(obs.json_text())
+        else:
+            print(obs.snapshot().format_line())
+    finally:
+        obs.disable()
+    return 0
+
+
 def _forward_lint(tokens: List[str]) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -376,6 +429,7 @@ _COMMANDS = {
     "latency": _cmd_latency,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
+    "metrics": _cmd_metrics,
     "lint": _cmd_lint,
 }
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,7 @@ class EventLog:
         self._max_events = max_events
         self._events: list = []
         self._counters: Counter = Counter()
+        self._subscribers: List[Callable[[str, int], None]] = []
 
     @property
     def events(self) -> Tuple[ServiceEvent, ...]:
@@ -60,6 +61,21 @@ class EventLog:
         """Current value of one counter (0 when never bumped)."""
         return int(self._counters.get(name, 0))
 
+    def subscribe(self, observer: Callable[[str, int], None]) -> None:
+        """Attach a ``(kind, amount)`` observer to every record/bump.
+
+        Observers see each recorded event as ``(kind, 1)`` and each
+        bumped counter as ``(counter, amount)``.  The service layers use
+        this to bridge the audit trail into the
+        :mod:`repro.obs` metrics registry without the log depending on
+        the observability package.
+        """
+        self._subscribers.append(observer)
+
+    def _notify(self, kind: str, amount: int) -> None:
+        for observer in self._subscribers:
+            observer(kind, amount)
+
     def record(
         self, kind: str, detail: str = "", channel: Optional[int] = None
     ) -> ServiceEvent:
@@ -69,6 +85,7 @@ class EventLog:
         if len(self._events) > self._max_events:
             del self._events[: len(self._events) - self._max_events]
         self._counters[kind] += 1
+        self._notify(kind, 1)
         return event
 
     def bump(self, counter: str, amount: int = 1) -> None:
@@ -76,6 +93,7 @@ class EventLog:
         if amount < 0:
             raise ValueError(f"amount must be non-negative, got {amount}")
         self._counters[counter] += amount
+        self._notify(counter, amount)
 
     def of_kind(self, kind: str) -> Tuple[ServiceEvent, ...]:
         """Retained events of one kind, oldest first."""

@@ -39,6 +39,7 @@ from repro.errors import (
     StartupTestError,
 )
 from repro.health import STARTUP_MIN_BITS, HealthMonitor
+from repro.obs import runtime as obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.drange import DRange
@@ -142,6 +143,7 @@ class DRangeService:
             recovery = RecoveryPolicy()
         self._recovery = recovery
         self._events = EventLog()
+        self._events.subscribe(obs.event_counter("service"))
         self._recoveries_this_request = 0
 
     # ------------------------------------------------------------------
@@ -366,7 +368,29 @@ class DRangeService:
         the event log) before the error propagates; on any other
         failure they are returned to the queue, leaving the service
         exactly as it was.  ``bits_served`` only advances on success.
+
+        With :mod:`repro.obs` enabled, each call lands in the
+        ``service.request`` latency span/histogram and the
+        request/bits-served counters; the queue-occupancy gauge is
+        refreshed on exit.  Instrumentation is purely observational and
+        never changes the served bits.
         """
+        with obs.span("service.request", bits=num_bits):
+            try:
+                out = self._serve_request(num_bits)
+            except BaseException:
+                obs.counter_add(
+                    "drange_service_requests_total", outcome="error"
+                )
+                obs.gauge_set("drange_service_queue_bits", len(self._queue))
+                raise
+        obs.counter_add("drange_service_requests_total", outcome="ok")
+        obs.counter_add("drange_service_bits_served_total", num_bits)
+        obs.gauge_set("drange_service_queue_bits", len(self._queue))
+        return out
+
+    def _serve_request(self, num_bits: int) -> np.ndarray:
+        """The uninstrumented request body (see :meth:`request`)."""
         if num_bits <= 0:
             raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
         self._recoveries_this_request = 0

@@ -31,6 +31,7 @@ from repro.core.profiling import Region
 from repro.dram.device import DramDevice
 from repro.errors import ConfigurationError, RecoveryExhaustedError, ReproError
 from repro.health import STARTUP_MIN_BITS, HealthMonitor
+from repro.obs import runtime as obs
 from repro.parallel.pool import WorkerPool
 
 
@@ -69,9 +70,15 @@ class MultiChannelDRange:
         self._active: List[bool] = [True] * len(self._channels)
         self._recovery = recovery if recovery is not None else RecoveryPolicy()
         self._events = EventLog()
+        self._events.subscribe(obs.event_counter("multichannel"))
         self._prepare_kwargs: Dict[str, object] = {}
         self._bits_served = 0
         self._max_workers = max_workers
+        self._observe_survivors()
+
+    def _observe_survivors(self) -> None:
+        """Refresh the active-channel gauge (no-op while obs is off)."""
+        obs.gauge_set("drange_channels_active", len(self.active_channels))
 
     def _harvest(
         self, indices: Sequence[int], per_channel: int
@@ -97,6 +104,11 @@ class MultiChannelDRange:
             if not outcome.ok:
                 assert outcome.error is not None
                 raise outcome.error
+        if obs.enabled():
+            for index in indices:
+                obs.counter_add(
+                    "drange_channel_bits_total", per_channel, channel=index
+                )
         return buffers
 
     # ------------------------------------------------------------------
@@ -159,6 +171,7 @@ class MultiChannelDRange:
         self._active[channel] = True
         self._monitors[channel].reset()
         self._events.record("reinstated", "manual reinstatement", channel=channel)
+        self._observe_survivors()
 
     # ------------------------------------------------------------------
     # Offline phase
@@ -307,6 +320,7 @@ class MultiChannelDRange:
         self._events.record(
             "quarantine", "channel removed from service", channel=index
         )
+        self._observe_survivors()
 
     def request(self, num_bits: int) -> np.ndarray:
         """Health-checked bits from the surviving channels.
@@ -318,6 +332,19 @@ class MultiChannelDRange:
         :class:`~repro.errors.RecoveryExhaustedError` only when no
         active channel remains.
         """
+        with obs.span("multichannel.request", bits=num_bits):
+            try:
+                out = self._serve_request(num_bits)
+            except BaseException:
+                obs.counter_add(
+                    "drange_multichannel_requests_total", outcome="error"
+                )
+                raise
+        obs.counter_add("drange_multichannel_requests_total", outcome="ok")
+        return out
+
+    def _serve_request(self, num_bits: int) -> np.ndarray:
+        """The uninstrumented request body (see :meth:`request`)."""
         if num_bits <= 0:
             raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
         recovered_this_request: set = set()

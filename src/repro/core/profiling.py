@@ -28,6 +28,7 @@ from repro.dram.device import DramDevice
 from repro.dram.timing import CHARACTERIZATION_TRCD_NS
 from repro.errors import ConfigurationError
 from repro.noise import NoiseSource
+from repro.obs import runtime as obs
 from repro.parallel.pool import WorkerPool, process_backend_available
 from repro.parallel.shared import SharedArray
 from repro.parallel.tiles import Tile, partition_rows
@@ -157,20 +158,28 @@ def profile_region(
         (len(region.banks), region.row_count, geometry.cols_per_row),
         dtype=np.int64,
     )
-    if command_level:
-        _profile_command_level(device, region, trcd_ns, iterations, counts)
-    elif parallel:
-        _profile_parallel(device, region, trcd_ns, iterations, counts, max_workers)
-    else:
-        # One batched binomial draw per bank, written into the
-        # preallocated region array; row probabilities are served (and
-        # kept warm for the identification pass that follows) by the
-        # device's probability plane.  Stream consumption matches the
-        # former per-row loop exactly.
-        for bank_pos, bank in enumerate(region.banks):
-            device.sample_rows_fail_counts(
-                bank, region.rows, trcd_ns, iterations, out=counts[bank_pos]
+    with obs.span(
+        "profile_region",
+        banks=len(region.banks),
+        rows=region.row_count,
+        iterations=iterations,
+    ):
+        if command_level:
+            _profile_command_level(device, region, trcd_ns, iterations, counts)
+        elif parallel:
+            _profile_parallel(
+                device, region, trcd_ns, iterations, counts, max_workers
             )
+        else:
+            # One batched binomial draw per bank, written into the
+            # preallocated region array; row probabilities are served (and
+            # kept warm for the identification pass that follows) by the
+            # device's probability plane.  Stream consumption matches the
+            # former per-row loop exactly.
+            for bank_pos, bank in enumerate(region.banks):
+                device.sample_rows_fail_counts(
+                    bank, region.rows, trcd_ns, iterations, out=counts[bank_pos]
+                )
 
     return CharacterizationResult(
         region=region,

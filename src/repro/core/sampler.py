@@ -27,9 +27,34 @@ from repro.core.selection import BankPlan, require_plans
 from repro.dram.datapattern import BEST_RNG_PATTERN, DataPattern, pattern_by_name
 from repro.errors import ConfigurationError
 from repro.memctrl.controller import MemoryController
+from repro.obs import runtime as obs
 
 #: Default reduced activation latency for sampling (Section 4).
 DEFAULT_SAMPLING_TRCD_NS = 10.0
+
+#: Pre-bound instrument handles for the generation hot path.  Bound
+#: handles resolve their registry child once per ``obs.enable`` and
+#: revalidate by identity check, so a generation call pays a handful of
+#: attribute loads instead of a name/label resolution per metric (the
+#: ``benchmarks/bench_obs.py`` enabled-overhead gate is met this way).
+_OBS_BITS = {
+    path: obs.bound_counter("drange_sampler_bits_total", path=path)
+    for path in ("generate", "generate_fast")
+}
+_OBS_NS_PER_BIT = {
+    path: obs.bound_histogram("drange_sampler_ns_per_bit", path=path)
+    for path in ("generate", "generate_fast")
+}
+_OBS_PLAN_COMPILES = obs.bound_counter("drange_sampler_plan_compiles_total")
+_OBS_PLAN_REUSES = obs.bound_counter("drange_sampler_plan_reuses_total")
+
+#: The probability-plane gauges are collector-backed: sampled when the
+#: metrics are exported, not on every generation call (the plane's own
+#: counters already accumulate; copying them into gauges per call would
+#: spend hot-path budget keeping values nobody is reading current).
+_OBS_PLANE_HITS = obs.bound_gauge("drange_plane_hits")
+_OBS_PLANE_MISSES = obs.bound_gauge("drange_plane_misses")
+_OBS_PLANE_INVALIDATIONS = obs.bound_gauge("drange_plane_invalidations")
 
 
 class DRangeSampler:
@@ -57,6 +82,7 @@ class DRangeSampler:
         self._pattern = pattern
         self._compiled: Optional[CompiledSamplePlan] = None
         self._written_epoch: Optional[int] = None
+        obs.add_collector(self._collect_plane)
 
     @property
     def plans(self) -> Sequence[BankPlan]:
@@ -119,7 +145,35 @@ class DRangeSampler:
             self._compiled = compile_sample_plan(
                 device, self._plans, self._trcd_ns, self._pattern
             )
+            _OBS_PLAN_COMPILES.add()
+        else:
+            _OBS_PLAN_REUSES.add()
         return self._compiled
+
+    def _observe_generation(self, path: str, num_bits: int, elapsed_ns: int) -> None:
+        """Account one finished generation call to the metrics registry.
+
+        Purely observational — called only when observability is on, and
+        never touches sampler or device state, so seeded outputs stay
+        bit-identical with instrumentation enabled.
+        """
+        _OBS_BITS[path].add(num_bits)
+        if elapsed_ns > 0:
+            _OBS_NS_PER_BIT[path].observe(elapsed_ns / num_bits)
+
+    def _collect_plane(self) -> None:
+        """Export-time collector: mirror the probability-plane counters.
+
+        Registered with :func:`repro.obs.runtime.add_collector` at
+        construction (weakly held, so the sampler's lifetime is
+        unaffected); the facade exporters call it before rendering, so
+        the gauges track ``device.plane`` without per-generation cost.
+        """
+        plane = getattr(self._controller.device, "plane", None)
+        if plane is not None:
+            _OBS_PLANE_HITS.set(plane.hits)
+            _OBS_PLANE_MISSES.set(plane.misses)
+            _OBS_PLANE_INVALIDATIONS.set(plane.invalidations)
 
     def teardown(self) -> None:
         """Restore spec timings and release the rows (lines 18-19)."""
@@ -145,15 +199,19 @@ class DRangeSampler:
         rate = self.data_rate_bits_per_iteration
         if not rate:
             raise ConfigurationError("selected words contain no RNG cells")
-        self.setup()
-        try:
-            plan = self.compiled_plan()
-            iterations = -(-num_bits // rate)  # ceil
-            chunks = np.empty((iterations, rate), dtype=np.uint8)
-            for i in range(iterations):
-                chunks[i] = self._controller.reduced_read_burst(plan)
-        finally:
-            self.teardown()
+        sp = obs.span("sampler.generate", bits=num_bits)
+        with sp:
+            self.setup()
+            try:
+                plan = self.compiled_plan()
+                iterations = -(-num_bits // rate)  # ceil
+                chunks = np.empty((iterations, rate), dtype=np.uint8)
+                for i in range(iterations):
+                    chunks[i] = self._controller.reduced_read_burst(plan)
+            finally:
+                self.teardown()
+        if obs.enabled():
+            self._observe_generation("generate", num_bits, sp.elapsed_ns)
         return chunks.reshape(-1)[:num_bits]
 
     def generate_fast(
@@ -180,21 +238,25 @@ class DRangeSampler:
             raise ConfigurationError(
                 f"out must have shape ({num_bits},), got {out.shape}"
             )
-        self.setup()
-        try:
-            device = self._controller.device
-            plan = self.compiled_plan()
-            per_cell = -(-num_bits // plan.n_cells)  # ceil
-            bits = device.sample_cells_bits(
-                plan.cells,
-                per_cell,
-                self._trcd_ns,
-                mixture=True,
-                probabilities=plan.probabilities,
-                stored_bits=plan.stored_bits,
-            )
-        finally:
-            self.teardown()
+        sp = obs.span("sampler.generate_fast", bits=num_bits)
+        with sp:
+            self.setup()
+            try:
+                device = self._controller.device
+                plan = self.compiled_plan()
+                per_cell = -(-num_bits // plan.n_cells)  # ceil
+                bits = device.sample_cells_bits(
+                    plan.cells,
+                    per_cell,
+                    self._trcd_ns,
+                    mixture=True,
+                    probabilities=plan.probabilities,
+                    stored_bits=plan.stored_bits,
+                )
+            finally:
+                self.teardown()
+        if obs.enabled():
+            self._observe_generation("generate_fast", num_bits, sp.elapsed_ns)
         flat = bits.reshape(-1)[:num_bits]
         if out is not None:
             out[...] = flat

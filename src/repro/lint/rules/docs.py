@@ -1,0 +1,92 @@
+"""Documentation rules (DOC...) for the public API surface.
+
+The packages other code builds on — :mod:`repro.core`, :mod:`repro.obs`
+and :mod:`repro.parallel` — are the repo's public API: examples, docs
+and downstream experiments import from them directly.  Their public
+functions, classes and methods must therefore say what they do; an
+undocumented public name forces every reader back into the
+implementation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from repro.lint.rules.base import Rule, register
+from repro.lint.types import RuleMeta, Severity
+
+#: Packages whose public names form the documented API surface.
+_DOCUMENTED_PATHS = (
+    "repro/core/",
+    "repro/obs/",
+    "repro/parallel/",
+)
+
+
+@register
+class PublicDocstringRule(Rule):
+    """DOC001 — public API names must carry docstrings."""
+
+    meta = RuleMeta(
+        code="DOC001",
+        name="public-docstring",
+        summary="public function/class without a docstring in an API package",
+        severity=Severity.WARNING,
+        rationale=(
+            "repro.core, repro.obs and repro.parallel are the import "
+            "surface for examples, docs and downstream experiments; an "
+            "undocumented public name there forces readers into the "
+            "implementation to learn the contract. Give every public "
+            "module-level function, class and public method of a public "
+            "class a docstring (leading-underscore names and nested "
+            "helpers are exempt)."
+        ),
+        include=_DOCUMENTED_PATHS,
+        exclude=(),
+    )
+
+    def __init__(self, context, severity) -> None:  # noqa: D107 - base init
+        super().__init__(context, severity)
+        #: Enclosing scopes as ("class"|"function", is_public) pairs.
+        self._scopes: List[Tuple[str, bool]] = []
+
+    def _is_checkable(self, name: str) -> bool:
+        """True when a def/class at the current scope needs a docstring.
+
+        Checked positions: module level, and directly inside public
+        classes (including nested public classes).  Anything beneath a
+        function — closures, local classes — is an implementation
+        detail; dunder methods follow language-defined contracts and
+        leading-underscore names are private by convention.
+        """
+        if name.startswith("_"):
+            return False
+        if any(kind == "function" for kind, _ in self._scopes):
+            return False
+        return all(public for _, public in self._scopes)
+
+    def _maybe_report(self, node: ast.AST, name: str, kind: str) -> None:
+        if self._is_checkable(name) and ast.get_docstring(node) is None:
+            self.report(
+                node,
+                f"public {kind} `{name}` has no docstring; the API "
+                f"packages are the documented surface",
+            )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._maybe_report(node, node.name, "class")
+        self._scopes.append(("class", not node.name.startswith("_")))
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        name = node.name  # type: ignore[attr-defined]
+        kind = "method" if self._scopes else "function"
+        self._maybe_report(node, name, kind)
+        self._scopes.append(("function", False))
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function

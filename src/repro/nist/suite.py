@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.errors import InsufficientDataError
 from repro.nist.bits import BitsLike, as_bits
+from repro.obs import runtime as obs
 from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.nist.cusum import cumulative_sums
 from repro.nist.dft import dft
@@ -138,6 +139,16 @@ def run_suite(
                 family_wise=outcome.family_wise,
             )
         )
+    if obs.enabled():
+        for result in results:
+            obs.counter_add(
+                "drange_nist_tests_total",
+                result="passed" if result.passed else "failed",
+            )
+        if skipped:
+            obs.counter_add(
+                "drange_nist_tests_total", len(skipped), result="skipped"
+            )
     return SuiteReport(
         results=tuple(results), skipped=tuple(skipped), n_bits=bits.size
     )
@@ -166,10 +177,14 @@ def _evaluate_tests(
             # running test.
             workers = max(workers, 2)
         pool = WorkerPool(max_workers=workers, backend="thread")
+
+        def run_one(task: Tuple[str, Callable[[BitsLike], TestResult]]):
+            task_name, test = task
+            with obs.span(f"nist.{task_name}", n_bits=bits.size):
+                return test(bits)
+
         outcomes = pool.execute(
-            lambda test: test(bits),
-            [test for _, test in selected],
-            timeout_s=test_timeout_s,
+            run_one, list(selected), timeout_s=test_timeout_s
         )
         for (name, _), outcome in zip(selected, outcomes):
             if outcome.ok:
@@ -184,7 +199,8 @@ def _evaluate_tests(
         return evaluated
     for name, test in selected:
         try:
-            evaluated.append((name, test(bits)))
+            with obs.span(f"nist.{name}", n_bits=bits.size):
+                evaluated.append((name, test(bits)))
         except InsufficientDataError as exc:
             evaluated.append((name, exc))
     return evaluated

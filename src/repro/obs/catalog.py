@@ -1,0 +1,174 @@
+"""The declared metric families this repo emits, in one place.
+
+Every instrument the instrumented stack touches is declared here — the
+runtime facade resolves metric names through this catalog, so a typo'd
+name at a call site fails loudly instead of silently minting a new
+series, and ``docs/observability.md`` documents exactly this table
+(``tests/obs/test_docs_reference.py`` cross-checks that every entry
+appears there).
+
+Label cardinality note: ``channel`` is bounded by the channel count
+(≤ a handful), ``span``/``test`` by the fixed span/test name sets, and
+everything else is a small closed enum — no entry here can grow an
+unbounded series set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+
+__all__ = ["CatalogEntry", "CATALOG"]
+
+#: Buckets for per-bit generation cost in nanoseconds.  The paper's
+#: measured latency is ~100 ns/bit; the simulator's vectorized fast path
+#: sits near 1-10 ns/bit while the command-accurate path runs far slower.
+NS_PER_BIT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 10000.0, 100000.0, 1000000.0,
+)
+
+#: Buckets for coalesced batch sizes in bits.
+BATCH_BITS_BUCKETS: Tuple[float, ...] = (
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+)
+
+#: Buckets for requests coalesced into one batch.
+BATCH_REQUESTS_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+)
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Declaration of one metric family: kind, help text, labels."""
+
+    kind: str
+    help: str
+    labels: Tuple[str, ...] = ()
+    buckets: Optional[Tuple[float, ...]] = None
+
+
+#: name -> declaration for every metric family the stack emits.
+CATALOG: Dict[str, CatalogEntry] = {
+    # ------------------------------------------------------------------
+    # Sampler (Algorithm 2) and the compiled-plan cache
+    # ------------------------------------------------------------------
+    "drange_sampler_bits_total": CatalogEntry(
+        "counter",
+        "Random bits emitted by DRangeSampler, by generation path.",
+        labels=("path",),
+    ),
+    "drange_sampler_ns_per_bit": CatalogEntry(
+        "histogram",
+        "Per-bit wall-clock generation cost (ns/bit), by generation path.",
+        labels=("path",),
+        buckets=NS_PER_BIT_BUCKETS,
+    ),
+    "drange_sampler_plan_compiles_total": CatalogEntry(
+        "counter",
+        "Compiled sampling plans built (state_epoch moved or first use).",
+    ),
+    "drange_sampler_plan_reuses_total": CatalogEntry(
+        "counter",
+        "Generation calls served by a cached compiled plan.",
+    ),
+    "drange_plane_hits": CatalogEntry(
+        "gauge",
+        "ProbabilityPlane lookups answered from cache (device counter).",
+    ),
+    "drange_plane_misses": CatalogEntry(
+        "gauge",
+        "ProbabilityPlane lookups that had to compute (device counter).",
+    ),
+    "drange_plane_invalidations": CatalogEntry(
+        "gauge",
+        "Epoch changes that dropped the ProbabilityPlane cache.",
+    ),
+    # ------------------------------------------------------------------
+    # The firmware service (single channel)
+    # ------------------------------------------------------------------
+    "drange_service_requests_total": CatalogEntry(
+        "counter",
+        "DRangeService requests, by outcome (ok / error).",
+        labels=("outcome",),
+    ),
+    "drange_service_bits_served_total": CatalogEntry(
+        "counter",
+        "Bits handed to applications by DRangeService.",
+    ),
+    "drange_service_queue_bits": CatalogEntry(
+        "gauge",
+        "Harvest-queue occupancy after the last request.",
+    ),
+    "drange_events_total": CatalogEntry(
+        "counter",
+        "Robustness events and counters bridged from the EventLog "
+        "(alarms, retries, recoveries, quarantines, bits_discarded, ...).",
+        labels=("component", "kind"),
+    ),
+    # ------------------------------------------------------------------
+    # Multi-channel serving
+    # ------------------------------------------------------------------
+    "drange_channel_bits_total": CatalogEntry(
+        "counter",
+        "Bits harvested per memory channel (raw and health-checked).",
+        labels=("channel",),
+    ),
+    "drange_channels_active": CatalogEntry(
+        "gauge",
+        "Channels currently in service (survivors after quarantine).",
+    ),
+    "drange_multichannel_requests_total": CatalogEntry(
+        "counter",
+        "MultiChannelDRange requests, by outcome (ok / error).",
+        labels=("outcome",),
+    ),
+    # ------------------------------------------------------------------
+    # Parallel engine: worker pool and request batching
+    # ------------------------------------------------------------------
+    "drange_pool_tasks_total": CatalogEntry(
+        "counter",
+        "WorkerPool task outcomes, by backend and outcome "
+        "(ok / error / timeout).",
+        labels=("backend", "outcome"),
+    ),
+    "drange_batch_pending_requests": CatalogEntry(
+        "gauge",
+        "Requests parked in the BatchingFrontEnd queue (depth).",
+    ),
+    "drange_batch_size_bits": CatalogEntry(
+        "histogram",
+        "Bits per coalesced batch issued to the backing service.",
+        buckets=BATCH_BITS_BUCKETS,
+    ),
+    "drange_batch_requests": CatalogEntry(
+        "histogram",
+        "Requests coalesced into one batch (the coalescing factor).",
+        buckets=BATCH_REQUESTS_BUCKETS,
+    ),
+    "drange_batches_total": CatalogEntry(
+        "counter",
+        "Backing service.request calls issued by the front end.",
+    ),
+    # ------------------------------------------------------------------
+    # Statistical batteries
+    # ------------------------------------------------------------------
+    "drange_nist_tests_total": CatalogEntry(
+        "counter",
+        "NIST suite test outcomes, by result (passed / failed / skipped).",
+        labels=("result",),
+    ),
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    "drange_span_duration_seconds": CatalogEntry(
+        "histogram",
+        "Wall-clock duration of every finished tracing span, by span "
+        "name (service.request, sampler.generate_fast, nist.<test>, ...).",
+        labels=("span",),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ),
+}

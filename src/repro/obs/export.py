@@ -1,0 +1,245 @@
+"""Exporters: Prometheus text exposition, JSON, and periodic snapshots.
+
+Three consumption shapes for the same registry state:
+
+* :func:`prometheus_text` — the text exposition format scrapers expect
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=...}``
+  histogram series with ``+Inf``, ``_sum`` and ``_count``);
+* :func:`json_snapshot` — a plain-dict rendering for log pipelines and
+  tests;
+* :class:`MetricsSnapshot` / :class:`SnapshotLogger` — a compact
+  point-in-time summary a long-running service can emit periodically
+  (the DR-STRaNGe-style runtime accounting loop).
+
+Rendering order is deterministic: families in registration order,
+children in label-value sort order — two exports of identical state
+produce identical text.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_labels,
+)
+
+__all__ = [
+    "prometheus_text",
+    "json_snapshot",
+    "json_text",
+    "MetricsSnapshot",
+    "SnapshotLogger",
+]
+
+
+def _format_value(value: float) -> str:
+    """Integers render bare (Prometheus style); floats keep precision."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, instrument in family.children():
+            labels = render_labels(family.label_names, values)
+            if isinstance(instrument, (Counter, Gauge)):
+                lines.append(
+                    f"{family.name}{labels} "
+                    f"{_format_value(instrument.value)}"
+                )
+                continue
+            assert isinstance(instrument, Histogram)
+            cumulative = 0
+            for bound, count in zip(
+                instrument.buckets, instrument.counts
+            ):
+                cumulative += count
+                bucket_labels = render_labels(
+                    family.label_names + ("le",),
+                    tuple(values) + (_format_value(bound),),
+                )
+                lines.append(
+                    f"{family.name}_bucket{bucket_labels} {cumulative}"
+                )
+            cumulative += instrument.counts[-1]
+            inf_labels = render_labels(
+                family.label_names + ("le",), tuple(values) + ("+Inf",)
+            )
+            lines.append(f"{family.name}_bucket{inf_labels} {cumulative}")
+            lines.append(
+                f"{family.name}_sum{labels} {_format_value(instrument.sum)}"
+            )
+            lines.append(f"{family.name}_count{labels} {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def json_snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """Render the registry as a plain dict (JSON-serializable).
+
+    Shape: ``{name: {"kind", "help", "labels", "series": [{"labels":
+    {...}, "value"| "sum"/"count"/"buckets"}]}}``.
+    """
+    out: Dict[str, Any] = {}
+    for family in registry.families():
+        series: List[Dict[str, Any]] = []
+        for values, instrument in family.children():
+            labels = dict(zip(family.label_names, values))
+            if isinstance(instrument, (Counter, Gauge)):
+                series.append({"labels": labels, "value": instrument.value})
+            else:
+                assert isinstance(instrument, Histogram)
+                series.append(
+                    {
+                        "labels": labels,
+                        "sum": instrument.sum,
+                        "count": instrument.count,
+                        "buckets": [
+                            {"le": bound, "count": count}
+                            for bound, count in zip(
+                                instrument.buckets, instrument.counts
+                            )
+                        ]
+                        + [
+                            {
+                                "le": "+Inf",
+                                "count": instrument.counts[-1],
+                            }
+                        ],
+                    }
+                )
+        out[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "labels": list(family.label_names),
+            "series": series,
+        }
+    return out
+
+
+def json_text(registry: MetricsRegistry, indent: int = 2) -> str:
+    """:func:`json_snapshot` serialized to a JSON string."""
+    return json.dumps(json_snapshot(registry), indent=indent, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A compact point-in-time summary of counter/gauge values.
+
+    Histograms are folded to ``(count, sum)`` pairs.  ``format_line``
+    renders the one-line form a service log emits periodically.
+    """
+
+    counters: Tuple[Tuple[str, float], ...]
+    gauges: Tuple[Tuple[str, float], ...]
+    histograms: Tuple[Tuple[str, int, float], ...]
+    span_count: int = 0
+
+    @classmethod
+    def from_registry(
+        cls, registry: MetricsRegistry, span_count: int = 0
+    ) -> "MetricsSnapshot":
+        """Fold the registry's current state into a snapshot."""
+        counters: List[Tuple[str, float]] = []
+        gauges: List[Tuple[str, float]] = []
+        histograms: List[Tuple[str, int, float]] = []
+        for family in registry.families():
+            for values, instrument in family.children():
+                key = family.name + render_labels(
+                    family.label_names, values
+                )
+                if isinstance(instrument, Counter):
+                    counters.append((key, instrument.value))
+                elif isinstance(instrument, Gauge):
+                    gauges.append((key, instrument.value))
+                else:
+                    assert isinstance(instrument, Histogram)
+                    histograms.append(
+                        (key, instrument.count, instrument.sum)
+                    )
+        return cls(
+            counters=tuple(counters),
+            gauges=tuple(gauges),
+            histograms=tuple(histograms),
+            span_count=span_count,
+        )
+
+    def value(self, key: str) -> Optional[float]:
+        """Counter/gauge value by rendered key (``None`` when absent)."""
+        for name, value in self.counters + self.gauges:
+            if name == key:
+                return value
+        return None
+
+    def format_line(self) -> str:
+        """One-line log rendering: ``key=value`` pairs, sorted."""
+        parts = [
+            f"{name}={_format_value(value)}"
+            for name, value in sorted(self.counters + self.gauges)
+        ]
+        parts.extend(
+            f"{name}_count={count}"
+            for name, count, _ in sorted(self.histograms)
+        )
+        return " ".join(parts)
+
+    def to_json(self) -> str:
+        """JSON rendering of the snapshot."""
+        return json.dumps(
+            {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: {"count": count, "sum": total}
+                    for name, count, total in self.histograms
+                },
+                "span_count": self.span_count,
+            },
+            sort_keys=True,
+        )
+
+
+@dataclass
+class SnapshotLogger:
+    """Emit a :class:`MetricsSnapshot` at most once per interval.
+
+    Purely reactive — call :meth:`maybe_emit` from any convenient
+    vantage point (after each served request, say); a snapshot is built
+    and handed to ``sink`` only when ``interval_s`` has elapsed since
+    the last emission.  ``clock`` is injectable for tests.
+    """
+
+    registry: MetricsRegistry
+    interval_s: float = 10.0
+    sink: Callable[[MetricsSnapshot], None] = lambda snapshot: None
+    clock: Callable[[], float] = time.monotonic
+    _last_emit: Optional[float] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError(
+                f"interval_s must be positive, got {self.interval_s}"
+            )
+
+    def maybe_emit(self) -> Optional[MetricsSnapshot]:
+        """Emit and return a snapshot when the interval has elapsed."""
+        now = self.clock()
+        if self._last_emit is not None and now - self._last_emit < self.interval_s:
+            return None
+        self._last_emit = now
+        snapshot = MetricsSnapshot.from_registry(self.registry)
+        self.sink(snapshot)
+        return snapshot

@@ -1,0 +1,355 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+The paper's headline claims are *rates* — 717.4 Mb/s peak throughput,
+~100 ns/bit latency, failure-rate stability over time — and DR-STRaNGe
+(arXiv:2201.01385) shows that an end-to-end DRAM-TRNG system stands or
+falls on runtime accounting of exactly those rates (buffer occupancy,
+request latency, RNG-vs-regular interference).  This module provides
+the storage layer for that accounting: a :class:`MetricsRegistry` of
+labeled metric families, each family holding one child instrument per
+distinct label-value combination.
+
+Design constraints, in order:
+
+* **No dependencies.**  Pure stdlib + arithmetic; exporters live in
+  :mod:`repro.obs.export`.
+* **Thread-safe.**  Instruments are updated from worker threads (the
+  NIST pool, the batching front end); every mutation holds the
+  registry's lock.  Updates are tiny (a float add), so one shared lock
+  is cheaper than per-child locks.
+* **Deterministic collection order.**  Families iterate in registration
+  order and children in label-value sort order, so two exports of the
+  same state render identically — exporters and tests rely on it.
+
+Instruments never *observe* anything by themselves: all timing lives in
+:mod:`repro.obs.tracing`, keeping monotonic-clock reads out of the
+deterministic model layers (lint rule DET001).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Bucket boundaries (seconds) for request/span latency histograms,
+#: spanning the sub-millisecond compiled-plan path up to multi-second
+#: characterization passes.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Metric family kinds.
+KINDS = ("counter", "gauge", "histogram")
+
+
+class Counter:
+    """A monotonically increasing sum (bits emitted, events recorded)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._value = 0.0
+        self._lock = lock
+
+    @property
+    def value(self) -> float:
+        """Current cumulative value."""
+        return self._value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += float(amount)
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, survivor count)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._value = 0.0
+        self._lock = lock
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def set(self, value: Union[int, float]) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        with self._lock:
+            self._value += float(amount)
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-boundary histogram (latencies, batch sizes, ns/bit).
+
+    ``buckets`` are the *upper* bounds of each bucket, strictly
+    increasing; an implicit ``+Inf`` bucket catches the tail, matching
+    Prometheus semantics (`le` is inclusive).  ``counts`` holds
+    per-bucket (non-cumulative) tallies; exporters accumulate.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Sequence[float], lock: threading.Lock) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot: +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = lock
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def counts(self) -> Tuple[int, ...]:
+        """Per-bucket tallies (last entry is the +Inf overflow bucket)."""
+        return tuple(self._counts)
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        v = float(value)
+        index = bisect_left(self.buckets, v)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += v
+            self._count += 1
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricFamily:
+    """One named metric and its per-label-value children.
+
+    Families are created through :class:`MetricsRegistry`; use
+    :meth:`labels` to reach a child instrument.  A family with no label
+    names has exactly one child, reachable as ``family.labels()``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        label_names: Sequence[str],
+        lock: threading.Lock,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        if kind == "histogram" and buckets is None:
+            buckets = DEFAULT_LATENCY_BUCKETS
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._lock = lock
+        self._children: Dict[Tuple[str, ...], Instrument] = {}
+
+    def labels(self, **labels: object) -> Instrument:
+        """The child instrument for one label-value combination.
+
+        Label values are stringified; the set of keyword names must
+        exactly match the family's declared label names.
+        """
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+        return child
+
+    def _make_child(self) -> Instrument:
+        if self.kind == "counter":
+            return Counter(self._lock)
+        if self.kind == "gauge":
+            return Gauge(self._lock)
+        assert self.buckets is not None
+        return Histogram(self.buckets, self._lock)
+
+    def children(self) -> Iterator[Tuple[Tuple[str, ...], Instrument]]:
+        """(label values, instrument) pairs in label-value sort order."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return iter(items)
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: calling
+    them again with the same name returns the existing family (so
+    instrumented code needs no registration phase), while re-declaring a
+    name with a different kind or label set raises — a name collision in
+    a metrics namespace is always a bug.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        label_names: Sequence[str],
+        buckets: Optional[Sequence[float]],
+    ) -> MetricFamily:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.label_names != tuple(
+                    label_names
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.label_names}, cannot "
+                        f"re-register as {kind}{tuple(label_names)}"
+                    )
+                return existing
+            family = MetricFamily(
+                name, help_text, kind, label_names, self._lock, buckets
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Get or create a counter family."""
+        return self._family(name, help_text, "counter", labels, None)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Get or create a gauge family."""
+        return self._family(name, help_text, "gauge", labels, None)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        """Get or create a histogram family with fixed bucket bounds."""
+        return self._family(name, help_text, "histogram", labels, buckets)
+
+    def families(self) -> Tuple[MetricFamily, ...]:
+        """Registered families in registration order."""
+        with self._lock:
+            return tuple(self._families.values())
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """Look one family up by name (``None`` when absent)."""
+        with self._lock:
+            return self._families.get(name)
+
+    def value(self, name: str, **labels: object) -> float:
+        """Convenience: current value of one counter/gauge child.
+
+        Missing families and never-touched children read as 0, so tests
+        and snapshot formatting need no existence checks.
+        """
+        family = self.get(name)
+        if family is None:
+            return 0.0
+        key = tuple(str(labels[n]) for n in family.label_names if n in labels)
+        if set(labels) != set(family.label_names):
+            raise ValueError(
+                f"{name} takes labels {family.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        with self._lock:
+            child = family._children.get(key)
+        if child is None or isinstance(child, Histogram):
+            return 0.0
+        return child.value
+
+    def reset(self) -> None:
+        """Drop every family (a fresh namespace for the next run)."""
+        with self._lock:
+            self._families.clear()
+
+
+def render_labels(
+    label_names: Sequence[str], label_values: Sequence[str]
+) -> str:
+    """``{a="x",b="y"}`` rendering shared by exporters ('' when bare)."""
+    if not label_names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(label_names, label_values)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def merged_labels(
+    label_names: Sequence[str],
+    label_values: Sequence[str],
+    extra: Optional[Mapping[str, str]] = None,
+) -> List[Tuple[str, str]]:
+    """(name, value) pairs plus ``extra`` pairs, in stable order."""
+    pairs = list(zip(label_names, label_values))
+    if extra:
+        pairs.extend(sorted(extra.items()))
+    return pairs

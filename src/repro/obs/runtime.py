@@ -1,0 +1,397 @@
+"""The global observability switch and the facade instrumented code calls.
+
+Observability is **off by default** and costs one attribute read plus a
+branch per instrumentation point while off — the hot paths stay within
+a fraction of a percent of their uninstrumented speed (enforced by
+``benchmarks/bench_obs.py``).  Turning it on::
+
+    from repro import obs
+
+    registry = obs.enable()          # fresh registry + tracer
+    ... run the service ...
+    print(obs.prometheus_text())     # scrape-shaped snapshot
+    obs.disable()                    # instruments stay readable
+
+Instrumented modules call the module-level helpers
+(:func:`counter_add`, :func:`gauge_set`, :func:`observe`, :func:`span`)
+rather than holding instrument references, so enabling/disabling and
+registry swaps need no coordination with the instrumented code.  Every
+metric name is resolved through :data:`~repro.obs.catalog.CATALOG` —
+an unknown name raises instead of silently minting a new series.
+
+Determinism contract: nothing in this module draws entropy or feeds
+state back into the model layers; enabling observability never changes
+sampled bits (``tests/obs/test_equivalence.py`` holds seeded outputs
+bit-identical with instrumentation on and off).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Optional, Union
+
+from repro.obs.catalog import CATALOG
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, ActiveSpan, NullSpan, Tracer
+
+__all__ = [
+    "enable",
+    "disable",
+    "resume",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "counter_add",
+    "gauge_set",
+    "observe",
+    "span",
+    "add_collector",
+    "run_collectors",
+    "event_counter",
+    "bound_counter",
+    "bound_gauge",
+    "bound_histogram",
+    "BoundCounter",
+    "BoundGauge",
+    "BoundHistogram",
+]
+
+class _State:
+    """Holder for the recording flag.
+
+    The flag lives on an object attribute rather than in a module
+    global on purpose: toggling it (``disable``/``resume``) then never
+    writes the module's dict, so CPython's adaptive inline caches for
+    the facade functions stay valid across toggles — pausing and
+    resuming observability costs nothing beyond the attribute store.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+_STATE = _State()
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+
+#: Resolution cache: (name, labels as passed) → child instrument.  The
+#: key preserves the caller's keyword order — a fixed property of each
+#: call site — so a hot instrumentation point costs one dict lookup
+#: after its first call.  Two call sites spelling the same labels in a
+#: different order simply cache two keys for the same child.  Dropped
+#: whenever :func:`enable` installs a registry.
+_RESOLVED: dict = {}
+
+#: Per-span-name histogram children for the tracer finish hook (same
+#: lifecycle as :data:`_RESOLVED`).
+_SPAN_HISTOGRAMS: dict = {}
+
+
+def enabled() -> bool:
+    """True while instrumentation is recording."""
+    return _STATE.enabled
+
+
+def enable(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> MetricsRegistry:
+    """Start recording into a fresh (or provided) registry and tracer.
+
+    Returns the active registry.  Instruments from a previous enable are
+    discarded unless explicitly passed back in.
+    """
+    global _REGISTRY, _TRACER
+    if registry is not _REGISTRY:
+        # Cached children belong to the outgoing registry; re-enabling
+        # with the same registry object keeps them valid.
+        _RESOLVED.clear()
+        _SPAN_HISTOGRAMS.clear()
+    _REGISTRY = registry if registry is not None else MetricsRegistry()
+    _TRACER = tracer if tracer is not None else Tracer()
+    _TRACER.on_finish = _observe_span
+    _STATE.enabled = True
+    return _REGISTRY
+
+
+def disable() -> None:
+    """Stop recording.  The registry and tracer remain readable."""
+    _STATE.enabled = False
+
+
+def resume() -> None:
+    """Undo :func:`disable`: resume recording into the active registry.
+
+    Unlike :func:`enable` this installs nothing and clears nothing — it
+    flips the flag back on, so collected state keeps accumulating where
+    it left off.  Pause/resume cycles are cheap (a single attribute
+    store, no inline-cache invalidation) and safe to wrap around
+    individual requests.
+    """
+    _STATE.enabled = True
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumentation currently writes to."""
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The tracer instrumentation currently writes to."""
+    return _TRACER
+
+
+def _instrument(name: str, labels: dict) -> Instrument:
+    """Resolve a catalog name to its child instrument in the registry."""
+    key = (name, tuple(labels.items()))
+    cached = _RESOLVED.get(key)
+    if cached is not None:
+        return cached
+    entry = CATALOG.get(name)
+    if entry is None:
+        raise ValueError(
+            f"metric {name!r} is not declared in repro.obs.catalog.CATALOG"
+        )
+    if entry.kind == "counter":
+        family = _REGISTRY.counter(name, entry.help, entry.labels)
+    elif entry.kind == "gauge":
+        family = _REGISTRY.gauge(name, entry.help, entry.labels)
+    else:
+        family = _REGISTRY.histogram(
+            name, entry.help, entry.labels, entry.buckets
+        )
+    child = family.labels(**labels)
+    _RESOLVED[key] = child
+    return child
+
+
+def counter_add(
+    name: str, amount: Union[int, float] = 1, **labels: object
+) -> None:
+    """Increment a cataloged counter (no-op while disabled)."""
+    if not _STATE.enabled:
+        return
+    instrument = _instrument(name, labels)
+    assert isinstance(instrument, Counter)
+    instrument.inc(amount)
+
+
+def gauge_set(name: str, value: Union[int, float], **labels: object) -> None:
+    """Set a cataloged gauge (no-op while disabled)."""
+    if not _STATE.enabled:
+        return
+    instrument = _instrument(name, labels)
+    assert isinstance(instrument, Gauge)
+    instrument.set(value)
+
+
+def observe(name: str, value: Union[int, float], **labels: object) -> None:
+    """Record one observation into a cataloged histogram (no-op off)."""
+    if not _STATE.enabled:
+        return
+    instrument = _instrument(name, labels)
+    assert isinstance(instrument, Histogram)
+    instrument.observe(value)
+
+
+class _BoundInstrument:
+    """Base for pre-resolved instrument handles used in hot loops.
+
+    The module-level helpers (:func:`counter_add` and friends) resolve
+    name and labels on every call — one cached dict lookup, but still a
+    measurable cost when the instrumented call itself takes only a few
+    hundred microseconds.  A bound handle resolves once per registry:
+    the name and kind are validated against the catalog at construction
+    (so a typo fails at import, not at first emission), and each update
+    is a flag check, a registry identity check, and the instrument op.
+    A handle can be created at module scope and lives across
+    :func:`enable`/:func:`disable` cycles, re-resolving transparently
+    whenever a new registry is installed.
+    """
+
+    __slots__ = ("_name", "_labels", "_registry", "_child")
+
+    _kind = ""  # subclasses pin the catalog kind they accept
+
+    def __init__(self, name: str, **labels: object) -> None:
+        entry = CATALOG.get(name)
+        if entry is None:
+            raise ValueError(
+                f"metric {name!r} is not declared in repro.obs.catalog.CATALOG"
+            )
+        if entry.kind != self._kind:
+            raise ValueError(
+                f"metric {name!r} is a {entry.kind}, not a {self._kind}"
+            )
+        self._name = name
+        self._labels = labels
+        self._registry: Optional[MetricsRegistry] = None
+        self._child: Optional[Instrument] = None
+
+    def _resolve(self) -> Instrument:
+        self._child = _instrument(self._name, self._labels)
+        self._registry = _REGISTRY
+        return self._child
+
+
+class BoundCounter(_BoundInstrument):
+    """A pre-resolved counter handle (see :class:`_BoundInstrument`)."""
+
+    _kind = "counter"
+
+    def add(self, amount: Union[int, float] = 1) -> None:
+        """Increment the counter (no-op while disabled)."""
+        if not _STATE.enabled:
+            return
+        child = (
+            self._child
+            if self._registry is _REGISTRY
+            else self._resolve()
+        )
+        child.inc(amount)  # type: ignore[union-attr]
+
+
+class BoundGauge(_BoundInstrument):
+    """A pre-resolved gauge handle (see :class:`_BoundInstrument`)."""
+
+    _kind = "gauge"
+
+    def set(self, value: Union[int, float]) -> None:
+        """Set the gauge (no-op while disabled)."""
+        if not _STATE.enabled:
+            return
+        child = (
+            self._child
+            if self._registry is _REGISTRY
+            else self._resolve()
+        )
+        child.set(value)  # type: ignore[union-attr]
+
+
+class BoundHistogram(_BoundInstrument):
+    """A pre-resolved histogram handle (see :class:`_BoundInstrument`)."""
+
+    _kind = "histogram"
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation (no-op while disabled)."""
+        if not _STATE.enabled:
+            return
+        child = (
+            self._child
+            if self._registry is _REGISTRY
+            else self._resolve()
+        )
+        child.observe(value)  # type: ignore[union-attr]
+
+
+def bound_counter(name: str, **labels: object) -> BoundCounter:
+    """A :class:`BoundCounter` for one cataloged counter child."""
+    return BoundCounter(name, **labels)
+
+
+def bound_gauge(name: str, **labels: object) -> BoundGauge:
+    """A :class:`BoundGauge` for one cataloged gauge child."""
+    return BoundGauge(name, **labels)
+
+
+def bound_histogram(name: str, **labels: object) -> BoundHistogram:
+    """A :class:`BoundHistogram` for one cataloged histogram child."""
+    return BoundHistogram(name, **labels)
+
+
+#: Weakly-held zero-arg callables run before each facade export.
+_COLLECTORS: list = []
+
+
+def add_collector(fn: Callable[[], None]) -> None:
+    """Register a collector: a zero-arg callable run before each export.
+
+    Gauges that mirror external state (cache hit counts, queue depths)
+    do not belong in per-call hot paths — the state only matters when
+    somebody reads the metrics.  A collector samples that state once
+    per scrape instead: the facade exporters (``obs.prometheus_text``,
+    ``obs.json_text``, ``obs.snapshot``, ``obs.json_state`` and the
+    ``drange metrics`` CLI on top of them) invoke every live collector
+    before rendering, so collector-backed gauges are always current in
+    the output without costing the instrumented path anything.
+
+    Collectors are held by weak reference — registering one (typically
+    a bound method, at construction time) never extends its owner's
+    lifetime, and dead entries are pruned on the next export.
+    """
+    if hasattr(fn, "__self__"):
+        _COLLECTORS.append(weakref.WeakMethod(fn))  # type: ignore[arg-type]
+    else:
+        _COLLECTORS.append(weakref.ref(fn))
+
+
+def run_collectors() -> None:
+    """Invoke live collectors (no-op while disabled); prune dead ones."""
+    if not _STATE.enabled:
+        return
+    dead = []
+    for ref in _COLLECTORS:
+        collector = ref()
+        if collector is None:
+            dead.append(ref)
+        else:
+            collector()
+    for ref in dead:
+        _COLLECTORS.remove(ref)
+
+
+def span(name: str, **attributes: object) -> Union[ActiveSpan, NullSpan]:
+    """A timing span context manager (the shared no-op while disabled).
+
+    On exit the span lands in the tracer's buffer and its duration is
+    observed into ``drange_span_duration_seconds{span=name}``.  The
+    instrumented caller may read ``.elapsed_ns`` afterwards — this is
+    how deterministic-layer code derives wall-clock rates without ever
+    calling a clock itself (lint rule DET001).
+    """
+    if not _STATE.enabled:
+        return NULL_SPAN
+    return ActiveSpan(name, attributes, _TRACER)
+
+
+def _observe_span(name: str, duration_ns: int) -> None:
+    """Tracer finish hook: every span feeds the duration histogram."""
+    if not _STATE.enabled:
+        return
+    histogram = _SPAN_HISTOGRAMS.get(name)
+    if histogram is None:
+        histogram = _instrument(
+            "drange_span_duration_seconds", {"span": name}
+        )
+        _SPAN_HISTOGRAMS[name] = histogram
+    histogram.observe(duration_ns * 1e-9)
+
+
+def event_counter(component: str) -> Callable[[str, int], None]:
+    """An EventLog subscriber bridging events into the metrics registry.
+
+    Returns a ``(kind, amount)`` callable suitable for
+    :meth:`repro.core.events.EventLog.subscribe`; every recorded event
+    and bumped counter lands in
+    ``drange_events_total{component=..., kind=...}``.  The bridge checks
+    the enabled flag at call time, so it can be subscribed once at
+    construction and left in place.
+    """
+
+    def bridge(kind: str, amount: int) -> None:
+        if not _STATE.enabled:
+            return
+        counter_add(
+            "drange_events_total", amount, component=component, kind=kind
+        )
+
+    return bridge

@@ -1,0 +1,215 @@
+"""Lightweight tracing spans for the service and core boundaries.
+
+A span is a named, attributed wall-clock interval::
+
+    with obs.span("profile_region", bank=0) as sp:
+        ...
+    sp.elapsed_ns  # duration, readable after exit
+
+Spans are the **only** place this package reads a clock.  The
+deterministic model layers (``repro.dram``, ``repro.core``,
+``repro.memctrl``, ``repro.parallel`` — lint rule DET001) never call
+``time.*`` themselves; they open a span, and the span object does the
+timing *here*, outside the DET001 scope.  Instrumented code may read
+``sp.elapsed_ns`` afterwards (an attribute read, not a clock call) to
+derive rates such as ns/bit.
+
+The :class:`Tracer` keeps a bounded buffer of finished spans (newest
+kept, oldest dropped; read back as :class:`SpanRecord` objects, which
+are minted lazily so the hot path never pays for them) plus a
+per-thread stack so nested spans record their parent name.  Finishing a
+span invokes the tracer's ``on_finish(name, duration_ns)`` hook — the
+runtime layer uses it to feed the ``drange_span_duration_seconds``
+histogram, which is how request-latency and per-test wall-time
+histograms are populated without any explicit timing code at the call
+sites.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+__all__ = ["SpanRecord", "ActiveSpan", "NullSpan", "NULL_SPAN", "Tracer"]
+
+#: Finished spans retained by default before the oldest are dropped.
+DEFAULT_MAX_SPANS = 4096
+
+
+class SpanRecord:
+    """One finished span: name, attributes, and wall-clock duration.
+
+    Treated as immutable once handed to the tracer buffer.  Minted on
+    the hot path, so it is a plain ``__slots__`` class and the
+    stringified :attr:`attributes` tuple is built lazily on first
+    access — a span that is never inspected costs nothing beyond the
+    raw attribute dict it already carried.
+    """
+
+    __slots__ = ("name", "duration_ns", "parent", "_raw", "_attributes")
+
+    def __init__(
+        self,
+        name: str,
+        duration_ns: int,
+        raw_attributes: Optional[Dict[str, object]] = None,
+        parent: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.duration_ns = duration_ns
+        self.parent = parent
+        self._raw = raw_attributes or {}
+        self._attributes: Optional[Tuple[Tuple[str, str], ...]] = None
+
+    @property
+    def attributes(self) -> Tuple[Tuple[str, str], ...]:
+        """The attributes as a sorted tuple of stringified pairs."""
+        if self._attributes is None:
+            self._attributes = tuple(
+                (key, str(value)) for key, value in sorted(self._raw.items())
+            )
+        return self._attributes
+
+    @property
+    def duration_s(self) -> float:
+        """Duration in seconds."""
+        return self.duration_ns / 1e9
+
+    def attribute(self, key: str) -> Optional[str]:
+        """The stringified value of one attribute (``None`` if unset)."""
+        if key in self._raw:
+            return str(self._raw[key])
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord(name={self.name!r}, duration_ns={self.duration_ns}, "
+            f"attributes={self.attributes!r}, parent={self.parent!r})"
+        )
+
+
+@dataclass
+class _SpanStack(threading.local):
+    """Per-thread stack of open span names (parent attribution)."""
+
+    stack: list = field(default_factory=list)
+
+
+class ActiveSpan:
+    """A live span; use as a context manager (one-shot, not reentrant)."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "_tracer",
+        "_stack",
+        "_start_ns",
+        "elapsed_ns",
+    )
+
+    def __init__(
+        self, name: str, attributes: Dict[str, object], tracer: "Tracer"
+    ) -> None:
+        self.name = name
+        self.attributes = attributes
+        self._tracer = tracer
+        self._stack: Optional[list] = None
+        self._start_ns = 0
+        #: Wall-clock duration, populated on exit (0 while open).
+        self.elapsed_ns = 0
+
+    def __enter__(self) -> "ActiveSpan":
+        # Resolve the thread-local stack once; __exit__ reuses it.
+        stack = self._tracer._stack.stack
+        stack.append(self.name)
+        self._stack = stack
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_ns = time.perf_counter_ns() - self._start_ns
+        stack = self._stack
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        tracer = self._tracer
+        # Finished spans are buffered as bare tuples; SpanRecord objects
+        # are minted lazily when someone actually reads the buffer.
+        tracer._spans.append(
+            (
+                self.name,
+                self.elapsed_ns,
+                self.attributes,
+                stack[-1] if stack else None,
+            )
+        )
+        tracer._count += 1
+        if tracer.on_finish is not None:
+            tracer.on_finish(self.name, self.elapsed_ns)
+
+
+class NullSpan:
+    """The shared no-op span handed out while observability is disabled.
+
+    Stateless, so one instance is safely shared by every caller on every
+    thread; ``elapsed_ns`` is always 0.
+    """
+
+    __slots__ = ()
+
+    elapsed_ns = 0
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+#: The singleton no-op span.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Bounded buffer of finished spans plus the per-thread open stack."""
+
+    def __init__(
+        self,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        on_finish: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {max_spans}")
+        # Each entry is a (name, duration_ns, raw_attributes, parent)
+        # tuple — the SpanRecord constructor's positional signature.
+        self._spans: Deque[tuple] = deque(maxlen=max_spans)
+        self._stack = _SpanStack()
+        self._count = 0
+        #: Called as ``on_finish(name, duration_ns)`` per finished span.
+        self.on_finish = on_finish
+
+    @property
+    def span_count(self) -> int:
+        """Total spans finished (including any dropped from the buffer)."""
+        return self._count
+
+    def start(self, name: str, **attributes: object) -> ActiveSpan:
+        """Open a span; enter the returned object to start the clock."""
+        return ActiveSpan(name, attributes, self)
+
+    def finished(self) -> Tuple[SpanRecord, ...]:
+        """Retained finished spans, oldest first."""
+        return tuple(SpanRecord(*entry) for entry in self._spans)
+
+    def of_name(self, name: str) -> Tuple[SpanRecord, ...]:
+        """Retained spans with one name, oldest first."""
+        return tuple(
+            SpanRecord(*entry) for entry in self._spans if entry[0] == name
+        )
+
+    def reset(self) -> None:
+        """Drop the retained spans and zero the finish count."""
+        self._spans.clear()
+        self._count = 0

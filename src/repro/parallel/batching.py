@@ -37,6 +37,7 @@ import numpy as np
 import numpy.typing as npt
 
 from repro.errors import ConfigurationError
+from repro.obs import runtime as obs
 
 
 class BitService(Protocol):
@@ -125,6 +126,7 @@ class BatchingFrontEnd:
             while len(self._queue) >= self._max_pending:
                 self._cond.wait()
             self._queue.append(entry)
+            obs.gauge_set("drange_batch_pending_requests", len(self._queue))
             while not entry.done:
                 if not self._leader_active:
                     self._leader_active = True
@@ -168,8 +170,15 @@ class BatchingFrontEnd:
                     if not batch:
                         return
                     # Space was freed: unblock backpressured enqueuers.
+                    obs.gauge_set(
+                        "drange_batch_pending_requests", len(self._queue)
+                    )
                     self._cond.notify_all()
                 total = sum(pending.num_bits for pending in batch)
+                if obs.enabled():
+                    obs.counter_add("drange_batches_total")
+                    obs.observe("drange_batch_size_bits", total)
+                    obs.observe("drange_batch_requests", len(batch))
                 bits: Optional[npt.NDArray[np.uint8]] = None
                 error: Optional[BaseException] = None
                 try:

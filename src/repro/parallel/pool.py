@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import runtime as obs
 
 #: Environment variable overriding the default worker count.
 ENV_MAX_WORKERS = "REPRO_MAX_WORKERS"
@@ -183,10 +184,10 @@ class WorkerPool:
         if not task_list:
             return []
         if self._backend == "serial" or len(task_list) == 1:
-            return self._execute_serial(fn, task_list)
+            return self._observe(self._execute_serial(fn, task_list))
         executor = self._make_executor(len(task_list))
         if executor is None:
-            return self._execute_serial(fn, task_list)
+            return self._observe(self._execute_serial(fn, task_list))
         outcomes: List[TaskOutcome] = []
         try:
             futures: List[Future] = [
@@ -203,6 +204,23 @@ class WorkerPool:
             # work that never started is cancelled).
             wait = all(not outcome.timed_out for outcome in outcomes)
             executor.shutdown(wait=wait, cancel_futures=True)
+        return self._observe(outcomes)
+
+    def _observe(self, outcomes: List[TaskOutcome]) -> List[TaskOutcome]:
+        """Account settled outcomes to the metrics registry (pass-through)."""
+        if obs.enabled():
+            for outcome in outcomes:
+                if outcome.timed_out:
+                    result = "timeout"
+                elif outcome.error is not None:
+                    result = "error"
+                else:
+                    result = "ok"
+                obs.counter_add(
+                    "drange_pool_tasks_total",
+                    backend=self._backend,
+                    outcome=result,
+                )
         return outcomes
 
     def _settle(

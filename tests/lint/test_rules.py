@@ -265,3 +265,48 @@ def test_cor002_applies_everywhere():
     snippet = "def f(a=[]):\n    return a\n"
     assert "COR002" in codes(snippet, path=TEST_PATH)
     assert "COR002" in codes(snippet, path="examples/demo.py")
+
+
+# ---------------------------------------------------------------------------
+# DOC001 — public API docstrings
+# ---------------------------------------------------------------------------
+
+API_PATH = "src/repro/core/fake_module.py"
+OBS_PATH = "src/repro/obs/fake_module.py"
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def service(bits):\n    return bits\n",
+        "class Sampler:\n    '''Doc.'''\n    def generate(self):\n        pass\n",
+        "class Sampler:\n    def generate(self):\n        '''Doc.'''\n",
+    ],
+)
+def test_doc001_flags_undocumented_public_names(snippet):
+    assert "DOC001" in codes(snippet, path=API_PATH)
+    assert "DOC001" in codes(snippet, path=OBS_PATH)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def service(bits):\n    '''Doc.'''\n    return bits\n",
+        "class Sampler:\n    '''Doc.'''\n    def generate(self):\n        '''Doc.'''\n",
+        # Private names, dunders, nested helpers are exempt.
+        "def _helper(bits):\n    return bits\n",
+        "class _Hidden:\n    def generate(self):\n        pass\n",
+        "class Sampler:\n    '''Doc.'''\n    def _internal(self):\n        pass\n",
+        "class Sampler:\n    '''Doc.'''\n    def __len__(self):\n        return 0\n",
+        "def outer():\n    '''Doc.'''\n    def inner():\n        pass\n",
+    ],
+)
+def test_doc001_allows_documented_or_private_names(snippet):
+    assert "DOC001" not in codes(snippet, path=API_PATH)
+
+
+def test_doc001_scope_is_the_api_packages():
+    snippet = "def service(bits):\n    return bits\n"
+    assert "DOC001" not in codes(snippet, path=LIB_PATH)
+    assert "DOC001" not in codes(snippet, path=TEST_PATH)
+    assert "DOC001" not in codes(snippet, path="src/repro/nist/fake.py")

@@ -1,0 +1,20 @@
+"""Fixtures for the observability tests.
+
+``repro.obs.runtime`` holds process-global state (the active registry,
+tracer, enabled flag, resolution caches); every test here runs against
+a known-clean slate and leaves one behind.
+"""
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Fresh registry/tracer before each test; disabled afterwards."""
+    runtime.enable()  # installs fresh registry + tracer, drops caches
+    runtime.disable()
+    yield
+    runtime.enable()
+    runtime.disable()

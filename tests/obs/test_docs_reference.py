@@ -1,0 +1,62 @@
+"""Cross-check docs/observability.md against the metric catalog.
+
+The catalog promises that ``docs/observability.md`` documents exactly
+the families the stack emits; this test parses the document's metric
+tables and holds the two in sync — adding a metric without documenting
+it (or documenting one that no longer exists) fails here.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.catalog import CATALOG
+
+DOC_PATH = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+#: A metric-table row: | `name` | kind | labels | meaning |
+ROW_RE = re.compile(
+    r"^\|\s*`(?P<name>drange_[a-z0-9_]+)`\s*"
+    r"\|\s*(?P<kind>counter|gauge|histogram)\s*"
+    r"\|\s*(?P<labels>[^|]*)\|"
+)
+
+
+def _documented_metrics():
+    rows = {}
+    for line in DOC_PATH.read_text().splitlines():
+        match = ROW_RE.match(line.strip())
+        if match:
+            labels = tuple(
+                part.strip().strip("`")
+                for part in match.group("labels").split(",")
+                if part.strip() and part.strip() != "—"
+            )
+            rows[match.group("name")] = (match.group("kind"), labels)
+    return rows
+
+
+def test_every_catalog_entry_is_documented():
+    documented = _documented_metrics()
+    missing = sorted(set(CATALOG) - set(documented))
+    assert not missing, f"metrics missing from docs/observability.md: {missing}"
+
+
+def test_every_documented_metric_exists():
+    documented = _documented_metrics()
+    stale = sorted(set(documented) - set(CATALOG))
+    assert not stale, f"docs/observability.md documents unknown metrics: {stale}"
+
+
+def test_documented_kinds_and_labels_match():
+    for name, (kind, labels) in _documented_metrics().items():
+        entry = CATALOG[name]
+        assert entry.kind == kind, f"{name}: docs say {kind}, catalog says {entry.kind}"
+        assert tuple(entry.labels) == labels, (
+            f"{name}: docs say labels {labels}, catalog says {entry.labels}"
+        )
+
+
+def test_doc_parse_found_the_tables():
+    # Guard against a silent regex/format drift making the other tests
+    # vacuously pass.
+    assert len(_documented_metrics()) >= 15

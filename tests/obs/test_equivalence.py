@@ -1,0 +1,86 @@
+"""Observability must never change the sampled bits.
+
+The determinism contract in ``repro.obs.runtime``: instrumentation is
+purely observational — enabling it draws no entropy and feeds nothing
+back into the model layers, so a seeded run produces bit-identical
+output with observability on and off.  These tests hold that contract
+for both generation paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.drange import DRange
+from repro.core.profiling import Region
+from repro.dram.device import DeviceFactory
+from repro.obs import runtime
+
+MASTER_SEED = 2019
+NOISE_SEED = 20190216
+REGION = Region(banks=(0, 1), row_start=0, row_count=256)
+NUM_BITS = 2048
+
+
+def _generate(path, instrumented):
+    """Bits from a freshly-seeded stack, with obs on or off."""
+    device = DeviceFactory(
+        master_seed=MASTER_SEED, noise_seed=NOISE_SEED
+    ).make_device("A", 0)
+    drange = DRange(device)
+    if not drange.prepare(region=REGION, iterations=100):
+        pytest.skip("no RNG cells identified for this seed")
+    sampler = drange.sampler()
+    if instrumented:
+        runtime.enable()
+    try:
+        return getattr(sampler, path)(NUM_BITS)
+    finally:
+        runtime.disable()
+
+
+@pytest.mark.parametrize("path", ["generate", "generate_fast"])
+def test_bits_identical_with_and_without_instrumentation(path):
+    baseline = _generate(path, instrumented=False)
+    instrumented = _generate(path, instrumented=True)
+    assert np.array_equal(baseline, instrumented)
+
+
+def test_instrumented_run_actually_recorded(path="generate_fast"):
+    _generate(path, instrumented=False)
+    registry_before = runtime.get_registry()
+    bits = _generate(path, instrumented=True)
+    # The second run really was instrumented: a fresh registry holds the
+    # emitted-bits counter and a finished span.
+    registry = runtime.get_registry()
+    assert registry is not registry_before
+    assert (
+        registry.value("drange_sampler_bits_total", path=path) == bits.size
+    )
+    assert runtime.get_tracer().span_count >= 1
+
+
+def test_toggling_mid_stream_does_not_perturb_bits():
+    device = DeviceFactory(
+        master_seed=MASTER_SEED, noise_seed=NOISE_SEED
+    ).make_device("A", 0)
+    drange = DRange(device)
+    if not drange.prepare(region=REGION, iterations=100):
+        pytest.skip("no RNG cells identified for this seed")
+    sampler = drange.sampler()
+    toggled = []
+    for i in range(4):
+        if i % 2:
+            runtime.enable()
+        toggled.append(sampler.generate_fast(NUM_BITS))
+        runtime.disable()
+
+    device = DeviceFactory(
+        master_seed=MASTER_SEED, noise_seed=NOISE_SEED
+    ).make_device("A", 0)
+    drange = DRange(device)
+    drange.prepare(region=REGION, iterations=100)
+    sampler = drange.sampler()
+    plain = [sampler.generate_fast(NUM_BITS) for _ in range(4)]
+
+    for got, expected in zip(toggled, plain):
+        assert np.array_equal(got, expected)

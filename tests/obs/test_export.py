@@ -1,0 +1,109 @@
+"""Exporter tests: Prometheus text, JSON, snapshots, snapshot logger."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    MetricsSnapshot,
+    SnapshotLogger,
+    json_snapshot,
+    json_text,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("bits_total", "Bits emitted.", labels=("path",)).labels(
+        path="fast"
+    ).inc(4096)
+    registry.gauge("queue_bits", "Queue depth.").labels().set(128)
+    hist = registry.histogram("latency", "Latency.", buckets=(0.1, 1.0))
+    hist.labels().observe(0.05)
+    hist.labels().observe(0.5)
+    hist.labels().observe(7.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_help_type_and_series_lines(self, registry):
+        text = prometheus_text(registry)
+        assert "# HELP bits_total Bits emitted." in text
+        assert "# TYPE bits_total counter" in text
+        assert 'bits_total{path="fast"} 4096' in text
+        assert "queue_bits 128" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self, registry):
+        lines = prometheus_text(registry).splitlines()
+        assert 'latency_bucket{le="0.1"} 1' in lines
+        assert 'latency_bucket{le="1"} 2' in lines
+        assert 'latency_bucket{le="+Inf"} 3' in lines
+        assert "latency_sum 7.55" in lines
+        assert "latency_count 3" in lines
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_rendering_is_deterministic(self, registry):
+        assert prometheus_text(registry) == prometheus_text(registry)
+
+
+class TestJsonSnapshot:
+    def test_shape(self, registry):
+        data = json_snapshot(registry)
+        assert data["bits_total"]["kind"] == "counter"
+        assert data["bits_total"]["series"] == [
+            {"labels": {"path": "fast"}, "value": 4096.0}
+        ]
+        latency = data["latency"]["series"][0]
+        assert latency["count"] == 3
+        assert latency["buckets"][-1] == {"le": "+Inf", "count": 1}
+
+    def test_json_text_round_trips(self, registry):
+        parsed = json.loads(json_text(registry))
+        assert parsed["queue_bits"]["series"][0]["value"] == 128.0
+
+
+class TestMetricsSnapshot:
+    def test_folds_instruments_by_kind(self, registry):
+        snapshot = MetricsSnapshot.from_registry(registry, span_count=9)
+        assert snapshot.value('bits_total{path="fast"}') == 4096.0
+        assert snapshot.value("queue_bits") == 128.0
+        assert snapshot.value("never") is None
+        assert snapshot.histograms == (("latency", 3, 7.55),)
+        assert snapshot.span_count == 9
+
+    def test_format_line_is_sorted_key_value(self, registry):
+        line = MetricsSnapshot.from_registry(registry).format_line()
+        assert 'bits_total{path="fast"}=4096' in line
+        assert "queue_bits=128" in line
+        assert "latency_count=3" in line
+
+    def test_to_json(self, registry):
+        parsed = json.loads(MetricsSnapshot.from_registry(registry).to_json())
+        assert parsed["gauges"]["queue_bits"] == 128.0
+        assert parsed["histograms"]["latency"]["count"] == 3
+
+
+class TestSnapshotLogger:
+    def test_emits_at_most_once_per_interval(self, registry):
+        now = [100.0]
+        emitted = []
+        logger = SnapshotLogger(
+            registry,
+            interval_s=10.0,
+            sink=emitted.append,
+            clock=lambda: now[0],
+        )
+        assert logger.maybe_emit() is not None  # first call always emits
+        assert logger.maybe_emit() is None
+        now[0] += 10.0
+        assert logger.maybe_emit() is not None
+        assert len(emitted) == 2
+
+    def test_rejects_nonpositive_interval(self, registry):
+        with pytest.raises(ValueError):
+            SnapshotLogger(registry, interval_s=0)

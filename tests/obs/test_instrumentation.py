@@ -1,0 +1,242 @@
+"""Runtime facade tests: the switch, catalog gate, bound handles,
+collectors, and the span→histogram bridge."""
+
+import pytest
+
+from repro import obs
+from repro.obs import runtime
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+
+class TestSwitch:
+    def test_disabled_by_default_and_noop(self):
+        assert not runtime.enabled()
+        runtime.counter_add("drange_service_bits_served_total", 10)
+        assert (
+            runtime.get_registry().value("drange_service_bits_served_total")
+            == 0.0
+        )
+
+    def test_enable_installs_fresh_registry(self):
+        before = runtime.get_registry()
+        returned = runtime.enable()
+        assert runtime.enabled()
+        assert returned is runtime.get_registry()
+        assert returned is not before
+
+    def test_enable_accepts_existing_registry_and_tracer(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        assert runtime.enable(registry=registry, tracer=tracer) is registry
+        assert runtime.get_tracer() is tracer
+
+    def test_disable_keeps_registry_readable(self):
+        registry = runtime.enable()
+        runtime.counter_add("drange_service_bits_served_total", 5)
+        runtime.disable()
+        assert registry.value("drange_service_bits_served_total") == 5.0
+
+    def test_resume_continues_into_same_registry(self):
+        registry = runtime.enable()
+        runtime.counter_add("drange_service_bits_served_total", 1)
+        runtime.disable()
+        runtime.counter_add("drange_service_bits_served_total", 100)  # no-op
+        runtime.resume()
+        runtime.counter_add("drange_service_bits_served_total", 2)
+        assert registry.value("drange_service_bits_served_total") == 3.0
+        assert runtime.get_registry() is registry
+
+
+class TestCatalogGate:
+    def test_unknown_metric_name_raises(self):
+        runtime.enable()
+        with pytest.raises(ValueError, match="not declared"):
+            runtime.counter_add("drange_totally_unknown_total")
+
+    def test_facade_helpers_write_cataloged_series(self):
+        registry = runtime.enable()
+        runtime.counter_add("drange_sampler_bits_total", 64, path="generate")
+        runtime.gauge_set("drange_channels_active", 3)
+        runtime.observe("drange_batch_size_bits", 4096.0)
+        assert (
+            registry.value("drange_sampler_bits_total", path="generate")
+            == 64.0
+        )
+        assert registry.value("drange_channels_active") == 3.0
+        family = registry.get("drange_batch_size_bits")
+        assert family.labels().count == 1
+
+
+class TestBoundHandles:
+    def test_constructor_validates_name_against_catalog(self):
+        with pytest.raises(ValueError, match="not declared"):
+            runtime.bound_counter("drange_no_such_total")
+
+    def test_constructor_validates_kind(self):
+        with pytest.raises(ValueError, match="is a gauge, not a counter"):
+            runtime.bound_counter("drange_channels_active")
+
+    def test_disabled_handle_is_noop(self):
+        handle = runtime.bound_counter("drange_batches_total")
+        handle.add(5)
+        assert runtime.get_registry().value("drange_batches_total") == 0.0
+
+    def test_handle_writes_when_enabled(self):
+        registry = runtime.enable()
+        runtime.bound_counter("drange_batches_total").add(2)
+        runtime.bound_gauge("drange_batch_pending_requests").set(7)
+        runtime.bound_histogram("drange_batch_requests").observe(3.0)
+        assert registry.value("drange_batches_total") == 2.0
+        assert registry.value("drange_batch_pending_requests") == 7.0
+        assert registry.get("drange_batch_requests").labels().count == 1
+
+    def test_handle_re_resolves_after_registry_swap(self):
+        handle = runtime.bound_counter("drange_batches_total")
+        first = runtime.enable()
+        handle.add()
+        second = runtime.enable()  # fresh registry
+        handle.add(10)
+        assert first.value("drange_batches_total") == 1.0
+        assert second.value("drange_batches_total") == 10.0
+
+    def test_labeled_handles_reach_distinct_children(self):
+        registry = runtime.enable()
+        ok = runtime.bound_counter(
+            "drange_pool_tasks_total", backend="thread", outcome="ok"
+        )
+        err = runtime.bound_counter(
+            "drange_pool_tasks_total", backend="thread", outcome="error"
+        )
+        ok.add(3)
+        err.add()
+        assert (
+            registry.value(
+                "drange_pool_tasks_total", backend="thread", outcome="ok"
+            )
+            == 3.0
+        )
+        assert (
+            registry.value(
+                "drange_pool_tasks_total", backend="thread", outcome="error"
+            )
+            == 1.0
+        )
+
+
+class TestSpans:
+    def test_span_returns_null_span_while_disabled(self):
+        assert runtime.span("sampler.generate", bits=1) is NULL_SPAN
+
+    def test_span_feeds_duration_histogram(self):
+        registry = runtime.enable()
+        with runtime.span("service.request", bits=64):
+            pass
+        family = registry.get("drange_span_duration_seconds")
+        child = family.labels(span="service.request")
+        assert child.count == 1
+        assert runtime.get_tracer().span_count == 1
+
+    def test_span_elapsed_readable_after_exit(self):
+        runtime.enable()
+        span = runtime.span("service.request")
+        with span:
+            pass
+        assert span.elapsed_ns > 0
+
+
+class TestCollectors:
+    def test_collectors_run_on_facade_exports(self):
+        registry = runtime.enable()
+
+        def collect():
+            runtime.gauge_set("drange_channels_active", 4)
+
+        runtime.add_collector(collect)
+        assert registry.value("drange_channels_active") == 0.0
+        obs.prometheus_text()
+        assert registry.value("drange_channels_active") == 4.0
+
+        runtime.gauge_set("drange_channels_active", 0)
+        obs.json_state()
+        assert registry.value("drange_channels_active") == 4.0
+
+    def test_collectors_skipped_while_disabled(self):
+        registry = runtime.enable()
+        calls = []
+
+        def collector():  # a local binding keeps the weakly-held callable alive
+            calls.append(1)
+
+        runtime.add_collector(collector)
+        runtime.disable()
+        runtime.run_collectors()
+        assert calls == []
+        runtime.resume()
+        runtime.run_collectors()
+        assert calls == [1]
+        assert registry is runtime.get_registry()
+
+    def test_dead_collectors_are_pruned(self):
+        runtime.enable()
+
+        class Owner:
+            def collect(self):
+                pass  # pragma: no cover - never reached once dead
+
+        runtime.run_collectors()  # prune leftovers from other tests first
+        owner = Owner()
+        runtime.add_collector(owner.collect)
+        registered = len(runtime._COLLECTORS)
+        del owner
+        runtime.run_collectors()
+        assert len(runtime._COLLECTORS) == registered - 1
+
+    def test_bound_method_collector_does_not_keep_owner_alive(self):
+        import weakref
+
+        runtime.enable()
+
+        class Owner:
+            def collect(self):
+                pass  # pragma: no cover
+
+        owner = Owner()
+        ref = weakref.ref(owner)
+        runtime.add_collector(owner.collect)
+        del owner
+        assert ref() is None
+
+
+class TestEventCounterBridge:
+    def test_bridge_feeds_events_total(self):
+        registry = runtime.enable()
+        bridge = runtime.event_counter("service")
+        bridge("alarm", 1)
+        bridge("bits_discarded", 4096)
+        assert (
+            registry.value(
+                "drange_events_total", component="service", kind="alarm"
+            )
+            == 1.0
+        )
+        assert (
+            registry.value(
+                "drange_events_total",
+                component="service",
+                kind="bits_discarded",
+            )
+            == 4096.0
+        )
+
+    def test_bridge_noop_while_disabled(self):
+        registry = runtime.enable()
+        bridge = runtime.event_counter("service")
+        runtime.disable()
+        bridge("alarm", 1)
+        assert (
+            registry.value(
+                "drange_events_total", component="service", kind="alarm"
+            )
+            == 0.0
+        )

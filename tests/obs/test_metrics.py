@@ -1,0 +1,154 @@
+"""Unit tests for the metrics primitives and the registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    render_labels,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("c_total").labels()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self, registry):
+        counter = registry.counter("c_total").labels()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("g").labels()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12.0
+
+
+class TestHistogram:
+    def test_bucketing_is_le_inclusive(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0, 5.0)).labels()
+        for value in (0.5, 1.0, 3.0, 5.0, 99.0):
+            histogram.observe(value)
+        # le=1.0 catches 0.5 and exactly 1.0; le=5.0 catches 3.0 and
+        # exactly 5.0; the implicit +Inf bucket catches 99.0.
+        assert histogram.counts == (2, 2, 1)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(108.5)
+
+    def test_rejects_empty_or_unsorted_buckets(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h1", buckets=()).labels()
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=(5.0, 1.0)).labels()
+
+    def test_default_buckets_are_the_latency_set(self, registry):
+        histogram = registry.histogram("h").labels()
+        assert histogram.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestMetricFamily:
+    def test_children_keyed_by_stringified_label_values(self, registry):
+        family = registry.counter("c_total", labels=("channel",))
+        assert family.labels(channel=0) is family.labels(channel="0")
+        family.labels(channel=1).inc()
+        assert registry.value("c_total", channel=1) == 1.0
+        assert registry.value("c_total", channel=0) == 0.0
+
+    def test_label_name_set_must_match_exactly(self, registry):
+        family = registry.counter("c_total", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            family.labels(a="x")
+        with pytest.raises(ValueError):
+            family.labels(a="x", b="y", c="z")
+
+    def test_children_iterate_in_label_sort_order(self, registry):
+        family = registry.gauge("g", labels=("k",))
+        for key in ("z", "a", "m"):
+            family.labels(k=key)
+        assert [values for values, _ in family.children()] == [
+            ("a",),
+            ("m",),
+            ("z",),
+        ]
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("0bad")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("bad-label",))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total")
+        assert first is second
+
+    def test_kind_collision_raises(self, registry):
+        registry.counter("name")
+        with pytest.raises(ValueError):
+            registry.gauge("name")
+
+    def test_label_set_collision_raises(self, registry):
+        registry.counter("name", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("name", labels=("a", "b"))
+
+    def test_value_reads_zero_for_missing_series(self, registry):
+        assert registry.value("never_registered") == 0.0
+        registry.counter("c_total", labels=("k",))
+        assert registry.value("c_total", k="untouched") == 0.0
+
+    def test_value_validates_label_names(self, registry):
+        registry.counter("c_total", labels=("k",))
+        with pytest.raises(ValueError):
+            registry.value("c_total", wrong="x")
+
+    def test_families_in_registration_order(self, registry):
+        for name in ("zzz", "aaa", "mmm"):
+            registry.counter(name)
+        assert [f.name for f in registry.families()] == ["zzz", "aaa", "mmm"]
+
+    def test_reset_drops_everything(self, registry):
+        registry.counter("c_total").labels().inc()
+        registry.reset()
+        assert registry.families() == ()
+        assert registry.value("c_total") == 0.0
+
+    def test_concurrent_increments_are_not_lost(self, registry):
+        counter = registry.counter("c_total").labels()
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000.0
+
+
+class TestRenderLabels:
+    def test_bare_family_renders_empty(self):
+        assert render_labels((), ()) == ""
+
+    def test_values_are_quoted_and_escaped(self):
+        rendered = render_labels(("a", "b"), ('va"l', "li\nne"))
+        assert rendered == '{a="va\\"l",b="li\\nne"}'

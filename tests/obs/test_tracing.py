@@ -1,0 +1,147 @@
+"""Unit tests for tracing spans, the span buffer, and lazy records."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import NULL_SPAN, NullSpan, SpanRecord, Tracer
+
+
+class TestSpanLifecycle:
+    def test_span_times_and_buffers(self):
+        tracer = Tracer()
+        with tracer.start("work", bits=64) as span:
+            pass
+        assert span.elapsed_ns > 0
+        records = tracer.finished()
+        assert len(records) == 1
+        assert records[0].name == "work"
+        assert records[0].duration_ns == span.elapsed_ns
+
+    def test_elapsed_is_zero_while_open(self):
+        tracer = Tracer()
+        span = tracer.start("work")
+        assert span.elapsed_ns == 0
+
+    def test_buffered_even_when_body_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.start("work"):
+                raise RuntimeError("boom")
+        assert tracer.span_count == 1
+
+    def test_nested_spans_record_parent_name(self):
+        tracer = Tracer()
+        with tracer.start("outer"):
+            with tracer.start("inner"):
+                pass
+        inner, outer = None, None
+        for record in tracer.finished():
+            if record.name == "inner":
+                inner = record
+            else:
+                outer = record
+        assert inner.parent == "outer"
+        assert outer.parent is None
+
+    def test_parent_stack_is_per_thread(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.start("threaded"):
+                pass
+            seen["done"] = True
+
+        with tracer.start("main_side"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["done"]
+        # The worker thread's span must not see "main_side" as parent —
+        # the open-span stack is thread-local.
+        assert tracer.of_name("threaded")[0].parent is None
+
+
+class TestSpanRecord:
+    def test_attributes_stringified_and_sorted_lazily(self):
+        record = SpanRecord("s", 10, {"b": 2, "a": 1})
+        assert record.attributes == (("a", "1"), ("b", "2"))
+        # Cached: same tuple object on the second read.
+        assert record.attributes is record.attributes
+
+    def test_attribute_accessor(self):
+        record = SpanRecord("s", 10, {"bits": 4096})
+        assert record.attribute("bits") == "4096"
+        assert record.attribute("missing") is None
+
+    def test_duration_seconds(self):
+        assert SpanRecord("s", 2_500_000_000).duration_s == 2.5
+
+    def test_records_minted_fresh_per_read(self):
+        # The buffer stores bare tuples; records are built on read, so
+        # two reads return equal but distinct objects.
+        tracer = Tracer()
+        with tracer.start("work"):
+            pass
+        first = tracer.finished()[0]
+        second = tracer.finished()[0]
+        assert first is not second
+        assert first.name == second.name
+        assert first.duration_ns == second.duration_ns
+
+
+class TestTracerBuffer:
+    def test_bounded_buffer_keeps_newest(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            with tracer.start(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.finished()] == ["s2", "s3", "s4"]
+        # span_count still counts the dropped ones.
+        assert tracer.span_count == 5
+
+    def test_of_name_filters(self):
+        tracer = Tracer()
+        for name in ("a", "b", "a"):
+            with tracer.start(name):
+                pass
+        assert len(tracer.of_name("a")) == 2
+        assert tracer.of_name("missing") == ()
+
+    def test_reset_clears_buffer_and_count(self):
+        tracer = Tracer()
+        with tracer.start("s"):
+            pass
+        tracer.reset()
+        assert tracer.finished() == ()
+        assert tracer.span_count == 0
+
+    def test_rejects_nonpositive_max_spans(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestOnFinishHook:
+    def test_hook_receives_name_and_duration(self):
+        calls = []
+        tracer = Tracer(on_finish=lambda name, ns: calls.append((name, ns)))
+        with tracer.start("hooked") as span:
+            pass
+        assert calls == [("hooked", span.elapsed_ns)]
+
+    def test_hook_installable_after_construction(self):
+        tracer = Tracer()
+        calls = []
+        tracer.on_finish = lambda name, ns: calls.append(name)
+        with tracer.start("late"):
+            pass
+        assert calls == ["late"]
+
+
+class TestNullSpan:
+    def test_shared_noop_instance(self):
+        assert isinstance(NULL_SPAN, NullSpan)
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+        assert NULL_SPAN.elapsed_ns == 0
