@@ -8,6 +8,7 @@ Usage (installed, or via ``python -m repro``)::
     python -m repro faults --fault bias-drift --bits 20000
     python -m repro throughput --banks 8
     python -m repro --seed 7 metrics --requests 4
+    python -m repro --seed 7 serve --requests 200 --rate 100
     python -m repro latency
     python -m repro compare
     python -m repro experiment fig4 fig8 table2
@@ -145,6 +146,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", default="prometheus",
         choices=["prometheus", "json", "snapshot"],
         help="exposition format (default: Prometheus text)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the entropy-buffered serving layer under open-loop load",
+    )
+    serve.add_argument("--manufacturer", default="A", choices=["A", "B", "C"])
+    serve.add_argument("--banks", type=int, default=2)
+    serve.add_argument("--rows", type=int, default=512)
+    serve.add_argument(
+        "--requests", type=int, default=200,
+        help="total requests to issue",
+    )
+    serve.add_argument(
+        "--bits", type=int, default=256, help="bits per request"
+    )
+    serve.add_argument(
+        "--rate", type=float, default=200.0,
+        help="open-loop arrival rate in requests/second",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=50.0,
+        help="per-request deadline in milliseconds",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=1 << 15,
+        help="entropy-pool capacity in bits",
+    )
+    serve.add_argument(
+        "--degraded", action="store_true",
+        help="enable the DRBG degraded mode for pool droughts",
+    )
+    serve.add_argument(
+        "--fault", default="none", choices=["none", "bias-drift", "burst"],
+        help="inject a transient fault to exercise quarantine/shedding",
+    )
+    serve.add_argument(
+        "--fault-window", type=int, default=50_000,
+        help="fault window length in harvested bits",
+    )
+    serve.add_argument(
+        "--report-every", type=int, default=50,
+        help="print a live SLO summary every N requests",
     )
 
     lint = sub.add_parser(
@@ -385,6 +429,98 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro import obs
+    from repro.core.integration import DRangeService, RecoveryPolicy
+    from repro.errors import ServingError
+    from repro.faults import BiasDriftFault, FaultInjector, TransientBurstFault
+    from repro.health import HealthMonitor
+    from repro.serving import BufferedRngService, DegradedPolicy
+
+    if args.rate <= 0 or args.requests <= 0 or args.deadline_ms <= 0:
+        print("error: --rate, --requests and --deadline-ms must be positive")
+        return 2
+    factory = DeviceFactory(master_seed=args.master_seed, noise_seed=args.seed)
+    device = factory.make_device(args.manufacturer, 0)
+    injector = FaultInjector(device)
+    drange = DRange(injector)
+    region = Region(
+        banks=tuple(range(args.banks)), row_start=0, row_count=args.rows
+    )
+    cells = drange.prepare(region=region, iterations=100)
+    if not cells:
+        print("no RNG cells identified; try another seed")
+        return 1
+    if args.fault != "none":
+        fault = (
+            BiasDriftFault(target=1, rate_per_bit=1e-3)
+            if args.fault == "bias-drift"
+            else TransientBurstFault(period=8192, burst_bits=2048)
+        )
+        window = injector.inject(
+            fault, end_bit=injector.bits_elapsed + args.fault_window
+        )
+        print(f"injected {window.fault.name} for {args.fault_window} bits")
+    service = DRangeService(
+        health_monitor=HealthMonitor(),
+        drange=drange,
+        recovery=RecoveryPolicy(max_retries=3, region=region),
+    )
+    buffered = BufferedRngService(
+        service,
+        capacity_bits=args.capacity,
+        clock=time.monotonic,
+        default_deadline_s=args.deadline_ms / 1000.0,
+        degraded=DegradedPolicy() if args.degraded else None,
+    )
+    obs.enable()
+    outcomes = {"ok": 0, "degraded": 0, "shed": 0}
+    try:
+        buffered.start()
+        interval = 1.0 / args.rate
+        start = time.monotonic()
+        for index in range(args.requests):
+            delay = start + index * interval - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                result = buffered.request(args.bits)
+                outcomes["degraded" if result.degraded else "ok"] += 1
+            except ServingError:
+                outcomes["shed"] += 1
+            if (index + 1) % args.report_every == 0:
+                slo = buffered.slo_summary()
+                print(
+                    f"[{index + 1}/{args.requests}] "
+                    f"p50={slo['p50'] * 1e3:.2f}ms "
+                    f"p99={slo['p99'] * 1e3:.2f}ms "
+                    f"p999={slo['p999'] * 1e3:.2f}ms "
+                    f"pool={int(slo['pool_bits'])}b "
+                    f"ok={outcomes['ok']} degraded={outcomes['degraded']} "
+                    f"shed={outcomes['shed']}"
+                )
+                print("  " + obs.snapshot().format_line())
+        buffered.stop()
+        elapsed = time.monotonic() - start
+        slo = buffered.slo_summary()
+        print(
+            f"done: {args.requests} requests in {elapsed:.2f}s "
+            f"({args.requests / elapsed:.1f} req/s offered {args.rate:.1f})"
+        )
+        print(
+            f"final: p50={slo['p50'] * 1e3:.2f}ms p99={slo['p99'] * 1e3:.2f}ms "
+            f"p999={slo['p999'] * 1e3:.2f}ms "
+            f"ok={outcomes['ok']} degraded={outcomes['degraded']} "
+            f"shed={outcomes['shed']}"
+        )
+    finally:
+        buffered.stop()
+        obs.disable()
+    return 0 if outcomes["ok"] + outcomes["degraded"] > 0 else 1
+
+
 def _forward_lint(tokens: List[str]) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -430,6 +566,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
     "metrics": _cmd_metrics,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

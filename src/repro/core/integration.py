@@ -34,6 +34,7 @@ from repro.core.sampler import DRangeSampler
 from repro.errors import (
     ConfigurationError,
     HealthError,
+    InvalidRequestError,
     RecoveryExhaustedError,
     ReproError,
     StartupTestError,
@@ -55,15 +56,25 @@ class RecoveryPolicy:
     ``region``/``iterations``/``identify_samples``/``max_cells`` are the
     re-identification arguments passed to
     :meth:`~repro.core.drange.DRange.prepare`; backoff between retries
-    is ``backoff_base_s * backoff_factor ** attempt`` seconds, delivered
-    through ``sleep`` (``None`` disables real waiting — the computed
-    delay is still recorded in the event log, which keeps simulations
-    and tests instantaneous).
+    is ``backoff_base_s * backoff_factor ** attempt`` seconds, capped at
+    ``max_backoff_s`` so a long retry chain cannot escalate into
+    minutes-long stalls, and delivered through ``sleep`` (``None``
+    disables real waiting — the computed delay is still recorded in the
+    event log, which keeps simulations and tests instantaneous).
+
+    ``jitter`` is an optional hook mapping the capped delay to the
+    delay actually used (e.g. ``lambda d: d * rng.uniform(0.5, 1.5)``
+    for decorrelated retries across channels).  Its result is clamped
+    back into ``[0, max_backoff_s]`` — a jitter hook can spread delays,
+    never escalate them.  The default is no jitter, which keeps
+    recovery timing deterministic.
     """
 
     max_retries: int = 3
     backoff_base_s: float = 0.0
     backoff_factor: float = 2.0
+    max_backoff_s: float = 30.0
+    jitter: Optional[Callable[[float], float]] = None
     startup_bits: int = STARTUP_MIN_BITS
     region: Optional[Region] = None
     iterations: int = 100
@@ -84,6 +95,10 @@ class RecoveryPolicy:
             raise ConfigurationError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if self.max_backoff_s < 0:
+            raise ConfigurationError(
+                f"max_backoff_s must be non-negative, got {self.max_backoff_s}"
+            )
         if self.startup_bits < STARTUP_MIN_BITS:
             raise ConfigurationError(
                 f"startup_bits must be >= {STARTUP_MIN_BITS}, "
@@ -91,8 +106,19 @@ class RecoveryPolicy:
             )
 
     def backoff_s(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (0-based): exponential."""
-        return self.backoff_base_s * self.backoff_factor**attempt
+        """Backoff before retry ``attempt`` (0-based): capped exponential.
+
+        The exponential delay is clamped to ``max_backoff_s``, the
+        ``jitter`` hook (if any) is applied, and the result is clamped
+        into ``[0, max_backoff_s]`` again.
+        """
+        delay = min(
+            self.backoff_base_s * self.backoff_factor**attempt,
+            self.max_backoff_s,
+        )
+        if self.jitter is not None:
+            delay = min(max(0.0, self.jitter(delay)), self.max_backoff_s)
+        return delay
 
 
 class DRangeService:
@@ -375,6 +401,14 @@ class DRangeService:
         refreshed on exit.  Instrumentation is purely observational and
         never changes the served bits.
         """
+        if num_bits <= 0:
+            # Reject before startup testing or instrumentation: an
+            # invalid request must not trigger harvesting, recovery, or
+            # an "error" outcome in the metrics — it never entered the
+            # service at all.
+            raise InvalidRequestError(
+                f"num_bits must be positive, got {num_bits}"
+            )
         with obs.span("service.request", bits=num_bits):
             try:
                 out = self._serve_request(num_bits)
@@ -391,8 +425,6 @@ class DRangeService:
 
     def _serve_request(self, num_bits: int) -> np.ndarray:
         """The uninstrumented request body (see :meth:`request`)."""
-        if num_bits <= 0:
-            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
         self._recoveries_this_request = 0
         out = np.empty(num_bits, dtype=np.uint8)
         filled = 0
@@ -428,6 +460,10 @@ class DRangeService:
 
     def request_bytes(self, num_bytes: int) -> bytes:
         """Convenience: ``num_bytes`` random bytes."""
+        if num_bytes <= 0:
+            raise InvalidRequestError(
+                f"num_bytes must be positive, got {num_bytes}"
+            )
         bits = self.request(num_bytes * 8)
         return np.packbits(bits).tobytes()
 

@@ -29,7 +29,12 @@ from repro.core.events import EventLog
 from repro.core.integration import RecoveryPolicy
 from repro.core.profiling import Region
 from repro.dram.device import DramDevice
-from repro.errors import ConfigurationError, RecoveryExhaustedError, ReproError
+from repro.errors import (
+    ConfigurationError,
+    InvalidRequestError,
+    RecoveryExhaustedError,
+    ReproError,
+)
 from repro.health import STARTUP_MIN_BITS, HealthMonitor
 from repro.obs import runtime as obs
 from repro.parallel.pool import WorkerPool
@@ -220,7 +225,9 @@ class MultiChannelDRange:
         the monitored, failover-capable interface.
         """
         if num_bits <= 0:
-            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
+            raise InvalidRequestError(
+                f"num_bits must be positive, got {num_bits}"
+            )
         per_channel = -(-num_bits // self.num_channels)
         streams = self._harvest(range(self.num_channels), per_channel)
         interleaved = np.stack(streams, axis=1)
@@ -332,6 +339,10 @@ class MultiChannelDRange:
         :class:`~repro.errors.RecoveryExhaustedError` only when no
         active channel remains.
         """
+        if num_bits <= 0:
+            raise InvalidRequestError(
+                f"num_bits must be positive, got {num_bits}"
+            )
         with obs.span("multichannel.request", bits=num_bits):
             try:
                 out = self._serve_request(num_bits)
@@ -345,8 +356,6 @@ class MultiChannelDRange:
 
     def _serve_request(self, num_bits: int) -> np.ndarray:
         """The uninstrumented request body (see :meth:`request`)."""
-        if num_bits <= 0:
-            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
         recovered_this_request: set = set()
         while True:
             active = self.active_channels

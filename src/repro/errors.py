@@ -41,6 +41,16 @@ class IdentificationError(ReproError):
     """RNG-cell identification could not produce a usable cell set."""
 
 
+class InvalidRequestError(ConfigurationError, ValueError):
+    """A request asked for an impossible amount of output (e.g. <= 0 bits).
+
+    Raised *before* any startup or harvest side effects run, so a
+    malformed request can never trigger startup testing, refills, or
+    recovery.  Subclasses :class:`ValueError` for callers that treat
+    request validation as ordinary argument checking.
+    """
+
+
 class HealthError(ReproError):
     """The online health tests flagged the entropy source as degraded."""
 
@@ -51,3 +61,30 @@ class StartupTestError(HealthError):
 
 class RecoveryExhaustedError(HealthError):
     """Self-healing retries ran out without restoring a healthy source."""
+
+
+class ServingError(ReproError):
+    """Base class for entropy-buffered serving (admission/overload) errors.
+
+    Every load-shedding decision the serving layer makes surfaces as a
+    typed subclass, so callers can distinguish "retry later"
+    (:class:`PoolDrainedError`, :class:`QueueFullError`), "slow down"
+    (:class:`QuotaExceededError`) and "too late"
+    (:class:`DeadlineExceededError`) without string matching.
+    """
+
+
+class PoolDrainedError(ServingError):
+    """The entropy pool is empty and cannot refill in time; request shed."""
+
+
+class QuotaExceededError(ServingError):
+    """A tenant's token-bucket quota cannot cover the request; shed."""
+
+
+class DeadlineExceededError(ServingError):
+    """The request's deadline passed before bits could be served."""
+
+
+class QueueFullError(ServingError):
+    """The bounded admission queue is full; the request was shed."""

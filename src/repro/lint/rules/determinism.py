@@ -23,6 +23,7 @@ _DETERMINISTIC_PATHS = (
     "repro/core/",
     "repro/memctrl/",
     "repro/parallel/",
+    "repro/serving/",
 )
 
 _WALL_CLOCK_AND_OS_ENTROPY = {

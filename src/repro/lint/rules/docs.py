@@ -21,6 +21,7 @@ _DOCUMENTED_PATHS = (
     "repro/core/",
     "repro/obs/",
     "repro/parallel/",
+    "repro/serving/",
 )
 
 

@@ -10,7 +10,9 @@ that controller:
   file (CSRs) whose tRCD field D-RaNGe programs;
 * :mod:`repro.memctrl.requests` — read/write request records;
 * :mod:`repro.memctrl.scheduler` — an FR-FCFS scheduler issuing
-  requests through the timing engine;
+  requests through the timing engine, plus the RNG-aware
+  :class:`~repro.memctrl.scheduler.RngAwareScheduler` arbitrating TRNG
+  harvest reads against application traffic;
 * :mod:`repro.memctrl.controller` — the facade tying a channel of
   devices, the registers and the scheduler together, with the row
   reservation and per-access tRCD hooks D-RaNGe needs.
@@ -19,11 +21,17 @@ that controller:
 from repro.memctrl.controller import MemoryController
 from repro.memctrl.registers import TimingRegisterFile
 from repro.memctrl.requests import MemRequest
-from repro.memctrl.scheduler import FrFcfsScheduler
+from repro.memctrl.scheduler import (
+    FrFcfsScheduler,
+    RngAwareScheduler,
+    RngFairnessPolicy,
+)
 
 __all__ = [
     "FrFcfsScheduler",
     "MemRequest",
     "MemoryController",
+    "RngAwareScheduler",
+    "RngFairnessPolicy",
     "TimingRegisterFile",
 ]

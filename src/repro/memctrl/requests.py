@@ -18,6 +18,11 @@ class MemRequest:
     ``completion_ns`` is filled in by the scheduler: for reads it is the
     time the last data beat arrives, for writes the issue time of the
     WRITE command (write completion is posted).
+
+    ``is_rng`` tags TRNG traffic — the reduced-tRCD reads D-RaNGe
+    issues to harvest entropy, as opposed to regular application
+    accesses.  The baseline FR-FCFS scheduler ignores the tag; the
+    RNG-aware scheduler arbitrates between the two classes with it.
     """
 
     bank: int
@@ -25,6 +30,7 @@ class MemRequest:
     word: int
     is_write: bool = False
     arrival_ns: float = 0.0
+    is_rng: bool = False
     data: Optional[np.ndarray] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
     issue_ns: Optional[float] = None

@@ -6,11 +6,19 @@ open row (no ACT needed); break ties by age.  This is the baseline
 policy of the memory-scheduling literature the paper draws on
 [74, 107, 108] and is what the interference study schedules application
 traffic with.
+
+:class:`RngAwareScheduler` layers DR-STRaNGe's RNG-aware arbitration on
+top: requests tagged ``is_rng`` (the reduced-tRCD harvest reads) form a
+second traffic class, and an :class:`RngFairnessPolicy` decides which
+class is preferred at each pick — typically "regular traffic first,
+unless the entropy pool is in danger of draining" — with a max-wait
+promotion rule so neither class can be starved by the other.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.dram.device import DramDevice
 from repro.errors import ConfigurationError
@@ -133,3 +141,108 @@ class FrFcfsScheduler:
                 if self._device is not None:
                     self._device.bank(bank).precharge()
                 self._open_rows[bank] = None
+
+
+@dataclass(frozen=True)
+class RngFairnessPolicy:
+    """How the RNG-aware scheduler arbitrates TRNG vs regular traffic.
+
+    ``urgent`` selects the preferred class at each pick: while True,
+    ``is_rng`` requests go first (the entropy pool needs bits *now*);
+    while False, regular application traffic goes first and harvest
+    reads fill idle slots.  Pass a zero-argument callable — typically
+    :meth:`~repro.serving.service.BufferedRngService.rng_urgent` — to
+    re-evaluate it live from the pool level, or a plain bool to pin it.
+
+    ``max_wait_ns`` is the starvation bound: any request (either class)
+    that has waited longer is promoted ahead of class preference and
+    row-hit preference, oldest first.  This caps the worst-case queueing
+    delay of the deprioritized class at roughly ``max_wait_ns`` plus
+    one service time, which the interference test measures.
+    """
+
+    max_wait_ns: float = 500.0
+    urgent: Union[bool, Callable[[], bool]] = False
+
+    def __post_init__(self) -> None:
+        if self.max_wait_ns <= 0:
+            raise ConfigurationError(
+                f"max_wait_ns must be positive, got {self.max_wait_ns}"
+            )
+
+    def is_urgent(self) -> bool:
+        """Evaluate the urgency signal right now."""
+        if callable(self.urgent):
+            return bool(self.urgent())
+        return bool(self.urgent)
+
+
+class RngAwareScheduler(FrFcfsScheduler):
+    """FR-FCFS with DR-STRaNGe's two-class RNG-aware arbitration.
+
+    Within the preferred class the pick is plain FR-FCFS (row hits
+    first, then age), so the bandwidth benefits of row-buffer locality
+    are kept; across classes the :class:`RngFairnessPolicy` decides,
+    and its max-wait promotion overrides everything.  With an empty
+    policy (``urgent=False`` and no RNG-tagged requests) the schedule
+    degenerates to exactly the baseline FR-FCFS order.
+    """
+
+    def __init__(
+        self,
+        engine: TimingEngine,
+        device: Optional[DramDevice] = None,
+        refresh_interval_ns: Optional[float] = None,
+        policy: Optional[RngFairnessPolicy] = None,
+    ) -> None:
+        """``policy`` defaults to :class:`RngFairnessPolicy` defaults
+        (regular traffic preferred, 500 ns starvation bound)."""
+        super().__init__(engine, device, refresh_interval_ns)
+        self._policy = policy if policy is not None else RngFairnessPolicy()
+        self._rng_served = 0
+        self._regular_served = 0
+        self._promotions = 0
+
+    @property
+    def policy(self) -> RngFairnessPolicy:
+        """The arbitration policy in force."""
+        return self._policy
+
+    @property
+    def rng_served(self) -> int:
+        """RNG-tagged requests serviced so far."""
+        return self._rng_served
+
+    @property
+    def regular_served(self) -> int:
+        """Regular requests serviced so far."""
+        return self._regular_served
+
+    @property
+    def promotions(self) -> int:
+        """Picks where the starvation bound overrode class preference."""
+        return self._promotions
+
+    def _pick(self, ready: Sequence[MemRequest]) -> MemRequest:
+        urgent = self._policy.is_urgent()
+        preferred = [r for r in ready if r.is_rng == urgent]
+        choice = super()._pick(preferred if preferred else ready)
+        now = self._engine.now_ns
+        overdue = [
+            r for r in ready if now - r.arrival_ns >= self._policy.max_wait_ns
+        ]
+        if overdue:
+            promoted = min(
+                overdue, key=lambda r: (r.arrival_ns, r.request_id)
+            )
+            if promoted is not choice:
+                self._promotions += 1
+                choice = promoted
+        return choice
+
+    def _service(self, request: MemRequest) -> None:
+        if request.is_rng:
+            self._rng_served += 1
+        else:
+            self._regular_served += 1
+        super()._service(request)

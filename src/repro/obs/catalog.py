@@ -154,6 +154,53 @@ CATALOG: Dict[str, CatalogEntry] = {
         "Backing service.request calls issued by the front end.",
     ),
     # ------------------------------------------------------------------
+    # Entropy-buffered serving (repro.serving)
+    # ------------------------------------------------------------------
+    "drange_serving_requests_total": CatalogEntry(
+        "counter",
+        "BufferedRngService requests, by outcome "
+        "(ok / degraded / shed / error / invalid).",
+        labels=("outcome",),
+    ),
+    "drange_serving_shed_total": CatalogEntry(
+        "counter",
+        "Requests shed by the serving layer, by reason "
+        "(pool_drained / quota / deadline / queue_full).",
+        labels=("reason",),
+    ),
+    "drange_serving_latency_seconds": CatalogEntry(
+        "histogram",
+        "End-to-end serving latency on the injected clock, every "
+        "non-invalid outcome (sheds included — shed speed is part of "
+        "the SLO).",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ),
+    "drange_serving_pool_bits": CatalogEntry(
+        "gauge",
+        "EntropyPool occupancy (bits buffered between harvest and serve).",
+    ),
+    "drange_serving_pool_refills_total": CatalogEntry(
+        "counter",
+        "EntropyPool refill harvests, by outcome (ok / alarm / error).",
+        labels=("outcome",),
+    ),
+    "drange_serving_pool_bits_discarded_total": CatalogEntry(
+        "counter",
+        "Buffered bits quarantined by the pool after source alarms.",
+    ),
+    "drange_serving_degraded_mode": CatalogEntry(
+        "gauge",
+        "1 while the DRBG is bridging a pool drought, else 0.",
+    ),
+    "drange_serving_degraded_bits_total": CatalogEntry(
+        "counter",
+        "Bits served from the degraded-mode DRBG instead of the pool.",
+    ),
+    "drange_serving_pending_requests": CatalogEntry(
+        "gauge",
+        "Requests admitted and currently in flight in the serving layer.",
+    ),
+    # ------------------------------------------------------------------
     # Statistical batteries
     # ------------------------------------------------------------------
     "drange_nist_tests_total": CatalogEntry(

@@ -36,7 +36,7 @@ from typing import Deque, List, Optional, Protocol
 import numpy as np
 import numpy.typing as npt
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InvalidRequestError
 from repro.obs import runtime as obs
 
 
@@ -120,7 +120,9 @@ class BatchingFrontEnd:
         a batch of their own rather than rejected.
         """
         if num_bits <= 0:
-            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
+            raise InvalidRequestError(
+                f"num_bits must be positive, got {num_bits}"
+            )
         entry = _Pending(num_bits)
         with self._cond:
             while len(self._queue) >= self._max_pending:

@@ -127,6 +127,12 @@ class WorkerPool:
         process-global slot).  The serial fallback invokes it once
         in-process before running tasks, so task functions can rely on
         it unconditionally.
+    persistent:
+        Keep one long-lived executor around for :meth:`submit` (used by
+        background loops like the entropy-pool refiller).  A persistent
+        pool does *not* downgrade ``thread`` to ``serial`` at one
+        worker — a single background thread is exactly the point — and
+        must be released with :meth:`close`.
     """
 
     def __init__(
@@ -135,6 +141,7 @@ class WorkerPool:
         backend: Optional[str] = None,
         initializer: Optional[Callable[..., None]] = None,
         initargs: Tuple[Any, ...] = (),
+        persistent: bool = False,
     ) -> None:
         self._max_workers = resolve_workers(max_workers)
         if backend is not None and backend not in BACKENDS:
@@ -145,11 +152,13 @@ class WorkerPool:
             backend = "thread" if self._max_workers > 1 else "serial"
         if backend == "process" and not process_backend_available():
             backend = "thread"
-        if self._max_workers == 1 and backend != "serial":
+        if self._max_workers == 1 and backend != "serial" and not persistent:
             backend = "serial"
         self._backend = backend
         self._initializer = initializer
         self._initargs = initargs
+        self._persistent = persistent
+        self._live: Optional[Executor] = None
 
     @property
     def max_workers(self) -> int:
@@ -160,6 +169,59 @@ class WorkerPool:
     def backend(self) -> str:
         """Resolved execution backend."""
         return self._backend
+
+    @property
+    def persistent(self) -> bool:
+        """True when the pool keeps a live executor for :meth:`submit`."""
+        return self._persistent
+
+    # ------------------------------------------------------------------
+    # Persistent background tasks
+    # ------------------------------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        """Run one task on the persistent executor; returns its future.
+
+        Only valid on a pool constructed with ``persistent=True``.  The
+        executor is created lazily on first use and shared by every
+        subsequent :meth:`submit`, which makes this the right shape for
+        long-lived background work (a refill loop, a snapshot logger)
+        rather than batch fan-out — use :meth:`execute` for batches.
+
+        Degradation contract: on the ``serial`` backend, or when the
+        executor cannot be created, the task runs *inline* on the
+        calling thread and an already-settled future is returned.  A
+        task that loops until told to stop must therefore guard against
+        running on its spawner's thread (compare ``threading.get_ident``
+        values) or it will block the caller.
+        """
+        if not self._persistent:
+            raise ConfigurationError(
+                "submit() requires a WorkerPool(persistent=True); use "
+                "execute() for batch work"
+            )
+        if self._backend != "serial" and self._live is None:
+            self._live = self._make_executor(self._max_workers)
+        if self._live is not None:
+            return self._live.submit(fn, *args)
+        future: "Future[Any]" = Future()
+        if self._initializer is not None:
+            self._initializer(*self._initargs)
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the persistent executor down (no-op when never used).
+
+        ``wait=False`` abandons running tasks instead of joining them
+        (queued-but-unstarted work is cancelled either way).
+        """
+        if self._live is not None:
+            self._live.shutdown(wait=wait, cancel_futures=True)
+            self._live = None
 
     # ------------------------------------------------------------------
     # Execution

@@ -1,0 +1,54 @@
+"""Entropy-buffered serving: the deployment layer over the harvester.
+
+D-RaNGe (HPCA 2019) shows how to *harvest* true random bits from
+commodity DRAM; DR-STRaNGe (its follow-up) shows what a *deployment*
+needs on top: a buffer that decouples request latency from harvest
+stalls, fairness between RNG and regular traffic, and honest behavior
+under overload.  This package is that layer:
+
+* :mod:`repro.serving.clock` — injected time
+  (:class:`~repro.serving.clock.ManualClock` for determinism,
+  ``time.monotonic`` in production callers).
+* :mod:`repro.serving.pool` — the watermarked
+  :class:`~repro.serving.pool.EntropyPool` ring buffer with hysteresis
+  refill and alarm-driven quarantine.
+* :mod:`repro.serving.admission` — per-tenant token-bucket quotas and
+  a bounded in-flight request count.
+* :mod:`repro.serving.slo` — exact latency percentiles
+  (:class:`~repro.serving.slo.LatencyTracker`) and histogram quantile
+  estimation.
+* :mod:`repro.serving.service` — the
+  :class:`~repro.serving.service.BufferedRngService` facade tying it
+  together, including the optional DRBG degraded mode.
+
+The RNG-aware memory-scheduler half of the DR-STRaNGe design lives in
+:mod:`repro.memctrl.scheduler` (``RngAwareScheduler``); its urgency
+signal is :meth:`~repro.serving.service.BufferedRngService.rng_urgent`.
+
+See ``docs/serving.md`` for the walkthrough and failure-mode table.
+"""
+
+from repro.serving.admission import AdmissionController, TenantQuota, TokenBucket
+from repro.serving.clock import Clock, ManualClock
+from repro.serving.pool import EntropyPool
+from repro.serving.service import (
+    BufferedRngService,
+    DegradedPolicy,
+    ServingResult,
+)
+from repro.serving.slo import SLO_QUANTILES, LatencyTracker, histogram_quantiles
+
+__all__ = [
+    "AdmissionController",
+    "BufferedRngService",
+    "Clock",
+    "DegradedPolicy",
+    "EntropyPool",
+    "LatencyTracker",
+    "ManualClock",
+    "SLO_QUANTILES",
+    "ServingResult",
+    "TenantQuota",
+    "TokenBucket",
+    "histogram_quantiles",
+]

@@ -1,0 +1,203 @@
+"""Admission control: per-tenant token buckets and a bounded front door.
+
+Under overload a serving system has exactly three honest answers: serve
+now, serve degraded, or shed explicitly.  This module implements the
+*shed explicitly* machinery — per-tenant token-bucket quotas (so one
+greedy tenant cannot starve the rest; DR-STRaNGe's fairness argument at
+the request level) and a bounded in-flight request count (so latency
+under overload stays bounded instead of queueing without limit).
+
+All timing flows through an injected :data:`~repro.serving.clock.Clock`
+(DET001: this module never reads a wall clock itself), so quota
+behavior is exactly reproducible under a
+:class:`~repro.serving.clock.ManualClock`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional
+
+from contextlib import contextmanager
+
+from repro.errors import ConfigurationError, QueueFullError, QuotaExceededError
+from repro.serving.clock import Clock
+
+__all__ = ["TenantQuota", "TokenBucket", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """A tenant's sustained rate and burst allowance, in bits.
+
+    ``rate_bits_per_s`` is the long-run refill rate;  ``burst_bits`` is
+    the bucket depth — the largest instantaneous debt a tenant may run
+    up.  A single request larger than ``burst_bits`` can never be
+    admitted, which is the intended behavior for a quota.
+    """
+
+    rate_bits_per_s: float
+    burst_bits: float
+
+    def __post_init__(self) -> None:
+        if self.rate_bits_per_s < 0:
+            raise ConfigurationError(
+                f"rate_bits_per_s must be >= 0, got {self.rate_bits_per_s}"
+            )
+        if self.burst_bits <= 0:
+            raise ConfigurationError(
+                f"burst_bits must be positive, got {self.burst_bits}"
+            )
+
+
+class TokenBucket:
+    """A deterministic token bucket driven by an injected clock.
+
+    The bucket starts full.  Tokens accrue continuously at the quota's
+    rate from the timestamps the clock reports, capped at the burst
+    depth; :meth:`try_consume` is all-or-nothing and never blocks —
+    admission control *rejects*, it does not queue.
+    """
+
+    def __init__(self, quota: TenantQuota, clock: Clock) -> None:
+        self._quota = quota
+        self._clock = clock
+        self._tokens = float(quota.burst_bits)
+        self._last_s = clock()
+        self._lock = threading.Lock()
+
+    @property
+    def quota(self) -> TenantQuota:
+        """The quota this bucket enforces."""
+        return self._quota
+
+    def _advance_locked(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last_s
+        if elapsed > 0:
+            self._tokens = min(
+                self._quota.burst_bits,
+                self._tokens + elapsed * self._quota.rate_bits_per_s,
+            )
+        self._last_s = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after accrual)."""
+        with self._lock:
+            self._advance_locked()
+            return self._tokens
+
+    def try_consume(self, amount: float) -> bool:
+        """Take ``amount`` tokens if available; False otherwise."""
+        if amount < 0:
+            raise ConfigurationError(f"amount must be >= 0, got {amount}")
+        with self._lock:
+            self._advance_locked()
+            if self._tokens < amount:
+                return False
+            self._tokens -= amount
+            return True
+
+
+class AdmissionController:
+    """The bounded, quota-enforcing front door of the serving layer.
+
+    Parameters
+    ----------
+    clock:
+        Timestamp source for every token bucket.
+    max_pending_requests:
+        In-flight request bound; request ``max_pending_requests + 1``
+        is shed with :class:`~repro.errors.QueueFullError`.
+    quotas:
+        Per-tenant quota table.  Tenants absent from the table fall
+        back to ``default_quota``; ``None`` there means unmetered.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        max_pending_requests: int = 64,
+        quotas: Optional[Mapping[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+    ) -> None:
+        if max_pending_requests <= 0:
+            raise ConfigurationError(
+                f"max_pending_requests must be positive, got {max_pending_requests}"
+            )
+        self._clock = clock
+        self._max_pending = max_pending_requests
+        self._quotas: Dict[str, TenantQuota] = dict(quotas or {})
+        self._default_quota = default_quota
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._pending = 0
+        self._lock = threading.Lock()
+
+    @property
+    def pending(self) -> int:
+        """Requests currently admitted and in flight."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def max_pending_requests(self) -> int:
+        """The in-flight bound."""
+        return self._max_pending
+
+    def set_quota(self, tenant: str, quota: Optional[TenantQuota]) -> None:
+        """Install (or, with ``None``, remove) a tenant's quota.
+
+        Takes effect on the tenant's next admission: any existing
+        bucket is dropped, so the new quota starts from a full burst.
+        """
+        with self._lock:
+            if quota is None:
+                self._quotas.pop(tenant, None)
+            else:
+                self._quotas[tenant] = quota
+            self._buckets.pop(tenant, None)
+
+    def bucket(self, tenant: str) -> Optional[TokenBucket]:
+        """The tenant's token bucket (``None`` when unmetered)."""
+        with self._lock:
+            existing = self._buckets.get(tenant)
+            if existing is not None:
+                return existing
+            quota = self._quotas.get(tenant, self._default_quota)
+            if quota is None:
+                return None
+            bucket = TokenBucket(quota, self._clock)
+            self._buckets[tenant] = bucket
+            return bucket
+
+    @contextmanager
+    def admit(self, tenant: str, num_bits: int) -> Iterator[None]:
+        """Admit one request for the duration of the ``with`` body.
+
+        Raises :class:`~repro.errors.QueueFullError` when the in-flight
+        bound is hit and :class:`~repro.errors.QuotaExceededError` when
+        the tenant's bucket cannot cover ``num_bits``.  Quota tokens
+        are consumed on admission and not refunded on failure — a shed
+        downstream still spent harvest planning, and non-refund keeps a
+        failing tenant from retrying at full rate.
+        """
+        with self._lock:
+            if self._pending >= self._max_pending:
+                raise QueueFullError(
+                    f"{self._pending} requests already in flight "
+                    f"(bound {self._max_pending})"
+                )
+            self._pending += 1
+        try:
+            bucket = self.bucket(tenant)
+            if bucket is not None and not bucket.try_consume(float(num_bits)):
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} quota cannot cover {num_bits} bits "
+                    f"(available {bucket.tokens:.0f})"
+                )
+            yield
+        finally:
+            with self._lock:
+                self._pending -= 1

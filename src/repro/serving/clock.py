@@ -1,0 +1,67 @@
+"""Injected clocks for the serving layer.
+
+``repro.serving`` sits inside the repo's determinism boundary (lint
+rule DET001): nothing here may read the wall clock or OS entropy.  Yet
+admission control is all about time — token buckets refill per second,
+deadlines expire, latency percentiles are measured.  The resolution is
+the same one :mod:`repro.obs` uses for tracing: *time is injected*.
+Every timed component takes a ``clock`` — any zero-argument callable
+returning seconds as a float — and never calls one it wasn't given.
+
+Two clock shapes cover every use:
+
+* production callers (the CLI, benchmarks — outside the determinism
+  boundary) pass ``time.monotonic``;
+* tests and simulations pass a :class:`ManualClock` and advance it
+  explicitly, which makes deadline and quota behavior exactly
+  reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Clock", "ManualClock"]
+
+#: A clock is any zero-argument callable returning seconds as a float.
+#: Monotonicity is the caller's promise; the serving layer only ever
+#: subtracts readings.
+Clock = Callable[[], float]
+
+
+class ManualClock:
+    """A deterministic clock advanced explicitly by its owner.
+
+    Calling the instance returns the current reading; :meth:`advance`
+    moves it forward.  Thread-safe, so a test can advance time while a
+    background refill loop reads it.  ``advance`` is also shaped to
+    slot directly into hooks that expect a ``sleep(seconds)`` callable
+    (e.g. :class:`~repro.core.integration.RecoveryPolicy`), turning
+    recovery backoff into virtual-time progress.
+    """
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now_s = float(start_s)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        """The current reading, in seconds."""
+        with self._lock:
+            return self._now_s
+
+    @property
+    def now_s(self) -> float:
+        """The current reading, in seconds (property form)."""
+        return self()
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"a clock cannot move backwards; got advance({seconds})"
+            )
+        with self._lock:
+            self._now_s += float(seconds)

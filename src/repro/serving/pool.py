@@ -1,0 +1,541 @@
+"""The watermarked entropy pool: buffered bits between harvest and serve.
+
+DR-STRaNGe's first lesson is that a deployed DRAM TRNG must *decouple
+harvest latency from request latency*: D-RaNGe's reduced-tRCD sampling
+is fast on average, but the self-healing loop from
+:class:`~repro.core.integration.DRangeService` can stall a harvest for
+entire quarantine/re-identification rounds — and an application request
+must not eat that stall.  :class:`EntropyPool` is the decoupling
+buffer: a ring of already-harvested (and health-checked) bits with low
+and high watermarks, refilled either inline (deterministic
+single-threaded mode) or by a background thread.
+
+Refill hysteresis: a refill round starts when the level sinks below the
+*low* watermark (or a taker is blocked) and keeps harvesting until the
+*high* watermark is reached, so the pool neither thrashes around one
+threshold nor busy-loops at capacity.
+
+Quarantine propagation: the backing service already discards its own
+queue on an SP 800-90B alarm, but bits it exported *before* the alarm
+may still sit in this pool.  When ``alarm_counter`` reports that an
+alarm fired during a refill (even one the service internally recovered
+from), the pool drops every pre-alarm buffered bit — only post-recovery
+bits survive — and any partially-served take in flight discards its
+pre-alarm bits too.
+
+Determinism: in single-threaded mode (no :meth:`start`), the pool is a
+pure prefix buffer over its source — the concatenation of served bits
+equals the source's output stream bit-for-bit, which is what the
+pool-vs-direct equivalence test in ``tests/serving`` holds.  All
+waiting primitives use plain timeouts; wall-clock time is only ever
+read through clocks injected by callers (lint rule DET001 holds here).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.events import EventLog
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    HealthError,
+    InvalidRequestError,
+    PoolDrainedError,
+    ReproError,
+)
+from repro.obs import runtime as obs
+from repro.parallel.pool import WorkerPool
+from repro.serving.clock import Clock
+
+__all__ = ["BitSource", "EntropyPool"]
+
+#: Anything with the REQUEST/RECEIVE interface can feed a pool.
+BitSource = Callable[[int], npt.NDArray[np.uint8]]
+
+
+class EntropyPool:
+    """A watermarked ring buffer of harvested random bits.
+
+    Parameters
+    ----------
+    source:
+        The harvest interface: anything with
+        ``request(num_bits) -> uint8 array`` — typically a
+        :class:`~repro.core.integration.DRangeService`.
+    capacity_bits:
+        Ring capacity.
+    low_watermark_bits / high_watermark_bits:
+        Refill hysteresis thresholds (defaults: 25% / 75% of capacity).
+        A refill round arms below *low* and disarms at *high*.
+    refill_batch_bits:
+        Bits harvested per source call.
+    alarm_counter:
+        Zero-arg callable returning the source's cumulative alarm count
+        (e.g. ``lambda: service.event_log.count("alarm")``); used to
+        quarantine pre-alarm buffered bits even when the source
+        recovered internally.
+    quarantine_on_alarm:
+        Drop buffered bits when a refill raises a
+        :class:`~repro.errors.HealthError` or the alarm counter moves.
+    poll_interval_s / failure_backoff_s:
+        Background-mode wait quanta: how often the refill loop rechecks
+        demand, and how long it pauses after a failed harvest before
+        retrying (so a dead source is not hammered in a hot loop).
+    events:
+        Optional shared :class:`~repro.core.events.EventLog`; a private
+        one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        source: object,
+        capacity_bits: int = 1 << 16,
+        low_watermark_bits: Optional[int] = None,
+        high_watermark_bits: Optional[int] = None,
+        refill_batch_bits: int = 4096,
+        alarm_counter: Optional[Callable[[], int]] = None,
+        quarantine_on_alarm: bool = True,
+        poll_interval_s: float = 0.002,
+        failure_backoff_s: float = 0.01,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        if capacity_bits <= 0:
+            raise ConfigurationError(
+                f"capacity_bits must be positive, got {capacity_bits}"
+            )
+        low = capacity_bits // 4 if low_watermark_bits is None else low_watermark_bits
+        high = (
+            (3 * capacity_bits) // 4
+            if high_watermark_bits is None
+            else high_watermark_bits
+        )
+        if not 0 <= low < capacity_bits:
+            raise ConfigurationError(
+                f"low watermark must be in [0, capacity), got {low}"
+            )
+        if not low < high <= capacity_bits:
+            raise ConfigurationError(
+                f"high watermark must be in (low, capacity], got {high}"
+            )
+        if refill_batch_bits <= 0:
+            raise ConfigurationError(
+                f"refill_batch_bits must be positive, got {refill_batch_bits}"
+            )
+        if poll_interval_s <= 0 or failure_backoff_s < 0:
+            raise ConfigurationError(
+                "poll_interval_s must be positive and failure_backoff_s "
+                f"non-negative, got {poll_interval_s} / {failure_backoff_s}"
+            )
+        self._source = source
+        self._capacity = capacity_bits
+        self._low = low
+        self._high = high
+        self._refill_batch = refill_batch_bits
+        self._alarm_counter = alarm_counter
+        self._quarantine_on_alarm = quarantine_on_alarm
+        self._poll_interval_s = poll_interval_s
+        self._failure_backoff_s = failure_backoff_s
+        self._events = events if events is not None else EventLog()
+
+        self._buf: npt.NDArray[np.uint8] = np.empty(capacity_bits, dtype=np.uint8)
+        self._head = 0
+        self._size = 0
+        self._cond = threading.Condition()
+        self._refill_phase = False
+        self._waiting = 0
+        self._running = False
+        self._stop_requested = False
+        self._worker: Optional[WorkerPool] = None
+        self._task: object = None
+        self._last_failure: Optional[BaseException] = None
+        self._quarantine_epoch = 0
+        self._bits_taken = 0
+        self._bits_refilled = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        """Bits currently buffered."""
+        with self._cond:
+            return self._size
+
+    @property
+    def capacity_bits(self) -> int:
+        """Ring capacity."""
+        return self._capacity
+
+    @property
+    def low_watermark_bits(self) -> int:
+        """Level at which a refill round arms."""
+        return self._low
+
+    @property
+    def high_watermark_bits(self) -> int:
+        """Level at which an armed refill round disarms."""
+        return self._high
+
+    @property
+    def running(self) -> bool:
+        """True while the background refill loop is live."""
+        with self._cond:
+            return self._running
+
+    @property
+    def events(self) -> EventLog:
+        """The pool's robustness audit trail."""
+        return self._events
+
+    @property
+    def bits_taken(self) -> int:
+        """Total bits handed out via :meth:`take`."""
+        with self._cond:
+            return self._bits_taken
+
+    @property
+    def bits_refilled(self) -> int:
+        """Total bits appended by successful refills."""
+        with self._cond:
+            return self._bits_refilled
+
+    # ------------------------------------------------------------------
+    # Ring primitives (call with the lock held)
+    # ------------------------------------------------------------------
+
+    def _pop_locked(self, n: int) -> npt.NDArray[np.uint8]:
+        out = np.empty(n, dtype=np.uint8)
+        first = min(n, self._capacity - self._head)
+        out[:first] = self._buf[self._head : self._head + first]
+        rest = n - first
+        if rest:
+            out[first:] = self._buf[:rest]
+        self._head = (self._head + n) % self._capacity
+        self._size -= n
+        return out
+
+    def _unpop_locked(self, bits: npt.NDArray[np.uint8]) -> None:
+        """Return popped bits to the front of the ring (stream order)."""
+        n = int(bits.size)
+        self._head = (self._head - n) % self._capacity
+        first = min(n, self._capacity - self._head)
+        self._buf[self._head : self._head + first] = bits[:first]
+        rest = n - first
+        if rest:
+            self._buf[:rest] = bits[first:]
+        self._size += n
+
+    def _append_locked(self, bits: npt.NDArray[np.uint8]) -> None:
+        n = int(bits.size)
+        tail = (self._head + self._size) % self._capacity
+        first = min(n, self._capacity - tail)
+        self._buf[tail : tail + first] = bits[:first]
+        rest = n - first
+        if rest:
+            self._buf[:rest] = bits[first:]
+        self._size += n
+        self._bits_refilled += n
+
+    def _quarantine_locked(self, reason: str) -> None:
+        dropped = self._size
+        self._head = 0
+        self._size = 0
+        self._quarantine_epoch += 1
+        self._events.record("pool_quarantine", f"{reason}: dropped {dropped} bits")
+        if dropped:
+            self._events.bump("bits_discarded", dropped)
+            obs.counter_add("drange_serving_pool_bits_discarded_total", dropped)
+
+    def _update_phase_locked(self) -> None:
+        if self._size >= self._high:
+            self._refill_phase = False
+        elif self._size < self._low:
+            self._refill_phase = True
+
+    def _refill_needed_locked(self) -> bool:
+        if self._size >= self._capacity:
+            self._refill_phase = False
+            return False
+        if self._waiting > 0:
+            return True
+        self._update_phase_locked()
+        return self._refill_phase
+
+    # ------------------------------------------------------------------
+    # Refilling
+    # ------------------------------------------------------------------
+
+    def _alarms(self) -> int:
+        return self._alarm_counter() if self._alarm_counter is not None else 0
+
+    def _refill_once(self) -> bool:
+        """Harvest one batch from the source; True when bits landed.
+
+        On failure the exception is retained for :meth:`take` to chain,
+        the refill is accounted, and — for health alarms — the buffered
+        bits are quarantined.
+        """
+        with self._cond:
+            space = self._capacity - self._size
+            if space <= 0:
+                self._refill_phase = False
+                return True
+            batch = min(self._refill_batch, space)
+        alarms_before = self._alarms()
+        try:
+            fresh = self._source.request(batch)  # type: ignore[attr-defined]
+        except ReproError as exc:
+            is_alarm = isinstance(exc, HealthError)
+            with self._cond:
+                self._last_failure = exc
+                self._events.record("refill_failed", str(exc))
+                if is_alarm and self._quarantine_on_alarm:
+                    self._quarantine_locked("refill alarm")
+                self._cond.notify_all()
+            obs.counter_add(
+                "drange_serving_pool_refills_total",
+                outcome="alarm" if is_alarm else "error",
+            )
+            return False
+        alarmed = self._alarms() > alarms_before
+        with self._cond:
+            if alarmed and self._quarantine_on_alarm:
+                self._quarantine_locked("alarm during refill")
+            self._last_failure = None
+            self._append_locked(np.asarray(fresh, dtype=np.uint8))
+            self._update_phase_locked()
+            level = self._size
+            self._cond.notify_all()
+        obs.counter_add("drange_serving_pool_refills_total", outcome="ok")
+        obs.gauge_set("drange_serving_pool_bits", level)
+        return True
+
+    def refill_to_high(self) -> None:
+        """Synchronously top the pool up to the high watermark.
+
+        Useful to pre-charge the pool before serving starts; raises
+        :class:`~repro.errors.PoolDrainedError` if the source cannot
+        supply the bits.  Only valid while the background loop is not
+        running — the backing service is single-harvester.
+        """
+        with self._cond:
+            if self._running:
+                raise ConfigurationError(
+                    "refill_to_high() while the background refiller is "
+                    "running would race it; call stop() first"
+                )
+        while True:
+            with self._cond:
+                if self._size >= self._high:
+                    self._refill_phase = False
+                    return
+            if not self._refill_once():
+                with self._cond:
+                    failure = self._last_failure
+                raise PoolDrainedError(
+                    "pool could not be pre-charged to the high watermark"
+                ) from failure
+
+    # ------------------------------------------------------------------
+    # Background mode
+    # ------------------------------------------------------------------
+
+    def _refill_loop(self, spawner_ident: int) -> None:
+        if threading.get_ident() == spawner_ident:
+            # Persistent-pool inline fallback: a background loop on the
+            # caller's own thread would deadlock.  Decline; the pool
+            # stays in synchronous mode.
+            return
+        while True:
+            with self._cond:
+                while not self._stop_requested and not self._refill_needed_locked():
+                    self._cond.wait(self._poll_interval_s)
+                if self._stop_requested:
+                    return
+            ok = self._refill_once()
+            if not ok:
+                with self._cond:
+                    if self._stop_requested:
+                        return
+                    self._cond.wait(self._failure_backoff_s)
+
+    def start(self) -> None:
+        """Start the background refill thread (idempotent).
+
+        The loop runs on a single-worker persistent
+        :class:`~repro.parallel.WorkerPool` thread; if a thread cannot
+        be created the pool silently stays in synchronous inline-refill
+        mode.
+        """
+        with self._cond:
+            if self._running:
+                return
+            self._stop_requested = False
+            self._running = True
+        worker = WorkerPool(max_workers=1, backend="thread", persistent=True)
+        task = worker.submit(self._refill_loop, threading.get_ident())
+        if task.done() and task.exception() is None:
+            # Inline fallback declined the loop: no background thread.
+            worker.close()
+            with self._cond:
+                self._running = False
+            return
+        self._worker = worker
+        self._task = task
+
+    def stop(self) -> None:
+        """Stop the background refill thread and join it (idempotent)."""
+        with self._cond:
+            self._stop_requested = True
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.close(wait=True)
+            self._worker = None
+            self._task = None
+        with self._cond:
+            self._running = False
+
+    def _raise_if_loop_died_locked(self) -> None:
+        task = self._task
+        if task is None:
+            return
+        done = getattr(task, "done", None)
+        if done is not None and done():
+            exc = task.exception()  # type: ignore[attr-defined]
+            if exc is not None:
+                self._running = False
+                raise PoolDrainedError(
+                    "background refill loop died; pool cannot replenish"
+                ) from exc
+
+    # ------------------------------------------------------------------
+    # Taking bits
+    # ------------------------------------------------------------------
+
+    def take(
+        self,
+        num_bits: int,
+        deadline_s: Optional[float] = None,
+        clock: Optional[Clock] = None,
+    ) -> npt.NDArray[np.uint8]:
+        """Remove and return ``num_bits`` from the pool.
+
+        Behavior by mode:
+
+        * **Synchronous** (no :meth:`start`): shortfalls trigger inline
+          refills.  A failed refill sheds the request —
+          :class:`~repro.errors.DeadlineExceededError` when ``deadline_s``
+          (an *absolute* reading of ``clock``) has passed, else
+          :class:`~repro.errors.PoolDrainedError` chained to the harvest
+          failure.
+        * **Background**: the caller blocks on the refill thread, waking
+          every poll interval to re-check the deadline; it never
+          harvests inline.
+
+        Exception safety: bits already popped when a shed error is
+        raised are returned to the front of the ring (stream order
+        preserved) — unless a quarantine happened meanwhile, in which
+        case they are pre-alarm bits and are discarded with the rest.
+        A quarantine during a still-running take likewise discards the
+        bits gathered so far and restarts the fill from post-alarm
+        bits, so one result never mixes the two.
+        """
+        if num_bits <= 0:
+            raise InvalidRequestError(
+                f"num_bits must be positive, got {num_bits}"
+            )
+        if deadline_s is not None and clock is None:
+            raise ConfigurationError("a deadline requires an injected clock")
+        out = np.empty(num_bits, dtype=np.uint8)
+        filled = 0
+        epoch_at_start: Optional[int] = None
+        try:
+            while True:
+                with self._cond:
+                    if epoch_at_start is None:
+                        epoch_at_start = self._quarantine_epoch
+                    elif self._quarantine_epoch != epoch_at_start:
+                        # A quarantine fired mid-take: whatever this
+                        # call already popped is pre-alarm and must not
+                        # be served.  Restart the fill from post-alarm
+                        # bits only.
+                        if filled:
+                            self._events.bump("bits_discarded", filled)
+                            obs.counter_add(
+                                "drange_serving_pool_bits_discarded_total",
+                                filled,
+                            )
+                            filled = 0
+                        epoch_at_start = self._quarantine_epoch
+                    if self._size > 0 and filled < num_bits:
+                        take_now = min(self._size, num_bits - filled)
+                        out[filled : filled + take_now] = self._pop_locked(take_now)
+                        filled += take_now
+                        self._update_phase_locked()
+                        self._cond.notify_all()
+                    if filled >= num_bits:
+                        self._bits_taken += num_bits
+                        level = self._size
+                        break
+                    if deadline_s is not None and clock is not None:
+                        if clock() >= deadline_s:
+                            raise DeadlineExceededError(
+                                f"deadline passed with {num_bits - filled} of "
+                                f"{num_bits} bits outstanding"
+                            )
+                    running = self._running
+                    if running:
+                        self._raise_if_loop_died_locked()
+                        if self._size == 0 and self._last_failure is not None:
+                            # The source is actively failing and there is
+                            # nothing buffered: shed now rather than hold
+                            # the caller through the refiller's backoff.
+                            failure = self._last_failure
+                            raise PoolDrainedError(
+                                f"pool drained: {num_bits - filled} of "
+                                f"{num_bits} bits outstanding and the "
+                                "source is failing"
+                            ) from failure
+                        self._cond.notify_all()
+                        timeout = self._poll_interval_s
+                        if deadline_s is not None and clock is not None:
+                            timeout = min(
+                                timeout, max(0.0, deadline_s - clock())
+                            )
+                        self._waiting += 1
+                        try:
+                            self._cond.wait(timeout)
+                        finally:
+                            self._waiting -= 1
+                if not running:
+                    progress = self._refill_once()
+                    if deadline_s is not None and clock is not None:
+                        if clock() >= deadline_s:
+                            raise DeadlineExceededError(
+                                f"deadline passed during refill with "
+                                f"{num_bits - filled} of {num_bits} bits "
+                                "outstanding"
+                            )
+                    if not progress:
+                        with self._cond:
+                            failure = self._last_failure
+                        raise PoolDrainedError(
+                            f"pool drained: {num_bits - filled} of {num_bits} "
+                            "bits outstanding and the source cannot refill"
+                        ) from failure
+        except BaseException:
+            if filled:
+                with self._cond:
+                    if self._quarantine_epoch == epoch_at_start:
+                        self._unpop_locked(out[:filled])
+                    else:
+                        self._events.bump("bits_discarded", filled)
+            raise
+        obs.gauge_set("drange_serving_pool_bits", level)
+        return out

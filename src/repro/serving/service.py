@@ -1,0 +1,533 @@
+"""The buffered serving front end: pool + admission + degraded mode.
+
+:class:`BufferedRngService` is the deployment shape DR-STRaNGe argues
+for on top of a D-RaNGe harvester: applications talk to a *buffered*
+front end, never to the harvest loop directly.  One request flows
+
+``admission (quota / in-flight bound) → entropy pool (deadline-aware)
+→ [degraded DRBG fallback] → response``
+
+and every exit from that pipeline is explicit and typed:
+
+* served from the pool — the normal case (``source="pool"``);
+* served degraded — the pool drained mid-drought and the configured
+  :class:`DegradedPolicy` let an SP 800-90A Hash_DRBG (reseeded from
+  pool entropy) cover the gap, flagged in the
+  :class:`ServingResult` (``source="drbg"``, ``degraded=True``);
+* shed — :class:`~repro.errors.QueueFullError`,
+  :class:`~repro.errors.QuotaExceededError`,
+  :class:`~repro.errors.DeadlineExceededError`, or
+  :class:`~repro.errors.PoolDrainedError`, each accounted under its
+  own reason in ``drange_serving_shed_total``.
+
+Determinism: with no degraded policy and no background refiller, the
+service is a pure prefix buffer over the backing
+:class:`~repro.core.integration.DRangeService` — served bits are
+bit-identical to calling the service directly (held by
+``tests/serving/test_equivalence.py``).  Enabling degraded mode
+consumes pool bits for DRBG (re)seeding and therefore shifts the
+stream; that is a documented property of the mode, not a bug.  All
+timing flows through the injected clock (DET001).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.events import EventLog
+from repro.drbg import HashDrbg
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    InvalidRequestError,
+    PoolDrainedError,
+    QueueFullError,
+    QuotaExceededError,
+)
+from repro.obs import runtime as obs
+from repro.serving.admission import AdmissionController, TenantQuota
+from repro.serving.clock import Clock, ManualClock
+from repro.serving.pool import EntropyPool
+from repro.serving.slo import LatencyTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.core.integration import DRangeService
+
+__all__ = ["DegradedPolicy", "ServingResult", "BufferedRngService"]
+
+#: Personalization string pinning the degraded DRBG's instantiation.
+_DEGRADED_PERSONALIZATION = b"repro.serving.degraded"
+
+
+@dataclass(frozen=True)
+class DegradedPolicy:
+    """How far the DRBG may carry the service through a pool drought.
+
+    ``budget_bits`` bounds DRBG output per drought (one drought = the
+    span between a pool drain and the next successful pool serve); once
+    spent, further requests shed until the pool recovers — degraded
+    mode is a bridge, not a second entropy source.  ``seed_bits`` are
+    skimmed from the pool to (re)seed the DRBG; ``reseed_on_recovery``
+    folds fresh pool entropy into the DRBG after each drought ends, so
+    consecutive droughts never reuse a state.
+
+    ``max_pool_wait_s`` is the patience bound: with degraded mode armed
+    a request waits at most this long for the pool before falling back
+    to the DRBG, instead of burning its whole deadline blocked on a
+    stalled harvest (a quarantine/re-identification round can hold the
+    refill thread for seconds).  If the DRBG cannot cover the request
+    either, the remaining deadline is still spent waiting on the pool
+    before the request sheds.
+    """
+
+    budget_bits: int = 1 << 16
+    seed_bits: int = 512
+    reseed_on_recovery: bool = True
+    max_pool_wait_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.budget_bits <= 0:
+            raise ConfigurationError(
+                f"budget_bits must be positive, got {self.budget_bits}"
+            )
+        if self.seed_bits < 256:
+            raise ConfigurationError(
+                "seed_bits must be >= 256 (SP 800-90A instantiate needs "
+                f"32 bytes), got {self.seed_bits}"
+            )
+        if self.max_pool_wait_s <= 0:
+            raise ConfigurationError(
+                f"max_pool_wait_s must be positive, got {self.max_pool_wait_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """One served request: the bits plus how they were produced.
+
+    ``source`` is ``"pool"`` for true D-RaNGe bits and ``"drbg"`` for
+    degraded-mode output; ``degraded`` mirrors that as a flag so
+    callers can branch without string comparison.  ``latency_s`` is
+    measured on the service's injected clock.
+    """
+
+    bits: npt.NDArray[np.uint8]
+    source: str
+    degraded: bool
+    tenant: str
+    latency_s: float
+
+
+class BufferedRngService:
+    """Entropy-buffered, admission-controlled random-number serving.
+
+    Parameters
+    ----------
+    service:
+        The harvest back end — anything with
+        ``request(num_bits) -> uint8 array``, typically a
+        :class:`~repro.core.integration.DRangeService`.  When it
+        exposes an ``event_log``, its ``alarm`` count drives pool
+        quarantine (pre-alarm buffered bits are dropped even when the
+        service recovered internally).
+    capacity_bits / low_watermark_bits / high_watermark_bits /
+    refill_batch_bits / quarantine_on_alarm / poll_interval_s /
+    failure_backoff_s:
+        Forwarded to the underlying :class:`~repro.serving.pool.EntropyPool`.
+    clock:
+        Injected time source; defaults to an owned
+        :class:`~repro.serving.clock.ManualClock` (deterministic mode).
+        Production callers pass ``time.monotonic``.
+    default_deadline_s:
+        Relative deadline applied to requests that do not carry one;
+        ``None`` means requests without a deadline wait indefinitely.
+    max_pending_requests / quotas / default_quota:
+        Forwarded to the :class:`~repro.serving.admission.AdmissionController`.
+    degraded:
+        Optional :class:`DegradedPolicy` enabling the DRBG bridge.
+        ``None`` (default) keeps the bit-exact pool-only behavior.
+    """
+
+    def __init__(
+        self,
+        service: object,
+        capacity_bits: int = 1 << 16,
+        low_watermark_bits: Optional[int] = None,
+        high_watermark_bits: Optional[int] = None,
+        refill_batch_bits: int = 4096,
+        clock: Optional[Clock] = None,
+        default_deadline_s: Optional[float] = None,
+        max_pending_requests: int = 64,
+        quotas: Optional[Mapping[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+        degraded: Optional[DegradedPolicy] = None,
+        quarantine_on_alarm: bool = True,
+        poll_interval_s: float = 0.002,
+        failure_backoff_s: float = 0.01,
+    ) -> None:
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ConfigurationError(
+                f"default_deadline_s must be positive, got {default_deadline_s}"
+            )
+        self._service = service
+        self._clock: Clock = clock if clock is not None else ManualClock()
+        self._default_deadline_s = default_deadline_s
+        self._events = EventLog()
+        self._events.subscribe(obs.event_counter("serving"))
+        self._pool = EntropyPool(
+            service,
+            capacity_bits=capacity_bits,
+            low_watermark_bits=low_watermark_bits,
+            high_watermark_bits=high_watermark_bits,
+            refill_batch_bits=refill_batch_bits,
+            alarm_counter=self._make_alarm_counter(service),
+            quarantine_on_alarm=quarantine_on_alarm,
+            poll_interval_s=poll_interval_s,
+            failure_backoff_s=failure_backoff_s,
+            events=self._events,
+        )
+        self._admission = AdmissionController(
+            self._clock,
+            max_pending_requests=max_pending_requests,
+            quotas=quotas,
+            default_quota=default_quota,
+        )
+        self._latency = LatencyTracker()
+        self._degraded_policy = degraded
+        self._drbg: Optional[HashDrbg] = None
+        self._seed_count = 0
+        self._in_drought = False
+        self._drought_bits = 0
+        self._pending_reseed = False
+        self._degraded_lock = threading.Lock()
+        obs.add_collector(self._collect)
+
+    @staticmethod
+    def _make_alarm_counter(service: object) -> Optional[Callable[[], int]]:
+        log = getattr(service, "event_log", None)
+        if log is None or not hasattr(log, "count"):
+            return None
+        return lambda: int(log.count("alarm"))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pool(self) -> EntropyPool:
+        """The underlying watermarked entropy pool."""
+        return self._pool
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The admission-control front door."""
+        return self._admission
+
+    @property
+    def latency(self) -> LatencyTracker:
+        """Latency samples for every non-invalid request outcome."""
+        return self._latency
+
+    @property
+    def events(self) -> EventLog:
+        """The serving layer's robustness audit trail."""
+        return self._events
+
+    @property
+    def clock(self) -> Clock:
+        """The injected time source."""
+        return self._clock
+
+    @property
+    def degraded_active(self) -> bool:
+        """True while the service is bridging a drought with the DRBG."""
+        with self._degraded_lock:
+            return self._in_drought
+
+    def rng_urgent(self) -> bool:
+        """True when the pool is below its low watermark.
+
+        This is the hook the RNG-aware memory scheduler consumes: wire
+        it as the ``urgent`` callable of a
+        :class:`~repro.memctrl.scheduler.RngFairnessPolicy` and TRNG
+        reads get priority exactly while the pool is in danger of
+        draining, reverting to fair FR-FCFS once it recovers.
+        """
+        return self._pool.level < self._pool.low_watermark_bits
+
+    def slo_summary(self) -> Dict[str, float]:
+        """Point-in-time SLO view: percentiles, pool level, counters."""
+        summary: Dict[str, float] = dict(self._latency.summary())
+        summary["requests"] = float(self._latency.total_recorded)
+        summary["pool_bits"] = float(self._pool.level)
+        counters = self._events.counters
+        summary["served"] = float(counters.get("served", 0))
+        summary["degraded_bits"] = float(counters.get("degraded_bits", 0))
+        summary["shed"] = float(
+            sum(
+                count
+                for name, count in counters.items()
+                if name.startswith("shed_")
+            )
+        )
+        return summary
+
+    def _collect(self) -> None:
+        """Export-time gauge refresh (registered as an obs collector)."""
+        obs.gauge_set("drange_serving_pool_bits", self._pool.level)
+        obs.gauge_set(
+            "drange_serving_pending_requests", self._admission.pending
+        )
+        obs.gauge_set(
+            "drange_serving_degraded_mode", 1 if self.degraded_active else 0
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, precharge: bool = True, background: bool = True) -> None:
+        """Bring the service to readiness.
+
+        ``precharge`` synchronously fills the pool to its high watermark
+        (and seeds the degraded DRBG while entropy is plentiful);
+        ``background`` then starts the pool's refill thread.  With both
+        False this is a no-op — the service also works fully lazily.
+        """
+        if precharge:
+            self._pool.refill_to_high()
+        if self._degraded_policy is not None and self._drbg is None:
+            self._seed_drbg()
+        if background:
+            self._pool.start()
+
+    def stop(self) -> None:
+        """Stop the background refiller (idempotent)."""
+        self._pool.stop()
+
+    def __enter__(self) -> "BufferedRngService":
+        """Context-manager entry: :meth:`start` with defaults."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: :meth:`stop`."""
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+
+    def _skim_seed(self) -> bytes:
+        policy = self._degraded_policy
+        assert policy is not None
+        bits = self._pool.take(policy.seed_bits)
+        return np.packbits(bits).tobytes()
+
+    def _seed_drbg(self) -> None:
+        """Instantiate the degraded DRBG from pool entropy."""
+        self._seed_count += 1
+        self._drbg = HashDrbg(
+            entropy=self._skim_seed(),
+            nonce=self._seed_count.to_bytes(16, "big"),
+            personalization=_DEGRADED_PERSONALIZATION,
+        )
+        self._events.record(
+            "drbg_seeded", f"seed #{self._seed_count} from pool entropy"
+        )
+
+    def _serve_degraded(
+        self, num_bits: int, cause: BaseException
+    ) -> npt.NDArray[np.uint8]:
+        """Bridge one request through the DRBG, or re-raise ``cause``.
+
+        ``cause`` is the pool's refusal (drained, or the patience bound
+        expired); it is re-raised unchanged when no policy is
+        configured, the DRBG was never seeded, or the per-drought
+        budget cannot cover the request.
+        """
+        policy = self._degraded_policy
+        with self._degraded_lock:
+            if policy is None or self._drbg is None:
+                raise cause
+            if not self._in_drought:
+                self._in_drought = True
+                self._drought_bits = 0
+                self._events.record(
+                    "degraded_entered", "pool drained; DRBG bridging"
+                )
+                obs.gauge_set("drange_serving_degraded_mode", 1)
+            if self._drought_bits + num_bits > policy.budget_bits:
+                self._events.record(
+                    "degraded_budget_exhausted",
+                    f"{self._drought_bits} of {policy.budget_bits} "
+                    "budget bits already served this drought",
+                )
+                raise cause
+            self._drought_bits += num_bits
+            bits = self._drbg.generate_bits(num_bits)
+        self._events.bump("degraded_bits", num_bits)
+        obs.counter_add("drange_serving_degraded_bits_total", num_bits)
+        return bits
+
+    def _note_pool_success(self) -> None:
+        """A pool serve succeeded: end any drought, reseed if due."""
+        policy = self._degraded_policy
+        with self._degraded_lock:
+            if self._in_drought:
+                self._in_drought = False
+                self._events.record(
+                    "degraded_exited",
+                    f"pool recovered after {self._drought_bits} DRBG bits",
+                )
+                obs.gauge_set("drange_serving_degraded_mode", 0)
+                if policy is not None and policy.reseed_on_recovery:
+                    self._pending_reseed = True
+            reseed_now = (
+                self._pending_reseed
+                and policy is not None
+                and self._drbg is not None
+                and self._pool.level >= policy.seed_bits
+            )
+            if not reseed_now:
+                return
+            self._pending_reseed = False
+        # Outside the degraded lock: the skim may trigger pool refills.
+        assert self._drbg is not None
+        self._seed_count += 1
+        self._drbg.reseed(self._skim_seed())
+        self._events.record(
+            "drbg_reseeded", f"seed #{self._seed_count} after drought"
+        )
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+
+    def _shed(self, reason: str, tenant: str, detail: str) -> None:
+        self._events.bump(f"shed_{reason}")
+        self._events.record("shed", f"{reason} (tenant {tenant!r}): {detail}")
+        obs.counter_add("drange_serving_shed_total", reason=reason)
+        obs.counter_add("drange_serving_requests_total", outcome="shed")
+
+    def _finish(self, start_s: float) -> float:
+        latency = self._clock() - start_s
+        self._latency.record(latency)
+        obs.observe("drange_serving_latency_seconds", latency)
+        return latency
+
+    def request(
+        self,
+        num_bits: int,
+        tenant: str = "default",
+        deadline_s: Optional[float] = None,
+    ) -> ServingResult:
+        """Serve ``num_bits`` to ``tenant`` within the deadline.
+
+        ``deadline_s`` is *relative* to now on the injected clock (the
+        constructor's ``default_deadline_s`` applies when omitted).
+        Returns a :class:`ServingResult`; raises
+        :class:`~repro.errors.InvalidRequestError` on a non-positive
+        size and the typed shed errors documented in the module
+        docstring otherwise.  Latency is recorded for every non-invalid
+        outcome — shedding is a fast path, and its speed is part of the
+        SLO this layer makes measurable.
+        """
+        if num_bits <= 0:
+            obs.counter_add(
+                "drange_serving_requests_total", outcome="invalid"
+            )
+            raise InvalidRequestError(
+                f"num_bits must be positive, got {num_bits}"
+            )
+        start_s = self._clock()
+        relative = (
+            deadline_s if deadline_s is not None else self._default_deadline_s
+        )
+        absolute = start_s + relative if relative is not None else None
+        try:
+            with self._admission.admit(tenant, num_bits):
+                obs.gauge_set(
+                    "drange_serving_pending_requests", self._admission.pending
+                )
+                policy = self._degraded_policy
+                if policy is not None and self._drbg is None:
+                    self._seed_drbg()
+                # With degraded mode armed, cap the pool wait at the
+                # policy's patience bound so a stalled harvest falls
+                # back to the DRBG instead of eating the whole deadline.
+                first_deadline = absolute
+                capped = False
+                if policy is not None:
+                    patience = start_s + policy.max_pool_wait_s
+                    if absolute is None or patience < absolute:
+                        first_deadline = patience
+                        capped = True
+                source = "pool"
+                degraded = False
+                try:
+                    bits = self._pool.take(
+                        num_bits, deadline_s=first_deadline, clock=self._clock
+                    )
+                    self._note_pool_success()
+                except (PoolDrainedError, DeadlineExceededError) as exc:
+                    try:
+                        bits = self._serve_degraded(num_bits, exc)
+                        source = "drbg"
+                        degraded = True
+                    except (PoolDrainedError, DeadlineExceededError):
+                        if not capped:
+                            raise
+                        # The DRBG refused; spend the remaining real
+                        # deadline waiting on the pool before shedding.
+                        bits = self._pool.take(
+                            num_bits, deadline_s=absolute, clock=self._clock
+                        )
+                        self._note_pool_success()
+        except QueueFullError as exc:
+            self._finish(start_s)
+            self._shed("queue_full", tenant, str(exc))
+            raise
+        except QuotaExceededError as exc:
+            self._finish(start_s)
+            self._shed("quota", tenant, str(exc))
+            raise
+        except DeadlineExceededError as exc:
+            self._finish(start_s)
+            self._shed("deadline", tenant, str(exc))
+            raise
+        except PoolDrainedError as exc:
+            self._finish(start_s)
+            self._shed("pool_drained", tenant, str(exc))
+            raise
+        except BaseException:
+            self._finish(start_s)
+            obs.counter_add("drange_serving_requests_total", outcome="error")
+            raise
+        latency = self._finish(start_s)
+        self._events.bump("served")
+        obs.counter_add(
+            "drange_serving_requests_total",
+            outcome="degraded" if degraded else "ok",
+        )
+        return ServingResult(
+            bits=bits,
+            source=source,
+            degraded=degraded,
+            tenant=tenant,
+            latency_s=latency,
+        )
+
+    def request_bits(
+        self,
+        num_bits: int,
+        tenant: str = "default",
+        deadline_s: Optional[float] = None,
+    ) -> npt.NDArray[np.uint8]:
+        """Convenience: :meth:`request` returning just the bit array."""
+        return self.request(num_bits, tenant=tenant, deadline_s=deadline_s).bits

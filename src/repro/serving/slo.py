@@ -1,0 +1,139 @@
+"""SLO accounting: exact latency percentiles and histogram estimates.
+
+The serving layer's contract is stated in percentiles — p50 for the
+common case, p99 for the unlucky, p999 for the bound the soak test
+gates.  Two complementary tools live here:
+
+* :class:`LatencyTracker` — a bounded reservoir of raw latency samples
+  with *exact* percentiles over the retained window.  This is what the
+  benchmark gates on.
+* :func:`histogram_quantiles` — the classic monotone-interpolation
+  estimate over a fixed-bucket :class:`~repro.obs.metrics.Histogram`,
+  for reading percentiles straight out of a
+  ``drange_serving_latency_seconds`` export when raw samples are gone.
+
+Latency values are plain floats handed in by callers; nothing here
+reads a clock (DET001).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram
+
+__all__ = ["SLO_QUANTILES", "LatencyTracker", "histogram_quantiles"]
+
+#: The serving layer's standard reporting quantiles.
+SLO_QUANTILES: Tuple[float, ...] = (0.5, 0.99, 0.999)
+
+
+class LatencyTracker:
+    """A ring reservoir of latency samples with exact percentiles.
+
+    Keeps the most recent ``capacity`` observations (oldest evicted
+    first); :meth:`percentile` computes exact order statistics over the
+    retained window.  Thread-safe — request threads record while a
+    reporter reads.
+    """
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity}"
+            )
+        self._samples: npt.NDArray[np.float64] = np.empty(
+            capacity, dtype=np.float64
+        )
+        self._capacity = capacity
+        self._next = 0
+        self._count = 0
+        self._total = 0
+        self._lock = threading.Lock()
+
+    @property
+    def count(self) -> int:
+        """Samples currently retained."""
+        with self._lock:
+            return self._count
+
+    @property
+    def total_recorded(self) -> int:
+        """Samples ever recorded (including evicted ones)."""
+        with self._lock:
+            return self._total
+
+    def record(self, latency_s: float) -> None:
+        """Add one latency observation (seconds)."""
+        with self._lock:
+            self._samples[self._next] = latency_s
+            self._next = (self._next + 1) % self._capacity
+            self._count = min(self._count + 1, self._capacity)
+            self._total += 1
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-quantile (``q`` in [0, 1]) over retained samples.
+
+        Returns ``nan`` when nothing has been recorded.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return float("nan")
+            window = self._samples[: self._count].copy()
+        return float(np.quantile(window, q))
+
+    def summary(self) -> Dict[str, float]:
+        """The standard SLO summary: p50 / p99 / p999 in seconds."""
+        names = {0.5: "p50", 0.99: "p99", 0.999: "p999"}
+        return {
+            names.get(q, f"q{q}"): self.percentile(q) for q in SLO_QUANTILES
+        }
+
+
+def histogram_quantiles(
+    histogram: Histogram, quantiles: Sequence[float] = SLO_QUANTILES
+) -> Dict[float, float]:
+    """Estimate quantiles from a fixed-bucket histogram.
+
+    Uses linear interpolation inside the bucket containing each
+    quantile rank (Prometheus ``histogram_quantile`` semantics); values
+    landing in the ``+Inf`` overflow bucket report the last finite
+    boundary.  Returns ``nan`` estimates for an empty histogram.
+    """
+    counts = histogram.counts
+    total = histogram.count
+    bounds = histogram.buckets
+    out: Dict[float, float] = {}
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if total == 0:
+            out[q] = float("nan")
+            continue
+        rank = q * total
+        cumulative = 0.0
+        estimate = float(bounds[-1])
+        for index, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index >= len(bounds):
+                    estimate = float(bounds[-1])
+                else:
+                    upper = bounds[index]
+                    lower = bounds[index - 1] if index > 0 else 0.0
+                    if bucket_count > 0:
+                        fraction = (rank - previous) / bucket_count
+                    else:
+                        fraction = 1.0
+                    estimate = lower + (upper - lower) * fraction
+                break
+        out[q] = estimate
+    return out

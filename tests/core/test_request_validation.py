@@ -1,0 +1,82 @@
+"""Request validation across every serving surface.
+
+An invalid request (non-positive size) must be rejected with
+:class:`~repro.errors.InvalidRequestError` *before* the service does
+anything on the caller's behalf — no startup test, no harvest, no
+recovery, no metric "error" outcome.  The request never entered the
+service at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.integration import DRangeService
+from repro.core.multichannel import MultiChannelDRange
+from repro.dram.device import DeviceFactory
+from repro.errors import InvalidRequestError
+from repro.health import HealthMonitor
+from repro.parallel import BatchingFrontEnd
+
+
+class ExplodingSampler:
+    """A sampler that fails the test if the service ever touches it."""
+
+    def generate_fast(self, num_bits):
+        raise AssertionError("an invalid request must not harvest")
+
+
+class TestDRangeService:
+    @pytest.fixture
+    def service(self):
+        return DRangeService(ExplodingSampler(), health_monitor=HealthMonitor())
+
+    @pytest.mark.parametrize("num_bits", [0, -1, -4096])
+    def test_request_rejected_before_startup(self, service, num_bits):
+        with pytest.raises(InvalidRequestError):
+            service.request(num_bits)
+        # No startup test ran, nothing was counted: the sampler would
+        # have raised AssertionError had the service touched it.
+        assert not service.health_monitor.startup_passed
+        assert service.counters == {}
+
+    @pytest.mark.parametrize("num_bytes", [0, -1])
+    def test_request_bytes_rejected(self, service, num_bytes):
+        with pytest.raises(InvalidRequestError):
+            service.request_bytes(num_bytes)
+        assert service.counters == {}
+
+
+class TestMultiChannel:
+    @pytest.fixture
+    def system(self):
+        factory = DeviceFactory(master_seed=2019, noise_seed=37)
+        return MultiChannelDRange([factory.make_device("A", 0)])
+
+    @pytest.mark.parametrize("num_bits", [0, -8])
+    def test_random_bits_rejected(self, system, num_bits):
+        with pytest.raises(InvalidRequestError):
+            system.random_bits(num_bits)
+
+    @pytest.mark.parametrize("num_bits", [0, -8])
+    def test_request_rejected(self, system, num_bits):
+        with pytest.raises(InvalidRequestError):
+            system.request(num_bits)
+
+
+class TestBatchingFrontEnd:
+    class _Backing:
+        def __init__(self):
+            self.calls = []
+
+        def request(self, num_bits):
+            self.calls.append(num_bits)
+            return np.zeros(num_bits, dtype=np.uint8)
+
+    @pytest.mark.parametrize("num_bits", [0, -1])
+    def test_rejected_without_reaching_the_service(self, num_bits):
+        backing = self._Backing()
+        front = BatchingFrontEnd(backing)
+        with pytest.raises(InvalidRequestError):
+            front.request(num_bits)
+        assert backing.calls == []
+        assert front.requests_served == 0

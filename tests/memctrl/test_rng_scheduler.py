@@ -1,0 +1,185 @@
+"""RNG-aware scheduler tests: arbitration, starvation bound, determinism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memctrl.requests import MemRequest
+from repro.memctrl.scheduler import (
+    FrFcfsScheduler,
+    RngAwareScheduler,
+    RngFairnessPolicy,
+)
+from repro.sim.engine import TimingEngine
+
+
+def _engine(device):
+    return TimingEngine(device.timings, banks=device.geometry.banks)
+
+
+def _mixed_workload():
+    """Row-hit-streaming app traffic interleaved with missing RNG reads."""
+    requests = []
+    for i in range(8):
+        requests.append(MemRequest(bank=0, row=3, word=i, arrival_ns=2.0 * i))
+        requests.append(
+            MemRequest(
+                bank=0, row=40 + i, word=0,
+                arrival_ns=2.0 * i + 1.0, is_rng=True,
+            )
+        )
+    return requests
+
+
+def _mean_latencies(scheduler, workload):
+    done = scheduler.run(workload)
+    rng = [r.latency_ns for r in done if r.is_rng]
+    app = [r.latency_ns for r in done if not r.is_rng]
+    return (
+        sum(rng) / len(rng) if rng else float("nan"),
+        sum(app) / len(app) if app else float("nan"),
+    )
+
+
+class TestPolicy:
+    @pytest.mark.parametrize("max_wait_ns", [0.0, -1.0])
+    def test_max_wait_must_be_positive(self, max_wait_ns):
+        with pytest.raises(ConfigurationError):
+            RngFairnessPolicy(max_wait_ns=max_wait_ns)
+
+    def test_urgent_accepts_bool(self):
+        assert RngFairnessPolicy(urgent=True).is_urgent()
+        assert not RngFairnessPolicy(urgent=False).is_urgent()
+
+    def test_urgent_accepts_callable_evaluated_live(self):
+        level = {"low": False}
+        policy = RngFairnessPolicy(urgent=lambda: level["low"])
+        assert not policy.is_urgent()
+        level["low"] = True
+        assert policy.is_urgent()
+
+    def test_default_policy_installed(self, small_device):
+        scheduler = RngAwareScheduler(_engine(small_device))
+        assert scheduler.policy.max_wait_ns == 500.0
+        assert not scheduler.policy.is_urgent()
+
+
+class TestBaselineDegeneration:
+    def test_no_rng_traffic_matches_fr_fcfs_exactly(self, small_device):
+        """Without RNG requests the schedule IS the baseline schedule.
+
+        A huge max-wait disables the (baseline-foreign) promotion rule;
+        what remains must order and time requests identically.
+        """
+        def workload():
+            return [
+                MemRequest(bank=b, row=r, word=w, arrival_ns=3.0 * n)
+                for n, (b, r, w) in enumerate(
+                    (n % 2, (n * 7) % 16, n % 4) for n in range(24)
+                )
+            ]
+
+        baseline_done = FrFcfsScheduler(_engine(small_device)).run(workload())
+        aware_done = RngAwareScheduler(
+            _engine(small_device),
+            policy=RngFairnessPolicy(max_wait_ns=1e12),
+        ).run(workload())
+        key = lambda r: (r.bank, r.row, r.word, r.issue_ns, r.completion_ns)
+        assert [key(r) for r in baseline_done] == [key(r) for r in aware_done]
+
+    def test_non_urgent_prefers_application_traffic(self, small_device):
+        # An app request and an RNG request that is *ahead of it in FCFS
+        # order* are both pending at the first pick: with urgent=False
+        # the app request issues first anyway.
+        rng = MemRequest(bank=0, row=9, word=0, arrival_ns=0.0, is_rng=True)
+        app = MemRequest(bank=0, row=5, word=0, arrival_ns=0.0)
+        assert rng.request_id < app.request_id
+        done = RngAwareScheduler(
+            _engine(small_device),
+            policy=RngFairnessPolicy(max_wait_ns=1e12, urgent=False),
+        ).run([rng, app])
+        by_id = {r.request_id: r for r in done}
+        assert by_id[app.request_id].issue_ns < by_id[rng.request_id].issue_ns
+
+
+class TestInterference:
+    def test_urgent_mode_trades_app_latency_for_rng_latency(self, small_device):
+        baseline_rng, baseline_app = _mean_latencies(
+            FrFcfsScheduler(_engine(small_device)), _mixed_workload()
+        )
+        urgent_rng, urgent_app = _mean_latencies(
+            RngAwareScheduler(
+                _engine(small_device),
+                policy=RngFairnessPolicy(max_wait_ns=400.0, urgent=True),
+            ),
+            _mixed_workload(),
+        )
+        assert urgent_rng < baseline_rng
+        assert urgent_app >= baseline_app
+
+    def test_served_counters_split_by_class(self, small_device):
+        scheduler = RngAwareScheduler(_engine(small_device))
+        scheduler.run(_mixed_workload())
+        assert scheduler.rng_served == 8
+        assert scheduler.regular_served == 8
+
+
+class TestStarvationBound:
+    def test_max_wait_promotes_the_deprioritized_class(self, small_device):
+        """Urgent RNG floods cannot starve app traffic past the bound."""
+        # The app request arrives first; RNG requests then stream in
+        # faster than they can be served, so without the bound the app
+        # request would wait for the whole flood.
+        app = MemRequest(bank=0, row=5, word=0, arrival_ns=0.0)
+        requests = [app] + [
+            MemRequest(
+                bank=0, row=50 + i, word=0, arrival_ns=5.0 * i, is_rng=True
+            )
+            for i in range(16)
+        ]
+        max_wait_ns = 200.0
+        scheduler = RngAwareScheduler(
+            _engine(small_device),
+            policy=RngFairnessPolicy(max_wait_ns=max_wait_ns, urgent=True),
+        )
+        scheduler.run(requests)
+        assert scheduler.promotions > 0
+        # Queueing delay is capped at roughly the bound plus the row
+        # cycles of requests already committed when it trips.
+        slack = 3 * scheduler.engine.timings.trc_ns
+        assert app.issue_ns - app.arrival_ns <= max_wait_ns + slack
+
+    def test_promotion_is_oldest_first(self, small_device):
+        old = MemRequest(bank=0, row=50, word=0, arrival_ns=0.0)
+        older = MemRequest(bank=0, row=60, word=0, arrival_ns=0.0)
+        # Make `older` genuinely older by id order at equal arrival.
+        assert older.request_id > old.request_id
+        rng_flood = [
+            MemRequest(bank=0, row=70 + i, word=0, arrival_ns=0.0, is_rng=True)
+            for i in range(4)
+        ]
+        scheduler = RngAwareScheduler(
+            _engine(small_device),
+            policy=RngFairnessPolicy(max_wait_ns=50.0, urgent=True),
+        )
+        done = scheduler.run([old, older] + rng_flood)
+        by_id = {r.request_id: r for r in done}
+        assert by_id[old.request_id].issue_ns < by_id[older.request_id].issue_ns
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_schedules(self, small_device):
+        def run_once():
+            scheduler = RngAwareScheduler(
+                _engine(small_device),
+                policy=RngFairnessPolicy(max_wait_ns=300.0, urgent=True),
+            )
+            done = scheduler.run(_mixed_workload())
+            return [
+                (r.bank, r.row, r.word, r.is_rng, r.issue_ns, r.completion_ns)
+                for r in done
+            ], scheduler.promotions
+
+        first_schedule, first_promotions = run_once()
+        second_schedule, second_promotions = run_once()
+        assert first_schedule == second_schedule
+        assert first_promotions == second_promotions

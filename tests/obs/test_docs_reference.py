@@ -1,9 +1,10 @@
-"""Cross-check docs/observability.md against the metric catalog.
+"""Cross-check the metric-reference docs against the metric catalog.
 
-The catalog promises that ``docs/observability.md`` documents exactly
-the families the stack emits; this test parses the document's metric
-tables and holds the two in sync — adding a metric without documenting
-it (or documenting one that no longer exists) fails here.
+The catalog promises that the docs document exactly the families the
+stack emits; this test parses the metric tables of every reference
+document and holds the two in sync — adding a metric without
+documenting it, documenting one that no longer exists, documenting the
+same metric in two places, or drifting a kind/label set all fail here.
 """
 
 import re
@@ -11,7 +12,11 @@ from pathlib import Path
 
 from repro.obs.catalog import CATALOG
 
-DOC_PATH = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+DOCS_DIR = Path(__file__).resolve().parents[2] / "docs"
+
+#: Documents that carry metric-reference tables.  Each metric family
+#: must appear in exactly one of them.
+REFERENCE_DOCS = ("observability.md", "serving.md")
 
 #: A metric-table row: | `name` | kind | labels | meaning |
 ROW_RE = re.compile(
@@ -21,9 +26,9 @@ ROW_RE = re.compile(
 )
 
 
-def _documented_metrics():
+def _rows_in(doc_name):
     rows = {}
-    for line in DOC_PATH.read_text().splitlines():
+    for line in (DOCS_DIR / doc_name).read_text().splitlines():
         match = ROW_RE.match(line.strip())
         if match:
             labels = tuple(
@@ -35,16 +40,35 @@ def _documented_metrics():
     return rows
 
 
+def _documented_metrics():
+    """The union of every reference doc's tables, name → (kind, labels)."""
+    merged = {}
+    for doc_name in REFERENCE_DOCS:
+        merged.update(_rows_in(doc_name))
+    return merged
+
+
+def test_no_metric_is_documented_twice():
+    seen = {}
+    conflicts = []
+    for doc_name in REFERENCE_DOCS:
+        for name in _rows_in(doc_name):
+            if name in seen:
+                conflicts.append(f"{name} ({seen[name]} and {doc_name})")
+            seen[name] = doc_name
+    assert not conflicts, f"metrics documented in two docs: {conflicts}"
+
+
 def test_every_catalog_entry_is_documented():
     documented = _documented_metrics()
     missing = sorted(set(CATALOG) - set(documented))
-    assert not missing, f"metrics missing from docs/observability.md: {missing}"
+    assert not missing, f"metrics missing from {REFERENCE_DOCS}: {missing}"
 
 
 def test_every_documented_metric_exists():
     documented = _documented_metrics()
     stale = sorted(set(documented) - set(CATALOG))
-    assert not stale, f"docs/observability.md documents unknown metrics: {stale}"
+    assert not stale, f"{REFERENCE_DOCS} document unknown metrics: {stale}"
 
 
 def test_documented_kinds_and_labels_match():
@@ -58,5 +82,7 @@ def test_documented_kinds_and_labels_match():
 
 def test_doc_parse_found_the_tables():
     # Guard against a silent regex/format drift making the other tests
-    # vacuously pass.
-    assert len(_documented_metrics()) >= 15
+    # vacuously pass — both documents must contribute rows.
+    for doc_name in REFERENCE_DOCS:
+        assert len(_rows_in(doc_name)) >= 5, f"no metric tables parsed in {doc_name}"
+    assert len(_documented_metrics()) >= 20

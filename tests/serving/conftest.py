@@ -1,0 +1,60 @@
+"""Fixtures for the serving-layer tests.
+
+Most tests here run against :class:`ScriptedSource`, a deterministic
+stand-in for :class:`~repro.core.integration.DRangeService`: it emits a
+reproducible bit stream (a pure function of the running bit offset) and
+fails exactly when told to, which makes drought/recovery scenarios
+scriptable without a device model.  The integration-level tests
+(`test_overload.py`, `test_equivalence.py`) build the real stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+import pytest
+
+
+def scripted_bits(start: int, num_bits: int) -> np.ndarray:
+    """The reference stream: bit ``i`` is a fixed hash of ``i``.
+
+    Period-free and offset-sensitive, so any dropped, duplicated, or
+    reordered bit shows up as an equality failure.
+    """
+    idx = np.arange(start, start + num_bits, dtype=np.uint64)
+    return ((idx * np.uint64(2654435761) >> np.uint64(7)) & np.uint64(1)).astype(
+        np.uint8
+    )
+
+
+class ScriptedSource:
+    """A deterministic bit source with scriptable failures.
+
+    ``fail_with`` (an exception instance) makes every subsequent
+    ``request`` raise until cleared — the failed call consumes no
+    stream offset.  ``on_request`` runs before each harvest and may
+    advance clocks, bump ``alarms``, or mutate the source itself.
+    """
+
+    def __init__(self) -> None:
+        self.offset = 0
+        self.calls: list = []
+        self.alarms = 0
+        self.fail_with: Optional[BaseException] = None
+        self.on_request: Optional[Callable[[int], None]] = None
+
+    def request(self, num_bits: int) -> np.ndarray:
+        self.calls.append(num_bits)
+        if self.on_request is not None:
+            self.on_request(num_bits)
+        if self.fail_with is not None:
+            raise self.fail_with
+        bits = scripted_bits(self.offset, num_bits)
+        self.offset += num_bits
+        return bits
+
+
+@pytest.fixture
+def source() -> ScriptedSource:
+    return ScriptedSource()

@@ -1,0 +1,167 @@
+"""Admission-control tests: token buckets, quotas, the in-flight bound."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    QueueFullError,
+    QuotaExceededError,
+)
+from repro.serving import (
+    AdmissionController,
+    ManualClock,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class TestTenantQuota:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TenantQuota(rate_bits_per_s=-1.0, burst_bits=10.0)
+        with pytest.raises(ConfigurationError):
+            TenantQuota(rate_bits_per_s=1.0, burst_bits=0.0)
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(
+            TenantQuota(rate_bits_per_s=10.0, burst_bits=100.0), ManualClock()
+        )
+        assert bucket.tokens == 100.0
+        assert bucket.try_consume(100.0)
+        assert not bucket.try_consume(1.0)
+
+    def test_consume_is_all_or_nothing(self):
+        bucket = TokenBucket(
+            TenantQuota(rate_bits_per_s=0.0, burst_bits=10.0), ManualClock()
+        )
+        assert not bucket.try_consume(11.0)
+        # The failed attempt consumed nothing.
+        assert bucket.tokens == 10.0
+
+    def test_accrual_follows_the_clock(self):
+        clock = ManualClock()
+        bucket = TokenBucket(
+            TenantQuota(rate_bits_per_s=8.0, burst_bits=64.0), clock
+        )
+        assert bucket.try_consume(64.0)
+        clock.advance(2.0)
+        assert bucket.tokens == pytest.approx(16.0)
+        assert bucket.try_consume(16.0)
+        assert not bucket.try_consume(1.0)
+
+    def test_accrual_caps_at_burst(self):
+        clock = ManualClock()
+        bucket = TokenBucket(
+            TenantQuota(rate_bits_per_s=1000.0, burst_bits=32.0), clock
+        )
+        clock.advance(1e6)
+        assert bucket.tokens == 32.0
+
+    def test_negative_amount_rejected(self):
+        bucket = TokenBucket(
+            TenantQuota(rate_bits_per_s=1.0, burst_bits=1.0), ManualClock()
+        )
+        with pytest.raises(ConfigurationError):
+            bucket.try_consume(-1.0)
+
+
+class TestAdmissionController:
+    def test_max_pending_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(ManualClock(), max_pending_requests=0)
+
+    def test_unmetered_tenant_always_admitted(self):
+        admission = AdmissionController(ManualClock())
+        for _ in range(100):
+            with admission.admit("anyone", 1 << 20):
+                pass
+
+    def test_quota_enforced_per_tenant(self):
+        clock = ManualClock()
+        admission = AdmissionController(
+            clock,
+            quotas={"a": TenantQuota(rate_bits_per_s=0.0, burst_bits=64.0)},
+        )
+        with admission.admit("a", 64):
+            pass
+        with pytest.raises(QuotaExceededError):
+            with admission.admit("a", 1):
+                pass
+        # Tenant b is untouched by a's exhaustion.
+        with admission.admit("b", 1 << 20):
+            pass
+
+    def test_default_quota_fallback(self):
+        admission = AdmissionController(
+            ManualClock(),
+            default_quota=TenantQuota(rate_bits_per_s=0.0, burst_bits=8.0),
+        )
+        with admission.admit("anyone", 8):
+            pass
+        with pytest.raises(QuotaExceededError):
+            with admission.admit("anyone", 1):
+                pass
+        # The fallback is per tenant: a fresh tenant gets a fresh bucket.
+        with admission.admit("someone-else", 8):
+            pass
+
+    def test_tokens_not_refunded_on_downstream_failure(self):
+        admission = AdmissionController(
+            ManualClock(),
+            quotas={"a": TenantQuota(rate_bits_per_s=0.0, burst_bits=64.0)},
+        )
+        with pytest.raises(RuntimeError):
+            with admission.admit("a", 64):
+                raise RuntimeError("downstream failure")
+        with pytest.raises(QuotaExceededError):
+            with admission.admit("a", 1):
+                pass
+
+    def test_in_flight_bound(self):
+        admission = AdmissionController(ManualClock(), max_pending_requests=2)
+        with admission.admit("a", 1):
+            with admission.admit("b", 1):
+                assert admission.pending == 2
+                with pytest.raises(QueueFullError):
+                    with admission.admit("c", 1):
+                        pass
+        assert admission.pending == 0
+
+    def test_pending_released_on_quota_shed(self):
+        admission = AdmissionController(
+            ManualClock(),
+            max_pending_requests=1,
+            quotas={"a": TenantQuota(rate_bits_per_s=0.0, burst_bits=1.0)},
+        )
+        with pytest.raises(QuotaExceededError):
+            with admission.admit("a", 2):
+                pass
+        # The shed request does not leak its in-flight slot.
+        with admission.admit("b", 1):
+            pass
+
+    def test_set_quota_installs_and_resets(self):
+        clock = ManualClock()
+        admission = AdmissionController(clock)
+        admission.set_quota("a", TenantQuota(rate_bits_per_s=0.0, burst_bits=4.0))
+        with admission.admit("a", 4):
+            pass
+        with pytest.raises(QuotaExceededError):
+            with admission.admit("a", 1):
+                pass
+        # Re-installing drops the spent bucket: full burst again.
+        admission.set_quota("a", TenantQuota(rate_bits_per_s=0.0, burst_bits=4.0))
+        with admission.admit("a", 4):
+            pass
+        # Removing the quota makes the tenant unmetered.
+        admission.set_quota("a", None)
+        with admission.admit("a", 1 << 20):
+            pass
+
+    def test_bucket_exposes_quota(self):
+        quota = TenantQuota(rate_bits_per_s=1.0, burst_bits=2.0)
+        admission = AdmissionController(ManualClock(), quotas={"a": quota})
+        assert admission.bucket("a").quota is quota
+        assert admission.bucket("unmetered") is None

@@ -1,0 +1,212 @@
+"""EntropyPool tests: hysteresis, quarantine, deadlines, stream order."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    InvalidRequestError,
+    PoolDrainedError,
+    ReproError,
+    StartupTestError,
+)
+from repro.serving import EntropyPool, ManualClock
+
+from .conftest import scripted_bits
+
+
+def make_pool(source, **kwargs):
+    kwargs.setdefault("capacity_bits", 64)
+    kwargs.setdefault("refill_batch_bits", 8)
+    kwargs.setdefault("poll_interval_s", 0.001)
+    kwargs.setdefault("failure_backoff_s", 0.001)
+    return EntropyPool(source, **kwargs)
+
+
+class TestConfiguration:
+    def test_default_watermarks(self, source):
+        pool = make_pool(source, capacity_bits=100)
+        assert pool.low_watermark_bits == 25
+        assert pool.high_watermark_bits == 75
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity_bits": 0},
+            {"low_watermark_bits": -1},
+            {"low_watermark_bits": 64},
+            {"low_watermark_bits": 40, "high_watermark_bits": 30},
+            {"high_watermark_bits": 65},
+            {"refill_batch_bits": 0},
+            {"poll_interval_s": 0.0},
+            {"failure_backoff_s": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, source, kwargs):
+        with pytest.raises(ConfigurationError):
+            make_pool(source, **kwargs)
+
+    def test_invalid_take_rejected(self, source):
+        pool = make_pool(source)
+        with pytest.raises(InvalidRequestError):
+            pool.take(0)
+
+    def test_deadline_requires_clock(self, source):
+        pool = make_pool(source)
+        with pytest.raises(ConfigurationError):
+            pool.take(8, deadline_s=1.0)
+
+
+class TestSynchronousMode:
+    def test_served_bits_are_the_source_stream_prefix(self, source):
+        pool = make_pool(source)
+        first = pool.take(10)
+        second = pool.take(20)
+        served = np.concatenate([first, second])
+        assert np.array_equal(served, scripted_bits(0, 30))
+
+    def test_inline_refill_harvests_only_on_demand(self, source):
+        pool = make_pool(source)
+        pool.take(4)  # one 8-bit batch covers it
+        assert source.calls == [8]
+        assert pool.level == 4
+        pool.take(4)  # served from the leftover, no harvest
+        assert source.calls == [8]
+
+    def test_refill_to_high_precharges(self, source):
+        pool = make_pool(source)
+        pool.refill_to_high()
+        assert pool.level >= pool.high_watermark_bits
+        assert pool.bits_refilled == pool.level
+
+    def test_refill_to_high_failure_sheds(self, source):
+        source.fail_with = ReproError("harvester down")
+        pool = make_pool(source)
+        with pytest.raises(PoolDrainedError):
+            pool.refill_to_high()
+
+    def test_failed_refill_sheds_with_cause_chained(self, source):
+        source.fail_with = ReproError("harvester down")
+        pool = make_pool(source)
+        with pytest.raises(PoolDrainedError) as excinfo:
+            pool.take(8)
+        assert isinstance(excinfo.value.__cause__, ReproError)
+
+    def test_partial_take_restored_in_stream_order(self, source):
+        pool = make_pool(source)
+        pool.refill_to_high()
+        level = pool.level
+        source.fail_with = ReproError("harvester down")
+        with pytest.raises(PoolDrainedError):
+            pool.take(level + 8)
+        # The popped bits went back to the front of the ring: the next
+        # take still sees the unbroken stream prefix.
+        assert pool.level == level
+        source.fail_with = None
+        assert np.array_equal(pool.take(level), scripted_bits(0, level))
+
+    def test_health_failure_quarantines_buffered_bits(self, source):
+        pool = make_pool(source)
+        pool.refill_to_high()
+        buffered = pool.level
+        source.fail_with = StartupTestError("alarm")
+        with pytest.raises(PoolDrainedError):
+            pool.take(buffered + 8)
+        # Everything buffered (and the partially-popped bits) is gone.
+        assert pool.level == 0
+        assert pool.events.count("pool_quarantine") == 1
+        assert pool.events.counters["bits_discarded"] == buffered
+
+    def test_quarantine_opt_out_keeps_buffered_bits(self, source):
+        pool = make_pool(source, quarantine_on_alarm=False)
+        pool.refill_to_high()
+        buffered = pool.level
+        source.fail_with = StartupTestError("alarm")
+        with pytest.raises(PoolDrainedError):
+            pool.take(buffered + 8)
+        assert pool.level == buffered
+
+    def test_alarm_counter_quarantines_pre_alarm_bits(self, source):
+        pool = make_pool(source, alarm_counter=lambda: source.alarms)
+        pool.refill_to_high()
+        buffered = pool.level
+        pre_alarm_offset = source.offset
+
+        def bump_once(_num_bits):
+            source.alarms += 1
+            source.on_request = None
+
+        source.on_request = bump_once
+        # The take first pops every pre-alarm bit, then the refill
+        # reports an alarm: the result must contain post-alarm bits
+        # only — no mixing within one served request.
+        bits = pool.take(buffered + 8)
+        assert np.array_equal(
+            bits, scripted_bits(pre_alarm_offset, buffered + 8)
+        )
+        assert pool.events.counters["bits_discarded"] == buffered
+
+    def test_deadline_exceeded_mid_refill(self, source):
+        clock = ManualClock()
+        source.on_request = lambda _n: clock.advance(1.0)
+        pool = make_pool(source)
+        with pytest.raises(DeadlineExceededError):
+            pool.take(32, deadline_s=2.5, clock=clock)
+        # The partial fill was restored, stream order intact.
+        source.on_request = None
+        assert np.array_equal(pool.take(16), scripted_bits(0, 16))
+
+
+class TestBackgroundMode:
+    def test_background_refill_serves_takers(self, source):
+        pool = make_pool(source)
+        pool.start()
+        try:
+            assert pool.running
+            bits = pool.take(40)
+            assert np.array_equal(bits, scripted_bits(0, 40))
+        finally:
+            pool.stop()
+        assert not pool.running
+
+    def test_start_and_stop_are_idempotent(self, source):
+        pool = make_pool(source)
+        pool.start()
+        pool.start()
+        pool.stop()
+        pool.stop()
+        assert not pool.running
+
+    def test_refill_to_high_refused_while_running(self, source):
+        pool = make_pool(source)
+        pool.start()
+        try:
+            with pytest.raises(ConfigurationError):
+                pool.refill_to_high()
+        finally:
+            pool.stop()
+
+    def test_failing_source_sheds_blocked_taker(self, source):
+        source.fail_with = ReproError("harvester down")
+        pool = make_pool(source)
+        pool.start()
+        try:
+            with pytest.raises(PoolDrainedError):
+                pool.take(8)
+        finally:
+            pool.stop()
+
+    def test_buffered_bits_survive_source_failure(self, source):
+        pool = make_pool(source)
+        pool.refill_to_high()
+        buffered = pool.level
+        pool.start()
+        try:
+            source.fail_with = ReproError("harvester down")
+            # Buffered bits still serve; only the shortfall sheds.
+            assert pool.take(buffered).size == buffered
+            with pytest.raises(PoolDrainedError):
+                pool.take(8)
+        finally:
+            pool.stop()

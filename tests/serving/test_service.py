@@ -1,0 +1,250 @@
+"""BufferedRngService tests against the scripted source."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InvalidRequestError,
+    PoolDrainedError,
+    QueueFullError,
+    QuotaExceededError,
+    StartupTestError,
+)
+from repro.obs import runtime as obs
+from repro.serving import (
+    BufferedRngService,
+    DegradedPolicy,
+    ManualClock,
+    ServingResult,
+    TenantQuota,
+)
+
+from .conftest import scripted_bits
+
+
+def make_service(source, **kwargs):
+    kwargs.setdefault("capacity_bits", 512)
+    kwargs.setdefault("refill_batch_bits", 512)
+    return BufferedRngService(source, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.enable()
+    obs.disable()
+    yield
+    obs.enable()
+    obs.disable()
+
+
+class TestConfiguration:
+    def test_invalid_deadline_rejected(self, source):
+        with pytest.raises(ConfigurationError):
+            make_service(source, default_deadline_s=0.0)
+
+    def test_degraded_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            DegradedPolicy(budget_bits=0)
+        with pytest.raises(ConfigurationError):
+            DegradedPolicy(seed_bits=128)
+        with pytest.raises(ConfigurationError):
+            DegradedPolicy(max_pool_wait_s=0.0)
+
+
+class TestRequestValidation:
+    def test_invalid_request_rejected_before_any_harvest(self, source):
+        buffered = make_service(source)
+        with pytest.raises(InvalidRequestError):
+            buffered.request(0)
+        with pytest.raises(InvalidRequestError):
+            buffered.request(-5)
+        # Validation happens before admission and before the pool ever
+        # touches the source: nothing was harvested.
+        assert source.calls == []
+        assert buffered.latency.total_recorded == 0
+
+
+class TestServing:
+    def test_pool_serve_returns_stream_prefix(self, source):
+        buffered = make_service(source)
+        result = buffered.request(64)
+        assert isinstance(result, ServingResult)
+        assert result.source == "pool"
+        assert not result.degraded
+        assert result.tenant == "default"
+        assert np.array_equal(result.bits, scripted_bits(0, 64))
+        assert buffered.events.counters["served"] == 1
+
+    def test_request_bits_convenience(self, source):
+        buffered = make_service(source)
+        assert np.array_equal(buffered.request_bits(32), scripted_bits(0, 32))
+
+    def test_context_manager_precharges_and_stops(self, source):
+        with make_service(source) as buffered:
+            assert buffered.pool.level >= buffered.pool.high_watermark_bits
+            buffered.request(64)
+        assert not buffered.pool.running
+
+    def test_latency_recorded_on_injected_clock(self, source):
+        clock = ManualClock()
+        source.on_request = lambda _n: clock.advance(0.25)
+        buffered = make_service(source, clock=clock)
+        result = buffered.request(64)
+        assert result.latency_s == pytest.approx(0.25)
+        assert buffered.latency.percentile(0.5) == pytest.approx(0.25)
+
+    def test_slo_summary_shape(self, source):
+        buffered = make_service(source)
+        buffered.request(64)
+        summary = buffered.slo_summary()
+        assert summary["served"] == 1.0
+        assert summary["shed"] == 0.0
+        assert summary["requests"] == 1.0
+        assert summary["pool_bits"] == float(buffered.pool.level)
+        assert {"p50", "p99", "p999"} <= set(summary)
+
+
+class TestShedding:
+    def test_quota_shed_is_typed_and_counted(self, source):
+        buffered = make_service(
+            source,
+            quotas={"a": TenantQuota(rate_bits_per_s=0.0, burst_bits=64.0)},
+        )
+        buffered.request(64, tenant="a")
+        with pytest.raises(QuotaExceededError):
+            buffered.request(64, tenant="a")
+        assert buffered.events.counters["shed_quota"] == 1
+        # Latency is recorded for sheds too: shed speed is part of the SLO.
+        assert buffered.latency.total_recorded == 2
+
+    def test_queue_full_shed(self, source):
+        buffered = make_service(source, max_pending_requests=1)
+        with buffered.admission.admit("occupant", 1):
+            with pytest.raises(QueueFullError):
+                buffered.request(64)
+        assert buffered.events.counters["shed_queue_full"] == 1
+
+    def test_pool_drained_shed_without_degraded_policy(self, source):
+        buffered = make_service(source)
+        source.fail_with = StartupTestError("alarm")
+        with pytest.raises(PoolDrainedError):
+            buffered.request(64)
+        assert buffered.events.counters["shed_pool_drained"] == 1
+
+
+class TestDegradedMode:
+    def degraded_service(self, source, **kwargs):
+        kwargs.setdefault(
+            "degraded", DegradedPolicy(budget_bits=256, seed_bits=256)
+        )
+        buffered = make_service(source, **kwargs)
+        buffered.start(background=False)
+        self.drain(buffered)
+        return buffered
+
+    @staticmethod
+    def drain(buffered):
+        """Serve out every buffered bit so the next request hits a dry pool."""
+        while buffered.pool.level:
+            buffered.request(buffered.pool.level)
+
+    def test_drbg_bridges_a_drought(self, source):
+        buffered = self.degraded_service(source)
+        source.fail_with = StartupTestError("alarm")
+        result = buffered.request(64)
+        assert result.degraded and result.source == "drbg"
+        assert buffered.degraded_active
+        assert buffered.events.counters["degraded_bits"] == 64
+        assert buffered.events.count("degraded_entered") == 1
+
+    def test_budget_bounds_the_bridge_then_sheds(self, source):
+        buffered = self.degraded_service(source)
+        source.fail_with = StartupTestError("alarm")
+        for _ in range(4):  # 4 x 64 exhausts the 256-bit budget
+            assert buffered.request(64).degraded
+        with pytest.raises(PoolDrainedError):
+            buffered.request(64)
+        assert buffered.events.count("degraded_budget_exhausted") == 1
+        assert buffered.events.counters["shed_pool_drained"] == 1
+
+    def test_recovery_exits_drought_and_reseeds(self, source):
+        buffered = self.degraded_service(source)
+        source.fail_with = StartupTestError("alarm")
+        buffered.request(64)
+        source.fail_with = None
+        result = buffered.request(64)
+        assert result.source == "pool" and not result.degraded
+        assert not buffered.degraded_active
+        assert buffered.events.count("degraded_exited") == 1
+        assert buffered.events.count("drbg_reseeded") == 1
+
+    def test_budget_resets_per_drought(self, source):
+        buffered = self.degraded_service(source)
+        source.fail_with = StartupTestError("alarm")
+        for _ in range(4):
+            buffered.request(64)  # first drought: budget fully spent
+        source.fail_with = None
+        buffered.request(64)  # recovery
+        self.drain(buffered)  # spend the refilled bits on pool serves
+        source.fail_with = StartupTestError("alarm")
+        # Second drought starts with a fresh budget.
+        assert buffered.request(64).degraded
+
+    def test_degraded_output_is_deterministic_given_the_stream(self, source):
+        def build():
+            from .conftest import ScriptedSource
+
+            src = ScriptedSource()
+            buffered = self.degraded_service(src)
+            src.fail_with = StartupTestError("alarm")
+            return buffered.request(64).bits
+
+        assert np.array_equal(build(), build())
+
+
+class TestObsIntegration:
+    def test_serving_metrics_flow_to_the_registry(self, source):
+        registry = obs.enable()
+        try:
+            buffered = make_service(
+                source,
+                quotas={"a": TenantQuota(rate_bits_per_s=0.0, burst_bits=64.0)},
+            )
+            buffered.request(64, tenant="a")
+            with pytest.raises(QuotaExceededError):
+                buffered.request(64, tenant="a")
+            assert (
+                registry.value("drange_serving_requests_total", outcome="ok")
+                == 1
+            )
+            assert (
+                registry.value("drange_serving_requests_total", outcome="shed")
+                == 1
+            )
+            assert (
+                registry.value("drange_serving_shed_total", reason="quota")
+                == 1
+            )
+            # The collector refreshes gauges at export time.
+            obs.run_collectors()
+            assert registry.value("drange_serving_pool_bits") == float(
+                buffered.pool.level
+            )
+        finally:
+            obs.disable()
+
+    def test_invalid_request_counted_as_invalid(self, source):
+        registry = obs.enable()
+        try:
+            buffered = make_service(source)
+            with pytest.raises(InvalidRequestError):
+                buffered.request(0)
+            assert (
+                registry.value(
+                    "drange_serving_requests_total", outcome="invalid"
+                )
+                == 1
+            )
+        finally:
+            obs.disable()

@@ -1,0 +1,92 @@
+"""SLO accounting tests: exact percentiles and histogram estimates."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram
+from repro.serving import SLO_QUANTILES, LatencyTracker, histogram_quantiles
+
+
+class TestLatencyTracker:
+    def test_empty_tracker_reports_nan(self):
+        tracker = LatencyTracker()
+        assert math.isnan(tracker.percentile(0.5))
+        assert all(math.isnan(v) for v in tracker.summary().values())
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyTracker(capacity=0)
+
+    def test_quantile_validation(self):
+        tracker = LatencyTracker()
+        tracker.record(1.0)
+        with pytest.raises(ConfigurationError):
+            tracker.percentile(1.5)
+
+    def test_exact_percentiles_match_numpy(self):
+        tracker = LatencyTracker()
+        samples = [0.001 * i for i in range(1, 101)]
+        for sample in samples:
+            tracker.record(sample)
+        for q in SLO_QUANTILES:
+            assert tracker.percentile(q) == pytest.approx(
+                float(np.quantile(samples, q))
+            )
+
+    def test_summary_keys(self):
+        tracker = LatencyTracker()
+        tracker.record(0.5)
+        assert set(tracker.summary()) == {"p50", "p99", "p999"}
+        assert tracker.summary()["p50"] == 0.5
+
+    def test_ring_retains_most_recent_window(self):
+        tracker = LatencyTracker(capacity=10)
+        for value in range(100):
+            tracker.record(float(value))
+        assert tracker.count == 10
+        assert tracker.total_recorded == 100
+        # Only the last 10 samples (90..99) remain.
+        assert tracker.percentile(0.0) == 90.0
+        assert tracker.percentile(1.0) == 99.0
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_reports_nan(self):
+        histogram = Histogram((1.0, 2.0), threading.Lock())
+        estimates = histogram_quantiles(histogram)
+        assert all(math.isnan(v) for v in estimates.values())
+
+    def test_quantile_validation(self):
+        histogram = Histogram((1.0,), threading.Lock())
+        with pytest.raises(ConfigurationError):
+            histogram_quantiles(histogram, quantiles=(2.0,))
+
+    def test_linear_interpolation_within_bucket(self):
+        histogram = Histogram((1.0, 2.0), threading.Lock())
+        for _ in range(100):
+            histogram.observe(1.5)  # all mass in the (1.0, 2.0] bucket
+        estimates = histogram_quantiles(histogram, quantiles=(0.5,))
+        # Half the rank falls halfway through the bucket.
+        assert estimates[0.5] == pytest.approx(1.5)
+
+    def test_overflow_bucket_reports_last_finite_boundary(self):
+        histogram = Histogram((1.0, 2.0), threading.Lock())
+        histogram.observe(50.0)
+        estimates = histogram_quantiles(histogram, quantiles=(0.99,))
+        assert estimates[0.99] == 2.0
+
+    def test_estimate_tracks_exact_for_dense_buckets(self):
+        buckets = tuple(0.01 * i for i in range(1, 101))
+        histogram = Histogram(buckets, threading.Lock())
+        rng = np.random.default_rng(2019)
+        samples = rng.uniform(0.0, 1.0, size=5000)
+        for sample in samples:
+            histogram.observe(float(sample))
+        estimates = histogram_quantiles(histogram)
+        for q in SLO_QUANTILES:
+            exact = float(np.quantile(samples, q))
+            assert estimates[q] == pytest.approx(exact, abs=0.02)

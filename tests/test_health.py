@@ -241,3 +241,65 @@ class TestServiceIntegration:
         monkeypatch.setattr(service._sampler, "generate_fast", real)
         monitor.reset()
         assert service.request(1000).size == 1000
+
+
+class TestRecoveryBackoffBounds:
+    """The recovery loop's backoff is capped and jitter cannot escape it.
+
+    (RecoveryPolicy lives in ``repro.core.integration``; it is tested
+    here because the backoff bound exists to keep *health-alarm*
+    recovery stalls from escalating into minutes-long outages.)
+    """
+
+    def test_exponential_growth_is_capped(self):
+        from repro.core.integration import RecoveryPolicy
+
+        policy = RecoveryPolicy(
+            backoff_base_s=10.0, backoff_factor=10.0, max_backoff_s=30.0
+        )
+        assert policy.backoff_s(0) == pytest.approx(10.0)
+        assert policy.backoff_s(1) == pytest.approx(30.0)  # 100 -> cap
+        assert policy.backoff_s(5) == pytest.approx(30.0)
+
+    def test_default_cap_is_thirty_seconds(self):
+        from repro.core.integration import RecoveryPolicy
+
+        assert RecoveryPolicy().max_backoff_s == 30.0
+
+    def test_jitter_spreads_but_never_escalates(self):
+        from repro.core.integration import RecoveryPolicy
+
+        policy = RecoveryPolicy(
+            backoff_base_s=1.0,
+            backoff_factor=2.0,
+            max_backoff_s=4.0,
+            jitter=lambda delay: delay * 100.0,
+        )
+        # Even a hostile jitter hook is clamped back to the cap.
+        assert policy.backoff_s(0) == pytest.approx(4.0)
+        assert policy.backoff_s(9) == pytest.approx(4.0)
+
+    def test_negative_jitter_clamps_to_zero(self):
+        from repro.core.integration import RecoveryPolicy
+
+        policy = RecoveryPolicy(
+            backoff_base_s=1.0, jitter=lambda delay: -delay
+        )
+        assert policy.backoff_s(3) == 0.0
+
+    def test_jitter_within_bounds_passes_through(self):
+        from repro.core.integration import RecoveryPolicy
+
+        policy = RecoveryPolicy(
+            backoff_base_s=1.0,
+            backoff_factor=2.0,
+            max_backoff_s=30.0,
+            jitter=lambda delay: delay * 0.5,
+        )
+        assert policy.backoff_s(1) == pytest.approx(1.0)
+
+    def test_negative_cap_rejected(self):
+        from repro.core.integration import RecoveryPolicy
+
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(max_backoff_s=-1.0)
