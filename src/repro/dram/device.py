@@ -163,7 +163,7 @@ class DramDevice:
             )
         if temperature_c != self._temperature_c:
             self._epoch += 1
-        self._temperature_c = temperature_c
+            self._temperature_c = temperature_c
 
     @property
     def vdd_ratio(self) -> float:
@@ -178,7 +178,7 @@ class DramDevice:
             )
         if vdd_ratio != self._vdd_ratio:
             self._epoch += 1
-        self._vdd_ratio = vdd_ratio
+            self._vdd_ratio = vdd_ratio
 
     def power_cycle(self) -> None:
         """Power-cycle the device: every bank loses its stored state."""

@@ -17,11 +17,17 @@ interval.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+from typing import Optional, Protocol
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ReproError
+
+
+class EntropySource(Protocol):
+    """Anything that can serve raw DRAM entropy as bytes."""
+
+    def random_bytes(self, num_bytes: int) -> bytes: ...
 
 _HASH = hashlib.sha256
 _OUTLEN_BYTES = 32
@@ -145,7 +151,7 @@ class DrangeSeededDrbg:
 
     def __init__(
         self,
-        entropy_source,
+        entropy_source: EntropySource,
         reseed_interval: int = 512,
         personalization: bytes = b"repro-drange",
     ) -> None:

@@ -1,7 +1,10 @@
-"""repro.lint — AST-based entropy-hygiene & determinism analyzer.
+"""repro.lint — flow-aware static analyzer for the reproduction.
 
-A plugin-architecture static analyzer encoding this repository's
-invariants as mechanical checks:
+A plugin-architecture analyzer encoding this repository's invariants
+as mechanical checks.  Syntactic rules walk the AST; the CONC/EPOCH
+families run real dataflow over per-function CFGs
+(:mod:`repro.lint.flow`) with a lock-held-set abstract state and
+intra-module call-graph propagation.
 
 * **ENT001** no module-global PRNG (``random.*`` / ``np.random.*``) in
   library code — entropy comes from the injected NoiseSource.
@@ -11,11 +14,22 @@ invariants as mechanical checks:
 * **DET002** no unordered-set iteration in deterministic paths.
 * **COR001** no float ``==`` on p-values/probabilities.
 * **COR002** no mutable default arguments.
+* **DOC001** public API surfaces carry docstrings.
+* **CONC001** attributes declared ``# guarded-by: <lock>`` are only
+  touched with that lock in the must-held set.
+* **CONC002** no blocking call (sleep/wait/submit/harvest) under a
+  held lock.
+* **CONC003** no two locks acquired in opposite orders in one module.
+* **EPOCH001** sensing-state mutations bump ``state_epoch`` on every
+  CFG path to exit.
+* **OBS001** metric-name literals are declared in the obs catalog.
+* **OBS002** every catalog entry has a use site (project phase).
 
 Violations are suppressible per line with ``# repro: noqa[CODE]``;
-stale suppressions are themselves reported (NOQ001).  See
-``docs/static_analysis.md`` for the full catalogue and the suppression
-policy.
+stale suppressions are themselves reported (NOQ001).  Reporters cover
+text, JSON and SARIF 2.1.0; :mod:`repro.lint.baseline` implements the
+monotone baseline ratchet.  See ``docs/static_analysis.md`` for the
+full catalogue, the ``# guarded-by:`` convention and the workflow.
 
 Programmatic use::
 
@@ -25,11 +39,21 @@ Programmatic use::
     assert result.exit_code == 0, result.violations
 """
 
+from repro.lint.baseline import (
+    BASELINE_VERSION,
+    BaselineDelta,
+    BaselineError,
+    load_baseline,
+    reconcile_baseline,
+    write_baseline,
+)
 from repro.lint.engine import PARSE_ERROR_CODE, Linter
 from repro.lint.report import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     render_json,
     render_rule_listing,
+    render_sarif,
     render_text,
 )
 from repro.lint.rules import REGISTRY, FileContext, Rule, register
@@ -45,10 +69,14 @@ from repro.lint.types import (
 )
 
 __all__ = [
+    "BASELINE_VERSION",
     "JSON_SCHEMA_VERSION",
     "PARSE_ERROR_CODE",
     "REGISTRY",
+    "SARIF_VERSION",
     "UNUSED_SUPPRESSION_CODE",
+    "BaselineDelta",
+    "BaselineError",
     "FileContext",
     "FileReport",
     "LintConfig",
@@ -59,8 +87,12 @@ __all__ = [
     "Severity",
     "Suppression",
     "Violation",
+    "load_baseline",
+    "reconcile_baseline",
     "register",
     "render_json",
     "render_rule_listing",
+    "render_sarif",
     "render_text",
+    "write_baseline",
 ]

@@ -1,0 +1,161 @@
+"""The baseline ratchet: grandfather old findings, forbid new ones.
+
+A baseline file (``lint-baseline.json``, committed at the repo root)
+records how many findings of each ``(path, code)`` pair are tolerated.
+Runs with ``--baseline`` then enforce a one-way ratchet:
+
+* **new findings fail** — any ``(path, code)`` count above its
+  baselined allowance is reported and exits nonzero;
+* **baselined counts shrink monotonically** — when the tree now has
+  *fewer* findings than the baseline records, the stale allowance must
+  be ratcheted down with ``--update-baseline`` (the run fails until it
+  is), so headroom for regressions never silently accumulates.
+
+The committed baseline for this repo is empty — the PR that introduced
+the flow rules also swept the tree clean — so in practice the ratchet
+is a belt-and-braces guarantee that it *stays* clean, and a migration
+path if a future rule lands with unfixable findings.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.lint.types import LintResult, Violation
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "BaselineDelta",
+    "baseline_key",
+    "load_baseline",
+    "write_baseline",
+    "counts_for",
+    "reconcile_baseline",
+]
+
+#: Bump when the baseline file shape changes incompatibly.
+BASELINE_VERSION = 1
+
+_KEY_SEP = "::"
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unreadable, or malformed."""
+
+
+def baseline_key(violation: Violation) -> str:
+    return f"{violation.path}{_KEY_SEP}{violation.code}"
+
+
+def load_baseline(path: "pathlib.Path | str") -> Dict[str, int]:
+    """``{path::code: allowed_count}`` from a baseline file."""
+    file_path = pathlib.Path(path)
+    try:
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {file_path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {file_path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise BaselineError(
+            f"baseline {file_path} must be an object with an 'entries' key"
+        )
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {file_path} has version {version!r}; this tool "
+            f"understands version {BASELINE_VERSION}"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, dict):
+        raise BaselineError(f"baseline {file_path}: 'entries' must be a dict")
+    out: Dict[str, int] = {}
+    for key, count in entries.items():
+        if (
+            not isinstance(key, str)
+            or _KEY_SEP not in key
+            or not isinstance(count, int)
+            or count <= 0
+        ):
+            raise BaselineError(
+                f"baseline {file_path}: bad entry {key!r}: {count!r} "
+                f"(want 'path::CODE' -> positive int)"
+            )
+        out[key] = count
+    return out
+
+
+def counts_for(result: LintResult) -> Dict[str, int]:
+    """Current ``{path::code: count}`` over ``result``'s violations."""
+    counts: Dict[str, int] = {}
+    for violation in result.violations:
+        key = baseline_key(violation)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(
+    path: "pathlib.Path | str", counts: Dict[str, int]
+) -> None:
+    """Write ``counts`` (dropping zeros) as a baseline file."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": {
+            key: count
+            for key, count in sorted(counts.items())
+            if count > 0
+        },
+    }
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+@dataclass
+class BaselineDelta:
+    """Outcome of reconciling current findings against a baseline."""
+
+    #: Findings beyond the baselined allowance, in report order.
+    new_violations: List[Violation] = field(default_factory=list)
+    #: Findings covered by the baseline (suppressed from failure).
+    baselined: List[Violation] = field(default_factory=list)
+    #: ``{key: (baseline_count, current_count)}`` where current <
+    #: baseline — the allowance must be ratcheted down.
+    stale: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_violations and not self.stale
+
+
+def reconcile_baseline(
+    result: LintResult, baseline: Dict[str, int]
+) -> BaselineDelta:
+    """Split current findings into new-vs-baselined and find stale keys.
+
+    Within one ``(path, code)`` group the *first* ``allowance`` findings
+    (in path/line order) are treated as baselined and the rest as new;
+    the split is deterministic, and which specific lines are excused is
+    irrelevant to the ratchet — only counts are enforced.
+    """
+    delta = BaselineDelta()
+    seen: Dict[str, int] = {}
+    for violation in result.violations:
+        key = baseline_key(violation)
+        allowance = baseline.get(key, 0)
+        used = seen.get(key, 0)
+        if used < allowance:
+            seen[key] = used + 1
+            delta.baselined.append(violation)
+        else:
+            delta.new_violations.append(violation)
+    for key, allowance in baseline.items():
+        current = seen.get(key, 0)
+        if current < allowance:
+            delta.stale[key] = (allowance, current)
+    return delta

@@ -4,18 +4,41 @@ Invoked as ``python -m repro.lint <paths>`` or ``drange lint <paths>``.
 Project-level defaults are read from ``[tool.repro-lint]`` in
 ``pyproject.toml`` (nearest one walking up from the first path), then
 overridden by command-line flags.  Exit codes: 0 clean, 1 violations at
-or above the fail threshold, 2 usage/config errors.
+or above the fail threshold (or a dirty baseline), 2 usage/config
+errors.
+
+``--changed [BASE]`` narrows the run to Python files reported by
+``git diff --name-only BASE`` (default base ``HEAD``) that fall under
+the given paths, so a pre-commit hook pays for the files it touched
+rather than the whole tree; plain invocations still sweep everything.
+
+``--baseline FILE`` enforces the ratchet described in
+:mod:`repro.lint.baseline`; ``--update-baseline`` rewrites the file to
+the current counts (the only way an allowance may change).
 """
 
 from __future__ import annotations
 
 import argparse
 import pathlib
+import subprocess
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.lint.baseline import (
+    BaselineError,
+    counts_for,
+    load_baseline,
+    reconcile_baseline,
+    write_baseline,
+)
 from repro.lint.engine import Linter
-from repro.lint.report import render_json, render_rule_listing, render_text
+from repro.lint.report import (
+    render_json,
+    render_rule_listing,
+    render_sarif,
+    render_text,
+)
 from repro.lint.types import LintConfig, Severity
 
 
@@ -92,8 +115,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", help="files or directories to analyze"
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="BASE",
+        help="only lint Python files changed vs the given git base "
+        "(default base: HEAD); still scoped to the given paths",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="enforce the ratchet against this baseline file "
+        "(default: the [tool.repro-lint] `baseline` key, if set)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline configured in pyproject.toml",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file to the current finding counts "
+        "(requires --baseline or a configured baseline)",
     )
     parser.add_argument(
         "--select", nargs="+", metavar="CODE", default=None,
@@ -119,6 +161,74 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _changed_files(paths: Sequence[str], base: str) -> List[str]:
+    """Python files changed vs ``base`` that fall under ``paths``.
+
+    Raises ``RuntimeError`` when git cannot answer (not a repository,
+    unknown base revision, ...).  Untracked files are not reported —
+    the flag is a pre-commit accelerator for *edited* files; a full
+    sweep still runs in CI.
+    """
+    anchor = pathlib.Path(paths[0]).resolve()
+    cwd = anchor if anchor.is_dir() else anchor.parent
+    def _git(*argv: str) -> str:
+        proc = subprocess.run(
+            ["git", *argv], capture_output=True, text=True, cwd=str(cwd)
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"git {' '.join(argv)} failed: {proc.stderr.strip()}"
+            )
+        return proc.stdout
+    toplevel = pathlib.Path(_git("rev-parse", "--show-toplevel").strip())
+    roots = [pathlib.Path(p).resolve() for p in paths]
+    changed: List[str] = []
+    for line in _git("diff", "--name-only", base, "--").splitlines():
+        candidate = (toplevel / line).resolve()
+        if candidate.suffix != ".py" or not candidate.is_file():
+            continue
+        for root in roots:
+            if candidate == root or root in candidate.parents:
+                changed.append(str(candidate))
+                break
+    return sorted(set(changed))
+
+
+def _resolve_baseline_path(
+    args: argparse.Namespace, project: Dict[str, object]
+) -> Optional[pathlib.Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return pathlib.Path(args.baseline)
+    configured = project.get("baseline")
+    if isinstance(configured, str) and args.paths:
+        pyproject = _find_pyproject(pathlib.Path(args.paths[0]).resolve())
+        if pyproject is not None:
+            return pyproject.parent / configured
+    return None
+
+
+def _apply_baseline(result, baseline_path: pathlib.Path):
+    """``(filtered_result, delta)`` with baselined findings removed."""
+    from repro.lint.types import FileReport, LintResult
+
+    baseline = load_baseline(baseline_path)
+    delta = reconcile_baseline(result, baseline)
+    keep = {id(v) for v in delta.new_violations}
+    reports = tuple(
+        FileReport(
+            path=report.path,
+            violations=tuple(
+                v for v in report.violations if id(v) in keep
+            ),
+            parse_error=report.parse_error,
+        )
+        for report in result.reports
+    )
+    return LintResult(reports=reports, config=result.config), delta
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
@@ -132,17 +242,84 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not pathlib.Path(path).exists():
             print(f"error: no such path: {path}", file=sys.stderr)
             return 2
+    project = _load_project_config(args.paths)
     try:
-        config = _build_config(args, _load_project_config(args.paths))
+        config = _build_config(args, project)
         linter = Linter(config)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = linter.lint_paths(args.paths)
+
+    baseline_path = _resolve_baseline_path(args, project)
+    if args.update_baseline and baseline_path is None:
+        print(
+            "error: --update-baseline needs --baseline FILE (or a "
+            "`baseline` key in [tool.repro-lint])",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update_baseline and args.changed is not None:
+        print(
+            "error: --update-baseline needs a full sweep; drop --changed",
+            file=sys.stderr,
+        )
+        return 2
+
+    paths: Sequence[str] = args.paths
+    if args.changed is not None:
+        try:
+            paths = _changed_files(args.paths, args.changed)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(
+                f"ok: no Python files changed vs {args.changed} under "
+                f"the given paths"
+            )
+            return 0
+
+    result = linter.lint_paths(paths)
+
+    if args.update_baseline:
+        assert baseline_path is not None
+        write_baseline(baseline_path, counts_for(result))
+        print(
+            f"baseline updated: {baseline_path} now allows "
+            f"{len(result.violations)} finding(s)"
+        )
+        return 0
+
+    stale_failure = False
+    if baseline_path is not None:
+        try:
+            result, delta = _apply_baseline(result, baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if delta.baselined:
+            print(
+                f"note: {len(delta.baselined)} baselined finding(s) "
+                f"suppressed ({baseline_path})",
+                file=sys.stderr,
+            )
+        for key, (allowed, current) in sorted(delta.stale.items()):
+            stale_failure = True
+            print(
+                f"stale baseline entry {key}: allows {allowed} but only "
+                f"{current} remain — run --update-baseline to ratchet "
+                f"down",
+                file=sys.stderr,
+            )
+
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
+    if stale_failure:
+        return 1
     return result.exit_code
 
 

@@ -7,13 +7,22 @@ findings against ``# repro: noqa[...]`` comments.  Suppressions that
 silence nothing are themselves reported (:data:`NOQ001
 <repro.lint.suppressions.UNUSED_SUPPRESSION_CODE>`), so waivers cannot
 outlive the code they excused.
+
+A run has two phases.  The *file phase* visits each file with every
+applicable rule, sharing one ``project`` dict across files so rules
+can accumulate cross-file facts.  The *project phase* then calls each
+rule's ``finalize_project`` hook (e.g. OBS002's catalog-coverage
+check).  Suppression reconciliation is deferred until after finalize,
+so a ``# repro: noqa[OBS002]`` in the file a project-phase finding
+anchors to both silences it and is correctly counted as used.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
 import pathlib
-from typing import Iterable, List, Mapping, Optional, Sequence, Type
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Type
 
 from repro.lint import rules as _rules  # noqa: F401  (registers built-ins)
 from repro.lint.rules.base import REGISTRY, FileContext, Rule
@@ -68,40 +77,73 @@ class Linter:
 
     # ------------------------------------------------------------------
     def lint_paths(self, paths: Sequence[str]) -> LintResult:
-        reports = tuple(
-            self.lint_file(path) for path in _iter_python_files(paths)
-        )
-        return LintResult(reports=reports, config=self.config)
+        project: Dict[str, object] = {}
+        analyses = [
+            self._analyze_file(path, project)
+            for path in _iter_python_files(paths)
+        ]
+        extra = self._finalize_project(project)
+        reports = []
+        for analysis in analyses:
+            reports.append(
+                self._reconcile(analysis, extra.pop(analysis.path, []))
+            )
+        # Project-phase findings anchored in files outside this run's
+        # file list (possible when linting a narrow selection) still
+        # surface, just without suppression handling for that file.
+        for path in sorted(extra):
+            reports.append(
+                FileReport(path=path, violations=tuple(extra[path]))
+            )
+        return LintResult(reports=tuple(reports), config=self.config)
 
     def lint_file(self, path: "pathlib.Path | str") -> FileReport:
-        file_path = pathlib.Path(path)
+        project: Dict[str, object] = {}
+        analysis = self._analyze_file(pathlib.Path(path), project)
+        extra = self._finalize_project(project)
+        return self._reconcile(analysis, extra.get(analysis.path, []))
+
+    def lint_source(self, source: str, path: str = "<memory>") -> FileReport:
+        project: Dict[str, object] = {}
+        analysis = self._analyze_source(source, path, project)
+        extra = self._finalize_project(project)
+        return self._reconcile(analysis, extra.get(analysis.path, []))
+
+    # -- file phase ----------------------------------------------------
+    def _analyze_file(
+        self, path: pathlib.Path, project: Dict[str, object]
+    ) -> "_FileAnalysis":
+        posix = path.as_posix()
         try:
-            source = file_path.read_text(encoding="utf-8")
+            source = path.read_text(encoding="utf-8")
         except OSError as exc:
-            return FileReport(
-                path=file_path.as_posix(),
-                violations=(
+            return _FileAnalysis(
+                path=posix,
+                violations=[
                     Violation(
                         code=PARSE_ERROR_CODE,
                         message=f"cannot read file: {exc}",
-                        path=file_path.as_posix(),
+                        path=posix,
                         line=1,
                         col=0,
                         severity=Severity.ERROR,
-                    ),
-                ),
+                    )
+                ],
+                suppressions=[],
                 parse_error=str(exc),
             )
-        return self.lint_source(source, path=file_path.as_posix())
+        return self._analyze_source(source, posix, project)
 
-    def lint_source(self, source: str, path: str = "<memory>") -> FileReport:
+    def _analyze_source(
+        self, source: str, path: str, project: Dict[str, object]
+    ) -> "_FileAnalysis":
         posix = pathlib.PurePath(path).as_posix()
         try:
             tree = ast.parse(source, filename=posix)
         except SyntaxError as exc:
-            return FileReport(
+            return _FileAnalysis(
                 path=posix,
-                violations=(
+                violations=[
                     Violation(
                         code=PARSE_ERROR_CODE,
                         message=f"syntax error: {exc.msg}",
@@ -109,12 +151,13 @@ class Linter:
                         line=exc.lineno or 1,
                         col=exc.offset or 0,
                         severity=Severity.ERROR,
-                    ),
-                ),
+                    )
+                ],
+                suppressions=[],
                 parse_error=exc.msg,
             )
 
-        context = FileContext(posix, source, tree)
+        context = FileContext(posix, source, tree, project=project)
         raw: List[Violation] = []
         for code in sorted(self._registry):
             rule_cls = self._registry[code]
@@ -126,10 +169,36 @@ class Linter:
             visitor.visit(tree)
             raw.extend(visitor.violations)
 
-        suppressions = parse_suppressions(source, posix)
+        return _FileAnalysis(
+            path=posix,
+            violations=raw,
+            suppressions=parse_suppressions(source, posix),
+        )
+
+    # -- project phase -------------------------------------------------
+    def _finalize_project(
+        self, project: Dict[str, object]
+    ) -> Dict[str, List[Violation]]:
+        """Run every enabled rule's finalize hook; group by path."""
+        grouped: Dict[str, List[Violation]] = {}
+        for code in sorted(self._registry):
+            rule_cls = self._registry[code]
+            if not self.config.rule_enabled(code):
+                continue
+            violations = rule_cls.finalize_project(
+                project, self.config.severity_for(rule_cls.meta)
+            )
+            for violation in violations:
+                grouped.setdefault(violation.path, []).append(violation)
+        return grouped
+
+    def _reconcile(
+        self, analysis: "_FileAnalysis", extra: List[Violation]
+    ) -> FileReport:
+        suppressions = analysis.suppressions
         kept: List[Violation] = []
         used = [False] * len(suppressions)
-        for violation in raw:
+        for violation in analysis.violations + list(extra):
             suppressed = False
             for index, suppression in enumerate(suppressions):
                 if suppression.matches(violation):
@@ -156,7 +225,7 @@ class Linter:
                             f"unused suppression for {listed}: nothing on "
                             f"this line triggers it — remove the noqa"
                         ),
-                        path=posix,
+                        path=analysis.path,
                         line=suppression.line,
                         col=0,
                         severity=Severity.WARNING,
@@ -164,4 +233,18 @@ class Linter:
                 )
 
         kept.sort(key=lambda v: (v.line, v.col, v.code))
-        return FileReport(path=posix, violations=tuple(kept))
+        return FileReport(
+            path=analysis.path,
+            violations=tuple(kept),
+            parse_error=analysis.parse_error,
+        )
+
+
+@dataclasses.dataclass
+class _FileAnalysis:
+    """File-phase output awaiting project finalize + reconciliation."""
+
+    path: str
+    violations: List[Violation]
+    suppressions: List
+    parse_error: Optional[str] = None

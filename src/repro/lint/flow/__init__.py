@@ -1,0 +1,54 @@
+"""Flow-aware analysis for :mod:`repro.lint`.
+
+This subpackage turns the linter from a per-node AST walker into a
+dataflow analyzer:
+
+* :mod:`repro.lint.flow.cfg` builds per-function control-flow graphs
+  (branches, loops, ``try/finally``, ``with``, early returns) with
+  explicit ``with_enter``/``with_exit`` pseudo-nodes so lock regions
+  are visible as graph structure.
+* :mod:`repro.lint.flow.dataflow` is a generic forward worklist engine
+  plus the lock-held-set abstract domain (a multiset of lock names, so
+  re-entrant ``RLock`` nesting is modelled by counts).
+* :mod:`repro.lint.flow.analysis` assembles a per-module summary —
+  one CFG + lock-state fixpoint per function, a module-level call
+  graph, and call-site lock propagation into private helpers — cached
+  on the :class:`~repro.lint.rules.base.FileContext` so every flow
+  rule shares a single analysis pass per file.
+"""
+
+from repro.lint.flow.cfg import CFG, CFGNode, build_cfg
+from repro.lint.flow.dataflow import (
+    EMPTY_LOCKS,
+    LockState,
+    acquire,
+    held_locks,
+    join_locks,
+    lock_transfer,
+    release,
+    run_forward,
+)
+from repro.lint.flow.analysis import (
+    FunctionFlow,
+    ModuleFlow,
+    analyze_module,
+    normalize_lock,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "EMPTY_LOCKS",
+    "LockState",
+    "acquire",
+    "release",
+    "held_locks",
+    "join_locks",
+    "lock_transfer",
+    "run_forward",
+    "FunctionFlow",
+    "ModuleFlow",
+    "analyze_module",
+    "normalize_lock",
+]

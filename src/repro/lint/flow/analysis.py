@@ -1,0 +1,240 @@
+"""Per-module flow summary shared by every flow-aware rule.
+
+:func:`analyze_module` builds, once per file and cached on the
+:class:`~repro.lint.rules.base.FileContext`:
+
+* one CFG per function/method (module level and one class level deep),
+* the lock-state fixpoint of each CFG,
+* a module-level call graph,
+* propagated *entry* lock states for private helpers: a ``_helper``
+  only ever called with ``self._lock`` held is analyzed with that lock
+  in its entry state, so ``_pop_locked``-style helpers (and unsuffixed
+  ones like a batcher's ``_take_batch``) do not raise false alarms.
+
+Propagation runs to an interprocedural fixpoint: entry states start
+empty, each round re-runs the per-function dataflow, and a private
+function's entry becomes the must-join of the lock states observed at
+its call sites.  States only grow from empty toward the join, so the
+iteration terminates.  Public (non-underscore) functions always keep
+an empty entry state — callers outside the module are invisible, and
+assuming nothing is the conservative choice for a must-analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.flow.callgraph import CallGraph, local_callee
+from repro.lint.flow.cfg import CFG, build_cfg
+from repro.lint.flow.dataflow import (
+    EMPTY_LOCKS,
+    LockState,
+    held_locks,
+    join_locks,
+    lock_transfer,
+    run_forward,
+)
+
+__all__ = [
+    "FunctionFlow",
+    "ModuleFlow",
+    "analyze_module",
+    "normalize_lock",
+]
+
+_MAX_ROUNDS = 10
+
+
+def normalize_lock(name: Optional[str]) -> Optional[str]:
+    """Strip a leading ``self.`` so lock names match annotations.
+
+    ``with self._cond:`` and a ``# guarded-by: _cond`` annotation talk
+    about the same lock; normalising at the boundary keeps every rule
+    comparison on bare attribute names.
+    """
+    if name is None:
+        return None
+    if name.startswith("self."):
+        return name[len("self."):]
+    return name
+
+
+@dataclass
+class Acquisition:
+    """One ``with <lock>:`` entry and the locks already held there."""
+
+    qualname: str
+    lock: str
+    held_before: Tuple[str, ...]
+    line: int
+
+
+@dataclass
+class FunctionFlow:
+    """Flow facts for one function: CFG + fixpoint lock states."""
+
+    qualname: str
+    func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    cls: Optional[str]
+    cfg: CFG
+    entry_state: LockState = EMPTY_LOCKS
+    #: ``{nid: (state_in, state_out)}`` for reachable nodes.
+    states: Dict[int, Tuple[LockState, LockState]] = field(default_factory=dict)
+
+    def held_at(self, nid: int) -> Tuple[str, ...]:
+        """Normalized lock names held *before* node ``nid`` executes."""
+        pair = self.states.get(nid)
+        if pair is None:
+            return ()
+        names = []
+        for name in held_locks(pair[0]):
+            normalized = normalize_lock(name)
+            if normalized is not None:
+                names.append(normalized)
+        return tuple(names)
+
+
+@dataclass
+class ModuleFlow:
+    """Everything the flow rules need about one module."""
+
+    functions: Dict[str, FunctionFlow]
+    classes: Dict[str, ast.ClassDef]
+    call_graph: CallGraph
+    acquisitions: List[Acquisition]
+
+
+def _collect_functions(
+    tree: ast.Module,
+) -> List[Tuple[str, Optional[str], "ast.FunctionDef | ast.AsyncFunctionDef"]]:
+    out: List[Tuple[str, Optional[str], ast.AST]] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((node.name, None, node))
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.append((f"{node.name}.{item.name}", node.name, item))
+    return out  # type: ignore[return-value]
+
+
+def _is_private(qualname: str) -> bool:
+    short = qualname.rsplit(".", 1)[-1]
+    return short.startswith("_") and not short.startswith("__")
+
+
+def analyze_module(context) -> ModuleFlow:
+    """The cached :class:`ModuleFlow` for ``context``'s module."""
+    cache = getattr(context, "cache", None)
+    if cache is not None and "flow" in cache:
+        return cache["flow"]
+    flow = _analyze(context.tree, context.resolve)
+    if cache is not None:
+        cache["flow"] = flow
+    return flow
+
+
+def _analyze(tree: ast.Module, resolve) -> ModuleFlow:
+    classes = {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+    class_methods: Dict[str, Set[str]] = {
+        name: {
+            item.name
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for name, cls in classes.items()
+    }
+    module_functions = {
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+    functions: Dict[str, FunctionFlow] = {}
+    for qualname, cls_name, func in _collect_functions(tree):
+        functions[qualname] = FunctionFlow(
+            qualname=qualname,
+            func=func,
+            cls=cls_name,
+            cfg=build_cfg(func, resolve),
+        )
+
+    # Interprocedural fixpoint over private-helper entry states.
+    for _round in range(_MAX_ROUNDS):
+        call_graph = CallGraph()
+        call_site_states: Dict[str, List[LockState]] = {}
+        for flow in functions.values():
+            flow.states = run_forward(
+                flow.cfg, flow.entry_state, lock_transfer
+            )
+            for node in flow.cfg.nodes:
+                pair = flow.states.get(node.nid)
+                if pair is None:
+                    continue
+                for root in flow.cfg.node_expressions(node):
+                    for sub in ast.walk(root):
+                        if not isinstance(sub, ast.Call):
+                            continue
+                        callee = local_callee(
+                            sub, flow.cls, class_methods, module_functions
+                        )
+                        if callee is None:
+                            continue
+                        call_graph.add(
+                            flow.qualname, callee, getattr(sub, "lineno", 0)
+                        )
+                        call_site_states.setdefault(callee, []).append(
+                            pair[0]
+                        )
+        changed = False
+        for qualname, flow in functions.items():
+            if not _is_private(qualname):
+                continue
+            observed = call_site_states.get(qualname)
+            if not observed:
+                continue
+            entry = observed[0]
+            for state in observed[1:]:
+                entry = join_locks(entry, state)
+            if entry != flow.entry_state:
+                flow.entry_state = entry
+                changed = True
+        if not changed:
+            break
+
+    acquisitions: List[Acquisition] = []
+    for flow in functions.values():
+        for node in flow.cfg.nodes:
+            if node.kind != "with_enter" or node.lock is None:
+                continue
+            pair = flow.states.get(node.nid)
+            if pair is None:
+                continue
+            lock = normalize_lock(node.lock)
+            if lock is None:
+                continue
+            held = tuple(
+                h for h in flow.held_at(node.nid) if h != lock
+            )
+            acquisitions.append(
+                Acquisition(
+                    qualname=flow.qualname,
+                    lock=lock,
+                    held_before=held,
+                    line=node.line,
+                )
+            )
+    acquisitions.sort(key=lambda a: (a.line, a.qualname))
+
+    return ModuleFlow(
+        functions=functions,
+        classes=classes,
+        call_graph=call_graph,
+        acquisitions=acquisitions,
+    )

@@ -1,0 +1,75 @@
+"""Lightweight module-level call graph.
+
+Maps each function/method in a module to the *local* callees it
+invokes: ``self.helper(...)`` resolves to ``Class.helper`` when the
+enclosing class defines it, and a bare ``helper(...)`` resolves to the
+module-level ``helper`` when one exists.  Calls into other modules are
+deliberately out of scope — the flow rules only propagate contracts
+(like "which locks are held at entry") within one module, where the
+call sites are all visible.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["CallSite", "CallGraph", "local_callee"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One intra-module call: ``caller`` invokes ``callee`` at ``line``."""
+
+    caller: str
+    callee: str
+    line: int
+
+
+@dataclass
+class CallGraph:
+    """Adjacency over qualified names (``Class.method`` or ``func``)."""
+
+    sites: List[CallSite] = field(default_factory=list)
+
+    def add(self, caller: str, callee: str, line: int) -> None:
+        self.sites.append(CallSite(caller, callee, line))
+
+    def callers_of(self, callee: str) -> Tuple[CallSite, ...]:
+        return tuple(site for site in self.sites if site.callee == callee)
+
+    def callees_of(self, caller: str) -> Tuple[str, ...]:
+        seen: Set[str] = set()
+        out: List[str] = []
+        for site in self.sites:
+            if site.caller == caller and site.callee not in seen:
+                seen.add(site.callee)
+                out.append(site.callee)
+        return tuple(out)
+
+
+def local_callee(
+    call: ast.Call,
+    enclosing_class: Optional[str],
+    class_methods: Dict[str, Set[str]],
+    module_functions: Set[str],
+) -> Optional[str]:
+    """Qualified name of the local target of ``call``, if resolvable.
+
+    ``self.m(...)`` maps into the enclosing class; ``f(...)`` maps to a
+    module-level function.  Anything else (other objects, imports,
+    builtins) returns ``None``.
+    """
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+        and enclosing_class is not None
+        and func.attr in class_methods.get(enclosing_class, set())
+    ):
+        return f"{enclosing_class}.{func.attr}"
+    if isinstance(func, ast.Name) and func.id in module_functions:
+        return func.id
+    return None

@@ -1,0 +1,416 @@
+"""Per-function control-flow graphs for the flow rules.
+
+The graph is statement-granular: every simple statement becomes one
+node, and compound statements contribute *header* nodes (the ``if``
+test, the loop header, the ``with`` context expressions) plus the
+nodes of their bodies.  Two pseudo-node kinds make lock reasoning
+possible without special cases downstream:
+
+``with_enter`` / ``with_exit``
+    Bracket each ``with`` item.  When the context expression resolves
+    to a plain dotted name (``self._lock``) the nodes carry it in
+    ``lock``; the dataflow transfer function turns these into
+    acquire/release effects.  Crucially, *every* exit from the body —
+    fall-through, ``return``, ``raise``, ``break``, ``continue`` —
+    routes through the ``with_exit`` node, mirroring how ``with``
+    releases on all paths.
+
+``finally_enter``
+    Entry of a ``finally`` suite.  Early exits from the protected body
+    route through it the same way, so "the bump lives in ``finally``"
+    satisfies an every-path contract like EPOCH001.
+
+Exception flow is approximated with a single edge from each
+``try_enter`` node to every handler: an exception may strike anywhere
+in the body, so the handler must be assumed reachable with the state
+held at try entry.  That is conservative for must-analyses (the lock
+set at try entry under-approximates nothing the body releases) and
+sufficient for the path queries the contract rules run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+#: Node kinds.  ``entry``/``exit`` are the unique function boundaries.
+KIND_ENTRY = "entry"
+KIND_EXIT = "exit"
+KIND_STMT = "stmt"
+KIND_WITH_ENTER = "with_enter"
+KIND_WITH_EXIT = "with_exit"
+KIND_TRY_ENTER = "try_enter"
+KIND_FINALLY_ENTER = "finally_enter"
+
+#: Statement types treated as opaque single nodes (their bodies define
+#: other scopes or, for ``match``, structure the flow rules don't need).
+_OPAQUE_STMTS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class CFGNode:
+    """One vertex: a statement (or pseudo-event) plus its location."""
+
+    __slots__ = ("nid", "kind", "stmt", "lock", "line")
+
+    def __init__(
+        self,
+        nid: int,
+        kind: str,
+        stmt: Optional[ast.AST] = None,
+        lock: Optional[str] = None,
+    ) -> None:
+        self.nid = nid
+        self.kind = kind
+        self.stmt = stmt
+        self.lock = lock
+        self.line = getattr(stmt, "lineno", 0) if stmt is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = type(self.stmt).__name__ if self.stmt is not None else "-"
+        extra = f" lock={self.lock}" if self.lock else ""
+        return f"<CFGNode {self.nid} {self.kind} {label} L{self.line}{extra}>"
+
+
+class CFG:
+    """A function's control-flow graph with entry/exit sentinels."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.succ: Dict[int, List[int]] = {}
+        self.entry = self.add_node(KIND_ENTRY)
+        self.exit = self.add_node(KIND_EXIT)
+
+    def add_node(
+        self,
+        kind: str,
+        stmt: Optional[ast.AST] = None,
+        lock: Optional[str] = None,
+    ) -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, stmt, lock)
+        self.nodes.append(node)
+        self.succ[node.nid] = []
+        return node
+
+    def add_edge(self, src: CFGNode, dst: CFGNode) -> None:
+        if dst.nid not in self.succ[src.nid]:
+            self.succ[src.nid].append(dst.nid)
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {node.nid: [] for node in self.nodes}
+        for src, dsts in self.succ.items():
+            for dst in dsts:
+                preds[dst].append(src)
+        return preds
+
+    def node_expressions(self, node: CFGNode) -> Iterator[ast.AST]:
+        """Expression roots *executed at* this node.
+
+        For compound statements only the header expressions are
+        yielded — body statements have their own nodes — so a rule may
+        ``ast.walk`` each yielded root without double-counting.
+        """
+        stmt = node.stmt
+        if stmt is None:
+            return
+        if node.kind == KIND_WITH_ENTER:
+            # The with-item context expression evaluates at enter time.
+            assert isinstance(stmt, (ast.With, ast.AsyncWith))
+            for item in stmt.items:
+                yield item.context_expr
+                if item.optional_vars is not None:
+                    yield item.optional_vars
+            return
+        if node.kind in (KIND_WITH_EXIT, KIND_TRY_ENTER, KIND_FINALLY_ENTER):
+            return
+        if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+            yield stmt.test
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            yield stmt.target
+            yield stmt.iter
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.type is not None:
+                yield stmt.type
+        elif isinstance(stmt, _OPAQUE_STMTS):
+            return  # Nested scopes run later, under unknown lock state.
+        else:
+            yield stmt
+
+    def reaches(
+        self,
+        src: int,
+        dst: int,
+        avoiding: Optional[Set[int]] = None,
+    ) -> bool:
+        """Is there a path ``src -> dst`` that avoids ``avoiding`` nodes?
+
+        ``src`` itself may be in ``avoiding`` (the query is about
+        intermediate and destination nodes); ``dst`` may not.
+        """
+        blocked = avoiding or set()
+        if dst in blocked:
+            return False
+        seen = {src}
+        stack = [src]
+        while stack:
+            current = stack.pop()
+            if current == dst:
+                return True
+            for nxt in self.succ[current]:
+                if nxt in seen or nxt in blocked:
+                    continue
+                seen.add(nxt)
+                stack.append(nxt)
+        return False
+
+
+class _Loop:
+    """Book-keeping for the innermost enclosing loop."""
+
+    __slots__ = ("head", "cleanup_depth", "break_exits")
+
+    def __init__(self, head: CFGNode, cleanup_depth: int) -> None:
+        self.head = head
+        self.cleanup_depth = cleanup_depth
+        self.break_exits: List[CFGNode] = []
+
+
+class _Builder:
+    """Recursive-descent CFG construction with a cleanup stack.
+
+    The cleanup stack records, innermost last, the ``with_exit`` and
+    ``finally_enter`` nodes an early exit must thread through.  A
+    ``return``/``raise`` routes through the whole stack to ``exit``;
+    ``break``/``continue`` route only through entries pushed inside
+    the loop.
+    """
+
+    def __init__(self, resolve: Callable[[ast.AST], Optional[str]]) -> None:
+        self.cfg = CFG()
+        self._resolve = resolve
+        self._loops: List[_Loop] = []
+        # Entries: ("with", exit_node) | ("finally", enter_node, frontier)
+        self._cleanups: List[Tuple] = []
+
+    # -- helpers -------------------------------------------------------
+    def _connect(self, frontier: Sequence[CFGNode], dst: CFGNode) -> None:
+        for node in frontier:
+            self.cfg.add_edge(node, dst)
+
+    def _route_cleanups(
+        self, frontier: List[CFGNode], down_to: int
+    ) -> List[CFGNode]:
+        """Thread ``frontier`` through cleanups above stack depth ``down_to``."""
+        current = frontier
+        for entry in reversed(self._cleanups[down_to:]):
+            if entry[0] == "with":
+                exit_node = entry[1]
+                self._connect(current, exit_node)
+                current = [exit_node]
+            else:
+                enter_node, finally_frontier = entry[1], entry[2]
+                self._connect(current, enter_node)
+                current = list(finally_frontier)
+        return current
+
+    def _lock_name(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            return self._resolve(expr)
+        return None
+
+    # -- statement dispatch --------------------------------------------
+    def build_body(
+        self, body: Sequence[ast.stmt], frontier: List[CFGNode]
+    ) -> List[CFGNode]:
+        for stmt in body:
+            if not frontier:
+                break  # Unreachable code after a jump.
+            frontier = self.build_stmt(stmt, frontier)
+        return frontier
+
+    def build_stmt(
+        self, stmt: ast.stmt, frontier: List[CFGNode]
+    ) -> List[CFGNode]:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, frontier)
+        if isinstance(stmt, (ast.While,)):
+            return self._build_while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._build_for(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            return self._build_jump_to_exit(stmt, frontier)
+        if isinstance(stmt, ast.Raise):
+            return self._build_jump_to_exit(stmt, frontier)
+        if isinstance(stmt, ast.Break):
+            return self._build_break(stmt, frontier)
+        if isinstance(stmt, ast.Continue):
+            return self._build_continue(stmt, frontier)
+        node = self.cfg.add_node(KIND_STMT, stmt)
+        self._connect(frontier, node)
+        return [node]
+
+    def _build_if(self, stmt: ast.If, frontier: List[CFGNode]) -> List[CFGNode]:
+        test = self.cfg.add_node(KIND_STMT, stmt)
+        self._connect(frontier, test)
+        then_frontier = self.build_body(stmt.body, [test])
+        if stmt.orelse:
+            else_frontier = self.build_body(stmt.orelse, [test])
+        else:
+            else_frontier = [test]
+        return then_frontier + else_frontier
+
+    @staticmethod
+    def _is_always_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    def _build_while(
+        self, stmt: ast.While, frontier: List[CFGNode]
+    ) -> List[CFGNode]:
+        head = self.cfg.add_node(KIND_STMT, stmt)
+        self._connect(frontier, head)
+        loop = _Loop(head, len(self._cleanups))
+        self._loops.append(loop)
+        body_frontier = self.build_body(stmt.body, [head])
+        self._connect(body_frontier, head)
+        self._loops.pop()
+        if self._is_always_true(stmt.test):
+            # ``while True`` only leaves via break (or return/raise).
+            exits: List[CFGNode] = []
+        elif stmt.orelse:
+            exits = self.build_body(stmt.orelse, [head])
+        else:
+            exits = [head]
+        return exits + loop.break_exits
+
+    def _build_for(
+        self, stmt: "ast.For | ast.AsyncFor", frontier: List[CFGNode]
+    ) -> List[CFGNode]:
+        head = self.cfg.add_node(KIND_STMT, stmt)
+        self._connect(frontier, head)
+        loop = _Loop(head, len(self._cleanups))
+        self._loops.append(loop)
+        body_frontier = self.build_body(stmt.body, [head])
+        self._connect(body_frontier, head)
+        self._loops.pop()
+        if stmt.orelse:
+            exits = self.build_body(stmt.orelse, [head])
+        else:
+            exits = [head]
+        return exits + loop.break_exits
+
+    def _build_with(
+        self, stmt: "ast.With | ast.AsyncWith", frontier: List[CFGNode]
+    ) -> List[CFGNode]:
+        exit_nodes: List[CFGNode] = []
+        current = frontier
+        for item in stmt.items:
+            lock = self._lock_name(item.context_expr)
+            enter = self.cfg.add_node(KIND_WITH_ENTER, stmt, lock=lock)
+            self._connect(current, enter)
+            current = [enter]
+            exit_node = self.cfg.add_node(KIND_WITH_EXIT, stmt, lock=lock)
+            self._cleanups.append(("with", exit_node))
+            exit_nodes.append(exit_node)
+        body_frontier = self.build_body(stmt.body, current)
+        for exit_node in reversed(exit_nodes):
+            self._cleanups.pop()
+            self._connect(body_frontier, exit_node)
+            body_frontier = [exit_node]
+        return body_frontier
+
+    def _build_try(self, stmt: ast.Try, frontier: List[CFGNode]) -> List[CFGNode]:
+        has_finally = bool(stmt.finalbody)
+        if has_finally:
+            finally_enter = self.cfg.add_node(KIND_FINALLY_ENTER, stmt)
+            # Build the finally suite *before* pushing it as a cleanup:
+            # jumps inside finally route only through outer cleanups.
+            finally_frontier = self.build_body(stmt.finalbody, [finally_enter])
+            self._cleanups.append(("finally", finally_enter, finally_frontier))
+
+        try_enter = self.cfg.add_node(KIND_TRY_ENTER, stmt)
+        self._connect(frontier, try_enter)
+        body_frontier = self.build_body(stmt.body, [try_enter])
+        if stmt.orelse:
+            body_frontier = self.build_body(stmt.orelse, body_frontier)
+        ends = list(body_frontier)
+        for handler in stmt.handlers:
+            handler_node = self.cfg.add_node(KIND_STMT, handler)
+            # Exceptional edge: any point in the body may raise; the
+            # handler sees (at most) the state held at try entry.
+            self.cfg.add_edge(try_enter, handler_node)
+            ends.extend(self.build_body(handler.body, [handler_node]))
+        if has_finally:
+            self._cleanups.pop()
+            self._connect(ends, finally_enter)
+            return list(finally_frontier)
+        return ends
+
+    def _build_jump_to_exit(
+        self, stmt: ast.stmt, frontier: List[CFGNode]
+    ) -> List[CFGNode]:
+        node = self.cfg.add_node(KIND_STMT, stmt)
+        self._connect(frontier, node)
+        current = self._route_cleanups([node], 0)
+        self._connect(current, self.cfg.exit)
+        return []
+
+    def _build_break(
+        self, stmt: ast.Break, frontier: List[CFGNode]
+    ) -> List[CFGNode]:
+        node = self.cfg.add_node(KIND_STMT, stmt)
+        self._connect(frontier, node)
+        if not self._loops:
+            self._connect([node], self.cfg.exit)
+            return []
+        loop = self._loops[-1]
+        current = self._route_cleanups([node], loop.cleanup_depth)
+        loop.break_exits.extend(current)
+        return []
+
+    def _build_continue(
+        self, stmt: ast.Continue, frontier: List[CFGNode]
+    ) -> List[CFGNode]:
+        node = self.cfg.add_node(KIND_STMT, stmt)
+        self._connect(frontier, node)
+        if not self._loops:
+            self._connect([node], self.cfg.exit)
+            return []
+        loop = self._loops[-1]
+        current = self._route_cleanups([node], loop.cleanup_depth)
+        self._connect(current, loop.head)
+        return []
+
+
+def build_cfg(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+    resolve: Optional[Callable[[ast.AST], Optional[str]]] = None,
+) -> CFG:
+    """Build the CFG of one function.
+
+    ``resolve`` maps a ``with`` context expression to a dotted name
+    (typically :meth:`FileContext.resolve <repro.lint.rules.base.FileContext.resolve>`);
+    when omitted a plain attribute-chain fallback is used.
+    """
+    if resolve is None:
+        resolve = _fallback_resolve
+    builder = _Builder(resolve)
+    frontier = builder.build_body(func.body, [builder.cfg.entry])
+    builder._connect(frontier, builder.cfg.exit)
+    return builder.cfg
+
+
+def _fallback_resolve(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))

@@ -1,0 +1,170 @@
+"""Forward dataflow engine and the lock-held-set abstract domain.
+
+The domain is a *must* analysis: a lock is in the state at a program
+point only if **every** path to that point holds it.  States are
+canonicalised as sorted ``(lock_name, count)`` tuples; counts model
+re-entrant acquisition, so ``with self._lock: with self._lock: ...``
+carries count 2 inside and the inner exit decrements back to 1 rather
+than clearing the lock — exactly the ``threading.RLock`` contract the
+serving layer relies on.
+
+Join is pointwise-minimum over counts (names absent on either side
+drop out), which is the meet of the multiset lattice and makes the
+worklist iteration monotone: states only shrink, so the fixpoint
+terminates on any CFG.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.lint.flow.cfg import (
+    CFG,
+    CFGNode,
+    KIND_WITH_ENTER,
+    KIND_WITH_EXIT,
+)
+
+__all__ = [
+    "LockState",
+    "EMPTY_LOCKS",
+    "acquire",
+    "release",
+    "held_locks",
+    "join_locks",
+    "lock_transfer",
+    "run_forward",
+]
+
+#: Canonical lock state: sorted tuple of (name, count>=1) pairs.
+LockState = Tuple[Tuple[str, int], ...]
+
+EMPTY_LOCKS: LockState = ()
+
+
+def acquire(state: LockState, name: str) -> LockState:
+    counts = dict(state)
+    counts[name] = counts.get(name, 0) + 1
+    return tuple(sorted(counts.items()))
+
+
+def release(state: LockState, name: str) -> LockState:
+    counts = dict(state)
+    current = counts.get(name, 0)
+    if current <= 1:
+        counts.pop(name, None)
+    else:
+        counts[name] = current - 1
+    return tuple(sorted(counts.items()))
+
+
+def held_locks(state: LockState) -> Tuple[str, ...]:
+    """Names of locks held (count >= 1) in ``state``, sorted."""
+    return tuple(name for name, _count in state)
+
+
+def join_locks(a: LockState, b: LockState) -> LockState:
+    """Must-join: pointwise minimum of the two count maps."""
+    if a == b:
+        return a
+    counts_b = dict(b)
+    merged = []
+    for name, count in a:
+        other = counts_b.get(name, 0)
+        low = min(count, other)
+        if low > 0:
+            merged.append((name, low))
+    return tuple(merged)
+
+
+def lock_transfer(node: CFGNode, state: LockState) -> LockState:
+    """Lock effect of one CFG node.
+
+    ``with_enter``/``with_exit`` pseudo-nodes acquire/release their
+    resolved lock; an explicit bare ``x.acquire()`` / ``x.release()``
+    expression statement is honoured too, so code predating the
+    ``with`` idiom still analyzes correctly.
+    """
+    if node.lock is not None:
+        if node.kind == KIND_WITH_ENTER:
+            return acquire(state, node.lock)
+        if node.kind == KIND_WITH_EXIT:
+            return release(state, node.lock)
+    explicit = _explicit_lock_call(node)
+    if explicit is not None:
+        name, is_acquire = explicit
+        return acquire(state, name) if is_acquire else release(state, name)
+    return state
+
+
+def _explicit_lock_call(node: CFGNode) -> Optional[Tuple[str, bool]]:
+    import ast
+
+    stmt = node.stmt
+    if node.kind != "stmt" or not isinstance(stmt, ast.Expr):
+        return None
+    call = stmt.value
+    if not isinstance(call, ast.Call) or not isinstance(
+        call.func, ast.Attribute
+    ):
+        return None
+    if call.func.attr not in ("acquire", "release"):
+        return None
+    target = call.func.value
+    parts = []
+    current = target
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    name = ".".join(reversed(parts))
+    return name, call.func.attr == "acquire"
+
+
+def run_forward(
+    cfg: CFG,
+    entry_state: LockState,
+    transfer: Callable[[CFGNode, LockState], LockState] = lock_transfer,
+) -> Dict[int, Tuple[LockState, LockState]]:
+    """Worklist fixpoint; returns ``{nid: (state_in, state_out)}``.
+
+    Unreachable nodes are absent from the result.  ``state_in`` is the
+    join over predecessors' ``state_out``; the entry node's input is
+    ``entry_state``.
+    """
+    preds = cfg.predecessors()
+    states_in: Dict[int, LockState] = {}
+    states_out: Dict[int, LockState] = {}
+    worklist: deque = deque([cfg.entry.nid])
+    queued = {cfg.entry.nid}
+    while worklist:
+        nid = worklist.popleft()
+        queued.discard(nid)
+        if nid == cfg.entry.nid:
+            state_in = entry_state
+        else:
+            incoming = [states_out[p] for p in preds[nid] if p in states_out]
+            if not incoming:
+                continue  # Not yet reachable.
+            state_in = incoming[0]
+            for other in incoming[1:]:
+                state_in = join_locks(state_in, other)
+        state_out = transfer(cfg.nodes[nid], state_in)
+        if (
+            nid in states_out
+            and states_out[nid] == state_out
+            and states_in[nid] == state_in
+        ):
+            continue
+        states_in[nid] = state_in
+        states_out[nid] = state_out
+        for succ in cfg.succ[nid]:
+            if succ not in queued:
+                queued.add(succ)
+                worklist.append(succ)
+    return {
+        nid: (states_in[nid], states_out[nid]) for nid in states_in
+    }

@@ -2,7 +2,9 @@
 
 Text output is one ``path:line:col CODE severity message`` row per
 finding (clickable anchors in most terminals/editors) plus a summary.
-JSON output is a stable, versioned schema for CI and tooling.
+JSON output is a stable, versioned schema for CI and tooling.  SARIF
+output follows the SARIF 2.1.0 standard so CI can publish findings to
+code-scanning UIs with rule metadata attached.
 """
 
 from __future__ import annotations
@@ -11,10 +13,36 @@ import json
 from typing import Dict, List
 
 from repro.lint.rules.base import REGISTRY
-from repro.lint.types import LintResult
+from repro.lint.types import LintResult, Severity
 
 #: Bump when the JSON shape changes incompatibly.
 JSON_SCHEMA_VERSION = 1
+
+#: SARIF 2.1.0 constants.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Severity -> SARIF result level.
+_SARIF_LEVELS = {
+    Severity.NOTE: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+#: Engine-reported codes that have no registered rule class.
+_ENGINE_RULES = {
+    "PAR001": (
+        "parse-error",
+        "file cannot be read or parsed as Python",
+    ),
+    "NOQ001": (
+        "unused-suppression",
+        "`# repro: noqa` comment that silences nothing",
+    ),
+}
 
 
 def render_text(result: LintResult) -> str:
@@ -50,6 +78,84 @@ def render_json(result: LintResult) -> str:
             "by_code": result.counts_by_code(),
             "exit_code": result.exit_code,
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """Render ``result`` as a SARIF 2.1.0 log (one run, one tool)."""
+    rules: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for code in sorted(REGISTRY):
+        meta = REGISTRY[code].meta
+        rule_index[code] = len(rules)
+        rules.append(
+            {
+                "id": meta.code,
+                "name": meta.name,
+                "shortDescription": {"text": meta.summary},
+                "fullDescription": {"text": meta.rationale},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVELS[meta.severity]
+                },
+            }
+        )
+    for code, (name, summary) in sorted(_ENGINE_RULES.items()):
+        if code in rule_index:
+            continue
+        rule_index[code] = len(rules)
+        rules.append(
+            {
+                "id": code,
+                "name": name,
+                "shortDescription": {"text": summary},
+                "defaultConfiguration": {"level": "warning"},
+            }
+        )
+
+    results: List[Dict[str, object]] = []
+    for violation in result.violations:
+        entry: Dict[str, object] = {
+            "ruleId": violation.code,
+            "level": _SARIF_LEVELS[violation.severity],
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(violation.line, 1),
+                            "startColumn": max(violation.col + 1, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.code in rule_index:
+            entry["ruleIndex"] = rule_index[violation.code]
+        results.append(entry)
+
+    payload: Dict[str, object] = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/CMU-SAFARI/D-RaNGe"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

@@ -6,7 +6,15 @@ rules can use the same decorator before constructing a
 :class:`~repro.lint.engine.Linter`.
 """
 
-from repro.lint.rules import correctness, determinism, docs, entropy  # noqa: F401
+from repro.lint.rules import (  # noqa: F401
+    concurrency,
+    correctness,
+    determinism,
+    docs,
+    entropy,
+    epoch,
+    obscontract,
+)
 from repro.lint.rules.base import REGISTRY, FileContext, Rule, register
 
 __all__ = ["REGISTRY", "FileContext", "Rule", "register"]

@@ -22,13 +22,29 @@ from repro.lint.types import RuleMeta, Severity, Violation
 
 
 class FileContext:
-    """Everything a rule may consult about the file under analysis."""
+    """Everything a rule may consult about the file under analysis.
 
-    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+    ``cache`` is per-file scratch space shared by every rule visiting
+    the file (the flow analysis memoizes its module summary there);
+    ``project`` is shared across *all* files of one engine run so
+    project-phase rules can accumulate cross-file facts.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        project: Optional[Dict[str, object]] = None,
+    ) -> None:
         self.path = path
         self.source = source
         self.tree = tree
         self.aliases: Dict[str, str] = _collect_aliases(tree)
+        self.cache: Dict[str, object] = {}
+        self.project: Dict[str, object] = (
+            project if project is not None else {}
+        )
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Dotted name a ``Name``/``Attribute`` chain refers to, if any.
@@ -80,6 +96,18 @@ class Rule(ast.NodeVisitor):
         self.context = context
         self.severity = severity
         self.violations: List[Violation] = []
+
+    @classmethod
+    def finalize_project(
+        cls, project: Dict[str, object], severity: Severity
+    ) -> List[Violation]:
+        """Project-phase hook: violations computed across all files.
+
+        Called once per engine run, after every file has been visited.
+        Rules that accumulate cross-file facts in ``context.project``
+        override this to turn them into findings; the default has none.
+        """
+        return []
 
     def report(
         self,

@@ -1,0 +1,312 @@
+"""CONC rules: lock discipline, checked with real dataflow.
+
+The serving stack (PRs 4–6) is thread-heavy — a watermarked entropy
+pool refilled by a background thread, token buckets, metric families —
+and its invariants live in lock regions the old per-node walker could
+not see.  These rules run the :mod:`repro.lint.flow` lock-set analysis
+over each module:
+
+CONC001
+    An attribute declared ``# guarded-by: <lock>`` (comment on its
+    ``__init__`` assignment) is read or written while the named lock is
+    not in the must-held set.  Methods whose names end in ``_locked``
+    follow the repo convention that the *caller* holds the lock, so
+    accesses inside them are exempt — but calling such a method with no
+    lock held is itself reported.
+CONC002
+    A blocking call (``time.sleep``, ``Condition.wait``/``wait_for``,
+    worker-pool ``submit``/``join``, harvest/refill entry points like
+    ``request``/``take``/``generate``) is made while holding a lock.
+    ``cond.wait()`` with only ``cond`` itself held is fine — waiting
+    releases the condition's lock — but any *other* lock held across
+    the wait is the classic refill-under-lock deadlock shape.
+CONC003
+    Two locks are acquired in opposite orders somewhere in the same
+    module — the textbook ABBA deadlock.  Re-entrant re-acquisition of
+    the same lock is not an ordering pair.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.flow.analysis import FunctionFlow, ModuleFlow, analyze_module
+from repro.lint.rules.base import Rule, register
+from repro.lint.types import RuleMeta, Severity
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+_LIBRARY_SCOPE = dict(
+    include=("repro/",),
+    exclude=("tests/", "examples/", "benchmarks/", "docs/"),
+)
+
+
+def guarded_attributes(context, cls: ast.ClassDef) -> Dict[str, Tuple[str, int]]:
+    """``{attr: (lock_name, decl_line)}`` from ``# guarded-by:`` comments.
+
+    Annotations sit on ``self.<attr> = ...`` statements (``__init__``
+    or class body); the comment names the lock attribute *without* the
+    ``self.`` prefix, matching how the analysis normalizes lock names.
+    """
+    lines = context.source.splitlines()
+    guarded: Dict[str, Tuple[str, int]] = {}
+
+    def scan_stmt(stmt: ast.stmt) -> None:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        else:
+            return
+        attrs = [
+            t.attr
+            for t in targets
+            if isinstance(t, ast.Attribute)
+            and isinstance(t.value, ast.Name)
+            and t.value.id == "self"
+        ]
+        if not attrs:
+            return
+        for lineno in range(stmt.lineno, (stmt.end_lineno or stmt.lineno) + 1):
+            if lineno - 1 >= len(lines):
+                break
+            match = _GUARDED_RE.search(lines[lineno - 1])
+            if match:
+                for attr in attrs:
+                    guarded[attr] = (match.group(1), stmt.lineno)
+                break
+
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if item.name != "__init__":
+                continue
+            for stmt in ast.walk(item):
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    scan_stmt(stmt)
+        elif isinstance(item, (ast.Assign, ast.AnnAssign)):
+            scan_stmt(item)
+    return guarded
+
+
+def _method_flows(flow: ModuleFlow, cls_name: str) -> List[FunctionFlow]:
+    return [f for f in flow.functions.values() if f.cls == cls_name]
+
+
+def _short_name(qualname: str) -> str:
+    return qualname.rsplit(".", 1)[-1]
+
+
+@register
+class GuardedAttributeRule(Rule):
+    """CONC001: guarded attribute touched outside its lock region."""
+
+    meta = RuleMeta(
+        code="CONC001",
+        name="guarded-attribute-outside-lock",
+        summary=(
+            "attribute declared `# guarded-by: <lock>` accessed without "
+            "holding that lock"
+        ),
+        severity=Severity.ERROR,
+        rationale=(
+            "An unguarded read can observe torn state and an unguarded "
+            "write can race the refill/serving threads; either can hand "
+            "out stale or duplicated entropy bits that no downstream "
+            "health test will flag."
+        ),
+        **_LIBRARY_SCOPE,
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        flow = analyze_module(self.context)
+        for cls_name, cls in flow.classes.items():
+            guarded = guarded_attributes(self.context, cls)
+            method_names = {
+                _short_name(f.qualname) for f in _method_flows(flow, cls_name)
+            }
+            for func_flow in _method_flows(flow, cls_name):
+                short = _short_name(func_flow.qualname)
+                if short == "__init__":
+                    continue
+                self._check_function(func_flow, guarded, method_names, short)
+
+    def _check_function(
+        self,
+        func_flow: FunctionFlow,
+        guarded: Dict[str, Tuple[str, int]],
+        method_names: Set[str],
+        short: str,
+    ) -> None:
+        caller_holds = short.endswith("_locked")
+        for node in func_flow.cfg.nodes:
+            if node.nid not in func_flow.states:
+                continue  # Unreachable: no lock facts, no finding.
+            held = set(func_flow.held_at(node.nid))
+            reported_attrs: Set[str] = set()
+            for root in func_flow.cfg.node_expressions(node):
+                for sub in ast.walk(root):
+                    if isinstance(sub, ast.Call):
+                        self._check_locked_call(sub, held, method_names)
+                    if caller_holds or not guarded:
+                        continue
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                        and sub.attr in guarded
+                        and sub.attr not in reported_attrs
+                    ):
+                        lock, decl_line = guarded[sub.attr]
+                        if lock not in held:
+                            reported_attrs.add(sub.attr)
+                            self.report(
+                                sub,
+                                f"self.{sub.attr} is `# guarded-by: {lock}` "
+                                f"(declared at line {decl_line}) but is "
+                                f"accessed here without holding {lock}",
+                            )
+
+    def _check_locked_call(
+        self, call: ast.Call, held: Set[str], method_names: Set[str]
+    ) -> None:
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr.endswith("_locked")
+            and func.attr in method_names
+        ):
+            return
+        if not held:
+            self.report(
+                call,
+                f"self.{func.attr}() expects the caller to hold a lock "
+                f"(the `_locked` suffix convention) but no lock is held "
+                f"here",
+            )
+
+
+#: Attribute names treated as blocking when called on any object.
+_BLOCKING_ATTRS = {
+    "sleep",
+    "wait",
+    "wait_for",
+    "submit",
+    "join",
+    "request",
+    "request_bytes",
+    "refill_to_high",
+    "take",
+    "random_bits",
+    "random_bytes",
+    "harvest",
+    "generate",
+    "generate_fast",
+}
+
+#: Waiting on a condition releases that condition's own lock.
+_WAIT_ATTRS = {"wait", "wait_for"}
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    """CONC002: blocking call while holding a lock."""
+
+    meta = RuleMeta(
+        code="CONC002",
+        name="blocking-call-under-lock",
+        summary="blocking call (sleep/wait/submit/harvest) under a held lock",
+        severity=Severity.ERROR,
+        rationale=(
+            "Blocking while holding a lock stalls every thread contending "
+            "for it; blocking on the *refill* path while holding the pool "
+            "lock is a deadlock, because the refill is what would unblock "
+            "the waiters."
+        ),
+        **_LIBRARY_SCOPE,
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        flow = analyze_module(self.context)
+        for func_flow in flow.functions.values():
+            for cfg_node in func_flow.cfg.nodes:
+                if cfg_node.nid not in func_flow.states:
+                    continue
+                held = func_flow.held_at(cfg_node.nid)
+                if not held:
+                    continue
+                for root in func_flow.cfg.node_expressions(cfg_node):
+                    for sub in ast.walk(root):
+                        if isinstance(sub, ast.Call):
+                            self._check_call(sub, held)
+
+    def _check_call(self, call: ast.Call, held: Tuple[str, ...]) -> None:
+        func = call.func
+        dotted = self.context.resolve(func)
+        if dotted == "time.sleep":
+            attr: Optional[str] = "sleep"
+            target: Optional[str] = None
+        elif isinstance(func, ast.Attribute) and func.attr in _BLOCKING_ATTRS:
+            attr = func.attr
+            target = self.context.resolve(func.value)
+        else:
+            return
+        offending = list(held)
+        if attr in _WAIT_ATTRS and target is not None:
+            normalized = target[len("self."):] if target.startswith(
+                "self."
+            ) else target
+            offending = [lock for lock in offending if lock != normalized]
+        if offending:
+            locks = ", ".join(sorted(offending))
+            self.report(
+                call,
+                f"blocking call .{attr}() made while holding {locks}; "
+                f"release the lock (or move the call outside the `with` "
+                f"block) before blocking",
+            )
+
+
+@register
+class LockOrderRule(Rule):
+    """CONC003: inconsistent lock acquisition order in one module."""
+
+    meta = RuleMeta(
+        code="CONC003",
+        name="inconsistent-lock-order",
+        summary="two locks acquired in opposite orders within a module",
+        severity=Severity.ERROR,
+        rationale=(
+            "If one code path takes A then B while another takes B then "
+            "A, two threads can each hold one lock and wait forever on "
+            "the other (ABBA deadlock)."
+        ),
+        **_LIBRARY_SCOPE,
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        flow = analyze_module(self.context)
+        first_seen: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        for acq in flow.acquisitions:
+            for outer in acq.held_before:
+                if outer == acq.lock:
+                    continue  # Re-entrant RLock, not an ordering pair.
+                pair = (outer, acq.lock)
+                reverse = (acq.lock, outer)
+                if reverse in first_seen:
+                    where, line = first_seen[reverse]
+                    self.report(
+                        ast.Module(body=[], type_ignores=[]),
+                        f"{acq.qualname} acquires {outer} then {acq.lock}, "
+                        f"but {where} (line {line}) acquires them in the "
+                        f"opposite order — ABBA deadlock risk",
+                        line=acq.line,
+                        col=0,
+                    )
+                elif pair not in first_seen:
+                    first_seen[pair] = (acq.qualname, acq.line)

@@ -1,0 +1,237 @@
+"""EPOCH rules: the ``state_epoch`` invalidation contract.
+
+PR 3's compiled sampling plans and probability planes cache per-device
+state and are invalidated by monotonic ``state_epoch`` counters.  The
+contract is absolute: *every* method that mutates sensing-relevant
+state must bump its epoch attribute on *every* control-flow path to
+exit — a single missed path serves bits sampled from a stale plan,
+which SP 800-90B health tests cannot detect after the fact.
+
+EPOCH001 encodes the mutation lists of the three epoch-bearing classes
+(:class:`~repro.dram.bank.Bank`, :class:`~repro.dram.device.DramDevice`,
+:class:`~repro.faults.injector.FaultInjector`) and asks the CFG a path
+question for each mutation site M: does a path ``entry → M → exit``
+exist that avoids every bump statement?  Bump-before-mutation (the
+injector's style), bump-after on the same branch, and bump-in-
+``finally`` all satisfy the contract; a branch that mutates and falls
+through without bumping does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from repro.lint.flow.analysis import ModuleFlow, analyze_module
+from repro.lint.flow.cfg import CFG, KIND_STMT
+from repro.lint.rules.base import Rule, register
+from repro.lint.types import RuleMeta, Severity
+
+
+@dataclass(frozen=True)
+class EpochContract:
+    """What counts as a mutation, and what counts as the bump."""
+
+    bump_attr: str
+    #: Plain ``self.<attr> = ...`` assignments that invalidate caches.
+    value_attrs: FrozenSet[str] = frozenset()
+    #: Containers whose item-assignment / mutating-method calls count.
+    container_attrs: FrozenSet[str] = frozenset()
+    #: Methods returning aliases of protected mutable state: a local
+    #: bound from ``x = self.<method>(...)`` is tracked and ``x[...] =``
+    #: counts as a mutation.
+    alias_methods: FrozenSet[str] = frozenset()
+
+
+#: Mutation lists per epoch-bearing class (keyed by class name so test
+#: fixtures exercising e.g. ``Bank`` under a matching path light up).
+CONTRACTS: Dict[str, EpochContract] = {
+    "Bank": EpochContract(
+        bump_attr="_epoch",
+        container_attrs=frozenset({"_rows"}),
+        alias_methods=frozenset({"_row_bits"}),
+    ),
+    "DramDevice": EpochContract(
+        bump_attr="_epoch",
+        value_attrs=frozenset({"_temperature_c", "_vdd_ratio"}),
+    ),
+    "FaultInjector": EpochContract(
+        bump_attr="_fault_epoch",
+        container_attrs=frozenset({"_schedule"}),
+    ),
+}
+
+#: Method names that mutate a container in place.
+_MUTATOR_METHODS = {
+    "add",
+    "append",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+def _is_self_attr(node: ast.AST, names: FrozenSet[str]) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in names
+    )
+
+
+def _iter_assign_targets(stmt: ast.stmt) -> List[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        flat: List[ast.expr] = []
+        for target in stmt.targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                flat.extend(target.elts)
+            else:
+                flat.append(target)
+        return flat
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        return [stmt.target]
+    if isinstance(stmt, ast.Delete):
+        return list(stmt.targets)
+    return []
+
+
+def _is_bump(stmt: ast.stmt, bump_attr: str) -> bool:
+    """Any assignment (plain or augmented) to ``self.<bump_attr>``."""
+    for target in _iter_assign_targets(stmt):
+        if _is_self_attr(target, frozenset({bump_attr})):
+            return not isinstance(stmt, ast.Delete)
+    return False
+
+
+def _mutation_description(
+    stmt: ast.stmt, contract: EpochContract, aliases: Set[str]
+) -> str:
+    """Non-empty description when ``stmt`` mutates contract state."""
+    for target in _iter_assign_targets(stmt):
+        if _is_self_attr(target, contract.value_attrs):
+            return f"self.{target.attr}"
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if _is_self_attr(base, contract.container_attrs):
+                return f"self.{base.attr}[...]"
+            if isinstance(base, ast.Name) and base.id in aliases:
+                return f"{base.id}[...] (alias of protected state)"
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+            and _is_self_attr(func.value, contract.container_attrs)
+        ):
+            return f"self.{func.value.attr}.{func.attr}()"
+    return ""
+
+
+def _collect_aliases(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef", contract: EpochContract
+) -> Set[str]:
+    """Locals bound from ``x = self.<alias_method>(...)`` anywhere."""
+    if not contract.alias_methods:
+        return set()
+    aliases: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and isinstance(value.func.value, ast.Name)
+            and value.func.value.id == "self"
+            and value.func.attr in contract.alias_methods
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                aliases.add(target.id)
+    return aliases
+
+
+@register
+class EpochBumpRule(Rule):
+    """EPOCH001: sensing-state mutation without a bump on every path."""
+
+    meta = RuleMeta(
+        code="EPOCH001",
+        name="epoch-bump-missing-on-path",
+        summary=(
+            "sensing-relevant state mutated without bumping state_epoch "
+            "on every path to exit"
+        ),
+        severity=Severity.ERROR,
+        rationale=(
+            "Compiled sampling plans and probability planes are cached "
+            "per epoch; a mutation that reaches exit without a bump on "
+            "some path lets a stale plan keep serving bits for state "
+            "that no longer exists."
+        ),
+        include=(
+            "repro/dram/bank.py",
+            "repro/dram/device.py",
+            "repro/faults/injector.py",
+        ),
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        flow = analyze_module(self.context)
+        for cls_name in flow.classes:
+            contract = CONTRACTS.get(cls_name)
+            if contract is None:
+                continue
+            for func_flow in flow.functions.values():
+                if func_flow.cls != cls_name:
+                    continue
+                short = func_flow.qualname.rsplit(".", 1)[-1]
+                if short == "__init__":
+                    continue  # Construction precedes any cached plan.
+                self._check_function(func_flow.cfg, func_flow.func, contract)
+
+    def _check_function(
+        self,
+        cfg: CFG,
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+        contract: EpochContract,
+    ) -> None:
+        aliases = _collect_aliases(func, contract)
+        bump_nodes: Set[int] = set()
+        mutations: List = []
+        for cfg_node in cfg.nodes:
+            if cfg_node.kind != KIND_STMT or cfg_node.stmt is None:
+                continue
+            stmt = cfg_node.stmt
+            if not isinstance(stmt, ast.stmt):
+                continue
+            if _is_bump(stmt, contract.bump_attr):
+                bump_nodes.add(cfg_node.nid)
+                continue
+            description = _mutation_description(stmt, contract, aliases)
+            if description:
+                mutations.append((cfg_node, description))
+        for cfg_node, description in mutations:
+            unbumped_before = cfg.reaches(
+                cfg.entry.nid, cfg_node.nid, avoiding=bump_nodes
+            )
+            unbumped_after = cfg.reaches(
+                cfg_node.nid, cfg.exit.nid, avoiding=bump_nodes
+            )
+            if unbumped_before and unbumped_after:
+                self.report(
+                    cfg_node.stmt,
+                    f"{description} is mutated here but "
+                    f"self.{contract.bump_attr} is not bumped on every "
+                    f"path to exit — cached plans keyed on state_epoch "
+                    f"go stale",
+                )

@@ -1,0 +1,219 @@
+"""OBS rules: the declared-metric ``CATALOG`` contract.
+
+PR 5 made metric families declarative: every name the stack emits must
+be declared in :data:`repro.obs.catalog.CATALOG` (so typos raise at
+runtime) and documented.  That contract is only enforced where code
+actually *runs*, though — a metric emitted from a cold error path with
+a typo'd name is a latent crash, and a catalog entry nothing emits is
+dead documentation.  These rules close both gaps statically:
+
+OBS001
+    A string-literal metric name passed to an emission call
+    (``counter_add``/``gauge_set``/``observe``/``bound_*``/registry
+    ``counter``/``gauge``/``histogram``/``value``) is not declared in
+    the live ``CATALOG``.
+OBS002
+    A ``CATALOG`` entry has no use site anywhere in the swept tree.
+    This is a *project-phase* rule: per-file visits collect catalog
+    entries and ``drange_*`` string usages into the shared project
+    state, and the engine's finalize hook reports leftovers anchored
+    at the catalog declaration lines.  It only fires when the sweep
+    included both the catalog and at least one other file, so linting
+    a single unrelated module never produces spurious coverage noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.rules.base import Rule, register
+from repro.lint.types import RuleMeta, Severity, Violation
+
+#: Facade / bound-handle entry points whose first argument is a name.
+_FACADE_FUNCS = {
+    "counter_add",
+    "gauge_set",
+    "observe",
+    "bound_counter",
+    "bound_gauge",
+    "bound_histogram",
+    "_instrument",
+}
+
+#: Registry methods; only ``drange_``-prefixed literals are checked so
+#: unrelated objects with a ``counter(...)`` method don't false-alarm.
+_REGISTRY_METHODS = {"counter", "gauge", "histogram", "value"}
+
+_CATALOG_PATH_SUFFIX = "repro/obs/catalog.py"
+
+#: Project-state keys shared between per-file visits and finalize.
+_KEY_ENTRIES = "obs_catalog_entries"
+_KEY_USES = "obs_metric_uses"
+_KEY_SCANNED = "obs_nonconfig_files"
+
+
+def _live_catalog() -> Dict[str, object]:
+    from repro.obs.catalog import CATALOG
+
+    return CATALOG
+
+
+def _metric_name_argument(call: ast.Call) -> Optional[Tuple[str, ast.expr]]:
+    """``(attr_or_func_name, first_literal_arg)`` when checkable."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    else:
+        return None
+    arg: Optional[ast.expr] = call.args[0] if call.args else None
+    if arg is None:
+        for keyword in call.keywords:
+            if keyword.arg == "name":
+                arg = keyword.value
+                break
+    if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+        return None
+    return name, arg
+
+
+@register
+class UndeclaredMetricRule(Rule):
+    """OBS001: metric name literal not declared in the catalog."""
+
+    meta = RuleMeta(
+        code="OBS001",
+        name="undeclared-metric-name",
+        summary=(
+            "metric name passed to counter/gauge/histogram/bound_* is "
+            "not declared in repro.obs.catalog.CATALOG"
+        ),
+        severity=Severity.ERROR,
+        rationale=(
+            "The catalog is the contract between emission sites, the "
+            "exporters and the docs; an undeclared name raises at "
+            "runtime — but only when that code path runs, which for "
+            "error-path metrics may be never until production."
+        ),
+        include=("repro/",),
+        exclude=(
+            "tests/",
+            "examples/",
+            "benchmarks/",
+            "docs/",
+            _CATALOG_PATH_SUFFIX,
+        ),
+    )
+
+    def visit_Call(self, call: ast.Call) -> None:
+        checked = _metric_name_argument(call)
+        if checked is not None:
+            name, arg = checked
+            value = arg.value  # type: ignore[attr-defined]
+            assert isinstance(value, str)
+            if name in _FACADE_FUNCS or (
+                name in _REGISTRY_METHODS and value.startswith("drange_")
+            ):
+                if value not in _live_catalog():
+                    self.report(
+                        arg,
+                        f"metric name {value!r} is not declared in "
+                        f"repro.obs.catalog.CATALOG; add an entry (and a "
+                        f"docs row) or fix the typo",
+                    )
+        self.generic_visit(call)
+
+
+@register
+class UnusedCatalogEntryRule(Rule):
+    """OBS002: catalog entry with no use site in the swept tree."""
+
+    meta = RuleMeta(
+        code="OBS002",
+        name="unused-catalog-entry",
+        summary="CATALOG declares a metric no swept code ever emits",
+        severity=Severity.WARNING,
+        rationale=(
+            "An entry nothing emits is dead documentation: dashboards "
+            "and alerts built on it silently watch a flatline.  Either "
+            "wire up the emission or delete the declaration."
+        ),
+        include=("repro/",),
+        exclude=("tests/", "examples/", "benchmarks/", "docs/"),
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        project = self.context.project
+        if self.context.path.endswith(_CATALOG_PATH_SUFFIX):
+            project[_KEY_ENTRIES] = {
+                "path": self.context.path,
+                "entries": self._catalog_entry_lines(node),
+            }
+            return
+        project[_KEY_SCANNED] = int(project.get(_KEY_SCANNED, 0)) + 1
+        uses: Set[str] = project.setdefault(_KEY_USES, set())  # type: ignore[assignment]
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Constant)
+                and isinstance(sub.value, str)
+                and sub.value.startswith("drange_")
+            ):
+                uses.add(sub.value)
+
+    @staticmethod
+    def _catalog_entry_lines(tree: ast.Module) -> Dict[str, int]:
+        """``{metric_name: decl_line}`` from the ``CATALOG = {...}`` literal."""
+        entries: Dict[str, int] = {}
+        for stmt in tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            else:
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "CATALOG" for t in targets
+            ):
+                continue
+            value = stmt.value if isinstance(stmt, ast.Assign) else stmt.value
+            if isinstance(value, ast.Dict):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        entries[key.value] = key.lineno
+        return entries
+
+    @classmethod
+    def finalize_project(
+        cls, project: Dict[str, object], severity: Severity
+    ) -> List[Violation]:
+        declared = project.get(_KEY_ENTRIES)
+        if not isinstance(declared, dict) or not project.get(_KEY_SCANNED):
+            return []  # Need the catalog AND at least one other file.
+        uses = project.get(_KEY_USES, set())
+        assert isinstance(uses, set)
+        violations: List[Violation] = []
+        entries = declared["entries"]
+        assert isinstance(entries, dict)
+        for name in sorted(entries):
+            if name in uses:
+                continue
+            violations.append(
+                Violation(
+                    code=cls.meta.code,
+                    message=(
+                        f"catalog entry {name!r} has no use site in the "
+                        f"swept tree — wire up the emission or delete "
+                        f"the declaration (and its docs row)"
+                    ),
+                    path=str(declared["path"]),
+                    line=int(entries[name]),
+                    col=0,
+                    severity=severity,
+                )
+            )
+        return violations

@@ -63,13 +63,14 @@ class Counter:
     __slots__ = ("_value", "_lock")
 
     def __init__(self, lock: threading.Lock) -> None:
-        self._value = 0.0
         self._lock = lock
+        self._value = 0.0  # guarded-by: _lock
 
     @property
     def value(self) -> float:
         """Current cumulative value."""
-        return self._value
+        with self._lock:
+            return self._value
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
@@ -85,13 +86,14 @@ class Gauge:
     __slots__ = ("_value", "_lock")
 
     def __init__(self, lock: threading.Lock) -> None:
-        self._value = 0.0
         self._lock = lock
+        self._value = 0.0  # guarded-by: _lock
 
     @property
     def value(self) -> float:
         """Current value."""
-        return self._value
+        with self._lock:
+            return self._value
 
     def set(self, value: Union[int, float]) -> None:
         """Replace the gauge's value."""
@@ -126,25 +128,28 @@ class Histogram:
         if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
             raise ValueError(f"bucket bounds must strictly increase: {bounds}")
         self.buckets = bounds
-        self._counts = [0] * (len(bounds) + 1)  # final slot: +Inf
-        self._sum = 0.0
-        self._count = 0
         self._lock = lock
+        self._counts = [0] * (len(bounds) + 1)  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
 
     @property
     def count(self) -> int:
         """Total number of observations."""
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
         """Sum of all observed values."""
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def counts(self) -> Tuple[int, ...]:
         """Per-bucket tallies (last entry is the +Inf overflow bucket)."""
-        return tuple(self._counts)
+        with self._lock:
+            return tuple(self._counts)
 
     def observe(self, value: Union[int, float]) -> None:
         """Record one observation."""
@@ -191,7 +196,7 @@ class MetricFamily:
         self.label_names = tuple(label_names)
         self.buckets = tuple(buckets) if buckets is not None else None
         self._lock = lock
-        self._children: Dict[Tuple[str, ...], Instrument] = {}
+        self._children: Dict[Tuple[str, ...], Instrument] = {}  # guarded-by: _lock
 
     def labels(self, **labels: object) -> Instrument:
         """The child instrument for one label-value combination.
@@ -239,7 +244,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._families: Dict[str, MetricFamily] = {}
+        self._families: Dict[str, MetricFamily] = {}  # guarded-by: _lock
 
     def _family(
         self,

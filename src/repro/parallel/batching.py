@@ -81,10 +81,10 @@ class BatchingFrontEnd:
         self._max_batch_bits = max_batch_bits
         self._max_pending = max_pending_requests
         self._cond = threading.Condition()
-        self._queue: Deque[_Pending] = deque()
-        self._leader_active = False
-        self._requests_served = 0
-        self._batches_executed = 0
+        self._queue: Deque[_Pending] = deque()  # guarded-by: _cond
+        self._leader_active = False  # guarded-by: _cond
+        self._requests_served = 0  # guarded-by: _cond
+        self._batches_executed = 0  # guarded-by: _cond
 
     # ------------------------------------------------------------------
     # Introspection
@@ -93,7 +93,8 @@ class BatchingFrontEnd:
     @property
     def requests_served(self) -> int:
         """Requests answered so far."""
-        return self._requests_served
+        with self._cond:
+            return self._requests_served
 
     @property
     def batches_executed(self) -> int:
@@ -101,12 +102,14 @@ class BatchingFrontEnd:
 
         ``requests_served / batches_executed`` is the coalescing factor.
         """
-        return self._batches_executed
+        with self._cond:
+            return self._batches_executed
 
     @property
     def pending_requests(self) -> int:
         """Requests currently parked in the queue."""
-        return len(self._queue)
+        with self._cond:
+            return len(self._queue)
 
     # ------------------------------------------------------------------
     # The front-end interface

@@ -63,9 +63,9 @@ class TokenBucket:
     def __init__(self, quota: TenantQuota, clock: Clock) -> None:
         self._quota = quota
         self._clock = clock
-        self._tokens = float(quota.burst_bits)
-        self._last_s = clock()
         self._lock = threading.Lock()
+        self._tokens = float(quota.burst_bits)  # guarded-by: _lock
+        self._last_s = clock()  # guarded-by: _lock
 
     @property
     def quota(self) -> TenantQuota:
@@ -129,11 +129,11 @@ class AdmissionController:
             )
         self._clock = clock
         self._max_pending = max_pending_requests
-        self._quotas: Dict[str, TenantQuota] = dict(quotas or {})
         self._default_quota = default_quota
-        self._buckets: Dict[str, TokenBucket] = {}
-        self._pending = 0
         self._lock = threading.Lock()
+        self._quotas: Dict[str, TenantQuota] = dict(quotas or {})  # guarded-by: _lock
+        self._buckets: Dict[str, TokenBucket] = {}  # guarded-by: _lock
+        self._pending = 0  # guarded-by: _lock
 
     @property
     def pending(self) -> int:

@@ -44,8 +44,8 @@ class ManualClock:
     """
 
     def __init__(self, start_s: float = 0.0) -> None:
-        self._now_s = float(start_s)
         self._lock = threading.Lock()
+        self._now_s = float(start_s)  # guarded-by: _lock
 
     def __call__(self) -> float:
         """The current reading, in seconds."""

@@ -142,20 +142,22 @@ class EntropyPool:
         self._failure_backoff_s = failure_backoff_s
         self._events = events if events is not None else EventLog()
 
-        self._buf: npt.NDArray[np.uint8] = np.empty(capacity_bits, dtype=np.uint8)
-        self._head = 0
-        self._size = 0
         self._cond = threading.Condition()
-        self._refill_phase = False
-        self._waiting = 0
-        self._running = False
-        self._stop_requested = False
-        self._worker: Optional[WorkerPool] = None
-        self._task: object = None
-        self._last_failure: Optional[BaseException] = None
-        self._quarantine_epoch = 0
-        self._bits_taken = 0
-        self._bits_refilled = 0
+        self._buf: npt.NDArray[np.uint8] = np.empty(  # guarded-by: _cond
+            capacity_bits, dtype=np.uint8
+        )
+        self._head = 0  # guarded-by: _cond
+        self._size = 0  # guarded-by: _cond
+        self._refill_phase = False  # guarded-by: _cond
+        self._waiting = 0  # guarded-by: _cond
+        self._running = False  # guarded-by: _cond
+        self._stop_requested = False  # guarded-by: _cond
+        self._worker: Optional[WorkerPool] = None  # guarded-by: _cond
+        self._task: object = None  # guarded-by: _cond
+        self._last_failure: Optional[BaseException] = None  # guarded-by: _cond
+        self._quarantine_epoch = 0  # guarded-by: _cond
+        self._bits_taken = 0  # guarded-by: _cond
+        self._bits_refilled = 0  # guarded-by: _cond
 
     # ------------------------------------------------------------------
     # Introspection
@@ -386,18 +388,25 @@ class EntropyPool:
             with self._cond:
                 self._running = False
             return
-        self._worker = worker
-        self._task = task
+        # Publish the worker handle under the lock: a concurrent take()
+        # probes self._task via _raise_if_loop_died_locked, and an
+        # unlocked publication could hand it a torn/stale view.
+        with self._cond:
+            self._worker = worker
+            self._task = task
 
     def stop(self) -> None:
         """Stop the background refill thread and join it (idempotent)."""
         with self._cond:
             self._stop_requested = True
             self._cond.notify_all()
-        if self._worker is not None:
-            self._worker.close(wait=True)
+            worker = self._worker
             self._worker = None
             self._task = None
+        if worker is not None:
+            # Join outside the lock: the refill loop needs the lock to
+            # observe _stop_requested and wind down.
+            worker.close(wait=True)
         with self._cond:
             self._running = False
 

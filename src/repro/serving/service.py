@@ -201,10 +201,10 @@ class BufferedRngService:
         self._degraded_policy = degraded
         self._drbg: Optional[HashDrbg] = None
         self._seed_count = 0
-        self._in_drought = False
-        self._drought_bits = 0
-        self._pending_reseed = False
         self._degraded_lock = threading.Lock()
+        self._in_drought = False  # guarded-by: _degraded_lock
+        self._drought_bits = 0  # guarded-by: _degraded_lock
+        self._pending_reseed = False  # guarded-by: _degraded_lock
         obs.add_collector(self._collect)
 
     @staticmethod

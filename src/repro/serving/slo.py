@@ -47,14 +47,14 @@ class LatencyTracker:
             raise ConfigurationError(
                 f"capacity must be positive, got {capacity}"
             )
-        self._samples: npt.NDArray[np.float64] = np.empty(
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._samples: npt.NDArray[np.float64] = np.empty(  # guarded-by: _lock
             capacity, dtype=np.float64
         )
-        self._capacity = capacity
-        self._next = 0
-        self._count = 0
-        self._total = 0
-        self._lock = threading.Lock()
+        self._next = 0  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._total = 0  # guarded-by: _lock
 
     @property
     def count(self) -> int:

@@ -1,0 +1,296 @@
+"""The baseline ratchet — unit level and through the CLI.
+
+The ratchet's two promises: findings above a baselined allowance fail,
+and allowances only ever shrink (a stale allowance fails the run until
+``--update-baseline`` ratchets it down).
+"""
+
+import json
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    BASELINE_VERSION,
+    BaselineError,
+    LintConfig,
+    Linter,
+    load_baseline,
+    reconcile_baseline,
+    write_baseline,
+)
+from repro.lint.baseline import baseline_key, counts_for
+from repro.lint.cli import main
+
+DIRTY_BANK = textwrap.dedent(
+    """
+    class Bank:
+        def poison(self, row):
+            self._rows[row] = None
+    """
+)
+
+CLEAN_BANK = textwrap.dedent(
+    """
+    class Bank:
+        def poison(self, row):
+            self._rows[row] = None
+            self._epoch += 1
+    """
+)
+
+
+def _bank_file(tmp_path, source=DIRTY_BANK):
+    target = tmp_path / "repro" / "dram" / "bank.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+def _lint(path):
+    config = LintConfig(check_unused_suppressions=False)
+    return Linter(config).lint_paths([str(path)])
+
+
+# ---------------------------------------------------------------------------
+# File format
+# ---------------------------------------------------------------------------
+
+def test_write_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, {"a.py::EPOCH001": 2, "b.py::CONC001": 1})
+    assert load_baseline(path) == {"a.py::EPOCH001": 2, "b.py::CONC001": 1}
+    payload = json.loads(path.read_text())
+    assert payload["version"] == BASELINE_VERSION
+
+
+def test_write_drops_zero_counts(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, {"a.py::EPOCH001": 0, "b.py::CONC001": 1})
+    assert load_baseline(path) == {"b.py::CONC001": 1}
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json {",
+        '{"version": 1}',
+        '{"version": 99, "entries": {}}',
+        '{"version": 1, "entries": {"no-separator": 1}}',
+        '{"version": 1, "entries": {"a.py::X": 0}}',
+        '{"version": 1, "entries": {"a.py::X": "two"}}',
+    ],
+)
+def test_load_rejects_malformed(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(payload)
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(BaselineError):
+        load_baseline(tmp_path / "nope.json")
+
+
+# ---------------------------------------------------------------------------
+# Reconciliation semantics
+# ---------------------------------------------------------------------------
+
+def test_exact_allowance_is_clean(tmp_path):
+    result = _lint(_bank_file(tmp_path))
+    delta = reconcile_baseline(result, counts_for(result))
+    assert delta.clean
+    assert not delta.new_violations
+    assert not delta.stale
+
+
+def test_findings_beyond_allowance_are_new(tmp_path):
+    two_mutations = textwrap.dedent(
+        """
+        class Bank:
+            def poison(self, row):
+                self._rows[row] = None
+
+            def wipe(self):
+                self._rows.clear()
+        """
+    )
+    result = _lint(_bank_file(tmp_path, source=two_mutations))
+    epoch = [v for v in result.violations if v.code == "EPOCH001"]
+    assert len(epoch) == 2
+    key = baseline_key(epoch[0])
+    allowance = dict(counts_for(result))
+    allowance[key] = 1  # one grandfathered, one over the line
+    delta = reconcile_baseline(result, allowance)
+    assert not delta.clean
+    new_epoch = [v for v in delta.new_violations if baseline_key(v) == key]
+    assert len(new_epoch) == 1
+
+
+def test_unlisted_findings_are_new(tmp_path):
+    result = _lint(_bank_file(tmp_path))
+    delta = reconcile_baseline(result, {})
+    assert set(map(id, delta.new_violations)) == set(
+        map(id, result.violations)
+    )
+
+
+def test_excess_allowance_is_stale(tmp_path):
+    result = _lint(_bank_file(tmp_path, source=CLEAN_BANK))
+    delta = reconcile_baseline(
+        result, {str(tmp_path / "repro/dram/bank.py") + "::EPOCH001": 3}
+    )
+    assert not delta.clean
+    (entry,) = delta.stale.values()
+    assert entry == (3, 0)
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+def test_cli_update_baseline_then_enforce(tmp_path, capsys):
+    bank = _bank_file(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main(
+        [str(bank), "--baseline", str(baseline), "--update-baseline"]
+    ) == 0
+    assert load_baseline(baseline)
+    capsys.readouterr()
+    # Same tree, same baseline: the grandfathered finding is suppressed.
+    assert main([str(bank), "--baseline", str(baseline)]) == 0
+    captured = capsys.readouterr()
+    assert "baselined finding(s) suppressed" in captured.err
+    assert "EPOCH001" not in captured.out
+
+
+def test_cli_new_finding_fails_despite_baseline(tmp_path, capsys):
+    bank = _bank_file(tmp_path, source=CLEAN_BANK)
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, {})
+    bank.write_text(DIRTY_BANK)
+    assert main([str(bank), "--baseline", str(baseline)]) == 1
+    assert "EPOCH001" in capsys.readouterr().out
+
+
+def test_cli_stale_allowance_fails_until_ratcheted(tmp_path, capsys):
+    bank = _bank_file(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main(
+        [str(bank), "--baseline", str(baseline), "--update-baseline"]
+    ) == 0
+    # The finding gets fixed; the allowance is now headroom -> fail.
+    bank.write_text(CLEAN_BANK)
+    capsys.readouterr()
+    assert main([str(bank), "--baseline", str(baseline)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().err
+    # Ratcheting down restores a clean run.
+    assert main(
+        [str(bank), "--baseline", str(baseline), "--update-baseline"]
+    ) == 0
+    assert load_baseline(baseline) == {}
+    assert main([str(bank), "--baseline", str(baseline)]) == 0
+
+
+def test_cli_update_baseline_requires_baseline_path(tmp_path, capsys):
+    bank = _bank_file(tmp_path)
+    assert main([str(bank), "--update-baseline"]) == 2
+    assert "--update-baseline needs" in capsys.readouterr().err
+
+
+def test_cli_update_baseline_rejects_changed(tmp_path, capsys):
+    bank = _bank_file(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    code = main(
+        [
+            str(bank),
+            "--baseline",
+            str(baseline),
+            "--update-baseline",
+            "--changed",
+        ]
+    )
+    assert code == 2
+    assert "full sweep" in capsys.readouterr().err
+
+
+def test_cli_malformed_baseline_is_usage_error(tmp_path, capsys):
+    bank = _bank_file(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{}")
+    assert main([str(bank), "--baseline", str(baseline)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_repo_baseline_is_committed_empty_and_loads():
+    import pathlib
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    assert load_baseline(repo_root / "lint-baseline.json") == {}
+
+
+# ---------------------------------------------------------------------------
+# --changed
+# ---------------------------------------------------------------------------
+
+def _git(cwd, *argv):
+    subprocess.run(
+        ["git", *argv],
+        cwd=str(cwd),
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.invalid",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.invalid",
+            "HOME": str(cwd),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path):
+    _git(tmp_path, "init", "-q")
+    bank = _bank_file(tmp_path, source=CLEAN_BANK)
+    other = tmp_path / "repro" / "dram" / "device_helpers.py"
+    other.write_text("x = 1\n")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-qm", "seed")
+    return tmp_path, bank
+
+
+def test_changed_with_no_edits_short_circuits(git_repo, capsys):
+    repo, _ = git_repo
+    assert main([str(repo / "repro"), "--changed", "HEAD"]) == 0
+    assert "no Python files changed" in capsys.readouterr().out
+
+
+def test_changed_lints_only_edited_files(git_repo, capsys):
+    repo, bank = git_repo
+    bank.write_text(DIRTY_BANK)
+    assert main([str(repo / "repro"), "--changed", "HEAD"]) == 1
+    out = capsys.readouterr().out
+    assert "EPOCH001" in out
+    assert "device_helpers" not in out
+
+
+def test_changed_scopes_to_given_paths(git_repo, capsys):
+    repo, bank = git_repo
+    bank.write_text(DIRTY_BANK)
+    # Edited file is outside the requested subtree -> nothing to lint.
+    target = repo / "repro" / "dram" / "device_helpers.py"
+    code = main([str(target), "--changed", "HEAD"])
+    assert code == 0
+    assert "no Python files changed" in capsys.readouterr().out
+
+
+def test_changed_outside_git_repo_is_usage_error(tmp_path, capsys, monkeypatch):
+    bank = _bank_file(tmp_path)
+    monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+    monkeypatch.delenv("GIT_DIR", raising=False)
+    assert main([str(bank), "--changed", "HEAD"]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,394 @@
+"""The CFG/dataflow engine itself: paths, cleanups, lock states.
+
+These tests poke :mod:`repro.lint.flow` directly — not through rules —
+so a regression in path routing (try/finally, early returns, break/
+continue) or in the lock lattice (must-join, RLock counts) fails with
+a graph-level assertion instead of a silently-wrong rule verdict.
+"""
+
+import ast
+import textwrap
+
+from repro.lint.flow import (
+    EMPTY_LOCKS,
+    acquire,
+    analyze_module,
+    build_cfg,
+    held_locks,
+    join_locks,
+    lock_transfer,
+    release,
+    run_forward,
+)
+from repro.lint.rules.base import FileContext
+
+
+def _first_function(source):
+    tree = ast.parse(textwrap.dedent(source))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AssertionError("no function in fixture")
+
+
+def _flow(source, path="repro/serving/fixture.py"):
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    return analyze_module(FileContext(path, source, tree))
+
+
+def _stmt_nodes(cfg, kind=None):
+    return [
+        n for n in cfg.nodes if (kind is None or n.kind == kind)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Lock-state lattice
+# ---------------------------------------------------------------------------
+
+def test_acquire_release_roundtrip():
+    state = acquire(EMPTY_LOCKS, "self._lock")
+    assert held_locks(state) == ("self._lock",)
+    assert release(state, "self._lock") == EMPTY_LOCKS
+
+
+def test_reentrant_counts():
+    state = acquire(acquire(EMPTY_LOCKS, "L"), "L")
+    assert state == (("L", 2),)
+    inner_released = release(state, "L")
+    assert inner_released == (("L", 1),)
+    assert held_locks(inner_released) == ("L",)
+
+
+def test_join_is_pointwise_minimum():
+    a = acquire(acquire(EMPTY_LOCKS, "L"), "L")  # L:2
+    b = acquire(acquire(EMPTY_LOCKS, "L"), "M")  # L:1, M:1
+    assert join_locks(a, b) == (("L", 1),)
+    assert join_locks(a, EMPTY_LOCKS) == EMPTY_LOCKS
+
+
+# ---------------------------------------------------------------------------
+# CFG shape: early returns, loops, cleanups
+# ---------------------------------------------------------------------------
+
+def test_early_return_paths_both_reach_exit():
+    func = _first_function(
+        """
+        def f(flag):
+            if flag:
+                return 1
+            return 2
+        """
+    )
+    cfg = build_cfg(func)
+    returns = [
+        n for n in cfg.nodes if isinstance(n.stmt, ast.Return)
+    ]
+    assert len(returns) == 2
+    for node in returns:
+        assert cfg.reaches(node.nid, cfg.exit.nid)
+    # The branch point reaches both returns.
+    test_node = next(n for n in cfg.nodes if isinstance(n.stmt, ast.If))
+    for node in returns:
+        assert cfg.reaches(test_node.nid, node.nid)
+
+
+def test_return_inside_with_routes_through_with_exit():
+    func = _first_function(
+        """
+        def f(self):
+            with self._lock:
+                return 1
+        """
+    )
+    cfg = build_cfg(func)
+    with_exit = next(n for n in cfg.nodes if n.kind == "with_exit")
+    return_node = next(
+        n for n in cfg.nodes if isinstance(n.stmt, ast.Return)
+    )
+    # No path from the return to exit that skips the with_exit node.
+    assert cfg.reaches(return_node.nid, cfg.exit.nid)
+    assert not cfg.reaches(
+        return_node.nid, cfg.exit.nid, avoiding={with_exit.nid}
+    )
+
+
+def test_try_finally_runs_on_early_return():
+    func = _first_function(
+        """
+        def f(self):
+            try:
+                if self.flag:
+                    return 1
+                self.x = 2
+            finally:
+                self.cleanup()
+            return 3
+        """
+    )
+    cfg = build_cfg(func)
+    finally_enter = next(
+        n for n in cfg.nodes if n.kind == "finally_enter"
+    )
+    # Every path to exit passes through the finally suite.
+    assert not cfg.reaches(
+        cfg.entry.nid, cfg.exit.nid, avoiding={finally_enter.nid}
+    )
+
+
+def test_while_true_exits_only_via_break():
+    func = _first_function(
+        """
+        def f(self):
+            while True:
+                if self.done:
+                    break
+                self.step()
+            return 1
+        """
+    )
+    cfg = build_cfg(func)
+    break_node = next(
+        n for n in cfg.nodes if isinstance(n.stmt, ast.Break)
+    )
+    assert not cfg.reaches(
+        cfg.entry.nid, cfg.exit.nid, avoiding={break_node.nid}
+    )
+
+
+def test_break_routes_through_inner_with_only():
+    source = """
+        def f(self):
+            with self._outer:
+                while self.go:
+                    with self._inner:
+                        if self.stop:
+                            break
+                self.tail()
+        """
+    func = _first_function(source)
+    cfg = build_cfg(func)
+    states = run_forward(cfg, EMPTY_LOCKS, lock_transfer)
+    tail = next(
+        n
+        for n in cfg.nodes
+        if n.stmt is not None
+        and isinstance(n.stmt, ast.Expr)
+        and "tail" in ast.dump(n.stmt)
+    )
+    # After the break, _inner is released but _outer is still held.
+    state_in, _ = states[tail.nid]
+    assert held_locks(state_in) == ("self._outer",)
+
+
+# ---------------------------------------------------------------------------
+# Dataflow over locks
+# ---------------------------------------------------------------------------
+
+def test_nested_with_same_rlock_keeps_lock_after_inner_exit():
+    flow = _flow(
+        """
+        class C:
+            def f(self):
+                with self._lock:
+                    with self._lock:
+                        self.a()
+                    self.b()
+                self.c()
+        """
+    )
+    func = flow.functions["C.f"]
+    calls = {}
+    for node in func.cfg.nodes:
+        if node.stmt is None or not isinstance(node.stmt, ast.Expr):
+            continue
+        name = ast.dump(node.stmt)
+        for tag in ("a", "b", "c"):
+            if f"attr='{tag}'" in name:
+                calls[tag] = func.held_at(node.nid)
+    assert calls["a"] == ("_lock",)  # inner region, count 2
+    assert calls["b"] == ("_lock",)  # between inner and outer exit
+    assert calls["c"] == ()          # fully released
+
+
+def test_must_join_drops_branch_only_lock():
+    flow = _flow(
+        """
+        class C:
+            def f(self, flag):
+                if flag:
+                    self._lock.acquire()
+                self.touch()
+        """
+    )
+    func = flow.functions["C.f"]
+    touch = next(
+        n
+        for n in func.cfg.nodes
+        if n.stmt is not None and "touch" in ast.dump(n.stmt)
+    )
+    # Held on one branch only -> not held in the must-analysis.
+    assert func.held_at(touch.nid) == ()
+
+
+def test_explicit_acquire_release_tracked():
+    flow = _flow(
+        """
+        class C:
+            def f(self):
+                self._lock.acquire()
+                self.touch()
+                self._lock.release()
+                self.after()
+        """
+    )
+    func = flow.functions["C.f"]
+    by_tag = {}
+    for node in func.cfg.nodes:
+        if node.stmt is None:
+            continue
+        dump = ast.dump(node.stmt)
+        for tag in ("touch", "after"):
+            if f"attr='{tag}'" in dump:
+                by_tag[tag] = func.held_at(node.nid)
+    assert by_tag["touch"] == ("_lock",)
+    assert by_tag["after"] == ()
+
+
+def test_comprehension_body_sees_enclosing_lock_state():
+    flow = _flow(
+        """
+        class C:
+            def f(self, rows):
+                with self._lock:
+                    snapshot = [self._data[r] for r in rows]
+                return snapshot
+        """
+    )
+    func = flow.functions["C.f"]
+    assign = next(
+        n
+        for n in func.cfg.nodes
+        if n.stmt is not None and isinstance(n.stmt, ast.Assign)
+    )
+    assert func.held_at(assign.nid) == ("_lock",)
+
+
+def test_exception_edge_reaches_handler_with_try_entry_state():
+    flow = _flow(
+        """
+        class C:
+            def f(self):
+                try:
+                    with self._lock:
+                        self.work()
+                except ValueError:
+                    self.recover()
+        """
+    )
+    func = flow.functions["C.f"]
+    recover = next(
+        n
+        for n in func.cfg.nodes
+        if n.stmt is not None and "recover" in ast.dump(n.stmt)
+    )
+    # The handler is reachable and must not assume the lock is held.
+    assert recover.nid in func.states
+    assert func.held_at(recover.nid) == ()
+
+
+# ---------------------------------------------------------------------------
+# Call-graph propagation
+# ---------------------------------------------------------------------------
+
+def test_private_helper_inherits_call_site_locks():
+    flow = _flow(
+        """
+        class C:
+            def take(self):
+                with self._cond:
+                    return self._pop()
+
+            def also(self):
+                with self._cond:
+                    self._pop()
+
+            def _pop(self):
+                return self._head
+        """
+    )
+    helper = flow.functions["C._pop"]
+    assert held_locks(helper.entry_state) == ("self._cond",)
+
+
+def test_helper_entry_is_intersection_of_call_sites():
+    flow = _flow(
+        """
+        class C:
+            def locked(self):
+                with self._cond:
+                    self._mixed()
+
+            def unlocked(self):
+                self._mixed()
+
+            def _mixed(self):
+                return self._head
+        """
+    )
+    helper = flow.functions["C._mixed"]
+    assert helper.entry_state == EMPTY_LOCKS
+
+
+def test_public_method_never_assumes_locks():
+    flow = _flow(
+        """
+        class C:
+            def outer(self):
+                with self._cond:
+                    self.inner()
+
+            def inner(self):
+                return self._head
+        """
+    )
+    assert flow.functions["C.inner"].entry_state == EMPTY_LOCKS
+
+
+def test_transitive_propagation_two_levels():
+    flow = _flow(
+        """
+        class C:
+            def api(self):
+                with self._cond:
+                    self._a()
+
+            def _a(self):
+                self._b()
+
+            def _b(self):
+                return self._head
+        """
+    )
+    assert held_locks(flow.functions["C._b"].entry_state) == ("self._cond",)
+
+
+def test_call_graph_records_local_edges():
+    flow = _flow(
+        """
+        def helper():
+            return 1
+
+        class C:
+            def m(self):
+                helper()
+                self._n()
+
+            def _n(self):
+                pass
+        """
+    )
+    callees = flow.call_graph.callees_of("C.m")
+    assert set(callees) == {"helper", "C._n"}
+    assert flow.call_graph.callers_of("C._n")[0].caller == "C.m"

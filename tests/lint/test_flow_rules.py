@@ -1,0 +1,627 @@
+"""Positive/negative fixtures for the flow-aware rule families.
+
+CONC001 (guarded-by), CONC002 (blocking under lock), CONC003 (lock
+order), EPOCH001 (epoch bump on every path) and OBS001/OBS002 (metric
+catalog contract).  Same shape as test_rules.py: each snippet is the
+smallest program that should (or should not) trip the rule.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, Linter
+
+SERVING_PATH = "src/repro/serving/fake_pool.py"
+BANK_PATH = "src/repro/dram/bank.py"
+DEVICE_PATH = "src/repro/dram/device.py"
+INJECTOR_PATH = "src/repro/faults/injector.py"
+OBS_PATH = "src/repro/obs/fake_runtime.py"
+
+
+def codes(source, path=SERVING_PATH, **config_kwargs):
+    config = LintConfig(check_unused_suppressions=False, **config_kwargs)
+    report = Linter(config).lint_source(textwrap.dedent(source), path=path)
+    return [violation.code for violation in report.violations]
+
+
+def violations(source, path=SERVING_PATH):
+    config = LintConfig(check_unused_suppressions=False)
+    report = Linter(config).lint_source(textwrap.dedent(source), path=path)
+    return list(report.violations)
+
+
+# ---------------------------------------------------------------------------
+# CONC001 — guarded-by attribute accessed outside its lock
+# ---------------------------------------------------------------------------
+
+GUARDED_CLASS = textwrap.dedent(
+    """
+    import threading
+
+    class Pool:
+        def __init__(self):
+            self._cond = threading.Condition()
+            self._size = 0  # guarded-by: _cond
+    """
+)
+
+
+def _pool(body):
+    methods = textwrap.indent(textwrap.dedent(body).strip("\n"), "    ")
+    return GUARDED_CLASS + "\n" + methods + "\n"
+
+
+def test_conc001_flags_unguarded_read():
+    assert "CONC001" in codes(_pool(
+        """
+        def peek(self):
+            return self._size
+        """
+    ))
+
+
+def test_conc001_flags_unguarded_write():
+    assert "CONC001" in codes(_pool(
+        """
+        def reset(self):
+            self._size = 0
+        """
+    ))
+
+
+def test_conc001_allows_access_under_lock():
+    assert "CONC001" not in codes(_pool(
+        """
+        def peek(self):
+            with self._cond:
+                return self._size
+        """
+    ))
+
+
+def test_conc001_flags_access_after_lock_released():
+    assert "CONC001" in codes(_pool(
+        """
+        def peek(self):
+            with self._cond:
+                pass
+            return self._size
+        """
+    ))
+
+
+def test_conc001_allows_private_helper_called_under_lock():
+    assert "CONC001" not in codes(_pool(
+        """
+        def take(self):
+            with self._cond:
+                return self._pop()
+
+        def _pop(self):
+            self._size -= 1
+            return self._size
+        """
+    ))
+
+
+def test_conc001_flags_helper_also_called_without_lock():
+    assert "CONC001" in codes(_pool(
+        """
+        def take(self):
+            with self._cond:
+                return self._pop()
+
+        def leak(self):
+            return self._pop()
+
+        def _pop(self):
+            self._size -= 1
+            return self._size
+        """
+    ))
+
+
+def test_conc001_locked_suffix_body_exempt_but_call_site_checked():
+    # The _locked body trusts its caller; the unlocked call site is the bug.
+    result = codes(_pool(
+        """
+        def size_locked(self):
+            return self._size
+
+        def outside(self):
+            return self.size_locked()
+        """
+    ))
+    assert result.count("CONC001") == 1
+
+
+def test_conc001_branch_where_lock_not_held_on_all_paths():
+    assert "CONC001" in codes(_pool(
+        """
+        def maybe(self, flag):
+            if flag:
+                self._cond.acquire()
+            return self._size
+        """
+    ))
+
+
+def test_conc001_silent_in_tests_scope():
+    source = _pool(
+        """
+        def peek(self):
+            return self._size
+        """
+    )
+    assert "CONC001" not in codes(source, path="tests/fake_test.py")
+
+
+def test_conc001_respects_noqa():
+    assert "CONC001" not in codes(_pool(
+        """
+        def peek(self):
+            return self._size  # repro: noqa[CONC001]
+        """
+    ))
+
+
+# ---------------------------------------------------------------------------
+# CONC002 — blocking call while holding a lock
+# ---------------------------------------------------------------------------
+
+def test_conc002_flags_sleep_under_lock():
+    assert "CONC002" in codes(
+        """
+        import threading
+        import time
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def spin(self):
+                with self._lock:
+                    time.sleep(0.01)
+        """
+    )
+
+
+def test_conc002_flags_harvest_under_lock():
+    assert "CONC002" in codes(
+        """
+        class Refiller:
+            def refill(self):
+                with self._lock:
+                    self._source.harvest(4096)
+        """
+    )
+
+
+def test_conc002_allows_sleep_outside_lock():
+    assert "CONC002" not in codes(
+        """
+        import time
+
+        class Worker:
+            def spin(self):
+                with self._lock:
+                    pass
+                time.sleep(0.01)
+        """
+    )
+
+
+def test_conc002_condition_wait_on_held_lock_is_fine():
+    # Condition.wait releases the condition it waits on; only *other*
+    # held locks make it a blocking-under-lock bug.
+    assert "CONC002" not in codes(
+        """
+        class Pool:
+            def take(self):
+                with self._cond:
+                    while not self._ready:
+                        self._cond.wait()
+        """
+    )
+
+
+def test_conc002_condition_wait_with_second_lock_held():
+    assert "CONC002" in codes(
+        """
+        class Pool:
+            def take(self):
+                with self._other:
+                    with self._cond:
+                        self._cond.wait()
+        """
+    )
+
+
+# ---------------------------------------------------------------------------
+# CONC003 — inconsistent lock acquisition order
+# ---------------------------------------------------------------------------
+
+def test_conc003_flags_reversed_order():
+    found = violations(
+        """
+        class Duo:
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+        """
+    )
+    conc = [v for v in found if v.code == "CONC003"]
+    assert len(conc) == 1
+    # The report lands at the second (conflicting) acquisition and
+    # names the first so the reader can pick a canonical order.
+    assert "forward" in conc[0].message or "_a" in conc[0].message
+
+
+def test_conc003_consistent_order_is_clean():
+    assert "CONC003" not in codes(
+        """
+        class Duo:
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def also_forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+        """
+    )
+
+
+def test_conc003_reentrant_same_lock_is_not_an_order():
+    assert "CONC003" not in codes(
+        """
+        class Solo:
+            def reenter(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+        """
+    )
+
+
+# ---------------------------------------------------------------------------
+# EPOCH001 — state mutations must bump the epoch on every path
+# ---------------------------------------------------------------------------
+
+def test_epoch001_flags_container_mutation_without_bump():
+    assert "EPOCH001" in codes(
+        """
+        class Bank:
+            def poison(self, row):
+                self._rows[row] = None
+        """,
+        path=BANK_PATH,
+    )
+
+
+def test_epoch001_bump_after_mutation_is_clean():
+    assert "EPOCH001" not in codes(
+        """
+        class Bank:
+            def poison(self, row):
+                self._rows[row] = None
+                self._epoch += 1
+        """,
+        path=BANK_PATH,
+    )
+
+
+def test_epoch001_bump_before_mutation_is_clean():
+    assert "EPOCH001" not in codes(
+        """
+        class Bank:
+            def poison(self, row):
+                self._epoch += 1
+                self._rows[row] = None
+        """,
+        path=BANK_PATH,
+    )
+
+
+def test_epoch001_flags_early_return_path_that_skips_bump():
+    assert "EPOCH001" in codes(
+        """
+        class Bank:
+            def poison(self, row, dry_run):
+                self._rows[row] = None
+                if dry_run:
+                    return
+                self._epoch += 1
+        """,
+        path=BANK_PATH,
+    )
+
+
+def test_epoch001_bump_in_finally_covers_every_path():
+    assert "EPOCH001" not in codes(
+        """
+        class Bank:
+            def poison(self, row, dry_run):
+                try:
+                    self._rows[row] = None
+                    if dry_run:
+                        return
+                finally:
+                    self._epoch += 1
+        """,
+        path=BANK_PATH,
+    )
+
+
+def test_epoch001_flags_mutator_method_call():
+    assert "EPOCH001" in codes(
+        """
+        class Bank:
+            def wipe(self):
+                self._rows.clear()
+        """,
+        path=BANK_PATH,
+    )
+
+
+def test_epoch001_tracks_alias_from_row_bits():
+    assert "EPOCH001" in codes(
+        """
+        class Bank:
+            def flip(self, row, col):
+                bits = self._row_bits(row)
+                bits[col] ^= 1
+        """,
+        path=BANK_PATH,
+    )
+
+
+def test_epoch001_value_attr_on_device():
+    source = """
+        class DramDevice:
+            def set_temperature(self, temperature_c):
+                self._temperature_c = temperature_c
+        """
+    assert "EPOCH001" in codes(source, path=DEVICE_PATH)
+    fixed = """
+        class DramDevice:
+            def set_temperature(self, temperature_c):
+                if temperature_c != self._temperature_c:
+                    self._epoch += 1
+                    self._temperature_c = temperature_c
+        """
+    assert "EPOCH001" not in codes(fixed, path=DEVICE_PATH)
+
+
+def test_epoch001_fault_injector_uses_fault_epoch():
+    source = """
+        class FaultInjector:
+            def schedule(self, fault):
+                self._schedule.append(fault)
+        """
+    assert "EPOCH001" in codes(source, path=INJECTOR_PATH)
+    fixed = """
+        class FaultInjector:
+            def schedule(self, fault):
+                self._schedule.append(fault)
+                self._fault_epoch += 1
+        """
+    assert "EPOCH001" not in codes(fixed, path=INJECTOR_PATH)
+
+
+def test_epoch001_init_is_exempt():
+    assert "EPOCH001" not in codes(
+        """
+        class Bank:
+            def __init__(self):
+                self._rows = {}
+                self._epoch = 0
+        """,
+        path=BANK_PATH,
+    )
+
+
+def test_epoch001_other_files_are_out_of_scope():
+    assert "EPOCH001" not in codes(
+        """
+        class Bank:
+            def poison(self, row):
+                self._rows[row] = None
+        """,
+        path=SERVING_PATH,
+    )
+
+
+def test_epoch001_respects_noqa():
+    assert "EPOCH001" not in codes(
+        """
+        class Bank:
+            def materialize(self, row, bits):
+                self._rows[row] = bits  # repro: noqa[EPOCH001]
+        """,
+        path=BANK_PATH,
+    )
+
+
+# ---------------------------------------------------------------------------
+# OBS001 — undeclared metric names
+# ---------------------------------------------------------------------------
+
+def test_obs001_flags_name_missing_from_catalog():
+    assert "OBS001" in codes(
+        """
+        from repro.obs.runtime import counter_add
+
+        counter_add("drange_totally_made_up_total", 1)
+        """,
+        path=OBS_PATH,
+    )
+
+
+def test_obs001_allows_declared_name():
+    assert "OBS001" not in codes(
+        """
+        from repro.obs.runtime import counter_add
+
+        counter_add("drange_sampler_bits_total", 1)
+        """,
+        path=OBS_PATH,
+    )
+
+
+def test_obs001_checks_registry_methods_with_drange_prefix():
+    assert "OBS001" in codes(
+        """
+        def setup(registry):
+            return registry.counter("drange_nope_total", "desc")
+        """,
+        path=OBS_PATH,
+    )
+
+
+def test_obs001_ignores_non_drange_registry_names():
+    # Third-party style names are out of contract scope.
+    assert "OBS001" not in codes(
+        """
+        def setup(registry):
+            return registry.counter("process_cpu_seconds_total", "desc")
+        """,
+        path=OBS_PATH,
+    )
+
+
+def test_obs001_silent_in_tests():
+    assert "OBS001" not in codes(
+        """
+        from repro.obs.runtime import counter_add
+
+        counter_add("drange_totally_made_up_total", 1)
+        """,
+        path="tests/obs/fake_test.py",
+    )
+
+
+# ---------------------------------------------------------------------------
+# OBS002 — catalog entries that nothing uses (project phase)
+# ---------------------------------------------------------------------------
+
+CATALOG_SOURCE = textwrap.dedent(
+    '''
+    """Fixture catalog."""
+
+    class CatalogEntry:
+        def __init__(self, kind, help):
+            self.kind = kind
+            self.help = help
+
+
+    CATALOG = {
+        "drange_used_total": CatalogEntry("counter", "used"),
+        "drange_orphan_total": CatalogEntry("counter", "never emitted"),
+    }
+    '''
+)
+
+USER_SOURCE = textwrap.dedent(
+    '''
+    """Fixture emitter."""
+
+    def emit(counter_add):
+        counter_add("drange_used_total", 1)
+    '''
+)
+
+
+def _obs_tree(tmp_path, catalog=CATALOG_SOURCE, user=USER_SOURCE):
+    pkg = tmp_path / "repro" / "obs"
+    pkg.mkdir(parents=True)
+    (pkg / "catalog.py").write_text(catalog)
+    (pkg / "runtime.py").write_text(user)
+    return tmp_path / "repro"
+
+
+def test_obs002_flags_orphan_entry(tmp_path):
+    root = _obs_tree(tmp_path)
+    config = LintConfig(check_unused_suppressions=False)
+    result = Linter(config).lint_paths([str(root)])
+    obs2 = [v for v in result.violations if v.code == "OBS002"]
+    assert len(obs2) == 1
+    assert "drange_orphan_total" in obs2[0].message
+    # Anchored at the catalog entry's own line, not the module head.
+    assert obs2[0].path.endswith("repro/obs/catalog.py")
+    assert obs2[0].line > 1
+
+
+def test_obs002_clean_when_all_entries_used(tmp_path):
+    user = USER_SOURCE.replace(
+        'counter_add("drange_used_total", 1)',
+        'counter_add("drange_used_total", 1)\n'
+        '    counter_add("drange_orphan_total", 1)',
+    )
+    root = _obs_tree(tmp_path, user=user)
+    config = LintConfig(check_unused_suppressions=False)
+    result = Linter(config).lint_paths([str(root)])
+    assert "OBS002" not in [v.code for v in result.violations]
+
+
+def test_obs002_silent_when_catalog_linted_alone(tmp_path):
+    # Linting only the catalog gives no visibility into use sites, so
+    # the project-phase rule must not cry wolf.
+    root = _obs_tree(tmp_path)
+    config = LintConfig(check_unused_suppressions=False)
+    result = Linter(config).lint_paths([str(root / "obs" / "catalog.py")])
+    assert "OBS002" not in [v.code for v in result.violations]
+
+
+def test_obs002_suppressible_at_catalog_entry(tmp_path):
+    catalog = CATALOG_SOURCE.replace(
+        '"drange_orphan_total": CatalogEntry("counter", "never emitted"),',
+        '"drange_orphan_total": CatalogEntry("counter", "never emitted"),'
+        "  # repro: noqa[OBS002]",
+    )
+    root = _obs_tree(tmp_path, catalog=catalog)
+    config = LintConfig(check_unused_suppressions=False)
+    result = Linter(config).lint_paths([str(root)])
+    assert "OBS002" not in [v.code for v in result.violations]
+
+
+# ---------------------------------------------------------------------------
+# Severity / metadata sanity for the new families
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "code", ["CONC001", "CONC002", "CONC003", "EPOCH001", "OBS001", "OBS002"]
+)
+def test_new_rules_are_registered(code):
+    from repro.lint import REGISTRY
+
+    assert code in REGISTRY
+
+
+def test_new_rules_render_in_json_report():
+    from repro.lint import LintResult, render_json
+
+    config = LintConfig(check_unused_suppressions=False)
+    report = Linter(config).lint_source(
+        textwrap.dedent(
+            """
+            class Bank:
+                def poison(self, row):
+                    self._rows[row] = None
+            """
+        ),
+        path=BANK_PATH,
+    )
+    result = LintResult(reports=(report,), config=config)
+    payload = json.loads(render_json(result))
+    assert any(v["code"] == "EPOCH001" for v in payload["violations"])

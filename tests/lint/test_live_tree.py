@@ -1,15 +1,26 @@
 """Tier-1 gate: the live source tree satisfies its own invariants."""
 
+import time
 from pathlib import Path
 
 from repro.lint import LintConfig, Linter
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
+#: CI runs the sweep under `timeout 30`; mirror the budget here so a
+#: pathological rule regression fails in pytest before it fails in CI.
+#: A full sweep currently takes ~3s — 10x headroom.
+LINT_BUDGET_S = 30.0
+
 
 def test_src_repro_is_lint_clean():
     """`repro.lint` runs clean over src/repro (acceptance criterion)."""
+    started = time.monotonic()
     result = Linter(LintConfig()).lint_paths([str(REPO_ROOT / "src" / "repro")])
+    elapsed = time.monotonic() - started
+    assert elapsed < LINT_BUDGET_S, (
+        f"lint sweep took {elapsed:.1f}s, budget is {LINT_BUDGET_S:.0f}s"
+    )
     assert result.files_checked > 100
     assert result.violations == (), "\n".join(
         v.anchor + " " + v.code + " " + v.message for v in result.violations

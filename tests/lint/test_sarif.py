@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 reporter: schema validity and content fidelity.
+
+The validation schema in ``data/sarif-2.1.0-core.schema.json`` is a
+structural subset of the official OASIS schema (same property names,
+types, required sets and enums for everything repro.lint emits); the
+full ~250KB schema would need network access to fetch.  CI additionally
+uploads the artifact to code-scanning, which applies the real thing.
+"""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    REGISTRY,
+    SARIF_VERSION,
+    LintConfig,
+    Linter,
+    LintResult,
+    render_sarif,
+)
+
+jsonschema = pytest.importorskip("jsonschema")
+
+SCHEMA_PATH = (
+    pathlib.Path(__file__).parent / "data" / "sarif-2.1.0-core.schema.json"
+)
+
+DIRTY_SNIPPET = textwrap.dedent(
+    """
+    class Bank:
+        def poison(self, row):
+            self._rows[row] = None
+    """
+)
+
+
+def _sarif_for(source, path="src/repro/dram/bank.py"):
+    config = LintConfig(check_unused_suppressions=False)
+    report = Linter(config).lint_source(source, path=path)
+    result = LintResult(reports=(report,), config=config)
+    return json.loads(render_sarif(result))
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+def test_clean_result_validates(schema):
+    doc = _sarif_for("x = 1\n", path="src/repro/ok.py")
+    jsonschema.validate(doc, schema)
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert doc["runs"][0]["results"] == []
+
+
+def test_dirty_result_validates(schema):
+    doc = _sarif_for(DIRTY_SNIPPET)
+    jsonschema.validate(doc, schema)
+    assert doc["runs"][0]["results"]
+
+
+def test_result_carries_rule_and_location():
+    doc = _sarif_for(DIRTY_SNIPPET)
+    results = doc["runs"][0]["results"]
+    epoch = next(r for r in results if r["ruleId"] == "EPOCH001")
+    assert epoch["level"] == "error"
+    location = epoch["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/dram/bank.py"
+    assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+    assert location["region"]["startLine"] >= 1
+    assert location["region"]["startColumn"] >= 1
+
+
+def test_rule_index_points_at_matching_descriptor():
+    doc = _sarif_for(DIRTY_SNIPPET)
+    run = doc["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    for result in run["results"]:
+        descriptor = rules[result["ruleIndex"]]
+        assert descriptor["id"] == result["ruleId"]
+
+
+def test_driver_lists_every_registered_rule_plus_engine_codes():
+    doc = _sarif_for("x = 1\n", path="src/repro/ok.py")
+    ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+    assert set(REGISTRY) <= ids
+    assert {"PAR001", "NOQ001"} <= ids
+
+
+def test_parse_error_renders_as_valid_sarif(tmp_path, schema):
+    bad = tmp_path / "src" / "repro" / "broken.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def broken(:\n")
+    config = LintConfig(check_unused_suppressions=False)
+    result = Linter(config).lint_paths([str(bad)])
+    doc = json.loads(render_sarif(result))
+    jsonschema.validate(doc, schema)
+    par = [
+        r for r in doc["runs"][0]["results"] if r["ruleId"] == "PAR001"
+    ]
+    assert len(par) == 1
+    region = par[0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+def test_sarif_output_is_deterministic():
+    config = LintConfig(check_unused_suppressions=False)
+    first = Linter(config).lint_source(DIRTY_SNIPPET, path="src/repro/dram/bank.py")
+    second = Linter(config).lint_source(DIRTY_SNIPPET, path="src/repro/dram/bank.py")
+    a = render_sarif(LintResult(reports=(first,), config=config))
+    b = render_sarif(LintResult(reports=(second,), config=config))
+    assert a == b

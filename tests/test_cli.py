@@ -177,3 +177,25 @@ class TestLintSubcommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "ENT001" in out
+        assert "CONC001" in out
+        assert "EPOCH001" in out
+
+    def test_lint_forwards_sarif_format(self, capsys):
+        code = main(["lint", "--format", "sarif"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert '"version": "2.1.0"' in out
+
+    def test_lint_changed_without_base_gets_default_path(self, capsys):
+        # `--changed` takes an optional base; the default src/repro must
+        # be prepended (a trailing path would be eaten as the base).
+        code = main(["lint", "--changed"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "file(s) checked" in out or "no Python files changed" in out
+
+    def test_lint_changed_with_base_gets_default_path(self, capsys):
+        code = main(["lint", "--changed", "HEAD"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "file(s) checked" in out or "no Python files changed" in out
