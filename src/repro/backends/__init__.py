@@ -1,0 +1,57 @@
+"""Pluggable in-DRAM TRNG mechanisms behind one protocol.
+
+``repro.backends`` hosts the :class:`~repro.backends.base.TrngBackend`
+interface (characterize → compile → sample), the name registry, and
+the two built-in mechanisms:
+
+* ``"drange"`` — the paper's tRCD-violation sampling
+  (:class:`~repro.backends.drange.DRangeBackend`, the default);
+* ``"quac"`` — QUAC-TRNG-style quadruple-row activation with SHA-256
+  conditioning (:class:`~repro.backends.quac.QuacBackend`).
+
+Importing this package registers both; third-party mechanisms register
+through :func:`~repro.backends.base.register_backend`.
+"""
+
+from repro.backends.base import (
+    DEFAULT_BACKEND,
+    BackendPlan,
+    BackendProfile,
+    TrngBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+    require_backend,
+)
+from repro.backends.drange import DRangeBackend, DRangePlan, DRangeProfile
+from repro.backends.quac import (
+    QuacBackend,
+    QuacPlan,
+    QuacProfile,
+    QuacSite,
+    quac_iteration_time_ns,
+    quac_iteration_trace,
+)
+
+register_backend(DRangeBackend.name, DRangeBackend)
+register_backend(QuacBackend.name, QuacBackend)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "BackendPlan",
+    "BackendProfile",
+    "TrngBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "require_backend",
+    "DRangeBackend",
+    "DRangePlan",
+    "DRangeProfile",
+    "QuacBackend",
+    "QuacPlan",
+    "QuacProfile",
+    "QuacSite",
+    "quac_iteration_time_ns",
+    "quac_iteration_trace",
+]

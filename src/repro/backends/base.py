@@ -1,0 +1,164 @@
+"""The TRNG backend interface and registry.
+
+D-RaNGe is one member of a family of in-DRAM TRNG mechanisms; QUAC-TRNG
+and the SiMRA studies harvest entropy from *multi-row* activation
+instead of tRCD violations.  This module factors what every mechanism
+has in common into a three-step protocol:
+
+1. ``characterize(device) -> profile`` — offline: probe the device,
+   write whatever data pattern the mechanism needs, and record which
+   locations yield entropy (D-RaNGe's Algorithm 1; QUAC's balanced
+   pattern initialization);
+2. ``compile_plan(profile) -> plan`` — snapshot the per-location
+   probabilities and the command schedule into an execution plan,
+   stamped with the device ``state_epoch`` it was built at;
+3. ``sample(plan, num_bits, out=) -> bits`` — the online loop.
+
+Backends register here by name; :func:`require_backend` rejects unknown
+names with a typed :class:`~repro.errors.UnknownBackendError` *before*
+any device work starts, so a misspelled CLI flag or channel config can
+never leave a device half-characterized.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.errors import UnknownBackendError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.profiling import Region
+    from repro.dram.device import DramDevice
+
+
+@runtime_checkable
+class BackendProfile(Protocol):
+    """Characterization artifact of one (device, backend) pair.
+
+    ``epoch`` is the device ``state_epoch`` recorded when
+    characterization finished; :meth:`is_stale` compares it against the
+    live device so caches (notably
+    :meth:`~repro.dram.device.DeviceFactory.characterize`) never serve
+    a profile across a stored-state mutation.
+    """
+
+    backend: str
+    epoch: int
+
+    @property
+    def cells(self) -> tuple:
+        """The harvest locations this profile identified (non-empty)."""
+        ...
+
+    def is_stale(self, device: "DramDevice") -> bool:
+        """True when the device mutated since this profile was taken."""
+        ...
+
+
+@runtime_checkable
+class BackendPlan(Protocol):
+    """Compiled execution plan: probabilities + schedule at one epoch."""
+
+    backend: str
+    epoch: int
+
+    @property
+    def bits_per_iteration(self) -> int:
+        """Output bits one sampling-loop iteration yields."""
+        ...
+
+    @property
+    def iteration_ns(self) -> float:
+        """Modeled DRAM time of one sampling-loop iteration."""
+        ...
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Modeled sustained throughput in Mb/s."""
+        ...
+
+    def is_stale(self, device: "DramDevice") -> bool:
+        """True when the device mutated since this plan was compiled."""
+        ...
+
+
+@runtime_checkable
+class TrngBackend(Protocol):
+    """One in-DRAM TRNG mechanism: characterize → compile → sample."""
+
+    name: str
+
+    def characterize(
+        self,
+        device: "DramDevice",
+        *,
+        region: Optional["Region"] = None,
+        iterations: int = 100,
+        samples: int = 1000,
+        max_cells: Optional[int] = None,
+    ) -> BackendProfile:
+        """Offline phase: probe ``device`` and return its profile."""
+        ...
+
+    def compile_plan(self, profile: BackendProfile) -> BackendPlan:
+        """Snapshot ``profile`` into an execution plan at the current epoch."""
+        ...
+
+    def sample(
+        self,
+        plan: BackendPlan,
+        num_bits: int,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Online phase: harvest ``num_bits`` random bits under ``plan``."""
+        ...
+
+
+#: Name of the default backend (the paper's tRCD-violation mechanism).
+DEFAULT_BACKEND = "drange"
+
+_REGISTRY: Dict[str, Callable[..., TrngBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., TrngBackend]) -> None:
+    """Register ``factory`` (typically the backend class) under ``name``."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted for stable iteration."""
+    return tuple(sorted(_REGISTRY))
+
+
+def require_backend(name: str) -> str:
+    """Validate ``name`` against the registry; return it unchanged.
+
+    Raises :class:`~repro.errors.UnknownBackendError` for unregistered
+    names.  Call this *before* touching any device so configuration
+    typos fail fast and side-effect free.
+    """
+    if name not in _REGISTRY:
+        raise UnknownBackendError(name, available_backends())
+    return name
+
+
+def create_backend(name: str, **options: object) -> TrngBackend:
+    """Instantiate the backend registered under ``name``.
+
+    ``options`` are forwarded to the backend factory (e.g.
+    ``trcd_ns=`` for ``"drange"``, ``group_rows=`` for ``"quac"``).
+    """
+    require_backend(name)
+    return _REGISTRY[name](**options)

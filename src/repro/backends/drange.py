@@ -1,0 +1,204 @@
+"""The default backend: D-RaNGe's tRCD-violation mechanism.
+
+This is the existing `profile → identify → select → sample` pipeline
+(:mod:`repro.core`) factored behind the :class:`~repro.backends.base
+.TrngBackend` protocol.  The sampling path is *the same*
+:class:`~repro.core.sampler.DRangeSampler` the :class:`~repro.core
+.drange.DRange` facade drives, so seeded outputs through this backend
+are bit-identical to the pre-refactor ``generate_fast`` path — pinned
+by ``tests/backends/test_drange_backend.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.identification import RngCell, RngCellRegistry, identify_rng_cells
+from repro.core.profiling import Region, profile_region
+from repro.core.sampler import DEFAULT_SAMPLING_TRCD_NS, DRangeSampler
+from repro.core.selection import BankPlan, select_words
+from repro.core.throughput import alg2_iteration_time_ns
+from repro.dram.datapattern import BEST_RNG_PATTERN, DataPattern, pattern_by_name
+from repro.errors import IdentificationError
+from repro.memctrl.controller import MemoryController
+from repro.obs import runtime as obs
+from repro.units import mbps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dram.device import DramDevice
+
+_OBS_BITS = obs.bound_counter("drange_backend_bits_total", backend="drange")
+_OBS_NS_PER_BIT = obs.bound_histogram("drange_backend_sample_ns_per_bit", backend="drange")
+
+
+@dataclass
+class DRangeProfile:
+    """Identified RNG cells of one device, under one pattern and tRCD."""
+
+    device: "DramDevice"
+    rng_cells: List[RngCell]
+    pattern: DataPattern
+    trcd_ns: float
+    epoch: int
+    backend: str = field(default="drange")
+
+    @property
+    def cells(self) -> Tuple[RngCell, ...]:
+        """The identified RNG cells (the profile's harvest locations)."""
+        return tuple(self.rng_cells)
+
+    def is_stale(self, device: "DramDevice") -> bool:
+        """True when the device mutated since identification ran."""
+        return self.epoch != device.state_epoch
+
+
+@dataclass
+class DRangePlan:
+    """Compiled D-RaNGe execution plan: a bound Algorithm 2 sampler."""
+
+    profile: DRangeProfile
+    sampler: DRangeSampler
+    bank_plans: List[BankPlan]
+    epoch: int
+    iteration_time_ns: float
+    backend: str = field(default="drange")
+
+    @property
+    def bits_per_iteration(self) -> int:
+        """RNG-cell bits one Algorithm 2 iteration yields across banks."""
+        return self.sampler.data_rate_bits_per_iteration
+
+    @property
+    def iteration_ns(self) -> float:
+        """Modeled steady-state time of one Algorithm 2 iteration."""
+        return self.iteration_time_ns
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Equation 1: data rate over iteration time, in Mb/s."""
+        if not self.bits_per_iteration:
+            return 0.0
+        return mbps(self.bits_per_iteration, self.iteration_time_ns)
+
+    def is_stale(self, device: "DramDevice") -> bool:
+        """True when the device mutated since compilation.
+
+        The embedded sampler re-validates its own compiled plan per
+        epoch on every generation call, so sampling through a "stale"
+        plan object is still correct — this check exists for protocol
+        symmetry and plan-cache bookkeeping.
+        """
+        return self.epoch != device.state_epoch
+
+
+class DRangeBackend:
+    """The tRCD-violation mechanism behind the backend protocol."""
+
+    name = "drange"
+
+    def __init__(
+        self,
+        trcd_ns: float = DEFAULT_SAMPLING_TRCD_NS,
+        pattern: Optional[DataPattern] = None,
+    ) -> None:
+        if trcd_ns <= 0:
+            raise ValueError(f"trcd_ns must be positive, got {trcd_ns}")
+        self._trcd_ns = trcd_ns
+        self._pattern = pattern
+
+    @property
+    def trcd_ns(self) -> float:
+        """Reduced activation latency used for probing and sampling."""
+        return self._trcd_ns
+
+    def _pattern_for(self, device: "DramDevice") -> DataPattern:
+        if self._pattern is not None:
+            return self._pattern
+        return pattern_by_name(BEST_RNG_PATTERN[device.profile.name])
+
+    def characterize(
+        self,
+        device: "DramDevice",
+        *,
+        region: Optional[Region] = None,
+        iterations: int = 100,
+        samples: int = 1000,
+        max_cells: Optional[int] = None,
+        registry: Optional[RngCellRegistry] = None,
+    ) -> DRangeProfile:
+        """Algorithm 1 + the entropy filter; returns the device profile.
+
+        Consumes the device noise stream exactly as the legacy
+        ``DRange.characterize`` + ``DRange.identify`` pair, so seeded
+        runs stay bit-identical to the pre-refactor path.  ``registry``
+        optionally receives the cells at the current temperature (the
+        :class:`~repro.core.drange.DRange` facade passes its own).
+        """
+        pattern = self._pattern_for(device)
+        characterization = profile_region(
+            device,
+            pattern,
+            region=region,
+            trcd_ns=self._trcd_ns,
+            iterations=iterations,
+        )
+        cells = identify_rng_cells(
+            device,
+            characterization.cells_in_band(),
+            trcd_ns=self._trcd_ns,
+            samples=samples,
+            max_cells=max_cells,
+        )
+        if registry is not None:
+            registry.store(device.temperature_c, cells)
+        return DRangeProfile(
+            device=device,
+            rng_cells=list(cells),
+            pattern=pattern,
+            trcd_ns=self._trcd_ns,
+            epoch=device.state_epoch,
+        )
+
+    def compile_plan(self, profile: DRangeProfile) -> DRangePlan:
+        """Select per-bank words and bind an Algorithm 2 sampler to them."""
+        device = profile.device
+        if not profile.rng_cells:
+            raise IdentificationError(
+                "identification produced no RNG cells; profile a larger "
+                "region or loosen the tolerance"
+            )
+        bank_plans = select_words(profile.rng_cells, device.geometry)
+        sampler = DRangeSampler(
+            MemoryController(device),
+            bank_plans,
+            trcd_ns=profile.trcd_ns,
+            pattern=profile.pattern,
+        )
+        iteration_time = alg2_iteration_time_ns(
+            device.timings, max(len(bank_plans), 1), profile.trcd_ns
+        )
+        return DRangePlan(
+            profile=profile,
+            sampler=sampler,
+            bank_plans=list(bank_plans),
+            epoch=device.state_epoch,
+            iteration_time_ns=iteration_time,
+        )
+
+    def sample(
+        self,
+        plan: DRangePlan,
+        num_bits: int,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Harvest ``num_bits`` via the plan's vectorized Algorithm 2 loop."""
+        with obs.span("backend.sample", backend=self.name, bits=num_bits) as sp:
+            bits = plan.sampler.generate_fast(num_bits, out=out)
+        if obs.enabled():
+            _OBS_BITS.add(num_bits)
+            if sp.elapsed_ns > 0:
+                _OBS_NS_PER_BIT.observe(sp.elapsed_ns / num_bits)
+        return bits

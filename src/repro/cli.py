@@ -3,6 +3,8 @@
 Usage (installed, or via ``python -m repro``)::
 
     python -m repro generate --bytes 32 --manufacturer A
+    python -m repro generate --backend quac --bytes 32
+    python -m repro backends
     python -m repro characterize --manufacturer B --rows 512
     python -m repro nist --bits 200000
     python -m repro faults --fault bias-drift --bits 20000
@@ -27,6 +29,7 @@ from typing import List, Optional
 from repro.core.drange import DRange
 from repro.core.profiling import Region
 from repro.dram.device import DeviceFactory
+from repro.errors import UnknownBackendError
 from repro.experiments.common import ExperimentConfig
 
 
@@ -57,6 +60,22 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--banks", type=int, default=4)
     generate.add_argument("--rows", type=int, default=512)
     generate.add_argument("--hex", action="store_true", help="print hex instead of raw")
+    generate.add_argument(
+        "--backend", default="drange",
+        help="TRNG backend name (list them with `repro backends`)",
+    )
+
+    backends = sub.add_parser(
+        "backends",
+        help="list registered TRNG backends with modeled stats and health",
+    )
+    backends.add_argument("--manufacturer", default="A", choices=["A", "B", "C"])
+    backends.add_argument("--banks", type=int, default=2)
+    backends.add_argument("--rows", type=int, default=64)
+    backends.add_argument(
+        "--health-bits", type=int, default=4096,
+        help="bits fed through the SP 800-90B monitor per backend",
+    )
 
     characterize = sub.add_parser(
         "characterize", help="run Algorithm 1 and summarize failures"
@@ -204,10 +223,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_drange(args, banks: int, rows: int) -> DRange:
+def _make_drange(
+    args, banks: int, rows: int, backend: str = "drange"
+) -> DRange:
+    # Validate the backend name before the factory touches any device
+    # state: a typo must not cost a characterization run.
+    from repro.backends import require_backend
+
+    require_backend(backend)
     factory = DeviceFactory(master_seed=args.master_seed, noise_seed=args.seed)
     device = factory.make_device(args.manufacturer, 0)
-    drange = DRange(device)
+    drange = DRange(device, backend=backend)
     drange.prepare(
         region=Region(banks=tuple(range(banks)), row_start=0, row_count=rows),
         iterations=100,
@@ -216,7 +242,7 @@ def _make_drange(args, banks: int, rows: int) -> DRange:
 
 
 def _cmd_generate(args) -> int:
-    drange = _make_drange(args, args.banks, args.rows)
+    drange = _make_drange(args, args.banks, args.rows, backend=args.backend)
     data = drange.random_bytes(args.num_bytes)
     if args.hex:
         print(data.hex())
@@ -401,6 +427,32 @@ def _cmd_faults(args) -> int:
     return 0 if survived else 1
 
 
+def _cmd_backends(args) -> int:
+    from repro.backends import available_backends
+    from repro.health import HealthMonitor
+
+    factory = DeviceFactory(master_seed=args.master_seed, noise_seed=args.seed)
+    region = Region(
+        banks=tuple(range(args.banks)), row_start=0, row_count=args.rows
+    )
+    print(
+        f"{'backend':<10}{'sites':>7}{'bits/iter':>11}"
+        f"{'throughput(Mb/s)':>18}  health"
+    )
+    for name in available_backends():
+        device = factory.make_device(args.manufacturer, 0)
+        drange = DRange(device, backend=name)
+        sites = drange.prepare(region=region, iterations=100)
+        monitor = HealthMonitor()
+        bits = drange.random_bits(args.health_bits)
+        status = "healthy" if monitor.feed(bits) else "ALARM"
+        print(
+            f"{name:<10}{len(sites):>7}{drange.bits_per_access():>11}"
+            f"{drange.estimated_throughput_mbps():>18.1f}  {status}"
+        )
+    return 0
+
+
 def _cmd_metrics(args) -> int:
     from repro import obs
     from repro.core.integration import DRangeService
@@ -566,6 +618,7 @@ def _cmd_lint(args) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "backends": _cmd_backends,
     "characterize": _cmd_characterize,
     "nist": _cmd_nist,
     "diehard": _cmd_diehard,
@@ -589,7 +642,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # handle a leading option token (bpo-17050).
         return _forward_lint(tokens[1:])
     args = _build_parser().parse_args(tokens)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except UnknownBackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

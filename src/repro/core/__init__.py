@@ -20,7 +20,7 @@ The pipeline has two halves, mirroring Section 6:
 want.
 """
 
-from repro.core.drange import DRange
+from repro.core.drange import BackendSampler, DRange
 from repro.core.events import EventLog, ServiceEvent
 from repro.core.identification import (
     RngCell,
@@ -42,6 +42,7 @@ from repro.core.selection import BankPlan, select_words
 from repro.core.throughput import ThroughputModel
 
 __all__ = [
+    "BackendSampler",
     "BankPlan",
     "CharacterizationResult",
     "CompiledSamplePlan",

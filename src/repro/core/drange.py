@@ -14,7 +14,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 import numpy as np
 import numpy.typing as npt
@@ -35,7 +35,37 @@ from repro.errors import IdentificationError
 from repro.memctrl.controller import MemoryController
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.backends.base import BackendPlan, BackendProfile, TrngBackend
     from repro.testbed.chamber import ThermalChamber
+
+
+class BackendSampler:
+    """Adapter exposing a non-default backend through the sampler API.
+
+    :class:`~repro.core.integration.DRangeService` (and everything
+    refilling through it, including ``BufferedRngService``) drives its
+    entropy source via ``generate_fast(num_bits, out=)``; this adapter
+    lets any :class:`~repro.backends.base.TrngBackend` slot in without
+    the service layer knowing which mechanism is behind the channel.
+    """
+
+    def __init__(self, drange: "DRange") -> None:
+        self._drange = drange
+
+    @property
+    def data_rate_bits_per_iteration(self) -> int:
+        """Output bits one backend loop iteration yields."""
+        return self._drange.backend_plan().bits_per_iteration
+
+    def generate_fast(
+        self, num_bits: int, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Harvest ``num_bits`` through the backend protocol."""
+        return self._drange.random_bits(num_bits, out=out)
+
+    def generate(self, num_bits: int) -> np.ndarray:
+        """Alias of :meth:`generate_fast` (one path per backend)."""
+        return self._drange.random_bits(num_bits)
 
 
 class DRange:
@@ -52,6 +82,17 @@ class DRange:
     pattern:
         Data pattern held around the RNG cells.  Defaults to the
         manufacturer-specific pattern the paper selects in Section 5.2.
+    backend:
+        Entropy mechanism: a registered backend name (``"drange"``,
+        ``"quac"``) or a :class:`~repro.backends.base.TrngBackend`
+        instance.  Unknown names raise
+        :class:`~repro.errors.UnknownBackendError` before any device
+        work starts.  The default keeps the paper's tRCD-violation
+        pipeline, byte for byte.
+    backend_options:
+        Extra keyword arguments for the backend factory when
+        ``backend`` is a name (ignored for the default backend, which
+        is bound to this facade's ``trcd_ns``/``pattern``).
     """
 
     def __init__(
@@ -59,13 +100,37 @@ class DRange:
         device: DramDevice,
         trcd_ns: float = DEFAULT_SAMPLING_TRCD_NS,
         pattern: Optional[DataPattern] = None,
+        backend: Union[str, "TrngBackend"] = "drange",
+        backend_options: Optional[dict] = None,
     ) -> None:
+        # Resolve the backend *first*: a typo'd name must fail before
+        # the device is touched in any way.
+        from repro.backends import DEFAULT_BACKEND, create_backend, require_backend
+        from repro.backends.drange import DRangeBackend
+
+        backend_obj: Optional["TrngBackend"] = None
+        if isinstance(backend, str):
+            name = require_backend(backend)
+            if name != DEFAULT_BACKEND:
+                backend_obj = create_backend(name, **(backend_options or {}))
+        else:
+            backend_obj = backend
+            name = str(backend.name)
         self._device = device
         self._controller = MemoryController(device)
         self._trcd_ns = trcd_ns
         self._pattern = pattern or pattern_by_name(
             BEST_RNG_PATTERN[device.profile.name]
         )
+        if backend_obj is None:
+            backend_obj = DRangeBackend(trcd_ns=trcd_ns, pattern=self._pattern)
+        self._backend = backend_obj
+        self._backend_name = name
+        self._is_default_backend = name == DEFAULT_BACKEND and isinstance(
+            backend_obj, DRangeBackend
+        )
+        self._backend_profile: Optional["BackendProfile"] = None
+        self._backend_plan: Optional["BackendPlan"] = None
         self._registry = RngCellRegistry(trcd_ns=trcd_ns)
         self._plans: Optional[List[BankPlan]] = None
         self._sampler: Optional[DRangeSampler] = None
@@ -89,6 +154,21 @@ class DRange:
     def pattern(self) -> DataPattern:
         """Data pattern in use around the RNG cells."""
         return self._pattern
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the entropy mechanism behind this facade."""
+        return self._backend_name
+
+    @property
+    def backend(self) -> "TrngBackend":
+        """The :class:`~repro.backends.base.TrngBackend` in use."""
+        return self._backend
+
+    @property
+    def uses_default_backend(self) -> bool:
+        """True when generation runs the legacy tRCD-violation path."""
+        return self._is_default_backend
 
     # ------------------------------------------------------------------
     # Offline phase
@@ -134,10 +214,30 @@ class DRange:
         iterations: int = 100,
         samples: int = 1000,
         max_cells: Optional[int] = None,
-    ) -> List[RngCell]:
-        """Characterize + identify in one call; returns the RNG cells."""
-        characterization = self.characterize(region=region, iterations=iterations)
-        return self.identify(characterization, samples=samples, max_cells=max_cells)
+    ) -> list:
+        """Characterize + identify in one call; returns the harvest sites.
+
+        For the default backend this is Algorithm 1 plus the entropy
+        filter and returns the identified :class:`RngCell` list, seeded
+        runs bit-identical to the pre-backend code.  For other backends
+        it delegates to ``backend.characterize`` and returns that
+        profile's harvest locations.
+        """
+        if self._is_default_backend:
+            characterization = self.characterize(region=region, iterations=iterations)
+            return self.identify(
+                characterization, samples=samples, max_cells=max_cells
+            )
+        profile = self._backend.characterize(
+            self._device,
+            region=region,
+            iterations=iterations,
+            samples=samples,
+            max_cells=max_cells,
+        )
+        self._backend_profile = profile
+        self._backend_plan = None
+        return list(profile.cells)
 
     def prepare_at_temperatures(
         self,
@@ -173,6 +273,65 @@ class DRange:
     # Online phase
     # ------------------------------------------------------------------
 
+    def backend_plan(self) -> "BackendPlan":
+        """The backend's compiled plan, recompiled when the epoch moves.
+
+        This is the generic (any-backend) analog of
+        :meth:`compiled_plan`; for the default backend it wraps the
+        same Algorithm 2 sampler the legacy accessors expose.
+        """
+        if self._is_default_backend:
+            profile = self._backend_profile
+            if profile is None or profile.is_stale(self._device):
+                # Build the profile view from the already-identified
+                # registry cells (no re-characterization).
+                from repro.backends.drange import DRangeProfile
+
+                cells = self._registry.cells_at(self._device.temperature_c)
+                if not cells:
+                    raise IdentificationError(
+                        "identification produced no RNG cells; profile a "
+                        "larger region or loosen the tolerance"
+                    )
+                profile = DRangeProfile(
+                    device=self._device,
+                    rng_cells=list(cells),
+                    pattern=self._pattern,
+                    trcd_ns=self._trcd_ns,
+                    epoch=self._device.state_epoch,
+                )
+                self._backend_profile = profile
+                self._backend_plan = None
+        elif self._backend_profile is None:
+            raise IdentificationError(
+                f"backend {self._backend_name!r} is not prepared; call "
+                f"prepare() first"
+            )
+        plan = self._backend_plan
+        if plan is None or plan.is_stale(self._device):
+            plan = self._backend.compile_plan(self._backend_profile)
+            self._backend_plan = plan
+        return plan
+
+    def estimated_throughput_mbps(self, num_banks: Optional[int] = None) -> float:
+        """Modeled sustained throughput of this channel's backend.
+
+        For the default backend this is Equation 1 over the best
+        ``num_banks`` banks (all usable banks when omitted); for other
+        backends it is the compiled plan's modeled throughput.
+        """
+        if self._is_default_backend:
+            model = self.throughput_model()
+            banks = num_banks if num_banks is not None else model.available_banks
+            return model.estimate(banks).throughput_mbps
+        return self.backend_plan().throughput_mbps
+
+    def bits_per_access(self) -> int:
+        """Output bits one backend loop iteration (access round) yields."""
+        if self._is_default_backend:
+            return max(plan.data_rate_bits for plan in self.plans())
+        return self.backend_plan().bits_per_iteration
+
     def plans(self, banks: Optional[Sequence[int]] = None) -> List[BankPlan]:
         """Per-bank word plans at the current temperature."""
         if self._plans is None:
@@ -185,8 +344,18 @@ class DRange:
             self._plans = select_words(cells, self._device.geometry, banks=banks)
         return list(self._plans)
 
-    def sampler(self) -> DRangeSampler:
-        """The Algorithm 2 sampler bound to this device's plans."""
+    def sampler(self) -> Union[DRangeSampler, BackendSampler]:
+        """The sampling engine bound to this device's plans.
+
+        The default backend returns the Algorithm 2
+        :class:`DRangeSampler`; other backends return a
+        :class:`BackendSampler` adapter with the same
+        ``generate_fast``/``generate`` surface, so the service layers
+        (:class:`~repro.core.integration.DRangeService`,
+        ``BufferedRngService`` refills) work with any mechanism.
+        """
+        if not self._is_default_backend:
+            return BackendSampler(self)
         if self._sampler is None:
             self._sampler = DRangeSampler(
                 self._controller,
@@ -221,8 +390,12 @@ class DRange:
 
         ``out`` (fast path only) receives the bits in place — used by
         the multi-channel harvester to land each channel's stream
-        directly in its interleave column.
+        directly in its interleave column.  Non-default backends have a
+        single generation path, so ``fast`` is ignored for them.
         """
+        if not self._is_default_backend:
+            plan = self.backend_plan()
+            return self._backend.sample(plan, num_bits, out=out)
         sampler = self.sampler()
         if fast:
             return sampler.generate_fast(num_bits, out=out)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional, Union
 
 import numpy as np
 
@@ -43,7 +43,7 @@ from repro.health import STARTUP_MIN_BITS, HealthMonitor
 from repro.obs import runtime as obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
-    from repro.core.drange import DRange
+    from repro.core.drange import BackendSampler, DRange
     from repro.parallel.batching import BatchingFrontEnd
 
 __all__ = ["DRangeService", "RecoveryPolicy", "ServiceEvent"]
@@ -128,11 +128,17 @@ class DRangeService:
     self-healing: without them the service keeps the legacy fail-stop
     behavior of raising :class:`~repro.errors.HealthError` on the first
     alarm.
+
+    The service only needs its sampler's ``generate_fast`` surface, so
+    any :class:`~repro.core.drange.DRange` works here regardless of its
+    TRNG backend: a non-default backend's :class:`~repro.core.drange
+    .BackendSampler` adapter slots in unchanged, including on the
+    recovery path (``drange.sampler()`` rebuilds the right kind).
     """
 
     def __init__(
         self,
-        sampler: Optional[DRangeSampler] = None,
+        sampler: Optional[Union[DRangeSampler, "BackendSampler"]] = None,
         queue_bits: int = 4096,
         refill_batch_bits: int = 1024,
         duty_cycle: float = 1.0,

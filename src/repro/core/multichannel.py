@@ -20,7 +20,7 @@ quarantined does a request fail.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,6 +39,12 @@ from repro.health import STARTUP_MIN_BITS, HealthMonitor
 from repro.obs import runtime as obs
 from repro.parallel.pool import WorkerPool
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import TrngBackend
+
+#: One backend spec: a registered name or a live backend instance.
+BackendSpec = Union[str, "TrngBackend"]
+
 
 class MultiChannelDRange:
     """D-RaNGe across several independent memory channels.
@@ -46,6 +52,13 @@ class MultiChannelDRange:
     ``min_entropy`` tunes the per-channel health-test cutoffs;
     ``recovery`` bounds the per-channel self-healing attempts used by
     :meth:`request` (a default policy applies when omitted).
+
+    ``backends`` picks the entropy mechanism per channel: one
+    registered backend name (or instance) applied to every channel, or
+    a sequence with one entry per device for a mixed system (e.g.
+    ``["drange", "quac", "quac", "drange"]``).  Unknown names are
+    rejected with :class:`~repro.errors.UnknownBackendError` before any
+    channel is built.
 
     ``max_workers`` sizes the harvest pool: channels are issued
     concurrently (threads — the sampling kernels are numpy-bound and
@@ -63,11 +76,14 @@ class MultiChannelDRange:
         min_entropy: float = 0.9,
         recovery: Optional[RecoveryPolicy] = None,
         max_workers: Optional[int] = None,
+        backends: Union[BackendSpec, Sequence[BackendSpec], None] = None,
     ) -> None:
         if not devices:
             raise ConfigurationError("need at least one channel device")
+        specs = self._resolve_backend_specs(backends, len(devices))
         self._channels: List[DRange] = [
-            DRange(device, trcd_ns=trcd_ns) for device in devices
+            DRange(device, trcd_ns=trcd_ns, backend=spec)
+            for device, spec in zip(devices, specs)
         ]
         self._monitors: List[HealthMonitor] = [
             HealthMonitor(min_entropy=min_entropy) for _ in self._channels
@@ -80,6 +96,39 @@ class MultiChannelDRange:
         self._bits_served = 0
         self._max_workers = max_workers
         self._observe_survivors()
+
+    @staticmethod
+    def _resolve_backend_specs(
+        backends: Union[BackendSpec, Sequence[BackendSpec], None],
+        num_channels: int,
+    ) -> List[BackendSpec]:
+        """Expand and validate the per-channel backend mix.
+
+        Every *name* in the mix is checked against the registry here,
+        before any :class:`~repro.core.drange.DRange` (and hence any
+        device work) is constructed — a typo in channel 3's backend
+        must not leave channels 0–2 half-built.
+        """
+        from repro.backends import require_backend
+
+        specs: List[BackendSpec]
+        if backends is None:
+            specs = ["drange"] * num_channels
+        elif isinstance(backends, str):
+            specs = [backends] * num_channels
+        elif hasattr(backends, "name") and not isinstance(backends, Sequence):
+            specs = [backends] * num_channels  # one shared instance
+        else:
+            specs = list(backends)
+            if len(specs) != num_channels:
+                raise ConfigurationError(
+                    f"backends mix has {len(specs)} entries for "
+                    f"{num_channels} channel(s)"
+                )
+        for spec in specs:
+            if isinstance(spec, str):
+                require_backend(spec)
+        return specs
 
     def _observe_survivors(self) -> None:
         """Refresh the active-channel gauge (no-op while obs is off)."""
@@ -129,6 +178,11 @@ class MultiChannelDRange:
     def num_channels(self) -> int:
         """Number of channels, including quarantined ones."""
         return len(self._channels)
+
+    @property
+    def backend_names(self) -> Tuple[str, ...]:
+        """Entropy mechanism per channel, in channel order."""
+        return tuple(channel.backend_name for channel in self._channels)
 
     @property
     def monitors(self) -> Sequence[HealthMonitor]:
@@ -415,10 +469,14 @@ class MultiChannelDRange:
         """
         total = 0.0
         for index in self.active_channels:
-            model = self._channels[index].throughput_model()
-            usable = min(banks_per_channel, model.available_banks)
-            if usable:
-                total += model.estimate(usable).throughput_mbps
+            channel = self._channels[index]
+            if channel.uses_default_backend:
+                model = channel.throughput_model()
+                usable = min(banks_per_channel, model.available_banks)
+                if usable:
+                    total += model.estimate(usable).throughput_mbps
+            else:
+                total += channel.estimated_throughput_mbps()
         return total
 
     def system_latency_64bit_ns(self, banks_per_channel: int = 8) -> float:
@@ -431,14 +489,16 @@ class MultiChannelDRange:
                 "all channels quarantined; no latency to report"
             )
         first = self._channels[active[0]].device
-        bits_per_access = max(
-            (
-                plan.word1.data_rate_bits
-                for index in active
-                for plan in self._channels[index].plans()
-            ),
-            default=1,
-        )
+        candidates: List[int] = []
+        for index in active:
+            channel = self._channels[index]
+            if channel.uses_default_backend:
+                candidates.extend(
+                    plan.word1.data_rate_bits for plan in channel.plans()
+                )
+            else:
+                candidates.append(channel.bits_per_access())
+        bits_per_access = max(candidates, default=1)
         return sixty_four_bit_latency(
             first.timings,
             trcd_ns=10.0,

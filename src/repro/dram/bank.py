@@ -202,6 +202,55 @@ class Bank:
             self._epoch += 1
         return read_bits
 
+    def multi_activate(self, rows, sensed_bits: np.ndarray) -> None:
+        """Latch a multi-row activation (QUAC's ACT-PRE-ACT sequence).
+
+        ``rows`` are the simultaneously opened rows (all in the same
+        subarray — they share local sense amplifiers); ``sensed_bits``
+        is the per-column resolution of the charge-sharing contest,
+        computed by the caller through the QUAC model.  The sense
+        amplifiers then restore the *sensed* value into every
+        participating row, destroying the stored pattern — which is why
+        the QUAC sampling loop must re-initialize its rows each
+        iteration.  Leaves ``rows[0]`` open for the subsequent READs.
+        """
+        rows = tuple(int(r) for r in rows)
+        if self._open_row is not None:
+            raise ProtocolError(
+                f"bank {self._index}: MACT while row {self._open_row} is open (missing PRE)"
+            )
+        if len(rows) < 2:
+            raise ProtocolError("MACT requires at least two rows")
+        if len(set(rows)) != len(rows):
+            raise ProtocolError("MACT rows must be distinct")
+        subarrays = set()
+        for row in rows:
+            self._geometry.validate_row(row)
+            subarrays.add(self._geometry.subarray_of(row))
+        if len(subarrays) != 1:
+            raise ProtocolError(
+                f"MACT rows {rows} straddle subarrays {sorted(subarrays)}; "
+                f"charge sharing needs one set of local sense amps"
+            )
+        sensed = np.asarray(sensed_bits, dtype=np.uint8)
+        if sensed.shape != (self._geometry.cols_per_row,):
+            raise ValueError(
+                f"sensed bits must have shape ({self._geometry.cols_per_row},), "
+                f"got {sensed.shape}"
+            )
+        if not np.isin(sensed, (0, 1)).all():
+            raise ValueError("sensed bits must be 0/1")
+        for row in rows:
+            self._rows[row] = sensed.copy()
+        self._epoch += 1
+        self._open_row = rows[0]
+        self._activation_trcd_ns = None
+        # The sensed value is fully restored by the (second, full-length)
+        # activation, so the following READs are deterministic.
+        self._first_access_pending = False
+        self._last_latched = None
+        self._residual_magnitude = 0.0
+
     def write(self, word: int, bits: np.ndarray) -> None:
         """Write one DRAM word into the open row."""
         if self._open_row is None:

@@ -17,6 +17,7 @@ class CommandKind(enum.Enum):
     """The DRAM command set relevant to this reproduction."""
 
     ACT = "ACT"
+    MACT = "MACT"
     READ = "READ"
     WRITE = "WRITE"
     PRE = "PRE"
@@ -45,10 +46,12 @@ class Command:
     issue_ns: float = 0.0
     data: Optional[Tuple[int, ...]] = field(default=None, compare=False)
     trcd_override_ns: Optional[float] = None
+    rows: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         needs_bank = self.kind in (
             CommandKind.ACT,
+            CommandKind.MACT,
             CommandKind.READ,
             CommandKind.WRITE,
             CommandKind.PRE,
@@ -57,6 +60,11 @@ class Command:
             raise ValueError(f"{self.kind} requires a bank")
         if self.kind is CommandKind.ACT and self.row is None:
             raise ValueError("ACT requires a row")
+        if self.kind is CommandKind.MACT:
+            if not self.rows or len(self.rows) < 2:
+                raise ValueError("MACT requires at least two rows")
+            if len(set(self.rows)) != len(self.rows):
+                raise ValueError("MACT rows must be distinct")
         if self.kind in (CommandKind.READ, CommandKind.WRITE) and self.word is None:
             raise ValueError(f"{self.kind} requires a word index")
 
@@ -64,6 +72,19 @@ class Command:
     def act(bank: int, row: int, issue_ns: float = 0.0) -> "Command":
         """Activate (open) ``row`` in ``bank``."""
         return Command(CommandKind.ACT, bank=bank, row=row, issue_ns=issue_ns)
+
+    @staticmethod
+    def mact(bank: int, rows: Tuple[int, ...], issue_ns: float = 0.0) -> "Command":
+        """Multi-row activation (precharge-interrupt ACT-PRE-ACT).
+
+        The QUAC mechanism interrupts the first activation with an
+        early precharge and re-activates before the bitlines restore,
+        leaving ``rows`` simultaneously open and charge-sharing on the
+        bitlines.  Traces record it as one command so they stay
+        self-describing; the timing/energy models expand it into the
+        underlying ACT/PRE sequence.
+        """
+        return Command(CommandKind.MACT, bank=bank, rows=tuple(rows), issue_ns=issue_ns)
 
     @staticmethod
     def read(

@@ -14,7 +14,7 @@ and 4 DDR3 chips.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,12 +24,16 @@ from repro.dram.failures import ActivationFailureModel, OperatingPoint
 from repro.dram.geometry import DeviceGeometry
 from repro.dram.manufacturer import Manufacturer, ManufacturerProfile, profile_for
 from repro.dram.plane import ProbabilityPlane
+from repro.dram.quac import QuacModel
 from repro.dram.retention import RetentionModel
 from repro.dram.startup import StartupModel
 from repro.dram.timing import LPDDR4_3200, TimingParameters
 from repro.dram.variation import VariationField, hash_u64
 from repro.errors import ConfigurationError
 from repro.noise import NoiseSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.backends.base import BackendProfile, TrngBackend
 
 
 class DramDevice:
@@ -81,6 +85,7 @@ class DramDevice:
         self._vdd_ratio = 1.0
         self._epoch = 0
         self._plane: Optional[ProbabilityPlane] = None
+        self._quac_model: Optional[QuacModel] = None
         self._serial = serial or f"{self._profile.name}-{device_seed & 0xFFFF:05d}"
         self._banks = [
             Bank(
@@ -204,6 +209,20 @@ class DramDevice:
             self._plane = ProbabilityPlane(self)
         return self._plane
 
+    @property
+    def quac_model(self) -> QuacModel:
+        """Multi-row-activation charge-sharing model bound to this device.
+
+        Shares the variation field and sense-amplifier strength with
+        the activation-failure model, so the QUAC and D-RaNGe backends
+        see the same silicon.
+        """
+        if self._quac_model is None:
+            self._quac_model = QuacModel(
+                self._geometry, self._profile, self._variation, self._failure_model
+            )
+        return self._quac_model
+
     def bank(self, index: int) -> Bank:
         """Access bank ``index``."""
         self._geometry.validate_bank(index)
@@ -239,6 +258,24 @@ class DramDevice:
         bits = target.read(word, op=self.operating_point(trcd_ns))
         target.precharge()
         return bits
+
+    def multi_activate(self, bank: int, rows: Iterable[int]) -> np.ndarray:
+        """Behavioral QUAC op: ACT-PRE-ACT opening ``rows`` simultaneously.
+
+        Resolves the per-column charge-sharing contest through the QUAC
+        model (one Bernoulli draw per column), latches the sensed value
+        into every participating row, and leaves ``rows[0]`` open for
+        the subsequent READs.  Returns the sensed row as fresh bits.
+        """
+        target = self.bank(bank)
+        rows_t = tuple(int(r) for r in rows)
+        stored = np.stack([self.plane.row_stored(bank, row) for row in rows_t])
+        probs = self.quac_model.one_probabilities(
+            bank, rows_t, stored, self.operating_point(self._timings.trcd_ns)
+        )
+        sensed = self._noise.bernoulli(probs).astype(np.uint8)
+        target.multi_activate(rows_t, sensed)
+        return sensed
 
     def write_pattern(
         self,
@@ -490,6 +527,35 @@ class DeviceFactory:
         self._timings = timings
         self._geometry = geometry
         self._noise_root = NoiseSource(noise_seed)
+        # Characterization artifacts keyed per (device, backend): the
+        # D-RaNGe and QUAC mechanisms probe different physics, so a
+        # profile must never cross backends, and either backend's device
+        # mutations (pattern writes bump the epoch) invalidate both.
+        self._profiles: Dict[Tuple[str, str], "BackendProfile"] = {}
+
+    def characterize(
+        self, device: DramDevice, backend: "TrngBackend", **kwargs
+    ) -> "BackendProfile":
+        """Backend-specific characterization, cached per (device, backend).
+
+        Re-runs ``backend.characterize(device, **kwargs)`` only when no
+        fresh profile exists.  Freshness is the backend profile's own
+        epoch contract (``profile.is_stale(device)``): any stored-state
+        mutation — including *another* backend's characterization
+        writing its data pattern — invalidates every cached profile of
+        the device, for every backend.
+        """
+        key = (device.serial, str(backend.name))
+        cached = self._profiles.get(key)
+        if cached is not None and not cached.is_stale(device):
+            return cached
+        profile = backend.characterize(device, **kwargs)
+        self._profiles[key] = profile
+        return profile
+
+    def cached_profiles(self) -> Dict[Tuple[str, str], "BackendProfile"]:
+        """Snapshot of the characterization cache (keys: serial, backend)."""
+        return dict(self._profiles)
 
     def make_device(self, manufacturer, index: int = 0, **kwargs) -> DramDevice:
         """Create device ``index`` of ``manufacturer``'s population."""

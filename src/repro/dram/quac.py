@@ -1,0 +1,230 @@
+"""QUAC-TRNG physics: multi-row activation charge sharing.
+
+QUAC-TRNG (PAPERS.md) generalizes D-RaNGe's timing-violation idea to a
+*spatial* violation: an ``ACT-PRE-ACT`` sequence interrupts the first
+activation with an early precharge and re-activates a second row before
+the bitlines restore, leaving four rows (two row-address bits glitched)
+simultaneously connected to the bitlines.  Each column becomes a charge
+-sharing contest between the four cells:
+
+* with a **balanced** stored pattern (two 1s, two 0s per column) the
+  aggregate deviation from Vdd/2 is dominated by per-cell capacitance
+  mismatch, sense-amplifier offset and thermal noise — the sensed bit
+  is random;
+* with an **imbalanced** column the majority value wins near
+  deterministically.
+
+The model composes the same frozen variation fields the activation
+-failure model uses (:mod:`repro.dram.variation`), so the QUAC and
+D-RaNGe mechanisms see one consistent piece of silicon: a weak sense
+amplifier drags both mechanisms, as it would on a real chip.
+
+All stochasticity stays in the caller's noise draws; this module is
+pure and deterministic given ``(variation, profile)``, which is what
+lets :class:`QuacPlane` cache probabilities under the device epoch
+contract exactly like :class:`~repro.dram.plane.ProbabilityPlane`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.dram.failures import (
+    REFERENCE_TEMP_C,
+    ActivationFailureModel,
+    OperatingPoint,
+)
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.manufacturer import ManufacturerProfile
+from repro.dram.variation import DomainTag, VariationField
+
+#: Rows opened by one precharge-interrupt activation (QUAC = quadruple).
+QUAC_ROWS = 4
+
+#: Bitline swing contributed per cell, in thermal-noise units.  Large
+#: enough that a one-cell majority (net charge ±2 cells) is decided
+#: near-deterministically, as QUAC-TRNG measures on real chips.
+CHARGE_GAIN = 2.0
+
+#: Per-cell capacitance mismatch (fractional sigma): the frozen silicon
+#: component of a balanced column's bias.
+CAP_SIGMA = 0.1
+
+#: Per-column sense-amplifier input offset sigma, in thermal-noise units.
+OFFSET_SIGMA = 0.6
+
+#: Thermal-noise growth per °C above the reference temperature.
+TEMP_NOISE_COEFF = 0.008
+
+#: Bounded size of the per-group probability cache.
+MAX_CACHED_GROUPS = 2048
+
+
+class QuacModel:
+    """Per-column sensing probabilities for multi-row activations.
+
+    Stateless and deterministic given ``(variation, profile)``; the
+    sense-amplifier strength field is shared with the activation
+    -failure model so both mechanisms express the same weak columns.
+    """
+
+    def __init__(
+        self,
+        geometry: DeviceGeometry,
+        profile: ManufacturerProfile,
+        variation: VariationField,
+        failure_model: ActivationFailureModel,
+    ) -> None:
+        self._geometry = geometry
+        self._profile = profile
+        self._variation = variation
+        self._failure_model = failure_model
+
+    @property
+    def geometry(self) -> DeviceGeometry:
+        """Device geometry this model is bound to."""
+        return self._geometry
+
+    def validate_group(self, rows: Tuple[int, ...]) -> int:
+        """Check a row group is a legal charge-sharing set; return its subarray.
+
+        The rows must be distinct and live in one subarray (they must
+        share local sense amplifiers for their cells to meet on the
+        same bitlines).
+        """
+        if len(rows) < 2:
+            raise ValueError(f"a QUAC group needs at least 2 rows, got {rows}")
+        if len(set(rows)) != len(rows):
+            raise ValueError(f"QUAC group rows must be distinct, got {rows}")
+        subarrays = set()
+        for row in rows:
+            self._geometry.validate_row(row)
+            subarrays.add(self._geometry.subarray_of(row))
+        if len(subarrays) != 1:
+            raise ValueError(
+                f"QUAC group rows {rows} straddle subarrays {sorted(subarrays)}"
+            )
+        return subarrays.pop()
+
+    def one_probabilities(
+        self,
+        bank: int,
+        rows: Tuple[int, ...],
+        stored_bits: np.ndarray,
+        op: OperatingPoint,
+    ) -> np.ndarray:
+        """P(sense amp resolves 1) for every column of a row group.
+
+        ``stored_bits`` is the ``(len(rows), cols_per_row)`` matrix of
+        the participating rows' stored values at activation time.  Each
+        cell pulls its bitline toward its stored value with a weight
+        set by its (frozen) capacitance; the sense amplifier resolves
+        the sign of the aggregate against its own offset plus thermal
+        noise.
+        """
+        subarray = self.validate_group(rows)
+        geometry = self._geometry
+        stored = np.asarray(stored_bits, dtype=np.float64)
+        if stored.shape != (len(rows), geometry.cols_per_row):
+            raise ValueError(
+                f"stored_bits must have shape ({len(rows)}, "
+                f"{geometry.cols_per_row}), got {stored.shape}"
+            )
+        cols = np.arange(geometry.cols_per_row)
+        # Signed charge: each cell contributes ±(1 + cap mismatch).
+        signed = np.zeros(geometry.cols_per_row, dtype=np.float64)
+        for i, row in enumerate(rows):
+            weight = 1.0 + CAP_SIGMA * self._variation.cell_normal(
+                DomainTag.QUAC_DRIVE, bank, row, cols
+            )
+            signed += (2.0 * stored[i] - 1.0) * weight
+        offset = self._variation.column_normal(
+            DomainTag.QUAC_OFFSET, bank, subarray, cols
+        )
+        strength = self._failure_model.sense_amp_strength(bank, subarray, cols)
+        # Undervolting weakens the restore drive quadratically (same law
+        # as the activation-failure model's development_tau).
+        drive = max(op.vdd_ratio, 0.5) ** 2
+        noise = max(1.0 + TEMP_NOISE_COEFF * (op.temperature_c - REFERENCE_TEMP_C), 0.1)
+        margin = (CHARGE_GAIN * signed * drive + OFFSET_SIGMA * offset) * strength
+        probs: np.ndarray = ndtr(margin / noise)
+        return probs
+
+
+class QuacPlane:
+    """Epoch-synced cache of QUAC sensing probabilities for one device.
+
+    Mirrors :class:`~repro.dram.plane.ProbabilityPlane`: probabilities
+    are a pure function of (stored pattern, variation, operating
+    point), so they stay valid exactly until ``device.state_epoch``
+    moves — any write, temperature/voltage change, power cycle, or
+    fault-schedule change invalidates every cached group.  Every lookup
+    re-records the epoch it served under (the EPOCH001 contract for
+    this class), so a stale entry can never be returned.
+    """
+
+    def __init__(self, device: object) -> None:
+        self._device = device
+        self._probs: Dict[Tuple[int, Tuple[int, ...], Tuple[float, float, float]], np.ndarray] = {}
+        self._epoch_seen = -1
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to recompute."""
+        return self._misses
+
+    @property
+    def invalidations(self) -> int:
+        """Times an epoch move dropped the cached groups."""
+        return self._invalidations
+
+    def probabilities(
+        self, bank: int, rows: Tuple[int, ...], op: OperatingPoint
+    ) -> np.ndarray:
+        """Cached P(sense=1) per column for ``rows`` of ``bank`` under ``op``.
+
+        The returned array is shared and read-only; callers that mutate
+        must copy.
+        """
+        device = self._device
+        epoch = int(device.state_epoch)  # type: ignore[attr-defined]
+        if epoch != self._epoch_seen:
+            if self._probs:
+                self._invalidations += 1
+            self._probs.clear()
+        self._epoch_seen = epoch
+        rows = tuple(int(r) for r in rows)
+        key = (
+            int(bank),
+            rows,
+            (
+                round(float(op.trcd_ns), 4),
+                round(float(op.temperature_c), 4),
+                round(float(op.vdd_ratio), 4),
+            ),
+        )
+        probs = self._probs.get(key)
+        if probs is None:
+            self._misses += 1
+            plane = device.plane  # type: ignore[attr-defined]
+            stored = np.stack([plane.row_stored(bank, row) for row in rows])
+            model = device.quac_model  # type: ignore[attr-defined]
+            probs = model.one_probabilities(bank, rows, stored, op)
+            probs.flags.writeable = False
+            if len(self._probs) >= MAX_CACHED_GROUPS:
+                self._probs.clear()
+            self._probs[key] = probs
+        else:
+            self._hits += 1
+        return probs

@@ -96,6 +96,8 @@ class DomainTag:
     STARTUP_NOISE = 0x0A
     RETENTION_VRT = 0x0B
     SA_SPREAD = 0x0C
+    QUAC_OFFSET = 0x0D
+    QUAC_DRIVE = 0x0E
 
 
 class VariationField:

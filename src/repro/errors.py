@@ -15,6 +15,22 @@ class ConfigurationError(ReproError):
     """A component was constructed with inconsistent or invalid parameters."""
 
 
+class UnknownBackendError(ConfigurationError):
+    """A TRNG backend name does not match any registered backend.
+
+    Raised *before* any device work starts — characterization,
+    pattern writes, plan compilation — so a typo in a CLI flag or a
+    channel configuration can never leave a device half-initialized.
+    ``available`` carries the registered names for error reporting.
+    """
+
+    def __init__(self, name: str, available: tuple) -> None:
+        self.name = name
+        self.available = tuple(available)
+        choices = ", ".join(self.available) if self.available else "<none>"
+        super().__init__(f"unknown TRNG backend {name!r}; registered backends: {choices}")
+
+
 class AddressError(ReproError):
     """A DRAM address is outside the geometry of the addressed device."""
 

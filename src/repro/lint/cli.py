@@ -11,6 +11,9 @@ errors.
 ``git diff --name-only BASE`` (default base ``HEAD``) that fall under
 the given paths, so a pre-commit hook pays for the files it touched
 rather than the whole tree; plain invocations still sweep everything.
+A changed-files run is a *partial* sweep, so project-phase rules
+(whole-tree coverage checks like OBS002) are skipped — their evidence
+may live in files outside the changed set.
 
 ``--baseline FILE`` enforces the ratchet described in
 :mod:`repro.lint.baseline`; ``--update-baseline`` rewrites the file to
@@ -279,7 +282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 0
 
-    result = linter.lint_paths(paths)
+    result = linter.lint_paths(paths, partial=args.changed is not None)
 
     if args.update_baseline:
         assert baseline_path is not None

@@ -76,13 +76,25 @@ class Linter:
             )
 
     # ------------------------------------------------------------------
-    def lint_paths(self, paths: Sequence[str]) -> LintResult:
+    def lint_paths(
+        self, paths: Sequence[str], *, partial: bool = False
+    ) -> LintResult:
+        """Lint every Python file under ``paths``.
+
+        ``partial=True`` marks the file list as a subset of the real
+        tree (e.g. ``--changed``): project-phase rules — which reason
+        about whole-tree coverage, like OBS002's "every catalog entry
+        has a use site" — are skipped, because a use site outside the
+        subset would read as a false positive.
+        """
         project: Dict[str, object] = {}
         analyses = [
             self._analyze_file(path, project)
             for path in _iter_python_files(paths)
         ]
-        extra = self._finalize_project(project)
+        extra: Dict[str, List[Violation]] = (
+            {} if partial else self._finalize_project(project)
+        )
         reports = []
         for analysis in analyses:
             reports.append(

@@ -17,6 +17,7 @@ from repro.lint.types import RuleMeta, Severity
 
 #: Paths that must stay bit-reproducible given (master_seed, noise_seed).
 _DETERMINISTIC_PATHS = (
+    "repro/backends/",
     "repro/dram/",
     "repro/sim/",
     "repro/faults/models.py",

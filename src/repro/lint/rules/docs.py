@@ -18,6 +18,7 @@ from repro.lint.types import RuleMeta, Severity
 
 #: Packages whose public names form the documented API surface.
 _DOCUMENTED_PATHS = (
+    "repro/backends/",
     "repro/core/",
     "repro/obs/",
     "repro/parallel/",

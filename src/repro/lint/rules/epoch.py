@@ -60,6 +60,10 @@ CONTRACTS: Dict[str, EpochContract] = {
         bump_attr="_fault_epoch",
         container_attrs=frozenset({"_schedule"}),
     ),
+    "QuacPlane": EpochContract(
+        bump_attr="_epoch_seen",
+        container_attrs=frozenset({"_probs"}),
+    ),
 }
 
 #: Method names that mutate a container in place.
@@ -181,6 +185,7 @@ class EpochBumpRule(Rule):
         include=(
             "repro/dram/bank.py",
             "repro/dram/device.py",
+            "repro/dram/quac.py",
             "repro/faults/injector.py",
         ),
     )

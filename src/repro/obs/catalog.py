@@ -88,6 +88,34 @@ CATALOG: Dict[str, CatalogEntry] = {
         "Epoch changes that dropped the ProbabilityPlane cache.",
     ),
     # ------------------------------------------------------------------
+    # TRNG backends (repro.backends)
+    # ------------------------------------------------------------------
+    "drange_backend_bits_total": CatalogEntry(
+        "counter",
+        "Random bits emitted through the TrngBackend.sample protocol, "
+        "by backend (drange / quac).",
+        labels=("backend",),
+    ),
+    "drange_backend_sample_ns_per_bit": CatalogEntry(
+        "histogram",
+        "Per-bit wall-clock cost of TrngBackend.sample (ns/bit), by "
+        "backend.",
+        labels=("backend",),
+        buckets=NS_PER_BIT_BUCKETS,
+    ),
+    "drange_quac_plane_hits": CatalogEntry(
+        "gauge",
+        "QuacPlane probability lookups answered from cache.",
+    ),
+    "drange_quac_plane_misses": CatalogEntry(
+        "gauge",
+        "QuacPlane probability lookups that had to compute.",
+    ),
+    "drange_quac_plane_invalidations": CatalogEntry(
+        "gauge",
+        "Epoch changes that dropped the QuacPlane probability cache.",
+    ),
+    # ------------------------------------------------------------------
     # The firmware service (single channel)
     # ------------------------------------------------------------------
     "drange_service_requests_total": CatalogEntry(

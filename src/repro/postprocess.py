@@ -57,3 +57,36 @@ def sha256_condition(bits, output_bits: int = 256) -> np.ndarray:
         counter += 1
     unpacked = np.unpackbits(np.frombuffer(bytes(out), dtype=np.uint8))
     return unpacked[:output_bits].astype(np.uint8)
+
+
+def sha256_block_condition(bits, block_bits: int = 512, digest_bits: int = 256) -> np.ndarray:
+    """QUAC-TRNG style block conditioning: hash fixed-size raw blocks.
+
+    Each consecutive ``block_bits`` input block is compressed to
+    ``digest_bits`` output bits with SHA-256 (the QUAC-TRNG paper
+    conditions 512 raw charge-sharing bits into 256 output bits per
+    hash).  A trailing partial block is dropped — conditioning never
+    stretches, so the ``digest_bits / block_bits`` entropy ratio is a
+    hard bound.  Returns a uint8 0/1 array of
+    ``(n_blocks * digest_bits)`` bits.
+    """
+    if block_bits <= 0:
+        raise ValueError(f"block_bits must be positive, got {block_bits}")
+    if not 0 < digest_bits <= 256:
+        raise ValueError(f"digest_bits must be in (0, 256], got {digest_bits}")
+    if digest_bits > block_bits:
+        raise ValueError(
+            f"digest_bits ({digest_bits}) must not exceed block_bits "
+            f"({block_bits}); conditioning compresses, it never stretches"
+        )
+    arr = as_bits(bits)
+    n_blocks = arr.size // block_bits
+    if n_blocks == 0:
+        return np.zeros(0, dtype=np.uint8)
+    blocks = arr[: n_blocks * block_bits].reshape(n_blocks, block_bits)
+    packed = np.packbits(blocks, axis=1)
+    out = bytearray()
+    for i in range(n_blocks):
+        out.extend(hashlib.sha256(packed[i].tobytes()).digest())
+    digests = np.unpackbits(np.frombuffer(bytes(out), dtype=np.uint8).reshape(n_blocks, -1), axis=1)
+    return digests[:, :digest_bits].reshape(-1).astype(np.uint8)

@@ -1,0 +1,86 @@
+"""Cross-backend integration: mixed channels, pools, serving refills."""
+
+import numpy as np
+
+from repro.core.drange import BackendSampler, DRange
+from repro.core.integration import DRangeService
+from repro.core.multichannel import MultiChannelDRange
+from repro.core.profiling import Region
+from repro.dram.device import DeviceFactory
+from repro.health import HealthMonitor
+from repro.serving import BufferedRngService
+
+REGION = Region(banks=(0, 1), row_start=0, row_count=24)
+
+
+def _devices(count):
+    factory = DeviceFactory(master_seed=2019, noise_seed=7)
+    return [factory.make_device("A", i) for i in range(count)]
+
+
+def _mixed_multichannel(max_workers=None):
+    mc = MultiChannelDRange(
+        _devices(2),
+        backends=["drange", "quac"],
+        max_workers=max_workers,
+    )
+    mc.prepare(region=REGION, iterations=60)
+    return mc
+
+
+class TestMixedChannels:
+    def test_backend_mix_is_visible(self):
+        mc = _mixed_multichannel()
+        assert mc.backend_names == ("drange", "quac")
+
+    def test_request_serves_health_checked_bits(self):
+        mc = _mixed_multichannel()
+        bits = mc.request(2048)
+        assert bits.size == 2048
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_worker_count_does_not_change_bits(self):
+        serial = _mixed_multichannel(max_workers=1).request(2048)
+        pooled = _mixed_multichannel(max_workers=4).request(2048)
+        assert np.array_equal(serial, pooled)
+
+    def test_system_accounting_covers_both_mechanisms(self):
+        mc = _mixed_multichannel()
+        # QUAC's modeled rate dominates: the mixed system must beat a
+        # drange-only system of the same size.
+        drange_only = MultiChannelDRange(_devices(2))
+        drange_only.prepare(region=REGION, iterations=60)
+        assert (
+            mc.system_throughput_mbps() > drange_only.system_throughput_mbps()
+        )
+        assert mc.system_latency_64bit_ns() > 0
+
+    def test_same_backend_string_applies_to_every_channel(self):
+        mc = MultiChannelDRange(_devices(2), backends="quac")
+        assert mc.backend_names == ("quac", "quac")
+
+
+class TestServiceIntegration:
+    def test_backend_sampler_feeds_the_firmware_service(self):
+        drange = DRange(_devices(1)[0], backend="quac")
+        drange.prepare(region=REGION)
+        sampler = drange.sampler()
+        assert isinstance(sampler, BackendSampler)
+        assert sampler.data_rate_bits_per_iteration > 0
+        service = DRangeService(
+            health_monitor=HealthMonitor(), drange=drange
+        )
+        bits = service.request(1024)
+        assert bits.size == 1024
+
+    def test_buffered_serving_refills_over_a_quac_channel(self):
+        drange = DRange(_devices(1)[0], backend="quac")
+        drange.prepare(region=REGION)
+        service = DRangeService(health_monitor=HealthMonitor(), drange=drange)
+        buffered = BufferedRngService(
+            service, capacity_bits=4096, refill_batch_bits=1024
+        )
+        buffered.start(background=False)
+        result = buffered.request(512)
+        assert result.bits.size == 512
+        assert not result.degraded

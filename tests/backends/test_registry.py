@@ -1,0 +1,96 @@
+"""Backend registry + typed rejection of unknown names everywhere."""
+
+import pytest
+
+from repro.backends import (
+    DEFAULT_BACKEND,
+    available_backends,
+    create_backend,
+    register_backend,
+    require_backend,
+)
+from repro.backends.drange import DRangeBackend
+from repro.backends.quac import QuacBackend
+from repro.core.drange import DRange
+from repro.core.multichannel import MultiChannelDRange
+from repro.errors import ConfigurationError, UnknownBackendError
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert available_backends() == ("drange", "quac")
+        assert DEFAULT_BACKEND == "drange"
+
+    def test_create_backend_builds_instances(self):
+        assert isinstance(create_backend("drange"), DRangeBackend)
+        assert isinstance(create_backend("quac"), QuacBackend)
+
+    def test_create_backend_forwards_options(self):
+        backend = create_backend("quac", digest_bits=128)
+        assert isinstance(backend, QuacBackend)
+
+    def test_require_backend_rejects_unknown_names(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            require_backend("nope")
+        assert excinfo.value.name == "nope"
+        assert "drange" in excinfo.value.available
+        assert "quac" in excinfo.value.available
+
+    def test_unknown_backend_error_is_configuration_error(self):
+        assert issubclass(UnknownBackendError, ConfigurationError)
+
+    def test_third_party_registration(self):
+        register_backend("thirdparty-test", DRangeBackend)
+        try:
+            assert "thirdparty-test" in available_backends()
+            assert isinstance(
+                create_backend("thirdparty-test"), DRangeBackend
+            )
+        finally:
+            from repro.backends.base import _REGISTRY
+
+            _REGISTRY.pop("thirdparty-test", None)
+
+
+class TestTypedRejectionBeforeDeviceWork:
+    def test_drange_ctor_rejects_before_touching_device(self, device):
+        epoch = device.state_epoch
+        with pytest.raises(UnknownBackendError):
+            DRange(device, backend="nope")
+        assert device.state_epoch == epoch
+
+    def test_multichannel_rejects_before_building_channels(self, factory):
+        devices = [factory.make_device("A", i) for i in range(2)]
+        epochs = [d.state_epoch for d in devices]
+        with pytest.raises(UnknownBackendError):
+            MultiChannelDRange(devices, backends=["drange", "typo"])
+        assert [d.state_epoch for d in devices] == epochs
+
+    def test_multichannel_rejects_wrong_mix_length(self, factory):
+        devices = [factory.make_device("A", i) for i in range(2)]
+        with pytest.raises(ConfigurationError):
+            MultiChannelDRange(devices, backends=["drange"])
+
+    def test_cli_generate_rejects_with_exit_2(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["--seed", "7", "generate", "--backend", "nope", "--bytes", "1"]
+        )
+        assert code == 2
+        assert "unknown TRNG backend 'nope'" in capsys.readouterr().err
+
+
+class TestBackendsSubcommand:
+    def test_lists_registered_backends_with_stats(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["--seed", "7", "backends", "--banks", "2", "--rows", "48"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in available_backends():
+            assert name in out
+        assert "throughput" in out
+        assert "healthy" in out

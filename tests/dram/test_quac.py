@@ -1,0 +1,179 @@
+"""QUAC physics layer: MACT command, bank latching, model, plane, factory."""
+
+import numpy as np
+import pytest
+
+from repro.backends.drange import DRangeBackend
+from repro.backends.quac import QuacBackend
+from repro.dram.commands import Command, CommandKind
+from repro.dram.quac import QUAC_ROWS, QuacPlane
+from repro.errors import ProtocolError
+
+
+def _balanced_pattern(rows, cols):
+    parity = (np.arange(cols) & 1).astype(np.uint8)
+    return np.stack(
+        [parity if i % 2 == 0 else 1 - parity for i in range(rows)]
+    ).astype(np.uint8)
+
+
+class TestMactCommand:
+    def test_factory_builds_a_mact(self):
+        command = Command.mact(bank=1, rows=(0, 1, 2, 3))
+        assert command.kind is CommandKind.MACT
+        assert command.bank == 1
+        assert command.rows == (0, 1, 2, 3)
+
+    def test_mact_requires_two_distinct_rows(self):
+        with pytest.raises(ValueError):
+            Command.mact(bank=0, rows=(5,))
+        with pytest.raises(ValueError):
+            Command.mact(bank=0, rows=(5, 5))
+
+    def test_mact_requires_a_bank(self):
+        with pytest.raises(ValueError):
+            Command(kind=CommandKind.MACT, rows=(0, 1))
+
+
+class TestBankMultiActivate:
+    def test_latches_sensed_value_into_every_row(self, small_device):
+        bank = small_device.bank(0)
+        cols = small_device.geometry.cols_per_row
+        sensed = (np.arange(cols) % 2).astype(np.uint8)
+        bank.multi_activate((0, 1, 2, 3), sensed)
+        bank.precharge()
+        for row in range(4):
+            assert np.array_equal(bank.stored_row(row), sensed)
+
+    def test_bumps_the_epoch(self, small_device):
+        bank = small_device.bank(0)
+        epoch = small_device.state_epoch
+        bank.multi_activate(
+            (0, 1), np.zeros(small_device.geometry.cols_per_row, np.uint8)
+        )
+        assert small_device.state_epoch > epoch
+
+    def test_rejects_open_row(self, small_device):
+        bank = small_device.bank(0)
+        bank.activate(7)
+        with pytest.raises(ProtocolError):
+            bank.multi_activate(
+                (0, 1), np.zeros(small_device.geometry.cols_per_row, np.uint8)
+            )
+
+    def test_rejects_degenerate_groups(self, small_device):
+        bank = small_device.bank(0)
+        zeros = np.zeros(small_device.geometry.cols_per_row, np.uint8)
+        with pytest.raises(ProtocolError):
+            bank.multi_activate((3,), zeros)
+        with pytest.raises(ProtocolError):
+            bank.multi_activate((3, 3), zeros)
+
+    def test_rejects_subarray_straddle(self, small_device):
+        bank = small_device.bank(0)
+        boundary = small_device.geometry.subarray_rows
+        with pytest.raises(ProtocolError):
+            bank.multi_activate(
+                (boundary - 1, boundary),
+                np.zeros(small_device.geometry.cols_per_row, np.uint8),
+            )
+
+    def test_validates_sensed_bits(self, small_device):
+        bank = small_device.bank(0)
+        with pytest.raises(ValueError):
+            bank.multi_activate((0, 1), np.zeros(3, np.uint8))
+        with pytest.raises(ValueError):
+            bank.multi_activate(
+                (0, 1),
+                np.full(small_device.geometry.cols_per_row, 2, np.uint8),
+            )
+
+
+class TestQuacModel:
+    def test_balanced_columns_are_near_coin_flips(self, small_device):
+        model = small_device.quac_model
+        cols = small_device.geometry.cols_per_row
+        stored = _balanced_pattern(QUAC_ROWS, cols)
+        op = small_device.operating_point(small_device.timings.trcd_ns)
+        probs = model.one_probabilities(0, (0, 1, 2, 3), stored, op)
+        assert probs.shape == (cols,)
+        assert 0.3 < probs.mean() < 0.7
+
+    def test_imbalanced_columns_are_near_deterministic(self, small_device):
+        model = small_device.quac_model
+        cols = small_device.geometry.cols_per_row
+        op = small_device.operating_point(small_device.timings.trcd_ns)
+        ones = model.one_probabilities(
+            0, (0, 1, 2, 3), np.ones((QUAC_ROWS, cols), np.uint8), op
+        )
+        zeros = model.one_probabilities(
+            0, (0, 1, 2, 3), np.zeros((QUAC_ROWS, cols), np.uint8), op
+        )
+        assert ones.mean() > 0.95
+        assert zeros.mean() < 0.05
+
+    def test_group_validation(self, small_device):
+        model = small_device.quac_model
+        with pytest.raises(ValueError):
+            model.validate_group((0,))
+        with pytest.raises(ValueError):
+            model.validate_group((0, 0))
+        boundary = small_device.geometry.subarray_rows
+        with pytest.raises(ValueError):
+            model.validate_group((boundary - 1, boundary))
+
+
+class TestQuacPlane:
+    def test_cache_hit_and_miss_accounting(self, small_device):
+        backend = QuacBackend()
+        backend.characterize(small_device)
+        plane = QuacPlane(small_device)
+        op = small_device.operating_point(small_device.timings.trcd_ns)
+        rows = (0, 1, 2, 3)
+        first = plane.probabilities(0, rows, op)
+        again = plane.probabilities(0, rows, op)
+        assert plane.misses == 1
+        assert plane.hits == 1
+        assert again is first
+        assert not first.flags.writeable
+
+    def test_epoch_move_drops_the_cache(self, small_device):
+        backend = QuacBackend()
+        backend.characterize(small_device)
+        plane = QuacPlane(small_device)
+        op = small_device.operating_point(small_device.timings.trcd_ns)
+        plane.probabilities(0, (0, 1, 2, 3), op)
+        small_device.set_temperature(60.0)
+        op2 = small_device.operating_point(small_device.timings.trcd_ns)
+        plane.probabilities(0, (0, 1, 2, 3), op2)
+        assert plane.invalidations == 1
+        assert plane.misses == 2
+
+
+class TestFactoryCharacterizationCache:
+    def test_profiles_keyed_per_device_and_backend(self, factory):
+        device = factory.make_device("A", 0)
+        drange_profile = factory.characterize(device, DRangeBackend())
+        quac_profile = factory.characterize(device, QuacBackend())
+        assert drange_profile.backend == "drange"
+        assert quac_profile.backend == "quac"
+        assert set(factory.cached_profiles()) == {
+            (device.serial, "drange"),
+            (device.serial, "quac"),
+        }
+
+    def test_fresh_profile_is_served_from_cache(self, factory):
+        device = factory.make_device("A", 1)
+        backend = QuacBackend()
+        first = factory.characterize(device, backend)
+        assert factory.characterize(device, backend) is first
+
+    def test_epoch_move_invalidates_both_backends(self, factory):
+        device = factory.make_device("A", 2)
+        drange_backend = DRangeBackend()
+        quac_backend = QuacBackend()
+        first_drange = factory.characterize(device, drange_backend)
+        first_quac = factory.characterize(device, quac_backend)
+        device.set_temperature(60.0)
+        assert factory.characterize(device, drange_backend) is not first_drange
+        assert factory.characterize(device, quac_backend) is not first_quac

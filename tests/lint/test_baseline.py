@@ -288,6 +288,28 @@ def test_changed_scopes_to_given_paths(git_repo, capsys):
     assert "no Python files changed" in capsys.readouterr().out
 
 
+def test_changed_skips_project_phase_rules(git_repo, capsys):
+    # Editing the metric catalog must not fire OBS002 on a changed-files
+    # run: the entries' emission sites live in files outside the diff.
+    repo, _ = git_repo
+    obs = repo / "repro" / "obs"
+    obs.mkdir(parents=True)
+    catalog = obs / "catalog.py"
+    catalog.write_text(
+        "class CatalogEntry:\n"
+        "    def __init__(self, kind, help):\n"
+        "        self.kind = kind\n"
+        "        self.help = help\n"
+        "\n"
+        "\n"
+        "CATALOG = {\n"
+        '    "drange_elsewhere_total": CatalogEntry("counter", "x"),\n'
+        "}\n"
+    )
+    assert main([str(repo / "repro"), "--changed", "HEAD"]) == 0
+    assert "OBS002" not in capsys.readouterr().out
+
+
 def test_changed_outside_git_repo_is_usage_error(tmp_path, capsys, monkeypatch):
     bank = _bank_file(tmp_path)
     monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))

@@ -23,6 +23,7 @@ class TestSubpackageExports:
         "module",
         [
             "repro.dram",
+            "repro.backends",
             "repro.memctrl",
             "repro.softmc",
             "repro.sim",
