@@ -120,7 +120,14 @@ class TrngBackend(Protocol):
         num_bits: int,
         out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Online phase: harvest ``num_bits`` random bits under ``plan``."""
+        """Online phase: harvest ``num_bits`` random bits under ``plan``.
+
+        ``out``, when given, must be a writeable C-contiguous uint8
+        buffer of exactly ``num_bits`` entries; implementations
+        validate it with :func:`repro.buffers.ensure_bits_buffer` and
+        raise :class:`~repro.errors.InvalidBufferError` *before* any
+        device work.
+        """
         ...
 
 

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
+from repro.buffers import ensure_bits_buffer
 from repro.core.identification import RngCell, RngCellRegistry, identify_rng_cells
 from repro.core.profiling import Region, profile_region
 from repro.core.sampler import DEFAULT_SAMPLING_TRCD_NS, DRangeSampler
@@ -195,6 +196,7 @@ class DRangeBackend:
         out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Harvest ``num_bits`` via the plan's vectorized Algorithm 2 loop."""
+        ensure_bits_buffer(out, num_bits)
         with obs.span("backend.sample", backend=self.name, bits=num_bits) as sp:
             bits = plan.sampler.generate_fast(num_bits, out=out)
         if obs.enabled():

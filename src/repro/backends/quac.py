@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
+from repro.buffers import ensure_bits_buffer
 from repro.core.profiling import Region
 from repro.dram.quac import QUAC_ROWS, QuacPlane
 from repro.dram.timing import TimingParameters
@@ -377,10 +378,7 @@ class QuacBackend:
         """
         if num_bits <= 0:
             raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
-        if out is not None and out.shape != (num_bits,):
-            raise ConfigurationError(
-                f"out must have shape ({num_bits},), got {out.shape}"
-            )
+        ensure_bits_buffer(out, num_bits)
         probs = plan.probabilities
         raw_per_iter = int(probs.size)
         if not raw_per_iter:

@@ -1,0 +1,56 @@
+"""Typed validation for caller-supplied output buffers.
+
+The zero-copy hot path threads one caller-owned ``uint8`` buffer from
+the serving layer down to the sampler kernel: ``EntropyPool.take(out=)``
+→ ``TrngBackend.sample(out=)`` → ``generate_fast(out=)``.  A wrong
+buffer at the top of that chain used to surface as a silent copy or a
+numpy shape error *after* device work had already run; every entry
+point now calls :func:`ensure_bits_buffer` first, so the failure is a
+typed :class:`~repro.errors.InvalidBufferError` raised before any
+characterization, harvest, or pool mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import InvalidBufferError
+
+__all__ = ["ensure_bits_buffer"]
+
+
+def ensure_bits_buffer(
+    out: Optional[np.ndarray], num_bits: int, what: str = "out"
+) -> Optional[npt.NDArray[np.uint8]]:
+    """Validate an optional caller-supplied bits buffer.
+
+    Returns ``out`` unchanged when it is a writeable, C-contiguous,
+    one-dimensional ``uint8`` array of exactly ``num_bits`` elements
+    (or ``None``); raises :class:`~repro.errors.InvalidBufferError`
+    otherwise.  ``what`` names the parameter in the error message.
+    """
+    if out is None:
+        return None
+    if not isinstance(out, np.ndarray):
+        raise InvalidBufferError(
+            f"{what} must be a numpy array, got {type(out).__name__}"
+        )
+    if out.dtype != np.uint8:
+        raise InvalidBufferError(
+            f"{what} must have dtype uint8, got {out.dtype}"
+        )
+    if out.shape != (num_bits,):
+        raise InvalidBufferError(
+            f"{what} must have shape ({num_bits},), got {out.shape}"
+        )
+    if not out.flags.c_contiguous:
+        raise InvalidBufferError(
+            f"{what} must be C-contiguous; pass np.ascontiguousarray(...) "
+            "or a contiguous slice"
+        )
+    if not out.flags.writeable:
+        raise InvalidBufferError(f"{what} must be writeable")
+    return out

@@ -22,12 +22,12 @@ recorded in a structured :class:`~repro.core.events.EventLog`.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Deque, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
+from repro.buffers import ensure_bits_buffer
 from repro.core.events import EventLog, ServiceEvent
 from repro.core.profiling import Region
 from repro.core.sampler import DRangeSampler
@@ -164,7 +164,13 @@ class DRangeService:
                 f"duty_cycle must be in (0, 1], got {duty_cycle}"
             )
         self._sampler = sampler
-        self._queue: Deque[int] = deque(maxlen=queue_bits)
+        # The harvest queue is a uint8 ring buffer (head/size), not a
+        # deque of Python ints: refills land whole numpy batches and
+        # requests pop whole slices, so no bit ever round-trips through
+        # a Python object on the hot path.
+        self._qbuf: np.ndarray = np.empty(queue_bits, dtype=np.uint8)
+        self._qhead = 0
+        self._qsize = 0
         self._queue_bits = queue_bits
         self._refill_batch_bits = refill_batch_bits
         self._duty_cycle = duty_cycle
@@ -185,7 +191,59 @@ class DRangeService:
     @property
     def queue_level(self) -> int:
         """Bits currently buffered."""
-        return len(self._queue)
+        return self._qsize
+
+    def queue_snapshot(self) -> np.ndarray:
+        """A copy of the buffered bits, oldest first (for inspection)."""
+        out = np.empty(self._qsize, dtype=np.uint8)
+        self._peek_queue(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Ring-queue primitives
+    # ------------------------------------------------------------------
+
+    def _peek_queue(self, dest: np.ndarray) -> None:
+        """Copy the oldest ``dest.size`` buffered bits into ``dest``."""
+        n = int(dest.size)
+        first = min(n, self._queue_bits - self._qhead)
+        dest[:first] = self._qbuf[self._qhead : self._qhead + first]
+        if n - first:
+            dest[first:] = self._qbuf[: n - first]
+
+    def _pop_queue_into(self, dest: np.ndarray) -> None:
+        """Pop the oldest ``dest.size`` buffered bits straight into ``dest``."""
+        self._peek_queue(dest)
+        self._qhead = (self._qhead + int(dest.size)) % self._queue_bits
+        self._qsize -= int(dest.size)
+
+    def _push_queue(self, bits: np.ndarray) -> None:
+        """Append ``bits`` at the queue's tail (caller checked capacity)."""
+        n = int(bits.size)
+        tail = (self._qhead + self._qsize) % self._queue_bits
+        first = min(n, self._queue_bits - tail)
+        self._qbuf[tail : tail + first] = bits[:first]
+        if n - first:
+            self._qbuf[: n - first] = bits[first:]
+        self._qsize += n
+
+    def _unpop_queue(self, bits: np.ndarray) -> None:
+        """Return popped bits to the queue's front (stream order).
+
+        Mirrors the bounded queue's historical overflow behavior: when
+        the returned bits and the remaining content exceed capacity,
+        the oldest returned bits win and the newest content falls off
+        the tail.
+        """
+        n = int(bits.size)
+        keep = min(n, self._queue_bits)
+        self._qsize = min(self._qsize, self._queue_bits - keep)
+        self._qhead = (self._qhead - keep) % self._queue_bits
+        first = min(keep, self._queue_bits - self._qhead)
+        self._qbuf[self._qhead : self._qhead + first] = bits[:first]
+        if keep - first:
+            self._qbuf[: keep - first] = bits[first : keep]
+        self._qsize += keep
 
     @property
     def bits_served(self) -> int:
@@ -269,9 +327,10 @@ class DRangeService:
 
     def _quarantine_queue(self) -> None:
         """Discard every buffered bit after an alarm (poisoned batch)."""
-        discarded = len(self._queue)
+        discarded = self._qsize
         if discarded:
-            self._queue.clear()
+            self._qhead = 0
+            self._qsize = 0
             self._events.record(
                 "quarantine", f"discarded {discarded} buffered bits"
             )
@@ -370,11 +429,27 @@ class DRangeService:
         :class:`HealthError` is raised), and the queue is left empty for
         the caller to retry.
         """
-        space = self._queue_bits - len(self._queue)
+        space = self._queue_bits - self._qsize
         if space <= 0:
             return
+        if self._qsize == 0:
+            # Rewind an empty ring so the harvest segment is contiguous.
+            self._qhead = 0
         batch = min(self._refill_batch_bits, space)
-        fresh = self._sampler.generate_fast(batch)
+        tail = (self._qhead + self._qsize) % self._queue_bits
+        if batch <= self._queue_bits - tail:
+            # Zero-copy: harvest straight into the ring's free tail
+            # segment.  The bits are only committed (size bump) after
+            # the health check, so an alarmed batch never enters the
+            # queue — exactly the staged path's behavior.
+            fresh = self._qbuf[tail : tail + batch]
+            self._sampler.generate_fast(batch, out=fresh)
+            staged = False
+        else:
+            # Wrapping tail: stage the batch so the harvest size (and
+            # therefore the seeded bit stream) is unchanged.
+            fresh = self._sampler.generate_fast(batch)
+            staged = True
         if self._health is not None and not self._health.feed(fresh):
             alarm = self._health.alarms[-1]
             self._events.record("alarm", f"{alarm.test} — {alarm.detail}")
@@ -382,7 +457,10 @@ class DRangeService:
             self._quarantine_queue()
             self._handle_degradation(alarm)
             return
-        self._queue.extend(fresh.tolist())
+        if staged:
+            self._push_queue(fresh)
+        else:
+            self._qsize += batch
 
     # ------------------------------------------------------------------
     # The REQUEST/RECEIVE interface
@@ -415,37 +493,55 @@ class DRangeService:
             raise InvalidRequestError(
                 f"num_bits must be positive, got {num_bits}"
             )
+        return self._request_impl(num_bits, np.empty(num_bits, dtype=np.uint8))
+
+    def request_into(self, out: np.ndarray) -> np.ndarray:
+        """:meth:`request`, zero-copy: fill the caller's buffer in place.
+
+        ``out`` must be a writeable, C-contiguous uint8 buffer; its
+        length is the request size.  Same semantics as :meth:`request`
+        otherwise — this is the refill surface
+        :class:`~repro.serving.pool.EntropyPool` harvests through to
+        land bits straight in its ring.
+        """
+        if not isinstance(out, np.ndarray) or out.size <= 0:
+            raise InvalidRequestError(
+                "request_into needs a non-empty numpy buffer, got "
+                f"{type(out).__name__}"
+            )
+        num_bits = int(out.size)
+        ensure_bits_buffer(out, num_bits)
+        return self._request_impl(num_bits, out)
+
+    def _request_impl(self, num_bits: int, out: np.ndarray) -> np.ndarray:
         with obs.span("service.request", bits=num_bits):
             try:
-                out = self._serve_request(num_bits)
+                self._serve_request(num_bits, out)
             except BaseException:
                 obs.counter_add(
                     "drange_service_requests_total", outcome="error"
                 )
-                obs.gauge_set("drange_service_queue_bits", len(self._queue))
+                obs.gauge_set("drange_service_queue_bits", self._qsize)
                 raise
         obs.counter_add("drange_service_requests_total", outcome="ok")
         obs.counter_add("drange_service_bits_served_total", num_bits)
-        obs.gauge_set("drange_service_queue_bits", len(self._queue))
+        obs.gauge_set("drange_service_queue_bits", self._qsize)
         return out
 
-    def _serve_request(self, num_bits: int) -> np.ndarray:
+    def _serve_request(self, num_bits: int, out: np.ndarray) -> np.ndarray:
         """The uninstrumented request body (see :meth:`request`)."""
         self._recoveries_this_request = 0
-        out = np.empty(num_bits, dtype=np.uint8)
         filled = 0
         try:
             self._ensure_started()
             while filled < num_bits:
-                if not self._queue:
+                if not self._qsize:
                     self._refill()
-                    if not self._queue:
+                    if not self._qsize:
                         # Recovery ran without enqueueing; harvest again.
                         continue
-                take = min(len(self._queue), num_bits - filled)
-                out[filled : filled + take] = [
-                    self._queue.popleft() for _ in range(take)
-                ]
+                take = min(self._qsize, num_bits - filled)
+                self._pop_queue_into(out[filled : filled + take])
                 filled += take
         except HealthError:
             if filled:
@@ -458,8 +554,7 @@ class DRangeService:
         except BaseException:
             # Non-health failure: hand the dequeued bits back so the
             # request leaves no trace.
-            for i in range(filled - 1, -1, -1):
-                self._queue.appendleft(int(out[i]))
+            self._unpop_queue(out[:filled])
             raise
         self._bits_served += num_bits
         return out

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.buffers import ensure_bits_buffer
 from repro.core.plan import CompiledSamplePlan, compile_sample_plan
 from repro.core.selection import BankPlan, require_plans
 from repro.dram.datapattern import BEST_RNG_PATTERN, DataPattern, pattern_by_name
@@ -205,9 +206,9 @@ class DRangeSampler:
             try:
                 plan = self.compiled_plan()
                 iterations = -(-num_bits // rate)  # ceil
-                chunks = np.empty((iterations, rate), dtype=np.uint8)
-                for i in range(iterations):
-                    chunks[i] = self._controller.reduced_read_burst(plan)
+                chunks = np.atleast_2d(
+                    self._controller.reduced_read_burst(plan, iterations=iterations)
+                )
             finally:
                 self.teardown()
         if obs.enabled():
@@ -226,18 +227,18 @@ class DRangeSampler:
         mixture-sampler call; bits come out iteration-major, cell-minor
         — the order Algorithm 2 appends them.
 
-        ``out``, when given, receives the bits in place (any uint8 view
-        of ``num_bits`` entries, e.g. one interleave column of a
-        multi-channel harvest buffer) and is returned.
+        ``out``, when given, receives the bits in place (a writeable,
+        C-contiguous uint8 buffer of ``num_bits`` entries, e.g. one
+        channel segment of a multi-channel harvest buffer) and is
+        returned; anything else raises
+        :class:`~repro.errors.InvalidBufferError` before any device
+        work runs.
         """
         if num_bits <= 0:
             raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
         if not self.data_rate_bits_per_iteration:
             raise ConfigurationError("selected words contain no RNG cells")
-        if out is not None and out.shape != (num_bits,):
-            raise ConfigurationError(
-                f"out must have shape ({num_bits},), got {out.shape}"
-            )
+        ensure_bits_buffer(out, num_bits)
         sp = obs.span("sampler.generate_fast", bits=num_bits)
         with sp:
             self.setup()

@@ -67,6 +67,31 @@ class InvalidRequestError(ConfigurationError, ValueError):
     """
 
 
+class InvalidBufferError(ConfigurationError, ValueError):
+    """A caller-supplied ``out=`` buffer cannot hold the requested bits.
+
+    Raised *before* any device work starts — wrong dtype, wrong shape,
+    or non-contiguous memory would otherwise surface as a silent copy
+    or a shape error mid-harvest.  Subclasses :class:`ValueError` for
+    callers that treat buffer validation as ordinary argument checking.
+    """
+
+
+class HarvestError(ReproError):
+    """A persistent-pool shard worker failed while harvesting bits.
+
+    Carries the shard index and the worker-side failure description.
+    After a harvest error the pool's resident samplers may have advanced
+    unevenly, so the bit-identity guarantee no longer holds — close the
+    pool and rebuild it from freshly seeded channels.
+    """
+
+    def __init__(self, shard: int, detail: str) -> None:
+        self.shard = int(shard)
+        self.detail = detail
+        super().__init__(f"shard {shard} harvest failed: {detail}")
+
+
 class HealthError(ReproError):
     """The online health tests flagged the entropy source as degraded."""
 

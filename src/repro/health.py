@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 import numpy.typing as npt
@@ -91,8 +91,29 @@ class HealthAlarm:
     sample_index: int
 
 
+def _as_values(bits: npt.ArrayLike) -> npt.NDArray[Any]:
+    """Flatten ``bits`` to the values the scalar loops compared.
+
+    The per-bit reference loops call ``int(bit)``, which truncates
+    toward zero.  Integer and bool arrays already compare identically
+    to their truncated values, so they pass through copy-free (the hot
+    path — raw bits are uint8); anything else (floats) is truncated via
+    ``astype(int64)`` so vectorized equality sees what the loops saw.
+    """
+    arr = np.asarray(bits).ravel()
+    if arr.dtype.kind in "iub":
+        return arr
+    return arr.astype(np.int64)
+
+
 class RepetitionCountTest:
-    """Continuous stuck-source detector (SP 800-90B §4.4.1)."""
+    """Continuous stuck-source detector (SP 800-90B §4.4.1).
+
+    :meth:`feed` is a vectorized run-length scan; it is bit-equivalent
+    to the per-bit loop kept as :meth:`feed_reference` — same first
+    alarm offset, same detail string, same carried run state across
+    feeds — pinned by the A/B tests in ``tests/test_health.py``.
+    """
 
     def __init__(self, min_entropy: float = 0.9) -> None:
         self.cutoff = repetition_count_cutoff(min_entropy)
@@ -100,23 +121,95 @@ class RepetitionCountTest:
         self._run = 0
         self._index = 0
 
+    def _alarm(self, value: int, run: int, offset: int) -> HealthAlarm:
+        """Build the alarm for a run hitting the cutoff at ``offset``."""
+        alarm = HealthAlarm(
+            test="repetition_count",
+            detail=f"value {value} repeated {run} times "
+            f"(cutoff {self.cutoff})",
+            sample_index=self._index + offset,
+        )
+        # Start a fresh run so post-alarm feeds report new violations
+        # instead of re-reporting this one.
+        self._last = None
+        self._run = 0
+        self._index += offset + 1
+        return alarm
+
     def feed(self, bits: npt.ArrayLike) -> Optional[HealthAlarm]:
-        """Consume bits; returns an alarm on the first violation."""
+        """Consume bits; returns an alarm on the first violation.
+
+        Vectorized run-length scan: a run of ``cutoff`` equal values is
+        exactly ``cutoff - 1`` consecutive True entries in the
+        equal-to-neighbor array, found with one windowed cumulative
+        sum.  The run carried from the previous feed can only alarm
+        within the first ``cutoff - 1`` bits, so it gets its own small
+        head scan (checked first — it always fires earlier than any
+        pure in-feed run).  Run counts step by one per bit, so the run
+        at the alarm bit always equals the cutoff exactly, and bits
+        after the alarm are left unconsumed, like the loop's early
+        return.
+        """
+        values = _as_values(bits)
+        n = int(values.size)
+        if n == 0:
+            return None
+        eq = values[1:] == values[:-1]
+        m = n - 1
+        k = self.cutoff - 1
+        carry = (
+            self._run
+            if (self._last is not None and int(values[0]) == self._last)
+            else 0
+        )
+        if carry:
+            # The carried run can only alarm within the first
+            # cutoff - 1 bits, so a k-sized head slice places it.
+            breaks = np.flatnonzero(~eq[:k])
+            lead = int(breaks[0]) if breaks.size else min(m, k)
+            offset = k - carry
+            if offset < n and offset <= lead:
+                return self._alarm(int(values[offset]), self.cutoff, offset)
+        if m >= k:
+            sums = np.cumsum(eq, dtype=np.int32)
+            ends = sums[k - 1 :]
+            ends[1:] -= sums[: m - k]
+            # Boolean argmax short-circuits at the first True window.
+            first = int(np.argmax(ends == k))
+            if ends[first] == k:
+                offset = first + k
+                return self._alarm(int(values[offset]), self.cutoff, offset)
+        # Trailing equal-neighbor streak: < cutoff bits (a longer one
+        # would have alarmed above), so another k-sized slice suffices.
+        # When the streak spans the whole feed, the carried run extends
+        # it — still below the cutoff, or the head scan would have fired.
+        tail = eq[max(0, m - k) :]
+        breaks = np.flatnonzero(~tail[::-1])
+        trail = int(breaks[0]) if breaks.size else int(tail.size)
+        self._last = int(values[-1])
+        self._run = trail + 1 + (carry if trail == m else 0)
+        self._index += n
+        return None
+
+    def feed_reference(self, bits: npt.ArrayLike) -> Optional[HealthAlarm]:
+        """The pre-vectorization per-bit loop (the semantics pin).
+
+        Kept verbatim as the executable specification :meth:`feed` is
+        A/B-tested against; also the baseline the health-test speedup
+        gate in ``benchmarks/bench_parallel.py`` measures from.
+        """
         for bit in np.asarray(bits).ravel():
             value = int(bit)
             if value == self._last:
                 self._run += 1
                 if self._run >= self.cutoff:
+                    run, self._last, self._run = self._run, None, 0
                     alarm = HealthAlarm(
                         test="repetition_count",
-                        detail=f"value {value} repeated {self._run} times "
+                        detail=f"value {value} repeated {run} times "
                         f"(cutoff {self.cutoff})",
                         sample_index=self._index,
                     )
-                    # Start a fresh run so post-alarm feeds report new
-                    # violations instead of re-reporting this one.
-                    self._last = None
-                    self._run = 0
                     self._index += 1
                     return alarm
             else:
@@ -127,7 +220,13 @@ class RepetitionCountTest:
 
 
 class AdaptiveProportionTest:
-    """Continuous bias detector (SP 800-90B §4.4.2)."""
+    """Continuous bias detector (SP 800-90B §4.4.2).
+
+    :meth:`feed` is a vectorized windowed scan; it is bit-equivalent to
+    the per-bit loop kept as :meth:`feed_reference` — same first alarm
+    offset, same detail string, same carried window state across feeds —
+    pinned by the A/B tests in ``tests/test_health.py``.
+    """
 
     def __init__(self, min_entropy: float = 0.9, window: int = 1024) -> None:
         self.window = window
@@ -137,8 +236,104 @@ class AdaptiveProportionTest:
         self._seen = 0
         self._index = 0
 
+    def _alarm(self, reference: int, count: int, seen: int, offset: int) -> HealthAlarm:
+        """Build the alarm for ``reference`` saturating at ``offset``.
+
+        Mirrors the scalar loop's post-alarm state exactly: the window
+        is abandoned (``_reference = None``) while ``_count``/``_seen``
+        keep their values from the alarm bit.
+        """
+        alarm = HealthAlarm(
+            test="adaptive_proportion",
+            detail=f"value {reference} appeared "
+            f"{count}/{seen} times "
+            f"(cutoff {self.cutoff}/{self.window})",
+            sample_index=self._index + offset,
+        )
+        # Start a fresh window: without this, every bit fed after the
+        # alarm re-reports the same saturated window.
+        self._reference = None
+        self._count = count
+        self._seen = seen
+        self._index += offset + 1
+        return alarm
+
     def feed(self, bits: npt.ArrayLike) -> Optional[HealthAlarm]:
-        """Consume bits; returns an alarm on the first violation."""
+        """Consume bits; returns an alarm on the first violation.
+
+        Vectorized in three passes: (1) finish the window carried from
+        the previous feed with one cumulative-sum scan, (2) scan all
+        complete windows as a ``(k, window)`` matrix — a window alarms
+        iff its total match count reaches the cutoff, and only the first
+        alarming window needs a cumulative sum to pin the exact bit —
+        then (3) open a trailing partial window and carry its state.
+        The cutoff crossing always lands on a matched bit (counts only
+        move on matches), which is exactly where the scalar loop checks.
+        """
+        values = _as_values(bits)
+        n = int(values.size)
+        if n == 0:
+            return None
+        pos = 0
+        if self._reference is not None:
+            # Finish the carried window: at most (window - _seen) bits.
+            chunk = values[: min(self.window - self._seen, n)]
+            csum = np.cumsum(chunk == self._reference)
+            hits = np.flatnonzero(csum >= self.cutoff - self._count)
+            if hits.size:
+                i = int(hits[0])
+                return self._alarm(self._reference, self.cutoff, self._seen + i + 1, i)
+            pos = int(chunk.size)
+            self._count += int(csum[-1])
+            self._seen += pos
+            self._index += pos
+            if self._seen >= self.window:
+                self._reference = None
+            if pos == n:
+                return None
+        # _reference is None from here on: each window opens on its
+        # first bit and spans exactly ``window`` bits.
+        full = (n - pos) // self.window
+        if full:
+            block = values[pos : pos + full * self.window].reshape(full, self.window)
+            matches = block == block[:, :1]
+            totals = matches.sum(axis=1)
+            rows = np.flatnonzero(totals >= self.cutoff)
+            if rows.size:
+                row = int(rows[0])
+                csum = np.cumsum(matches[row])
+                # csum[0] == 1 < cutoff (the opening bit matches itself
+                # and real cutoffs are >= 2), so the crossing is never
+                # the opening bit — matching the scalar branch order.
+                i = int(np.flatnonzero(csum >= self.cutoff)[0])
+                return self._alarm(
+                    int(block[row, 0]), self.cutoff, i + 1, row * self.window + i
+                )
+            pos += full * self.window
+            self._index += full * self.window
+            # The scalar loop leaves the closed window's tallies behind.
+            self._count = int(totals[-1])
+            self._seen = self.window
+        tail = values[pos:]
+        if tail.size:
+            csum = np.cumsum(tail == tail[0])
+            hits = np.flatnonzero(csum >= self.cutoff)
+            if hits.size:
+                i = int(hits[0])
+                return self._alarm(int(tail[0]), self.cutoff, i + 1, i)
+            self._reference = int(tail[0])
+            self._count = int(csum[-1])
+            self._seen = int(tail.size)
+            self._index += int(tail.size)
+        return None
+
+    def feed_reference(self, bits: npt.ArrayLike) -> Optional[HealthAlarm]:
+        """The pre-vectorization per-bit loop (the semantics pin).
+
+        Kept verbatim as the executable specification :meth:`feed` is
+        A/B-tested against; also the baseline the health-test speedup
+        gate in ``benchmarks/bench_parallel.py`` measures from.
+        """
         for bit in np.asarray(bits).ravel():
             value = int(bit)
             if self._reference is None:

@@ -111,24 +111,50 @@ class MemoryController:
         bits = target.read(word, op=self._device.operating_point(trcd_ns))
         return bits
 
-    def reduced_read_burst(self, plan: "CompiledSamplePlan") -> np.ndarray:
-        """Play one full compiled-plan iteration through the timing engine.
+    def reduced_read_burst(
+        self, plan: "CompiledSamplePlan", iterations: int = 1
+    ) -> np.ndarray:
+        """Play full compiled-plan iterations through the timing engine.
 
         Issues, for every word of the plan in order, the exact command
         sequence of Algorithm 2 lines 8-15 — reduced read, harvest the
         RNG-cell bits, write the pattern word back, precharge — and
-        returns the iteration's harvested bits in plan order.  One call
-        per iteration replaces ``2 × banks`` host round-trips; the
-        engine trace still records every command, so throughput/energy
-        accounting is unchanged.
+        returns the harvested bits in plan order: shape ``(n_cells,)``
+        for the default single iteration, ``(iterations, n_cells)`` when
+        batching.  Batching replaces one host round-trip per iteration
+        (plus the per-access register/operating-point/bank lookups,
+        which are loop-invariant: the register file and operating
+        conditions cannot change mid-burst) with one call per harvest;
+        the engine trace still records every command in the same order,
+        so throughput/energy accounting is unchanged and seeded bits
+        are identical to the unbatched loop.
         """
-        out = np.empty(plan.n_cells, dtype=np.uint8)
-        for word in plan.words:
-            read = self.reduced_read(word.bank, word.row, word.word)
-            out[word.start : word.start + word.offsets.size] = read[word.offsets]
-            self.writeback(word.bank, word.word, word.writeback)
-            self.precharge(word.bank)
-        return out
+        if iterations < 1:
+            raise ConfigurationError(
+                f"iterations must be >= 1, got {iterations}"
+            )
+        trcd_ns = self._registers.active.trcd_ns
+        op = self._device.operating_point(trcd_ns)
+        engine = self._engine
+        words = [(word, self._device.bank(word.bank)) for word in plan.words]
+        out = np.empty((iterations, plan.n_cells), dtype=np.uint8)
+        for chunk in out:
+            for word, bank in words:
+                if bank.open_row is not None:
+                    engine.precharge(word.bank)
+                    bank.precharge()
+                engine.activate(word.bank, word.row)
+                bank.activate(word.row, trcd_ns=trcd_ns)
+                engine.read(word.bank, trcd_ns=trcd_ns)
+                read = bank.read(word.word, op=op)
+                chunk[word.start : word.start + word.offsets.size] = read[
+                    word.offsets
+                ]
+                engine.write(word.bank)
+                bank.write(word.word, word.writeback)
+                engine.precharge(word.bank)
+                bank.precharge()
+        return out[0] if iterations == 1 else out
 
     def writeback(self, bank: int, word: int, bits: np.ndarray) -> None:
         """Write a word back into the currently open row (Alg. 2 line 10)."""

@@ -160,18 +160,22 @@ class NoiseSource:
         flips[pos[in_range], col[in_range]] = True
 
         # A segment whose budget ran out before reaching ``count`` may
-        # still owe corrections; finish those cells one gap at a time.
+        # still owe corrections; finish those cells in vectorized
+        # resample rounds (one draw per still-owing cell per round, so
+        # the common case — no undershoot — consumes no draws at all).
         last = cum[seg_end - 1] - seg_off - 1
-        for k in np.nonzero(last < count)[0]:
-            position = int(last[k])
-            log1m_w = float(np.log1p(-w[k]))
-            column = int(cells[k])
-            while True:
-                draw = float(self._rng.random())
-                position += 1 + int(np.floor(np.log1p(-draw) / log1m_w))
-                if position >= count:
-                    break
-                flips[position, column] = True
+        owed = np.nonzero(last < count)[0]
+        position = last[owed]
+        while owed.size:
+            draws = self._rng.random(owed.size)
+            raw = np.fmin(
+                np.floor(np.log1p(-draws) / np.log1p(-w[owed])), float(count)
+            )
+            position = position + 1 + raw.astype(np.int64)
+            live = position < count
+            position = position[live]
+            owed = owed[live]
+            flips[position, cells[owed]] = True
 
     def gaussian(
         self, shape: ShapeLike, sigma: float = 1.0

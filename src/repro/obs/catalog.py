@@ -216,6 +216,19 @@ CATALOG: Dict[str, CatalogEntry] = {
         "counter",
         "Buffered bits quarantined by the pool after source alarms.",
     ),
+    "drange_serving_pool_takes_total": CatalogEntry(
+        "counter",
+        "EntropyPool.take calls, by buffer mode "
+        "(zero_copy = caller-supplied out=, alloc = pool-allocated).",
+        labels=("mode",),
+    ),
+    "drange_serving_pool_refill_writes_total": CatalogEntry(
+        "counter",
+        "EntropyPool refill landings, by path (zero_copy = harvested "
+        "straight into a ring segment, copy = staged through a source "
+        "array).",
+        labels=("path",),
+    ),
     "drange_serving_degraded_mode": CatalogEntry(
         "gauge",
         "1 while the DRBG is bridging a pool drought, else 0.",

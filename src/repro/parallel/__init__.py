@@ -20,6 +20,7 @@ processes, and under any scheduling.
 """
 
 from repro.parallel.batching import BatchingFrontEnd
+from repro.parallel.persistent import HarvestSampler, PersistentPool
 from repro.parallel.pool import (
     BACKENDS,
     DEFAULT_WORKER_CAP,
@@ -43,6 +44,8 @@ __all__ = [
     "DEFAULT_TILE_ROWS",
     "DEFAULT_WORKER_CAP",
     "ENV_MAX_WORKERS",
+    "HarvestSampler",
+    "PersistentPool",
     "SharedArray",
     "TaskOutcome",
     "Tile",

@@ -1,0 +1,376 @@
+"""Plan-resident persistent harvest workers.
+
+:class:`PersistentPool` closes the last process-parallel gap in the
+serving hot path: instead of paying characterization + plan compilation
+on every fan-out (or shipping a device to a fresh worker per request),
+the pool binds one *shard* — a prepared, seeded channel with its
+compiled sampling plan already built — to one long-lived worker, and
+serves sized harvest requests over a per-shard task queue into
+:class:`~repro.parallel.shared.SharedArray` slices.
+
+Lifecycle (process backend)::
+
+    parent                               worker[k]  (forked, daemon)
+    ------                               ------------------------------
+    prepare channels (Algorithm 1 +      inherits shard k's sampler,
+      entropy filter), warm-compile       compiled plan and noise
+      every CompiledSamplePlan            stream via copy-on-write
+    start()  ── fork one worker/shard ─▶  loop: tasks.get()
+    harvest(n):
+      split n into shard chunks           attach SharedArray by name,
+      put (bits, shm, offset) per shard ▶  generate_fast(bits, out=slice)
+      collect one reply per chunk      ◀  reply (shard, error-or-None)
+      copy assembled bits out
+    close()  ── sentinel per queue ────▶  loop exits
+
+Determinism contract: the shard count is fixed at construction and the
+chunk split is a pure function of the request size
+(:func:`~repro.parallel.tiles.partition_chunks`), so each shard's
+resident sampler consumes bits as a pure function of the harvest-size
+sequence — the assembled stream is bit-identical across the ``serial``,
+``thread`` and ``process`` backends and across ``max_workers`` values.
+A :class:`~repro.errors.HarvestError` voids that guarantee (shard
+streams may have advanced unevenly); close and rebuild the pool.
+
+The worker holds its sampler *resident*: every harvest reuses the
+compiled plan (``state_epoch`` unchanged in the worker's private copy),
+so per-request cost is the vectorized draw plus one shared-memory
+write — no re-characterization, no plan recompile, no device pickling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Future, ThreadPoolExecutor
+from queue import Empty
+from typing import Any, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.buffers import ensure_bits_buffer
+from repro.errors import ConfigurationError, HarvestError
+from repro.obs import runtime as obs
+from repro.parallel.pool import BACKENDS, process_backend_available, resolve_workers
+from repro.parallel.shared import SharedArray
+from repro.parallel.tiles import partition_chunks
+
+__all__ = ["HarvestSampler", "PersistentPool"]
+
+#: Seconds the coordinator waits on a shard reply before checking the
+#: worker is still alive (a crashed worker must fail the harvest, not
+#: hang it).  One wait is cheap; the loop re-arms until the reply lands.
+REPLY_POLL_S = 5.0
+
+#: Seconds a closing pool waits for each worker to exit after the
+#: sentinel before terminating it.
+SHUTDOWN_GRACE_S = 5.0
+
+
+class HarvestSampler(Protocol):
+    """What a shard must expose: sized in-place generation.
+
+    Satisfied by :class:`~repro.core.sampler.DRangeSampler` and
+    :class:`~repro.core.drange.BackendSampler` alike — the pool never
+    inspects plans or devices, it only issues sized draws.
+    """
+
+    def generate_fast(
+        self, num_bits: int, out: Optional[npt.NDArray[np.uint8]] = None
+    ) -> npt.NDArray[np.uint8]:
+        """Produce ``num_bits`` bits, into ``out`` when given."""
+        ...
+
+
+def _shard_worker(
+    shard: int,
+    sampler: HarvestSampler,
+    tasks: "multiprocessing.queues.Queue[Any]",
+    replies: "multiprocessing.queues.Queue[Tuple[int, Optional[str]]]",
+) -> None:
+    """Process-worker loop: serve sized harvests until the sentinel.
+
+    The sampler (with its compiled plan and noise stream) was inherited
+    from the parent at fork time and stays resident across tasks; each
+    task lands its bits straight in the named shared segment's slice.
+    """
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        num_bits, shm_name, offset, total = task
+        error: Optional[str] = None
+        try:
+            shared = SharedArray.attach(shm_name, (total,), np.uint8)
+            try:
+                sampler.generate_fast(
+                    num_bits, out=shared.array[offset : offset + num_bits]
+                )
+            finally:
+                shared.close()
+        except BaseException as exc:  # noqa: BLE001 - reported to parent
+            error = f"{type(exc).__name__}: {exc}"
+        replies.put((shard, error))
+
+
+class PersistentPool:
+    """Long-lived shard workers serving sized harvests from resident plans.
+
+    Parameters
+    ----------
+    channels:
+        One prepared channel per shard: a :class:`~repro.core.drange
+        .DRange` facade (its :meth:`~repro.core.drange.DRange.sampler`
+        is taken) or any :class:`HarvestSampler`.  The shard count —
+        ``len(channels)`` — is part of the determinism contract: it
+        never changes with the worker count.
+    max_workers:
+        Caps *thread*-backend concurrency (resolution via
+        :func:`~repro.parallel.pool.resolve_workers`).  The process
+        backend is shard-affine by design — one dedicated worker per
+        shard, because the resident sampler state must stay with the
+        shard — so ``max_workers`` only influences backend selection
+        there.
+    backend:
+        ``"process"``, ``"thread"``, or ``"serial"``; ``None`` picks
+        ``process`` when fork is available and more than one worker is
+        resolved, then ``thread``, then ``serial``.  A ``process``
+        request downgrades to ``thread`` when fork is unavailable.
+        All three produce bit-identical streams.
+    """
+
+    def __init__(
+        self,
+        channels: Sequence[Any],
+        max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        if not channels:
+            raise ConfigurationError("PersistentPool needs at least one channel")
+        self._channels = list(channels)
+        self._workers_cap = resolve_workers(max_workers)
+        if backend is not None and backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if backend is None:
+            if self._workers_cap > 1 and process_backend_available():
+                backend = "process"
+            elif self._workers_cap > 1:
+                backend = "thread"
+            else:
+                backend = "serial"
+        if backend == "process" and not process_backend_available():
+            backend = "thread"
+        self._backend = backend
+        self._samplers: Optional[List[HarvestSampler]] = None
+        self._processes: List[multiprocessing.Process] = []
+        self._task_queues: List["multiprocessing.queues.Queue[Any]"] = []
+        self._replies: Optional[
+            "multiprocessing.queues.Queue[Tuple[int, Optional[str]]]"
+        ] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    @property
+    def shards(self) -> int:
+        """Fixed shard count (one resident sampler per shard)."""
+        return len(self._channels)
+
+    @property
+    def backend(self) -> str:
+        """Resolved execution backend."""
+        return self._backend
+
+    @property
+    def started(self) -> bool:
+        """True once the resident samplers (and workers) exist."""
+        return self._samplers is not None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Compile every shard's plan once, then launch the workers.
+
+        Idempotent.  Plan compilation happens in the *parent* so the
+        process workers inherit warm plans through fork copy-on-write —
+        the whole point of the persistent mode.  Called automatically by
+        the first :meth:`harvest`.
+        """
+        if self._closed:
+            raise ConfigurationError("PersistentPool is closed")
+        if self._samplers is not None:
+            return
+        samplers: List[HarvestSampler] = []
+        for channel in self._channels:
+            sampler = channel.sampler() if hasattr(channel, "sampler") else channel
+            warm = getattr(sampler, "compiled_plan", None)
+            if callable(warm):
+                warm()
+            samplers.append(sampler)
+        if self._backend == "process":
+            context = multiprocessing.get_context("fork")
+            self._replies = context.Queue()
+            for shard, sampler in enumerate(samplers):
+                tasks: "multiprocessing.queues.Queue[Any]" = context.Queue()
+                process = context.Process(
+                    target=_shard_worker,
+                    args=(shard, sampler, tasks, self._replies),
+                    daemon=True,
+                )
+                process.start()
+                self._task_queues.append(tasks)
+                self._processes.append(process)
+        elif self._backend == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self._workers_cap, len(samplers)),
+                thread_name_prefix="repro-persistent",
+            )
+        self._samplers = samplers
+
+    def close(self) -> None:
+        """Stop every worker and release queues/executor (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for tasks in self._task_queues:
+            try:
+                tasks.put(None)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for process in self._processes:
+            process.join(timeout=SHUTDOWN_GRACE_S)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=SHUTDOWN_GRACE_S)
+        for tasks in self._task_queues:
+            tasks.close()
+        if self._replies is not None:
+            self._replies.close()
+        self._task_queues = []
+        self._processes = []
+        self._replies = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._samplers = None
+
+    def __enter__(self) -> "PersistentPool":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Harvesting
+    # ------------------------------------------------------------------
+
+    def harvest(
+        self, num_bits: int, out: Optional[npt.NDArray[np.uint8]] = None
+    ) -> npt.NDArray[np.uint8]:
+        """Assemble ``num_bits`` bits from the shard workers.
+
+        The request splits into at most :attr:`shards` contiguous
+        chunks (chunk ``k`` always lands on shard ``k``); ``out``, when
+        given, receives the assembled bits in place and must be a
+        writeable C-contiguous uint8 buffer of ``num_bits`` entries
+        (validated before any shard is touched, raising
+        :class:`~repro.errors.InvalidBufferError`).
+        """
+        if num_bits <= 0:
+            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
+        ensure_bits_buffer(out, num_bits)
+        self.start()
+        assert self._samplers is not None
+        chunk = -(-num_bits // len(self._samplers))  # ceil
+        chunks = partition_chunks(num_bits, chunk)
+        result = out if out is not None else np.empty(num_bits, dtype=np.uint8)
+        if self._backend == "process":
+            self._harvest_process(chunks, num_bits, result)
+        elif self._backend == "thread":
+            self._harvest_thread(chunks, result)
+        else:
+            for shard, (start, stop) in enumerate(chunks):
+                self._run_shard(shard, result[start:stop])
+        return result
+
+    def _run_shard(self, shard: int, dest: npt.NDArray[np.uint8]) -> None:
+        """One shard's draw, with per-task pool accounting."""
+        assert self._samplers is not None
+        try:
+            self._samplers[shard].generate_fast(dest.size, out=dest)
+        except Exception as exc:
+            self._observe(outcome="error")
+            raise HarvestError(shard, f"{type(exc).__name__}: {exc}") from exc
+        self._observe(outcome="ok")
+
+    def _harvest_thread(
+        self, chunks: Sequence[Tuple[int, int]], result: npt.NDArray[np.uint8]
+    ) -> None:
+        assert self._executor is not None
+        futures: List["Future[None]"] = [
+            self._executor.submit(self._run_shard, shard, result[start:stop])
+            for shard, (start, stop) in enumerate(chunks)
+        ]
+        failure: Optional[BaseException] = None
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+
+    def _harvest_process(
+        self,
+        chunks: Sequence[Tuple[int, int]],
+        num_bits: int,
+        result: npt.NDArray[np.uint8],
+    ) -> None:
+        assert self._replies is not None
+        shared = SharedArray.create((num_bits,), np.uint8)
+        try:
+            for shard, (start, stop) in enumerate(chunks):
+                self._task_queues[shard].put(
+                    (stop - start, shared.name, start, num_bits)
+                )
+            errors: List[Tuple[int, str]] = []
+            for _ in chunks:
+                shard, error = self._await_reply()
+                self._observe(outcome="error" if error else "ok")
+                if error is not None:
+                    errors.append((shard, error))
+            if errors:
+                shard, error = min(errors)
+                raise HarvestError(shard, error)
+            shared.copy_out(result)
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def _await_reply(self) -> Tuple[int, Optional[str]]:
+        """Next shard reply; a dead worker fails fast instead of hanging."""
+        assert self._replies is not None
+        while True:
+            try:
+                reply: Tuple[int, Optional[str]] = self._replies.get(
+                    timeout=REPLY_POLL_S
+                )
+                return reply
+            except Empty:
+                for shard, process in enumerate(self._processes):
+                    if not process.is_alive():
+                        raise HarvestError(
+                            shard, "worker process died mid-harvest"
+                        ) from None
+
+    def _observe(self, outcome: str) -> None:
+        """Account one settled shard task to the pool-task counter."""
+        if obs.enabled():
+            obs.counter_add(
+                "drange_pool_tasks_total", backend=self._backend, outcome=outcome
+            )

@@ -14,7 +14,7 @@ paths, which is what keeps them bit-for-bit interchangeable.
 
 from __future__ import annotations
 
-from multiprocessing import shared_memory
+from multiprocessing import resource_tracker, shared_memory
 from typing import Optional, Tuple
 
 import numpy as np
@@ -64,6 +64,20 @@ class SharedArray:
     ) -> "SharedArray":
         """Map an existing segment by name (worker side)."""
         shm = shared_memory.SharedMemory(name=name)
+        # CPython < 3.13 registers every named attach with the process's
+        # resource tracker as if it owned the segment (bpo-39959).  Only
+        # the creator unlinks, so drop the bogus registration — otherwise
+        # every worker's tracker warns about "leaked" segments at exit
+        # once the coordinator has already unlinked them.
+        try:
+            # register() used the raw ``_name`` (leading slash intact on
+            # POSIX); the public ``name`` property strips it, so mirror
+            # the private spelling or the unregister misses.
+            resource_tracker.unregister(
+                getattr(shm, "_name", shm.name), "shared_memory"
+            )
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
         return cls(shm, tuple(shape), np.dtype(dtype), owner=False)
 
     @property

@@ -84,9 +84,15 @@ def sha256_block_condition(bits, block_bits: int = 512, digest_bits: int = 256) 
     if n_blocks == 0:
         return np.zeros(0, dtype=np.uint8)
     blocks = arr[: n_blocks * block_bits].reshape(n_blocks, block_bits)
+    # Pack the whole stream once (row-major, so block ``i`` occupies one
+    # fixed-size byte stride, each row zero-padded to whole bytes exactly
+    # as a per-block pack would be) and hash zero-copy memoryview slices
+    # instead of materializing a bytes object per block.
     packed = np.packbits(blocks, axis=1)
+    stride = packed.shape[1]
+    data = memoryview(packed.tobytes())
     out = bytearray()
     for i in range(n_blocks):
-        out.extend(hashlib.sha256(packed[i].tobytes()).digest())
+        out.extend(hashlib.sha256(data[i * stride : (i + 1) * stride]).digest())
     digests = np.unpackbits(np.frombuffer(bytes(out), dtype=np.uint8).reshape(n_blocks, -1), axis=1)
     return digests[:, :digest_bits].reshape(-1).astype(np.uint8)

@@ -39,6 +39,7 @@ from typing import Callable, Optional
 import numpy as np
 import numpy.typing as npt
 
+from repro.buffers import ensure_bits_buffer
 from repro.core.events import EventLog
 from repro.errors import (
     ConfigurationError,
@@ -143,6 +144,11 @@ class EntropyPool:
         self._events = events if events is not None else EventLog()
 
         self._cond = threading.Condition()
+        # Serializes source harvests and makes the pool single-appender
+        # (the zero-copy refill relies on the tail staying put while a
+        # harvest runs).  Lock order: _harvest_lock before _cond; no
+        # path acquires _harvest_lock while holding _cond.
+        self._harvest_lock = threading.Lock()
         self._buf: npt.NDArray[np.uint8] = np.empty(  # guarded-by: _cond
             capacity_bits, dtype=np.uint8
         )
@@ -211,16 +217,16 @@ class EntropyPool:
     # Ring primitives (call with the lock held)
     # ------------------------------------------------------------------
 
-    def _pop_locked(self, n: int) -> npt.NDArray[np.uint8]:
-        out = np.empty(n, dtype=np.uint8)
+    def _pop_into_locked(self, dest: npt.NDArray[np.uint8]) -> None:
+        """Pop ``dest.size`` bits straight into ``dest`` (no staging array)."""
+        n = int(dest.size)
         first = min(n, self._capacity - self._head)
-        out[:first] = self._buf[self._head : self._head + first]
+        dest[:first] = self._buf[self._head : self._head + first]
         rest = n - first
         if rest:
-            out[first:] = self._buf[:rest]
+            dest[first:] = self._buf[:rest]
         self._head = (self._head + n) % self._capacity
         self._size -= n
-        return out
 
     def _unpop_locked(self, bits: npt.NDArray[np.uint8]) -> None:
         """Return popped bits to the front of the ring (stream order)."""
@@ -282,16 +288,49 @@ class EntropyPool:
         On failure the exception is retained for :meth:`take` to chain,
         the refill is accounted, and — for health alarms — the buffered
         bits are quarantined.
+
+        Zero-copy: when the source exposes ``request_into`` (e.g.
+        :class:`~repro.core.integration.DRangeService`), the harvest
+        lands straight in the ring's tail segment with no staging
+        array.  This is safe because ``_harvest_lock`` makes this pool
+        single-appender: while the harvest runs outside ``_cond``,
+        concurrent takes only advance the head, so the reserved tail
+        segment stays put.  Sources without ``request_into`` use the
+        original request-then-append copy path.
         """
+        with self._harvest_lock:
+            return self._refill_once_serialized()
+
+    def _refill_once_serialized(self) -> bool:
         with self._cond:
             space = self._capacity - self._size
             if space <= 0:
                 self._refill_phase = False
                 return True
             batch = min(self._refill_batch, space)
+            tail = (self._head + self._size) % self._capacity
+            segment = min(batch, self._capacity - tail)
+            epoch = self._quarantine_epoch
+        request_into = getattr(self._source, "request_into", None)
         alarms_before = self._alarms()
+        fresh: Optional[npt.NDArray[np.uint8]] = None
         try:
-            fresh = self._source.request(batch)  # type: ignore[attr-defined]
+            if request_into is not None:
+                # _harvest_lock makes this pool single-appender: the
+                # reserved tail segment cannot move while the harvest
+                # runs, so writing it outside _cond is safe (see the
+                # _refill_once docstring).
+                request_into(self._buf[tail : tail + segment])  # repro: noqa[CONC001]
+                landed = segment
+            else:
+                fresh = np.asarray(
+                    # Blocking under _harvest_lock is this lock's whole
+                    # job — it serializes harvests without ever making
+                    # a taker wait (takers only contend on _cond).
+                    self._source.request(batch),  # type: ignore[attr-defined]  # repro: noqa[CONC002]
+                    dtype=np.uint8,
+                )
+                landed = int(fresh.size)
         except ReproError as exc:
             is_alarm = isinstance(exc, HealthError)
             with self._cond:
@@ -310,10 +349,26 @@ class EntropyPool:
             if alarmed and self._quarantine_on_alarm:
                 self._quarantine_locked("alarm during refill")
             self._last_failure = None
-            self._append_locked(np.asarray(fresh, dtype=np.uint8))
+            if fresh is not None:
+                self._append_locked(fresh)
+                path = "copy"
+            elif self._quarantine_epoch == epoch:
+                # Commit the reservation: the bits already sit in the
+                # tail segment, so landing them is a size bump.
+                self._size += landed
+                self._bits_refilled += landed
+                path = "zero_copy"
+            else:
+                # The quarantine reset the ring under the harvest.  The
+                # harvested bits are post-alarm and must survive, but
+                # their segment is no longer the tail: re-land them at
+                # the new tail (copy — ranges may overlap).
+                self._append_locked(self._buf[tail : tail + landed].copy())
+                path = "copy"
             self._update_phase_locked()
             level = self._size
             self._cond.notify_all()
+        obs.counter_add("drange_serving_pool_refill_writes_total", path=path)
         obs.counter_add("drange_serving_pool_refills_total", outcome="ok")
         obs.gauge_set("drange_serving_pool_bits", level)
         return True
@@ -432,8 +487,15 @@ class EntropyPool:
         num_bits: int,
         deadline_s: Optional[float] = None,
         clock: Optional[Clock] = None,
+        out: Optional[np.ndarray] = None,
     ) -> npt.NDArray[np.uint8]:
         """Remove and return ``num_bits`` from the pool.
+
+        ``out``, when given, receives the bits in place (a writeable,
+        C-contiguous uint8 buffer of ``num_bits`` entries — validated
+        up front, :class:`~repro.errors.InvalidBufferError` otherwise)
+        and is returned: the pool pops straight into the caller's
+        buffer with no intermediate allocation.
 
         Behavior by mode:
 
@@ -461,7 +523,8 @@ class EntropyPool:
             )
         if deadline_s is not None and clock is None:
             raise ConfigurationError("a deadline requires an injected clock")
-        out = np.empty(num_bits, dtype=np.uint8)
+        ensure_bits_buffer(out, num_bits)
+        result = out if out is not None else np.empty(num_bits, dtype=np.uint8)
         filled = 0
         epoch_at_start: Optional[int] = None
         try:
@@ -484,7 +547,7 @@ class EntropyPool:
                         epoch_at_start = self._quarantine_epoch
                     if self._size > 0 and filled < num_bits:
                         take_now = min(self._size, num_bits - filled)
-                        out[filled : filled + take_now] = self._pop_locked(take_now)
+                        self._pop_into_locked(result[filled : filled + take_now])
                         filled += take_now
                         self._update_phase_locked()
                         self._cond.notify_all()
@@ -542,9 +605,13 @@ class EntropyPool:
             if filled:
                 with self._cond:
                     if self._quarantine_epoch == epoch_at_start:
-                        self._unpop_locked(out[:filled])
+                        self._unpop_locked(result[:filled])
                     else:
                         self._events.bump("bits_discarded", filled)
             raise
+        obs.counter_add(
+            "drange_serving_pool_takes_total",
+            mode="zero_copy" if out is not None else "alloc",
+        )
         obs.gauge_set("drange_serving_pool_bits", level)
-        return out
+        return result

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional
 import numpy as np
 import numpy.typing as npt
 
+from repro.buffers import ensure_bits_buffer
 from repro.core.events import EventLog
 from repro.drbg import HashDrbg
 from repro.errors import (
@@ -426,6 +427,7 @@ class BufferedRngService:
         num_bits: int,
         tenant: str = "default",
         deadline_s: Optional[float] = None,
+        out: Optional[np.ndarray] = None,
     ) -> ServingResult:
         """Serve ``num_bits`` to ``tenant`` within the deadline.
 
@@ -437,6 +439,11 @@ class BufferedRngService:
         docstring otherwise.  Latency is recorded for every non-invalid
         outcome — shedding is a fast path, and its speed is part of the
         SLO this layer makes measurable.
+
+        ``out``, when given, receives the bits in place (a writeable,
+        C-contiguous uint8 buffer of ``num_bits`` entries, validated up
+        front) and is the array carried by the returned result: the
+        pool pops straight into it with no intermediate allocation.
         """
         if num_bits <= 0:
             obs.counter_add(
@@ -445,6 +452,7 @@ class BufferedRngService:
             raise InvalidRequestError(
                 f"num_bits must be positive, got {num_bits}"
             )
+        ensure_bits_buffer(out, num_bits)
         start_s = self._clock()
         relative = (
             deadline_s if deadline_s is not None else self._default_deadline_s
@@ -472,12 +480,18 @@ class BufferedRngService:
                 degraded = False
                 try:
                     bits = self._pool.take(
-                        num_bits, deadline_s=first_deadline, clock=self._clock
+                        num_bits,
+                        deadline_s=first_deadline,
+                        clock=self._clock,
+                        out=out,
                     )
                     self._note_pool_success()
                 except (PoolDrainedError, DeadlineExceededError) as exc:
                     try:
                         bits = self._serve_degraded(num_bits, exc)
+                        if out is not None:
+                            out[...] = bits
+                            bits = out
                         source = "drbg"
                         degraded = True
                     except (PoolDrainedError, DeadlineExceededError):
@@ -486,7 +500,10 @@ class BufferedRngService:
                         # The DRBG refused; spend the remaining real
                         # deadline waiting on the pool before shedding.
                         bits = self._pool.take(
-                            num_bits, deadline_s=absolute, clock=self._clock
+                            num_bits,
+                            deadline_s=absolute,
+                            clock=self._clock,
+                            out=out,
                         )
                         self._note_pool_success()
         except QueueFullError as exc:
@@ -528,6 +545,35 @@ class BufferedRngService:
         num_bits: int,
         tenant: str = "default",
         deadline_s: Optional[float] = None,
+        out: Optional[np.ndarray] = None,
     ) -> npt.NDArray[np.uint8]:
         """Convenience: :meth:`request` returning just the bit array."""
-        return self.request(num_bits, tenant=tenant, deadline_s=deadline_s).bits
+        return self.request(
+            num_bits, tenant=tenant, deadline_s=deadline_s, out=out
+        ).bits
+
+    def request_bytes(
+        self,
+        num_bytes: int,
+        tenant: str = "default",
+        deadline_s: Optional[float] = None,
+    ) -> bytes:
+        """Serve ``num_bytes`` random bytes (bulk zero-copy path).
+
+        One buffer end to end: the pool pops ``8 * num_bytes`` bits
+        straight into a scratch array (no pool-side allocation, no
+        intermediate bit list) and ``np.packbits`` renders it to bytes.
+        Sheds exactly like :meth:`request`.
+        """
+        if num_bytes <= 0:
+            obs.counter_add(
+                "drange_serving_requests_total", outcome="invalid"
+            )
+            raise InvalidRequestError(
+                f"num_bytes must be positive, got {num_bytes}"
+            )
+        scratch = np.empty(num_bytes * 8, dtype=np.uint8)
+        self.request(
+            num_bytes * 8, tenant=tenant, deadline_s=deadline_s, out=scratch
+        )
+        return np.packbits(scratch).tobytes()

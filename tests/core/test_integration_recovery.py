@@ -15,6 +15,14 @@ from repro.errors import (
 )
 from repro.health import STARTUP_MIN_BITS, HealthMonitor
 
+def _stuck_bits(n, out=None):
+    """generate_fast stand-in returning all-ones (honors out=)."""
+    bits = np.ones(n, dtype=np.uint8)
+    if out is not None:
+        out[...] = bits
+        return out
+    return bits
+
 RECOVERY_REGION = Region(banks=(0,), row_start=0, row_count=128)
 
 
@@ -172,7 +180,7 @@ class TestSelfHealing:
         monkeypatch.setattr(
             service._sampler,
             "generate_fast",
-            lambda n: np.ones(n, dtype=np.uint8),
+            _stuck_bits,
         )
         # The poisoned refill must drag the whole buffered queue down
         # with it — none of those earlier bits can be trusted either.
@@ -192,9 +200,9 @@ class TestExceptionSafeRequest:
         service.request(100)
         level = service.queue_level
         served = service.bits_served
-        snapshot = list(service._queue)
+        snapshot = service.queue_snapshot().tolist()
 
-        def boom(n):
+        def boom(n, out=None):
             raise RuntimeError("DRAM bus fell over")
 
         monkeypatch.setattr(service._sampler, "generate_fast", boom)
@@ -202,7 +210,7 @@ class TestExceptionSafeRequest:
             service.request(level + 500)
         # The dequeued bits went back in their original order.
         assert service.queue_level == level
-        assert list(service._queue) == snapshot
+        assert service.queue_snapshot().tolist() == snapshot
         assert service.bits_served == served
 
     def test_health_failure_discards_partial_fill(self, prepared, monkeypatch):
@@ -215,7 +223,7 @@ class TestExceptionSafeRequest:
         monkeypatch.setattr(
             service._sampler,
             "generate_fast",
-            lambda n: np.ones(n, dtype=np.uint8),
+            _stuck_bits,
         )
         with pytest.raises(HealthError):
             service.request(level + 500)

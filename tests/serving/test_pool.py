@@ -210,3 +210,83 @@ class TestBackgroundMode:
                 pool.take(8)
         finally:
             pool.stop()
+
+
+class ZeroCopySource:
+    """ScriptedSource plus the ``request_into`` zero-copy protocol.
+
+    Mirrors :class:`~repro.core.integration.DRangeService`: the stream
+    is a pure function of the running bit offset, independent of how
+    the harvest calls are sized, so the pool's prefix-buffer property
+    is checkable across both landing paths.
+    """
+
+    def __init__(self):
+        self.offset = 0
+        self.into_calls = 0
+        self.fail_with = None
+
+    def request(self, num_bits):
+        if self.fail_with is not None:
+            raise self.fail_with
+        bits = scripted_bits(self.offset, num_bits)
+        self.offset += num_bits
+        return bits
+
+    def request_into(self, out):
+        self.into_calls += 1
+        out[...] = self.request(out.size)
+        return out
+
+
+class TestZeroCopyPath:
+    def test_wrapping_refills_preserve_stream(self):
+        # Capacity and batch sizes chosen so the ring tail wraps over
+        # and over: the zero-copy landing must keep the prefix-buffer
+        # property exactly through every wrap.
+        source = ZeroCopySource()
+        pool = EntropyPool(source, capacity_bits=64, refill_batch_bits=48)
+        served = [pool.take(n) for n in (7, 1, 33, 64, 13, 50, 3, 29)]
+        got = np.concatenate(served)
+        np.testing.assert_array_equal(got, scripted_bits(0, got.size))
+        assert source.into_calls > 0  # the zero-copy path actually ran
+
+    def test_out_buffer_reuse_across_takes(self):
+        source = ZeroCopySource()
+        pool = EntropyPool(source, capacity_bits=64, refill_batch_bits=48)
+        out = np.empty(17, dtype=np.uint8)
+        offset = 0
+        for _ in range(6):
+            got = pool.take(17, out=out)
+            assert got is out
+            np.testing.assert_array_equal(out, scripted_bits(offset, 17))
+            offset += 17
+
+    def test_out_view_does_not_touch_neighbors(self):
+        source = ZeroCopySource()
+        pool = EntropyPool(source, capacity_bits=64, refill_batch_bits=48)
+        backing = np.full(32, 7, dtype=np.uint8)
+        view = backing[8:24]
+        got = pool.take(16, out=view)
+        assert got.base is backing
+        np.testing.assert_array_equal(backing[:8], np.full(8, 7))
+        np.testing.assert_array_equal(backing[24:], np.full(8, 7))
+        np.testing.assert_array_equal(view, scripted_bits(0, 16))
+
+    def test_failed_take_restores_ring_across_wrap(self):
+        # Drive the ring into a wrapped state, then fail a take that
+        # already popped bits: the unpop must restore stream order even
+        # when the restored span itself wraps the ring boundary.
+        source = ZeroCopySource()
+        pool = EntropyPool(source, capacity_bits=32, refill_batch_bits=24)
+        first = pool.take(20)  # head deep into the ring
+        pool.refill_to_high()  # tail wraps past the boundary
+        level = pool.level
+        source.fail_with = ReproError("harvester down")
+        with pytest.raises(PoolDrainedError):
+            pool.take(level + 8)  # pops all buffered bits, then sheds
+        assert pool.level == level  # everything went back
+        source.fail_with = None
+        rest = pool.take(level)
+        got = np.concatenate([first, rest])
+        np.testing.assert_array_equal(got, scripted_bits(0, got.size))

@@ -31,6 +31,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 EXECUTABLE_DOCS = (
     "docs/API.md",
     "docs/observability.md",
+    "docs/performance.md",
     "docs/serving.md",
 )
 

@@ -303,3 +303,121 @@ class TestRecoveryBackoffBounds:
 
         with pytest.raises(ConfigurationError):
             RecoveryPolicy(max_backoff_s=-1.0)
+
+
+class TestVectorizedEquivalence:
+    """A/B pins: vectorized ``feed`` vs the scalar ``feed_reference``.
+
+    The vectorized scans must reproduce the per-bit loops *exactly* —
+    same first-alarm bit offset, same detail string, same carried state
+    across feeds — on alarm-boundary streams and seeded random streams.
+    """
+
+    @staticmethod
+    def _assert_equal(fast, slow):
+        assert fast == slow
+        assert fast.__dict__ == slow.__dict__ if hasattr(fast, "__dict__") else True
+
+    @staticmethod
+    def _feed_both(fast_test, slow_test, bits):
+        fast_alarm = fast_test.feed(bits)
+        slow_alarm = slow_test.feed_reference(bits)
+        assert fast_alarm == slow_alarm
+        assert fast_test.__dict__ == slow_test.__dict__
+        return fast_alarm
+
+    def test_repetition_alarm_at_first_bit_of_feed(self):
+        fast, slow = RepetitionCountTest(0.9), RepetitionCountTest(0.9)
+        carried = np.ones(fast.cutoff - 1, dtype=np.uint8)
+        assert self._feed_both(fast, slow, carried) is None
+        alarm = self._feed_both(fast, slow, np.ones(1, dtype=np.uint8))
+        assert alarm is not None
+        assert alarm.sample_index == fast.cutoff - 1
+
+    def test_repetition_alarm_at_last_bit_of_feed(self):
+        fast, slow = RepetitionCountTest(0.9), RepetitionCountTest(0.9)
+        stream = np.concatenate(
+            [np.array([0, 1], dtype=np.uint8), np.zeros(fast.cutoff, dtype=np.uint8)]
+        )
+        alarm = self._feed_both(fast, slow, stream)
+        assert alarm is not None
+        assert alarm.sample_index == stream.size - 1
+
+    def test_repetition_run_carried_across_many_feeds(self):
+        fast, slow = RepetitionCountTest(0.9), RepetitionCountTest(0.9)
+        # Drip a long run one bit at a time: the alarm must land on the
+        # exact feed (and state must match after every single bit).
+        alarms = []
+        for _ in range(fast.cutoff + 3):
+            alarm = self._feed_both(fast, slow, np.ones(1, dtype=np.uint8))
+            alarms.append(alarm)
+        fired = [i for i, a in enumerate(alarms) if a is not None]
+        assert fired[0] == fast.cutoff - 1
+
+    def test_proportion_alarm_at_first_bit_of_feed(self):
+        fast = AdaptiveProportionTest(0.9, window=64)
+        slow = AdaptiveProportionTest(0.9, window=64)
+        carried = np.ones(fast.cutoff - 1, dtype=np.uint8)
+        assert self._feed_both(fast, slow, carried) is None
+        alarm = self._feed_both(fast, slow, np.ones(1, dtype=np.uint8))
+        assert alarm is not None
+
+    def test_proportion_alarm_at_last_bit_of_feed(self):
+        fast = AdaptiveProportionTest(0.9, window=64)
+        slow = AdaptiveProportionTest(0.9, window=64)
+        # One short of the cutoff count, a gap, then the saturating bit
+        # — all inside a single window.
+        stream = np.concatenate(
+            [
+                np.ones(fast.cutoff - 1, dtype=np.uint8),
+                np.zeros(5, dtype=np.uint8),
+                np.ones(1, dtype=np.uint8),
+            ]
+        )
+        assert stream.size <= 64
+        alarm = self._feed_both(fast, slow, stream)
+        assert alarm is not None
+        assert alarm.sample_index == stream.size - 1
+
+    def test_proportion_window_carried_across_feeds(self):
+        fast = AdaptiveProportionTest(0.9, window=256)
+        slow = AdaptiveProportionTest(0.9, window=256)
+        rng = np.random.default_rng(42)
+        # Ragged feed sizes force window splits at awkward offsets.
+        for size in (1, 255, 256, 257, 13, 1000, 3, 512):
+            bits = (rng.random(size) < 0.6).astype(np.uint8)
+            self._feed_both(fast, slow, bits)
+
+    def test_seeded_random_streams_with_injected_runs(self):
+        rng = np.random.default_rng(20260808)
+        for _ in range(40):
+            min_entropy = float(rng.uniform(0.3, 1.0))
+            window = int(rng.choice([8, 64, 1024]))
+            rep_fast = RepetitionCountTest(min_entropy)
+            rep_slow = RepetitionCountTest(min_entropy)
+            prop_fast = AdaptiveProportionTest(min_entropy, window)
+            prop_slow = AdaptiveProportionTest(min_entropy, window)
+            for _ in range(int(rng.integers(1, 6))):
+                n = int(rng.integers(0, 3000))
+                bits = (rng.random(n) < rng.uniform(0.1, 0.9)).astype(np.uint8)
+                if n > 60 and rng.random() < 0.5:
+                    start = int(rng.integers(0, n - 50))
+                    bits[start : start + int(rng.integers(5, 50))] = int(
+                        rng.integers(0, 2)
+                    )
+                self._feed_both(rep_fast, rep_slow, bits)
+                self._feed_both(prop_fast, prop_slow, bits)
+
+    def test_empty_feed_is_a_no_op(self):
+        for fast, slow in (
+            (RepetitionCountTest(0.9), RepetitionCountTest(0.9)),
+            (AdaptiveProportionTest(0.9), AdaptiveProportionTest(0.9)),
+        ):
+            assert self._feed_both(fast, slow, np.array([], dtype=np.uint8)) is None
+
+    def test_float_bits_truncate_like_the_loop(self):
+        fast, slow = RepetitionCountTest(0.9), RepetitionCountTest(0.9)
+        # int(1.9) == 1: float feeds must compare truncated values.
+        stream = np.full(fast.cutoff, 1.9)
+        alarm = self._feed_both(fast, slow, stream)
+        assert alarm is not None
