@@ -1,0 +1,298 @@
+"""Fleet-scale population study benchmark.
+
+The paper's evaluation is a population study (282 LPDDR4 + 4 DDR3
+chips, Section 5); this benchmark runs the same study shape at fleet
+scale through ``repro.fleet`` and records four stations:
+
+* **build** — instantiate a >=1000-device heterogeneous fleet from one
+  declarative :class:`~repro.fleet.spec.FleetSpec` (timed; the
+  structural draws and per-device silicon seeds are all deterministic);
+* **recharacterization** — drive the budgeted
+  :class:`~repro.fleet.scheduling.RecharacterizationScheduler` for a
+  simulated duty cycle and check every device gets serviced;
+* **capacity** — a :class:`~repro.fleet.capacity.CapacityPlanner`
+  sweep: devices-per-gigabit for every part at the fleet's ambient and
+  at an elevated temperature;
+* **harvest** — pull real bits through the fleet's
+  :class:`~repro.parallel.persistent.PersistentPool` plumbing.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_fleet.py --benchmark-only``;
+* ``python benchmarks/bench_fleet.py [--quick]`` — standalone runner
+  that writes ``BENCH_fleet.json``; ``--quick`` is the CI smoke mode
+  (smaller fleet, same gates).
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.profiling import Region
+from repro.fleet import (
+    CapacityPlanner,
+    FleetSpec,
+    RecharacterizationScheduler,
+    TemperatureModel,
+    build_fleet,
+    drift_sweep,
+)
+
+MASTER_SEED = 2019
+NOISE_SEED = 20190216
+
+FLEET_SIZE_FULL = 1200
+FLEET_SIZE_QUICK = 200
+
+#: Part mix echoing the paper's population: LPDDR4-dominated with a
+#: DDR3 cross-validation slice, plus binned and LPDDR4X variants.
+PART_MIX = (
+    ("LPDDR4", 5.0),
+    ("MT53E512M32-2400", 2.0),
+    ("LPDDR4X", 2.0),
+    ("DDR3", 1.0),
+)
+
+TARGET_GBPS = 1.0
+HOT_TEMPERATURE_C = 70.0
+DUTY_TICKS = 48
+HARVEST_REGION = Region(banks=(0,), row_start=0, row_count=128)
+
+
+def _spec(quick):
+    return FleetSpec(
+        size=FLEET_SIZE_QUICK if quick else FLEET_SIZE_FULL,
+        parts=PART_MIX,
+        temperature=TemperatureModel(mean_c=45.0, sigma_c=5.0),
+        master_seed=MASTER_SEED,
+        noise_seed=NOISE_SEED,
+    )
+
+
+def _bench_build(spec):
+    start = time.perf_counter()
+    fleet = build_fleet(spec)
+    elapsed = time.perf_counter() - start
+    summary = fleet.summary()
+    return fleet, {
+        "devices": len(fleet),
+        "build_seconds": round(elapsed, 3),
+        "devices_per_second": round(len(fleet) / elapsed, 1),
+        "parts": summary["parts"],
+        "families": summary["families"],
+        "manufacturers": summary["manufacturers"],
+        "temperature_c": summary["temperature_c"],
+    }
+
+
+def _bench_scheduler(fleet):
+    budget = max(1, len(fleet) // 24)
+    scheduler = RecharacterizationScheduler(
+        fleet, interval_ticks=24, max_per_tick=budget
+    )
+    serviced = set()
+    max_backlog = 0
+    for tick in range(DUTY_TICKS):
+        serviced.update(pick.index for pick in scheduler.step(tick))
+        max_backlog = max(max_backlog, scheduler.backlog(tick + 1))
+    return {
+        "ticks": DUTY_TICKS,
+        "budget_per_tick": budget,
+        "devices_serviced": len(serviced),
+        "max_backlog": max_backlog,
+    }
+
+
+def _bench_capacity(fleet):
+    planner = CapacityPlanner(fleet)
+    sweep = {}
+    for label, temperature in (
+        ("ambient", None),
+        (f"{HOT_TEMPERATURE_C:g}C", HOT_TEMPERATURE_C),
+    ):
+        plan = planner.plan(TARGET_GBPS, temperature_c=temperature)
+        sweep[label] = {
+            part: {
+                "throughput_mbps": round(row["throughput_mbps"], 1),
+                "devices_needed": int(row["devices_needed"]),
+                "devices_available": int(row["devices_available"]),
+            }
+            for part, row in plan.items()
+        }
+    return {
+        "target_gbps": TARGET_GBPS,
+        "utilization": planner.utilization,
+        "sweep": sweep,
+    }
+
+
+def _bench_drift(fleet, quick):
+    report = drift_sweep(
+        fleet,
+        temperatures_c=[35.0, 45.0, 55.0, 65.0],
+        max_devices=4 if quick else 8,
+    )
+    return {
+        "quantity": report.quantity,
+        "points": [point.as_dict() for point in report.points],
+    }
+
+
+def _bench_harvest(fleet, quick):
+    num_bits = 4096 if quick else 16384
+    channels = 1 if quick else 2
+    start = time.perf_counter()
+    bits = fleet.harvest(
+        num_bits,
+        indices=list(range(channels)),
+        region=HARVEST_REGION,
+        iterations=60,
+        samples=200,
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "bits": int(bits.size),
+        "channels": channels,
+        "ones_ratio": round(float(bits.mean()), 4),
+        "wall_seconds": round(elapsed, 3),
+    }
+
+
+def run(quick=False):
+    spec = _spec(quick)
+    fleet, build = _bench_build(spec)
+    return {
+        "quick": bool(quick),
+        "master_seed": MASTER_SEED,
+        "noise_seed": NOISE_SEED,
+        "part_mix": {name: weight for name, weight in PART_MIX},
+        "build": build,
+        "recharacterization": _bench_scheduler(fleet),
+        "capacity": _bench_capacity(fleet),
+        "drift": _bench_drift(fleet, quick),
+        "harvest": _bench_harvest(fleet, quick),
+    }
+
+
+def _format(results):
+    build = results["build"]
+    lines = [
+        f"fleet population study ({build['devices']} devices, seeded):",
+        f"  build: {build['build_seconds']:.2f}s "
+        f"({build['devices_per_second']:.0f} devices/s), parts: "
+        + ", ".join(f"{k}={v}" for k, v in build["parts"].items()),
+    ]
+    sched = results["recharacterization"]
+    lines.append(
+        f"  recharacterization: {sched['devices_serviced']} serviced over "
+        f"{sched['ticks']} ticks at {sched['budget_per_tick']}/tick "
+        f"(max backlog {sched['max_backlog']})"
+    )
+    lines.append(
+        f"  capacity at {results['capacity']['target_gbps']:g} Gb/s "
+        f"({results['capacity']['utilization']:.0%} utilization):"
+    )
+    for label, plan in results["capacity"]["sweep"].items():
+        for part, row in plan.items():
+            lines.append(
+                f"    [{label}] {part:<18} {row['throughput_mbps']:>8.1f} "
+                f"Mb/s/device, need {row['devices_needed']:>4}, "
+                f"have {row['devices_available']}"
+            )
+    lines.append("  drift retention vs temperature:")
+    for point in results["drift"]["points"]:
+        lines.append(
+            f"    {point['value']:>5.1f} C  mean {point['mean_retention']:.3f}"
+            f"  [{point['min_retention']:.3f}, {point['max_retention']:.3f}]"
+            f"  over {point['devices']} devices"
+        )
+    harvest = results["harvest"]
+    lines.append(
+        f"  harvest: {harvest['bits']} bits over {harvest['channels']} "
+        f"channel(s), ones-ratio {harvest['ones_ratio']:.4f}"
+    )
+    return "\n".join(lines)
+
+
+def _enforce_gates(results):
+    """Population-study sanity gates (all modes)."""
+    failures = []
+    build = results["build"]
+    expected = FLEET_SIZE_QUICK if results["quick"] else FLEET_SIZE_FULL
+    if build["devices"] != expected:
+        failures.append(
+            f"built {build['devices']} devices, expected {expected}"
+        )
+    if set(build["parts"]) != {name for name, _ in PART_MIX}:
+        failures.append("part mix not fully represented in the build")
+    sched = results["recharacterization"]
+    if sched["devices_serviced"] != build["devices"]:
+        failures.append(
+            f"scheduler serviced only {sched['devices_serviced']} of "
+            f"{build['devices']} devices over {sched['ticks']} ticks"
+        )
+    for label, plan in results["capacity"]["sweep"].items():
+        for part, row in plan.items():
+            if row["throughput_mbps"] <= 0:
+                failures.append(
+                    f"capacity[{label}]: {part} models zero throughput"
+                )
+            if row["devices_needed"] < 1:
+                failures.append(
+                    f"capacity[{label}]: {part} needs <1 device for "
+                    f"{results['capacity']['target_gbps']:g} Gb/s"
+                )
+    for point in results["drift"]["points"]:
+        if not 0.0 <= point["mean_retention"] <= 1.0:
+            failures.append(
+                f"drift retention out of range at {point['value']}: "
+                f"{point['mean_retention']}"
+            )
+    harvest = results["harvest"]
+    if not 0.35 <= harvest["ones_ratio"] <= 0.65:
+        failures.append(
+            f"harvested stream is biased: ones-ratio "
+            f"{harvest['ones_ratio']:.4f}"
+        )
+    return failures
+
+
+def test_fleet_population_study(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: run(quick=True), rounds=1, iterations=1
+    )
+    emit(_format(results))
+    assert not _enforce_gates(results)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller fleet, same gates",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_fleet.json", help="result file path"
+    )
+    args = parser.parse_args()
+
+    results = run(quick=args.quick)
+    print(_format(results))
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failures = _enforce_gates(results)
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        return 1
+    print("gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

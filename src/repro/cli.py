@@ -14,6 +14,10 @@ Usage (installed, or via ``python -m repro``)::
     python -m repro latency
     python -m repro compare
     python -m repro experiment fig4 fig8 table2
+    python -m repro catalog --family LPDDR4
+    python -m repro catalog --part MT53E512M32
+    python -m repro fleet summary --size 200 --parts "LPDDR4=3,DDR3=1"
+    python -m repro fleet capacity --target-gbps 2
 
 Every subcommand accepts ``--seed`` for reproducible noise (omit for
 OS-entropy true-random mode) and ``--master-seed`` to pick the device
@@ -29,7 +33,7 @@ from typing import List, Optional
 from repro.core.drange import DRange
 from repro.core.profiling import Region
 from repro.dram.device import DeviceFactory
-from repro.errors import UnknownBackendError
+from repro.errors import UnknownBackendError, UnknownModuleError
 from repro.experiments.common import ExperimentConfig
 
 
@@ -208,6 +212,68 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--report-every", type=int, default=50,
         help="print a live SLO summary every N requests",
+    )
+
+    catalog = sub.add_parser(
+        "catalog",
+        help="browse the declarative DRAM part catalog",
+    )
+    catalog.add_argument(
+        "--format", default="table", choices=["table", "markdown"],
+        help="markdown emits docs/catalog.md verbatim (drift-tested)",
+    )
+    catalog.add_argument(
+        "--family", default=None,
+        help="filter to one family (DDR3/DDR4/LPDDR4/LPDDR4X)",
+    )
+    catalog.add_argument(
+        "--part", default=None,
+        help="show every speedgrade of one part in ns and cycles",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="build a heterogeneous device fleet and run population studies",
+    )
+    fleet.add_argument(
+        "action", nargs="?", default="summary",
+        choices=["summary", "capacity", "drift", "harvest"],
+        help="study to run over the built fleet (default: summary)",
+    )
+    fleet.add_argument(
+        "--size", type=int, default=60, help="number of devices to build"
+    )
+    fleet.add_argument(
+        "--parts", default="LPDDR4=3,DDR3=1",
+        help="weighted part mix, e.g. 'LPDDR4=3,MT53E512M32-2400=1'",
+    )
+    fleet.add_argument(
+        "--manufacturers", default="A=1,B=1,C=1",
+        help="weighted vendor mix over A/B/C",
+    )
+    fleet.add_argument(
+        "--temp-mean", type=float, default=45.0,
+        help="mean ambient DRAM temperature in °C",
+    )
+    fleet.add_argument(
+        "--temp-sigma", type=float, default=5.0,
+        help="temperature spread across the fleet in °C",
+    )
+    fleet.add_argument(
+        "--target-gbps", type=float, default=1.0,
+        help="capacity action: entropy target in Gb/s",
+    )
+    fleet.add_argument(
+        "--temperatures", default="35,45,55,65",
+        help="drift action: comma-separated sweep temperatures in °C",
+    )
+    fleet.add_argument(
+        "--bits", type=int, default=16384,
+        help="harvest action: bits to harvest through a pooled subset",
+    )
+    fleet.add_argument(
+        "--channels", type=int, default=2,
+        help="harvest action: fleet devices to pool",
     )
 
     lint = sub.add_parser(
@@ -573,6 +639,131 @@ def _cmd_serve(args) -> int:
     return 0 if outcomes["ok"] + outcomes["degraded"] > 0 else 1
 
 
+def _cmd_catalog(args) -> int:
+    from repro.dram.modules import catalog_markdown, get_module, list_modules
+
+    if args.format == "markdown":
+        print(catalog_markdown(), end="")
+        return 0
+    if args.part is not None:
+        module = get_module(args.part)
+        print(
+            f"{module.name}: {module.family}, {module.density_gbit:g} Gb, "
+            f"{module.banks} banks x {module.rows_per_bank} rows x "
+            f"{module.cols_per_row} cols, BL{module.burst_length}"
+        )
+        print(f"{'grade':>8}  {'clock':>9}  {'tRCD':>13}  {'tRP':>13}  {'tRAS':>13}")
+        for label in module.grade_labels:
+            grade = module.grade(label)
+            params = module.timing_parameters(grade=label)
+            cells = [
+                f"{getattr(params, name):.2f}ns/{params.cycles(name)}ck"
+                for name in ("trcd_ns", "trp_ns", "tras_ns")
+            ]
+            print(
+                f"{'-' + label:>8}  {grade.clock_mhz:>6.0f}MHz  "
+                f"{cells[0]:>13}  {cells[1]:>13}  {cells[2]:>13}"
+            )
+        return 0
+    print(f"{'part':<14} {'family':<8} {'density':>8}  speedgrades")
+    for module in list_modules(args.family):
+        grades = ", ".join(f"-{label}" for label in module.grade_labels)
+        print(
+            f"{module.name:<14} {module.family:<8} "
+            f"{module.density_gbit:>6g}Gb  {grades}"
+        )
+    return 0
+
+
+def _parse_mix(text: str, flag: str):
+    pairs = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, sep, weight = token.partition("=")
+        if not sep or not name:
+            print(f"error: {flag} entries must look like NAME=WEIGHT, got {token!r}")
+            return None
+        try:
+            pairs.append((name.strip(), float(weight)))
+        except ValueError:
+            print(f"error: {flag} weight for {name!r} is not a number: {weight!r}")
+            return None
+    if not pairs:
+        print(f"error: {flag} mix is empty")
+        return None
+    return tuple(pairs)
+
+
+def _cmd_fleet(args) -> int:
+    import json
+
+    from repro.fleet import (
+        CapacityPlanner,
+        FleetSpec,
+        TemperatureModel,
+        build_fleet,
+        drift_sweep,
+    )
+
+    parts = _parse_mix(args.parts, "--parts")
+    manufacturers = _parse_mix(args.manufacturers, "--manufacturers")
+    if parts is None or manufacturers is None:
+        return 2
+    spec = FleetSpec(
+        size=args.size,
+        parts=parts,
+        manufacturers=manufacturers,
+        temperature=TemperatureModel(
+            mean_c=args.temp_mean, sigma_c=args.temp_sigma
+        ),
+        master_seed=args.master_seed,
+        noise_seed=args.seed if args.seed is not None else 1,
+    )
+    fleet = build_fleet(spec)
+    if args.action == "summary":
+        print(json.dumps(fleet.summary(), indent=2))
+        return 0
+    if args.action == "capacity":
+        planner = CapacityPlanner(fleet)
+        plan = planner.plan(args.target_gbps)
+        print(
+            f"{'part':<20} {'Mb/s/device':>12} {'needed':>8} {'available':>10}"
+        )
+        for part, row in plan.items():
+            print(
+                f"{part:<20} {row['throughput_mbps']:>12.1f} "
+                f"{int(row['devices_needed']):>8} "
+                f"{int(row['devices_available']):>10}"
+            )
+        print(
+            f"(target {args.target_gbps:g} Gb/s at "
+            f"{planner.utilization:.0%} utilization)"
+        )
+        return 0
+    if args.action == "drift":
+        temperatures = [float(t) for t in args.temperatures.split(",") if t]
+        report = drift_sweep(fleet, temperatures)
+        print(f"{'temp(°C)':>9}  {'mean':>6}  {'min':>6}  {'max':>6}  devices")
+        for point in report.points:
+            print(
+                f"{point.value:>9.1f}  {point.mean_retention:>6.3f}  "
+                f"{point.min_retention:>6.3f}  {point.max_retention:>6.3f}  "
+                f"{point.devices:>7}"
+            )
+        return 0
+    # harvest
+    bits = fleet.harvest(
+        args.bits, indices=list(range(min(args.channels, len(fleet))))
+    )
+    print(
+        f"harvested {bits.size} bits over {min(args.channels, len(fleet))} "
+        f"pooled channels, ones-ratio {bits.mean():.4f}"
+    )
+    return 0
+
+
 def _forward_lint(tokens: List[str]) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -630,6 +821,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "metrics": _cmd_metrics,
     "serve": _cmd_serve,
+    "catalog": _cmd_catalog,
+    "fleet": _cmd_fleet,
     "lint": _cmd_lint,
 }
 
@@ -644,7 +837,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(tokens)
     try:
         return _COMMANDS[args.command](args)
-    except UnknownBackendError as exc:
+    except (UnknownBackendError, UnknownModuleError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -12,7 +12,10 @@ LPDDR4/DDR3 test infrastructure.  It models:
 * per-manufacturer behavior (A/B/C) in :mod:`repro.dram.manufacturer`,
 * the 40 characterization data patterns in :mod:`repro.dram.datapattern`,
 * command-level bank and device behavior in :mod:`repro.dram.bank` and
-  :mod:`repro.dram.device`, and
+  :mod:`repro.dram.device`,
+* the declarative part catalog (named DDR3/DDR4/LPDDR4/LPDDR4X modules
+  with per-speedgrade ns → cycle derivation) in
+  :mod:`repro.dram.modules`, and
 * retention/startup failure models used by prior-work baselines in
   :mod:`repro.dram.retention` and :mod:`repro.dram.startup`.
 """
@@ -22,6 +25,14 @@ from repro.dram.datapattern import DataPattern, all_characterization_patterns
 from repro.dram.device import DeviceFactory, DramDevice
 from repro.dram.geometry import CellCoord, DeviceGeometry
 from repro.dram.manufacturer import MANUFACTURERS, Manufacturer, ManufacturerProfile
+from repro.dram.modules import (
+    MODULES,
+    DramModule,
+    SpeedGrade,
+    get_module,
+    list_modules,
+    resolve_timings,
+)
 from repro.dram.timing import DDR3_1600, LPDDR4_3200, TimingParameters
 from repro.dram.topology import Channel, Rank
 
@@ -35,11 +46,17 @@ __all__ = [
     "DeviceFactory",
     "DeviceGeometry",
     "DramDevice",
+    "DramModule",
     "LPDDR4_3200",
     "MANUFACTURERS",
+    "MODULES",
     "Manufacturer",
     "ManufacturerProfile",
     "Rank",
+    "SpeedGrade",
     "TimingParameters",
     "all_characterization_patterns",
+    "get_module",
+    "list_modules",
+    "resolve_timings",
 ]

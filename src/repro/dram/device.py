@@ -14,7 +14,16 @@ and 4 DDR3 chips.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -23,6 +32,7 @@ from repro.dram.datapattern import DataPattern
 from repro.dram.failures import ActivationFailureModel, OperatingPoint
 from repro.dram.geometry import DeviceGeometry
 from repro.dram.manufacturer import Manufacturer, ManufacturerProfile, profile_for
+from repro.dram.modules import DramModule, resolve_timings
 from repro.dram.plane import ProbabilityPlane
 from repro.dram.quac import QuacModel
 from repro.dram.retention import RetentionModel
@@ -49,7 +59,13 @@ class DramDevice:
         Optional override; defaults to a characterization-sized geometry
         matched to the vendor's subarray height.
     timings:
-        The spec timing preset this device was binned for.
+        The spec timings this device was binned for: a
+        :class:`TimingParameters` preset, a catalog part name
+        (``"MT53E512M32"`` / ``"MT53E512M32-2400"``), or a
+        :class:`~repro.dram.modules.DramModule` (rated grade).  A
+        string/module spec resolves through the declarative catalog;
+        a ``TimingParameters`` passes through unchanged, so existing
+        callers see zero behavior change.
     noise:
         Source of per-access randomness; pass a seeded source for
         reproducible tests.
@@ -62,11 +78,12 @@ class DramDevice:
         device_seed: int,
         manufacturer="A",
         geometry: Optional[DeviceGeometry] = None,
-        timings: TimingParameters = LPDDR4_3200,
+        timings: Union[TimingParameters, DramModule, str] = LPDDR4_3200,
         noise: Optional[NoiseSource] = None,
         corrupt_on_failure: bool = False,
         serial: Optional[str] = None,
     ) -> None:
+        timings = resolve_timings(timings)
         self._profile = profile_for(manufacturer)
         if geometry is None:
             geometry = DeviceGeometry(subarray_rows=self._profile.subarray_rows)
@@ -519,12 +536,19 @@ class DeviceFactory:
     def __init__(
         self,
         master_seed: int = 2019,
-        timings: TimingParameters = LPDDR4_3200,
+        timings: Optional[TimingParameters] = None,
         noise_seed: Optional[int] = None,
         geometry: Optional[DeviceGeometry] = None,
+        module: Optional[Union[str, DramModule]] = None,
     ) -> None:
+        if module is not None:
+            if timings is not None:
+                raise ConfigurationError(
+                    "pass either timings= or module=, not both"
+                )
+            timings = resolve_timings(module)
         self._master_seed = master_seed
-        self._timings = timings
+        self._timings = timings if timings is not None else LPDDR4_3200
         self._geometry = geometry
         self._noise_root = NoiseSource(noise_seed)
         # Characterization artifacts keyed per (device, backend): the
@@ -558,7 +582,20 @@ class DeviceFactory:
         return dict(self._profiles)
 
     def make_device(self, manufacturer, index: int = 0, **kwargs) -> DramDevice:
-        """Create device ``index`` of ``manufacturer``'s population."""
+        """Create device ``index`` of ``manufacturer``'s population.
+
+        ``module=`` (a catalog part name or
+        :class:`~repro.dram.modules.DramModule`) overrides the factory
+        timings for this one device; mutually exclusive with a
+        ``timings=`` override.
+        """
+        module = kwargs.pop("module", None)
+        if module is not None:
+            if "timings" in kwargs:
+                raise ConfigurationError(
+                    "pass either timings= or module=, not both"
+                )
+            kwargs["timings"] = resolve_timings(module)
         profile = profile_for(manufacturer)
         seed = int(
             hash_u64(

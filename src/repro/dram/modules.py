@@ -1,0 +1,817 @@
+"""Declarative catalog of named DRAM parts and their speedgrades.
+
+The paper's population study spans 282 LPDDR4 chips plus 4 DDR3 chips
+across three manufacturers (Section 5); this module is the catalog that
+lets the simulator instantiate that kind of fleet from *data* instead of
+two hardcoded presets.  The idiom follows litedram/misoc's
+``SDRAMModule`` subclasses: each part declares its timings in
+**nanoseconds** plus geometry/density metadata, and a speedgrade (clock
+bin) quantizes those nanoseconds into whole command-clock cycles via
+``ceil(t_ns / clk_period)`` with JEDEC ``max(cycles, floor)`` guards.
+
+Derivation contract
+-------------------
+:meth:`DramModule.timing_parameters` produces the existing
+:class:`~repro.dram.timing.TimingParameters` — the only timing currency
+the device model, memory controller and backends speak — so catalog
+parts slot into every layer with **zero behavior change**.  The two
+legacy presets are reproduced exactly: ``get_module("LPDDR4")
+.timing_parameters("3200") == LPDDR4_3200`` and ``get_module("DDR3")
+.timing_parameters("1600") == DDR3_1600`` hold field-for-field (pinned
+by tests, including seeded bit-identity of ``generate_fast`` output).
+
+Cycle floors are applied in the nanosecond domain: when
+``floor_cycles`` at the derivation clock exceeds the declared
+nanoseconds, the parameter is raised to ``cycles_to_ns(floor, clock)``
+so that :meth:`TimingParameters.cycles` lands exactly on the floor.
+That keeps ``TimingParameters`` the single source of truth — no second
+quantization path exists.
+
+Part values are calibration-grade: representative of public JEDEC bins
+and vendor datasheets, not copied from any one sheet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.timing import (
+    DDR3_1600,
+    DDR4_2400,
+    LPDDR4_3200,
+    TimingParameters,
+)
+from repro.errors import ConfigurationError, UnknownModuleError
+from repro.units import cycles_to_ns, ns_to_cycles
+
+__all__ = [
+    "FAMILIES",
+    "MODULES",
+    "DramModule",
+    "SpeedGrade",
+    "catalog_markdown",
+    "get_module",
+    "list_modules",
+    "resolve_timings",
+]
+
+#: DRAM families the catalog models, in display order.
+FAMILIES: Tuple[str, ...] = ("DDR3", "DDR4", "LPDDR4", "LPDDR4X")
+
+#: The ns-denominated fields a module declares (mirrors
+#: :class:`~repro.dram.timing.TimingParameters` sans the optional
+#: bank-group long variants, handled separately).
+_NS_FIELDS: Tuple[str, ...] = (
+    "trcd_ns",
+    "tras_ns",
+    "trp_ns",
+    "tcl_ns",
+    "tcwl_ns",
+    "tccd_ns",
+    "trtp_ns",
+    "twr_ns",
+    "twtr_ns",
+    "trrd_ns",
+    "tfaw_ns",
+    "trefi_ns",
+    "trfc_ns",
+)
+
+#: Optional ns fields (present only on bank-grouped families).
+_OPTIONAL_NS_FIELDS: Tuple[str, ...] = ("tccd_l_ns", "trrd_l_ns")
+
+
+@dataclass(frozen=True)
+class SpeedGrade:
+    """One clock bin of a part: the rated clock plus ns overrides.
+
+    ``label`` is the data-rate suffix of the bin (``"3200"`` in
+    ``MT53E512M32-3200``).  ``overrides`` are ``(field, ns)`` pairs
+    replacing the module's base (rated-bin) nanoseconds — slower bins
+    carry *looser* latencies, so overrides are only ever upward, which
+    is what keeps per-speedgrade cycle counts monotone.
+    """
+
+    label: str
+    clock_mhz: float
+    data_rate_mtps: float
+    overrides: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ConfigurationError("speedgrade label must be non-empty")
+        if self.clock_mhz <= 0 or self.data_rate_mtps <= 0:
+            raise ConfigurationError(
+                f"speedgrade {self.label}: clock_mhz and data_rate_mtps "
+                f"must be positive"
+            )
+        known = set(_NS_FIELDS) | set(_OPTIONAL_NS_FIELDS)
+        for name, value in self.overrides:
+            if name not in known:
+                raise ConfigurationError(
+                    f"speedgrade {self.label}: unknown timing field {name!r}"
+                )
+            if value <= 0:
+                raise ConfigurationError(
+                    f"speedgrade {self.label}: {name} must be positive, "
+                    f"got {value}"
+                )
+
+
+@dataclass(frozen=True)
+class DramModule:
+    """One named DRAM part: ns timings, geometry and its speedgrades.
+
+    Timings are declared at the *rated* (fastest) bin; slower bins
+    loosen individual fields through their
+    :attr:`SpeedGrade.overrides`.  ``cycle_floors`` are ``(field,
+    min_cycles)`` JEDEC guards — e.g. tCCD is "max(4 nCK, 5 ns)" on
+    DDR3 — enforced at whatever clock the timings are derived for.
+    """
+
+    name: str
+    family: str
+    density_mbit: int
+    banks: int
+    rows_per_bank: int
+    cols_per_row: int
+    burst_length: int
+    trcd_ns: float
+    tras_ns: float
+    trp_ns: float
+    tcl_ns: float
+    tcwl_ns: float
+    tccd_ns: float
+    trtp_ns: float
+    twr_ns: float
+    twtr_ns: float
+    trrd_ns: float
+    tfaw_ns: float
+    trefi_ns: float
+    trfc_ns: float
+    tccd_l_ns: Optional[float] = None
+    trrd_l_ns: Optional[float] = None
+    bank_groups: int = 1
+    word_bits: int = 512
+    cycle_floors: Tuple[Tuple[str, int], ...] = ()
+    speedgrades: Tuple[SpeedGrade, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ConfigurationError(
+                f"{self.name}: family must be one of {FAMILIES}, "
+                f"got {self.family!r}"
+            )
+        if self.density_mbit <= 0:
+            raise ConfigurationError(
+                f"{self.name}: density_mbit must be positive"
+            )
+        if not self.speedgrades:
+            raise ConfigurationError(
+                f"{self.name}: a part needs at least one speedgrade"
+            )
+        labels = [grade.label for grade in self.speedgrades]
+        if len(labels) != len(set(labels)):
+            raise ConfigurationError(
+                f"{self.name}: duplicate speedgrade labels {labels}"
+            )
+        known = set(_NS_FIELDS) | set(_OPTIONAL_NS_FIELDS)
+        for field_name, floor in self.cycle_floors:
+            if field_name not in known:
+                raise ConfigurationError(
+                    f"{self.name}: unknown cycle-floor field {field_name!r}"
+                )
+            if floor <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: cycle floor for {field_name} must be "
+                    f"positive, got {floor}"
+                )
+        for grade in self.speedgrades:
+            for field_name, _ in grade.overrides:
+                if (
+                    field_name in _OPTIONAL_NS_FIELDS
+                    and getattr(self, field_name) is None
+                ):
+                    raise ConfigurationError(
+                        f"{self.name}: grade {grade.label} overrides "
+                        f"{field_name} but the part does not declare it"
+                    )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    @property
+    def rated_grade(self) -> SpeedGrade:
+        """The fastest bin the part is sold at (highest data rate)."""
+        return max(self.speedgrades, key=lambda grade: grade.data_rate_mtps)
+
+    @property
+    def grade_labels(self) -> Tuple[str, ...]:
+        """Labels of every bin, slowest to fastest."""
+        ordered = sorted(self.speedgrades, key=lambda g: g.data_rate_mtps)
+        return tuple(grade.label for grade in ordered)
+
+    def grade(self, label: Optional[str] = None) -> SpeedGrade:
+        """The bin named ``label`` (default: the rated bin)."""
+        if label is None:
+            return self.rated_grade
+        for grade in self.speedgrades:
+            if grade.label == label:
+                return grade
+        raise UnknownModuleError(
+            f"{self.name}-{label}",
+            tuple(f"{self.name}-{g.label}" for g in self.speedgrades),
+        )
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def grade_ns(self, grade: SpeedGrade) -> Dict[str, float]:
+        """The part's ns timings with ``grade``'s overrides applied."""
+        values: Dict[str, float] = {
+            name: getattr(self, name) for name in _NS_FIELDS
+        }
+        for name in _OPTIONAL_NS_FIELDS:
+            declared = getattr(self, name)
+            if declared is not None:
+                values[name] = declared
+        for name, value in grade.overrides:
+            values[name] = value
+        return values
+
+    def timing_parameters(
+        self,
+        grade: Optional[str] = None,
+        clock_mhz: Optional[float] = None,
+    ) -> TimingParameters:
+        """Derive :class:`TimingParameters` for one bin of this part.
+
+        ``clock_mhz`` derates the part below its bin (running a -3200
+        part on a 1600 MT/s bus); overclocking past the bin is a
+        configuration error — that is what the faster bin is for.  The
+        data rate scales with the clock (double data rate), and every
+        cycle floor is re-evaluated at the derivation clock, so a
+        derated part's constraints stay JEDEC-legal in cycles.
+        """
+        chosen = self.grade(grade)
+        clock = chosen.clock_mhz if clock_mhz is None else clock_mhz
+        if clock <= 0:
+            raise ConfigurationError(
+                f"{self.name}: clock_mhz must be positive, got {clock}"
+            )
+        if clock > chosen.clock_mhz:
+            raise ConfigurationError(
+                f"{self.name}-{chosen.label} is binned for "
+                f"{chosen.clock_mhz:g} MHz; cannot derive timings at "
+                f"{clock:g} MHz (pick a faster speedgrade)"
+            )
+        data_rate = chosen.data_rate_mtps * (clock / chosen.clock_mhz)
+        values = self.grade_ns(chosen)
+        for name, floor in self.cycle_floors:
+            if name not in values:
+                continue
+            floor_ns = cycles_to_ns(floor, clock)
+            if values[name] < floor_ns:
+                values[name] = floor_ns
+        return TimingParameters(
+            name=f"{self.name}-{chosen.label}",
+            clock_mhz=clock,
+            data_rate_mtps=data_rate,
+            burst_length=self.burst_length,
+            bank_groups=self.bank_groups,
+            **values,
+        )
+
+    def derived_cycles(
+        self,
+        grade: Optional[str] = None,
+        clock_mhz: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Every timing constraint in whole cycles at the derived clock.
+
+        Convenience view over :meth:`timing_parameters` — the numbers a
+        memory controller would program into its timing registers, and
+        the ones ``docs/catalog.md`` tabulates.
+        """
+        params = self.timing_parameters(grade=grade, clock_mhz=clock_mhz)
+        cycles: Dict[str, int] = {}
+        for name in _NS_FIELDS:
+            cycles[name] = params.cycles(name)
+        for name in _OPTIONAL_NS_FIELDS:
+            if getattr(params, name) is not None:
+                cycles[name] = params.cycles(name)
+        return cycles
+
+    def geometry(self, subarray_rows: int = 512) -> DeviceGeometry:
+        """This part's :class:`DeviceGeometry` (full-size — mind the cost).
+
+        The returned geometry describes the real array; characterization
+        runs usually want the factory's default characterization-sized
+        geometry instead and scale regions explicitly.  ``subarray_rows``
+        is vendor-specific and is overridden by the manufacturer profile
+        when the device is built.
+        """
+        return DeviceGeometry(
+            banks=self.banks,
+            rows_per_bank=self.rows_per_bank,
+            cols_per_row=self.cols_per_row,
+            subarray_rows=subarray_rows,
+            word_bits=self.word_bits,
+        )
+
+    @property
+    def density_gbit(self) -> float:
+        """Density in gigabits (display convenience)."""
+        return self.density_mbit / 1024.0
+
+
+def _refi(window_ms: float, rows: int) -> float:
+    """Average refresh interval in ns for a ``window_ms`` retention window."""
+    return window_ms * 1e6 / rows
+
+
+def _ddr3(
+    name: str,
+    density_mbit: int,
+    rows_per_bank: int,
+    trfc_ns: float,
+    grades: Tuple[SpeedGrade, ...],
+    cols_per_row: int = 8192,
+    **overrides: float,
+) -> DramModule:
+    """A DDR3 part from the family's shared JEDEC frame."""
+    base = dict(
+        family="DDR3",
+        banks=8,
+        cols_per_row=cols_per_row,
+        burst_length=8,
+        trcd_ns=13.75,
+        tras_ns=35.0,
+        trp_ns=13.75,
+        tcl_ns=13.75,
+        tcwl_ns=10.0,
+        tccd_ns=5.0,
+        trtp_ns=7.5,
+        twr_ns=15.0,
+        twtr_ns=7.5,
+        trrd_ns=6.0,
+        tfaw_ns=30.0,
+        trefi_ns=7800.0,
+        cycle_floors=(("tccd_ns", 4), ("trtp_ns", 4), ("twtr_ns", 4)),
+    )
+    base.update(overrides)
+    return DramModule(
+        name=name,
+        density_mbit=density_mbit,
+        rows_per_bank=rows_per_bank,
+        trfc_ns=trfc_ns,
+        speedgrades=grades,
+        **base,  # type: ignore[arg-type]
+    )
+
+
+def _ddr4(
+    name: str,
+    density_mbit: int,
+    rows_per_bank: int,
+    trfc_ns: float,
+    grades: Tuple[SpeedGrade, ...],
+    cols_per_row: int = 8192,
+    with_floors: bool = True,
+    **overrides: float,
+) -> DramModule:
+    """A DDR4 part (bank groups, short/long tCCD/tRRD)."""
+    base = dict(
+        family="DDR4",
+        banks=8,
+        cols_per_row=cols_per_row,
+        burst_length=8,
+        trcd_ns=14.16,
+        tras_ns=32.0,
+        trp_ns=14.16,
+        tcl_ns=14.16,
+        tcwl_ns=10.0,
+        tccd_ns=3.33,
+        trtp_ns=7.5,
+        twr_ns=15.0,
+        twtr_ns=7.5,
+        trrd_ns=3.3,
+        tfaw_ns=21.0,
+        trefi_ns=7800.0,
+        tccd_l_ns=5.0,
+        trrd_l_ns=4.9,
+        bank_groups=4,
+        cycle_floors=(
+            (("tccd_ns", 4), ("trrd_ns", 4), ("tccd_l_ns", 5))
+            if with_floors
+            else ()
+        ),
+    )
+    base.update(overrides)
+    return DramModule(
+        name=name,
+        density_mbit=density_mbit,
+        rows_per_bank=rows_per_bank,
+        trfc_ns=trfc_ns,
+        speedgrades=grades,
+        **base,  # type: ignore[arg-type]
+    )
+
+
+def _lpddr4(
+    name: str,
+    density_mbit: int,
+    rows_per_bank: int,
+    trfc_ns: float,
+    grades: Tuple[SpeedGrade, ...],
+    family: str = "LPDDR4",
+    cols_per_row: int = 16384,
+    **overrides: float,
+) -> DramModule:
+    """An LPDDR4/LPDDR4X part from the family's shared JEDEC frame."""
+    base = dict(
+        family=family,
+        banks=8,
+        cols_per_row=cols_per_row,
+        burst_length=16,
+        trcd_ns=18.0,
+        tras_ns=42.0,
+        trp_ns=18.0,
+        tcl_ns=18.0,
+        tcwl_ns=9.0,
+        tccd_ns=5.0,
+        trtp_ns=7.5,
+        twr_ns=18.0,
+        twtr_ns=10.0,
+        trrd_ns=10.0,
+        tfaw_ns=40.0,
+        trefi_ns=3904.0,
+        cycle_floors=(("tccd_ns", 8), ("twtr_ns", 8)),
+    )
+    base.update(overrides)
+    return DramModule(
+        name=name,
+        density_mbit=density_mbit,
+        rows_per_bank=rows_per_bank,
+        trfc_ns=trfc_ns,
+        speedgrades=grades,
+        **base,  # type: ignore[arg-type]
+    )
+
+
+#: DDR3 bins: 1066F / 1333H / 1600K (CL-binned latencies loosen downward).
+_DDR3_GRADES = (
+    SpeedGrade(
+        "1066",
+        533.0,
+        1066.0,
+        overrides=(
+            ("trcd_ns", 15.0),
+            ("trp_ns", 15.0),
+            ("tcl_ns", 15.0),
+            ("tras_ns", 37.5),
+            ("trrd_ns", 7.5),
+            ("tfaw_ns", 37.5),
+            ("tcwl_ns", 11.25),
+        ),
+    ),
+    SpeedGrade(
+        "1333",
+        667.0,
+        1333.0,
+        overrides=(
+            ("trcd_ns", 14.0),
+            ("trp_ns", 14.0),
+            ("tcl_ns", 14.0),
+            ("tras_ns", 36.0),
+            ("trrd_ns", 6.5),
+            ("tfaw_ns", 33.75),
+            ("tcwl_ns", 10.5),
+        ),
+    ),
+    SpeedGrade("1600", 800.0, 1600.0),
+)
+
+#: DDR4 bins: 2133P / 2400R / 2666V / 2933Y / 3200AA.
+_DDR4_GRADES = (
+    SpeedGrade(
+        "2133",
+        1066.0,
+        2133.0,
+        overrides=(
+            ("trcd_ns", 14.5),
+            ("trp_ns", 14.5),
+            ("tcl_ns", 14.5),
+            ("tras_ns", 33.0),
+            ("tfaw_ns", 25.0),
+            ("trrd_ns", 3.7),
+            ("trrd_l_ns", 5.3),
+        ),
+    ),
+    SpeedGrade("2400", 1200.0, 2400.0),
+    SpeedGrade(
+        "2666",
+        1333.0,
+        2666.0,
+        overrides=(
+            ("trcd_ns", 14.16),
+            ("tfaw_ns", 21.0),
+        ),
+    ),
+    SpeedGrade(
+        "2933",
+        1466.0,
+        2933.0,
+        overrides=(("trcd_ns", 14.16),),
+    ),
+    SpeedGrade("3200", 1600.0, 3200.0),
+)
+
+#: LPDDR4 bins: 1866 / 2400 / 3200 (latency in ns is flat across bins;
+#: the clock is what moves).
+_LPDDR4_GRADES = (
+    SpeedGrade(
+        "1866",
+        933.0,
+        1866.0,
+        overrides=(("trcd_ns", 18.5), ("trp_ns", 18.5), ("tcl_ns", 18.5)),
+    ),
+    SpeedGrade(
+        "2400",
+        1200.0,
+        2400.0,
+        overrides=(("trcd_ns", 18.25), ("trp_ns", 18.25), ("tcl_ns", 18.25)),
+    ),
+    SpeedGrade("3200", 1600.0, 3200.0),
+)
+
+#: LPDDR4X bins: 3200 / 3733 / 4267.
+_LPDDR4X_GRADES = (
+    SpeedGrade(
+        "3200",
+        1600.0,
+        3200.0,
+        overrides=(("trcd_ns", 18.0), ("trp_ns", 18.0), ("tcl_ns", 18.0)),
+    ),
+    SpeedGrade(
+        "3733",
+        1866.0,
+        3733.0,
+        overrides=(("trcd_ns", 17.7), ("trp_ns", 17.7), ("tcl_ns", 17.7)),
+    ),
+    SpeedGrade("4267", 2133.0, 4267.0),
+)
+
+
+def _catalog() -> Dict[str, DramModule]:
+    """Build the part catalog (module-load time, immutable afterwards)."""
+    modules = [
+        # ------------------------------------------------------------------
+        # JEDEC reference bins: generic parts whose rated grades reproduce
+        # the legacy presets byte-for-byte (pinned by tests).
+        # ------------------------------------------------------------------
+        _ddr3("DDR3", 4096, 32768, 160.0, _DDR3_GRADES),
+        _ddr4(
+            "DDR4",
+            8192,
+            32768,
+            350.0,
+            _DDR4_GRADES[:2],
+            with_floors=False,
+        ),
+        _lpddr4("LPDDR4", 8192, 32768, 180.0, _LPDDR4_GRADES),
+        _lpddr4(
+            "LPDDR4X",
+            8192,
+            32768,
+            180.0,
+            _LPDDR4X_GRADES,
+            family="LPDDR4X",
+        ),
+        # ------------------------------------------------------------------
+        # DDR3 vendor parts (the paper's 4 cross-validation devices).
+        # ------------------------------------------------------------------
+        _ddr3("MT41K256M16", 4096, 32768, 160.0, _DDR3_GRADES[1:]),
+        _ddr3("MT41K512M8", 4096, 65536, 160.0, _DDR3_GRADES, cols_per_row=4096),
+        _ddr3("K4B4G1646E", 4096, 32768, 160.0, _DDR3_GRADES[1:]),
+        _ddr3("H5TQ4G63CFR", 4096, 32768, 160.0, _DDR3_GRADES),
+        _ddr3("IS43TR16256A", 4096, 32768, 160.0, _DDR3_GRADES[:2]),
+        # ------------------------------------------------------------------
+        # DDR4 vendor parts (cross-technology studies).
+        # ------------------------------------------------------------------
+        _ddr4("MT40A512M16", 8192, 32768, 350.0, _DDR4_GRADES[1:]),
+        _ddr4("MT40A1G8", 8192, 65536, 350.0, _DDR4_GRADES[1:4], cols_per_row=4096),
+        _ddr4("K4A8G165WC", 8192, 32768, 350.0, _DDR4_GRADES[2:]),
+        _ddr4("H5AN8G16NAFR", 8192, 32768, 350.0, _DDR4_GRADES[:3]),
+        _ddr4("W634GU6NB", 4096, 16384, 260.0, _DDR4_GRADES[:2]),
+        # ------------------------------------------------------------------
+        # LPDDR4 vendor parts (the paper's primary 282-device class).
+        # ------------------------------------------------------------------
+        _lpddr4("MT53B512M32", 16384, 65536, 280.0, _LPDDR4_GRADES),
+        _lpddr4("MT53E512M32", 16384, 65536, 280.0, _LPDDR4_GRADES[1:]),
+        _lpddr4("K4F8E304HB", 8192, 32768, 180.0, _LPDDR4_GRADES),
+        _lpddr4("K4F6E304HB", 16384, 65536, 280.0, _LPDDR4_GRADES[1:]),
+        _lpddr4("H9HCNNNBKUML", 8192, 32768, 180.0, _LPDDR4_GRADES),
+        _lpddr4("H9HCNNN8KUML", 4096, 16384, 130.0, _LPDDR4_GRADES[:2]),
+        # ------------------------------------------------------------------
+        # LPDDR4X vendor parts (the low-VDDQ successors).
+        # ------------------------------------------------------------------
+        _lpddr4(
+            "MT53E1G32D2",
+            32768,
+            65536,
+            380.0,
+            _LPDDR4X_GRADES,
+            family="LPDDR4X",
+        ),
+        _lpddr4(
+            "K4UBE3D4AA",
+            32768,
+            65536,
+            380.0,
+            _LPDDR4X_GRADES[1:],
+            family="LPDDR4X",
+        ),
+        _lpddr4(
+            "H9HKNNNCRMBV",
+            16384,
+            32768,
+            280.0,
+            _LPDDR4X_GRADES,
+            family="LPDDR4X",
+        ),
+        _lpddr4(
+            "MT53D1024M32",
+            32768,
+            65536,
+            380.0,
+            _LPDDR4X_GRADES[:2],
+            family="LPDDR4X",
+        ),
+    ]
+    catalog: Dict[str, DramModule] = {}
+    for module in modules:
+        if module.name in catalog:
+            raise ConfigurationError(f"duplicate catalog part {module.name}")
+        catalog[module.name] = module
+    return catalog
+
+
+#: The part catalog: name → :class:`DramModule`, insertion-ordered by
+#: family then part.  Treat as read-only.
+MODULES: Dict[str, DramModule] = _catalog()
+
+
+def get_module(name: str) -> DramModule:
+    """Look up a catalog part by name; typo-safe.
+
+    Raises :class:`~repro.errors.UnknownModuleError` (carrying
+    ``.name`` and ``.available``) for unknown parts, before any device
+    work can start.
+    """
+    try:
+        return MODULES[name]
+    except KeyError:
+        raise UnknownModuleError(name, tuple(MODULES)) from None
+
+
+def list_modules(family: Optional[str] = None) -> List[DramModule]:
+    """All catalog parts, optionally filtered to one family."""
+    if family is not None and family not in FAMILIES:
+        raise ConfigurationError(
+            f"family must be one of {FAMILIES}, got {family!r}"
+        )
+    return [
+        module
+        for module in MODULES.values()
+        if family is None or module.family == family
+    ]
+
+
+def resolve_timings(
+    spec: Union[str, DramModule, TimingParameters],
+    clock_mhz: Optional[float] = None,
+) -> TimingParameters:
+    """Resolve a part spec into :class:`TimingParameters`.
+
+    Accepted forms: a ``TimingParameters`` (passed through), a
+    :class:`DramModule` (rated grade), ``"PART"`` (rated grade) or
+    ``"PART-GRADE"`` (that bin), e.g. ``"MT53E512M32-2400"``.
+    ``clock_mhz`` derates the chosen bin.
+    """
+    if isinstance(spec, TimingParameters):
+        if clock_mhz is not None:
+            raise ConfigurationError(
+                "clock_mhz derating needs a catalog part, not a "
+                "TimingParameters preset"
+            )
+        return spec
+    if isinstance(spec, DramModule):
+        return spec.timing_parameters(clock_mhz=clock_mhz)
+    if spec in MODULES:
+        return MODULES[spec].timing_parameters(clock_mhz=clock_mhz)
+    part, dash, grade = spec.rpartition("-")
+    if dash and part in MODULES:
+        return MODULES[part].timing_parameters(
+            grade=grade, clock_mhz=clock_mhz
+        )
+    available: List[str] = []
+    for module in MODULES.values():
+        available.extend(
+            f"{module.name}-{label}" for label in module.grade_labels
+        )
+    raise UnknownModuleError(spec, tuple(available))
+
+
+# ---------------------------------------------------------------------------
+# Documentation rendering (docs/catalog.md is this output, verbatim)
+# ---------------------------------------------------------------------------
+
+#: Columns of the per-part timing table: (TimingParameters field, label).
+_DOC_TIMINGS: Tuple[Tuple[str, str], ...] = (
+    ("trcd_ns", "tRCD"),
+    ("trp_ns", "tRP"),
+    ("tras_ns", "tRAS"),
+    ("trefi_ns", "tREFI"),
+)
+
+
+def _fmt_ns(value: float) -> str:
+    """Render a nanosecond figure without trailing-zero noise."""
+    text = f"{value:.2f}".rstrip("0").rstrip(".")
+    return f"{text} ns"
+
+
+def catalog_markdown() -> str:
+    """Render the full part/speedgrade reference as Markdown.
+
+    ``drange catalog --format markdown`` emits exactly this text, and
+    ``docs/catalog.md`` commits it; ``tests/dram/test_catalog_docs.py``
+    regenerates the document and fails on any drift, so the reference
+    tables can never disagree with the catalog code.
+    """
+    lines = [
+        "# DRAM module catalog",
+        "",
+        "<!-- GENERATED FILE - DO NOT EDIT BY HAND.",
+        "     Regenerate with:  python -m repro catalog --format markdown",
+        "     Drift is caught by tests/dram/test_catalog_docs.py.  -->",
+        "",
+        "Every part `repro.dram.modules` declares, one row per "
+        "speedgrade.  Timings",
+        "are declared in nanoseconds and quantized to command-clock "
+        "cycles at the",
+        "bin's rated clock via `ceil(t_ns / clk_period)` with JEDEC "
+        "`max(cycles,",
+        "floor)` guards — the `N ck` column is what a controller "
+        "would program.",
+        "The generic `DDR3` / `DDR4` / `LPDDR4` / `LPDDR4X` parts "
+        "reproduce the",
+        "legacy `TimingParameters` presets exactly at their rated bins.",
+        "",
+    ]
+    for family in FAMILIES:
+        members = list_modules(family)
+        if not members:
+            continue
+        lines.append(f"## {family}")
+        lines.append("")
+        lines.append(
+            "| part | speedgrade | clock | density | geometry "
+            "(b×r×c) | tRCD | tRP | tRAS | tREFI |"
+        )
+        lines.append(
+            "|------|-----------|-------|---------|-----------------"
+            "|------|-----|------|-------|"
+        )
+        for module in members:
+            for label in module.grade_labels:
+                grade = module.grade(label)
+                params = module.timing_parameters(grade=label)
+                cells = [
+                    f"`{module.name}`",
+                    f"-{label}",
+                    f"{grade.clock_mhz:g} MHz",
+                    f"{module.density_gbit:g} Gb",
+                    f"{module.banks}×{module.rows_per_bank}"
+                    f"×{module.cols_per_row}",
+                ]
+                for field_name, _ in _DOC_TIMINGS:
+                    ns_value = getattr(params, field_name)
+                    cells.append(
+                        f"{_fmt_ns(ns_value)} / "
+                        f"{params.cycles(field_name)} ck"
+                    )
+                lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    lines.append(
+        f"{sum(len(m.speedgrades) for m in MODULES.values())} "
+        f"speedgrade rows across {len(MODULES)} parts."
+    )
+    lines.append("")
+    return "\n".join(lines)

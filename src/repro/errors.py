@@ -31,6 +31,25 @@ class UnknownBackendError(ConfigurationError):
         super().__init__(f"unknown TRNG backend {name!r}; registered backends: {choices}")
 
 
+class UnknownModuleError(ConfigurationError):
+    """A DRAM part (or part-speedgrade) name is not in the catalog.
+
+    Raised *before* any device is built, so a typo in a fleet spec or
+    a CLI flag can never silently fall back to a default part.
+    ``available`` carries the catalog names for error reporting.
+    """
+
+    def __init__(self, name: str, available: tuple) -> None:
+        self.name = name
+        self.available = tuple(available)
+        shown = ", ".join(self.available[:8])
+        if len(self.available) > 8:
+            shown += ", ..."
+        super().__init__(
+            f"unknown DRAM module {name!r}; catalog parts: {shown or '<none>'}"
+        )
+
+
 class AddressError(ReproError):
     """A DRAM address is outside the geometry of the addressed device."""
 

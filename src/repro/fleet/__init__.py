@@ -1,0 +1,58 @@
+"""Fleet-scale population studies over the declarative device catalog.
+
+The paper's results come from a *population* — 282 LPDDR4 chips plus 4
+DDR3 chips across three manufacturers (Section 5).  This package turns
+the reproduction into that kind of study:
+
+* :mod:`repro.fleet.spec` — frozen :class:`FleetSpec` describing a
+  population (part mix, vendor mix, temperature/voltage distributions,
+  seeds),
+* :mod:`repro.fleet.population` — :func:`build_fleet` instantiating
+  thousands of heterogeneous devices deterministically, with harvest
+  plumbing into the existing ``PersistentPool`` /
+  ``MultiChannelDRange`` machinery,
+* :mod:`repro.fleet.scheduling` — budgeted online re-characterization
+  scheduling (epoch / temperature / interval staleness signals),
+* :mod:`repro.fleet.drift` — temperature-drift and aging sweeps over
+  the RNG-cell band,
+* :mod:`repro.fleet.capacity` — entropy-capacity planning ("how many
+  devices of part X serve N Gb/s at temperature T?").
+
+Fleet activity is observable through ``repro.obs`` (the
+``drange_fleet_*`` metric families).
+"""
+
+from repro.fleet.capacity import CapacityPlanner
+from repro.fleet.drift import (
+    RNG_BAND,
+    DriftPoint,
+    DriftReport,
+    aging_sweep,
+    drift_sweep,
+)
+from repro.fleet.population import Fleet, FleetDevice, build_fleet
+from repro.fleet.scheduling import DueDevice, RecharacterizationScheduler
+from repro.fleet.spec import (
+    DEFAULT_MANUFACTURER_MIX,
+    FleetSpec,
+    TemperatureModel,
+    VoltageModel,
+)
+
+__all__ = [
+    "CapacityPlanner",
+    "DEFAULT_MANUFACTURER_MIX",
+    "DriftPoint",
+    "DriftReport",
+    "DueDevice",
+    "Fleet",
+    "FleetDevice",
+    "FleetSpec",
+    "RNG_BAND",
+    "RecharacterizationScheduler",
+    "TemperatureModel",
+    "VoltageModel",
+    "aging_sweep",
+    "build_fleet",
+    "drift_sweep",
+]

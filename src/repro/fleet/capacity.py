@@ -1,0 +1,171 @@
+"""Fleet-wide entropy-capacity planning.
+
+The operational question behind the paper's Equation 1 throughput
+model, asked at fleet scale: *how many devices of part X does it take
+to serve N Gb/s of true random bits at temperature T?*
+
+The :class:`CapacityPlanner` answers it by characterizing one
+representative device per part (the lowest-index member — a stable,
+deterministic choice), pricing its per-device throughput through the
+existing :class:`~repro.core.throughput.ThroughputModel`, derating by a
+utilization factor (refresh interference, re-characterization windows,
+scheduling slack), and dividing.  Results are cached per
+``(part, temperature)``, so a planning sweep touches each operating
+point once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.core.drange import DRange
+from repro.core.profiling import Region
+from repro.errors import ConfigurationError
+from repro.fleet.population import Fleet, FleetDevice
+from repro.obs import runtime as obs
+
+__all__ = ["CapacityPlanner"]
+
+#: Characterization effort for representative devices: a slice of bank
+#: 0, enough cells to price throughput without a full Algorithm 1 pass.
+_PLANNING_REGION = Region(banks=(0,), row_start=0, row_count=128)
+_PLANNING_ITERATIONS = 50
+_PLANNING_SAMPLES = 200
+
+
+class CapacityPlanner:
+    """Prices parts in devices-per-gigabit across a built fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The population to plan against; representative devices are
+        drawn from (and mutated within — characterization writes data
+        patterns) this fleet.
+    trcd_ns:
+        Reduced activation latency for characterization and the
+        throughput model (the paper's 10 ns sampling point).
+    utilization:
+        Fraction of a device's modeled peak the plan counts on;
+        must be in (0, 1].
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        trcd_ns: float = 10.0,
+        utilization: float = 0.85,
+    ) -> None:
+        if not 0.0 < utilization <= 1.0:
+            raise ConfigurationError(
+                f"utilization must be in (0, 1], got {utilization}"
+            )
+        self._fleet = fleet
+        self._trcd_ns = trcd_ns
+        self._utilization = utilization
+        self._cache: Dict[Tuple[str, Optional[float]], float] = {}
+
+    @property
+    def utilization(self) -> float:
+        """The derate factor applied to modeled per-device throughput."""
+        return self._utilization
+
+    def representative(self, part: str) -> FleetDevice:
+        """The lowest-index fleet member of ``part`` (stable choice)."""
+        group = self._fleet.by_part().get(part)
+        if not group:
+            raise ConfigurationError(
+                f"fleet has no devices of part {part!r}; parts present: "
+                f"{sorted(self._fleet.by_part())}"
+            )
+        return group[0]
+
+    def part_throughput_mbps(
+        self, part: str, temperature_c: Optional[float] = None
+    ) -> float:
+        """Modeled per-device throughput of ``part`` in Mb/s (underated).
+
+        Characterizes the part's representative device at
+        ``temperature_c`` (default: the device's built temperature),
+        then evaluates Equation 1 over its best banks.  The device's
+        temperature is restored afterwards.  Cached per
+        ``(part, temperature_c)``; results land on the
+        ``drange_fleet_capacity_mbps`` gauge.
+        """
+        key = (part, temperature_c)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        member = self.representative(part)
+        device = member.device
+        original = device.temperature_c
+        if temperature_c is not None:
+            device.set_temperature(temperature_c)
+        try:
+            channel = DRange(device, trcd_ns=self._trcd_ns)
+            channel.prepare(
+                region=_PLANNING_REGION,
+                iterations=_PLANNING_ITERATIONS,
+                samples=_PLANNING_SAMPLES,
+            )
+            mbps = channel.estimated_throughput_mbps()
+        finally:
+            if temperature_c is not None:
+                device.set_temperature(original)
+        self._cache[key] = mbps
+        if obs.enabled():
+            obs.gauge_set("drange_fleet_capacity_mbps", mbps, part=part)
+        return mbps
+
+    def devices_needed(
+        self,
+        part: str,
+        target_gbps: float,
+        temperature_c: Optional[float] = None,
+    ) -> int:
+        """Devices of ``part`` needed to sustain ``target_gbps``.
+
+        ``ceil(target / (per_device * utilization))`` over the modeled
+        per-device throughput at ``temperature_c``.
+        """
+        if target_gbps <= 0:
+            raise ConfigurationError(
+                f"target_gbps must be positive, got {target_gbps}"
+            )
+        per_device_mbps = self.part_throughput_mbps(
+            part, temperature_c=temperature_c
+        )
+        if per_device_mbps <= 0:
+            raise ConfigurationError(
+                f"part {part!r} models zero throughput at this operating "
+                f"point; it cannot serve any target"
+            )
+        effective = per_device_mbps * self._utilization
+        return int(math.ceil(target_gbps * 1000.0 / effective))
+
+    def plan(
+        self,
+        target_gbps: float,
+        temperature_c: Optional[float] = None,
+    ) -> Dict[str, Dict[str, float]]:
+        """Capacity plan for every part in the fleet at one target.
+
+        Returns ``part → {"throughput_mbps", "devices_needed",
+        "devices_available"}``, in the spec's part declaration order —
+        the table ``drange fleet capacity`` prints and
+        ``bench_fleet.py`` records.
+        """
+        result: Dict[str, Dict[str, float]] = {}
+        for part, group in self._fleet.by_part().items():
+            mbps = self.part_throughput_mbps(part, temperature_c=temperature_c)
+            result[part] = {
+                "throughput_mbps": mbps,
+                "devices_needed": float(
+                    self.devices_needed(
+                        part, target_gbps, temperature_c=temperature_c
+                    )
+                ),
+                "devices_available": float(len(group)),
+            }
+        return result

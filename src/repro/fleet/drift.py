@@ -1,0 +1,218 @@
+"""Temperature-drift and aging sweeps over a fleet's RNG-cell bands.
+
+D-RaNGe selects cells that fail ~50% of the time; Section 5.3 shows the
+selected set shifts with temperature, and wear-out raises failure
+probabilities monotonically over a device's life.  These sweeps
+quantify both effects across a population analytically — per-cell
+failure probabilities come from the activation-failure model via each
+device's :class:`~repro.dram.plane.ProbabilityPlane`, so a sweep is
+deterministic and needs no Monte-Carlo sampling.
+
+The headline statistic is **band retention**: the fraction of cells
+selected in the paper's RNG band at the baseline operating point that
+remain in the band after the perturbation (a temperature step, or a
+given harvest age).  Retention ~1.0 means the characterization is still
+valid; low retention is exactly the signal the
+:class:`~repro.fleet.scheduling.RecharacterizationScheduler` exists to
+catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.models import CellAgingFault
+from repro.fleet.population import Fleet, FleetDevice
+
+__all__ = [
+    "RNG_BAND",
+    "DriftPoint",
+    "DriftReport",
+    "aging_sweep",
+    "drift_sweep",
+]
+
+#: The paper's RNG-cell selection band: cells failing 40–60% of reads.
+RNG_BAND: Tuple[float, float] = (0.4, 0.6)
+
+#: Rows probed per device when collecting baseline band cells.
+_BASELINE_ROWS = 8
+
+
+@dataclass(frozen=True)
+class DriftPoint:
+    """Band retention across the swept devices at one sweep step."""
+
+    value: float
+    mean_retention: float
+    min_retention: float
+    max_retention: float
+    devices: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (JSON benchmarks, CLI output)."""
+        return {
+            "value": self.value,
+            "mean_retention": self.mean_retention,
+            "min_retention": self.min_retention,
+            "max_retention": self.max_retention,
+            "devices": self.devices,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One sweep: the swept quantity plus per-step retention points."""
+
+    quantity: str
+    points: Tuple[DriftPoint, ...]
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (JSON benchmarks, CLI output)."""
+        return {
+            "quantity": self.quantity,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+
+def _band_probabilities(
+    member: FleetDevice, trcd_ns: float, rows: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Baseline per-cell probabilities and the in-band mask, bank 0.
+
+    Returns ``(probs, band_mask)`` over the first ``rows`` rows of bank
+    0 at the member's current operating point — the cells a
+    characterization pass run *now* would select from.
+    """
+    device = member.device
+    row_count = min(rows, device.geometry.rows_per_bank)
+    probs = np.concatenate(
+        [
+            device.row_failure_probabilities(0, row, trcd_ns)
+            for row in range(row_count)
+        ]
+    )
+    band = (probs >= RNG_BAND[0]) & (probs <= RNG_BAND[1])
+    return probs, band
+
+
+def _selected_members(
+    fleet: Fleet, indices: Optional[Sequence[int]], limit: int
+) -> List[FleetDevice]:
+    """The swept subset: explicit indices, or an even deterministic stride."""
+    if indices is not None:
+        return [fleet[index] for index in indices]
+    if len(fleet) <= limit:
+        return list(fleet.members)
+    stride = len(fleet) // limit
+    return [fleet[i * stride] for i in range(limit)]
+
+
+def drift_sweep(
+    fleet: Fleet,
+    temperatures_c: Sequence[float],
+    trcd_ns: float = 10.0,
+    indices: Optional[Sequence[int]] = None,
+    max_devices: int = 16,
+    rows: int = _BASELINE_ROWS,
+) -> DriftReport:
+    """Band retention versus temperature across the fleet.
+
+    Each swept device's baseline band is collected at its *built*
+    temperature; the device is then stepped through ``temperatures_c``
+    and the fraction of baseline cells still inside :data:`RNG_BAND` is
+    recorded at each step.  Devices are restored to their baseline
+    temperature afterwards, so the sweep leaves the fleet's operating
+    points unchanged (each device's ``state_epoch`` does advance — any
+    cached plan correctly recompiles).
+
+    Without explicit ``indices`` the sweep covers an even deterministic
+    stride of at most ``max_devices`` members — population statistics,
+    not a full-fleet pass.
+    """
+    if not temperatures_c:
+        raise ConfigurationError("drift_sweep needs at least one temperature")
+    members = _selected_members(fleet, indices, max_devices)
+    baselines = []
+    for member in members:
+        _, band = _band_probabilities(member, trcd_ns, rows)
+        if band.any():
+            baselines.append((member, band))
+    points: List[DriftPoint] = []
+    for temperature in temperatures_c:
+        retentions = []
+        for member, band in baselines:
+            device = member.device
+            original = device.temperature_c
+            device.set_temperature(float(temperature))
+            probs, _ = _band_probabilities(member, trcd_ns, rows)
+            device.set_temperature(original)
+            still = (probs[band] >= RNG_BAND[0]) & (probs[band] <= RNG_BAND[1])
+            retentions.append(float(still.mean()))
+        samples = np.asarray(retentions if retentions else [0.0])
+        points.append(
+            DriftPoint(
+                value=float(temperature),
+                mean_retention=float(samples.mean()),
+                min_retention=float(samples.min()),
+                max_retention=float(samples.max()),
+                devices=len(retentions),
+            )
+        )
+    return DriftReport(quantity="temperature_c", points=tuple(points))
+
+
+def aging_sweep(
+    fleet: Fleet,
+    ages_bits: Sequence[float],
+    trcd_ns: float = 10.0,
+    decay_per_bit: float = 1e-9,
+    max_decay: float = 0.5,
+    indices: Optional[Sequence[int]] = None,
+    max_devices: int = 16,
+    rows: int = _BASELINE_ROWS,
+) -> DriftReport:
+    """Band retention versus harvested age (bits emitted per cell).
+
+    Applies the :class:`~repro.faults.models.CellAgingFault` wear-out
+    law analytically — ``p' = p + (1 - p) * min(decay_per_bit * age,
+    max_decay)`` — to each swept device's baseline band probabilities
+    and reports how much of the band survives at each age.  Pure
+    computation: no device state is touched.
+    """
+    if not ages_bits:
+        raise ConfigurationError("aging_sweep needs at least one age")
+    # Constructing the fault validates decay_per_bit/max_decay through
+    # the model's own argument contract.
+    fault = CellAgingFault(decay_per_bit=decay_per_bit, max_decay=max_decay)
+    members = _selected_members(fleet, indices, max_devices)
+    baselines = []
+    for member in members:
+        probs, band = _band_probabilities(member, trcd_ns, rows)
+        if band.any():
+            baselines.append(probs[band])
+    points: List[DriftPoint] = []
+    for age in ages_bits:
+        if age < 0:
+            raise ConfigurationError(f"ages must be non-negative, got {age}")
+        retentions = []
+        for probs in baselines:
+            decay = min(age * fault.decay_per_bit, fault.max_decay)
+            aged = probs + (1.0 - probs) * decay
+            still = (aged >= RNG_BAND[0]) & (aged <= RNG_BAND[1])
+            retentions.append(float(still.mean()))
+        samples = np.asarray(retentions if retentions else [0.0])
+        points.append(
+            DriftPoint(
+                value=float(age),
+                mean_retention=float(samples.mean()),
+                min_retention=float(samples.min()),
+                max_retention=float(samples.max()),
+                devices=len(retentions),
+            )
+        )
+    return DriftReport(quantity="age_bits", points=tuple(points))

@@ -1,0 +1,351 @@
+"""Fleet construction: thousands of heterogeneous devices from one spec.
+
+:func:`build_fleet` turns a frozen :class:`~repro.fleet.spec.FleetSpec`
+into a :class:`Fleet` of :class:`FleetDevice` records.  The build is
+fully deterministic: part/vendor assignment and the temperature/voltage
+draws come from a structural noise stream derived from
+``spec.master_seed``, and device silicon comes from per-index seeds
+hashed from the same master seed — so two builds from equal specs are
+bit-identical, device for device, and a fleet can be described in a
+config file and reproduced anywhere.
+
+Harvesting plugs into the existing machinery unchanged: a fleet hands
+out prepared :class:`~repro.core.drange.DRange` channels, a
+:class:`~repro.parallel.persistent.PersistentPool`, or a
+:class:`~repro.core.multichannel.MultiChannelDRange` over any subset of
+its devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.drange import DRange
+from repro.core.multichannel import MultiChannelDRange
+from repro.core.profiling import Region
+from repro.core.sampler import DEFAULT_SAMPLING_TRCD_NS
+from repro.dram.device import DramDevice
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.modules import MODULES, resolve_timings
+from repro.dram.variation import hash_u64
+from repro.errors import ConfigurationError
+from repro.fleet.spec import FleetSpec
+from repro.noise import NoiseSource
+from repro.obs import runtime as obs
+from repro.parallel.persistent import PersistentPool
+
+__all__ = ["Fleet", "FleetDevice", "build_fleet"]
+
+#: Domain tag separating the structural stream (part/vendor/temperature
+#: assignment) from device silicon seeds under the same master seed.
+_STRUCTURE_TAG = 0xF1EE7
+#: Domain tag for per-device silicon seeds.
+_SILICON_TAG = 0x51C1
+
+
+@dataclass(frozen=True)
+class FleetDevice:
+    """One fleet member: the device plus its assigned operating point."""
+
+    index: int
+    device: DramDevice
+    part: str
+    family: str
+    manufacturer: str
+    temperature_c: float
+    vdd_ratio: float
+
+
+def _weighted_choice(
+    names: Sequence[str],
+    weights: Sequence[float],
+    draws: npt.NDArray[np.float64],
+) -> List[str]:
+    """Map uniform draws in [0, 1) onto a weighted name list."""
+    cumulative = np.cumsum(np.asarray(weights, dtype=np.float64))
+    cumulative /= cumulative[-1]
+    indices = np.searchsorted(cumulative, draws, side="right")
+    indices = np.minimum(indices, len(names) - 1)
+    return [names[int(i)] for i in indices]
+
+
+def build_fleet(
+    spec: FleetSpec, geometry: Optional[DeviceGeometry] = None
+) -> "Fleet":
+    """Instantiate the population a :class:`FleetSpec` describes.
+
+    ``geometry`` overrides the per-device geometry; the default stays
+    the factory's characterization-sized geometry (catalog parts carry
+    full-size array geometry, which would make whole-region
+    characterization needlessly expensive — fleets study *populations*,
+    not full arrays).
+
+    All structural randomness (part, vendor, temperature, voltage per
+    device) derives from ``spec.master_seed``; device access noise
+    derives from ``spec.noise_seed``.  Equal specs build bit-identical
+    fleets.
+    """
+    structure = NoiseSource(
+        int(hash_u64(np.uint64(spec.master_seed), np.uint64(_STRUCTURE_TAG)))
+    )
+    noise_root = NoiseSource(spec.noise_seed)
+    part_names = [name for name, _ in spec.parts]
+    part_weights = [weight for _, weight in spec.parts]
+    vendor_names = [name for name, _ in spec.manufacturers]
+    vendor_weights = [weight for _, weight in spec.manufacturers]
+
+    parts = _weighted_choice(
+        part_names, part_weights, structure.uniform(spec.size)
+    )
+    vendors = _weighted_choice(
+        vendor_names, vendor_weights, structure.uniform(spec.size)
+    )
+    temperatures = np.clip(
+        spec.temperature.mean_c
+        + structure.gaussian(spec.size, spec.temperature.sigma_c),
+        spec.temperature.min_c,
+        spec.temperature.max_c,
+    )
+    vdd_ratios = np.clip(
+        spec.voltage.mean_ratio
+        + structure.gaussian(spec.size, spec.voltage.sigma),
+        spec.voltage.min_ratio,
+        spec.voltage.max_ratio,
+    )
+
+    members: List[FleetDevice] = []
+    for index in range(spec.size):
+        part = parts[index]
+        timings = resolve_timings(part)
+        seed = int(
+            hash_u64(
+                np.uint64(spec.master_seed),
+                np.uint64(_SILICON_TAG),
+                np.uint64(index),
+            )
+        )
+        device = DramDevice(
+            device_seed=seed,
+            manufacturer=vendors[index],
+            geometry=geometry,
+            timings=timings,
+            noise=noise_root.spawn(),
+            serial=f"{vendors[index]}-{part}-{index:05d}",
+        )
+        device.set_temperature(float(temperatures[index]))
+        device.set_vdd_ratio(float(vdd_ratios[index]))
+        members.append(
+            FleetDevice(
+                index=index,
+                device=device,
+                part=part,
+                family=_family_of(part),
+                manufacturer=vendors[index],
+                temperature_c=float(temperatures[index]),
+                vdd_ratio=float(vdd_ratios[index]),
+            )
+        )
+    fleet = Fleet(spec, tuple(members))
+    if obs.enabled():
+        obs.counter_add("drange_fleet_builds_total")
+        for family, group in fleet.by_family().items():
+            obs.gauge_set(
+                "drange_fleet_devices", len(group), family=family
+            )
+    return fleet
+
+
+def _family_of(part: str) -> str:
+    """The DRAM family of a part spec (``"MT53E512M32-2400"`` → LPDDR4)."""
+    name = part if part in MODULES else part.rpartition("-")[0]
+    return MODULES[name].family
+
+
+class Fleet:
+    """A built device population with grouping and harvest plumbing.
+
+    Construct through :func:`build_fleet`.  The fleet is an immutable
+    roster — the *devices* mutate (temperature steps, pattern writes,
+    power cycles) but membership never changes, so index-based
+    identities stay stable across a study.
+    """
+
+    def __init__(
+        self, spec: FleetSpec, members: Tuple[FleetDevice, ...]
+    ) -> None:
+        if len(members) != spec.size:
+            raise ConfigurationError(
+                f"fleet spec says {spec.size} devices, got {len(members)}"
+            )
+        self._spec = spec
+        self._members = members
+
+    @property
+    def spec(self) -> FleetSpec:
+        """The spec this fleet was built from."""
+        return self._spec
+
+    @property
+    def members(self) -> Tuple[FleetDevice, ...]:
+        """Every fleet member, in index order."""
+        return self._members
+
+    def __len__(self) -> int:
+        """Fleet size."""
+        return len(self._members)
+
+    def __getitem__(self, index: int) -> FleetDevice:
+        """Member ``index`` (the stable fleet identity)."""
+        return self._members[index]
+
+    @property
+    def devices(self) -> List[DramDevice]:
+        """The raw devices, in index order."""
+        return [member.device for member in self._members]
+
+    # ------------------------------------------------------------------
+    # Grouping
+    # ------------------------------------------------------------------
+
+    def by_part(self) -> Dict[str, List[FleetDevice]]:
+        """Members grouped by part spec, groups in declaration order."""
+        groups: Dict[str, List[FleetDevice]] = {
+            name: [] for name in self._spec.part_names
+        }
+        for member in self._members:
+            groups[member.part].append(member)
+        return groups
+
+    def by_family(self) -> Dict[str, List[FleetDevice]]:
+        """Members grouped by DRAM family, insertion-ordered."""
+        groups: Dict[str, List[FleetDevice]] = {}
+        for member in self._members:
+            groups.setdefault(member.family, []).append(member)
+        return groups
+
+    def by_manufacturer(self) -> Dict[str, List[FleetDevice]]:
+        """Members grouped by vendor, groups in declaration order."""
+        groups: Dict[str, List[FleetDevice]] = {
+            name: [] for name in self._spec.manufacturer_names
+        }
+        for member in self._members:
+            groups[member.manufacturer].append(member)
+        return groups
+
+    def summary(self) -> Dict[str, object]:
+        """Population roll-up: sizes, mixes, operating-point spread."""
+        temperatures = np.asarray(
+            [member.temperature_c for member in self._members]
+        )
+        return {
+            "size": len(self._members),
+            "parts": {
+                name: len(group) for name, group in self.by_part().items()
+            },
+            "families": {
+                name: len(group) for name, group in self.by_family().items()
+            },
+            "manufacturers": {
+                name: len(group)
+                for name, group in self.by_manufacturer().items()
+            },
+            "temperature_c": {
+                "mean": float(temperatures.mean()),
+                "min": float(temperatures.min()),
+                "max": float(temperatures.max()),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Harvest plumbing (existing machinery, unchanged)
+    # ------------------------------------------------------------------
+
+    def _selected(self, indices: Optional[Sequence[int]]) -> List[FleetDevice]:
+        if indices is None:
+            return list(self._members)
+        return [self._members[index] for index in indices]
+
+    def channels(
+        self,
+        indices: Optional[Sequence[int]] = None,
+        trcd_ns: float = DEFAULT_SAMPLING_TRCD_NS,
+        backend: str = "drange",
+    ) -> List[DRange]:
+        """Unprepared :class:`DRange` facades over the selected members."""
+        return [
+            DRange(member.device, trcd_ns=trcd_ns, backend=backend)
+            for member in self._selected(indices)
+        ]
+
+    def prepare_channels(
+        self,
+        indices: Optional[Sequence[int]] = None,
+        trcd_ns: float = DEFAULT_SAMPLING_TRCD_NS,
+        backend: str = "drange",
+        region: Optional[Region] = None,
+        iterations: int = 100,
+        samples: int = 1000,
+        max_cells: Optional[int] = None,
+    ) -> List[DRange]:
+        """Characterized-and-identified channels, ready to generate."""
+        prepared = self.channels(
+            indices=indices, trcd_ns=trcd_ns, backend=backend
+        )
+        for channel in prepared:
+            channel.prepare(
+                region=region,
+                iterations=iterations,
+                samples=samples,
+                max_cells=max_cells,
+            )
+        return prepared
+
+    def persistent_pool(
+        self,
+        indices: Optional[Sequence[int]] = None,
+        max_workers: Optional[int] = None,
+        **prepare_kwargs: object,
+    ) -> PersistentPool:
+        """A shard-affine :class:`PersistentPool` over prepared channels.
+
+        ``prepare_kwargs`` forward to :meth:`prepare_channels` (region,
+        iterations, samples, max_cells, trcd_ns, backend).  The caller
+        owns the pool lifecycle (``with`` or explicit ``close()``).
+        """
+        channels = self.prepare_channels(indices=indices, **prepare_kwargs)  # type: ignore[arg-type]
+        return PersistentPool(channels, max_workers=max_workers)
+
+    def multichannel(
+        self,
+        indices: Optional[Sequence[int]] = None,
+        trcd_ns: float = DEFAULT_SAMPLING_TRCD_NS,
+        **kwargs: object,
+    ) -> MultiChannelDRange:
+        """A health-monitored :class:`MultiChannelDRange` over members."""
+        devices = [member.device for member in self._selected(indices)]
+        return MultiChannelDRange(devices, trcd_ns=trcd_ns, **kwargs)  # type: ignore[arg-type]
+
+    def harvest(
+        self,
+        num_bits: int,
+        indices: Optional[Sequence[int]] = None,
+        max_workers: Optional[int] = None,
+        **prepare_kwargs: object,
+    ) -> npt.NDArray[np.uint8]:
+        """One-shot harvest of ``num_bits`` through a persistent pool.
+
+        Convenience for studies that want bits, not pool plumbing:
+        prepares the selected channels, harvests once, closes the pool,
+        and accounts the bits to ``drange_fleet_harvest_bits_total``.
+        """
+        with self.persistent_pool(
+            indices=indices, max_workers=max_workers, **prepare_kwargs
+        ) as pool:
+            bits = pool.harvest(num_bits)
+        if obs.enabled():
+            obs.counter_add("drange_fleet_harvest_bits_total", len(bits))
+        return bits

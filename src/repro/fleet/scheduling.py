@@ -1,0 +1,185 @@
+"""Online re-characterization scheduling across a fleet.
+
+D-RaNGe's RNG-cell sets are temperature-dependent (Section 5.3), and
+the paper's system keeps per-temperature cell registries refreshed by
+periodic re-characterization.  At fleet scale that refresh has to be
+*scheduled*: re-profiling every device on every tick is unaffordable,
+so the :class:`RecharacterizationScheduler` tracks, per device, the
+three staleness signals the model layers expose —
+
+* **epoch** — the device's ``state_epoch`` moved (writes, power cycles,
+  operating-point changes) since the last characterization;
+* **temperature** — the DRAM temperature drifted further from the last
+  characterization point than the registry's interpolation tolerates;
+* **interval** — a wall-tick budget elapsed (periodic refresh floor) —
+
+and selects a bounded, deterministically rotated batch of due devices
+each tick, so every device eventually gets serviced even under a tight
+per-tick budget.
+
+Ticks are caller-supplied integers (simulation steps, not wall clock),
+keeping the scheduler deterministic end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.fleet.population import Fleet
+from repro.obs import runtime as obs
+
+__all__ = ["DueDevice", "RecharacterizationScheduler"]
+
+
+@dataclass(frozen=True)
+class DueDevice:
+    """One scheduling decision: which device and why it is due."""
+
+    index: int
+    reason: str
+
+
+@dataclass
+class _DeviceRecord:
+    """Per-device bookkeeping: state at the last characterization."""
+
+    epoch: int
+    temperature_c: float
+    last_tick: Optional[int]
+
+
+class RecharacterizationScheduler:
+    """Budgeted, deterministic re-characterization picker for a fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The population to track.
+    interval_ticks:
+        Periodic refresh floor: a device becomes due ``interval_ticks``
+        after its last characterization even if nothing else moved.
+    temperature_threshold_c:
+        Re-characterize when the DRAM temperature has drifted at least
+        this far from the last characterization point.
+    max_per_tick:
+        Per-tick budget; ``None`` means unbounded.  Under a budget the
+        selection rotates deterministically with the tick so starved
+        devices advance to the front on later ticks.
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        interval_ticks: int = 24,
+        temperature_threshold_c: float = 5.0,
+        max_per_tick: Optional[int] = None,
+    ) -> None:
+        if interval_ticks <= 0:
+            raise ConfigurationError(
+                f"interval_ticks must be positive, got {interval_ticks}"
+            )
+        if temperature_threshold_c <= 0:
+            raise ConfigurationError(
+                "temperature_threshold_c must be positive, got "
+                f"{temperature_threshold_c}"
+            )
+        if max_per_tick is not None and max_per_tick <= 0:
+            raise ConfigurationError(
+                f"max_per_tick must be positive, got {max_per_tick}"
+            )
+        self._fleet = fleet
+        self._interval = interval_ticks
+        self._threshold = temperature_threshold_c
+        self._budget = max_per_tick
+        # A fresh scheduler has never characterized anything: every
+        # device starts due (reason "interval"), which is exactly the
+        # cold-start behavior a fleet bring-up wants.
+        self._records: Dict[int, _DeviceRecord] = {
+            member.index: _DeviceRecord(
+                epoch=member.device.state_epoch,
+                temperature_c=member.device.temperature_c,
+                last_tick=None,
+            )
+            for member in fleet.members
+        }
+
+    @property
+    def fleet(self) -> Fleet:
+        """The tracked population."""
+        return self._fleet
+
+    def due(self, tick: int) -> List[DueDevice]:
+        """Every device due at ``tick``, in index order, with its reason.
+
+        When several signals fire at once the most specific wins:
+        epoch beats temperature beats interval.
+        """
+        results: List[DueDevice] = []
+        for member in self._fleet.members:
+            record = self._records[member.index]
+            device = member.device
+            if record.last_tick is None:
+                results.append(DueDevice(member.index, "interval"))
+            elif device.state_epoch != record.epoch:
+                results.append(DueDevice(member.index, "epoch"))
+            elif (
+                abs(device.temperature_c - record.temperature_c)
+                >= self._threshold
+            ):
+                results.append(DueDevice(member.index, "temperature"))
+            elif tick - record.last_tick >= self._interval:
+                results.append(DueDevice(member.index, "interval"))
+        return results
+
+    def select(self, tick: int) -> List[DueDevice]:
+        """The due list capped to the per-tick budget, rotated fairly.
+
+        The rotation offset is ``tick % len(due)``, so under a steady
+        backlog the window slides deterministically and every due
+        device is selected within ``ceil(len(due) / budget)`` ticks.
+        """
+        candidates = self.due(tick)
+        if self._budget is None or len(candidates) <= self._budget:
+            return candidates
+        offset = tick % len(candidates)
+        rotated = candidates[offset:] + candidates[:offset]
+        return rotated[: self._budget]
+
+    def mark(self, index: int, tick: int, reason: str = "interval") -> None:
+        """Record that device ``index`` was re-characterized at ``tick``.
+
+        Snapshots the device's current epoch and temperature as the new
+        reference point and accounts the event to
+        ``drange_fleet_recharacterizations_total`` by reason.
+        """
+        member = self._fleet[index]
+        record = self._records[index]
+        record.epoch = member.device.state_epoch
+        record.temperature_c = member.device.temperature_c
+        record.last_tick = tick
+        if obs.enabled():
+            obs.counter_add(
+                "drange_fleet_recharacterizations_total", reason=reason
+            )
+
+    def step(self, tick: int) -> List[DueDevice]:
+        """Select this tick's batch and mark every pick as serviced.
+
+        The driver loop for studies that model re-characterization cost
+        without running the (expensive) characterization itself; callers
+        that do run it should :meth:`select`, characterize, then
+        :meth:`mark` with the selection's reason.
+        """
+        selected = self.select(tick)
+        for pick in selected:
+            self.mark(pick.index, tick, reason=pick.reason)
+        return selected
+
+    def backlog(self, tick: int) -> int:
+        """How many due devices the budget would leave unserviced."""
+        candidates = self.due(tick)
+        if self._budget is None:
+            return 0
+        return max(0, len(candidates) - self._budget)

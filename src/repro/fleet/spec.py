@@ -1,0 +1,139 @@
+"""Declarative fleet specifications: what a device population looks like.
+
+The paper's population study (Section 5) spans 282 LPDDR4 chips plus 4
+DDR3 chips from three manufacturers, characterized over a range of
+temperatures.  A :class:`FleetSpec` is the declarative description of
+such a population — part mix, manufacturer mix, temperature/voltage
+distributions, seeds — from which
+:func:`repro.fleet.population.build_fleet` deterministically
+instantiates the devices.
+
+Everything here is frozen data: a spec can be hashed, compared, logged
+and rebuilt, and two builds from equal specs yield bit-identical fleets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.dram.modules import resolve_timings
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_MANUFACTURER_MIX",
+    "FleetSpec",
+    "TemperatureModel",
+    "VoltageModel",
+]
+
+#: Balanced vendor mix, matching the paper's roughly even A/B/C split.
+DEFAULT_MANUFACTURER_MIX: Tuple[Tuple[str, float], ...] = (
+    ("A", 1.0),
+    ("B", 1.0),
+    ("C", 1.0),
+)
+
+
+def _validate_mix(label: str, mix: Tuple[Tuple[str, float], ...]) -> None:
+    """Shared weighted-mix validation (non-empty, positive weights)."""
+    if not mix:
+        raise ConfigurationError(f"{label} mix must not be empty")
+    names = [name for name, _ in mix]
+    if len(names) != len(set(names)):
+        raise ConfigurationError(f"duplicate names in {label} mix: {names}")
+    for name, weight in mix:
+        if weight <= 0:
+            raise ConfigurationError(
+                f"{label} mix weight for {name!r} must be positive, "
+                f"got {weight}"
+            )
+
+
+@dataclass(frozen=True)
+class TemperatureModel:
+    """Gaussian ambient-temperature distribution across the fleet.
+
+    Per-device draws are clamped into the device model's plausible
+    operating range; the defaults sit around the paper's 45 °C ambient
+    characterization point.
+    """
+
+    mean_c: float = 45.0
+    sigma_c: float = 5.0
+    min_c: float = -40.0
+    max_c: float = 125.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_c < 0:
+            raise ConfigurationError(
+                f"sigma_c must be non-negative, got {self.sigma_c}"
+            )
+        if not -40.0 <= self.min_c <= self.max_c <= 125.0:
+            raise ConfigurationError(
+                "temperature clamp range must satisfy "
+                f"-40 <= min <= max <= 125, got [{self.min_c}, {self.max_c}]"
+            )
+
+
+@dataclass(frozen=True)
+class VoltageModel:
+    """Gaussian supply-voltage distribution (ratio of nominal VDD)."""
+
+    mean_ratio: float = 1.0
+    sigma: float = 0.005
+    min_ratio: float = 0.7
+    max_ratio: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError(
+                f"sigma must be non-negative, got {self.sigma}"
+            )
+        if not 0.7 <= self.min_ratio <= self.max_ratio <= 1.2:
+            raise ConfigurationError(
+                "vdd clamp range must satisfy 0.7 <= min <= max <= 1.2, "
+                f"got [{self.min_ratio}, {self.max_ratio}]"
+            )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Declarative description of a heterogeneous device population.
+
+    ``parts`` weights catalog specs (``"PART"`` or ``"PART-GRADE"``
+    strings understood by :func:`repro.dram.modules.resolve_timings`);
+    ``manufacturers`` weights vendor labels.  Both are sampled
+    independently per device, so a 70/30 part mix over a 3-vendor mix
+    yields the full cross product in expectation.  Every spec name is
+    resolved at construction time, so a typo fails here — before a
+    single device is built.
+    """
+
+    size: int
+    parts: Tuple[Tuple[str, float], ...] = (("LPDDR4", 1.0),)
+    manufacturers: Tuple[Tuple[str, float], ...] = DEFAULT_MANUFACTURER_MIX
+    temperature: TemperatureModel = field(default_factory=TemperatureModel)
+    voltage: VoltageModel = field(default_factory=VoltageModel)
+    master_seed: int = 2019
+    noise_seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(
+                f"fleet size must be positive, got {self.size}"
+            )
+        _validate_mix("parts", self.parts)
+        _validate_mix("manufacturers", self.manufacturers)
+        for part, _ in self.parts:
+            resolve_timings(part)  # raises UnknownModuleError on typos
+
+    @property
+    def part_names(self) -> Tuple[str, ...]:
+        """The part specs in declaration order."""
+        return tuple(name for name, _ in self.parts)
+
+    @property
+    def manufacturer_names(self) -> Tuple[str, ...]:
+        """The vendor labels in declaration order."""
+        return tuple(name for name, _ in self.manufacturers)

@@ -21,6 +21,7 @@ _DETERMINISTIC_PATHS = (
     "repro/dram/",
     "repro/sim/",
     "repro/faults/models.py",
+    "repro/fleet/",
     "repro/core/",
     "repro/memctrl/",
     "repro/parallel/",

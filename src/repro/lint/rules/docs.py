@@ -20,6 +20,8 @@ from repro.lint.types import RuleMeta, Severity
 _DOCUMENTED_PATHS = (
     "repro/backends/",
     "repro/core/",
+    "repro/dram/modules.py",
+    "repro/fleet/",
     "repro/obs/",
     "repro/parallel/",
     "repro/serving/",

@@ -242,6 +242,34 @@ CATALOG: Dict[str, CatalogEntry] = {
         "Requests admitted and currently in flight in the serving layer.",
     ),
     # ------------------------------------------------------------------
+    # Fleet studies (repro.fleet)
+    # ------------------------------------------------------------------
+    "drange_fleet_devices": CatalogEntry(
+        "gauge",
+        "Devices in the most recently built fleet, by DRAM family.",
+        labels=("family",),
+    ),
+    "drange_fleet_builds_total": CatalogEntry(
+        "counter",
+        "Fleet populations instantiated by build_fleet.",
+    ),
+    "drange_fleet_recharacterizations_total": CatalogEntry(
+        "counter",
+        "Devices re-characterized by the fleet scheduler, by trigger "
+        "(epoch / temperature / interval).",
+        labels=("reason",),
+    ),
+    "drange_fleet_capacity_mbps": CatalogEntry(
+        "gauge",
+        "Modeled per-device throughput priced by the capacity planner, "
+        "by catalog part (bounded by the catalog size).",
+        labels=("part",),
+    ),
+    "drange_fleet_harvest_bits_total": CatalogEntry(
+        "counter",
+        "Bits harvested through Fleet.harvest one-shot pools.",
+    ),
+    # ------------------------------------------------------------------
     # Statistical batteries
     # ------------------------------------------------------------------
     "drange_nist_tests_total": CatalogEntry(

@@ -1,0 +1,28 @@
+"""docs/catalog.md is generated output: regenerate and diff.
+
+The reference tables in ``docs/catalog.md`` are the verbatim output of
+``catalog_markdown()`` (what ``drange catalog --format markdown``
+prints).  Committing stale tables — after adding a part, touching a
+timing, or changing the renderer — fails here with the regeneration
+command in the message.
+"""
+
+from pathlib import Path
+
+from repro.dram.modules import catalog_markdown
+
+CATALOG_DOC = Path(__file__).resolve().parents[2] / "docs" / "catalog.md"
+
+
+def test_catalog_doc_matches_generator():
+    committed = CATALOG_DOC.read_text()
+    generated = catalog_markdown()
+    assert committed == generated, (
+        "docs/catalog.md is stale; regenerate with:\n"
+        "  PYTHONPATH=src python -m repro catalog --format markdown "
+        "> docs/catalog.md"
+    )
+
+
+def test_catalog_doc_declares_itself_generated():
+    assert "GENERATED FILE - DO NOT EDIT BY HAND" in CATALOG_DOC.read_text()

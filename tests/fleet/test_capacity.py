@@ -1,0 +1,86 @@
+"""Capacity planner tests: pricing parts in devices-per-gigabit."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import CapacityPlanner, FleetSpec, build_fleet
+from repro.obs import runtime
+
+SPEC = FleetSpec(size=6, master_seed=2019, noise_seed=13)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_fleet(SPEC)
+
+
+@pytest.fixture(scope="module")
+def planner(fleet):
+    return CapacityPlanner(fleet, utilization=0.85)
+
+
+class TestThroughputPricing:
+    def test_per_device_throughput_is_positive(self, planner):
+        assert planner.part_throughput_mbps("LPDDR4") > 0
+
+    def test_pricing_is_cached_per_operating_point(self, planner, fleet):
+        # Same key twice: the device's epoch must not move again, proof
+        # the characterization ran only once.
+        planner.part_throughput_mbps("LPDDR4")
+        epoch = fleet[0].device.state_epoch
+        planner.part_throughput_mbps("LPDDR4")
+        assert fleet[0].device.state_epoch == epoch
+
+    def test_representative_is_lowest_index(self, planner, fleet):
+        assert planner.representative("LPDDR4") is fleet[0]
+
+    def test_unknown_part_rejected(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.part_throughput_mbps("DDR3")
+
+
+class TestDevicesNeeded:
+    def test_matches_the_ceiling_division(self, planner):
+        per_device = planner.part_throughput_mbps("LPDDR4")
+        needed = planner.devices_needed("LPDDR4", target_gbps=1.0)
+        assert needed == math.ceil(1000.0 / (per_device * 0.85))
+
+    def test_scales_with_the_target(self, planner):
+        one = planner.devices_needed("LPDDR4", target_gbps=1.0)
+        four = planner.devices_needed("LPDDR4", target_gbps=4.0)
+        assert four >= 4 * one - 3  # ceiling slack
+
+    def test_rejects_nonpositive_target(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.devices_needed("LPDDR4", target_gbps=0.0)
+
+
+class TestPlan:
+    def test_plan_covers_every_part(self, planner, fleet):
+        plan = planner.plan(target_gbps=1.0)
+        assert set(plan) == set(SPEC.part_names)
+        entry = plan["LPDDR4"]
+        assert entry["devices_available"] == float(len(fleet))
+        assert entry["devices_needed"] >= 1.0
+        assert entry["throughput_mbps"] > 0
+
+
+class TestValidationAndMetrics:
+    def test_rejects_bad_utilization(self, fleet):
+        with pytest.raises(ConfigurationError):
+            CapacityPlanner(fleet, utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            CapacityPlanner(fleet, utilization=1.5)
+
+    def test_pricing_lands_on_the_capacity_gauge(self, fleet):
+        registry = runtime.enable()
+        try:
+            fresh = CapacityPlanner(fleet)
+            mbps = fresh.part_throughput_mbps("LPDDR4")
+            assert registry.value(
+                "drange_fleet_capacity_mbps", part="LPDDR4"
+            ) == pytest.approx(mbps)
+        finally:
+            runtime.disable()

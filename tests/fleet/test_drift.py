@@ -1,0 +1,99 @@
+"""Drift/aging sweep tests: band retention across a population."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import FleetSpec, aging_sweep, build_fleet, drift_sweep
+from repro.fleet.drift import _selected_members
+
+SPEC = FleetSpec(size=10, master_seed=2019, noise_seed=11)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_fleet(SPEC)
+
+
+class TestDriftSweep:
+    def test_points_follow_the_requested_temperatures(self, fleet):
+        report = drift_sweep(
+            fleet, temperatures_c=[40.0, 55.0, 70.0], max_devices=4
+        )
+        assert report.quantity == "temperature_c"
+        assert [point.value for point in report.points] == [40.0, 55.0, 70.0]
+        for point in report.points:
+            assert 0.0 <= point.min_retention <= point.mean_retention
+            assert point.mean_retention <= point.max_retention <= 1.0
+            assert point.devices > 0
+
+    def test_large_excursion_loses_more_band_than_small(self, fleet):
+        baseline_temp = fleet[0].temperature_c
+        report = drift_sweep(
+            fleet,
+            temperatures_c=[baseline_temp, baseline_temp + 40.0],
+            indices=[0],
+        )
+        near, far = report.points
+        assert near.mean_retention >= far.mean_retention
+
+    def test_sweep_restores_operating_points(self, fleet):
+        before = [member.device.temperature_c for member in fleet.members]
+        drift_sweep(fleet, temperatures_c=[80.0], max_devices=4)
+        after = [member.device.temperature_c for member in fleet.members]
+        assert before == after
+
+    def test_sweep_is_deterministic(self, fleet):
+        first = drift_sweep(fleet, temperatures_c=[50.0], max_devices=4)
+        second = drift_sweep(fleet, temperatures_c=[50.0], max_devices=4)
+        assert first.as_dict() == second.as_dict()
+
+    def test_requires_at_least_one_temperature(self, fleet):
+        with pytest.raises(ConfigurationError):
+            drift_sweep(fleet, temperatures_c=[])
+
+
+class TestAgingSweep:
+    def test_zero_age_retains_everything(self, fleet):
+        report = aging_sweep(fleet, ages_bits=[0.0, 1e8], max_devices=4)
+        assert report.quantity == "age_bits"
+        assert report.points[0].mean_retention == 1.0
+        assert report.points[1].mean_retention <= 1.0
+
+    def test_retention_is_monotone_in_age(self, fleet):
+        # Aging only raises failure probabilities, so band cells leave
+        # through the top and never come back.
+        report = aging_sweep(
+            fleet, ages_bits=[0.0, 1e7, 1e8, 1e9], max_devices=4
+        )
+        retentions = [point.mean_retention for point in report.points]
+        assert retentions == sorted(retentions, reverse=True)
+
+    def test_leaves_devices_untouched(self, fleet):
+        epochs = [member.device.state_epoch for member in fleet.members]
+        aging_sweep(fleet, ages_bits=[1e9], max_devices=4)
+        assert epochs == [m.device.state_epoch for m in fleet.members]
+
+    def test_rejects_negative_age(self, fleet):
+        with pytest.raises(ConfigurationError):
+            aging_sweep(fleet, ages_bits=[-1.0], max_devices=2)
+
+    def test_rejects_empty_ages(self, fleet):
+        with pytest.raises(ConfigurationError):
+            aging_sweep(fleet, ages_bits=[])
+
+
+class TestMemberSelection:
+    def test_explicit_indices_win(self, fleet):
+        members = _selected_members(fleet, [3, 5], limit=1)
+        assert [member.index for member in members] == [3, 5]
+
+    def test_stride_covers_the_fleet_evenly(self, fleet):
+        members = _selected_members(fleet, None, limit=5)
+        assert len(members) == 5
+        indices = [member.index for member in members]
+        assert indices == sorted(indices)
+        assert indices == [0, 2, 4, 6, 8]
+
+    def test_small_fleet_is_taken_whole(self, fleet):
+        members = _selected_members(fleet, None, limit=64)
+        assert len(members) == len(fleet)

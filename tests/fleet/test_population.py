@@ -1,0 +1,140 @@
+"""Fleet construction tests: determinism, grouping, harvest plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.drange import DRange
+from repro.core.multichannel import MultiChannelDRange
+from repro.core.profiling import Region
+from repro.errors import ConfigurationError
+from repro.fleet import FleetSpec, TemperatureModel, build_fleet
+from repro.fleet.population import _weighted_choice
+from repro.obs import runtime
+
+SPEC = FleetSpec(
+    size=30,
+    parts=(("LPDDR4", 2.0), ("MT53E512M32-2400", 1.0), ("DDR3", 1.0)),
+    temperature=TemperatureModel(mean_c=45.0, sigma_c=5.0),
+    master_seed=2019,
+    noise_seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_fleet(SPEC)
+
+
+class TestDeterminism:
+    def test_equal_specs_build_identical_rosters(self, fleet):
+        again = build_fleet(SPEC)
+        for first, second in zip(fleet.members, again.members):
+            assert first.part == second.part
+            assert first.manufacturer == second.manufacturer
+            assert first.temperature_c == second.temperature_c
+            assert first.vdd_ratio == second.vdd_ratio
+            assert first.device.serial == second.device.serial
+
+    def test_master_seed_changes_the_assignment(self):
+        import dataclasses
+
+        other = build_fleet(dataclasses.replace(SPEC, master_seed=2020))
+        assert [m.part for m in other.members] != [
+            m.part for m in build_fleet(SPEC).members
+        ] or [m.temperature_c for m in other.members] != [
+            m.temperature_c for m in build_fleet(SPEC).members
+        ]
+
+    def test_devices_are_distinct_silicon(self, fleet):
+        seeds = {member.device.serial for member in fleet.members}
+        assert len(seeds) == len(fleet)
+
+
+class TestRoster:
+    def test_members_carry_their_operating_point(self, fleet):
+        for member in fleet.members:
+            assert member.device.temperature_c == member.temperature_c
+            spread = abs(member.temperature_c - SPEC.temperature.mean_c)
+            assert spread <= 6 * SPEC.temperature.sigma_c
+
+    def test_indexing_and_len(self, fleet):
+        assert len(fleet) == SPEC.size
+        assert fleet[3] is fleet.members[3]
+        assert fleet[3].index == 3
+
+    def test_grouping_partitions_the_fleet(self, fleet):
+        by_part = fleet.by_part()
+        assert set(by_part) == set(SPEC.part_names)
+        assert sum(len(group) for group in by_part.values()) == len(fleet)
+        by_vendor = fleet.by_manufacturer()
+        assert set(by_vendor) == {"A", "B", "C"}
+        assert sum(len(g) for g in by_vendor.values()) == len(fleet)
+
+    def test_family_follows_the_part(self, fleet):
+        for member in fleet.members:
+            if member.part.startswith("MT53E512M32"):
+                assert member.family == "LPDDR4"
+            elif member.part == "DDR3":
+                assert member.family == "DDR3"
+
+    def test_summary_rolls_up_the_population(self, fleet):
+        summary = fleet.summary()
+        assert summary["size"] == SPEC.size
+        assert set(summary["parts"]) == set(SPEC.part_names)
+        temps = summary["temperature_c"]
+        assert temps["min"] <= temps["mean"] <= temps["max"]
+
+    def test_roster_size_mismatch_rejected(self, fleet):
+        from repro.fleet.population import Fleet
+
+        with pytest.raises(ConfigurationError):
+            Fleet(SPEC, fleet.members[:-1])
+
+
+class TestWeightedChoice:
+    def test_weights_steer_the_draw(self):
+        draws = np.linspace(0.0, 0.999, 1000)
+        picks = _weighted_choice(["x", "y"], [3.0, 1.0], draws)
+        assert 700 <= picks.count("x") <= 800
+
+    def test_draw_at_one_stays_in_range(self):
+        assert _weighted_choice(["x", "y"], [1.0, 1.0], np.array([1.0])) == [
+            "y"
+        ]
+
+
+class TestHarvestPlumbing:
+    def test_channels_wrap_selected_members(self, fleet):
+        channels = fleet.channels(indices=[0, 2], trcd_ns=9.0)
+        assert len(channels) == 2
+        assert all(isinstance(channel, DRange) for channel in channels)
+        assert channels[0].device is fleet[0].device
+
+    def test_multichannel_wraps_members(self, fleet):
+        multi = fleet.multichannel(indices=[0, 1])
+        assert isinstance(multi, MultiChannelDRange)
+
+    def test_one_shot_harvest_returns_bits(self, fleet):
+        bits = fleet.harvest(
+            2048,
+            indices=[0],
+            region=Region(banks=(0,), row_start=0, row_count=128),
+            iterations=60,
+            samples=200,
+        )
+        assert bits.size == 2048
+        assert np.isin(bits, (0, 1)).all()
+
+
+class TestObservability:
+    def test_build_and_harvest_account_metrics(self):
+        registry = runtime.enable()
+        try:
+            build_fleet(FleetSpec(size=4, noise_seed=3))
+            assert registry.value("drange_fleet_builds_total") == 1.0
+            assert (
+                registry.value("drange_fleet_devices", family="LPDDR4")
+                == 4.0
+            )
+        finally:
+            runtime.disable()

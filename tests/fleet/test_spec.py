@@ -1,0 +1,61 @@
+"""FleetSpec validation: a bad population description fails up front."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownModuleError
+from repro.fleet import (
+    DEFAULT_MANUFACTURER_MIX,
+    FleetSpec,
+    TemperatureModel,
+    VoltageModel,
+)
+
+
+class TestFleetSpec:
+    def test_defaults_describe_a_paper_style_population(self):
+        spec = FleetSpec(size=10)
+        assert spec.part_names == ("LPDDR4",)
+        assert spec.manufacturer_names == ("A", "B", "C")
+        assert spec.manufacturers == DEFAULT_MANUFACTURER_MIX
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(size=0)
+
+    def test_rejects_empty_part_mix(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(size=4, parts=())
+
+    def test_rejects_duplicate_part_names(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(size=4, parts=(("LPDDR4", 1.0), ("LPDDR4", 2.0)))
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(size=4, parts=(("LPDDR4", 0.0),))
+
+    def test_part_typo_fails_at_construction(self):
+        with pytest.raises(UnknownModuleError):
+            FleetSpec(size=4, parts=(("LPDDR5", 1.0),))
+
+    def test_grade_suffixed_parts_resolve(self):
+        spec = FleetSpec(size=4, parts=(("MT53E512M32-2400", 1.0),))
+        assert spec.part_names == ("MT53E512M32-2400",)
+
+    def test_specs_compare_by_value(self):
+        assert FleetSpec(size=4) == FleetSpec(size=4)
+        assert FleetSpec(size=4) != FleetSpec(size=5)
+
+
+class TestDistributionModels:
+    def test_temperature_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureModel(sigma_c=-1.0)
+
+    def test_temperature_rejects_inverted_clamp(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureModel(min_c=90.0, max_c=20.0)
+
+    def test_voltage_rejects_out_of_range_clamp(self):
+        with pytest.raises(ConfigurationError):
+            VoltageModel(min_ratio=0.5)

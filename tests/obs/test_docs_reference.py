@@ -16,7 +16,7 @@ DOCS_DIR = Path(__file__).resolve().parents[2] / "docs"
 
 #: Documents that carry metric-reference tables.  Each metric family
 #: must appear in exactly one of them.
-REFERENCE_DOCS = ("observability.md", "serving.md")
+REFERENCE_DOCS = ("observability.md", "serving.md", "fleet.md")
 
 #: A metric-table row: | `name` | kind | labels | meaning |
 ROW_RE = re.compile(

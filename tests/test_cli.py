@@ -199,3 +199,75 @@ class TestLintSubcommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "file(s) checked" in out or "no Python files changed" in out
+
+
+class TestCatalogSubcommand:
+    def test_lists_parts_with_grades(self, capsys):
+        code = main(["catalog"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MT53E512M32" in out
+        assert "LPDDR4" in out
+        assert "-3200" in out
+
+    def test_family_filter(self, capsys):
+        code = main(["catalog", "--family", "DDR3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MT41K256M16" in out
+        assert "MT53E512M32" not in out
+
+    def test_part_detail_prints_per_grade_timings(self, capsys):
+        code = main(["catalog", "--part", "MT53E512M32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "16 Gb" in out
+        assert "-2400" in out and "-3200" in out
+        assert "18.25ns/22ck" in out  # tRCD at the 2400 bin
+
+    def test_markdown_emits_the_generated_doc(self, capsys):
+        from repro.dram.modules import catalog_markdown
+
+        code = main(["catalog", "--format", "markdown"])
+        assert code == 0
+        assert capsys.readouterr().out == catalog_markdown()
+
+    def test_unknown_part_exits_2(self, capsys):
+        code = main(["catalog", "--part", "NOPE"])
+        assert code == 2
+        assert "unknown DRAM module" in capsys.readouterr().err
+
+
+class TestFleetSubcommand:
+    def test_summary_emits_json(self, capsys):
+        import json
+
+        code = main(
+            ["--seed", "5", "fleet", "summary", "--size", "12",
+             "--parts", "LPDDR4=3,DDR3=1"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["size"] == 12
+        assert set(summary["parts"]) == {"LPDDR4", "DDR3"}
+
+    def test_unknown_part_exits_2(self, capsys):
+        code = main(["fleet", "summary", "--size", "4",
+                     "--parts", "LPDDR5=1"])
+        assert code == 2
+        assert "unknown DRAM module" in capsys.readouterr().err
+
+    def test_malformed_mix_exits_2(self, capsys):
+        code = main(["fleet", "summary", "--size", "4", "--parts", "LPDDR4"])
+        assert code == 2
+        assert "NAME=WEIGHT" in capsys.readouterr().out
+
+    def test_drift_prints_retention_table(self, capsys):
+        code = main(
+            ["--seed", "5", "fleet", "drift", "--size", "6",
+             "--temperatures", "45,65"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean" in out
+        assert "45.0" in out and "65.0" in out

@@ -30,6 +30,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Documents whose Python blocks must stay runnable.
 EXECUTABLE_DOCS = (
     "docs/API.md",
+    "docs/fleet.md",
     "docs/observability.md",
     "docs/performance.md",
     "docs/serving.md",

@@ -36,6 +36,7 @@ class TestSubpackageExports:
             "repro.experiments",
             "repro.testbed",
             "repro.faults",
+            "repro.fleet",
             "repro.lint",
         ],
     )
